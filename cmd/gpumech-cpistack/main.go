@@ -1,0 +1,95 @@
+// Command gpumech-cpistack renders GPUMech CPI stacks (Section VII of the
+// paper) as stacked ASCII bars for one kernel across warp counts — the
+// paper's scaling-bottleneck visualization.
+//
+// Usage:
+//
+//	gpumech-cpistack -kernel rodinia_kmeans_invert -warps 8,16,32,48
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gpumech"
+	"gpumech/internal/report"
+)
+
+func main() {
+	kernel := flag.String("kernel", "rodinia_cfd_compute_flux", "kernel name")
+	warpsCSV := flag.String("warps", "8,16,32,48", "comma-separated warps-per-core values")
+	policy := flag.String("policy", "rr", "scheduling policy: rr or gto")
+	oracle := flag.Bool("oracle", false, "also run the detailed simulation per point")
+	flag.Parse()
+
+	pol := gpumech.RR
+	if *policy == "gto" {
+		pol = gpumech.GTO
+	}
+	var warps []int
+	for _, s := range strings.Split(*warpsCSV, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fail(err)
+		}
+		warps = append(warps, w)
+	}
+
+	sess, err := gpumech.NewSession(*kernel)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("CPI stacks for %s (%s scheduling)\n", sess.Kernel(), pol)
+	fmt.Println("legend: B=BASE D=DEP 1=L1 2=L2 R=DRAM M=MSHR Q=QUEUE S=SFU")
+
+	runes := []rune{'B', 'D', '1', '2', 'R', 'M', 'Q', 'S'}
+	type point struct {
+		warps  int
+		est    *gpumech.Estimate
+		oracle float64
+	}
+	var pts []point
+	maxCPI := 0.0
+	for _, w := range warps {
+		cfg := gpumech.DefaultConfig().WithWarps(w)
+		est, err := sess.Estimate(cfg, pol)
+		if err != nil {
+			fail(err)
+		}
+		p := point{warps: w, est: est}
+		if *oracle {
+			orc, err := sess.Oracle(cfg, pol)
+			if err != nil {
+				fail(err)
+			}
+			p.oracle = orc.CPI
+		}
+		if est.CPI > maxCPI {
+			maxCPI = est.CPI
+		}
+		pts = append(pts, p)
+	}
+	for _, p := range pts {
+		vals := make([]float64, len(p.est.Stack))
+		for i, v := range p.est.Stack {
+			vals[i] = v
+		}
+		line := fmt.Sprintf("%2d warps |%s| CPI %.3f", p.warps, report.StackedBar(vals, runes, maxCPI, 60), p.est.CPI)
+		if *oracle {
+			line += fmt.Sprintf("  (oracle %.3f, err %.1f%%)", p.oracle, gpumech.RelativeError(p.est.CPI, p.oracle)*100)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println()
+	for _, p := range pts {
+		fmt.Printf("%2d warps: %v\n", p.warps, p.est.Stack)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gpumech-cpistack:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command gpumech-experiments regenerates the paper's evaluation figures
+// (Figs. 4, 7, 11-16 and the Section VI-D speedup study) against the
+// bundled kernels, printing text tables and optionally writing CSVs.
+//
+// Usage:
+//
+//	gpumech-experiments                  # every figure, all 40 kernels
+//	gpumech-experiments -quick           # reduced kernels and sweeps
+//	gpumech-experiments -fig fig11,fig13 # subset of figures
+//	gpumech-experiments -csv out/        # also write out/<fig>.csv
+//	gpumech-experiments -list            # list kernels and configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpumech"
+	"gpumech/internal/experiments"
+)
+
+func main() {
+	figs := flag.String("fig", "", "comma-separated figure ids (default: all); see -list")
+	kernelsFlag := flag.String("kernels", "", "comma-separated kernel subset (default: all)")
+	quick := flag.Bool("quick", false, "reduced kernel set and sweep points")
+	blocks := flag.Int("blocks", 0, "thread blocks per kernel (0 = 3x system occupancy)")
+	seed := flag.Int64("seed", 1, "synthetic input seed")
+	csvDir := flag.String("csv", "", "directory for CSV output (empty = none)")
+	verbose := flag.Bool("v", false, "log per-evaluation progress")
+	list := flag.Bool("list", false, "list kernels, figures and the baseline configuration")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("baseline configuration (Table I):", gpumech.DefaultConfig())
+		fmt.Println("\nfigures:", strings.Join(experiments.FigureIDs(), " "))
+		fmt.Println("\nkernels:")
+		for _, k := range gpumech.KernelInfos() {
+			div := ""
+			if k.ControlDiv {
+				div = " [control-divergent]"
+			}
+			fmt.Printf("  %-28s %-8s memdiv=%-6s %s%s\n", k.Name, k.Suite, k.MemDivergence, k.Description, div)
+		}
+		return
+	}
+
+	opt := experiments.Options{Quick: *quick, Blocks: *blocks, Seed: *seed}
+	if *kernelsFlag != "" {
+		opt.Kernels = strings.Split(*kernelsFlag, ",")
+	}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+	var ids []string
+	if *figs != "" {
+		ids = strings.Split(*figs, ",")
+	}
+
+	e := experiments.NewEvaluator(opt)
+	results, err := e.Run(ids)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpumech-experiments:", err)
+		os.Exit(1)
+	}
+	for _, f := range results {
+		fmt.Println(f.Render())
+		if *csvDir != "" {
+			if err := f.WriteCSV(*csvDir); err != nil {
+				fmt.Fprintln(os.Stderr, "gpumech-experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Command gpumech-run evaluates the GPUMech model on one bundled kernel
+// and prints the predicted CPI, its components, and the CPI stack;
+// with -oracle it also runs the detailed timing simulation and reports
+// the relative error.
+//
+// Usage:
+//
+//	gpumech-run -kernel rodinia_srad1 -policy gto -warps 48 -oracle
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"gpumech"
+)
+
+func main() {
+	kernel := flag.String("kernel", "sdk_vectoradd", "kernel name (see gpumech-experiments -list)")
+	policy := flag.String("policy", "rr", "warp scheduling policy: rr or gto")
+	warps := flag.Int("warps", 0, "warps per core (0 = baseline 32)")
+	mshrs := flag.Int("mshrs", 0, "MSHR entries (0 = baseline 32)")
+	bw := flag.Float64("bw", 0, "DRAM bandwidth GB/s (0 = baseline 192)")
+	blocks := flag.Int("blocks", 0, "thread blocks (0 = 3x occupancy)")
+	level := flag.String("level", "full", "model level: mt, mshr, full")
+	oracle := flag.Bool("oracle", false, "also run the detailed timing simulation")
+	jsonOut := flag.Bool("json", false, "emit a single JSON object instead of text")
+	flag.Parse()
+
+	cfg := gpumech.DefaultConfig()
+	if *warps > 0 {
+		cfg = cfg.WithWarps(*warps)
+	}
+	if *mshrs > 0 {
+		cfg = cfg.WithMSHRs(*mshrs)
+	}
+	if *bw > 0 {
+		cfg = cfg.WithBandwidth(*bw)
+	}
+	pol := gpumech.RR
+	if *policy == "gto" {
+		pol = gpumech.GTO
+	} else if *policy != "rr" {
+		fail(fmt.Errorf("unknown policy %q (want rr or gto)", *policy))
+	}
+	lvl := gpumech.MTMSHRBand
+	switch *level {
+	case "mt":
+		lvl = gpumech.MT
+	case "mshr":
+		lvl = gpumech.MTMSHR
+	case "full":
+	default:
+		fail(fmt.Errorf("unknown level %q (want mt, mshr, full)", *level))
+	}
+
+	var opts []gpumech.Option
+	if *blocks > 0 {
+		opts = append(opts, gpumech.WithBlocks(*blocks))
+	}
+	sess, err := gpumech.NewSession(*kernel, opts...)
+	if err != nil {
+		fail(err)
+	}
+	est, err := sess.EstimateWith(cfg, pol, lvl, gpumech.Clustering)
+	if err != nil {
+		fail(err)
+	}
+	var orc *gpumech.OracleResult
+	if *oracle {
+		if orc, err = sess.Oracle(cfg, pol); err != nil {
+			fail(err)
+		}
+	}
+
+	if *jsonOut {
+		out := map[string]any{
+			"kernel":       sess.Kernel(),
+			"blocks":       sess.Blocks(),
+			"warps":        sess.Warps(),
+			"instructions": sess.TotalInsts(),
+			"policy":       pol.String(),
+			"level":        lvl.String(),
+			"model": map[string]any{
+				"cpi":            est.CPI,
+				"ipc":            est.IPC,
+				"multithreading": est.MultithreadingCPI,
+				"contention":     est.ContentionCPI,
+				"repWarp":        est.RepWarp,
+				"stack":          est.Stack,
+			},
+		}
+		if orc != nil {
+			out["oracle"] = map[string]any{
+				"cpi":    orc.CPI,
+				"cycles": orc.Cycles,
+				"stalls": orc.StallBreakdown,
+			}
+			out["relativeError"] = gpumech.RelativeError(est.CPI, orc.CPI)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	fmt.Printf("kernel   %s (%d blocks, %d warps, %d instructions)\n",
+		sess.Kernel(), sess.Blocks(), sess.Warps(), sess.TotalInsts())
+	fmt.Printf("config   %s, %s scheduling\n", cfg, pol)
+	fmt.Printf("model    CPI %.3f (IPC %.3f) = multithreading %.3f + contention %.3f\n",
+		est.CPI, est.IPC, est.MultithreadingCPI, est.ContentionCPI)
+	fmt.Printf("rep warp #%d: %d instructions, %d intervals\n", est.RepWarp, est.WarpInsts, est.Intervals)
+	fmt.Printf("stack    %v\n", est.Stack)
+	if orc != nil {
+		fmt.Printf("oracle   CPI %.3f (%d cycles, %d instructions)\n", orc.CPI, orc.Cycles, orc.Insts)
+		fmt.Printf("error    %.1f%%\n", gpumech.RelativeError(est.CPI, orc.CPI)*100)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gpumech-run:", err)
+	os.Exit(1)
+}

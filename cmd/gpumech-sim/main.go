@@ -1,0 +1,67 @@
+// Command gpumech-sim runs the detailed cycle-level timing simulator (the
+// validation oracle) on one bundled kernel and reports CPI, cycles, and
+// per-core statistics.
+//
+// Usage:
+//
+//	gpumech-sim -kernel parboil_spmv -policy gto -warps 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gpumech"
+)
+
+func main() {
+	kernel := flag.String("kernel", "sdk_vectoradd", "kernel name")
+	policy := flag.String("policy", "rr", "warp scheduling policy: rr or gto")
+	warps := flag.Int("warps", 0, "warps per core (0 = baseline)")
+	mshrs := flag.Int("mshrs", 0, "MSHR entries (0 = baseline)")
+	bw := flag.Float64("bw", 0, "DRAM bandwidth GB/s (0 = baseline)")
+	blocks := flag.Int("blocks", 0, "thread blocks (0 = 3x occupancy)")
+	flag.Parse()
+
+	cfg := gpumech.DefaultConfig()
+	if *warps > 0 {
+		cfg = cfg.WithWarps(*warps)
+	}
+	if *mshrs > 0 {
+		cfg = cfg.WithMSHRs(*mshrs)
+	}
+	if *bw > 0 {
+		cfg = cfg.WithBandwidth(*bw)
+	}
+	pol := gpumech.RR
+	if *policy == "gto" {
+		pol = gpumech.GTO
+	}
+
+	var opts []gpumech.Option
+	if *blocks > 0 {
+		opts = append(opts, gpumech.WithBlocks(*blocks))
+	}
+	sess, err := gpumech.NewSession(*kernel, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpumech-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("kernel  %s (%d warps, %d instructions)\n", sess.Kernel(), sess.Warps(), sess.TotalInsts())
+	fmt.Printf("config  %s, %s scheduling\n", cfg, pol)
+	start := time.Now()
+	orc, err := sess.Oracle(cfg, pol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpumech-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("result  CPI %.3f  IPC %.3f  cycles %d  instructions %d  (%.2fs wall)\n",
+		orc.CPI, orc.IPC, orc.Cycles, orc.Insts, time.Since(start).Seconds())
+	fmt.Printf("stalls ")
+	for _, k := range []string{"issue", "compute-dep", "memory-dep", "mshr", "dram-queue", "barrier", "drain"} {
+		fmt.Printf(" %s=%.1f%%", k, orc.StallBreakdown[k]*100)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,113 @@
+// Command gpumech-trace inspects the input-collector products for one
+// bundled kernel: the per-warp instruction trace, the cache-simulator
+// per-PC profile, and the interval profile of a chosen warp.
+//
+// Usage:
+//
+//	gpumech-trace -kernel rodinia_bfs            # summary + per-PC profile
+//	gpumech-trace -kernel rodinia_bfs -warp 3    # interval profile of warp 3
+//	gpumech-trace -kernel rodinia_bfs -dump 40   # first 40 trace records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpumech/internal/cache"
+	"gpumech/internal/config"
+	"gpumech/internal/core/model"
+	"gpumech/internal/kernels"
+	"gpumech/internal/trace"
+)
+
+func main() {
+	kernel := flag.String("kernel", "sdk_vectoradd", "kernel name")
+	blocks := flag.Int("blocks", 32, "thread blocks to trace")
+	seed := flag.Int64("seed", 1, "synthetic input seed")
+	warp := flag.Int("warp", -1, "print the interval profile of this warp index")
+	dump := flag.Int("dump", 0, "dump the first N trace records of the chosen warp")
+	disasm := flag.Bool("disasm", false, "print the kernel program listing")
+	save := flag.String("save", "", "write the trace to this file (gob+gzip)")
+	loadPath := flag.String("load", "", "load a previously saved trace instead of emulating")
+	flag.Parse()
+
+	cfg := config.Baseline()
+	var tr *trace.Kernel
+	if *loadPath != "" {
+		var err error
+		tr, err = trace.Load(*loadPath)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		info, err := kernels.Get(*kernel)
+		if err != nil {
+			fail(err)
+		}
+		tr, err = info.Trace(kernels.Scale{Blocks: *blocks, Seed: *seed}, cfg.L1LineBytes)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *save != "" {
+		if err := tr.Save(*save); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved trace to %s\n", *save)
+	}
+	fmt.Printf("kernel %s: %d blocks x %d warps, %d static instructions, %d dynamic warp-instructions\n",
+		tr.Name, tr.Blocks, tr.WarpsPerBlock, len(tr.Prog.Instrs), tr.TotalInsts())
+	if *disasm {
+		fmt.Println()
+		fmt.Print(tr.Prog.Disassemble())
+	}
+
+	prof, err := cache.Simulate(tr, cfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("\nper-PC cache profile (loads classified by worst request):")
+	fmt.Print(prof.String())
+	fmt.Printf("avg miss latency: %.1f cycles\n", prof.AvgMissLatency())
+
+	w := *warp
+	if w < 0 && *dump > 0 {
+		w = 0
+	}
+	if w >= 0 {
+		if w >= len(tr.Warps) {
+			fail(fmt.Errorf("warp %d out of range (%d warps)", w, len(tr.Warps)))
+		}
+		tbl := model.BuildPCTable(tr.Prog, cfg, prof)
+		profiles, err := model.BuildWarpProfiles(tr, cfg, tbl)
+		if err != nil {
+			fail(err)
+		}
+		p := profiles[w]
+		fmt.Printf("\nwarp %d interval profile: %d instructions, %d intervals, %.1f stall cycles, warp_perf %.4f\n",
+			w, p.Insts, len(p.Intervals), p.Stall, p.WarpPerf())
+		for i, iv := range p.Intervals {
+			if i >= 20 {
+				fmt.Printf("  ... (%d more intervals)\n", len(p.Intervals)-20)
+				break
+			}
+			fmt.Printf("  interval %3d: %3d insts, %7.1f stall (cause pc %d, %s)\n",
+				i, iv.Insts, iv.StallCycles, iv.CausePC, iv.CauseClass)
+		}
+		if *dump > 0 {
+			fmt.Printf("\nfirst %d records of warp %d:\n", *dump, w)
+			for i, r := range tr.Warps[w].Recs {
+				if i >= *dump {
+					break
+				}
+				fmt.Printf("  %4d: pc %3d %-6s mask %08x reqs %d\n", i, r.PC, r.Op, r.Mask, r.NumReqs())
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gpumech-trace:", err)
+	os.Exit(1)
+}

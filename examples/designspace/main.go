@@ -1,0 +1,57 @@
+// Designspace: explore MSHR count x DRAM bandwidth for a memory-divergent
+// kernel using only the model — the early-design-stage use case the paper
+// motivates (one trace, many configurations, no cycle simulation).
+//
+// Run with: go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gpumech"
+)
+
+func main() {
+	const kernel = "rodinia_cfd_compute_flux"
+	sess, err := gpumech.NewSession(kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mshrs := []int{16, 32, 64, 128}
+	bws := []float64{96, 192, 384}
+
+	fmt.Printf("design space for %s: predicted CPI\n\n", kernel)
+	fmt.Printf("%12s", "MSHRs\\GB/s")
+	for _, bw := range bws {
+		fmt.Printf("  %8.0f", bw)
+	}
+	fmt.Println()
+
+	start := time.Now()
+	type pt struct {
+		m   int
+		bw  float64
+		cpi float64
+	}
+	best := pt{cpi: 1e18}
+	for _, m := range mshrs {
+		fmt.Printf("%12d", m)
+		for _, bw := range bws {
+			cfg := gpumech.DefaultConfig().WithMSHRs(m).WithBandwidth(bw)
+			est, err := sess.Estimate(cfg, gpumech.RR)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %8.3f", est.CPI)
+			if est.CPI < best.cpi {
+				best = pt{m, bw, est.CPI}
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\n%d configurations evaluated in %.2fs (one trace, no cycle simulation)\n",
+		len(mshrs)*len(bws), time.Since(start).Seconds())
+	fmt.Printf("best point: %d MSHRs @ %.0f GB/s -> CPI %.3f\n", best.m, best.bw, best.cpi)
+}

@@ -1,0 +1,49 @@
+// Quickstart: model one kernel with GPUMech and validate against the
+// detailed timing simulator.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpumech"
+)
+
+func main() {
+	// Trace the kernel once. The session holds the per-warp instruction
+	// trace and can evaluate any number of hardware configurations.
+	sess, err := gpumech.NewSession("sdk_vectoradd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel %s: %d warps, %d instructions\n",
+		sess.Kernel(), sess.Warps(), sess.TotalInsts())
+
+	cfg := gpumech.DefaultConfig() // Table I baseline
+	est, err := sess.Estimate(cfg, gpumech.RR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GPUMech: CPI %.3f = multithreading %.3f + contention %.3f\n",
+		est.CPI, est.MultithreadingCPI, est.ContentionCPI)
+	fmt.Printf("CPI stack: %v\n", est.Stack)
+
+	// Validate against the cycle-level oracle.
+	orc, err := sess.Oracle(cfg, gpumech.RR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oracle: CPI %.3f -> relative error %.1f%%\n",
+		orc.CPI, gpumech.RelativeError(est.CPI, orc.CPI)*100)
+
+	// The baselines the paper compares against.
+	for _, b := range []gpumech.BaselineModel{gpumech.NaiveInterval, gpumech.MarkovChain} {
+		cpi, err := sess.EstimateBaseline(cfg, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s CPI %.3f (error %.1f%%)\n", b, cpi, gpumech.RelativeError(cpi, orc.CPI)*100)
+	}
+}

@@ -1,0 +1,41 @@
+// Scheduler: compare round-robin against greedy-then-oldest on kernels
+// with different divergence characters, model vs oracle — the two policies
+// GPUMech models (Section IV-A).
+//
+// Run with: go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpumech"
+)
+
+func main() {
+	kernels := []string{"sdk_blackscholes", "rodinia_cfd_compute_flux", "parboil_spmv"}
+	cfg := gpumech.DefaultConfig()
+
+	fmt.Printf("%-26s  %10s  %10s  %10s  %10s\n", "kernel", "model RR", "model GTO", "oracle RR", "oracle GTO")
+	for _, k := range kernels {
+		sess, err := gpumech.NewSession(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var m, o [2]float64
+		for i, pol := range []gpumech.Policy{gpumech.RR, gpumech.GTO} {
+			est, err := sess.Estimate(cfg, pol)
+			if err != nil {
+				log.Fatal(err)
+			}
+			orc, err := sess.Oracle(cfg, pol)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m[i], o[i] = est.CPI, orc.CPI
+		}
+		fmt.Printf("%-26s  %10.3f  %10.3f  %10.3f  %10.3f\n", k, m[0], m[1], o[0], o[1])
+	}
+	fmt.Println("\nGTO usually wins on latency-bound kernels by keeping one warp's locality;")
+	fmt.Println("bandwidth-bound kernels are policy-insensitive (Section IV-B).")
+}

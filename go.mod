@@ -1,0 +1,3 @@
+module gpumech
+
+go 1.22

@@ -1,0 +1,324 @@
+// Package gpumech is a Go implementation of GPUMech, the interval-
+// analysis-based GPU performance modeling technique of Huang, Lee, Kim and
+// Lee (MICRO 2014), together with every substrate the technique needs: a
+// functional SIMT emulator, a cache simulator, a detailed cycle-level
+// timing simulator used as the validation oracle, the benchmark kernels of
+// the evaluation, and the Naive-Interval and Markov-Chain baseline models.
+//
+// The typical flow mirrors the paper's Figure 5:
+//
+//	sess, err := gpumech.NewSession("sdk_vectoradd")   // trace the kernel once
+//	est, err := sess.Estimate(gpumech.DefaultConfig(), gpumech.RR)
+//	fmt.Println(est.CPI, est.Stack)                    // prediction + CPI stack
+//	orc, err := sess.Oracle(gpumech.DefaultConfig(), gpumech.RR)
+//	fmt.Println(orc.CPI)                               // detailed simulation
+//
+// A Session owns the kernel's instruction trace and can evaluate many
+// hardware configurations, scheduling policies, model levels, and baseline
+// models against it.
+package gpumech
+
+import (
+	"fmt"
+
+	"gpumech/internal/baseline"
+	"gpumech/internal/cache"
+	"gpumech/internal/config"
+	"gpumech/internal/core/cluster"
+	"gpumech/internal/core/cpistack"
+	"gpumech/internal/core/model"
+	"gpumech/internal/kernels"
+	"gpumech/internal/timing"
+	"gpumech/internal/trace"
+)
+
+// Config is the hardware configuration (Table I of the paper).
+type Config = config.Config
+
+// DefaultConfig returns the paper's baseline configuration: 16 cores,
+// 32-wide SIMT, 32 warps/core, 32 MSHRs, 192 GB/s DRAM.
+func DefaultConfig() Config { return config.Baseline() }
+
+// Policy is a warp scheduling policy.
+type Policy = config.Policy
+
+// Supported scheduling policies.
+const (
+	RR  = config.RR
+	GTO = config.GTO
+)
+
+// Level selects how much of GPUMech is applied (Table II).
+type Level = model.Level
+
+// Model levels: multithreading only, plus MSHR contention, plus DRAM
+// bandwidth (full GPUMech).
+const (
+	MT         = model.MT
+	MTMSHR     = model.MTMSHR
+	MTMSHRBand = model.MTMSHRBand
+)
+
+// Method selects how the representative warp is chosen (Figure 7).
+type Method = cluster.Method
+
+// Representative-warp selection methods.
+const (
+	Clustering = cluster.Clustering
+	MaxWarp    = cluster.Max
+	MinWarp    = cluster.Min
+)
+
+// CPIStack is a predicted CPI broken into the Table III categories.
+type CPIStack = cpistack.Stack
+
+// Kernels returns the names of all bundled benchmark kernels.
+func Kernels() []string { return kernels.Names() }
+
+// KernelInfo describes a bundled kernel.
+type KernelInfo struct {
+	Name          string
+	Suite         string
+	Description   string
+	ControlDiv    bool   // control-divergent warps
+	MemDivergence string // none / low / medium / high
+	WriteHeavy    bool
+	WarpsPerBlock int
+}
+
+// KernelInfos returns metadata for every bundled kernel, sorted by name.
+func KernelInfos() []KernelInfo {
+	var out []KernelInfo
+	for _, k := range kernels.All() {
+		out = append(out, KernelInfo{
+			Name:          k.Name,
+			Suite:         k.Suite,
+			Description:   k.Desc,
+			ControlDiv:    k.ControlDiv,
+			MemDivergence: k.MemDiv.String(),
+			WriteHeavy:    k.WriteHeavy,
+			WarpsPerBlock: k.WarpsPerBlock,
+		})
+	}
+	return out
+}
+
+// Option customizes session creation.
+type Option func(*sessionOpts)
+
+type sessionOpts struct {
+	blocks int
+	seed   int64
+	line   int
+}
+
+// WithBlocks sets the number of thread blocks to launch. The default
+// gives every kernel at least three times the baseline system occupancy,
+// matching the paper's methodology.
+func WithBlocks(n int) Option { return func(o *sessionOpts) { o.blocks = n } }
+
+// WithSeed sets the synthetic-input seed (default 1).
+func WithSeed(seed int64) Option { return func(o *sessionOpts) { o.seed = seed } }
+
+// Session holds one traced kernel and evaluates models and the oracle
+// against it. Create with NewSession; safe for sequential reuse across
+// configurations (the paper's design-space exploration mode).
+type Session struct {
+	info  *kernels.Info
+	trace *trace.Kernel
+
+	// cache profiles are memoized per configuration signature.
+	profiles map[string]*cache.Profile
+}
+
+// DefaultBlocks returns the grid size NewSession uses for a kernel with
+// the given warps per block: three times the system occupancy at the
+// baseline residency (32 warps/core on 16 cores), matching the paper's
+// methodology ("at least 3x system occupancy thread blocks"). At the
+// largest swept residency (48 warps/core) this still gives two full
+// occupancy rounds.
+func DefaultBlocks(warpsPerBlock int) int {
+	const cores, baseWarps, occupancyFactor = 16, 32, 3
+	return occupancyFactor * cores * baseWarps / warpsPerBlock
+}
+
+// NewSession builds the named kernel, runs the functional emulator, and
+// returns a session holding its trace.
+func NewSession(kernel string, opts ...Option) (*Session, error) {
+	info, err := kernels.Get(kernel)
+	if err != nil {
+		return nil, err
+	}
+	o := sessionOpts{seed: 1, line: 128}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.blocks == 0 {
+		o.blocks = DefaultBlocks(info.WarpsPerBlock)
+	}
+	tr, err := info.Trace(kernels.Scale{Blocks: o.blocks, Seed: o.seed}, o.line)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{info: info, trace: tr, profiles: make(map[string]*cache.Profile)}, nil
+}
+
+// Kernel returns the session's kernel name.
+func (s *Session) Kernel() string { return s.info.Name }
+
+// Blocks returns the traced grid size.
+func (s *Session) Blocks() int { return s.trace.Blocks }
+
+// TotalInsts returns the number of traced warp-instructions.
+func (s *Session) TotalInsts() int64 { return s.trace.TotalInsts() }
+
+// Warps returns the total number of warps in the trace.
+func (s *Session) Warps() int { return len(s.trace.Warps) }
+
+// cacheProfile memoizes cache.Simulate per configuration.
+func (s *Session) cacheProfile(cfg Config) (*cache.Profile, error) {
+	key := fmt.Sprintf("%d/%d/%d/%d/%d/%d", cfg.Cores, cfg.WarpsPerCore,
+		cfg.L1SizeBytes, cfg.L1Assoc, cfg.L2SizeBytes, cfg.L2Assoc)
+	if p, ok := s.profiles[key]; ok {
+		return p, nil
+	}
+	p, err := cache.Simulate(s.trace, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.profiles[key] = p
+	return p, nil
+}
+
+// Estimate is the model's prediction for a kernel under one configuration.
+type Estimate struct {
+	CPI float64 // predicted cycles per warp-instruction (per core)
+	IPC float64
+
+	MultithreadingCPI float64 // Eq. 7 component
+	ContentionCPI     float64 // Eq. 17 component
+	MSHRDelayCycles   float64 // total modeled MSHR queueing cycles
+	DRAMDelayCycles   float64 // total modeled DRAM queueing cycles
+
+	RepWarp   int      // index of the representative warp
+	Stack     CPIStack // Table III CPI stack
+	Intervals int      // intervals in the representative warp's profile
+	WarpInsts int      // instructions of the representative warp
+}
+
+// Estimate runs full GPUMech (clustering selection, MT_MSHR_BAND level).
+func (s *Session) Estimate(cfg Config, pol Policy) (*Estimate, error) {
+	return s.EstimateWith(cfg, pol, MTMSHRBand, Clustering)
+}
+
+// EstimateWith runs GPUMech at a chosen model level and representative-
+// warp selection method.
+func (s *Session) EstimateWith(cfg Config, pol Policy, lvl Level, m Method) (*Estimate, error) {
+	prof, err := s.cacheProfile(cfg)
+	if err != nil {
+		return nil, err
+	}
+	est, err := model.Run(model.Inputs{
+		Kernel:  s.trace,
+		Cfg:     cfg,
+		Profile: prof,
+		Policy:  pol,
+		Method:  m,
+		Level:   lvl,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Estimate{
+		CPI:               est.CPI,
+		IPC:               est.IPCPerCore(),
+		MultithreadingCPI: est.CPIMultithreading,
+		ContentionCPI:     est.CPIContention,
+		MSHRDelayCycles:   est.Contention.MSHRDelay,
+		DRAMDelayCycles:   est.Contention.BWDelay,
+		RepWarp:           est.RepWarp,
+		Stack:             est.Stack,
+		Intervals:         len(est.RepProfile.Intervals),
+		WarpInsts:         est.RepProfile.Insts,
+	}, nil
+}
+
+// BaselineModel identifies one of the paper's comparison models.
+type BaselineModel int
+
+const (
+	// NaiveInterval is Eq. 1's optimistic-overlap prediction.
+	NaiveInterval BaselineModel = iota
+	// MarkovChain is Chen & Aamodt's first-order model (reference [9]).
+	MarkovChain
+)
+
+func (b BaselineModel) String() string {
+	if b == NaiveInterval {
+		return "Naive_Interval"
+	}
+	return "Markov_Chain"
+}
+
+// EstimateBaseline predicts CPI with one of the comparison models. Both
+// use the same representative warp as GPUMech (selected by clustering).
+func (s *Session) EstimateBaseline(cfg Config, b BaselineModel) (float64, error) {
+	prof, err := s.cacheProfile(cfg)
+	if err != nil {
+		return 0, err
+	}
+	t := model.BuildPCTable(s.trace.Prog, cfg, prof)
+	profiles, err := model.BuildWarpProfiles(s.trace, cfg, t)
+	if err != nil {
+		return 0, err
+	}
+	rep, err := cluster.Select(profiles, cluster.Clustering)
+	if err != nil {
+		return 0, err
+	}
+	switch b {
+	case NaiveInterval:
+		return baseline.NaiveInterval(profiles[rep], cfg.WarpsPerCore)
+	case MarkovChain:
+		return baseline.MarkovChain(profiles[rep], cfg.WarpsPerCore)
+	}
+	return 0, fmt.Errorf("gpumech: unknown baseline model %d", b)
+}
+
+// OracleResult is the outcome of the detailed timing simulation.
+type OracleResult struct {
+	CPI    float64
+	IPC    float64
+	Cycles int64 // completion cycle of the slowest core
+	Insts  int64 // total issued warp-instructions
+
+	// StallBreakdown is the measured share of core-cycles per stall
+	// reason ("issue", "compute-dep", "memory-dep", "mshr", "dram-queue",
+	// "barrier", "drain") — the oracle-side counterpart of the model's
+	// CPI stack.
+	StallBreakdown map[string]float64
+}
+
+// Oracle runs the detailed cycle-level timing simulator on the session's
+// trace — the validation reference for the model (the paper's Macsim).
+func (s *Session) Oracle(cfg Config, pol Policy) (*OracleResult, error) {
+	r, err := timing.Simulate(s.trace, cfg, pol)
+	if err != nil {
+		return nil, err
+	}
+	return &OracleResult{CPI: r.CPI, IPC: r.IPC, Cycles: r.Cycles, Insts: r.Insts,
+		StallBreakdown: r.StallBreakdown()}, nil
+}
+
+// RelativeError returns |predicted - oracle| / oracle, the paper's
+// validation metric (Section VI-A).
+func RelativeError(predicted, oracle float64) float64 {
+	if oracle == 0 {
+		return 0
+	}
+	e := (predicted - oracle) / oracle
+	if e < 0 {
+		e = -e
+	}
+	return e
+}

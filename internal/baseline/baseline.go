@@ -1,0 +1,154 @@
+// Package baseline implements the two comparison models of the paper's
+// evaluation (Table II):
+//
+//   - Naive_Interval: Eq. 1's optimistic-overlap assumption — every
+//     instruction of the remaining warps hides the representative warp's
+//     stall cycles, so core IPC is the single-warp IPC times the warp
+//     count, capped at the issue rate.
+//   - Markov_Chain: Chen & Aamodt's first-order multithreaded-core model
+//     (HPCA 2009, reference [9]): each warp is a two-state random process
+//     (activated/suspended) with suspension probability p per issued
+//     instruction and geometric resume probability 1/M; warps interleave
+//     randomly with no scheduling policy and no memory contention. We
+//     solve the discrete-time chain over the number of suspended warps by
+//     power iteration and read the core IPC off the stationary
+//     distribution.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"gpumech/internal/core/interval"
+)
+
+// NaiveInterval returns the Eq. 1 CPI prediction: the single warp's total
+// cycles divided across all warps' instructions, floored at the issue
+// bound (a core cannot retire more than the issue rate).
+func NaiveInterval(p *interval.Profile, warps int) (float64, error) {
+	if warps <= 0 {
+		return 0, fmt.Errorf("baseline: warps must be positive, got %d", warps)
+	}
+	if p.Insts == 0 {
+		return 0, fmt.Errorf("baseline: empty interval profile")
+	}
+	cpi := p.TotalCycles() / (float64(warps) * float64(p.Insts))
+	return math.Max(cpi, 1/p.IssueRate), nil
+}
+
+// MarkovChain returns the CPI prediction of the Markov-chain model.
+//
+// The chain state is the number of suspended warps k in [0, warps]. Each
+// cycle one active warp (if any) issues and suspends with probability
+// pSuspend = #stalling intervals / #instructions; each suspended warp
+// independently resumes with probability 1/M, where M is the mean stall
+// length. Core IPC = (1 - P[all suspended]) * issue rate.
+func MarkovChain(p *interval.Profile, warps int) (float64, error) {
+	if warps <= 0 {
+		return 0, fmt.Errorf("baseline: warps must be positive, got %d", warps)
+	}
+	if p.Insts == 0 {
+		return 0, fmt.Errorf("baseline: empty interval profile")
+	}
+
+	stalls := 0
+	var stallCycles float64
+	for _, iv := range p.Intervals {
+		if iv.StallCycles > 0 {
+			stalls++
+			stallCycles += iv.StallCycles
+		}
+	}
+	if stalls == 0 {
+		return 1 / p.IssueRate, nil // never suspends: issue-bound
+	}
+	pSuspend := float64(stalls) / float64(p.Insts)
+	m := stallCycles / float64(stalls)
+	if m < 1 {
+		m = 1
+	}
+	resume := 1 / m
+
+	pi := stationary(warps, pSuspend, resume)
+	ipc := (1 - pi[warps]) * p.IssueRate
+	if ipc <= 0 {
+		return 0, fmt.Errorf("baseline: markov chain produced non-positive IPC")
+	}
+	return 1 / ipc, nil
+}
+
+// stationary power-iterates the transition matrix of the suspended-warp
+// count and returns the stationary distribution.
+func stationary(warps int, pSuspend, resume float64) []float64 {
+	n := warps + 1
+	// T[k][k2] = P(k suspended -> k2 suspended).
+	T := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		T[k] = make([]float64, n)
+		// Resumes: r of the k suspended warps wake (binomial).
+		for r := 0; r <= k; r++ {
+			pr := binomPMF(k, r, resume)
+			if pr == 0 {
+				continue
+			}
+			afterResume := k - r
+			if k < warps {
+				// One active warp issues; it suspends with pSuspend.
+				if s := afterResume + 1; s < n {
+					T[k][s] += pr * pSuspend
+				}
+				T[k][afterResume] += pr * (1 - pSuspend)
+			} else {
+				T[k][afterResume] += pr
+			}
+		}
+	}
+
+	pi := make([]float64, n)
+	pi[0] = 1
+	next := make([]float64, n)
+	for iter := 0; iter < 20000; iter++ {
+		clear(next)
+		for k := 0; k < n; k++ {
+			if pi[k] == 0 {
+				continue
+			}
+			for k2 := 0; k2 < n; k2++ {
+				next[k2] += pi[k] * T[k][k2]
+			}
+		}
+		delta := 0.0
+		for k := 0; k < n; k++ {
+			delta += math.Abs(next[k] - pi[k])
+		}
+		pi, next = next, pi
+		if delta < 1e-12 {
+			break
+		}
+	}
+	return pi
+}
+
+// binomPMF returns C(n,k) p^k (1-p)^(n-k) computed stably.
+func binomPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	logC := 0.0
+	for i := 0; i < k; i++ {
+		logC += math.Log(float64(n-i)) - math.Log(float64(i+1))
+	}
+	return math.Exp(logC + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}

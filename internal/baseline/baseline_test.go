@@ -1,0 +1,188 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpumech/internal/core/interval"
+)
+
+func profile(nIv, insts int, stall float64) *interval.Profile {
+	p := &interval.Profile{IssueRate: 1}
+	for i := 0; i < nIv; i++ {
+		p.Intervals = append(p.Intervals, interval.Interval{Insts: insts, StallCycles: stall, CausePC: -1})
+		p.Insts += insts
+		p.Stall += stall
+	}
+	return p
+}
+
+func TestNaiveEq1(t *testing.T) {
+	// Figure 2's setup: intervals of (1,10) and (4,10); 3 warps.
+	p := &interval.Profile{IssueRate: 1,
+		Intervals: []interval.Interval{
+			{Insts: 1, StallCycles: 10},
+			{Insts: 4, StallCycles: 10},
+		}, Insts: 5, Stall: 20}
+	cpi, err := NaiveInterval(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total cycles 25 across 15 instructions = 5/3 CPI.
+	if math.Abs(cpi-25.0/15) > 1e-12 {
+		t.Errorf("naive CPI = %g, want %g", cpi, 25.0/15)
+	}
+}
+
+func TestNaiveIssueFloor(t *testing.T) {
+	p := profile(1, 10, 10) // single warp CPI = 2
+	cpi, err := NaiveInterval(p, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpi != 1 {
+		t.Errorf("naive CPI = %g, want issue floor 1", cpi)
+	}
+}
+
+func TestNaiveMonotoneInWarps(t *testing.T) {
+	p := profile(3, 2, 40)
+	prev := math.Inf(1)
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		cpi, err := NaiveInterval(p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cpi > prev+1e-12 {
+			t.Errorf("naive CPI rose at %d warps", w)
+		}
+		prev = cpi
+	}
+}
+
+func TestMarkovNoStallsIsIssueBound(t *testing.T) {
+	p := profile(1, 100, 0)
+	cpi, err := MarkovChain(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpi != 1 {
+		t.Errorf("stall-free markov CPI = %g, want 1", cpi)
+	}
+}
+
+func TestMarkovSingleWarpApproximatesProfile(t *testing.T) {
+	// One warp: the chain spends p/(p+1/M)... its CPI must land near the
+	// profile's single-warp CPI (2.0 here) — it is a first-order model.
+	p := profile(4, 5, 5)
+	cpi, err := MarkovChain(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpi < 1.5 || cpi > 2.5 {
+		t.Errorf("single-warp markov CPI = %g, want ~2", cpi)
+	}
+}
+
+func TestMarkovImprovesWithWarps(t *testing.T) {
+	p := profile(4, 2, 30)
+	prev := math.Inf(1)
+	for _, w := range []int{1, 2, 4, 8, 16, 32} {
+		cpi, err := MarkovChain(p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cpi > prev+1e-9 {
+			t.Errorf("markov CPI rose from %g to %g at %d warps", prev, cpi, w)
+		}
+		prev = cpi
+	}
+	// With many warps the memory latency is fully hidden.
+	if prev > 1.2 {
+		t.Errorf("markov CPI at 32 warps = %g, want near 1", prev)
+	}
+}
+
+func TestMarkovBetweenFloorAndSingle(t *testing.T) {
+	p := profile(3, 4, 50)
+	single, _ := MarkovChain(p, 1)
+	for _, w := range []int{2, 4, 8} {
+		cpi, err := MarkovChain(p, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cpi < 1-1e-9 || cpi > single+1e-9 {
+			t.Errorf("markov CPI %g outside [1, %g] at %d warps", cpi, single, w)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	p := profile(1, 1, 1)
+	if _, err := NaiveInterval(p, 0); err == nil {
+		t.Error("naive: zero warps accepted")
+	}
+	if _, err := MarkovChain(p, 0); err == nil {
+		t.Error("markov: zero warps accepted")
+	}
+	empty := &interval.Profile{IssueRate: 1}
+	if _, err := NaiveInterval(empty, 4); err == nil {
+		t.Error("naive: empty profile accepted")
+	}
+	if _, err := MarkovChain(empty, 4); err == nil {
+		t.Error("markov: empty profile accepted")
+	}
+}
+
+func TestBinomPMF(t *testing.T) {
+	// Sums to 1 and matches hand values.
+	for _, n := range []int{0, 1, 5, 20} {
+		sum := 0.0
+		for k := 0; k <= n; k++ {
+			sum += binomPMF(n, k, 0.3)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("binomPMF(%d,·,0.3) sums to %g", n, sum)
+		}
+	}
+	if got := binomPMF(2, 1, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("binomPMF(2,1,0.5) = %g", got)
+	}
+	if binomPMF(3, -1, 0.5) != 0 || binomPMF(3, 4, 0.5) != 0 {
+		t.Error("out-of-range k nonzero")
+	}
+	if binomPMF(3, 0, 0) != 1 || binomPMF(3, 3, 1) != 1 {
+		t.Error("degenerate p wrong")
+	}
+}
+
+func TestStationaryDistribution(t *testing.T) {
+	pi := stationary(8, 0.2, 0.1)
+	sum := 0.0
+	for _, v := range pi {
+		if v < -1e-12 {
+			t.Fatalf("negative probability %g", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("stationary distribution sums to %g", sum)
+	}
+}
+
+// TestQuickMarkovBounds: CPI is always >= the issue floor and finite.
+func TestQuickMarkovBounds(t *testing.T) {
+	f := func(nIv, insts uint8, stall uint16, warps uint8) bool {
+		p := profile(int(nIv%6)+1, int(insts%30)+1, float64(stall%500))
+		w := int(warps%48) + 1
+		cpi, err := MarkovChain(p, w)
+		if err != nil {
+			return false
+		}
+		return cpi >= 1-1e-9 && !math.IsInf(cpi, 0) && !math.IsNaN(cpi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

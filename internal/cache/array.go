@@ -1,0 +1,137 @@
+// Package cache implements the functional cache simulator of GPUMech's
+// input collector (Section V of the paper): set-associative LRU tag arrays
+// for the per-core L1s and the shared L2, driven by the kernel trace with
+// warps interleaved in round-robin order, producing per-PC miss-event
+// distributions, per-PC average memory access times (AMAT), and the
+// average miss latency the contention model needs.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Array is a set-associative, LRU, tag-only cache array. It models hits
+// and misses but stores no data.
+type Array struct {
+	sets     int
+	assoc    int
+	lineBits uint
+	setMask  uint64
+	tags     []uint64 // sets*assoc entries
+	valid    []bool
+	stamp    []uint64 // LRU timestamps
+	clock    uint64
+}
+
+// NewArray builds a cache array. sizeBytes must be divisible by
+// lineBytes*assoc and lineBytes must be a power of two.
+func NewArray(sizeBytes, lineBytes, assoc int) (*Array, error) {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: line size %d is not a power of two", lineBytes)
+	}
+	if assoc <= 0 || sizeBytes <= 0 || sizeBytes%(lineBytes*assoc) != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible by line*assoc (%d*%d)", sizeBytes, lineBytes, assoc)
+	}
+	sets := sizeBytes / (lineBytes * assoc)
+	a := &Array{
+		sets:     sets,
+		assoc:    assoc,
+		lineBits: uint(bits.TrailingZeros(uint(lineBytes))),
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, sets*assoc),
+		valid:    make([]bool, sets*assoc),
+		stamp:    make([]uint64, sets*assoc),
+	}
+	if sets&(sets-1) != 0 {
+		// Non-power-of-two set counts use modulo indexing.
+		a.setMask = 0
+	}
+	return a, nil
+}
+
+// MustNewArray is NewArray that panics on configuration errors. Intended
+// for callers that already validated the configuration.
+func MustNewArray(sizeBytes, lineBytes, assoc int) *Array {
+	a, err := NewArray(sizeBytes, lineBytes, assoc)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (a *Array) setOf(addr uint64) int {
+	idx := addr >> a.lineBits
+	if a.setMask != 0 {
+		return int(idx & a.setMask)
+	}
+	return int(idx % uint64(a.sets))
+}
+
+// Access looks up the line containing addr, allocating it on a miss
+// (LRU victim) and refreshing LRU state on a hit. It returns true on hit.
+func (a *Array) Access(addr uint64) bool {
+	hit, _ := a.access(addr, true)
+	return hit
+}
+
+// Probe looks up the line without changing any state.
+func (a *Array) Probe(addr uint64) bool {
+	set := a.setOf(addr)
+	tag := addr >> a.lineBits
+	base := set * a.assoc
+	for w := 0; w < a.assoc; w++ {
+		if a.valid[base+w] && a.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Touch refreshes LRU state for the line if present without allocating.
+// It models write-through no-allocate stores. It returns true on hit.
+func (a *Array) Touch(addr uint64) bool {
+	hit, _ := a.access(addr, false)
+	return hit
+}
+
+func (a *Array) access(addr uint64, allocate bool) (hit bool, victim uint64) {
+	set := a.setOf(addr)
+	tag := addr >> a.lineBits
+	base := set * a.assoc
+	a.clock++
+	lruWay, lruStamp := 0, ^uint64(0)
+	for w := 0; w < a.assoc; w++ {
+		i := base + w
+		if a.valid[i] && a.tags[i] == tag {
+			a.stamp[i] = a.clock
+			return true, 0
+		}
+		if !a.valid[i] {
+			lruWay, lruStamp = w, 0
+		} else if a.stamp[i] < lruStamp {
+			lruWay, lruStamp = w, a.stamp[i]
+		}
+	}
+	if allocate {
+		i := base + lruWay
+		victim = a.tags[i] << a.lineBits
+		a.tags[i] = tag
+		a.valid[i] = true
+		a.stamp[i] = a.clock
+	}
+	return false, victim
+}
+
+// Sets returns the number of sets.
+func (a *Array) Sets() int { return a.sets }
+
+// Assoc returns the associativity.
+func (a *Array) Assoc() int { return a.assoc }
+
+// Reset invalidates every line.
+func (a *Array) Reset() {
+	clear(a.valid)
+	clear(a.stamp)
+	a.clock = 0
+}

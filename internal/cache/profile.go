@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"gpumech/internal/config"
+)
+
+// PCStats aggregates the cache behaviour of one static global-memory
+// instruction (a "PC" in the paper's terminology).
+type PCStats struct {
+	IsStore bool
+
+	Insts int64 // dynamic executions with at least one active lane
+	Reqs  int64 // coalesced memory requests issued
+
+	// Instruction-level miss events: each dynamic load instruction is
+	// classified by its worst request (Section V-B: "the miss event of the
+	// memory instruction is determined by the memory request with the
+	// longest latency").
+	L1HitInsts  int64
+	L2HitInsts  int64
+	L2MissInsts int64
+
+	// Request-level events for loads, used by the contention models: only
+	// L1-missing read requests allocate MSHRs, and only L2-missing reads
+	// (plus all write-through stores) consume DRAM bandwidth.
+	L1HitReqs  int64
+	L2HitReqs  int64
+	L2MissReqs int64
+}
+
+// MissEventDist returns the fraction of dynamic executions resolved at
+// each level (L1, L2, DRAM). Stores report zeros.
+func (s *PCStats) MissEventDist() (l1, l2, dram float64) {
+	n := s.L1HitInsts + s.L2HitInsts + s.L2MissInsts
+	if n == 0 {
+		return 0, 0, 0
+	}
+	f := float64(n)
+	return float64(s.L1HitInsts) / f, float64(s.L2HitInsts) / f, float64(s.L2MissInsts) / f
+}
+
+// L1ReqMissRate returns the fraction of this PC's read requests that miss
+// the L1 (and therefore allocate MSHR entries).
+func (s *PCStats) L1ReqMissRate() float64 {
+	if s.IsStore || s.Reqs == 0 {
+		return 0
+	}
+	return float64(s.L2HitReqs+s.L2MissReqs) / float64(s.Reqs)
+}
+
+// L2ReqMissRate returns the fraction of this PC's read requests that miss
+// both L1 and L2 (and therefore reach DRAM).
+func (s *PCStats) L2ReqMissRate() float64 {
+	if s.IsStore || s.Reqs == 0 {
+		return 0
+	}
+	return float64(s.L2MissReqs) / float64(s.Reqs)
+}
+
+// ReqsPerInst returns the average number of coalesced requests per dynamic
+// execution — the memory divergence degree of the PC.
+func (s *PCStats) ReqsPerInst() float64 {
+	if s.Insts == 0 {
+		return 0
+	}
+	return float64(s.Reqs) / float64(s.Insts)
+}
+
+// Profile is the output of the cache simulator: per-PC statistics plus the
+// aggregate values the single-warp and contention models consume.
+type Profile struct {
+	Cfg config.Config
+	PCs map[int]*PCStats
+}
+
+// Stats returns the statistics for pc, or nil if the PC never executed.
+func (p *Profile) Stats(pc int) *PCStats { return p.PCs[pc] }
+
+// AMAT returns the average memory access time of the PC per Section V-B:
+// the miss-event distribution weighted by the resolve latency of each
+// level. Store PCs report the L1 latency (stores do not stall the warp).
+func (p *Profile) AMAT(pc int) float64 {
+	s := p.PCs[pc]
+	if s == nil {
+		return float64(p.Cfg.L1Latency)
+	}
+	if s.IsStore {
+		return float64(p.Cfg.L1Latency)
+	}
+	l1, l2, dram := s.MissEventDist()
+	return l1*float64(p.Cfg.MissLatency("l1")) +
+		l2*float64(p.Cfg.MissLatency("l2")) +
+		dram*float64(p.Cfg.MissLatency("dram"))
+}
+
+// AvgMissLatency returns the average L2/DRAM round-trip latency over all
+// load instructions that miss the L1, without any queueing (the
+// avg_miss_latency term of Eq. 19). If no load ever misses, it returns the
+// L2 latency.
+func (p *Profile) AvgMissLatency() float64 {
+	var l2, dram int64
+	for _, s := range p.PCs {
+		l2 += s.L2HitInsts
+		dram += s.L2MissInsts
+	}
+	if l2+dram == 0 {
+		return float64(p.Cfg.MissLatency("l2"))
+	}
+	return (float64(l2)*float64(p.Cfg.MissLatency("l2")) +
+		float64(dram)*float64(p.Cfg.MissLatency("dram"))) / float64(l2+dram)
+}
+
+// SortedPCs returns the profiled PCs in ascending order.
+func (p *Profile) SortedPCs() []int {
+	pcs := make([]int, 0, len(p.PCs))
+	for pc := range p.PCs {
+		pcs = append(pcs, pc)
+	}
+	sort.Ints(pcs)
+	return pcs
+}
+
+// String summarizes the profile, one line per PC.
+func (p *Profile) String() string {
+	out := ""
+	for _, pc := range p.SortedPCs() {
+		s := p.PCs[pc]
+		kind := "ld"
+		if s.IsStore {
+			kind = "st"
+		}
+		l1, l2, dram := s.MissEventDist()
+		out += fmt.Sprintf("pc %3d %s insts %7d reqs/inst %5.2f  L1 %4.0f%% L2 %4.0f%% DRAM %4.0f%%  amat %6.1f\n",
+			pc, kind, s.Insts, s.ReqsPerInst(), l1*100, l2*100, dram*100, p.AMAT(pc))
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package coalesce
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFullyCoalesced(t *testing.T) {
+	// 32 consecutive 4-byte accesses = one 128-byte line.
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = 0x1000 + uint64(4*i)
+	}
+	lines := Lines(addrs, 4, 128)
+	if len(lines) != 1 || lines[0] != 0x1000 {
+		t.Fatalf("coalesced access -> %v, want [0x1000]", lines)
+	}
+}
+
+func TestFullyDiverged(t *testing.T) {
+	// 32 accesses each 128 bytes apart = 32 lines.
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = uint64(128 * i)
+	}
+	if lines := Lines(addrs, 4, 128); len(lines) != 32 {
+		t.Fatalf("diverged access -> %d lines, want 32", len(lines))
+	}
+}
+
+func TestStride2(t *testing.T) {
+	// 32 accesses with an 8-byte stride cover 256 bytes = 2 lines.
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = uint64(8 * i)
+	}
+	if lines := Lines(addrs, 4, 128); len(lines) != 2 {
+		t.Fatalf("stride-2 -> %d lines, want 2", len(lines))
+	}
+}
+
+func TestUnalignedSpanningAccess(t *testing.T) {
+	// One 8-byte access starting 4 bytes before a line boundary spans two
+	// lines.
+	lines := Lines([]uint64{124}, 8, 128)
+	if len(lines) != 2 || lines[0] != 0 || lines[1] != 128 {
+		t.Fatalf("spanning access -> %v, want [0 128]", lines)
+	}
+}
+
+func TestDuplicateAddresses(t *testing.T) {
+	// A broadcast (all lanes same address) coalesces to one request.
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = 0x4000
+	}
+	if lines := Lines(addrs, 4, 128); len(lines) != 1 {
+		t.Fatalf("broadcast -> %d lines, want 1", len(lines))
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if lines := Lines(nil, 4, 128); lines != nil {
+		t.Fatalf("empty input -> %v, want nil", lines)
+	}
+}
+
+func TestSortedUnique(t *testing.T) {
+	addrs := []uint64{512, 0, 512, 256, 0}
+	lines := Lines(addrs, 4, 128)
+	if !sort.SliceIsSorted(lines, func(i, j int) bool { return lines[i] < lines[j] }) {
+		t.Errorf("lines not sorted: %v", lines)
+	}
+	for i := 1; i < len(lines); i++ {
+		if lines[i] == lines[i-1] {
+			t.Errorf("duplicate line %#x", lines[i])
+		}
+	}
+}
+
+func TestDegree(t *testing.T) {
+	// 32 lanes, 4-byte elements, 128-byte lines: minimum 1 request.
+	if d := Degree(1, 32, 4, 128); d != 1 {
+		t.Errorf("coalesced degree = %g, want 1", d)
+	}
+	if d := Degree(32, 32, 4, 128); d != 32 {
+		t.Errorf("diverged degree = %g, want 32", d)
+	}
+	if d := Degree(0, 0, 4, 128); d != 0 {
+		t.Errorf("empty degree = %g, want 0", d)
+	}
+	// 64 lanes minimum is 2 requests, so 4 requests is degree 2.
+	if d := Degree(4, 64, 4, 128); d != 2 {
+		t.Errorf("degree = %g, want 2", d)
+	}
+}
+
+// TestQuickLineProperties: for random access sets, the result is sorted,
+// unique, aligned, bounded by the access count times the max span, and
+// every access is covered by some returned line.
+func TestQuickLineProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(32)
+		accessBytes := []int{1, 4, 8}[r.Intn(3)]
+		addrs := make([]uint64, n)
+		for i := range addrs {
+			addrs[i] = uint64(r.Intn(1 << 16))
+		}
+		lines := Lines(addrs, accessBytes, 128)
+		if len(lines) == 0 || len(lines) > 2*n {
+			return false
+		}
+		set := map[uint64]bool{}
+		prev := uint64(0)
+		for i, l := range lines {
+			if l%128 != 0 {
+				return false // unaligned line
+			}
+			if i > 0 && l <= prev {
+				return false // not sorted-unique
+			}
+			prev = l
+			set[l] = true
+		}
+		for _, a := range addrs {
+			if !set[a&^uint64(127)] {
+				return false // first byte of an access not covered
+			}
+			last := (a + uint64(accessBytes) - 1) &^ uint64(127)
+			if !set[last] {
+				return false // last byte not covered
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

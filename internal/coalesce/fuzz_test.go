@@ -1,0 +1,52 @@
+package coalesce
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzLines drives the coalescer with arbitrary address sets and checks
+// its invariants: aligned, sorted, unique, covering every access.
+func FuzzLines(f *testing.F) {
+	seed := make([]byte, 0, 64)
+	for _, a := range []uint64{0, 4, 127, 128, 1 << 20, 1<<20 + 124} {
+		seed = binary.LittleEndian.AppendUint64(seed, a)
+	}
+	f.Add(seed, uint8(4))
+	f.Add([]byte{1, 2, 3}, uint8(8))
+	f.Fuzz(func(t *testing.T, raw []byte, widthPick uint8) {
+		accessBytes := []int{1, 4, 8}[int(widthPick)%3]
+		var addrs []uint64
+		for i := 0; i+8 <= len(raw) && len(addrs) < 64; i += 8 {
+			addrs = append(addrs, binary.LittleEndian.Uint64(raw[i:]))
+		}
+		if len(addrs) == 0 {
+			return
+		}
+		lines := Lines(addrs, accessBytes, 128)
+		if len(lines) == 0 {
+			t.Fatal("no lines for non-empty access set")
+		}
+		set := map[uint64]bool{}
+		prev := uint64(0)
+		for i, l := range lines {
+			if l%128 != 0 {
+				t.Fatalf("unaligned line %#x", l)
+			}
+			if i > 0 && l <= prev {
+				t.Fatalf("lines not sorted-unique at %d", i)
+			}
+			prev = l
+			set[l] = true
+		}
+		for _, a := range addrs {
+			if !set[a&^uint64(127)] {
+				t.Fatalf("access %#x first byte uncovered", a)
+			}
+			last := a + uint64(accessBytes) - 1
+			if last >= a && !set[last&^uint64(127)] {
+				t.Fatalf("access %#x last byte uncovered", a)
+			}
+		}
+	})
+}

@@ -1,0 +1,281 @@
+// Package config describes the hardware configuration of the modeled GPU.
+//
+// The zero value is not useful; start from Baseline (Table I of the paper)
+// and override fields, then call Validate before handing the configuration
+// to the simulators or the model.
+package config
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config captures every hardware parameter the simulators and the GPUMech
+// model consume. It corresponds to Table I of the paper.
+type Config struct {
+	// Cores is the number of SIMT cores (streaming multiprocessors).
+	Cores int
+
+	// SIMTWidth is the number of lanes in a warp. Table I: 32.
+	SIMTWidth int
+
+	// WarpSize is the number of threads in a warp. Equal to SIMTWidth in
+	// the baseline (one cycle to issue a full warp).
+	WarpSize int
+
+	// MaxThreadsPerCore bounds resident threads; MaxThreadsPerCore/WarpSize
+	// is the maximum number of resident warps. Table I: 1024.
+	MaxThreadsPerCore int
+
+	// WarpsPerCore is the number of warps concurrently resident on a core
+	// for the experiment at hand (the paper sweeps 8..48, baseline 32).
+	WarpsPerCore int
+
+	// IssueWidth is the number of warp-instructions issued per cycle.
+	// Table I: 1. The interval model assumes 1.0; other values scale the
+	// issue rate.
+	IssueWidth int
+
+	// ClockGHz is the core clock in GHz. Table I: 1.0.
+	ClockGHz float64
+
+	// Latencies of the instruction classes, in core cycles.
+	ALULatency  int // short integer ops
+	FPLatency   int // "normal FP instructions are 25 cycles" (Table I)
+	SFULatency  int // special function unit (sqrt, exp, rcp)
+	SMemLatency int // shared ("software managed") memory
+
+	// L1 cache (per core).
+	L1SizeBytes int
+	L1LineBytes int
+	L1Assoc     int
+	L1Latency   int // cycles, Table I: 25
+
+	// L2 cache (shared).
+	L2SizeBytes int
+	L2LineBytes int
+	L2Assoc     int
+	L2Latency   int // cycles, Table I: 120 (includes NoC per the paper)
+
+	// MSHREntries is the number of miss-status holding registers per core.
+	// Table I baseline: 32 (the paper sweeps 64..256 in Fig. 14).
+	MSHREntries int
+
+	// DRAMBandwidthGBps is the aggregate DRAM bandwidth. Table I: 192.
+	DRAMBandwidthGBps float64
+
+	// DRAMLatency is the DRAM access latency in cycles without queueing.
+	// Table I: 300.
+	DRAMLatency int
+
+	// DRAMQueueDepth is the number of requests the shared memory
+	// controller buffers before back-pressuring the cores (timing
+	// simulator only; the analytical model has no queue structure).
+	DRAMQueueDepth int
+
+	// SFUPerCore enables the special-function-unit contention extension
+	// (the paper's Section IV-B leaves SFU contention to future work):
+	// the number of SFU lanes per core. A warp SFU instruction occupies
+	// the unit for WarpSize/SFUPerCore cycles in both the timing
+	// simulator and the model. Zero (the default, and the paper's
+	// "balanced design" assumption) disables the constraint.
+	SFUPerCore int
+}
+
+// Baseline returns the Table I configuration used throughout the paper's
+// evaluation: 16 cores, 32-wide SIMT, 32 warps per core, 32 KB L1 with 32
+// MSHR entries, 768 KB L2, and a 192 GB/s DRAM with 300-cycle access
+// latency.
+func Baseline() Config {
+	return Config{
+		Cores:             16,
+		SIMTWidth:         32,
+		WarpSize:          32,
+		MaxThreadsPerCore: 1024,
+		WarpsPerCore:      32,
+		IssueWidth:        1,
+		ClockGHz:          1.0,
+
+		ALULatency:  4,
+		FPLatency:   25,
+		SFULatency:  30,
+		SMemLatency: 25,
+
+		L1SizeBytes: 32 * 1024,
+		L1LineBytes: 128,
+		L1Assoc:     8,
+		L1Latency:   25,
+
+		L2SizeBytes: 768 * 1024,
+		L2LineBytes: 128,
+		L2Assoc:     8,
+		L2Latency:   120,
+
+		MSHREntries: 32,
+
+		DRAMBandwidthGBps: 192,
+		DRAMLatency:       300,
+		DRAMQueueDepth:    64,
+	}
+}
+
+// WithWarps returns a copy of c with WarpsPerCore set to n, raising
+// MaxThreadsPerCore when n exceeds the current occupancy limit (the
+// paper's Figure 13 sweeps to 48 warps, beyond Table I's 1024 threads).
+func (c Config) WithWarps(n int) Config {
+	c.WarpsPerCore = n
+	if need := n * c.WarpSize; need > c.MaxThreadsPerCore {
+		c.MaxThreadsPerCore = need
+	}
+	return c
+}
+
+// WithMSHRs returns a copy of c with MSHREntries set to n.
+func (c Config) WithMSHRs(n int) Config { c.MSHREntries = n; return c }
+
+// WithBandwidth returns a copy of c with DRAMBandwidthGBps set to gbps.
+func (c Config) WithBandwidth(gbps float64) Config {
+	c.DRAMBandwidthGBps = gbps
+	return c
+}
+
+// WithSFUs returns a copy of c with SFUPerCore set to n (0 disables the
+// SFU contention extension).
+func (c Config) WithSFUs(n int) Config { c.SFUPerCore = n; return c }
+
+// SFUServiceCycles is the SFU occupancy of one warp instruction in
+// cycles: WarpSize/SFUPerCore, or 0 when the extension is disabled.
+func (c Config) SFUServiceCycles() float64 {
+	if c.SFUPerCore <= 0 {
+		return 0
+	}
+	return float64(c.WarpSize) / float64(c.SFUPerCore)
+}
+
+// IssueRate is the sustained issue rate in warp-instructions per cycle.
+func (c Config) IssueRate() float64 { return float64(c.IssueWidth) }
+
+// MaxWarpsPerCore is the occupancy limit implied by MaxThreadsPerCore.
+func (c Config) MaxWarpsPerCore() int { return c.MaxThreadsPerCore / c.WarpSize }
+
+// DRAMServiceCycles is the service time, in core cycles, of one L2 line on
+// the DRAM channel: freq_core * L / B (Eq. 22 of the paper).
+func (c Config) DRAMServiceCycles() float64 {
+	bytesPerSec := c.DRAMBandwidthGBps * 1e9
+	cyclesPerSec := c.ClockGHz * 1e9
+	return cyclesPerSec * float64(c.L2LineBytes) / bytesPerSec
+}
+
+// MissLatency returns the total round-trip latency, in cycles, of a request
+// that is resolved at the given level ("l1", "l2", "dram"), excluding all
+// queueing delays.
+func (c Config) MissLatency(level string) int {
+	switch level {
+	case "l1":
+		return c.L1Latency
+	case "l2":
+		return c.L2Latency
+	case "dram":
+		return c.L2Latency + c.DRAMLatency
+	}
+	return 0
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	var errs []error
+	pos := func(name string, v int) {
+		if v <= 0 {
+			errs = append(errs, fmt.Errorf("config: %s must be positive, got %d", name, v))
+		}
+	}
+	pos("Cores", c.Cores)
+	pos("SIMTWidth", c.SIMTWidth)
+	pos("WarpSize", c.WarpSize)
+	pos("MaxThreadsPerCore", c.MaxThreadsPerCore)
+	pos("WarpsPerCore", c.WarpsPerCore)
+	pos("IssueWidth", c.IssueWidth)
+	pos("ALULatency", c.ALULatency)
+	pos("FPLatency", c.FPLatency)
+	pos("SFULatency", c.SFULatency)
+	pos("SMemLatency", c.SMemLatency)
+	pos("L1SizeBytes", c.L1SizeBytes)
+	pos("L1LineBytes", c.L1LineBytes)
+	pos("L1Assoc", c.L1Assoc)
+	pos("L1Latency", c.L1Latency)
+	pos("L2SizeBytes", c.L2SizeBytes)
+	pos("L2LineBytes", c.L2LineBytes)
+	pos("L2Assoc", c.L2Assoc)
+	pos("L2Latency", c.L2Latency)
+	pos("MSHREntries", c.MSHREntries)
+	pos("DRAMLatency", c.DRAMLatency)
+	pos("DRAMQueueDepth", c.DRAMQueueDepth)
+	if c.SFUPerCore < 0 {
+		errs = append(errs, fmt.Errorf("config: SFUPerCore must be non-negative, got %d", c.SFUPerCore))
+	}
+	if c.ClockGHz <= 0 {
+		errs = append(errs, fmt.Errorf("config: ClockGHz must be positive, got %g", c.ClockGHz))
+	}
+	if c.DRAMBandwidthGBps <= 0 {
+		errs = append(errs, fmt.Errorf("config: DRAMBandwidthGBps must be positive, got %g", c.DRAMBandwidthGBps))
+	}
+	if c.WarpSize != c.SIMTWidth {
+		errs = append(errs, fmt.Errorf("config: WarpSize (%d) must equal SIMTWidth (%d)", c.WarpSize, c.SIMTWidth))
+	}
+	if c.WarpSize > 0 && c.MaxThreadsPerCore%c.WarpSize != 0 {
+		errs = append(errs, fmt.Errorf("config: MaxThreadsPerCore (%d) must be a multiple of WarpSize (%d)", c.MaxThreadsPerCore, c.WarpSize))
+	}
+	if c.WarpSize > 0 && c.WarpsPerCore > c.MaxThreadsPerCore/c.WarpSize {
+		errs = append(errs, fmt.Errorf("config: WarpsPerCore (%d) exceeds occupancy limit (%d)", c.WarpsPerCore, c.MaxThreadsPerCore/c.WarpSize))
+	}
+	if c.L1LineBytes != c.L2LineBytes {
+		errs = append(errs, fmt.Errorf("config: L1LineBytes (%d) must equal L2LineBytes (%d)", c.L1LineBytes, c.L2LineBytes))
+	}
+	checkCache := func(name string, size, line, assoc int) {
+		if size <= 0 || line <= 0 || assoc <= 0 {
+			return // already reported
+		}
+		if size%(line*assoc) != 0 {
+			errs = append(errs, fmt.Errorf("config: %s size %d not divisible by line*assoc = %d", name, size, line*assoc))
+		}
+		if line&(line-1) != 0 {
+			errs = append(errs, fmt.Errorf("config: %s line size %d is not a power of two", name, line))
+		}
+	}
+	checkCache("L1", c.L1SizeBytes, c.L1LineBytes, c.L1Assoc)
+	checkCache("L2", c.L2SizeBytes, c.L2LineBytes, c.L2Assoc)
+	return errors.Join(errs...)
+}
+
+// String returns a compact human-readable summary of the configuration.
+func (c Config) String() string {
+	return fmt.Sprintf("%d cores, %d-wide SIMT, %d warps/core, L1 %dKB/%d MSHR, L2 %dKB, DRAM %g GB/s lat %d",
+		c.Cores, c.SIMTWidth, c.WarpsPerCore, c.L1SizeBytes/1024, c.MSHREntries, c.L2SizeBytes/1024,
+		c.DRAMBandwidthGBps, c.DRAMLatency)
+}
+
+// Policy identifies a hardware warp scheduling policy. The paper models
+// and validates two (Section IV-A).
+type Policy int
+
+const (
+	// RR is the round-robin policy: the scheduler rotates over resident
+	// warps every cycle regardless of stalls.
+	RR Policy = iota
+	// GTO is the greedy-then-oldest policy: the scheduler issues from one
+	// warp until it stalls, then switches to the oldest ready warp.
+	GTO
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RR:
+		return "rr"
+	case GTO:
+		return "gto"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Policies lists the supported scheduling policies.
+func Policies() []Policy { return []Policy{RR, GTO} }

@@ -1,0 +1,162 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBaselineMatchesTableI(t *testing.T) {
+	c := Baseline()
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"Cores", c.Cores, 16},
+		{"SIMTWidth", c.SIMTWidth, 32},
+		{"WarpSize", c.WarpSize, 32},
+		{"MaxThreadsPerCore", c.MaxThreadsPerCore, 1024},
+		{"IssueWidth", c.IssueWidth, 1},
+		{"FPLatency", c.FPLatency, 25},
+		{"L1SizeBytes", c.L1SizeBytes, 32 * 1024},
+		{"L1LineBytes", c.L1LineBytes, 128},
+		{"L1Assoc", c.L1Assoc, 8},
+		{"L1Latency", c.L1Latency, 25},
+		{"L2SizeBytes", c.L2SizeBytes, 768 * 1024},
+		{"L2Latency", c.L2Latency, 120},
+		{"MSHREntries", c.MSHREntries, 32},
+		{"DRAMLatency", c.DRAMLatency, 300},
+	}
+	for _, ch := range checks {
+		if ch.got != ch.want {
+			t.Errorf("%s = %d, want %d (Table I)", ch.name, ch.got, ch.want)
+		}
+	}
+	if c.DRAMBandwidthGBps != 192 {
+		t.Errorf("DRAMBandwidthGBps = %g, want 192", c.DRAMBandwidthGBps)
+	}
+}
+
+func TestBaselineValidates(t *testing.T) {
+	if err := Baseline().Validate(); err != nil {
+		t.Fatalf("baseline config must validate: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"zero cores", func(c *Config) { c.Cores = 0 }, "Cores"},
+		{"negative warps", func(c *Config) { c.WarpsPerCore = -1 }, "WarpsPerCore"},
+		{"warps beyond occupancy", func(c *Config) { c.WarpsPerCore = 33 }, "occupancy"},
+		{"warp size mismatch", func(c *Config) { c.WarpSize = 16 }, "SIMTWidth"},
+		{"non-pow2 line", func(c *Config) { c.L1LineBytes = 96; c.L2LineBytes = 96 }, "power of two"},
+		{"line mismatch", func(c *Config) { c.L2LineBytes = 64 }, "L2LineBytes"},
+		{"cache not divisible", func(c *Config) { c.L1SizeBytes = 1000 }, "divisible"},
+		{"zero bandwidth", func(c *Config) { c.DRAMBandwidthGBps = 0 }, "DRAMBandwidthGBps"},
+		{"zero clock", func(c *Config) { c.ClockGHz = 0 }, "ClockGHz"},
+		{"zero queue depth", func(c *Config) { c.DRAMQueueDepth = 0 }, "DRAMQueueDepth"},
+		{"threads not warp multiple", func(c *Config) { c.MaxThreadsPerCore = 1000 }, "multiple"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Baseline()
+			tc.mutate(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatalf("expected validation failure")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWithHelpers(t *testing.T) {
+	base := Baseline()
+	if got := base.WithWarps(8).WarpsPerCore; got != 8 {
+		t.Errorf("WithWarps: got %d", got)
+	}
+	if got := base.WithMSHRs(64).MSHREntries; got != 64 {
+		t.Errorf("WithMSHRs: got %d", got)
+	}
+	if got := base.WithBandwidth(64).DRAMBandwidthGBps; got != 64 {
+		t.Errorf("WithBandwidth: got %g", got)
+	}
+	// The originals must be untouched (value semantics).
+	if base.WarpsPerCore != 32 || base.MSHREntries != 32 || base.DRAMBandwidthGBps != 192 {
+		t.Error("With* helpers mutated the receiver")
+	}
+}
+
+func TestDRAMServiceCycles(t *testing.T) {
+	c := Baseline()
+	// 1 GHz core, 128-byte line, 192 GB/s: 128/192e9*1e9 = 0.6667 cycles.
+	got := c.DRAMServiceCycles()
+	if got < 0.66 || got > 0.67 {
+		t.Errorf("DRAMServiceCycles = %g, want ~0.667 (Eq. 22)", got)
+	}
+	// Halving bandwidth doubles the service time.
+	if got2 := c.WithBandwidth(96).DRAMServiceCycles(); got2 < 2*got*0.99 || got2 > 2*got*1.01 {
+		t.Errorf("service cycles not inversely proportional to bandwidth: %g vs %g", got2, got)
+	}
+}
+
+func TestMissLatency(t *testing.T) {
+	c := Baseline()
+	if got := c.MissLatency("l1"); got != 25 {
+		t.Errorf("l1 = %d", got)
+	}
+	if got := c.MissLatency("l2"); got != 120 {
+		t.Errorf("l2 = %d", got)
+	}
+	// The paper's worked example: L2 miss = 120 + 300 = 420 cycles.
+	if got := c.MissLatency("dram"); got != 420 {
+		t.Errorf("dram = %d, want 420 (Section V-B example)", got)
+	}
+	if got := c.MissLatency("bogus"); got != 0 {
+		t.Errorf("unknown level = %d, want 0", got)
+	}
+}
+
+func TestMaxWarpsPerCore(t *testing.T) {
+	if got := Baseline().MaxWarpsPerCore(); got != 32 {
+		t.Errorf("MaxWarpsPerCore = %d, want 1024/32 = 32", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if RR.String() != "rr" || GTO.String() != "gto" {
+		t.Errorf("policy strings: %s %s", RR, GTO)
+	}
+	if s := Policy(9).String(); !strings.Contains(s, "9") {
+		t.Errorf("unknown policy string %q", s)
+	}
+	if got := Policies(); len(got) != 2 || got[0] != RR || got[1] != GTO {
+		t.Errorf("Policies() = %v", got)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := Baseline().String()
+	for _, want := range []string{"16 cores", "32 warps/core", "192"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestIssueRate(t *testing.T) {
+	c := Baseline()
+	if c.IssueRate() != 1.0 {
+		t.Errorf("IssueRate = %g", c.IssueRate())
+	}
+	c.IssueWidth = 2
+	if c.IssueRate() != 2.0 {
+		t.Errorf("IssueRate = %g after IssueWidth=2", c.IssueRate())
+	}
+}

@@ -1,0 +1,176 @@
+// Package cluster selects the representative warp from a kernel's interval
+// profiles (Section III-C of the paper). Each warp is reduced to a
+// two-dimensional feature vector — its single-warp performance (Eq. 5) and
+// its instruction count, both normalized by the average over all warps
+// (Eq. 6) — and k-means with k=2 separates the majority cluster from the
+// outliers. The representative warp is the one closest to the centroid of
+// the larger cluster.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"gpumech/internal/core/interval"
+)
+
+// Method selects how the representative warp is chosen. The paper's
+// Figure 7 compares Clustering against the MAX and MIN heuristics.
+type Method int
+
+const (
+	// Clustering is the paper's method: k-means (k=2) over Eq. 6 feature
+	// vectors, then the warp nearest the larger cluster's centroid.
+	Clustering Method = iota
+	// Max selects the warp with the maximum single-warp performance.
+	Max
+	// Min selects the warp with the minimum single-warp performance.
+	Min
+)
+
+func (m Method) String() string {
+	switch m {
+	case Clustering:
+		return "clustering"
+	case Max:
+		return "max"
+	case Min:
+		return "min"
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// Features builds the normalized Eq. 6 feature matrix for the profiles.
+func Features(profiles []*interval.Profile) [][2]float64 {
+	n := len(profiles)
+	feats := make([][2]float64, n)
+	var sumPerf, sumInsts float64
+	for _, p := range profiles {
+		sumPerf += p.WarpPerf()
+		sumInsts += float64(p.Insts)
+	}
+	avgPerf := sumPerf / float64(n)
+	avgInsts := sumInsts / float64(n)
+	for i, p := range profiles {
+		f := [2]float64{0, 0}
+		if avgPerf > 0 {
+			f[0] = p.WarpPerf() / avgPerf
+		}
+		if avgInsts > 0 {
+			f[1] = float64(p.Insts) / avgInsts
+		}
+		feats[i] = f
+	}
+	return feats
+}
+
+// Select returns the index of the representative warp.
+func Select(profiles []*interval.Profile, m Method) (int, error) {
+	if len(profiles) == 0 {
+		return 0, fmt.Errorf("cluster: no warp profiles")
+	}
+	switch m {
+	case Max:
+		best := 0
+		for i, p := range profiles {
+			if p.WarpPerf() > profiles[best].WarpPerf() {
+				best = i
+			}
+		}
+		return best, nil
+	case Min:
+		best := 0
+		for i, p := range profiles {
+			if p.WarpPerf() < profiles[best].WarpPerf() {
+				best = i
+			}
+		}
+		return best, nil
+	case Clustering:
+		return selectByClustering(profiles), nil
+	}
+	return 0, fmt.Errorf("cluster: unknown method %d", m)
+}
+
+func dist2(a, b [2]float64) float64 {
+	dx, dy := a[0]-b[0], a[1]-b[1]
+	return dx*dx + dy*dy
+}
+
+// KMeans2 runs deterministic k-means with k=2 on the feature vectors. The
+// initial centroids are the two points farthest apart along the first
+// feature dimension, which makes the algorithm seed-free and reproducible.
+// It returns the per-point assignment and the two centroids.
+func KMeans2(feats [][2]float64) (assign []int, centers [2][2]float64) {
+	n := len(feats)
+	assign = make([]int, n)
+	if n == 0 {
+		return assign, centers
+	}
+	lo, hi := 0, 0
+	for i, f := range feats {
+		if f[0] < feats[lo][0] {
+			lo = i
+		}
+		if f[0] > feats[hi][0] {
+			hi = i
+		}
+	}
+	centers[0], centers[1] = feats[lo], feats[hi]
+
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		var sum [2][2]float64
+		var cnt [2]int
+		for i, f := range feats {
+			c := 0
+			if dist2(f, centers[1]) < dist2(f, centers[0]) {
+				c = 1
+			}
+			if assign[i] != c || iter == 0 {
+				assign[i] = c
+				changed = changed || iter > 0
+			}
+			sum[c][0] += f[0]
+			sum[c][1] += f[1]
+			cnt[c]++
+		}
+		for c := 0; c < 2; c++ {
+			if cnt[c] > 0 {
+				centers[c][0] = sum[c][0] / float64(cnt[c])
+				centers[c][1] = sum[c][1] / float64(cnt[c])
+			}
+		}
+		if iter > 0 && !changed {
+			break
+		}
+	}
+	return assign, centers
+}
+
+func selectByClustering(profiles []*interval.Profile) int {
+	feats := Features(profiles)
+	assign, centers := KMeans2(feats)
+
+	var cnt [2]int
+	for _, c := range assign {
+		cnt[c]++
+	}
+	major := 0
+	if cnt[1] > cnt[0] {
+		major = 1
+	}
+	best, bestD := -1, math.Inf(1)
+	for i, c := range assign {
+		if c != major {
+			continue
+		}
+		if d := dist2(feats[i], centers[major]); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return best
+}

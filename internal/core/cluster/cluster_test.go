@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"testing"
+
+	"gpumech/internal/core/interval"
+)
+
+// profileWith builds a synthetic profile with the given instruction count
+// and total stall.
+func profileWith(insts int, stall float64) *interval.Profile {
+	return &interval.Profile{
+		Insts:     insts,
+		Stall:     stall,
+		IssueRate: 1,
+		Intervals: []interval.Interval{{Insts: insts, StallCycles: stall, CausePC: -1}},
+	}
+}
+
+func TestSelectMaxMin(t *testing.T) {
+	profiles := []*interval.Profile{
+		profileWith(100, 900), // perf 0.1
+		profileWith(100, 100), // perf 0.5
+		profileWith(100, 400), // perf 0.2
+	}
+	if got, _ := Select(profiles, Max); got != 1 {
+		t.Errorf("Max = %d, want 1", got)
+	}
+	if got, _ := Select(profiles, Min); got != 0 {
+		t.Errorf("Min = %d, want 0", got)
+	}
+}
+
+func TestClusteringPicksMajority(t *testing.T) {
+	// Nine similar warps plus one outlier: clustering must pick from the
+	// majority, never the outlier.
+	var profiles []*interval.Profile
+	for i := 0; i < 9; i++ {
+		profiles = append(profiles, profileWith(100, 100+float64(i)))
+	}
+	profiles = append(profiles, profileWith(100, 5000)) // outlier
+	got, err := Select(profiles, Clustering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == 9 {
+		t.Error("clustering selected the outlier warp")
+	}
+}
+
+func TestClusteringIdenticalWarps(t *testing.T) {
+	var profiles []*interval.Profile
+	for i := 0; i < 8; i++ {
+		profiles = append(profiles, profileWith(50, 200))
+	}
+	got, err := Select(profiles, Clustering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 || got >= 8 {
+		t.Errorf("selection out of range: %d", got)
+	}
+}
+
+func TestClusteringInstCountDimension(t *testing.T) {
+	// Same performance, very different instruction counts (the paper's
+	// motivation for the second feature dimension, Eq. 6): the majority
+	// has short warps; the representative must be short.
+	var profiles []*interval.Profile
+	for i := 0; i < 7; i++ {
+		profiles = append(profiles, profileWith(100, 100))
+	}
+	for i := 0; i < 3; i++ {
+		profiles = append(profiles, profileWith(1000, 1000))
+	}
+	got, err := Select(profiles, Clustering)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= 7 {
+		t.Errorf("clustering picked a long warp (%d), majority is short", got)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	if _, err := Select(nil, Clustering); err == nil {
+		t.Error("empty profile list accepted")
+	}
+	if _, err := Select([]*interval.Profile{profileWith(1, 0)}, Method(99)); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestSingleWarp(t *testing.T) {
+	for _, m := range []Method{Clustering, Max, Min} {
+		got, err := Select([]*interval.Profile{profileWith(10, 5)}, m)
+		if err != nil || got != 0 {
+			t.Errorf("%v: got %d err %v", m, got, err)
+		}
+	}
+}
+
+func TestFeaturesNormalized(t *testing.T) {
+	profiles := []*interval.Profile{profileWith(100, 100), profileWith(300, 100)}
+	f := Features(profiles)
+	// The mean of each feature dimension must be 1 after normalization.
+	m0 := (f[0][0] + f[1][0]) / 2
+	m1 := (f[0][1] + f[1][1]) / 2
+	if m0 < 0.99 || m0 > 1.01 || m1 < 0.99 || m1 > 1.01 {
+		t.Errorf("feature means = %g %g, want 1", m0, m1)
+	}
+}
+
+func TestKMeansSeparatesTwoClusters(t *testing.T) {
+	feats := [][2]float64{
+		{0.1, 1}, {0.12, 1}, {0.11, 1},
+		{2.0, 1}, {2.1, 1},
+	}
+	assign, centers := KMeans2(feats)
+	if assign[0] != assign[1] || assign[1] != assign[2] {
+		t.Errorf("low cluster split: %v", assign)
+	}
+	if assign[3] != assign[4] {
+		t.Errorf("high cluster split: %v", assign)
+	}
+	if assign[0] == assign[3] {
+		t.Errorf("clusters merged: %v", assign)
+	}
+	lo, hi := centers[assign[0]], centers[assign[3]]
+	if lo[0] > 0.2 || hi[0] < 1.9 {
+		t.Errorf("centroids wrong: %v", centers)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	feats := [][2]float64{{0.5, 1}, {0.6, 2}, {1.5, 1}, {1.4, 0.5}, {0.55, 1.2}}
+	a1, c1 := KMeans2(feats)
+	a2, c2 := KMeans2(feats)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("nondeterministic assignment")
+		}
+	}
+	if c1 != c2 {
+		t.Fatal("nondeterministic centroids")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Clustering.String() != "clustering" || Max.String() != "max" || Min.String() != "min" {
+		t.Error("method strings wrong")
+	}
+}

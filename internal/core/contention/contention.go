@@ -1,0 +1,291 @@
+// Package contention implements GPUMech's resource-contention model
+// (Section IV-B of the paper): the queueing delays caused by memory
+// divergence contending for (1) the limited MSHR entries of a core
+// (Eqs. 18–20) and (2) the shared DRAM bandwidth, modeled as an M/D/1
+// queue (Eqs. 21–23). Both models operate on the representative warp's
+// interval profile and are policy-independent (Section IV-B's observation
+// that instruction ordering only matters at low contention).
+//
+// Two implementation choices extend the printed equations (documented in
+// DESIGN.md):
+//
+//   - Window attribution for DRAM traffic. Short compute-dependence
+//     intervals (a few stall cycles from ALU/FP latency) fragment the
+//     profile; charging each of them an independent arrival burst makes
+//     Eq. 23's arrival rate diverge. Requests therefore accumulate into a
+//     "memory window" that closes at the next memory-caused stall, which
+//     is where the warp actually waits.
+//   - A work-conservation roofline. Eq. 21's saturation cap still grows
+//     with the burst size; under sustained oversubscription (aggregate
+//     request service time exceeding the no-queueing execution time) the
+//     M/D/1 steady state does not exist. In that regime the model charges
+//     exactly the cycles needed to bring the channel to full utilization:
+//     CPI_bound = reqs_per_warp * cores * s / insts.
+package contention
+
+import (
+	"fmt"
+	"math"
+
+	"gpumech/internal/core/interval"
+)
+
+// Inputs carries the hardware parameters of the contention model.
+type Inputs struct {
+	Warps int // resident warps per core
+	Cores int // number of cores sharing DRAM
+	MSHRs int // MSHR entries per core
+
+	// AvgMissLatency is the average L2/DRAM round-trip of L1-missing
+	// loads without queueing (Eq. 19's avg_miss_latency).
+	AvgMissLatency float64
+
+	// DRAMServiceCycles is the DRAM channel service time per line in core
+	// cycles: freq * L / B (Eq. 22's s).
+	DRAMServiceCycles float64
+
+	IssueRate float64
+
+	// SFUServiceCycles is the SFU occupancy of one warp instruction
+	// (WarpSize/SFUPerCore); zero disables the SFU contention extension.
+	SFUServiceCycles float64
+
+	// BaseCPI is the predicted CPI before DRAM-bandwidth contention
+	// (CPI_multithreading; the MSHR component is added internally). The
+	// bandwidth model uses it to detect sustained channel saturation.
+	BaseCPI float64
+
+	// Ablation switches (zero values = production configuration; see
+	// DESIGN.md section 3 for what each extension corrects).
+	DisableMSHRBudgetCap bool // charge Eqs. 18-20 transients uncapped
+	DisableBWRoofline    bool // never take the saturation roofline branch
+}
+
+// Validate reports whether the inputs are usable.
+func (in Inputs) Validate() error {
+	switch {
+	case in.Warps <= 0:
+		return fmt.Errorf("contention: Warps must be positive, got %d", in.Warps)
+	case in.Cores <= 0:
+		return fmt.Errorf("contention: Cores must be positive, got %d", in.Cores)
+	case in.MSHRs <= 0:
+		return fmt.Errorf("contention: MSHRs must be positive, got %d", in.MSHRs)
+	case in.AvgMissLatency <= 0:
+		return fmt.Errorf("contention: AvgMissLatency must be positive, got %g", in.AvgMissLatency)
+	case in.DRAMServiceCycles <= 0:
+		return fmt.Errorf("contention: DRAMServiceCycles must be positive, got %g", in.DRAMServiceCycles)
+	case in.IssueRate <= 0:
+		return fmt.Errorf("contention: IssueRate must be positive, got %g", in.IssueRate)
+	case in.BaseCPI < 0:
+		return fmt.Errorf("contention: BaseCPI must be non-negative, got %g", in.BaseCPI)
+	}
+	return nil
+}
+
+// Result is the outcome of the contention model.
+type Result struct {
+	// CPI is CPI_rc_contention: total queueing delay per representative-
+	// warp instruction (Eq. 17).
+	CPI float64
+
+	MSHRDelay float64 // Σ MSHR_delay_i (cycles)
+	BWDelay   float64 // Σ Bandwidth_delay_i (cycles)
+	SFUDelay  float64 // SFU contention extension (cycles; 0 unless enabled)
+
+	// Saturated reports whether the DRAM roofline (rather than the M/D/1
+	// queue) produced the bandwidth delay.
+	Saturated bool
+
+	PerIntervalMSHR []float64
+	PerIntervalBW   []float64
+}
+
+// Model estimates the contention CPI for the representative-warp profile.
+func Model(p *interval.Profile, in Inputs) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	if p.Insts == 0 {
+		return Result{}, fmt.Errorf("contention: empty interval profile")
+	}
+	res := Result{
+		PerIntervalMSHR: make([]float64, len(p.Intervals)),
+		PerIntervalBW:   make([]float64, len(p.Intervals)),
+	}
+	var totalMSHRReqs, chargedCoreReqs float64
+	charged := 0
+	for i, iv := range p.Intervals {
+		m := mshrDelay(iv, in)
+		res.PerIntervalMSHR[i] = m
+		res.MSHRDelay += m
+		totalMSHRReqs += iv.MSHRReqs
+		if m > 0 {
+			chargedCoreReqs += iv.MSHRReqs * float64(in.Warps)
+			charged++
+		}
+	}
+	// Throughput cap on the transient sum: a core's MSHRs sustain at most
+	// #MSHR concurrent misses of avg_miss_latency cycles each, so the
+	// profile cannot lose more cycles to MSHR queueing than the total
+	// fill-time budget beyond the execution time already predicted
+	// (multithreading hides MSHR waits that fit inside it). Eq. 20
+	// charges every warp the full shared serialization period, which
+	// overcounts by up to the warp count in deep contention (the paper's
+	// own kmeans MT_MSHR error of 180% exhibits this); the cap restores
+	// work conservation.
+	// How much of the queueing multithreading can hide depends on how
+	// deeply the MSHRs are oversubscribed: at coreReqs just above #MSHR
+	// most warps still issue while a few wait (waits hidden); when each
+	// warp's divergent loads occupy many entries, every warp queues and
+	// nothing hides. The hidden share of the execution-time budget is
+	// therefore #MSHR / mean oversubscription of the charged intervals.
+	if in.DisableMSHRBudgetCap {
+		bandwidthDelays(p, in, &res)
+		sfuDelay(p, in, &res)
+		res.CPI = (res.MSHRDelay + res.BWDelay + res.SFUDelay) / float64(p.Insts)
+		return res, nil
+	}
+	hiddenFrac := 0.0
+	if charged > 0 && chargedCoreReqs > 0 {
+		hiddenFrac = float64(in.MSHRs) * float64(charged) / chargedCoreReqs
+		if hiddenFrac > 1 {
+			hiddenFrac = 1
+		}
+	}
+	budget := totalMSHRReqs*in.AvgMissLatency/float64(in.MSHRs) - in.BaseCPI*float64(p.Insts)*hiddenFrac
+	if budget < 0 {
+		budget = 0
+	}
+	if res.MSHRDelay > budget {
+		scale := 0.0
+		if res.MSHRDelay > 0 {
+			scale = budget / res.MSHRDelay
+		}
+		for i := range res.PerIntervalMSHR {
+			res.PerIntervalMSHR[i] *= scale
+		}
+		res.MSHRDelay = budget
+	}
+	bandwidthDelays(p, in, &res)
+	sfuDelay(p, in, &res)
+	res.CPI = (res.MSHRDelay + res.BWDelay + res.SFUDelay) / float64(p.Insts)
+	return res, nil
+}
+
+// sfuDelay implements the SFU contention extension the paper leaves to
+// future work (Section IV-B1's closing remark): the special function unit
+// accepts one warp instruction per SFUServiceCycles, so sustained SFU
+// traffic beyond that throughput bounds the CPI (work conservation).
+// Below that bound no delay is charged: an SFU instruction waiting for the
+// unit only idles its own warp while the scheduler issues other warps, so
+// sub-saturation waits are hidden by multithreading (the oracle confirms
+// this — see the "sfu" experiment).
+func sfuDelay(p *interval.Profile, in Inputs, res *Result) {
+	s := in.SFUServiceCycles
+	if s <= 0 {
+		return
+	}
+	insts := float64(p.Insts)
+	var totalSFU float64
+	for _, iv := range p.Intervals {
+		totalSFU += float64(iv.SFUInsts)
+	}
+	if totalSFU == 0 {
+		return
+	}
+	// All warps on the core share the unit; per issued warp-instruction
+	// the unit must be busy totalSFU*s/insts cycles (warp counts cancel).
+	baseCPI := in.BaseCPI + (res.MSHRDelay+res.BWDelay)/insts
+	if baseCPI <= 0 {
+		baseCPI = 1 / in.IssueRate
+	}
+	demand := totalSFU * s / insts
+	if demand > baseCPI {
+		// Work conservation: the unit's busy time bounds the CPI.
+		res.SFUDelay = (demand - baseCPI) * insts
+	}
+}
+
+// mshrDelay implements Eqs. 18–20 for one interval.
+func mshrDelay(iv interval.Interval, in Inputs) float64 {
+	coreReqs := iv.MSHRReqs * float64(in.Warps) // Eq. 18
+	n := int(math.Round(coreReqs))
+	if n <= in.MSHRs || iv.MSHRLoadInsts == 0 {
+		return 0 // Eq. 20's first case
+	}
+	// Eq. 19: expected latency of a request at MSHR index j is
+	// avg_miss_latency * ceil(j/#MSHR); averaging over j=1..n and
+	// subtracting the uncontended latency yields the expected queueing
+	// delay per request.
+	expQ := in.AvgMissLatency*avgCeilRatio(n, in.MSHRs) - in.AvgMissLatency
+	// Eq. 20: requests of one divergent instruction overlap, so the delay
+	// is charged per memory instruction. We weight by the expected number
+	// of loads that actually miss the L1 (see interval.Interval docs).
+	return expQ * iv.MSHRLoadInsts
+}
+
+// avgCeilRatio returns (Σ_{j=1..n} ceil(j/m)) / n in closed form.
+func avgCeilRatio(n, m int) float64 {
+	q, r := n/m, n%m
+	// Full groups contribute m*(1+2+...+q); the partial group contributes
+	// r*(q+1).
+	sum := float64(m)*float64(q)*float64(q+1)/2 + float64(r)*float64(q+1)
+	return sum / float64(n)
+}
+
+// bandwidthDelays implements Eqs. 21–23 with window attribution and the
+// saturation roofline, filling res.BWDelay and res.PerIntervalBW.
+func bandwidthDelays(p *interval.Profile, in Inputs, res *Result) {
+	s := in.DRAMServiceCycles
+	insts := float64(p.Insts)
+
+	var totalDRAMReqs float64
+	for _, iv := range p.Intervals {
+		totalDRAMReqs += iv.DRAMReqs
+	}
+	if totalDRAMReqs == 0 {
+		return
+	}
+
+	// Sustained-saturation check: compare the channel's aggregate service
+	// demand against the execution time predicted so far. BaseCPI already
+	// includes multithreading; add the MSHR component for consistency.
+	baseCPI := in.BaseCPI + res.MSHRDelay/insts
+	if baseCPI <= 0 {
+		baseCPI = 1 / in.IssueRate
+	}
+	demandPerInst := totalDRAMReqs * float64(in.Cores) * s / insts // cycles of channel time per warp-instruction
+	if demandPerInst >= baseCPI && !in.DisableBWRoofline {
+		// Work conservation: every request must eventually occupy the
+		// channel for s cycles, and the channel is shared by all cores.
+		res.Saturated = true
+		res.BWDelay = (demandPerInst - baseCPI) * insts
+		// Attribute per interval proportionally to traffic (diagnostics
+		// and CPI stacks only).
+		for i, iv := range p.Intervals {
+			res.PerIntervalBW[i] = res.BWDelay * iv.DRAMReqs / totalDRAMReqs
+		}
+		return
+	}
+
+	// Sub-saturated: M/D/1 queueing at the steady-state arrival rate. In
+	// multithreaded steady state each warp completes its profile once per
+	// baseCPI * insts * warps core cycles, so the aggregate channel
+	// arrival rate is totalReqs * cores / (baseCPI * insts) (Eq. 23
+	// evaluated over the whole profile at the multithreaded rate rather
+	// than per single-warp interval — see the package comment). The wait
+	// is capped by the deepest backlog the MSHR-throttled system can
+	// form, echoing Eq. 21's half-queue cap.
+	lambda := totalDRAMReqs * float64(in.Cores) / (baseCPI * insts) // Eq. 23 (steady state)
+	rho := lambda * s                                               // Eq. 22
+	maxBacklog := s * float64(in.MSHRs) * float64(in.Cores) / 2     // Eq. 21 cap, MSHR-throttled
+	wait := math.Min(lambda*s*s/(2*(1-rho)), maxBacklog)
+	for i, iv := range p.Intervals {
+		if iv.DRAMLoadInsts == 0 {
+			continue
+		}
+		d := wait * iv.DRAMLoadInsts
+		res.PerIntervalBW[i] = d
+		res.BWDelay += d
+	}
+}

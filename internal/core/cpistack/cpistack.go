@@ -1,0 +1,172 @@
+// Package cpistack builds GPUMech's CPI stacks (Section VII of the
+// paper): the predicted CPI broken into the Table III categories so that
+// hardware and software developers can see where cycles go.
+//
+// Construction follows the paper's three steps: (1) build the
+// representative warp's stack by attributing each interval's stall cycles
+// to its cause — compute dependencies to DEP, memory dependencies split
+// across L1/L2/DRAM by the PC's miss-event distribution; (2) shrink every
+// category by CPI_multithreading / CPI_repwarp so relative importance is
+// preserved under multithreading; (3) add the modeled MSHR and DRAM
+// queueing delays as the MSHR and QUEUE categories.
+package cpistack
+
+import (
+	"fmt"
+	"sort"
+
+	"gpumech/internal/core/interval"
+	"gpumech/internal/isa"
+)
+
+// Category is one Table III stall type.
+type Category int
+
+const (
+	Base  Category = iota // instruction issue cycles
+	Dep                   // compute dependencies
+	L1                    // L1 hits
+	L2                    // L2 hits
+	DRAM                  // DRAM access latency
+	MSHR                  // MSHR queueing delay
+	Queue                 // DRAM queueing delay
+	SFU                   // SFU contention (extension; zero unless enabled)
+	numCategories
+)
+
+func (c Category) String() string {
+	switch c {
+	case Base:
+		return "BASE"
+	case Dep:
+		return "DEP"
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case DRAM:
+		return "DRAM"
+	case MSHR:
+		return "MSHR"
+	case Queue:
+		return "QUEUE"
+	case SFU:
+		return "SFU"
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// Categories lists all categories in display order.
+func Categories() []Category {
+	out := make([]Category, numCategories)
+	for i := range out {
+		out[i] = Category(i)
+	}
+	return out
+}
+
+// Stack is a CPI stack: cycles per instruction attributed to each
+// category. The sum of all categories equals the predicted CPI.
+type Stack [numCategories]float64
+
+// CPI returns the total predicted CPI (the sum of all categories).
+func (s Stack) CPI() float64 {
+	total := 0.0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+// Scale returns the stack with every category multiplied by f.
+func (s Stack) Scale(f float64) Stack {
+	for i := range s {
+		s[i] *= f
+	}
+	return s
+}
+
+// Top returns the categories sorted by descending contribution.
+func (s Stack) Top() []Category {
+	cats := Categories()
+	sort.SliceStable(cats, func(i, j int) bool { return s[cats[i]] > s[cats[j]] })
+	return cats
+}
+
+// String renders the stack as "CAT=cpi" pairs.
+func (s Stack) String() string {
+	out := ""
+	for c := Category(0); c < numCategories; c++ {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%.3f", c, s[c])
+	}
+	return out
+}
+
+// Build constructs the kernel CPI stack.
+//
+// p is the representative warp's interval profile, t the per-PC table
+// (for miss-event distributions), cpiMT the multithreading CPI from the
+// multi-warp model, and mshrDelay/bwDelay the total modeled queueing
+// cycles from the contention model (over the representative warp's
+// instructions).
+func Build(p *interval.Profile, t *interval.PCTable, cpiMT, mshrDelay, bwDelay, sfuDelay float64) (Stack, error) {
+	var s Stack
+	if p.Insts == 0 {
+		return s, fmt.Errorf("cpistack: empty interval profile")
+	}
+	insts := float64(p.Insts)
+
+	// Step 1: representative warp stack, in cycles.
+	cycles := [numCategories]float64{}
+	cycles[Base] = insts / p.IssueRate
+	for _, iv := range p.Intervals {
+		if iv.StallCycles <= 0 {
+			continue
+		}
+		switch iv.CauseClass {
+		case isa.ClassGMem:
+			l1, l2, dram := distOf(t, iv.CausePC)
+			tot := l1 + l2 + dram
+			if tot <= 0 {
+				// No profiled distribution (e.g. store): attribute to DEP.
+				cycles[Dep] += iv.StallCycles
+				continue
+			}
+			cycles[L1] += iv.StallCycles * l1 / tot
+			cycles[L2] += iv.StallCycles * l2 / tot
+			cycles[DRAM] += iv.StallCycles * dram / tot
+		default:
+			cycles[Dep] += iv.StallCycles
+		}
+	}
+
+	// Step 2: shrink by the multithreading speedup so the categories sum
+	// to CPI_multithreading.
+	cpiRep := p.CPI()
+	shrink := 1.0
+	if cpiRep > 0 {
+		shrink = cpiMT / cpiRep
+	}
+	for c := Base; c <= DRAM; c++ {
+		s[c] = cycles[c] / insts * shrink
+	}
+
+	// Step 3: add the contention categories, normalized per instruction.
+	s[MSHR] = mshrDelay / insts
+	s[Queue] = bwDelay / insts
+	s[SFU] = sfuDelay / insts
+	return s, nil
+}
+
+func distOf(t *interval.PCTable, pc int) (l1, l2, dram float64) {
+	get := func(s []float64) float64 {
+		if pc < 0 || pc >= len(s) {
+			return 0
+		}
+		return s[pc]
+	}
+	return get(t.DistL1), get(t.DistL2), get(t.DistDRAM)
+}

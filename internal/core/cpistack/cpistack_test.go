@@ -1,0 +1,185 @@
+package cpistack
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gpumech/internal/core/interval"
+	"gpumech/internal/isa"
+)
+
+func tableWithDist(l1, l2, dram float64) *interval.PCTable {
+	return &interval.PCTable{
+		Latency:  []float64{4, 400},
+		DistL1:   []float64{0, l1},
+		DistL2:   []float64{0, l2},
+		DistDRAM: []float64{0, dram},
+	}
+}
+
+func profile(ivs ...interval.Interval) *interval.Profile {
+	p := &interval.Profile{IssueRate: 1}
+	for _, iv := range ivs {
+		p.Intervals = append(p.Intervals, iv)
+		p.Insts += iv.Insts
+		p.Stall += iv.StallCycles
+	}
+	return p
+}
+
+func TestCategoriesSumToCPI(t *testing.T) {
+	p := profile(
+		interval.Interval{Insts: 4, StallCycles: 20, CausePC: 0, CauseClass: isa.ClassALU},
+		interval.Interval{Insts: 2, StallCycles: 100, CausePC: 1, CauseClass: isa.ClassGMem},
+		interval.Interval{Insts: 4, CausePC: -1},
+	)
+	tbl := tableWithDist(0.1, 0.5, 0.4)
+	cpiMT := 1.8
+	s, err := Build(p, tbl, cpiMT, 30, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRC := (30.0 + 12.0) / float64(p.Insts)
+	if got := s.CPI(); math.Abs(got-(cpiMT+wantRC)) > 1e-9 {
+		t.Errorf("stack CPI = %g, want %g", got, cpiMT+wantRC)
+	}
+}
+
+func TestBaseIsIssueCycles(t *testing.T) {
+	p := profile(interval.Interval{Insts: 10, CausePC: -1})
+	s, err := Build(p, tableWithDist(0, 0, 0), 1.0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No stalls: the whole CPI is BASE = 1/issue rate.
+	if math.Abs(s[Base]-1) > 1e-9 || s[Dep] != 0 {
+		t.Errorf("stack = %v, want pure BASE", s)
+	}
+}
+
+func TestComputeStallsGoToDep(t *testing.T) {
+	p := profile(
+		interval.Interval{Insts: 2, StallCycles: 8, CausePC: 0, CauseClass: isa.ClassFP},
+		interval.Interval{Insts: 2, CausePC: -1},
+	)
+	cpiRep := p.CPI() // (4 + 8)/4 = 3
+	s, err := Build(p, tableWithDist(0, 0, 0), cpiRep, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With shrink factor 1, DEP = 8/4 = 2 CPI.
+	if math.Abs(s[Dep]-2) > 1e-9 {
+		t.Errorf("DEP = %g, want 2", s[Dep])
+	}
+	if s[L1] != 0 || s[L2] != 0 || s[DRAM] != 0 {
+		t.Errorf("memory categories nonzero: %v", s)
+	}
+}
+
+func TestMemoryStallSplitByDistribution(t *testing.T) {
+	// The paper's Section VII example: 100 stall cycles with L2 10% /
+	// DRAM 90% -> 10 cycles L2, 90 cycles DRAM.
+	p := profile(
+		interval.Interval{Insts: 1, StallCycles: 100, CausePC: 1, CauseClass: isa.ClassGMem},
+		interval.Interval{Insts: 1, CausePC: -1},
+	)
+	tbl := tableWithDist(0, 0.1, 0.9)
+	cpiRep := p.CPI()
+	s, err := Build(p, tbl, cpiRep, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s[L2]/s[DRAM]-0.1/0.9) > 1e-9 {
+		t.Errorf("L2/DRAM split = %g/%g, want 1:9 (paper example)", s[L2], s[DRAM])
+	}
+}
+
+func TestMultithreadingShrink(t *testing.T) {
+	p := profile(
+		interval.Interval{Insts: 2, StallCycles: 18, CausePC: 0, CauseClass: isa.ClassALU},
+	)
+	// Rep warp CPI = 20/2 = 10; multithreading brings it to 2: every
+	// category shrinks by 5x, preserving proportions (Section VII).
+	s, err := Build(p, tableWithDist(0, 0, 0), 2.0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s[Base] + s[Dep]
+	if math.Abs(sum-2.0) > 1e-9 {
+		t.Errorf("shrunk stack sums to %g, want CPI_mt = 2", sum)
+	}
+	if math.Abs(s[Dep]/s[Base]-9) > 1e-9 {
+		t.Errorf("proportions not preserved: DEP/BASE = %g, want 9", s[Dep]/s[Base])
+	}
+}
+
+func TestContentionCategories(t *testing.T) {
+	p := profile(interval.Interval{Insts: 10, CausePC: -1})
+	s, err := Build(p, tableWithDist(0, 0, 0), 1, 50, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[MSHR] != 5 || s[Queue] != 2 || s[SFU] != 1 {
+		t.Errorf("MSHR/QUEUE/SFU = %g/%g/%g, want 5/2/1", s[MSHR], s[Queue], s[SFU])
+	}
+}
+
+func TestTopOrdering(t *testing.T) {
+	var s Stack
+	s[Queue] = 3
+	s[Base] = 1
+	s[DRAM] = 2
+	top := s.Top()
+	if top[0] != Queue || top[1] != DRAM || top[2] != Base {
+		t.Errorf("Top() = %v", top)
+	}
+}
+
+func TestScale(t *testing.T) {
+	var s Stack
+	s[Base] = 1
+	s[Dep] = 2
+	g := s.Scale(0.5)
+	if g[Base] != 0.5 || g[Dep] != 1 {
+		t.Errorf("Scale = %v", g)
+	}
+	if s[Base] != 1 {
+		t.Error("Scale mutated the receiver")
+	}
+}
+
+func TestStringAndNames(t *testing.T) {
+	var s Stack
+	s[MSHR] = 1.5
+	if str := s.String(); !strings.Contains(str, "MSHR=1.500") {
+		t.Errorf("String = %q", str)
+	}
+	names := []string{"BASE", "DEP", "L1", "L2", "DRAM", "MSHR", "QUEUE", "SFU"}
+	for i, c := range Categories() {
+		if c.String() != names[i] {
+			t.Errorf("category %d = %s, want %s", i, c, names[i])
+		}
+	}
+}
+
+func TestEmptyProfileError(t *testing.T) {
+	if _, err := Build(&interval.Profile{IssueRate: 1}, tableWithDist(0, 0, 0), 1, 0, 0, 0); err == nil {
+		t.Error("empty profile accepted")
+	}
+}
+
+func TestUnprofiledMemoryStallFallsBackToDep(t *testing.T) {
+	p := profile(
+		interval.Interval{Insts: 1, StallCycles: 10, CausePC: 1, CauseClass: isa.ClassGMem},
+		interval.Interval{Insts: 1, CausePC: -1},
+	)
+	tbl := tableWithDist(0, 0, 0) // all-zero distribution
+	s, err := Build(p, tbl, p.CPI(), 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[Dep] == 0 {
+		t.Error("unattributable memory stall vanished")
+	}
+}

@@ -1,0 +1,268 @@
+// Package model orchestrates the full GPUMech pipeline (Figure 5 of the
+// paper): per-PC latency construction from the cache profile, the interval
+// algorithm over every warp, representative-warp selection, the multi-warp
+// multithreading model, the resource-contention model, and CPI-stack
+// construction.
+package model
+
+import (
+	"fmt"
+
+	"gpumech/internal/cache"
+	"gpumech/internal/config"
+	"gpumech/internal/core/cluster"
+	"gpumech/internal/core/contention"
+	"gpumech/internal/core/cpistack"
+	"gpumech/internal/core/interval"
+	"gpumech/internal/core/multiwarp"
+	"gpumech/internal/isa"
+	"gpumech/internal/trace"
+)
+
+// mergeWindowFactor scales the MSHR-merge window relative to the average
+// miss latency (see interval.PCTable.MergeWindow).
+const mergeWindowFactor = 4
+
+// Level selects how much of GPUMech is applied (Table II of the paper).
+type Level int
+
+const (
+	// MT models multithreading only (Section IV-A).
+	MT Level = iota
+	// MTMSHR adds the MSHR queueing model (Section IV-B1).
+	MTMSHR
+	// MTMSHRBand is full GPUMech: multithreading + MSHR + DRAM bandwidth
+	// (Section IV-B2).
+	MTMSHRBand
+)
+
+func (l Level) String() string {
+	switch l {
+	case MT:
+		return "MT"
+	case MTMSHR:
+		return "MT_MSHR"
+	case MTMSHRBand:
+		return "MT_MSHR_BAND"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Tuning toggles the implementation extensions this reproduction adds on
+// top of the paper's printed equations, so ablation studies can measure
+// what each one buys (see DESIGN.md section 3). The zero value is the
+// production configuration with every extension enabled.
+type Tuning struct {
+	// DisableMergeWindow counts every repeated line touch as a fresh MSHR
+	// allocation and DRAM request, as the printed equations do.
+	DisableMergeWindow bool
+	// DisableIssueFloor evaluates Eq. 7 without the issue-rate bound.
+	DisableIssueFloor bool
+	// DisableMSHRBudgetCap charges Eqs. 18-20 without work conservation.
+	DisableMSHRBudgetCap bool
+	// DisableBWRoofline relies on Eq. 21's cap alone under saturation.
+	DisableBWRoofline bool
+}
+
+// PaperStrict returns the Tuning with every extension disabled — the
+// equations exactly as printed (with only the min/max typo corrections).
+func PaperStrict() Tuning {
+	return Tuning{
+		DisableMergeWindow:   true,
+		DisableIssueFloor:    true,
+		DisableMSHRBudgetCap: true,
+		DisableBWRoofline:    true,
+	}
+}
+
+// Inputs bundles everything one model evaluation needs.
+type Inputs struct {
+	Kernel  *trace.Kernel
+	Cfg     config.Config
+	Profile *cache.Profile // from cache.Simulate on the same kernel+config
+	Policy  multiwarp.Policy
+	Method  cluster.Method // representative-warp selection; default Clustering
+	Level   Level          // default MTMSHRBand
+	Tuning  Tuning         // ablation switches; zero value = production
+}
+
+// Estimate is the model's prediction for one kernel.
+type Estimate struct {
+	CPI float64 // CPI_final (Eq. 3)
+
+	CPIMultithreading float64 // Eq. 7 component
+	CPIContention     float64 // Eq. 17 component
+
+	RepWarp    int // index of the representative warp in Kernel.Warps
+	RepProfile *interval.Profile
+
+	Multiwarp  multiwarp.Result
+	Contention contention.Result
+
+	Stack cpistack.Stack
+
+	// WarpProfiles holds the per-warp interval profiles (index-aligned
+	// with Kernel.Warps); useful for diagnostics and Figure 7 style
+	// studies.
+	WarpProfiles []*interval.Profile
+}
+
+// IPCPerCore returns the predicted core IPC.
+func (e *Estimate) IPCPerCore() float64 {
+	if e.CPI == 0 {
+		return 0
+	}
+	return 1 / e.CPI
+}
+
+// BuildPCTable derives the per-PC latency and miss tables from the
+// configuration and the cache profile (Section V-B): compute PCs get their
+// class latency, memory PCs their AMAT.
+func BuildPCTable(prog *isa.Program, cfg config.Config, prof *cache.Profile) *interval.PCTable {
+	n := len(prog.Instrs)
+	t := &interval.PCTable{
+		Latency:    make([]float64, n),
+		L1MissRate: make([]float64, n),
+		L2MissRate: make([]float64, n),
+		DistL1:     make([]float64, n),
+		DistL2:     make([]float64, n),
+		DistDRAM:   make([]float64, n),
+	}
+	if prof != nil {
+		// Merging persists while a miss is in flight; under contention the
+		// in-flight time exceeds the uncontended round-trip, so the window
+		// is a small multiple of the average miss latency.
+		t.MergeWindow = mergeWindowFactor * prof.AvgMissLatency()
+	}
+	for pc := range prog.Instrs {
+		op := prog.Instrs[pc].Op
+		switch op.Class() {
+		case isa.ClassALU, isa.ClassCtrl, isa.ClassBar, isa.ClassExit:
+			t.Latency[pc] = float64(cfg.ALULatency)
+		case isa.ClassFP:
+			t.Latency[pc] = float64(cfg.FPLatency)
+		case isa.ClassSFU:
+			t.Latency[pc] = float64(cfg.SFULatency)
+		case isa.ClassSMem:
+			t.Latency[pc] = float64(cfg.SMemLatency)
+		case isa.ClassGMem:
+			t.Latency[pc] = float64(cfg.L1Latency)
+			if prof != nil {
+				t.Latency[pc] = prof.AMAT(pc)
+				if s := prof.Stats(pc); s != nil && !s.IsStore {
+					t.L1MissRate[pc] = s.L1ReqMissRate()
+					t.L2MissRate[pc] = s.L2ReqMissRate()
+					t.DistL1[pc], t.DistL2[pc], t.DistDRAM[pc] = s.MissEventDist()
+				}
+			}
+		}
+	}
+	return t
+}
+
+// BuildWarpProfiles runs the interval algorithm over every warp of the
+// kernel. The unified register namespace covers general plus predicate
+// registers.
+func BuildWarpProfiles(k *trace.Kernel, cfg config.Config, t *interval.PCTable) ([]*interval.Profile, error) {
+	numRegs := k.Prog.NumRegs + k.Prog.NumPreds
+	profiles := make([]*interval.Profile, len(k.Warps))
+	for i, w := range k.Warps {
+		p, err := interval.Build(w, numRegs, cfg.IssueRate(), t)
+		if err != nil {
+			return nil, fmt.Errorf("model: warp %d: %w", i, err)
+		}
+		profiles[i] = p
+	}
+	return profiles, nil
+}
+
+// Run evaluates GPUMech on the inputs.
+func Run(in Inputs) (*Estimate, error) {
+	if in.Kernel == nil {
+		return nil, fmt.Errorf("model: nil kernel trace")
+	}
+	if err := in.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if in.Profile == nil {
+		return nil, fmt.Errorf("model: nil cache profile (run cache.Simulate first)")
+	}
+
+	t := BuildPCTable(in.Kernel.Prog, in.Cfg, in.Profile)
+	if in.Tuning.DisableMergeWindow {
+		t.MergeWindow = 0
+	}
+	profiles, err := BuildWarpProfiles(in.Kernel, in.Cfg, t)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := cluster.Select(profiles, in.Method)
+	if err != nil {
+		return nil, err
+	}
+	return runWithProfile(in, t, profiles, rep)
+}
+
+// RunWithRepresentative evaluates the model reusing previously built warp
+// profiles and a fixed representative warp. This is the paper's
+// configuration-exploration mode (Section VI-D): when only hardware
+// parameters change, clustering need not be repeated.
+func RunWithRepresentative(in Inputs, t *interval.PCTable, profiles []*interval.Profile, rep int) (*Estimate, error) {
+	if rep < 0 || rep >= len(profiles) {
+		return nil, fmt.Errorf("model: representative warp %d out of range (%d warps)", rep, len(profiles))
+	}
+	return runWithProfile(in, t, profiles, rep)
+}
+
+func runWithProfile(in Inputs, t *interval.PCTable, profiles []*interval.Profile, rep int) (*Estimate, error) {
+	p := profiles[rep]
+	mw, err := multiwarp.ModelWithOptions(p, in.Cfg.WarpsPerCore, in.Policy,
+		multiwarp.Options{DisableIssueFloor: in.Tuning.DisableIssueFloor})
+	if err != nil {
+		return nil, err
+	}
+
+	est := &Estimate{
+		CPIMultithreading: mw.CPI,
+		RepWarp:           rep,
+		RepProfile:        p,
+		Multiwarp:         mw,
+		WarpProfiles:      profiles,
+	}
+
+	if in.Level >= MTMSHR {
+		cin := contention.Inputs{
+			Warps:                in.Cfg.WarpsPerCore,
+			Cores:                in.Cfg.Cores,
+			MSHRs:                in.Cfg.MSHREntries,
+			AvgMissLatency:       in.Profile.AvgMissLatency(),
+			DRAMServiceCycles:    in.Cfg.DRAMServiceCycles(),
+			IssueRate:            in.Cfg.IssueRate(),
+			SFUServiceCycles:     in.Cfg.SFUServiceCycles(),
+			BaseCPI:              mw.CPI,
+			DisableMSHRBudgetCap: in.Tuning.DisableMSHRBudgetCap,
+			DisableBWRoofline:    in.Tuning.DisableBWRoofline,
+		}
+		ct, err := contention.Model(p, cin)
+		if err != nil {
+			return nil, err
+		}
+		if in.Level == MTMSHR {
+			ct.CPI = ct.MSHRDelay / float64(p.Insts)
+			ct.BWDelay = 0
+			ct.SFUDelay = 0
+		}
+		est.Contention = ct
+		est.CPIContention = ct.CPI
+	}
+
+	est.CPI = est.CPIMultithreading + est.CPIContention
+
+	stack, err := cpistack.Build(p, t, est.CPIMultithreading, est.Contention.MSHRDelay,
+		est.Contention.BWDelay, est.Contention.SFUDelay)
+	if err != nil {
+		return nil, err
+	}
+	est.Stack = stack
+	return est, nil
+}

@@ -1,0 +1,181 @@
+package model
+
+import (
+	"testing"
+
+	"gpumech/internal/cache"
+	"gpumech/internal/config"
+	"gpumech/internal/emu"
+	"gpumech/internal/isa"
+	"gpumech/internal/trace"
+)
+
+// testKernel builds and traces a small kernel with both compute and
+// divergent memory behaviour.
+func testKernel(t *testing.T) *trace.Kernel {
+	t.Helper()
+	b := isa.NewBuilder("model-test")
+	gid := b.GlobalID()
+	// Divergent load: stride 32 elements.
+	addr := b.Reg()
+	b.IMulI(addr, gid, 128)
+	base := b.ImmReg(1 << 20)
+	b.IAdd(addr, addr, base)
+	v := b.Reg()
+	b.LdG(v, addr, 0, isa.MemF32)
+	f := b.Reg()
+	b.FMul(f, v, v)
+	b.FAdd(f, f, v)
+	// Coalesced store.
+	out := b.Reg()
+	b.Shl(out, gid, 2)
+	base2 := b.ImmReg(1 << 22)
+	b.IAdd(out, out, base2)
+	b.StG(out, 0, f, isa.MemF32)
+	prog := b.MustBuild()
+	k, err := emu.Run(emu.Launch{Prog: prog, Blocks: 16, ThreadsPerBlock: 128, LineBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func cfgSmall() config.Config {
+	c := config.Baseline()
+	c.Cores = 4
+	c.WarpsPerCore = 8
+	return c
+}
+
+func TestBuildPCTableLatencies(t *testing.T) {
+	k := testKernel(t)
+	cfg := cfgSmall()
+	prof, err := cache.Simulate(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := BuildPCTable(k.Prog, cfg, prof)
+	for pc, in := range k.Prog.Instrs {
+		want := 0.0
+		switch in.Op.Class() {
+		case isa.ClassALU, isa.ClassCtrl, isa.ClassBar, isa.ClassExit:
+			want = float64(cfg.ALULatency)
+		case isa.ClassFP:
+			want = float64(cfg.FPLatency)
+		case isa.ClassSFU:
+			want = float64(cfg.SFULatency)
+		case isa.ClassSMem:
+			want = float64(cfg.SMemLatency)
+		case isa.ClassGMem:
+			continue // AMAT-dependent, checked below
+		}
+		if tbl.Latency[pc] != want {
+			t.Errorf("pc %d (%s): latency %g, want %g", pc, in.Op, tbl.Latency[pc], want)
+		}
+	}
+	// The load PC must carry an AMAT >= L1 latency.
+	for _, pc := range k.Prog.StaticMemPCs() {
+		if k.Prog.Instrs[pc].Op == isa.OpLdG && tbl.Latency[pc] < float64(cfg.L1Latency) {
+			t.Errorf("load pc %d AMAT = %g < L1 latency", pc, tbl.Latency[pc])
+		}
+	}
+	if tbl.MergeWindow <= 0 {
+		t.Error("merge window not set from the profile")
+	}
+}
+
+func TestRunLevelsAreOrdered(t *testing.T) {
+	k := testKernel(t)
+	cfg := cfgSmall()
+	prof, err := cache.Simulate(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cpis []float64
+	for _, lvl := range []Level{MT, MTMSHR, MTMSHRBand} {
+		est, err := Run(Inputs{Kernel: k, Cfg: cfg, Profile: prof, Policy: config.RR, Level: lvl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpis = append(cpis, est.CPI)
+	}
+	if cpis[1] < cpis[0]-1e-9 || cpis[2] < cpis[1]-1e-9 {
+		t.Errorf("model levels not monotone: MT %g MSHR %g BAND %g", cpis[0], cpis[1], cpis[2])
+	}
+}
+
+func TestEstimateConsistency(t *testing.T) {
+	k := testKernel(t)
+	cfg := cfgSmall()
+	prof, err := cache.Simulate(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Run(Inputs{Kernel: k, Cfg: cfg, Profile: prof, Policy: config.GTO, Level: MTMSHRBand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CPI != est.CPIMultithreading+est.CPIContention {
+		t.Errorf("Eq. 3 violated: %g != %g + %g", est.CPI, est.CPIMultithreading, est.CPIContention)
+	}
+	if est.IPCPerCore() != 1/est.CPI {
+		t.Error("IPC inverse wrong")
+	}
+	if est.RepWarp < 0 || est.RepWarp >= len(k.Warps) {
+		t.Errorf("rep warp %d out of range", est.RepWarp)
+	}
+	if len(est.WarpProfiles) != len(k.Warps) {
+		t.Errorf("warp profiles %d, want %d", len(est.WarpProfiles), len(k.Warps))
+	}
+	// The stack must total the predicted CPI.
+	if d := est.Stack.CPI() - est.CPI; d > 1e-6 || d < -1e-6 {
+		t.Errorf("stack CPI %g != estimate %g", est.Stack.CPI(), est.CPI)
+	}
+}
+
+func TestRunWithRepresentativeBounds(t *testing.T) {
+	k := testKernel(t)
+	cfg := cfgSmall()
+	prof, err := cache.Simulate(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := BuildPCTable(k.Prog, cfg, prof)
+	profiles, err := BuildWarpProfiles(k, cfg, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Inputs{Kernel: k, Cfg: cfg, Profile: prof, Policy: config.RR, Level: MTMSHRBand}
+	if _, err := RunWithRepresentative(in, tbl, profiles, -1); err == nil {
+		t.Error("negative rep accepted")
+	}
+	if _, err := RunWithRepresentative(in, tbl, profiles, len(profiles)); err == nil {
+		t.Error("out-of-range rep accepted")
+	}
+	if _, err := RunWithRepresentative(in, tbl, profiles, 0); err != nil {
+		t.Errorf("valid rep rejected: %v", err)
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	k := testKernel(t)
+	cfg := cfgSmall()
+	prof, _ := cache.Simulate(k, cfg)
+	if _, err := Run(Inputs{Kernel: nil, Cfg: cfg, Profile: prof}); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	if _, err := Run(Inputs{Kernel: k, Cfg: cfg, Profile: nil}); err == nil {
+		t.Error("nil profile accepted")
+	}
+	bad := cfg
+	bad.Cores = 0
+	if _, err := Run(Inputs{Kernel: k, Cfg: bad, Profile: prof}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	if MT.String() != "MT" || MTMSHR.String() != "MT_MSHR" || MTMSHRBand.String() != "MT_MSHR_BAND" {
+		t.Error("level strings wrong")
+	}
+}

@@ -1,0 +1,172 @@
+package multiwarp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gpumech/internal/core/interval"
+)
+
+// uniformProfile builds a profile of n identical intervals.
+func uniformProfile(nIntervals, instsPer int, stall float64) *interval.Profile {
+	p := &interval.Profile{IssueRate: 1}
+	for i := 0; i < nIntervals; i++ {
+		p.Intervals = append(p.Intervals, interval.Interval{Insts: instsPer, StallCycles: stall, CausePC: -1})
+		p.Insts += instsPer
+		p.Stall += stall
+	}
+	return p
+}
+
+// TestPaperFigure8GTO reproduces the paper's worked example exactly: four
+// warps, one interval of 3 instructions and 6 stall cycles, issue rate 1.
+// Figure 8(b) counts 3 non-overlapped instructions under GTO.
+func TestPaperFigure8GTO(t *testing.T) {
+	p := uniformProfile(1, 3, 6)
+	// issue_prob = 3/9 = 1/3 (Eq. 9).
+	if got := p.IssueProb(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("issue_prob = %g, want 1/3", got)
+	}
+	res, err := Model(p, 4, GTO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.NonOverlapped-3) > 1e-9 {
+		t.Errorf("GTO non-overlapped = %g, want 3 (Figure 8b)", res.NonOverlapped)
+	}
+}
+
+// TestPaperFigure8RR checks the probabilistic RR count for the same
+// example: issue_prob * (warps-1) * waiting_slots = 1/3 * 3 * 2 = 2.
+func TestPaperFigure8RR(t *testing.T) {
+	p := uniformProfile(1, 3, 6)
+	res, err := Model(p, 4, RR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.NonOverlapped-2) > 1e-9 {
+		t.Errorf("RR non-overlapped = %g, want 2 (Eqs. 10-11)", res.NonOverlapped)
+	}
+}
+
+func TestSingleWarpMatchesProfile(t *testing.T) {
+	p := uniformProfile(2, 5, 10)
+	for _, pol := range []Policy{RR, GTO} {
+		res, err := Model(p, 1, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NonOverlapped != 0 {
+			t.Errorf("%v: single warp non-overlap = %g", pol, res.NonOverlapped)
+		}
+		// CPI = total cycles / insts = 30/10 = 3.
+		if math.Abs(res.CPI-3) > 1e-9 {
+			t.Errorf("%v: CPI = %g, want 3", pol, res.CPI)
+		}
+	}
+}
+
+func TestIssueFloor(t *testing.T) {
+	// Compute-bound profile with many warps: Eq. 7 would go below the
+	// issue bound; the model must floor at 1/issue_rate.
+	p := uniformProfile(2, 50, 5)
+	res, err := Model(p, 32, RR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CPI < 1 {
+		t.Errorf("CPI = %g below the issue bound", res.CPI)
+	}
+}
+
+func TestMoreWarpsNeverHurtThroughput(t *testing.T) {
+	// Without contention modeling, CPI is non-increasing in warps.
+	p := uniformProfile(4, 2, 50)
+	for _, pol := range []Policy{RR, GTO} {
+		prev := math.Inf(1)
+		for _, w := range []int{1, 2, 4, 8, 16, 32} {
+			res, err := Model(p, w, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.CPI > prev+1e-9 {
+				t.Errorf("%v: CPI rose from %g to %g at %d warps", pol, prev, res.CPI, w)
+			}
+			prev = res.CPI
+		}
+	}
+}
+
+func TestGTONonOverlapCappedByStall(t *testing.T) {
+	// Short stalls: issue_prob_in_stall = min(p*stall, 1) keeps the
+	// remaining-warp issue count sane.
+	p := uniformProfile(3, 10, 2)
+	res, err := Model(p, 48, GTO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per interval at most avg_interval_insts*(warps-1) - stall.
+	maxPer := 10.0*47 - 2
+	for i, v := range res.PerInterval {
+		if v < 0 || v > maxPer {
+			t.Errorf("interval %d non-overlap %g out of [0,%g]", i, v, maxPer)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	p := uniformProfile(1, 1, 1)
+	if _, err := Model(p, 0, RR); err == nil {
+		t.Error("zero warps accepted")
+	}
+	if _, err := Model(&interval.Profile{IssueRate: 1}, 4, RR); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if _, err := Model(p, 4, Policy(7)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestExtraCyclesConsistency(t *testing.T) {
+	p := uniformProfile(2, 3, 6)
+	res, err := Model(p, 4, RR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.ExtraCycles-res.NonOverlapped/p.IssueRate) > 1e-12 {
+		t.Errorf("ExtraCycles %g != NonOverlapped/rate %g", res.ExtraCycles, res.NonOverlapped)
+	}
+	var sum float64
+	for _, v := range res.PerInterval {
+		sum += v
+	}
+	if math.Abs(sum-res.NonOverlapped) > 1e-9 {
+		t.Errorf("per-interval sum %g != total %g", sum, res.NonOverlapped)
+	}
+}
+
+// TestQuickNonOverlapBounds: non-overlapped counts are non-negative and
+// the CPI respects the issue floor for arbitrary profiles.
+func TestQuickNonOverlapBounds(t *testing.T) {
+	f := func(nIv, insts uint8, stall uint16, warps uint8) bool {
+		n := int(nIv%8) + 1
+		ip := int(insts%20) + 1
+		st := float64(stall % 500)
+		w := int(warps%48) + 1
+		p := uniformProfile(n, ip, st)
+		for _, pol := range []Policy{RR, GTO} {
+			res, err := Model(p, w, pol)
+			if err != nil {
+				return false
+			}
+			if res.NonOverlapped < 0 || res.CPI < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,627 @@
+// Package emu is the functional SIMT emulator — the repository's
+// equivalent of GPUOcelot in the paper's input collector (Section V). It
+// executes a kernel program over a grid of thread blocks, maintaining a
+// per-warp SIMT reconvergence stack for control divergence, and emits
+// per-warp instruction traces tagged with register defs/uses and coalesced
+// memory line addresses.
+//
+// The emulator has no timing: warps within a block run to the next barrier
+// in turn, and blocks run sequentially. Kernels must not communicate
+// between blocks, and barriers must be reached by every live warp of a
+// block (the structured builders in internal/isa guarantee this for the
+// bundled kernels).
+package emu
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gpumech/internal/coalesce"
+	"gpumech/internal/isa"
+	"gpumech/internal/memory"
+	"gpumech/internal/trace"
+)
+
+// Launch describes one kernel launch.
+type Launch struct {
+	Prog            *isa.Program
+	Blocks          int
+	ThreadsPerBlock int // must be a positive multiple of WarpSize
+	WarpSize        int // lanes per warp; 0 means 32
+	SharedBytes     int // shared memory per block
+	Mem             *memory.Memory
+	LineBytes       int   // coalescing granularity; 0 means 128
+	MaxRecs         int64 // total trace-record cap; 0 means 64M
+}
+
+const defaultMaxRecs = 64 << 20
+
+// Run executes the launch and returns the kernel trace.
+func Run(l Launch) (*trace.Kernel, error) {
+	if l.WarpSize == 0 {
+		l.WarpSize = 32
+	}
+	if l.LineBytes == 0 {
+		l.LineBytes = 128
+	}
+	if l.MaxRecs == 0 {
+		l.MaxRecs = defaultMaxRecs
+	}
+	if l.Prog == nil {
+		return nil, fmt.Errorf("emu: nil program")
+	}
+	if err := l.Prog.Validate(); err != nil {
+		return nil, err
+	}
+	if l.Blocks <= 0 {
+		return nil, fmt.Errorf("emu: %q: Blocks must be positive, got %d", l.Prog.Name, l.Blocks)
+	}
+	if l.ThreadsPerBlock <= 0 || l.ThreadsPerBlock%l.WarpSize != 0 {
+		return nil, fmt.Errorf("emu: %q: ThreadsPerBlock (%d) must be a positive multiple of the warp size (%d)",
+			l.Prog.Name, l.ThreadsPerBlock, l.WarpSize)
+	}
+	if l.WarpSize > 32 {
+		return nil, fmt.Errorf("emu: warp size %d exceeds the 32-lane mask limit", l.WarpSize)
+	}
+	if l.Prog.NumRegs+l.Prog.NumPreds > 255 {
+		return nil, fmt.Errorf("emu: %q: NumRegs+NumPreds (%d) exceeds the unified register namespace (255)",
+			l.Prog.Name, l.Prog.NumRegs+l.Prog.NumPreds)
+	}
+	if l.Mem == nil {
+		l.Mem = memory.New()
+	}
+
+	warpsPerBlock := l.ThreadsPerBlock / l.WarpSize
+	k := &trace.Kernel{
+		Name:          l.Prog.Name,
+		Prog:          l.Prog,
+		Blocks:        l.Blocks,
+		WarpsPerBlock: warpsPerBlock,
+		LineBytes:     l.LineBytes,
+	}
+
+	budget := l.MaxRecs
+	for b := 0; b < l.Blocks; b++ {
+		blk := newBlock(&l, b, warpsPerBlock)
+		blk.budget = &budget
+		if err := blk.run(); err != nil {
+			return nil, err
+		}
+		for _, w := range blk.warps {
+			k.Warps = append(k.Warps, &trace.WarpTrace{
+				BlockID: b,
+				WarpID:  w.id,
+				Recs:    w.recs,
+			})
+		}
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("emu: internal error: %w", err)
+	}
+	return k, nil
+}
+
+// stackEnt is one SIMT reconvergence stack entry.
+type stackEnt struct {
+	pc   int
+	rpc  int // reconvergence PC; pop when pc == rpc
+	mask uint32
+}
+
+type warp struct {
+	id    int
+	regs  []uint64 // lane-major: regs[lane*numRegs + r]
+	preds []bool   // lane-major: preds[lane*numPreds + p]
+	stack []stackEnt
+	done  bool
+	atBar bool
+	recs  []trace.Rec
+}
+
+type block struct {
+	l       *Launch
+	id      int
+	warps   []*warp
+	shared  []byte
+	scratch []uint64 // address scratch for coalescing
+	budget  *int64   // remaining trace-record budget across the launch
+}
+
+func newBlock(l *Launch, id, warpsPerBlock int) *block {
+	blk := &block{
+		l:       l,
+		id:      id,
+		shared:  make([]byte, l.SharedBytes),
+		scratch: make([]uint64, 0, l.WarpSize),
+	}
+	noPop := len(l.Prog.Instrs) + 1 // sentinel rpc that never matches
+	fullMask := uint32(1)<<l.WarpSize - 1
+	if l.WarpSize == 32 {
+		fullMask = ^uint32(0)
+	}
+	for w := 0; w < warpsPerBlock; w++ {
+		blk.warps = append(blk.warps, &warp{
+			id:    w,
+			regs:  make([]uint64, l.WarpSize*l.Prog.NumRegs),
+			preds: make([]bool, l.WarpSize*l.Prog.NumPreds),
+			stack: []stackEnt{{pc: 0, rpc: noPop, mask: fullMask}},
+		})
+	}
+	return blk
+}
+
+// run executes the block to completion: each warp runs until it blocks at
+// a barrier or exits; when every live warp waits at the barrier, all are
+// released.
+func (b *block) run() error {
+	for {
+		alive, waiting, progressed := 0, 0, false
+		for _, w := range b.warps {
+			if w.done {
+				continue
+			}
+			alive++
+			if w.atBar {
+				waiting++
+				continue
+			}
+			if err := b.runWarp(w); err != nil {
+				return err
+			}
+			progressed = true
+			if w.atBar {
+				waiting++
+			} else if w.done {
+				alive--
+			}
+		}
+		if alive == 0 {
+			return nil
+		}
+		if waiting == alive {
+			for _, w := range b.warps {
+				w.atBar = false
+			}
+			continue
+		}
+		if !progressed {
+			return fmt.Errorf("emu: %q block %d: no progress (barrier deadlock?)", b.l.Prog.Name, b.id)
+		}
+	}
+}
+
+// runWarp executes w until it exits or reaches a barrier.
+func (b *block) runWarp(w *warp) error {
+	prog := b.l.Prog
+	numRegs := prog.NumRegs
+	numPreds := prog.NumPreds
+	for !w.done && !w.atBar {
+		if *b.budget--; *b.budget < 0 {
+			return fmt.Errorf("emu: %q: trace exceeds %d records (possible runaway loop)", b.l.Prog.Name, b.l.MaxRecs)
+		}
+		top := &w.stack[len(w.stack)-1]
+		if top.pc >= len(prog.Instrs) {
+			w.done = true
+			return nil
+		}
+		in := &prog.Instrs[top.pc]
+
+		// Guard evaluation: active lanes are the stack mask filtered by
+		// the guard predicate (branches use the guard as the condition).
+		guarded := top.mask
+		if in.Pred != isa.PredNone && in.Op != isa.OpBra && in.Op != isa.OpPNot && in.Op != isa.OpPAnd && in.Op != isa.OpSelp {
+			guarded = 0
+			for lane := 0; lane < b.l.WarpSize; lane++ {
+				if top.mask&(1<<lane) == 0 {
+					continue
+				}
+				p := w.preds[lane*numPreds+int(in.Pred)]
+				if p != in.PredNeg {
+					guarded |= 1 << lane
+				}
+			}
+		}
+
+		rec := trace.Rec{
+			PC:   int32(top.pc),
+			Op:   in.Op,
+			Mem:  in.Mem,
+			Dst:  isa.RegNone,
+			Mask: guarded,
+		}
+		b.fillDeps(&rec, in, numRegs)
+
+		switch in.Op {
+		case isa.OpBra:
+			rec.Mask = top.mask
+			w.recs = append(w.recs, rec)
+			b.execBranch(w, in)
+			b.popReconverged(w)
+			continue
+
+		case isa.OpBar:
+			w.recs = append(w.recs, rec)
+			top.pc++
+			w.atBar = true
+			b.popReconverged(w)
+			continue
+
+		case isa.OpExit:
+			w.recs = append(w.recs, rec)
+			w.done = true
+			return nil
+
+		case isa.OpLdG, isa.OpStG:
+			if err := b.execGlobal(w, in, guarded, &rec); err != nil {
+				return err
+			}
+
+		case isa.OpLdS, isa.OpStS:
+			if err := b.execShared(w, in, guarded); err != nil {
+				return err
+			}
+
+		default:
+			b.execALU(w, in, guarded)
+		}
+
+		w.recs = append(w.recs, rec)
+		top.pc++
+		b.popReconverged(w)
+	}
+	return nil
+}
+
+// fillDeps records the instruction's register defs and uses in the unified
+// namespace (general registers, then predicates at numRegs+p).
+func (b *block) fillDeps(rec *trace.Rec, in *isa.Instr, numRegs int) {
+	predReg := func(p isa.PredReg) isa.Reg { return isa.Reg(numRegs + int(p)) }
+	if in.Dst != isa.RegNone {
+		rec.Dst = in.Dst
+	} else if in.PDst != isa.PredNone {
+		rec.Dst = predReg(in.PDst)
+	}
+	add := func(r isa.Reg) {
+		if r != isa.RegNone && rec.NumSrcs < 4 {
+			rec.Srcs[rec.NumSrcs] = r
+			rec.NumSrcs++
+		}
+	}
+	for _, r := range in.SrcRegs(nil) {
+		add(r)
+	}
+	if in.Pred != isa.PredNone {
+		add(predReg(in.Pred))
+	}
+	if in.Pred2 != isa.PredNone {
+		add(predReg(in.Pred2))
+	}
+	for i := int(rec.NumSrcs); i < 4; i++ {
+		rec.Srcs[i] = isa.RegNone
+	}
+}
+
+// execBranch applies the SIMT-stack divergence discipline.
+func (b *block) execBranch(w *warp, in *isa.Instr) {
+	top := &w.stack[len(w.stack)-1]
+	numPreds := b.l.Prog.NumPreds
+
+	taken := top.mask
+	if in.Pred != isa.PredNone {
+		taken = 0
+		for lane := 0; lane < b.l.WarpSize; lane++ {
+			if top.mask&(1<<lane) == 0 {
+				continue
+			}
+			p := w.preds[lane*numPreds+int(in.Pred)]
+			if p != in.PredNeg {
+				taken |= 1 << lane
+			}
+		}
+	}
+	notTaken := top.mask &^ taken
+
+	switch {
+	case taken == 0:
+		top.pc++
+	case notTaken == 0:
+		top.pc = in.Target
+	default:
+		// Divergence: the current entry becomes the reconvergence
+		// continuation; the not-taken and taken paths are pushed so that
+		// the taken path executes first.
+		fallPC := top.pc + 1
+		top.pc = in.Reconv
+		w.stack = append(w.stack,
+			stackEnt{pc: fallPC, rpc: in.Reconv, mask: notTaken},
+			stackEnt{pc: in.Target, rpc: in.Reconv, mask: taken},
+		)
+	}
+}
+
+// popReconverged pops stack entries that reached their reconvergence PC.
+func (b *block) popReconverged(w *warp) {
+	for len(w.stack) > 1 {
+		top := &w.stack[len(w.stack)-1]
+		if top.pc != top.rpc {
+			return
+		}
+		w.stack = w.stack[:len(w.stack)-1]
+	}
+}
+
+func (b *block) execGlobal(w *warp, in *isa.Instr, active uint32, rec *trace.Rec) error {
+	numRegs := b.l.Prog.NumRegs
+	size := in.Mem.Bytes()
+	b.scratch = b.scratch[:0]
+	for lane := 0; lane < b.l.WarpSize; lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		base := w.regs[lane*numRegs+int(in.SrcA)]
+		ea := uint64(int64(base) + in.Imm)
+		b.scratch = append(b.scratch, ea)
+		if in.Op == isa.OpLdG {
+			w.regs[lane*numRegs+int(in.Dst)] = loadConvert(b.l.Mem.Read(ea, size), in.Mem)
+		} else {
+			v := storeConvert(w.regs[lane*numRegs+int(in.SrcB)], in.Mem)
+			b.l.Mem.Write(ea, size, v)
+		}
+	}
+	if len(b.scratch) > 0 {
+		rec.Lines = coalesce.Lines(b.scratch, size, b.l.LineBytes)
+	}
+	return nil
+}
+
+func (b *block) execShared(w *warp, in *isa.Instr, active uint32) error {
+	numRegs := b.l.Prog.NumRegs
+	size := in.Mem.Bytes()
+	for lane := 0; lane < b.l.WarpSize; lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		base := w.regs[lane*numRegs+int(in.SrcA)]
+		ea := int64(base) + in.Imm
+		if ea < 0 || ea+int64(size) > int64(len(b.shared)) {
+			return fmt.Errorf("emu: %q block %d warp %d pc %d: shared access at %d outside %d-byte segment",
+				b.l.Prog.Name, b.id, w.id, rec0PC(w), ea, len(b.shared))
+		}
+		if in.Op == isa.OpLdS {
+			w.regs[lane*numRegs+int(in.Dst)] = loadConvert(readLE(b.shared[ea:ea+int64(size)]), in.Mem)
+		} else {
+			v := storeConvert(w.regs[lane*numRegs+int(in.SrcB)], in.Mem)
+			writeLE(b.shared[ea:ea+int64(size)], v)
+		}
+	}
+	return nil
+}
+
+func rec0PC(w *warp) int { return w.stack[len(w.stack)-1].pc }
+
+func readLE(bs []byte) uint64 {
+	var buf [8]byte
+	copy(buf[:], bs)
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func writeLE(bs []byte, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	copy(bs, buf[:len(bs)])
+}
+
+// loadConvert widens a raw little-endian memory value into the 64-bit
+// register representation for the given memory type.
+func loadConvert(raw uint64, t isa.MemType) uint64 {
+	switch t {
+	case isa.MemI32:
+		return uint64(int64(int32(uint32(raw))))
+	case isa.MemF32:
+		return math.Float64bits(float64(math.Float32frombits(uint32(raw))))
+	case isa.MemU8:
+		return raw & 0xFF
+	case isa.MemF64, isa.MemI64:
+		return raw
+	}
+	return raw
+}
+
+// storeConvert narrows a 64-bit register value into the raw memory
+// representation for the given memory type.
+func storeConvert(reg uint64, t isa.MemType) uint64 {
+	switch t {
+	case isa.MemI32:
+		return uint64(uint32(int32(int64(reg))))
+	case isa.MemF32:
+		return uint64(math.Float32bits(float32(math.Float64frombits(reg))))
+	case isa.MemU8:
+		return reg & 0xFF
+	case isa.MemF64, isa.MemI64:
+		return reg
+	}
+	return reg
+}
+
+func (b *block) execALU(w *warp, in *isa.Instr, active uint32) {
+	numRegs := b.l.Prog.NumRegs
+	numPreds := b.l.Prog.NumPreds
+	for lane := 0; lane < b.l.WarpSize; lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		regs := w.regs[lane*numRegs : (lane+1)*numRegs]
+		preds := w.preds[lane*numPreds : (lane+1)*numPreds]
+		ri := func(r isa.Reg) int64 { return int64(regs[r]) }
+		rf := func(r isa.Reg) float64 { return math.Float64frombits(regs[r]) }
+		seti := func(v int64) { regs[in.Dst] = uint64(v) }
+		setf := func(v float64) { regs[in.Dst] = math.Float64bits(v) }
+
+		switch in.Op {
+		case isa.OpNop:
+		case isa.OpMovI:
+			seti(in.Imm)
+		case isa.OpMovF:
+			setf(in.FImm)
+		case isa.OpMov:
+			regs[in.Dst] = regs[in.SrcA]
+		case isa.OpIAdd:
+			seti(ri(in.SrcA) + ri(in.SrcB))
+		case isa.OpIAddI:
+			seti(ri(in.SrcA) + in.Imm)
+		case isa.OpISub:
+			seti(ri(in.SrcA) - ri(in.SrcB))
+		case isa.OpIMul:
+			seti(ri(in.SrcA) * ri(in.SrcB))
+		case isa.OpIMulI:
+			seti(ri(in.SrcA) * in.Imm)
+		case isa.OpIMad:
+			seti(ri(in.SrcA)*ri(in.SrcB) + ri(in.SrcC))
+		case isa.OpIMin:
+			seti(min(ri(in.SrcA), ri(in.SrcB)))
+		case isa.OpIMax:
+			seti(max(ri(in.SrcA), ri(in.SrcB)))
+		case isa.OpAnd:
+			seti(ri(in.SrcA) & ri(in.SrcB))
+		case isa.OpAndI:
+			seti(ri(in.SrcA) & in.Imm)
+		case isa.OpOr:
+			seti(ri(in.SrcA) | ri(in.SrcB))
+		case isa.OpXor:
+			seti(ri(in.SrcA) ^ ri(in.SrcB))
+		case isa.OpShl:
+			seti(ri(in.SrcA) << uint(in.Imm&63))
+		case isa.OpShr:
+			seti(ri(in.SrcA) >> uint(in.Imm&63))
+		case isa.OpRem:
+			if d := ri(in.SrcB); d != 0 {
+				seti(ri(in.SrcA) % d)
+			} else {
+				seti(0)
+			}
+		case isa.OpRemI:
+			if in.Imm != 0 {
+				seti(ri(in.SrcA) % in.Imm)
+			} else {
+				seti(0)
+			}
+		case isa.OpIDiv:
+			if d := ri(in.SrcB); d != 0 {
+				seti(ri(in.SrcA) / d)
+			} else {
+				seti(0)
+			}
+		case isa.OpIDivI:
+			if in.Imm != 0 {
+				seti(ri(in.SrcA) / in.Imm)
+			} else {
+				seti(0)
+			}
+
+		case isa.OpFAdd:
+			setf(rf(in.SrcA) + rf(in.SrcB))
+		case isa.OpFSub:
+			setf(rf(in.SrcA) - rf(in.SrcB))
+		case isa.OpFMul:
+			setf(rf(in.SrcA) * rf(in.SrcB))
+		case isa.OpFFma:
+			setf(rf(in.SrcA)*rf(in.SrcB) + rf(in.SrcC))
+		case isa.OpFMin:
+			setf(math.Min(rf(in.SrcA), rf(in.SrcB)))
+		case isa.OpFMax:
+			setf(math.Max(rf(in.SrcA), rf(in.SrcB)))
+		case isa.OpFNeg:
+			setf(-rf(in.SrcA))
+		case isa.OpFAbs:
+			setf(math.Abs(rf(in.SrcA)))
+		case isa.OpI2F:
+			setf(float64(ri(in.SrcA)))
+		case isa.OpF2I:
+			seti(int64(rf(in.SrcA)))
+
+		case isa.OpFDiv:
+			setf(rf(in.SrcA) / rf(in.SrcB))
+		case isa.OpFSqrt:
+			setf(math.Sqrt(rf(in.SrcA)))
+		case isa.OpFRcp:
+			setf(1 / rf(in.SrcA))
+		case isa.OpFExp:
+			setf(math.Exp(rf(in.SrcA)))
+		case isa.OpFLog:
+			setf(math.Log(math.Abs(rf(in.SrcA)) + 1e-300))
+		case isa.OpFSin:
+			setf(math.Sin(rf(in.SrcA)))
+
+		case isa.OpISetp:
+			preds[in.PDst] = compareI(in.Cmp, ri(in.SrcA), ri(in.SrcB))
+		case isa.OpFSetp:
+			preds[in.PDst] = compareF(in.Cmp, rf(in.SrcA), rf(in.SrcB))
+		case isa.OpPAnd:
+			preds[in.PDst] = preds[in.Pred] && preds[in.Pred2]
+		case isa.OpPNot:
+			preds[in.PDst] = !preds[in.Pred]
+		case isa.OpSelp:
+			if preds[in.Pred] {
+				regs[in.Dst] = regs[in.SrcA]
+			} else {
+				regs[in.Dst] = regs[in.SrcB]
+			}
+
+		case isa.OpS2R:
+			tid := w.id*b.l.WarpSize + lane
+			switch isa.SpecialKind(in.Imm) {
+			case isa.SrTid:
+				seti(int64(tid))
+			case isa.SrNtid:
+				seti(int64(b.l.ThreadsPerBlock))
+			case isa.SrCtaid:
+				seti(int64(b.id))
+			case isa.SrNctaid:
+				seti(int64(b.l.Blocks))
+			case isa.SrLaneID:
+				seti(int64(lane))
+			case isa.SrWarpID:
+				seti(int64(w.id))
+			case isa.SrGlobalID:
+				seti(int64(b.id*b.l.ThreadsPerBlock + tid))
+			}
+		}
+	}
+}
+
+func compareI(c isa.Cmp, a, b int64) bool {
+	switch c {
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpGT:
+		return a > b
+	case isa.CmpGE:
+		return a >= b
+	}
+	return false
+}
+
+func compareF(c isa.Cmp, a, b float64) bool {
+	switch c {
+	case isa.CmpEQ:
+		return a == b
+	case isa.CmpNE:
+		return a != b
+	case isa.CmpLT:
+		return a < b
+	case isa.CmpLE:
+		return a <= b
+	case isa.CmpGT:
+		return a > b
+	case isa.CmpGE:
+		return a >= b
+	}
+	return false
+}

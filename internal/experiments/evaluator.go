@@ -1,0 +1,352 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI and VII): the SRAD component study (Fig. 4), the
+// representative-warp selection comparison (Fig. 7), the five-model
+// comparisons under RR and GTO (Figs. 11–12), the warp/MSHR/bandwidth
+// sweeps (Figs. 13–15), the CPI-stack scaling study (Fig. 16), and the
+// speedup measurement of Section VI-D.
+//
+// The Evaluator is the shared engine: it traces each kernel once, then
+// evaluates the oracle and all models (Table II) for every hardware
+// configuration a figure needs, caching results so figures share work.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"gpumech/internal/baseline"
+	"gpumech/internal/cache"
+	"gpumech/internal/config"
+	"gpumech/internal/core/cluster"
+	"gpumech/internal/core/cpistack"
+	"gpumech/internal/core/interval"
+	"gpumech/internal/core/model"
+	"gpumech/internal/kernels"
+	"gpumech/internal/timing"
+	"gpumech/internal/trace"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Kernels restricts the benchmark set (nil = all registered kernels).
+	Kernels []string
+	// Blocks overrides the grid size (0 = three times baseline system
+	// occupancy, the paper's methodology).
+	Blocks int
+	// Quick reduces the kernel set to a representative dozen and trims
+	// sweep points; used by tests and -quick runs.
+	Quick bool
+	// Seed drives the synthetic kernel inputs.
+	Seed int64
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+func (o *Options) kernelSet() []string {
+	if len(o.Kernels) > 0 {
+		return o.Kernels
+	}
+	if o.Quick {
+		return []string{
+			"rodinia_srad1", "rodinia_kmeans_invert", "rodinia_cfd_step_factor",
+			"rodinia_cfd_compute_flux", "rodinia_bfs", "rodinia_hotspot",
+			"parboil_sgemm", "parboil_spmv", "parboil_sad_calc8",
+			"sdk_blackscholes", "sdk_transpose_naive", "sdk_reduction",
+		}
+	}
+	return kernels.PaperNames()
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Eval holds every model's prediction and the oracle measurement for one
+// (kernel, configuration, policy) point.
+type Eval struct {
+	Kernel string
+	Cfg    config.Config
+	Policy config.Policy
+
+	Oracle float64 // detailed-simulation CPI
+
+	// Table II models.
+	Naive  float64
+	Markov float64
+	MT     float64
+	MTMSHR float64
+	Full   float64 // MT_MSHR_BAND = GPUMech
+
+	// Full model under the Figure 7 selection heuristics.
+	FullMax float64
+	FullMin float64
+
+	Stack cpistack.Stack // CPI stack of the full model
+}
+
+// Errs returns the relative error of each Table II model against the
+// oracle, in the order Naive, Markov, MT, MT_MSHR, MT_MSHR_BAND.
+func (ev *Eval) Errs() [5]float64 {
+	rel := func(p float64) float64 {
+		if ev.Oracle == 0 {
+			return 0
+		}
+		e := (p - ev.Oracle) / ev.Oracle
+		if e < 0 {
+			e = -e
+		}
+		return e
+	}
+	return [5]float64{rel(ev.Naive), rel(ev.Markov), rel(ev.MT), rel(ev.MTMSHR), rel(ev.Full)}
+}
+
+// ModelNames lists the Table II model display names, index-aligned with
+// Eval.Errs.
+func ModelNames() [5]string {
+	return [5]string{"Naive_Interval", "Markov_Chain", "MT", "MT_MSHR", "MT_MSHR_BAND"}
+}
+
+// Timing records the wall-clock cost of each pipeline stage for one kernel
+// at the baseline configuration (Section VI-D).
+type Timing struct {
+	Kernel     string
+	TraceInsts int64
+	TraceSecs  float64 // functional emulation (excluded from speedup, as in the paper)
+
+	// OneTimeSecs is the per-input profiling cost: interval profiles of
+	// every warp plus clustering. Per Section VI-D it is paid once per
+	// input and not again when exploring hardware configurations.
+	OneTimeSecs float64
+
+	// Per-configuration costs: the cache simulation and the model
+	// (representative-warp interval algorithm + multi-warp and
+	// contention evaluation) must rerun for each hardware configuration.
+	CacheSimSecs float64
+	ModelSecs    float64
+
+	OracleSecs   float64
+	OracleCycles int64
+}
+
+// Speedup returns the paper's configuration-exploration metric: detailed-
+// simulation time over per-configuration model time (cache simulation +
+// representative-warp interval analysis + model evaluation).
+func (t *Timing) Speedup() float64 {
+	d := t.CacheSimSecs + t.ModelSecs
+	if d <= 0 {
+		return 0
+	}
+	return t.OracleSecs / d
+}
+
+// Evaluator runs and caches evaluations kernel by kernel.
+type Evaluator struct {
+	opt Options
+
+	curKernel string
+	curTrace  *trace.Kernel
+	profiles  map[string]*cache.Profile // cfg signature -> profile
+
+	evals   map[string]*Eval
+	timings map[string]*Timing
+}
+
+// NewEvaluator returns an Evaluator over the given options.
+func NewEvaluator(opt Options) *Evaluator {
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	return &Evaluator{
+		opt:     opt,
+		evals:   make(map[string]*Eval),
+		timings: make(map[string]*Timing),
+	}
+}
+
+// Kernels returns the benchmark set of this run.
+func (e *Evaluator) Kernels() []string { return e.opt.kernelSet() }
+
+// Baseline returns the Table I configuration.
+func (e *Evaluator) Baseline() config.Config { return config.Baseline() }
+
+func cfgSig(c config.Config, pol config.Policy) string {
+	return fmt.Sprintf("w%d/m%d/b%g/c%d/%s", c.WarpsPerCore, c.MSHREntries, c.DRAMBandwidthGBps, c.Cores, pol)
+}
+
+// ensureKernel traces the kernel if it is not the current one. Only one
+// kernel trace is held at a time.
+func (e *Evaluator) ensureKernel(name string) error {
+	if e.curKernel == name && e.curTrace != nil {
+		return nil
+	}
+	info, err := kernels.Get(name)
+	if err != nil {
+		return err
+	}
+	blocks := e.opt.Blocks
+	if blocks == 0 {
+		const cores, baseWarps, occupancy = 16, 32, 3
+		blocks = occupancy * cores * baseWarps / info.WarpsPerBlock
+	}
+	start := time.Now()
+	tr, err := info.Trace(kernels.Scale{Blocks: blocks, Seed: e.opt.Seed}, config.Baseline().L1LineBytes)
+	if err != nil {
+		return err
+	}
+	e.curKernel = name
+	e.curTrace = tr
+	e.profiles = make(map[string]*cache.Profile)
+	if _, ok := e.timings[name]; !ok {
+		e.timings[name] = &Timing{Kernel: name, TraceSecs: time.Since(start).Seconds(), TraceInsts: tr.TotalInsts()}
+	}
+	e.opt.logf("traced %s: %d blocks, %d warps, %d instructions (%.2fs)",
+		name, tr.Blocks, len(tr.Warps), tr.TotalInsts(), time.Since(start).Seconds())
+	return nil
+}
+
+func (e *Evaluator) profile(cfg config.Config, recordTiming bool) (*cache.Profile, error) {
+	sig := fmt.Sprintf("w%d/c%d", cfg.WarpsPerCore, cfg.Cores)
+	if p, ok := e.profiles[sig]; ok {
+		return p, nil
+	}
+	start := time.Now()
+	p, err := cache.Simulate(e.curTrace, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if recordTiming {
+		e.timings[e.curKernel].CacheSimSecs = time.Since(start).Seconds()
+	}
+	e.profiles[sig] = p
+	return p, nil
+}
+
+// Eval evaluates (and caches) one point. The oracle and all Table II
+// models are computed together.
+func (e *Evaluator) Eval(kernel string, cfg config.Config, pol config.Policy) (*Eval, error) {
+	key := kernel + "|" + cfgSig(cfg, pol)
+	if ev, ok := e.evals[key]; ok {
+		return ev, nil
+	}
+	if err := e.ensureKernel(kernel); err != nil {
+		return nil, err
+	}
+	isBaseline := cfgSig(cfg, pol) == cfgSig(config.Baseline(), config.RR)
+
+	prof, err := e.profile(cfg, isBaseline)
+	if err != nil {
+		return nil, err
+	}
+
+	modelStart := time.Now()
+	tbl := model.BuildPCTable(e.curTrace.Prog, cfg, prof)
+	profiles, err := model.BuildWarpProfiles(e.curTrace, cfg, tbl)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := cluster.Select(profiles, cluster.Clustering)
+	if err != nil {
+		return nil, err
+	}
+
+	in := model.Inputs{Kernel: e.curTrace, Cfg: cfg, Profile: prof, Policy: pol}
+	ev := &Eval{Kernel: kernel, Cfg: cfg, Policy: pol}
+
+	runLevel := func(lvl model.Level, rep int) (float64, cpistack.Stack, error) {
+		in.Level = lvl
+		est, err := model.RunWithRepresentative(in, tbl, profiles, rep)
+		if err != nil {
+			return 0, cpistack.Stack{}, err
+		}
+		return est.CPI, est.Stack, nil
+	}
+	if ev.MT, _, err = runLevel(model.MT, rep); err != nil {
+		return nil, err
+	}
+	if ev.MTMSHR, _, err = runLevel(model.MTMSHR, rep); err != nil {
+		return nil, err
+	}
+	if ev.Full, ev.Stack, err = runLevel(model.MTMSHRBand, rep); err != nil {
+		return nil, err
+	}
+	if ev.Naive, err = baseline.NaiveInterval(profiles[rep], cfg.WarpsPerCore); err != nil {
+		return nil, err
+	}
+	if ev.Markov, err = baseline.MarkovChain(profiles[rep], cfg.WarpsPerCore); err != nil {
+		return nil, err
+	}
+	if repMax, err := cluster.Select(profiles, cluster.Max); err == nil {
+		if ev.FullMax, _, err = runLevel(model.MTMSHRBand, repMax); err != nil {
+			return nil, err
+		}
+	}
+	if repMin, err := cluster.Select(profiles, cluster.Min); err == nil {
+		if ev.FullMin, _, err = runLevel(model.MTMSHRBand, repMin); err != nil {
+			return nil, err
+		}
+	}
+	if isBaseline {
+		t := e.timings[kernel]
+		// Everything up to here rebuilt every warp's interval profile and
+		// ran clustering: the one-time per-input cost.
+		t.OneTimeSecs = time.Since(modelStart).Seconds()
+		// The per-configuration cost reruns the interval algorithm on the
+		// representative warp only and re-evaluates the models
+		// (Section VI-D's exploration mode).
+		perCfg := time.Now()
+		if _, err := interval.Build(e.curTrace.Warps[rep], e.curTrace.Prog.NumRegs+e.curTrace.Prog.NumPreds, cfg.IssueRate(), tbl); err != nil {
+			return nil, err
+		}
+		if _, _, err := runLevel(model.MTMSHRBand, rep); err != nil {
+			return nil, err
+		}
+		t.ModelSecs = time.Since(perCfg).Seconds()
+	}
+
+	oracleStart := time.Now()
+	orc, err := timing.Simulate(e.curTrace, cfg, pol)
+	if err != nil {
+		return nil, err
+	}
+	ev.Oracle = orc.CPI
+	if isBaseline {
+		t := e.timings[kernel]
+		t.OracleSecs = time.Since(oracleStart).Seconds()
+		t.OracleCycles = orc.Cycles
+	}
+	e.opt.logf("  %s %s: oracle %.3f | naive %.3f markov %.3f mt %.3f mshr %.3f full %.3f",
+		kernel, cfgSig(cfg, pol), ev.Oracle, ev.Naive, ev.Markov, ev.MT, ev.MTMSHR, ev.Full)
+
+	e.evals[key] = ev
+	return ev, nil
+}
+
+// EvalProfiles exposes per-warp interval profiles for studies that need
+// them (Figure 7 diagnostics, examples). The result is not cached.
+func (e *Evaluator) EvalProfiles(kernel string, cfg config.Config) ([]*interval.Profile, *interval.PCTable, error) {
+	if err := e.ensureKernel(kernel); err != nil {
+		return nil, nil, err
+	}
+	prof, err := e.profile(cfg, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := model.BuildPCTable(e.curTrace.Prog, cfg, prof)
+	profiles, err := model.BuildWarpProfiles(e.curTrace, cfg, tbl)
+	return profiles, tbl, err
+}
+
+// Timings returns the per-kernel pipeline timings recorded at the baseline
+// configuration, in kernel-set order.
+func (e *Evaluator) Timings() []*Timing {
+	var out []*Timing
+	for _, k := range e.Kernels() {
+		if t, ok := e.timings[k]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}

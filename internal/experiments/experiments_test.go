@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"gpumech/internal/config"
+)
+
+// tinyEvaluator uses two cheap kernels at a small grid so the whole
+// experiment machinery runs in seconds.
+func tinyEvaluator() *Evaluator {
+	return NewEvaluator(Options{
+		Kernels: []string{"sdk_vectoradd", "rodinia_cfd_compute_flux"},
+		Blocks:  64,
+		Quick:   true,
+	})
+}
+
+func TestEvalCaching(t *testing.T) {
+	e := tinyEvaluator()
+	cfg := e.Baseline()
+	ev1, err := e.Eval("sdk_vectoradd", cfg, config.RR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := e.Eval("sdk_vectoradd", cfg, config.RR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev1 != ev2 {
+		t.Error("identical evaluation not cached")
+	}
+}
+
+func TestEvalFieldsPopulated(t *testing.T) {
+	e := tinyEvaluator()
+	ev, err := e.Eval("rodinia_cfd_compute_flux", e.Baseline(), config.RR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"oracle": ev.Oracle, "naive": ev.Naive, "markov": ev.Markov,
+		"mt": ev.MT, "mshr": ev.MTMSHR, "full": ev.Full,
+		"fullMax": ev.FullMax, "fullMin": ev.FullMin,
+	} {
+		if v <= 0 {
+			t.Errorf("%s CPI = %g, want positive", name, v)
+		}
+	}
+	if ev.Stack.CPI() <= 0 {
+		t.Error("stack empty")
+	}
+	errs := ev.Errs()
+	for i, er := range errs {
+		if er < 0 {
+			t.Errorf("error %d negative: %g", i, er)
+		}
+	}
+}
+
+func TestModelLevelOrderingOnRealKernel(t *testing.T) {
+	e := tinyEvaluator()
+	ev, err := e.Eval("rodinia_cfd_compute_flux", e.Baseline(), config.RR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MTMSHR < ev.MT-1e-9 || ev.Full < ev.MTMSHR-1e-9 {
+		t.Errorf("levels not monotone: %g %g %g", ev.MT, ev.MTMSHR, ev.Full)
+	}
+}
+
+func TestUnknownFigureRejected(t *testing.T) {
+	e := tinyEvaluator()
+	if _, err := e.Run([]string{"fig99"}); err == nil || !strings.Contains(err.Error(), "fig99") {
+		t.Errorf("unknown figure not rejected: %v", err)
+	}
+}
+
+func TestUnknownKernelRejected(t *testing.T) {
+	e := NewEvaluator(Options{Kernels: []string{"no_such_kernel"}, Blocks: 16})
+	if _, err := e.Run([]string{"fig11"}); err == nil {
+		t.Error("unknown kernel not rejected")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	e := tinyEvaluator()
+	figs, err := e.Run([]string{"fig11"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := figs[0]
+	// 2 kernels + AVERAGE + %<20 rows.
+	if len(fig.Rows) != 4 {
+		t.Fatalf("fig11 rows = %d, want 4", len(fig.Rows))
+	}
+	if len(fig.Headers) != 7 {
+		t.Errorf("fig11 headers = %v", fig.Headers)
+	}
+	if fig.Rows[2][0] != "AVERAGE" {
+		t.Errorf("summary row = %v", fig.Rows[2])
+	}
+	if len(fig.Notes) != 5 {
+		t.Errorf("fig11 notes = %d, want one per model", len(fig.Notes))
+	}
+}
+
+func TestSpeedupTimingsPopulated(t *testing.T) {
+	e := tinyEvaluator()
+	fig, err := e.Speedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Rows) != 3 { // 2 kernels + geomean
+		t.Fatalf("speedup rows = %d", len(fig.Rows))
+	}
+	for _, tm := range e.Timings() {
+		if tm.OracleSecs <= 0 || tm.CacheSimSecs <= 0 || tm.ModelSecs <= 0 || tm.OneTimeSecs <= 0 {
+			t.Errorf("%s timings incomplete: %+v", tm.Kernel, tm)
+		}
+		if tm.Speedup() <= 0 {
+			t.Errorf("%s speedup = %g", tm.Kernel, tm.Speedup())
+		}
+	}
+}
+
+func TestFigureIDsMatchBuilders(t *testing.T) {
+	e := tinyEvaluator()
+	ids := FigureIDs()
+	if len(ids) != 12 {
+		t.Errorf("FigureIDs = %v", ids)
+	}
+	// fig04 resolves even though srad1 is outside the kernel subset.
+	figs, err := e.Run([]string{"fig04"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if figs[0].ID != "fig04" || len(figs[0].Rows) != 4 {
+		t.Errorf("fig04 shape wrong: %+v", figs[0].Rows)
+	}
+}

@@ -1,0 +1,515 @@
+package isa
+
+import (
+	"fmt"
+)
+
+// Label names a program position that may not be bound yet.
+type Label int
+
+// Builder assembles a Program. Registers and predicates are allocated with
+// Reg and Pred; control flow is expressed with the structured helpers (If,
+// IfElse, ForImm, ForN, While), which emit branches with correct
+// reconvergence points so the emulator's SIMT stack always reconverges at
+// the immediate post-dominator. The first error encountered is sticky and
+// returned from Build.
+type Builder struct {
+	name     string
+	instrs   []Instr
+	nextReg  int
+	nextPred int
+	err      error
+
+	labelPCs []int
+	patches  []patch
+
+	guard    PredReg
+	guardNeg bool
+}
+
+type patch struct {
+	instr  int
+	target bool // true: patch Target, false: patch Reconv
+	label  Label
+}
+
+// NewBuilder returns a Builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, guard: PredNone}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("isa: building %q: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Reg allocates a fresh general register.
+func (b *Builder) Reg() Reg {
+	if b.nextReg >= 255 {
+		b.fail("out of general registers")
+		return 0
+	}
+	r := Reg(b.nextReg)
+	b.nextReg++
+	return r
+}
+
+// Pred allocates a fresh predicate register.
+func (b *Builder) Pred() PredReg {
+	if b.nextPred >= 255 {
+		b.fail("out of predicate registers")
+		return 0
+	}
+	p := PredReg(b.nextPred)
+	b.nextPred++
+	return p
+}
+
+func (b *Builder) emit(in Instr) int {
+	if in.Pred == PredNone && b.guard != PredNone {
+		in.Pred, in.PredNeg = b.guard, b.guardNeg
+	}
+	b.instrs = append(b.instrs, in)
+	return len(b.instrs) - 1
+}
+
+// newLabel creates an unbound label.
+func (b *Builder) newLabel() Label {
+	b.labelPCs = append(b.labelPCs, -1)
+	return Label(len(b.labelPCs) - 1)
+}
+
+// bind attaches the label to the next emitted instruction.
+func (b *Builder) bind(l Label) {
+	if b.labelPCs[l] != -1 {
+		b.fail("label %d bound twice", l)
+		return
+	}
+	b.labelPCs[l] = len(b.instrs)
+}
+
+// ---- plain instruction emitters ------------------------------------------
+
+// Nop emits a no-op.
+func (b *Builder) Nop() {
+	b.emit(Instr{Op: OpNop, Dst: RegNone, SrcA: RegNone, SrcB: RegNone, SrcC: RegNone, PDst: PredNone, Pred: PredNone, Pred2: PredNone})
+}
+
+func instr3(op Op, d, a, s Reg) Instr {
+	return Instr{Op: op, Dst: d, SrcA: a, SrcB: s, SrcC: RegNone, PDst: PredNone, Pred: PredNone, Pred2: PredNone}
+}
+
+// MovI emits D = imm.
+func (b *Builder) MovI(d Reg, imm int64) {
+	in := instr3(OpMovI, d, RegNone, RegNone)
+	in.Imm = imm
+	b.emit(in)
+}
+
+// MovF emits D = f (a float64 immediate).
+func (b *Builder) MovF(d Reg, f float64) {
+	in := instr3(OpMovF, d, RegNone, RegNone)
+	in.FImm = f
+	b.emit(in)
+}
+
+// ImmReg allocates a register, loads imm into it, and returns it.
+func (b *Builder) ImmReg(imm int64) Reg {
+	r := b.Reg()
+	b.MovI(r, imm)
+	return r
+}
+
+// FImmReg allocates a register, loads the float immediate, and returns it.
+func (b *Builder) FImmReg(f float64) Reg {
+	r := b.Reg()
+	b.MovF(r, f)
+	return r
+}
+
+// Mov emits D = A.
+func (b *Builder) Mov(d, a Reg) { b.emit(instr3(OpMov, d, a, RegNone)) }
+
+// IAdd emits D = A + S.
+func (b *Builder) IAdd(d, a, s Reg) { b.emit(instr3(OpIAdd, d, a, s)) }
+
+// IAddI emits D = A + imm.
+func (b *Builder) IAddI(d, a Reg, imm int64) {
+	in := instr3(OpIAddI, d, a, RegNone)
+	in.Imm = imm
+	b.emit(in)
+}
+
+// ISub emits D = A - S.
+func (b *Builder) ISub(d, a, s Reg) { b.emit(instr3(OpISub, d, a, s)) }
+
+// IMul emits D = A * S.
+func (b *Builder) IMul(d, a, s Reg) { b.emit(instr3(OpIMul, d, a, s)) }
+
+// IMulI emits D = A * imm.
+func (b *Builder) IMulI(d, a Reg, imm int64) {
+	in := instr3(OpIMulI, d, a, RegNone)
+	in.Imm = imm
+	b.emit(in)
+}
+
+// IMad emits D = A*S + C.
+func (b *Builder) IMad(d, a, s, c Reg) {
+	in := instr3(OpIMad, d, a, s)
+	in.SrcC = c
+	b.emit(in)
+}
+
+// IMin emits D = min(A, S).
+func (b *Builder) IMin(d, a, s Reg) { b.emit(instr3(OpIMin, d, a, s)) }
+
+// IMax emits D = max(A, S).
+func (b *Builder) IMax(d, a, s Reg) { b.emit(instr3(OpIMax, d, a, s)) }
+
+// And emits D = A & S.
+func (b *Builder) And(d, a, s Reg) { b.emit(instr3(OpAnd, d, a, s)) }
+
+// AndI emits D = A & imm.
+func (b *Builder) AndI(d, a Reg, imm int64) {
+	in := instr3(OpAndI, d, a, RegNone)
+	in.Imm = imm
+	b.emit(in)
+}
+
+// Or emits D = A | S.
+func (b *Builder) Or(d, a, s Reg) { b.emit(instr3(OpOr, d, a, s)) }
+
+// Xor emits D = A ^ S.
+func (b *Builder) Xor(d, a, s Reg) { b.emit(instr3(OpXor, d, a, s)) }
+
+// Shl emits D = A << imm.
+func (b *Builder) Shl(d, a Reg, imm int64) {
+	in := instr3(OpShl, d, a, RegNone)
+	in.Imm = imm
+	b.emit(in)
+}
+
+// Shr emits D = A >> imm (arithmetic).
+func (b *Builder) Shr(d, a Reg, imm int64) {
+	in := instr3(OpShr, d, a, RegNone)
+	in.Imm = imm
+	b.emit(in)
+}
+
+// Rem emits D = A % S.
+func (b *Builder) Rem(d, a, s Reg) { b.emit(instr3(OpRem, d, a, s)) }
+
+// IDiv emits D = A / S.
+func (b *Builder) IDiv(d, a, s Reg) { b.emit(instr3(OpIDiv, d, a, s)) }
+
+// IDivI emits D = A / imm.
+func (b *Builder) IDivI(d, a Reg, imm int64) {
+	in := instr3(OpIDivI, d, a, RegNone)
+	in.Imm = imm
+	b.emit(in)
+}
+
+// RemI emits D = A % imm.
+func (b *Builder) RemI(d, a Reg, imm int64) {
+	in := instr3(OpRemI, d, a, RegNone)
+	in.Imm = imm
+	b.emit(in)
+}
+
+// FAdd emits D = A + S.
+func (b *Builder) FAdd(d, a, s Reg) { b.emit(instr3(OpFAdd, d, a, s)) }
+
+// FSub emits D = A - S.
+func (b *Builder) FSub(d, a, s Reg) { b.emit(instr3(OpFSub, d, a, s)) }
+
+// FMul emits D = A * S.
+func (b *Builder) FMul(d, a, s Reg) { b.emit(instr3(OpFMul, d, a, s)) }
+
+// FFma emits D = A*S + C.
+func (b *Builder) FFma(d, a, s, c Reg) {
+	in := instr3(OpFFma, d, a, s)
+	in.SrcC = c
+	b.emit(in)
+}
+
+// FMin emits D = min(A, S).
+func (b *Builder) FMin(d, a, s Reg) { b.emit(instr3(OpFMin, d, a, s)) }
+
+// FMax emits D = max(A, S).
+func (b *Builder) FMax(d, a, s Reg) { b.emit(instr3(OpFMax, d, a, s)) }
+
+// FNeg emits D = -A.
+func (b *Builder) FNeg(d, a Reg) { b.emit(instr3(OpFNeg, d, a, RegNone)) }
+
+// FAbs emits D = |A|.
+func (b *Builder) FAbs(d, a Reg) { b.emit(instr3(OpFAbs, d, a, RegNone)) }
+
+// I2F emits D = float(A).
+func (b *Builder) I2F(d, a Reg) { b.emit(instr3(OpI2F, d, a, RegNone)) }
+
+// F2I emits D = int(A).
+func (b *Builder) F2I(d, a Reg) { b.emit(instr3(OpF2I, d, a, RegNone)) }
+
+// FDiv emits D = A / S (SFU).
+func (b *Builder) FDiv(d, a, s Reg) { b.emit(instr3(OpFDiv, d, a, s)) }
+
+// FSqrt emits D = sqrt(A) (SFU).
+func (b *Builder) FSqrt(d, a Reg) { b.emit(instr3(OpFSqrt, d, a, RegNone)) }
+
+// FRcp emits D = 1/A (SFU).
+func (b *Builder) FRcp(d, a Reg) { b.emit(instr3(OpFRcp, d, a, RegNone)) }
+
+// FExp emits D = exp(A) (SFU).
+func (b *Builder) FExp(d, a Reg) { b.emit(instr3(OpFExp, d, a, RegNone)) }
+
+// FLog emits D = log(|A|) (SFU).
+func (b *Builder) FLog(d, a Reg) { b.emit(instr3(OpFLog, d, a, RegNone)) }
+
+// FSin emits D = sin(A) (SFU).
+func (b *Builder) FSin(d, a Reg) { b.emit(instr3(OpFSin, d, a, RegNone)) }
+
+// ISetp emits PD = cmp(A, S) on integers.
+func (b *Builder) ISetp(pd PredReg, cmp Cmp, a, s Reg) {
+	in := instr3(OpISetp, RegNone, a, s)
+	in.PDst, in.Cmp = pd, cmp
+	b.emit(in)
+}
+
+// ISetpI emits PD = cmp(A, imm) via a scratch register.
+func (b *Builder) ISetpI(pd PredReg, cmp Cmp, a Reg, imm int64) {
+	t := b.ImmReg(imm)
+	b.ISetp(pd, cmp, a, t)
+}
+
+// FSetp emits PD = cmp(A, S) on floats.
+func (b *Builder) FSetp(pd PredReg, cmp Cmp, a, s Reg) {
+	in := instr3(OpFSetp, RegNone, a, s)
+	in.PDst, in.Cmp = pd, cmp
+	b.emit(in)
+}
+
+// PAnd emits PD = PA && PB.
+func (b *Builder) PAnd(pd, pa, pb PredReg) {
+	in := instr3(OpPAnd, RegNone, RegNone, RegNone)
+	in.PDst, in.Pred, in.Pred2 = pd, pa, pb
+	b.emit(in)
+}
+
+// PNot emits PD = !PA.
+func (b *Builder) PNot(pd, pa PredReg) {
+	in := instr3(OpPNot, RegNone, RegNone, RegNone)
+	in.PDst, in.Pred = pd, pa
+	b.emit(in)
+}
+
+// Selp emits D = P ? A : S.
+func (b *Builder) Selp(d Reg, p PredReg, a, s Reg) {
+	in := instr3(OpSelp, d, a, s)
+	in.Pred = p
+	b.emit(in)
+}
+
+// S2R emits D = special register read.
+func (b *Builder) S2R(d Reg, kind SpecialKind) {
+	in := instr3(OpS2R, d, RegNone, RegNone)
+	in.Imm = int64(kind)
+	b.emit(in)
+}
+
+// Tid returns a fresh register holding the thread index within the block.
+func (b *Builder) Tid() Reg { r := b.Reg(); b.S2R(r, SrTid); return r }
+
+// Ctaid returns a fresh register holding the block index.
+func (b *Builder) Ctaid() Reg { r := b.Reg(); b.S2R(r, SrCtaid); return r }
+
+// Ntid returns a fresh register holding the block size.
+func (b *Builder) Ntid() Reg { r := b.Reg(); b.S2R(r, SrNtid); return r }
+
+// Nctaid returns a fresh register holding the grid size in blocks.
+func (b *Builder) Nctaid() Reg { r := b.Reg(); b.S2R(r, SrNctaid); return r }
+
+// GlobalID returns a fresh register holding ctaid*ntid + tid.
+func (b *Builder) GlobalID() Reg { r := b.Reg(); b.S2R(r, SrGlobalID); return r }
+
+// LaneID returns a fresh register holding the lane index within the warp.
+func (b *Builder) LaneID() Reg { r := b.Reg(); b.S2R(r, SrLaneID); return r }
+
+// LdG emits D = global[A + off] with the given element type.
+func (b *Builder) LdG(d, addr Reg, off int64, t MemType) {
+	in := instr3(OpLdG, d, addr, RegNone)
+	in.Imm, in.Mem = off, t
+	b.emit(in)
+}
+
+// StG emits global[A + off] = V.
+func (b *Builder) StG(addr Reg, off int64, v Reg, t MemType) {
+	in := instr3(OpStG, RegNone, addr, v)
+	in.Imm, in.Mem = off, t
+	b.emit(in)
+}
+
+// LdS emits D = shared[A + off].
+func (b *Builder) LdS(d, addr Reg, off int64, t MemType) {
+	in := instr3(OpLdS, d, addr, RegNone)
+	in.Imm, in.Mem = off, t
+	b.emit(in)
+}
+
+// StS emits shared[A + off] = V.
+func (b *Builder) StS(addr Reg, off int64, v Reg, t MemType) {
+	in := instr3(OpStS, RegNone, addr, v)
+	in.Imm, in.Mem = off, t
+	b.emit(in)
+}
+
+// Bar emits a block-wide barrier.
+func (b *Builder) Bar() { b.emit(instr3(OpBar, RegNone, RegNone, RegNone)) }
+
+// Exit emits a thread-termination instruction.
+func (b *Builder) Exit() { b.emit(instr3(OpExit, RegNone, RegNone, RegNone)) }
+
+// braTo emits a branch whose Target/Reconv will be patched to the labels.
+func (b *Builder) braTo(target, reconv Label, pred PredReg, neg bool) {
+	in := instr3(OpBra, RegNone, RegNone, RegNone)
+	in.Pred, in.PredNeg = pred, neg
+	idx := b.emit(in)
+	b.patches = append(b.patches,
+		patch{instr: idx, target: true, label: target},
+		patch{instr: idx, target: false, label: reconv})
+}
+
+// ---- structured control flow ---------------------------------------------
+
+// If executes body only for lanes where p holds. Lanes reconverge at the
+// end of the body.
+func (b *Builder) If(p PredReg, body func()) {
+	end := b.newLabel()
+	b.braTo(end, end, p, true) // @!p bra end
+	body()
+	b.bind(end)
+}
+
+// IfNot executes body only for lanes where p does not hold.
+func (b *Builder) IfNot(p PredReg, body func()) {
+	end := b.newLabel()
+	b.braTo(end, end, p, false) // @p bra end
+	body()
+	b.bind(end)
+}
+
+// IfElse executes then for lanes where p holds and els for the others,
+// reconverging afterwards.
+func (b *Builder) IfElse(p PredReg, then, els func()) {
+	elseL := b.newLabel()
+	end := b.newLabel()
+	b.braTo(elseL, end, p, true) // @!p bra else
+	then()
+	b.braTo(end, end, PredNone, false) // bra end (uniform within then-lanes)
+	b.bind(elseL)
+	els()
+	b.bind(end)
+}
+
+// ForImm runs body with a loop counter i = start; i < limit; i += step.
+// The trip count is uniform across lanes, so the loop itself never
+// diverges. step must be positive.
+func (b *Builder) ForImm(i Reg, start, limit, step int64, body func()) {
+	if step <= 0 {
+		b.fail("ForImm: step must be positive, got %d", step)
+		return
+	}
+	lim := b.ImmReg(limit)
+	b.MovI(i, start)
+	b.forReg(i, lim, step, body)
+}
+
+// ForN runs body with i = 0; i < n; i++ where n is a register and may
+// differ per lane (a divergent loop).
+func (b *Builder) ForN(i, n Reg, body func()) {
+	b.MovI(i, 0)
+	b.forReg(i, n, 1, body)
+}
+
+func (b *Builder) forReg(i, lim Reg, step int64, body func()) {
+	head := b.newLabel()
+	exit := b.newLabel()
+	p := b.Pred()
+	b.bind(head)
+	b.ISetp(p, CmpGE, i, lim)
+	b.braTo(exit, exit, p, false) // @p bra exit
+	body()
+	b.IAddI(i, i, step)
+	b.braTo(head, exit, PredNone, false) // bra head
+	b.bind(exit)
+}
+
+// While evaluates cond at the top of each iteration and runs body for the
+// lanes where the returned predicate holds. Lanes exit independently
+// (divergent loop) and reconverge after the loop.
+func (b *Builder) While(cond func() PredReg, body func()) {
+	head := b.newLabel()
+	exit := b.newLabel()
+	b.bind(head)
+	p := cond()
+	b.braTo(exit, exit, p, true) // @!p bra exit
+	body()
+	b.braTo(head, exit, PredNone, false)
+	b.bind(exit)
+}
+
+// Guarded emits the instructions produced by fn under guard predicate p
+// (negated when neg is true). Guards predicate execution per lane without
+// introducing control flow; memory and setp instructions honor them too.
+// Guards do not nest.
+func (b *Builder) Guarded(p PredReg, neg bool, fn func()) {
+	if b.guard != PredNone {
+		b.fail("nested Guarded regions are not supported")
+		return
+	}
+	b.guard, b.guardNeg = p, neg
+	fn()
+	b.guard, b.guardNeg = PredNone, false
+}
+
+// Build finalizes the program: resolves labels, appends a trailing Exit if
+// the program does not already end with one, and validates.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if n := len(b.instrs); n == 0 || b.instrs[n-1].Op != OpExit {
+		b.Exit()
+	}
+	for _, p := range b.patches {
+		pc := b.labelPCs[p.label]
+		if pc == -1 {
+			return nil, fmt.Errorf("isa: building %q: unbound label %d", b.name, p.label)
+		}
+		if p.target {
+			b.instrs[p.instr].Target = pc
+		} else {
+			b.instrs[p.instr].Reconv = pc
+		}
+	}
+	prog := &Program{
+		Name:     b.name,
+		Instrs:   b.instrs,
+		NumRegs:  max(b.nextReg, 1),
+		NumPreds: max(b.nextPred, 1),
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustBuild is Build that panics on error; intended for static kernel
+// definitions whose correctness is covered by tests.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

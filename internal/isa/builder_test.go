@@ -1,0 +1,248 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderAutoExit(t *testing.T) {
+	b := NewBuilder("auto")
+	r := b.Reg()
+	b.MovI(r, 1)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[len(p.Instrs)-1].Op != OpExit {
+		t.Error("Build did not append Exit")
+	}
+}
+
+func TestBuilderRegisterAllocation(t *testing.T) {
+	b := NewBuilder("regs")
+	r0, r1 := b.Reg(), b.Reg()
+	if r0 == r1 {
+		t.Error("Reg() returned duplicates")
+	}
+	p0, p1 := b.Pred(), b.Pred()
+	if p0 == p1 {
+		t.Error("Pred() returned duplicates")
+	}
+}
+
+func TestBuilderRegisterExhaustion(t *testing.T) {
+	b := NewBuilder("boom")
+	for i := 0; i < 300; i++ {
+		b.Reg()
+	}
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "out of general registers") {
+		t.Errorf("exhaustion not reported: %v", err)
+	}
+}
+
+func TestIfStructure(t *testing.T) {
+	b := NewBuilder("if")
+	p := b.Pred()
+	r := b.Reg()
+	b.ISetpI(p, CmpGT, r, 0)
+	b.If(p, func() { b.MovI(r, 1) })
+	prog := b.MustBuild()
+
+	// Find the branch: it must be guarded on !p with Target == Reconv
+	// pointing past the body.
+	var bra *Instr
+	var braPC int
+	for i := range prog.Instrs {
+		if prog.Instrs[i].Op == OpBra {
+			bra = &prog.Instrs[i]
+			braPC = i
+			break
+		}
+	}
+	if bra == nil {
+		t.Fatal("If emitted no branch")
+	}
+	if bra.Pred != p || !bra.PredNeg {
+		t.Errorf("If branch guard = p%d neg=%v, want @!p%d", bra.Pred, bra.PredNeg, p)
+	}
+	if bra.Target != bra.Reconv {
+		t.Errorf("If branch target %d != reconv %d", bra.Target, bra.Reconv)
+	}
+	if bra.Target != braPC+2 { // branch, body movi, then join point
+		t.Errorf("If branch target = %d, want %d", bra.Target, braPC+2)
+	}
+}
+
+func TestIfElseStructure(t *testing.T) {
+	b := NewBuilder("ifelse")
+	p := b.Pred()
+	r := b.Reg()
+	b.ISetpI(p, CmpGT, r, 0)
+	b.IfElse(p, func() { b.MovI(r, 1) }, func() { b.MovI(r, 2) })
+	prog := b.MustBuild()
+
+	var branches []Instr
+	for _, in := range prog.Instrs {
+		if in.Op == OpBra {
+			branches = append(branches, in)
+		}
+	}
+	if len(branches) != 2 {
+		t.Fatalf("IfElse emitted %d branches, want 2", len(branches))
+	}
+	// First branch: conditional to the else block; second: unconditional
+	// to the end. Both reconverge at the same point.
+	if branches[0].Pred == PredNone || branches[1].Pred != PredNone {
+		t.Error("IfElse branch guards wrong")
+	}
+	if branches[0].Reconv != branches[1].Reconv {
+		t.Errorf("IfElse reconv mismatch: %d vs %d", branches[0].Reconv, branches[1].Reconv)
+	}
+	if branches[0].Target >= branches[0].Reconv {
+		t.Error("else target must precede reconvergence point")
+	}
+}
+
+func TestForImmRejectsBadStep(t *testing.T) {
+	b := NewBuilder("badstep")
+	i := b.Reg()
+	b.ForImm(i, 0, 4, 0, func() {})
+	if _, err := b.Build(); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestForImmStructure(t *testing.T) {
+	b := NewBuilder("for")
+	i := b.Reg()
+	body := 0
+	b.ForImm(i, 0, 4, 1, func() { body++; b.Nop() })
+	prog := b.MustBuild()
+	if body != 1 {
+		t.Fatalf("loop body emitted %d times, want once (dynamic loop)", body)
+	}
+	// A backward branch must exist.
+	backward := false
+	for pc, in := range prog.Instrs {
+		if in.Op == OpBra && in.Target <= pc {
+			backward = true
+		}
+	}
+	if !backward {
+		t.Error("ForImm emitted no backward branch")
+	}
+}
+
+func TestGuardedAppliesPredicate(t *testing.T) {
+	b := NewBuilder("guard")
+	p := b.Pred()
+	r := b.Reg()
+	b.ISetpI(p, CmpEQ, r, 0)
+	b.Guarded(p, false, func() {
+		b.MovI(r, 7)
+		b.IAddI(r, r, 1)
+	})
+	b.MovI(r, 9) // outside: unguarded
+	prog := b.MustBuild()
+	guarded := 0
+	for _, in := range prog.Instrs {
+		if in.Op == OpMovI && in.Imm == 7 && in.Pred == p {
+			guarded++
+		}
+		if in.Op == OpIAddI && in.Pred != p {
+			t.Error("second guarded instruction lost its guard")
+		}
+		if in.Op == OpMovI && in.Imm == 9 && in.Pred != PredNone {
+			t.Error("instruction after Guarded still guarded")
+		}
+	}
+	if guarded != 1 {
+		t.Errorf("guarded movi count = %d", guarded)
+	}
+}
+
+func TestGuardedNesting(t *testing.T) {
+	b := NewBuilder("nest")
+	p := b.Pred()
+	b.Guarded(p, false, func() {
+		b.Guarded(p, true, func() {})
+	})
+	if _, err := b.Build(); err == nil {
+		t.Error("nested Guarded accepted")
+	}
+}
+
+func TestImmRegHelpers(t *testing.T) {
+	b := NewBuilder("imm")
+	r := b.ImmReg(42)
+	f := b.FImmReg(2.5)
+	prog := b.MustBuild()
+	if prog.Instrs[0].Op != OpMovI || prog.Instrs[0].Imm != 42 || prog.Instrs[0].Dst != r {
+		t.Error("ImmReg wrong")
+	}
+	if prog.Instrs[1].Op != OpMovF || prog.Instrs[1].FImm != 2.5 || prog.Instrs[1].Dst != f {
+		t.Error("FImmReg wrong")
+	}
+}
+
+func TestBuilderErrorSticky(t *testing.T) {
+	b := NewBuilder("sticky")
+	i := b.Reg()
+	b.ForImm(i, 0, 4, -1, func() {}) // error
+	b.MovI(i, 1)                     // later valid code
+	if _, err := b.Build(); err == nil {
+		t.Error("sticky error lost")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on invalid program")
+		}
+	}()
+	b := NewBuilder("panic")
+	i := b.Reg()
+	b.ForImm(i, 0, 4, 0, func() {})
+	b.MustBuild()
+}
+
+func TestSpecialRegHelpers(t *testing.T) {
+	b := NewBuilder("s2r")
+	regs := []Reg{b.Tid(), b.Ctaid(), b.Ntid(), b.Nctaid(), b.GlobalID(), b.LaneID()}
+	prog := b.MustBuild()
+	kinds := []SpecialKind{SrTid, SrCtaid, SrNtid, SrNctaid, SrGlobalID, SrLaneID}
+	for i, k := range kinds {
+		in := prog.Instrs[i]
+		if in.Op != OpS2R || SpecialKind(in.Imm) != k || in.Dst != regs[i] {
+			t.Errorf("special %d: %+v", i, in)
+		}
+	}
+}
+
+func TestWhileStructure(t *testing.T) {
+	b := NewBuilder("while")
+	r := b.Reg()
+	b.MovI(r, 10)
+	b.While(func() PredReg {
+		p := b.Pred()
+		b.ISetpI(p, CmpGT, r, 0)
+		return p
+	}, func() {
+		b.IAddI(r, r, -1)
+	})
+	prog := b.MustBuild()
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Both the exit branch and the back branch share the exit as reconv.
+	var reconvs []int
+	for _, in := range prog.Instrs {
+		if in.Op == OpBra {
+			reconvs = append(reconvs, in.Reconv)
+		}
+	}
+	if len(reconvs) != 2 || reconvs[0] != reconvs[1] {
+		t.Errorf("While reconvergence points = %v", reconvs)
+	}
+}

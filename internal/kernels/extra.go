@@ -1,0 +1,679 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+
+	"gpumech/internal/isa"
+	"gpumech/internal/memory"
+)
+
+// Extra kernels (suite "extra"): workloads adjacent to the paper's
+// benchmark suites — Rodinia's medical-imaging codes, Parboil's queue-based
+// BFS, and classic SDK financial kernels. They are excluded from the
+// paper-figure harness (which uses exactly the 40-kernel set) but covered
+// by every test and available to all tools.
+
+func init() {
+	register(&Info{
+		Name: "extra_heartwall", Suite: "extra",
+		Desc:          "heartwall template correlation: windowed loads with row locality, boundary divergence",
+		ControlDiv:    true,
+		MemDiv:        DivLow,
+		WarpsPerBlock: 4,
+		build:         buildHeartwall,
+	})
+	register(&Info{
+		Name: "extra_leukocyte_gicov", Suite: "extra",
+		Desc:          "leukocyte GICOV: gather along ellipse perimeters with sin/cos addressing",
+		MemDiv:        DivMedium,
+		WarpsPerBlock: 4,
+		build:         buildLeukocyte,
+	})
+	register(&Info{
+		Name: "extra_myocyte", Suite: "extra",
+		Desc:          "myocyte ODE step: long serial exp/div dependence chains, almost no memory",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildMyocyte,
+	})
+	register(&Info{
+		Name: "extra_particlefilter", Suite: "extra",
+		Desc:          "particle filter resampling: data-dependent linear search (control divergent)",
+		ControlDiv:    true,
+		MemDiv:        DivHigh,
+		WarpsPerBlock: 4,
+		build:         buildParticleFilter,
+	})
+	register(&Info{
+		Name: "extra_binomial_options", Suite: "extra",
+		Desc:          "binomial option tree: shrinking active-lane wavefronts in shared memory",
+		ControlDiv:    true,
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildBinomialOptions,
+	})
+	register(&Info{
+		Name: "extra_montecarlo", Suite: "extra",
+		Desc:          "monte-carlo path accumulation: per-thread xorshift RNG chains, compute-bound",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildMonteCarlo,
+	})
+	register(&Info{
+		Name: "extra_bfs_queue", Suite: "extra",
+		Desc:          "queue-based BFS step: coalesced frontier reads, two-level divergent gathers",
+		ControlDiv:    true,
+		MemDiv:        DivHigh,
+		WarpsPerBlock: 4,
+		build:         buildBfsQueue,
+	})
+	register(&Info{
+		Name: "extra_dct8x8", Suite: "extra",
+		Desc:          "8x8 block DCT: row/column passes through shared memory with barriers",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildDCT8x8,
+	})
+}
+
+// buildHeartwall: each thread correlates a 5-pixel window of its row
+// against a broadcast template; edge threads clamp (divergence).
+func buildHeartwall(s Scale) (*Launch, error) {
+	const tpb = 128
+	const win = 5
+	n := s.Blocks * tpb
+	baseImg, baseTpl, baseOut := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	b := isa.NewBuilder("extra_heartwall")
+	gid := b.GlobalID()
+	limit := b.Reg()
+	b.IMul(limit, b.Ntid(), b.Nctaid())
+	acc := b.FImmReg(0)
+	j := b.Reg()
+	b.ForImm(j, 0, win, 1, func() {
+		idx := b.Reg()
+		b.IAdd(idx, gid, j)
+		// Clamp to the array end (boundary divergence via select).
+		p := b.Pred()
+		b.ISetp(p, isa.CmpLT, idx, limit)
+		last := b.Reg()
+		b.IAddI(last, limit, -1)
+		b.Selp(idx, p, idx, last)
+		v := b.Reg()
+		b.LdG(v, addrOf(b, baseImg, idx), 0, f32)
+		tv := b.Reg()
+		b.LdG(tv, addrOf(b, baseTpl, j), 0, f32) // broadcast template
+		d := b.Reg()
+		b.FSub(d, v, tv)
+		b.FFma(acc, d, d, acc)
+	})
+	// Threads with a low SSD mark a match (control divergence).
+	match := b.ImmReg(0)
+	pm := b.Pred()
+	thr := b.FImmReg(0.5)
+	b.FSetp(pm, isa.CmpLT, acc, thr)
+	b.If(pm, func() { b.MovI(match, 1) })
+	b.StG(addrOf(b, baseOut, gid), 0, acc, f32)
+	outM := b.Reg()
+	b.IAdd(outM, gid, limit)
+	b.StG(addrOf(b, baseOut, outM), 0, match, i32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x4ea5))
+	img := randF32(m, rng, baseImg, n, 0, 1)
+	tpl := randF32(m, rng, baseTpl, win, 0, 1)
+	wantSSD := make([]float32, n)
+	wantMatch := make([]int32, n)
+	for g := 0; g < n; g++ {
+		acc := 0.0
+		for j := 0; j < win; j++ {
+			idx := g + j
+			if idx >= n {
+				idx = n - 1
+			}
+			d := float64(img[idx]) - float64(tpl[j])
+			acc = d*d + acc
+		}
+		wantSSD[g] = float32(acc)
+		if acc < 0.5 {
+			wantMatch[g] = 1
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error {
+			if err := checkF32(m, baseOut, wantSSD, 1e-5, "ssd"); err != nil {
+				return err
+			}
+			return checkI32(m, baseOut+uint64(4*n), wantMatch, "match")
+		},
+	}, nil
+}
+
+// buildLeukocyte: sample image values along a per-thread ellipse
+// perimeter; the sin/cos-derived offsets scatter within a window.
+func buildLeukocyte(s Scale) (*Launch, error) {
+	const tpb = 128
+	const samples = 8
+	n := s.Blocks * tpb
+	baseImg, baseOut := arrayBase(0), arrayBase(1)
+	imgLen := n + 512
+
+	b := isa.NewBuilder("extra_leukocyte_gicov")
+	gid := b.GlobalID()
+	acc := b.FImmReg(0)
+	k := b.Reg()
+	b.ForImm(k, 0, samples, 1, func() {
+		// offset = round(16 * sin(2*pi*k/samples + gid)) + 16*k
+		ang := b.Reg()
+		b.I2F(ang, k)
+		step := b.FImmReg(2 * math.Pi / samples)
+		b.FMul(ang, ang, step)
+		gphase := b.Reg()
+		b.I2F(gphase, gid)
+		b.FAdd(ang, ang, gphase)
+		sv := b.Reg()
+		b.FSin(sv, ang)
+		sc := b.FImmReg(16)
+		b.FMul(sv, sv, sc)
+		off := b.Reg()
+		b.F2I(off, sv)
+		k16 := b.Reg()
+		b.IMulI(k16, k, 16)
+		b.IAdd(off, off, k16)
+		idx := b.Reg()
+		b.IAdd(idx, gid, off)
+		// Clamp negative indices to zero.
+		p := b.Pred()
+		zero := b.ImmReg(0)
+		b.ISetp(p, isa.CmpGE, idx, zero)
+		b.Selp(idx, p, idx, zero)
+		v := b.Reg()
+		b.LdG(v, addrOf(b, baseImg, idx), 0, f32)
+		b.FAdd(acc, acc, v)
+	})
+	b.StG(addrOf(b, baseOut, gid), 0, acc, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x1e0c))
+	img := randF32(m, rng, baseImg, imgLen, 0, 1)
+	want := make([]float32, n)
+	for g := 0; g < n; g++ {
+		acc := 0.0
+		for k := 0; k < samples; k++ {
+			ang := float64(k)*(2*math.Pi/samples) + float64(g)
+			off := int(16*math.Sin(ang)) + 16*k
+			idx := g + off
+			if idx < 0 {
+				idx = 0
+			}
+			acc += float64(img[idx])
+		}
+		want[g] = float32(acc)
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-4, "gicov") },
+	}, nil
+}
+
+// buildMyocyte: a deep serial dependence chain of exp/div per thread — the
+// ODE-integration profile where neither multithreading nor memory matters,
+// only latency.
+func buildMyocyte(s Scale) (*Launch, error) {
+	const tpb = 128
+	const steps = 20
+	n := s.Blocks * tpb
+	baseY, baseOut := arrayBase(0), arrayBase(1)
+
+	b := isa.NewBuilder("extra_myocyte")
+	gid := b.GlobalID()
+	y := b.Reg()
+	b.LdG(y, addrOf(b, baseY, gid), 0, f32)
+	tstep := b.FImmReg(0.05)
+	one := b.FImmReg(1)
+	st := b.Reg()
+	b.ForImm(st, 0, steps, 1, func() {
+		// y += h * (exp(-y) - y) / (1 + y*y)
+		negY := b.Reg()
+		b.FNeg(negY, y)
+		e := b.Reg()
+		b.FExp(e, negY)
+		num := b.Reg()
+		b.FSub(num, e, y)
+		den := b.Reg()
+		b.FMul(den, y, y)
+		b.FAdd(den, den, one)
+		q := b.Reg()
+		b.FDiv(q, num, den)
+		b.FFma(y, q, tstep, y)
+	})
+	b.StG(addrOf(b, baseOut, gid), 0, y, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x3007e))
+	y0 := randF32(m, rng, baseY, n, 0, 2)
+	want := make([]float32, n)
+	for g := 0; g < n; g++ {
+		y := float64(y0[g])
+		for st := 0; st < steps; st++ {
+			q := (math.Exp(-y) - y) / (1 + y*y)
+			y = q*0.05 + y
+		}
+		want[g] = float32(y)
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-4, "y") },
+	}, nil
+}
+
+// buildParticleFilter: each thread draws a quantile and walks the CDF
+// until it exceeds it — a data-dependent While loop over gathered values.
+func buildParticleFilter(s Scale) (*Launch, error) {
+	const tpb = 128
+	const cdfLen = 64
+	n := s.Blocks * tpb
+	baseCDF, baseU, baseOut := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	b := isa.NewBuilder("extra_particlefilter")
+	gid := b.GlobalID()
+	u := b.Reg()
+	b.LdG(u, addrOf(b, baseU, gid), 0, f32)
+	idx := b.ImmReg(0)
+	cur := b.FImmReg(0)
+	lim := b.ImmReg(cdfLen - 1)
+	b.While(func() isa.PredReg {
+		pv := b.Pred()
+		b.FSetp(pv, isa.CmpLT, cur, u)
+		pl := b.Pred()
+		b.ISetp(pl, isa.CmpLT, idx, lim)
+		p := b.Pred()
+		b.PAnd(p, pv, pl)
+		return p
+	}, func() {
+		b.IAddI(idx, idx, 1)
+		// Scatter the CDF per warp region so the gather diverges.
+		region := b.Reg()
+		b.RemI(region, gid, 32)
+		base := b.Reg()
+		b.IMulI(base, region, cdfLen)
+		addr := b.Reg()
+		b.IAdd(addr, base, idx)
+		b.LdG(cur, addrOf(b, baseCDF, addr), 0, f32)
+	})
+	b.StG(addrOf(b, baseOut, gid), 0, idx, i32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xf11e))
+	// 32 per-lane CDFs, each increasing to 1.
+	cdf := make([]float32, 32*cdfLen)
+	for r := 0; r < 32; r++ {
+		acc := float32(0)
+		for i := 0; i < cdfLen; i++ {
+			acc += rng.Float32() / cdfLen * 2
+			if acc > 1 {
+				acc = 1
+			}
+			cdf[r*cdfLen+i] = acc
+		}
+	}
+	m.SetF32Slice(baseCDF, cdf)
+	us := randF32(m, rng, baseU, n, 0, 1)
+	want := make([]int32, n)
+	for g := 0; g < n; g++ {
+		idx, cur := 0, float32(0)
+		region := g % 32
+		for cur < us[g] && idx < cdfLen-1 {
+			idx++
+			cur = cdf[region*cdfLen+idx]
+		}
+		want[g] = int32(idx)
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkI32(m, baseOut, want, "idx") },
+	}, nil
+}
+
+// buildBinomialOptions: backward induction over a value tree in shared
+// memory; the active wavefront shrinks every step (divergence decay).
+func buildBinomialOptions(s Scale) (*Launch, error) {
+	const tpb = 128
+	const steps = 16
+	n := s.Blocks * tpb
+	baseV, baseOut := arrayBase(0), arrayBase(1)
+	const pUp = 0.55
+
+	b := isa.NewBuilder("extra_binomial_options")
+	tid := b.Tid()
+	cta := b.Ctaid()
+	gi := b.Reg()
+	b.IMulI(gi, cta, tpb)
+	b.IAdd(gi, gi, tid)
+	v := b.Reg()
+	b.LdG(v, addrOf(b, baseV, gi), 0, f32)
+	sh := b.Reg()
+	b.Shl(sh, tid, 2)
+	b.StS(sh, 0, v, f32)
+	b.Bar()
+	up := b.FImmReg(pUp)
+	down := b.FImmReg(1 - pUp)
+	// The barriers below sit inside a divergent If, which is safe here:
+	// barriers are warp-level and every warp keeps at least one active
+	// lane through all the steps (tpb-steps = 112 > 96, the last warp's
+	// first thread), so every live warp still arrives.
+	for st := 1; st <= steps; st++ {
+		p := b.Pred()
+		b.ISetpI(p, isa.CmpLT, tid, tpb-int64(st))
+		b.If(p, func() {
+			lo, hi := b.Reg(), b.Reg()
+			b.LdS(lo, sh, 0, f32)
+			b.LdS(hi, sh, 4, f32)
+			nv := b.Reg()
+			b.FMul(nv, hi, up)
+			b.FFma(nv, lo, down, nv)
+			b.Bar() // all read before any write (within the active set)
+			b.StS(sh, 0, nv, f32)
+		})
+		b.Bar()
+	}
+	pz := b.Pred()
+	b.ISetpI(pz, isa.CmpEQ, tid, 0)
+	b.If(pz, func() {
+		res := b.Reg()
+		b.LdS(res, sh, 0, f32)
+		b.StG(addrOf(b, baseOut, cta), 0, res, f32)
+	})
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xb10))
+	leaf := randF32(m, rng, baseV, n, 0, 100)
+	want := make([]float32, s.Blocks)
+	for blk := 0; blk < s.Blocks; blk++ {
+		vals := make([]float64, tpb)
+		for t := 0; t < tpb; t++ {
+			vals[t] = float64(leaf[blk*tpb+t])
+		}
+		for st := 1; st <= steps; st++ {
+			for t := 0; t < tpb-st; t++ {
+				vals[t] = vals[t+1]*pUp + vals[t]*(1-pUp)
+			}
+		}
+		want[blk] = float32(vals[0])
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb,
+		SharedBytes: tpb * 4, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-4, "option") },
+	}, nil
+}
+
+// buildMonteCarlo: per-thread xorshift chains accumulating a payoff — a
+// pure integer/FP dependence chain with one load and one store.
+func buildMonteCarlo(s Scale) (*Launch, error) {
+	const tpb = 128
+	const paths = 24
+	n := s.Blocks * tpb
+	baseSeed, baseOut := arrayBase(0), arrayBase(1)
+
+	b := isa.NewBuilder("extra_montecarlo")
+	gid := b.GlobalID()
+	st := b.Reg()
+	b.LdG(st, addrOf(b, baseSeed, gid), 0, i32)
+	acc := b.FImmReg(0)
+	inv := b.FImmReg(1.0 / (1 << 20))
+	k := b.Reg()
+	b.ForImm(k, 0, paths, 1, func() {
+		// xorshift step (on the low 31 bits).
+		t1 := b.Reg()
+		b.Shl(t1, st, 13)
+		b.Xor(st, st, t1)
+		b.AndI(st, st, 0x7FFFFFFF)
+		t2 := b.Reg()
+		b.Shr(t2, st, 17)
+		b.Xor(st, st, t2)
+		t3 := b.Reg()
+		b.Shl(t3, st, 5)
+		b.Xor(st, st, t3)
+		b.AndI(st, st, 0x7FFFFFFF)
+		// payoff contribution: frac = (state mod 2^20) / 2^20
+		low := b.Reg()
+		b.AndI(low, st, (1<<20)-1)
+		fl := b.Reg()
+		b.I2F(fl, low)
+		b.FFma(acc, fl, inv, acc)
+	})
+	scale := b.FImmReg(1.0 / paths)
+	b.FMul(acc, acc, scale)
+	b.StG(addrOf(b, baseOut, gid), 0, acc, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x30ca))
+	seeds := make([]int32, n)
+	for i := range seeds {
+		seeds[i] = 1 + rng.Int31n(1<<30)
+	}
+	m.SetI32Slice(baseSeed, seeds)
+	want := make([]float32, n)
+	for g := 0; g < n; g++ {
+		state := int64(seeds[g])
+		acc := 0.0
+		for k := 0; k < paths; k++ {
+			state ^= state << 13
+			state &= 0x7FFFFFFF
+			state ^= state >> 17
+			state ^= state << 5
+			state &= 0x7FFFFFFF
+			low := state & ((1 << 20) - 1)
+			acc = float64(low)*(1.0/(1<<20)) + acc
+		}
+		want[g] = float32(acc * (1.0 / paths))
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "mc") },
+	}, nil
+}
+
+// buildBfsQueue: read a compacted frontier queue (coalesced), then gather
+// each frontier node's adjacency (two-level indirection, divergent).
+func buildBfsQueue(s Scale) (*Launch, error) {
+	const tpb = 128
+	const deg = 4
+	n := s.Blocks * tpb
+	baseQueue, baseAdj, baseDist, baseOut := arrayBase(0), arrayBase(1), arrayBase(2), arrayBase(3)
+
+	b := isa.NewBuilder("extra_bfs_queue")
+	gid := b.GlobalID()
+	node := b.Reg()
+	b.LdG(node, addrOf(b, baseQueue, gid), 0, i32) // coalesced queue read
+	adjBase := b.Reg()
+	b.IMulI(adjBase, node, deg)
+	best := b.Reg()
+	b.LdG(best, addrOf(b, baseDist, node), 0, f32) // divergent gather
+	e := b.Reg()
+	b.ForImm(e, 0, deg, 1, func() {
+		ai := b.Reg()
+		b.IAdd(ai, adjBase, e)
+		nb := b.Reg()
+		b.LdG(nb, addrOf(b, baseAdj, ai), 0, i32) // divergent adjacency
+		nd := b.Reg()
+		b.LdG(nd, addrOf(b, baseDist, nb), 0, f32) // second-level gather
+		one := b.FImmReg(1)
+		b.FAdd(nd, nd, one)
+		b.FMin(best, best, nd)
+	})
+	b.StG(addrOf(b, baseOut, gid), 0, best, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xbf59))
+	queue := make([]int32, n)
+	adj := make([]int32, n*deg)
+	for i := 0; i < n; i++ {
+		queue[i] = rng.Int31n(int32(n))
+		for e := 0; e < deg; e++ {
+			adj[i*deg+e] = rng.Int31n(int32(n))
+		}
+	}
+	m.SetI32Slice(baseQueue, queue)
+	m.SetI32Slice(baseAdj, adj)
+	dist := randF32(m, rng, baseDist, n, 0, 50)
+	want := make([]float32, n)
+	for g := 0; g < n; g++ {
+		node := queue[g]
+		best := float64(dist[node])
+		for e := 0; e < deg; e++ {
+			nb := adj[int(node)*deg+e]
+			if d := float64(dist[nb]) + 1; d < best {
+				best = d
+			}
+		}
+		want[g] = float32(best)
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-6, "dist") },
+	}, nil
+}
+
+// buildDCT8x8: each warp processes four 8x8 blocks: row DCT into shared,
+// barrier, column DCT out — all coalesced with heavy FMA.
+func buildDCT8x8(s Scale) (*Launch, error) {
+	const tpb = 128
+	n := s.Blocks * tpb // one row of 8 pixels per thread? one element per thread
+	baseIn, baseCos, baseOut := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	// Layout: element (blk8, r, c) at index blk8*64 + r*8 + c. Each thread
+	// owns one output coefficient and reads its full row/column.
+	b := isa.NewBuilder("extra_dct8x8")
+	gid := b.GlobalID()
+	blk8 := b.Reg()
+	b.IDivI(blk8, gid, 64)
+	rem := b.Reg()
+	b.RemI(rem, gid, 64)
+	row, col := b.Reg(), b.Reg()
+	b.IDivI(row, rem, 8)
+	b.RemI(col, rem, 8)
+	base64 := b.Reg()
+	b.IMulI(base64, blk8, 64)
+
+	tid := b.Tid()
+	shAddr := b.Reg()
+	b.Shl(shAddr, tid, 2)
+
+	// Pass 1: row DCT coefficient (row, col) = sum_k in[row,k]*cos[col*8+k].
+	acc := b.FImmReg(0)
+	k := b.Reg()
+	b.ForImm(k, 0, 8, 1, func() {
+		ii := b.Reg()
+		b.IMulI(ii, row, 8)
+		b.IAdd(ii, ii, k)
+		b.IAdd(ii, ii, base64)
+		v := b.Reg()
+		b.LdG(v, addrOf(b, baseIn, ii), 0, f32)
+		ci := b.Reg()
+		b.IMulI(ci, col, 8)
+		b.IAdd(ci, ci, k)
+		cv := b.Reg()
+		b.LdG(cv, addrOf(b, baseCos, ci), 0, f32)
+		b.FFma(acc, v, cv, acc)
+	})
+	b.StS(shAddr, 0, acc, f32)
+	b.Bar()
+
+	// Pass 2: column DCT over the shared intermediate.
+	acc2 := b.FImmReg(0)
+	blkLocal := b.Reg() // tile origin within shared memory (tid - rem)
+	b.ISub(blkLocal, tid, rem)
+	k2 := b.Reg()
+	b.ForImm(k2, 0, 8, 1, func() {
+		si := b.Reg()
+		b.IMulI(si, k2, 8)
+		b.IAdd(si, si, col)
+		b.IAdd(si, si, blkLocal)
+		sa := b.Reg()
+		b.Shl(sa, si, 2)
+		v := b.Reg()
+		b.LdS(v, sa, 0, f32)
+		ci := b.Reg()
+		b.IMulI(ci, row, 8)
+		b.IAdd(ci, ci, k2)
+		cv := b.Reg()
+		b.LdG(cv, addrOf(b, baseCos, ci), 0, f32)
+		b.FFma(acc2, v, cv, acc2)
+	})
+	b.StG(addrOf(b, baseOut, gid), 0, acc2, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xdc7))
+	in := randF32(m, rng, baseIn, n, -1, 1)
+	cosT := make([]float32, 64)
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 8; x++ {
+			cosT[u*8+x] = float32(math.Cos(math.Pi * float64(u) * (2*float64(x) + 1) / 16))
+		}
+	}
+	m.SetF32Slice(baseCos, cosT)
+	want := make([]float32, n)
+	nTiles := n / 64
+	for tile := 0; tile < nTiles; tile++ {
+		var mid [64]float64
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 8; c++ {
+				acc := 0.0
+				for k := 0; k < 8; k++ {
+					acc = float64(in[tile*64+r*8+k])*float64(cosT[c*8+k]) + acc
+				}
+				mid[r*8+c] = acc
+			}
+		}
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 8; c++ {
+				acc := 0.0
+				for k := 0; k < 8; k++ {
+					acc = mid[k*8+c]*float64(cosT[r*8+k]) + acc
+				}
+				want[tile*64+r*8+c] = float32(acc)
+			}
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb,
+		SharedBytes: tpb * 4, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-4, "dct") },
+	}, nil
+}

@@ -1,0 +1,172 @@
+package kernels
+
+import (
+	"math/rand"
+
+	"gpumech/internal/isa"
+	"gpumech/internal/memory"
+)
+
+// Micro kernels: corner-case stressors outside the paper's 40-kernel
+// evaluation set (suite "micro"; excluded from the figure harness). They
+// exercise regimes the benchmark suites touch only in passing: fully
+// serialized memory latency, barrier-dominated execution, and pure copy
+// bandwidth.
+
+func init() {
+	register(&Info{
+		Name: "micro_pointer_chase", Suite: "micro",
+		Desc:          "per-lane random pointer chasing: fully serialized divergent loads, zero MLP",
+		MemDiv:        DivHigh,
+		WarpsPerBlock: 4,
+		build:         buildPointerChase,
+	})
+	register(&Info{
+		Name: "micro_barrier_ladder", Suite: "micro",
+		Desc:          "alternating one-FMA rounds and barriers: synchronization-dominated",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildBarrierLadder,
+	})
+	register(&Info{
+		Name: "micro_copy", Suite: "micro",
+		Desc:          "pure streaming copy: one load, one store, nothing else (bandwidth ceiling)",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildCopy,
+	})
+}
+
+// buildPointerChase: each thread follows hops steps of a random
+// permutation: idx = next[idx]. Every load depends on the previous one
+// (no memory-level parallelism) and lanes scatter across the table.
+func buildPointerChase(s Scale) (*Launch, error) {
+	const tpb = 128
+	const hops = 24
+	n := s.Blocks * tpb
+	baseNext, baseOut := arrayBase(0), arrayBase(1)
+
+	b := isa.NewBuilder("micro_pointer_chase")
+	idx := b.GlobalID()
+	h := b.Reg()
+	b.ForImm(h, 0, hops, 1, func() {
+		b.LdG(idx, addrOf(b, baseNext, idx), 0, i32)
+	})
+	gid := b.GlobalID()
+	b.StG(addrOf(b, baseOut, gid), 0, idx, i32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xc4a5e))
+	next := make([]int32, n)
+	perm := rng.Perm(n)
+	for i, p := range perm {
+		next[i] = int32(p)
+	}
+	m.SetI32Slice(baseNext, next)
+	want := make([]int32, n)
+	for g := 0; g < n; g++ {
+		idx := int32(g)
+		for h := 0; h < hops; h++ {
+			idx = next[idx]
+		}
+		want[g] = idx
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkI32(m, baseOut, want, "chase") },
+	}, nil
+}
+
+// buildBarrierLadder: rounds of a single shared-memory FMA separated by
+// block-wide barriers — execution time is dominated by synchronization.
+func buildBarrierLadder(s Scale) (*Launch, error) {
+	const tpb = 128
+	const rounds = 16
+	n := s.Blocks * tpb
+	baseIn, baseOut := arrayBase(0), arrayBase(1)
+
+	b := isa.NewBuilder("micro_barrier_ladder")
+	tid := b.Tid()
+	gid := b.GlobalID()
+	v := b.Reg()
+	b.LdG(v, addrOf(b, baseIn, gid), 0, f32)
+	sh := b.Reg()
+	b.Shl(sh, tid, 2)
+	r := b.Reg()
+	b.ForImm(r, 0, rounds, 1, func() {
+		b.StS(sh, 0, v, f32)
+		b.Bar()
+		// Read the neighbour's value (wrapping within the block).
+		nb := b.Reg()
+		b.IAddI(nb, tid, 1)
+		b.RemI(nb, nb, tpb)
+		na := b.Reg()
+		b.Shl(na, nb, 2)
+		other := b.Reg()
+		b.LdS(other, na, 0, f32)
+		half := b.FImmReg(0.5)
+		b.FMul(v, v, half)
+		b.FFma(v, other, half, v)
+		b.Bar()
+	})
+	b.StG(addrOf(b, baseOut, gid), 0, v, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xba8))
+	in := randF32(m, rng, baseIn, n, 0, 1)
+	want := make([]float32, n)
+	for blk := 0; blk < s.Blocks; blk++ {
+		cur := make([]float64, tpb)
+		for t := 0; t < tpb; t++ {
+			cur[t] = float64(in[blk*tpb+t])
+		}
+		for r := 0; r < rounds; r++ {
+			next := make([]float64, tpb)
+			for t := 0; t < tpb; t++ {
+				next[t] = cur[t]*0.5 + cur[(t+1)%tpb]*0.5
+			}
+			cur = next
+		}
+		for t := 0; t < tpb; t++ {
+			want[blk*tpb+t] = float32(cur[t])
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb,
+		SharedBytes: tpb * 4, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "ladder") },
+	}, nil
+}
+
+// buildCopy: c[i] = a[i], several elements per thread — the bandwidth
+// ceiling with no compute to hide behind.
+func buildCopy(s Scale) (*Launch, error) {
+	const tpb, iters = 128, 8
+	n := s.Blocks * tpb * iters
+	baseA, baseC := arrayBase(0), arrayBase(1)
+
+	prog, err := elementwise("micro_copy", iters, func(b *isa.Builder, idx isa.Reg) {
+		v := b.Reg()
+		b.LdG(v, addrOf(b, baseA, idx), 0, f32)
+		b.StG(addrOf(b, baseC, idx), 0, v, f32)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xc09))
+	a := randF32(m, rng, baseA, n, -1, 1)
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseC, a, 0, "c") },
+	}, nil
+}

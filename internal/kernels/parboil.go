@@ -1,0 +1,841 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+
+	"gpumech/internal/isa"
+	"gpumech/internal/memory"
+)
+
+// The Parboil-style kernels: throughput-computing workloads including the
+// write-heavy sad kernels the paper singles out in Figure 13's discussion,
+// sparse and irregular access (spmv, tpacf), compute-bound MRI
+// reconstruction, and the memory-streaming lbm.
+
+func init() {
+	register(&Info{
+		Name: "parboil_sad_calc8", Suite: "parboil",
+		Desc:          "sad 8x8 block matching: windowed reads dominate, strided divergent result writes",
+		MemDiv:        DivHigh,
+		WarpsPerBlock: 4,
+		build:         buildSad8,
+	})
+	register(&Info{
+		Name: "parboil_sad_calc16", Suite: "parboil",
+		Desc:          "sad 16x16 aggregation: reads 8x8 partials, divergent strided writes (write-heavy)",
+		MemDiv:        DivHigh,
+		WriteHeavy:    true,
+		WarpsPerBlock: 4,
+		build:         buildSad16,
+	})
+	register(&Info{
+		Name: "parboil_sgemm", Suite: "parboil",
+		Desc:          "tiled sgemm through shared memory: coalesced, barrier-synchronized, FMA-bound",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildSgemm,
+	})
+	register(&Info{
+		Name: "parboil_spmv", Suite: "parboil",
+		Desc:          "sparse matrix-vector: variable row lengths and random column gathers",
+		ControlDiv:    true,
+		MemDiv:        DivHigh,
+		WarpsPerBlock: 4,
+		build:         buildSpmv,
+	})
+	register(&Info{
+		Name: "parboil_stencil", Suite: "parboil",
+		Desc:          "3D 7-point stencil: coalesced x, plane-strided y/z with L2 reuse",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildStencil3D,
+	})
+	register(&Info{
+		Name: "parboil_mriq", Suite: "parboil",
+		Desc:          "mri-q computeQ: broadcast k-space samples with sin/cos FMA chains (compute-bound)",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildMriQ,
+	})
+	register(&Info{
+		Name: "parboil_mriq_phimag", Suite: "parboil",
+		Desc:          "mri-q phiMag: elementwise magnitude (sqrt), fully coalesced",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildMriPhiMag,
+	})
+	register(&Info{
+		Name: "parboil_histo", Suite: "parboil",
+		Desc:          "histogram: coalesced reads, data-dependent scatter writes (high divergence)",
+		MemDiv:        DivHigh,
+		WriteHeavy:    true,
+		WarpsPerBlock: 4,
+		build:         buildHisto,
+	})
+	register(&Info{
+		Name: "parboil_tpacf", Suite: "parboil",
+		Desc:          "tpacf angular correlation: data-dependent bin-search loops (control divergent)",
+		ControlDiv:    true,
+		MemDiv:        DivLow,
+		WarpsPerBlock: 4,
+		build:         buildTpacf,
+	})
+	register(&Info{
+		Name: "parboil_lbm", Suite: "parboil",
+		Desc:          "lattice-Boltzmann collision: nine-array streaming, DRAM-bandwidth bound",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildLbm,
+	})
+	register(&Info{
+		Name: "parboil_cutcp", Suite: "parboil",
+		Desc:          "cutoff coulomb potential: broadcast atoms, distance test divergence, rsqrt",
+		ControlDiv:    true,
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildCutcp,
+	})
+}
+
+// buildSad8: each thread computes the SAD of one 8-pixel strip against a
+// shifted reference and writes 4 results at a block-strided (divergent)
+// layout, mimicking sad's result-plane writes.
+func buildSad8(s Scale) (*Launch, error) {
+	const tpb = 128
+	const strip = 8
+	const shifts = 4
+	n := s.Blocks * tpb
+	baseCur, baseRef, baseOut := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	b := isa.NewBuilder("parboil_sad_calc8")
+	gid := b.GlobalID()
+	curBase := b.Reg()
+	b.IMulI(curBase, gid, strip)
+	sh := b.Reg()
+	b.ForImm(sh, 0, shifts, 1, func() {
+		sad := b.ImmReg(0)
+		k := b.Reg()
+		b.ForImm(k, 0, strip, 1, func() {
+			ci := b.Reg()
+			b.IAdd(ci, curBase, k)
+			cv := b.Reg()
+			b.LdG(cv, addrOf(b, baseCur, ci), 0, i32)
+			ri := b.Reg()
+			b.IAdd(ri, ci, sh)
+			rv := b.Reg()
+			b.LdG(rv, addrOf(b, baseRef, ri), 0, i32)
+			d := b.Reg()
+			b.ISub(d, cv, rv)
+			neg := b.Reg()
+			b.MovI(neg, 0)
+			b.ISub(neg, neg, d)
+			b.IMax(d, d, neg) // |d|
+			b.IAdd(sad, sad, d)
+		})
+		// Result plane: out[shift*n + gid*shifts'] with a padded stride
+		// so warp lanes scatter across lines (the sad write pattern the
+		// paper blames for DRAM queueing).
+		oi := b.Reg()
+		b.IMulI(oi, gid, shifts+1)
+		shn := b.Reg()
+		b.IMulI(shn, sh, int64(n*(shifts+1)))
+		b.IAdd(oi, oi, shn)
+		b.StG(addrOf(b, baseOut, oi), 0, sad, i32)
+	})
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5ad8))
+	cur := randI32(m, rng, baseCur, n*strip+shifts, 256)
+	ref := randI32(m, rng, baseRef, n*strip+shifts, 256)
+	want := make([]int32, shifts*n*(shifts+1))
+	for g := 0; g < n; g++ {
+		for sh := 0; sh < shifts; sh++ {
+			sad := int32(0)
+			for k := 0; k < strip; k++ {
+				d := cur[g*strip+k] - ref[g*strip+k+sh]
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+			want[sh*n*(shifts+1)+g*(shifts+1)] = sad
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error {
+			// Only the written cells are checked (padding stays zero).
+			got := m.I32Slice(baseOut, len(want))
+			for i, w := range want {
+				if w != 0 && got[i] != w {
+					return checkI32(m, baseOut, want, "sad")
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// buildSad16: aggregates 8x8 partial SADs into 16x16 results — short
+// reads, divergent strided writes.
+func buildSad16(s Scale) (*Launch, error) {
+	const tpb = 128
+	n := s.Blocks * tpb
+	basePart, baseOut := arrayBase(0), arrayBase(1)
+
+	b := isa.NewBuilder("parboil_sad_calc16")
+	gid := b.GlobalID()
+	pBase := b.Reg()
+	b.IMulI(pBase, gid, 4)
+	sum := b.ImmReg(0)
+	j := b.Reg()
+	b.ForImm(j, 0, 4, 1, func() {
+		pi := b.Reg()
+		b.IAdd(pi, pBase, j)
+		v := b.Reg()
+		b.LdG(v, addrOf(b, basePart, pi), 0, i32)
+		b.IAdd(sum, sum, v)
+		// Each partial aggregation level writes its running value to a
+		// 17-padded plane: divergent write traffic at every step.
+		oi := b.Reg()
+		b.IMulI(oi, gid, 17)
+		b.IAdd(oi, oi, j)
+		b.StG(addrOf(b, baseOut, oi), 0, sum, i32)
+	})
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5ad16))
+	part := randI32(m, rng, basePart, n*4, 1024)
+	want := make([]int32, n*17)
+	for g := 0; g < n; g++ {
+		sum := int32(0)
+		for j := 0; j < 4; j++ {
+			sum += part[g*4+j]
+			want[g*17+j] = sum
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error {
+			got := m.I32Slice(baseOut, len(want))
+			for i, w := range want {
+				if w != 0 && got[i] != w {
+					return checkI32(m, baseOut, want, "sad16")
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// buildSgemm: classic shared-memory tiled matrix multiply. Each block
+// computes a 32x4-thread tile strip with K-loop tiling through shared
+// memory.
+func buildSgemm(s Scale) (*Launch, error) {
+	const tpb = 128
+	const N = 128 // C columns
+	const K = 32  // inner dimension (one tile)
+	n := s.Blocks * tpb
+	rows := n / N
+	if n%N != 0 {
+		rows++
+	}
+	baseA, baseB, baseC := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	b := isa.NewBuilder("parboil_sgemm")
+	gid := b.GlobalID()
+	row, col := b.Reg(), b.Reg()
+	b.IDivI(row, gid, N)
+	b.RemI(col, gid, N)
+	tid := b.Tid()
+	// Cooperative load of B tile (K x 32 columns of this warp's span) is
+	// simplified: each thread stages one column strip of B into shared.
+	shTid := b.Reg()
+	b.Shl(shTid, tid, 2)
+	// Stage K elements of B for this thread's column into shared memory,
+	// so the inner loop reads shared (bank-friendly) instead of global.
+	kk := b.Reg()
+	b.ForImm(kk, 0, K, 1, func() {
+		bi := b.Reg()
+		b.IMulI(bi, kk, N)
+		b.IAdd(bi, bi, col)
+		bv := b.Reg()
+		b.LdG(bv, addrOf(b, baseB, bi), 0, f32)
+		sa := b.Reg()
+		b.IMulI(sa, kk, tpb)
+		b.IAdd(sa, sa, tid)
+		b.Shl(sa, sa, 2)
+		b.StS(sa, 0, bv, f32)
+	})
+	b.Bar()
+	acc := b.FImmReg(0)
+	rowBase := b.Reg()
+	b.IMulI(rowBase, row, K)
+	k2 := b.Reg()
+	b.ForImm(k2, 0, K, 1, func() {
+		ai := b.Reg()
+		b.IAdd(ai, rowBase, k2)
+		av := b.Reg()
+		b.LdG(av, addrOf(b, baseA, ai), 0, f32) // broadcast per warp
+		sa := b.Reg()
+		b.IMulI(sa, k2, tpb)
+		b.IAdd(sa, sa, tid)
+		b.Shl(sa, sa, 2)
+		bv := b.Reg()
+		b.LdS(bv, sa, 0, f32)
+		b.FFma(acc, av, bv, acc)
+	})
+	b.StG(addrOf(b, baseC, gid), 0, acc, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x59e))
+	av := randF32(m, rng, baseA, rows*K, -1, 1)
+	bv := randF32(m, rng, baseB, K*N, -1, 1)
+	want := make([]float32, n)
+	for i := 0; i < n; i++ {
+		r, c := i/N, i%N
+		acc := 0.0
+		for k := 0; k < K; k++ {
+			acc = float64(av[r*K+k])*float64(bv[k*N+c]) + acc
+		}
+		want[i] = float32(acc)
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb,
+		SharedBytes: K * tpb * 4, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseC, want, 1e-5, "C") },
+	}, nil
+}
+
+// buildSpmv: JDS-style sparse matrix-vector product with per-row lengths
+// and random column indices.
+func buildSpmv(s Scale) (*Launch, error) {
+	const tpb = 128
+	const maxRow = 12
+	n := s.Blocks * tpb
+	baseVal, baseCol, baseLen, baseX, baseY := arrayBase(0), arrayBase(1), arrayBase(2), arrayBase(3), arrayBase(4)
+
+	b := isa.NewBuilder("parboil_spmv")
+	gid := b.GlobalID()
+	rowLen := b.Reg()
+	b.LdG(rowLen, addrOf(b, baseLen, gid), 0, i32)
+	rowBase := b.Reg()
+	b.IMulI(rowBase, gid, maxRow)
+	acc := b.FImmReg(0)
+	j := b.Reg()
+	b.ForN(j, rowLen, func() {
+		ei := b.Reg()
+		b.IAdd(ei, rowBase, j)
+		v := b.Reg()
+		b.LdG(v, addrOf(b, baseVal, ei), 0, f32) // row-major: strided by maxRow
+		c := b.Reg()
+		b.LdG(c, addrOf(b, baseCol, ei), 0, i32)
+		x := b.Reg()
+		b.LdG(x, addrOf(b, baseX, c), 0, f32) // random gather
+		b.FFma(acc, v, x, acc)
+	})
+	b.StG(addrOf(b, baseY, gid), 0, acc, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x59f))
+	vals := randF32(m, rng, baseVal, n*maxRow, -1, 1)
+	cols := make([]int32, n*maxRow)
+	lens := make([]int32, n)
+	for i := 0; i < n; i++ {
+		// Skewed row lengths: a quarter of the matrix (power-law head) has
+		// long rows, the rest short ones — warps covering different row
+		// bands have very different interval profiles (Figure 7 material).
+		if (i/tpb)%4 != 0 { // power-law head covers most rows
+			lens[i] = 6 + rng.Int31n(maxRow-5)
+		} else {
+			lens[i] = 2 + rng.Int31n(4)
+		}
+		for j := 0; j < maxRow; j++ {
+			cols[i*maxRow+j] = rng.Int31n(int32(n))
+		}
+	}
+	m.SetI32Slice(baseCol, cols)
+	m.SetI32Slice(baseLen, lens)
+	x := randF32(m, rng, baseX, n, -1, 1)
+	want := make([]float32, n)
+	for i := 0; i < n; i++ {
+		acc := 0.0
+		for j := 0; j < int(lens[i]); j++ {
+			acc = float64(vals[i*maxRow+j])*float64(x[cols[i*maxRow+j]]) + acc
+		}
+		want[i] = float32(acc)
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseY, want, 1e-5, "y") },
+	}, nil
+}
+
+// buildStencil3D: 7-point stencil on an nx x ny x nz grid (x coalesced,
+// y/z at plane strides with strong L2 reuse).
+func buildStencil3D(s Scale) (*Launch, error) {
+	const tpb = 128
+	const nx, ny = 128, 8
+	n := s.Blocks * tpb
+	nz := n / (nx * ny)
+	if nz < 3 {
+		nz = 3
+	}
+	total := nx * ny * nz
+	baseIn, baseOut := arrayBase(0), arrayBase(1)
+	const c0, c1 = 0.5, 1.0 / 12.0
+
+	b := isa.NewBuilder("parboil_stencil")
+	gid := b.GlobalID()
+	// Interior mask: skip boundary in all dims.
+	x, rem, y, z := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.RemI(x, gid, nx)
+	b.IDivI(rem, gid, nx)
+	b.RemI(y, rem, ny)
+	b.IDivI(z, rem, ny)
+	inb := func(v isa.Reg, lo, hi int64) isa.PredReg {
+		p1 := b.Pred()
+		b.ISetpI(p1, isa.CmpGT, v, lo)
+		p2 := b.Pred()
+		b.ISetpI(p2, isa.CmpLT, v, hi)
+		p := b.Pred()
+		b.PAnd(p, p1, p2)
+		return p
+	}
+	px := inb(x, 0, nx-1)
+	py := inb(y, 0, ny-1)
+	pz := inb(z, 0, int64(nz-1))
+	pxy := b.Pred()
+	b.PAnd(pxy, px, py)
+	pall := b.Pred()
+	b.PAnd(pall, pxy, pz)
+	b.If(pall, func() {
+		center := b.Reg()
+		b.LdG(center, addrOf(b, baseIn, gid), 0, f32)
+		sum := b.FImmReg(0)
+		for _, off := range []int64{-1, 1, -nx, nx, -nx * ny, nx * ny} {
+			ni := b.Reg()
+			b.IAddI(ni, gid, off)
+			v := b.Reg()
+			b.LdG(v, addrOf(b, baseIn, ni), 0, f32)
+			b.FAdd(sum, sum, v)
+		}
+		out := b.Reg()
+		cc0 := b.FImmReg(c0)
+		b.FMul(out, center, cc0)
+		cc1 := b.FImmReg(c1)
+		b.FFma(out, sum, cc1, out)
+		b.StG(addrOf(b, baseOut, gid), 0, out, f32)
+	})
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x57e))
+	in := randF32(m, rng, baseIn, total, -1, 1)
+	want := make([]float32, n)
+	for g := 0; g < n; g++ {
+		x, rem := g%nx, g/nx
+		y, z := rem%ny, rem/ny
+		if x <= 0 || x >= nx-1 || y <= 0 || y >= ny-1 || z <= 0 || z >= nz-1 {
+			continue
+		}
+		sum := 0.0
+		for _, off := range []int{-1, 1, -nx, nx, -nx * ny, nx * ny} {
+			sum += float64(in[g+off])
+		}
+		want[g] = float32(float64(in[g])*c0 + sum*c1)
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "out") },
+	}, nil
+}
+
+// buildMriQ: the compute-bound mri-q kernel — each thread accumulates
+// sin/cos contributions over a broadcast k-space table.
+func buildMriQ(s Scale) (*Launch, error) {
+	const tpb = 128
+	const ksamples = 24
+	n := s.Blocks * tpb
+	baseX, baseK, basePhi, baseQr := arrayBase(0), arrayBase(1), arrayBase(2), arrayBase(3)
+
+	b := isa.NewBuilder("parboil_mriq")
+	gid := b.GlobalID()
+	xv := b.Reg()
+	b.LdG(xv, addrOf(b, baseX, gid), 0, f32)
+	qr := b.FImmReg(0)
+	k := b.Reg()
+	b.ForImm(k, 0, ksamples, 1, func() {
+		kv := b.Reg()
+		b.LdG(kv, addrOf(b, baseK, k), 0, f32) // broadcast, L1 resident
+		phi := b.Reg()
+		b.LdG(phi, addrOf(b, basePhi, k), 0, f32)
+		arg := b.Reg()
+		twopi := b.FImmReg(2 * math.Pi)
+		b.FMul(arg, kv, xv)
+		b.FMul(arg, arg, twopi)
+		sv := b.Reg()
+		b.FSin(sv, arg)
+		b.FFma(qr, phi, sv, qr)
+	})
+	b.StG(addrOf(b, baseQr, gid), 0, qr, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x321))
+	xs := randF32(m, rng, baseX, n, -1, 1)
+	ks := randF32(m, rng, baseK, ksamples, -1, 1)
+	phis := randF32(m, rng, basePhi, ksamples, 0, 1)
+	want := make([]float32, n)
+	for g := 0; g < n; g++ {
+		qr := 0.0
+		for k := 0; k < ksamples; k++ {
+			arg := float64(ks[k]) * float64(xs[g]) * (2 * math.Pi)
+			qr = float64(phis[k])*math.Sin(arg) + qr
+		}
+		want[g] = float32(qr)
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseQr, want, 1e-4, "Qr") },
+	}, nil
+}
+
+// buildMriPhiMag: trivially parallel magnitude computation.
+func buildMriPhiMag(s Scale) (*Launch, error) {
+	const tpb, iters = 128, 4
+	n := s.Blocks * tpb * iters
+	baseRe, baseIm, baseOut := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	prog, err := elementwise("parboil_mriq_phimag", iters, func(b *isa.Builder, idx isa.Reg) {
+		re, im := b.Reg(), b.Reg()
+		b.LdG(re, addrOf(b, baseRe, idx), 0, f32)
+		b.LdG(im, addrOf(b, baseIm, idx), 0, f32)
+		mag := b.Reg()
+		b.FMul(mag, re, re)
+		b.FFma(mag, im, im, mag)
+		out := b.Reg()
+		b.FSqrt(out, mag)
+		b.StG(addrOf(b, baseOut, idx), 0, out, f32)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x322))
+	re := randF32(m, rng, baseRe, n, -1, 1)
+	im := randF32(m, rng, baseIm, n, -1, 1)
+	want := make([]float32, n)
+	for i := range want {
+		want[i] = float32(math.Sqrt(float64(re[i])*float64(re[i]) + float64(im[i])*float64(im[i])))
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "mag") },
+	}, nil
+}
+
+// buildHisto: per-thread private histogram cells — coalesced reads, data-
+// dependent scatter writes across 64 bins.
+func buildHisto(s Scale) (*Launch, error) {
+	const tpb = 128
+	const bins = 64
+	const iters = 4
+	n := s.Blocks * tpb * iters
+	baseIn, baseOut := arrayBase(0), arrayBase(1)
+
+	b := isa.NewBuilder("parboil_histo")
+	gid := b.GlobalID()
+	total := b.Reg()
+	b.IMul(total, b.Ntid(), b.Nctaid())
+	idx := b.Reg()
+	b.Mov(idx, gid)
+	k := b.Reg()
+	b.ForImm(k, 0, iters, 1, func() {
+		v := b.Reg()
+		b.LdG(v, addrOf(b, baseIn, idx), 0, i32)
+		bin := b.Reg()
+		b.AndI(bin, v, bins-1)
+		// Private cell: out[bin*total + gid] — scatter across bin planes.
+		oi := b.Reg()
+		b.IMul(oi, bin, total)
+		b.IAdd(oi, oi, gid)
+		old := b.Reg()
+		b.LdG(old, addrOf(b, baseOut, oi), 0, i32)
+		b.IAddI(old, old, 1)
+		b.StG(addrOf(b, baseOut, oi), 0, old, i32)
+		b.IAdd(idx, idx, total)
+	})
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x415))
+	in := randI32(m, rng, baseIn, n, 1<<20)
+	nThreads := s.Blocks * tpb
+	want := make([]int32, bins*nThreads)
+	for g := 0; g < nThreads; g++ {
+		for k := 0; k < iters; k++ {
+			v := in[g+k*nThreads]
+			bin := int(v) & (bins - 1)
+			want[bin*nThreads+g]++
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkI32(m, baseOut, want, "histo") },
+	}, nil
+}
+
+// buildTpacf: angular-correlation style kernel with a data-dependent
+// binary-search loop over bin boundaries.
+func buildTpacf(s Scale) (*Launch, error) {
+	const tpb = 128
+	const nBounds = 16
+	const pairs = 8
+	n := s.Blocks * tpb
+	baseA, baseB, baseBounds, baseOut := arrayBase(0), arrayBase(1), arrayBase(2), arrayBase(3)
+
+	b := isa.NewBuilder("parboil_tpacf")
+	gid := b.GlobalID()
+	av := b.Reg()
+	b.LdG(av, addrOf(b, baseA, gid), 0, f32)
+	binAcc := b.ImmReg(0)
+	j := b.Reg()
+	b.ForImm(j, 0, pairs, 1, func() {
+		bi := b.Reg()
+		b.IMulI(bi, gid, pairs)
+		b.IAdd(bi, bi, j)
+		bv := b.Reg()
+		b.LdG(bv, addrOf(b, baseB, bi), 0, f32)
+		dot := b.Reg()
+		b.FMul(dot, av, bv)
+		// Binary search over sorted bounds: 4 iterations (log2 16).
+		lo := b.ImmReg(0)
+		hi := b.ImmReg(nBounds)
+		for it := 0; it < 4; it++ {
+			mid := b.Reg()
+			b.IAdd(mid, lo, hi)
+			b.Shr(mid, mid, 1)
+			bound := b.Reg()
+			b.LdG(bound, addrOf(b, baseBounds, mid), 0, f32)
+			p := b.Pred()
+			b.FSetp(p, isa.CmpLT, dot, bound)
+			// lo/hi update via selects (divergence-free search step).
+			b.Selp(hi, p, mid, hi)
+			b.Selp(lo, p, lo, mid)
+		}
+		b.IAdd(binAcc, binAcc, lo)
+	})
+	b.StG(addrOf(b, baseOut, gid), 0, binAcc, i32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x7ac))
+	a := randF32(m, rng, baseA, n, -1, 1)
+	bb := randF32(m, rng, baseB, n*pairs, -1, 1)
+	bounds := make([]float32, nBounds)
+	for i := range bounds {
+		bounds[i] = -1 + 2*float32(i)/nBounds
+	}
+	m.SetF32Slice(baseBounds, bounds)
+	want := make([]int32, n)
+	for g := 0; g < n; g++ {
+		acc := int32(0)
+		for j := 0; j < pairs; j++ {
+			dot := float64(a[g]) * float64(bb[g*pairs+j])
+			lo, hi := 0, nBounds
+			for it := 0; it < 4; it++ {
+				mid := (lo + hi) >> 1
+				if dot < float64(bounds[mid]) {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			acc += int32(lo)
+		}
+		want[g] = acc
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkI32(m, baseOut, want, "bins") },
+	}, nil
+}
+
+// buildLbm: lattice-Boltzmann collision step over five distribution
+// arrays in and four out — pure streaming, DRAM-bandwidth bound.
+func buildLbm(s Scale) (*Launch, error) {
+	const tpb, iters = 128, 2
+	n := s.Blocks * tpb * iters
+	var baseIn [5]uint64
+	var baseOut [4]uint64
+	for i := range baseIn {
+		baseIn[i] = arrayBase(i)
+	}
+	for i := range baseOut {
+		baseOut[i] = arrayBase(5 + i)
+	}
+	const omega = 1.85
+
+	prog, err := elementwise("parboil_lbm", iters, func(b *isa.Builder, idx isa.Reg) {
+		var f [5]isa.Reg
+		rho := b.FImmReg(0)
+		for i := 0; i < 5; i++ {
+			f[i] = b.Reg()
+			b.LdG(f[i], addrOf(b, baseIn[i], idx), 0, f32)
+			b.FAdd(rho, rho, f[i])
+		}
+		fifth := b.FImmReg(0.2)
+		eq := b.Reg()
+		b.FMul(eq, rho, fifth)
+		om := b.FImmReg(omega)
+		for i := 0; i < 4; i++ {
+			d := b.Reg()
+			b.FSub(d, eq, f[i])
+			out := b.Reg()
+			b.FFma(out, d, om, f[i])
+			b.StG(addrOf(b, baseOut[i], idx), 0, out, f32)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x1b3))
+	var in [5][]float32
+	for i := range in {
+		in[i] = randF32(m, rng, baseIn[i], n, 0, 1)
+	}
+	var want [4][]float32
+	for i := range want {
+		want[i] = make([]float32, n)
+	}
+	for g := 0; g < n; g++ {
+		rho := 0.0
+		for i := 0; i < 5; i++ {
+			rho += float64(in[i][g])
+		}
+		eq := rho * 0.2
+		for i := 0; i < 4; i++ {
+			want[i][g] = float32((eq-float64(in[i][g]))*omega + float64(in[i][g]))
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error {
+			for i := range want {
+				if err := checkF32(m, baseOut[i], want[i], 1e-5, "f"); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}, nil
+}
+
+// buildCutcp: cutoff Coulomb potential — grid points accumulate charge
+// over a broadcast atom list with a distance test (control divergence).
+func buildCutcp(s Scale) (*Launch, error) {
+	const tpb = 128
+	const atoms = 24
+	const cutoff2 = 1.0
+	n := s.Blocks * tpb
+	baseGX, baseAX, baseAQ, baseOut := arrayBase(0), arrayBase(1), arrayBase(2), arrayBase(3)
+
+	b := isa.NewBuilder("parboil_cutcp")
+	gid := b.GlobalID()
+	gx := b.Reg()
+	b.LdG(gx, addrOf(b, baseGX, gid), 0, f32)
+	pot := b.FImmReg(0)
+	a := b.Reg()
+	b.ForImm(a, 0, atoms, 1, func() {
+		ax := b.Reg()
+		b.LdG(ax, addrOf(b, baseAX, a), 0, f32) // broadcast
+		aq := b.Reg()
+		b.LdG(aq, addrOf(b, baseAQ, a), 0, f32)
+		d := b.Reg()
+		b.FSub(d, gx, ax)
+		r2 := b.Reg()
+		b.FMul(r2, d, d)
+		p := b.Pred()
+		cut := b.FImmReg(cutoff2)
+		b.FSetp(p, isa.CmpLT, r2, cut)
+		b.If(p, func() {
+			eps := b.FImmReg(1e-3)
+			b.FAdd(r2, r2, eps)
+			rs := b.Reg()
+			b.FSqrt(rs, r2)
+			inv := b.Reg()
+			b.FRcp(inv, rs)
+			s2 := b.Reg()
+			cut2 := b.FImmReg(1 / cutoff2)
+			b.FMul(s2, r2, cut2)
+			one := b.FImmReg(1)
+			w := b.Reg()
+			b.FSub(w, one, s2)
+			term := b.Reg()
+			b.FMul(term, inv, w)
+			b.FFma(pot, term, aq, pot)
+		})
+	})
+	b.StG(addrOf(b, baseOut, gid), 0, pot, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xc7c))
+	gxs := randF32(m, rng, baseGX, n, -4, 4)
+	axs := randF32(m, rng, baseAX, atoms, -4, 4)
+	aqs := randF32(m, rng, baseAQ, atoms, 0, 1)
+	want := make([]float32, n)
+	for g := 0; g < n; g++ {
+		pot := 0.0
+		for a := 0; a < atoms; a++ {
+			d := float64(gxs[g]) - float64(axs[a])
+			r2 := d * d
+			if r2 < cutoff2 {
+				r2e := r2 + 1e-3
+				term := (1 / math.Sqrt(r2e)) * (1 - r2e*(1/cutoff2))
+				pot = term*float64(aqs[a]) + pot
+			}
+		}
+		want[g] = float32(pot)
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-4, "pot") },
+	}, nil
+}

@@ -1,0 +1,1595 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gpumech/internal/isa"
+	"gpumech/internal/memory"
+)
+
+// The Rodinia-style kernels: the heterogeneous-computing suite the paper
+// draws most of its workloads from, spanning stencils (srad, hotspot),
+// clustering with extreme memory divergence (kmeans), unstructured-grid
+// CFD, graph traversal (bfs), dynamic programming (pathfinder, nw),
+// dense linear algebra (lud, gaussian) and n-body style compute (lavamd).
+
+func init() {
+	register(&Info{
+		Name: "rodinia_srad1", Suite: "rodinia",
+		Desc:          "SRAD pass 1: column-major 5-point stencil (divergent accesses, Figure 4 kernel)",
+		ControlDiv:    true,
+		MemDiv:        DivHigh,
+		WarpsPerBlock: 4,
+		build:         buildSrad1,
+	})
+	register(&Info{
+		Name: "rodinia_srad2", Suite: "rodinia",
+		Desc:          "SRAD pass 2: divergence update from pass-1 coefficients",
+		MemDiv:        DivLow,
+		WarpsPerBlock: 4,
+		build:         buildSrad2,
+	})
+	register(&Info{
+		Name: "rodinia_kmeans_invert", Suite: "rodinia",
+		Desc:          "kmeans invert_mapping: 32-way divergent feature reads (L1 resident) and divergent padded writes",
+		MemDiv:        DivHigh,
+		WriteHeavy:    true,
+		WarpsPerBlock: 4,
+		build:         buildKmeansInvert,
+	})
+	register(&Info{
+		Name: "rodinia_kmeans_point", Suite: "rodinia",
+		Desc:          "kmeans point assignment: strided point features, broadcast centers, divergent min update",
+		ControlDiv:    true,
+		MemDiv:        DivMedium,
+		WarpsPerBlock: 4,
+		build:         buildKmeansPoint,
+	})
+	register(&Info{
+		Name: "rodinia_cfd_step_factor", Suite: "rodinia",
+		Desc:          "cfd step_factor: fully coalesced five-array streaming with sqrt/div (Figure 16 kernel)",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildCfdStepFactor,
+	})
+	register(&Info{
+		Name: "rodinia_cfd_compute_flux", Suite: "rodinia",
+		Desc:          "cfd compute_flux: neighbour gather with medium divergence (Figure 16 kernel)",
+		MemDiv:        DivMedium,
+		WarpsPerBlock: 4,
+		build:         buildCfdComputeFlux,
+	})
+	register(&Info{
+		Name: "rodinia_bfs", Suite: "rodinia",
+		Desc:          "bfs frontier expansion: variable-degree edge loops, random neighbour gathers",
+		ControlDiv:    true,
+		MemDiv:        DivHigh,
+		WarpsPerBlock: 4,
+		build:         buildBfs,
+	})
+	register(&Info{
+		Name: "rodinia_bfs_update", Suite: "rodinia",
+		Desc:          "bfs frontier update: predicated elementwise mask maintenance",
+		ControlDiv:    true,
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildBfsUpdate,
+	})
+	register(&Info{
+		Name: "rodinia_hotspot", Suite: "rodinia",
+		Desc:          "hotspot: shared-memory tiled thermal stencil over temperature and power grids",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildHotspot,
+	})
+	register(&Info{
+		Name: "rodinia_pathfinder", Suite: "rodinia",
+		Desc:          "pathfinder: iterative dynamic-programming rows in shared memory with boundary divergence",
+		ControlDiv:    true,
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildPathfinder,
+	})
+	register(&Info{
+		Name: "rodinia_backprop_layerforward", Suite: "rodinia",
+		Desc:          "backprop layerforward: weight products plus divergent shared-memory reduction ladder",
+		ControlDiv:    true,
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildBackpropForward,
+	})
+	register(&Info{
+		Name: "rodinia_backprop_adjust", Suite: "rodinia",
+		Desc:          "backprop adjust_weights: three-array streaming weight update",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildBackpropAdjust,
+	})
+	register(&Info{
+		Name: "rodinia_lud_diagonal", Suite: "rodinia",
+		Desc:          "lud diagonal block factorization: triangular loops and barriers in shared memory",
+		ControlDiv:    true,
+		MemDiv:        DivLow,
+		WarpsPerBlock: 4,
+		build:         buildLud,
+	})
+	register(&Info{
+		Name: "rodinia_nw", Suite: "rodinia",
+		Desc:          "needleman-wunsch anti-diagonal DP in shared memory with strided reference loads",
+		ControlDiv:    true,
+		MemDiv:        DivMedium,
+		WarpsPerBlock: 4,
+		build:         buildNW,
+	})
+	register(&Info{
+		Name: "rodinia_gaussian_fan1", Suite: "rodinia",
+		Desc:          "gaussian fan1: column-strided multiplier computation, fully divergent loads",
+		MemDiv:        DivHigh,
+		WarpsPerBlock: 4,
+		build:         buildGaussianFan1,
+	})
+	register(&Info{
+		Name: "rodinia_gaussian_fan2", Suite: "rodinia",
+		Desc:          "gaussian fan2: row elimination update, coalesced rows with broadcast pivot",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildGaussianFan2,
+	})
+	register(&Info{
+		Name: "rodinia_streamcluster", Suite: "rodinia",
+		Desc:          "streamcluster distance kernel: strided point dimensions, conditional membership",
+		ControlDiv:    true,
+		MemDiv:        DivMedium,
+		WarpsPerBlock: 4,
+		build:         buildStreamcluster,
+	})
+	register(&Info{
+		Name: "rodinia_lavamd", Suite: "rodinia",
+		Desc:          "lavamd neighbour interactions: broadcast particle loads with exp/rsqrt chains",
+		MemDiv:        DivLow,
+		WarpsPerBlock: 4,
+		build:         buildLavaMD,
+	})
+}
+
+// buildSrad1: each thread updates one cell of an H x W grid stored
+// COLUMN-major, as in Rodinia's MATLAB-derived SRAD: threads are assigned
+// row-major, so every access strides by H elements across the warp — the
+// divergent memory accesses the paper's Figure 4 case study relies on.
+// Boundary threads clamp via predicated selects.
+func buildSrad1(s Scale) (*Launch, error) {
+	const tpb = 128
+	const W = 256
+	n := s.Blocks * tpb
+	if n%W != 0 {
+		return nil, fmt.Errorf("grid of %d threads does not tile width %d", n, W)
+	}
+	H := n / W
+	baseImg, baseC := arrayBase(0), arrayBase(1)
+	const q0sqr = 0.05
+
+	b := isa.NewBuilder("rodinia_srad1")
+	gid := b.GlobalID()
+	row, col := b.Reg(), b.Reg()
+	b.IDivI(row, gid, W)
+	b.RemI(col, gid, W)
+	// Column-major element index: c*H + r. Across a warp col varies, so
+	// addresses stride by H elements: fully divergent.
+	cmIdx := b.Reg()
+	b.IMulI(cmIdx, col, int64(H))
+	b.IAdd(cmIdx, cmIdx, row)
+
+	jc := b.Reg()
+	b.LdG(jc, addrOf(b, baseImg, cmIdx), 0, f32)
+
+	// Clamped neighbour indices via predicated selects. In column-major
+	// layout north/south are +-1 and west/east are +-H.
+	loadNbr := func(offset int64, boundPred func() isa.PredReg) isa.Reg {
+		idx := b.Reg()
+		b.IAddI(idx, cmIdx, offset)
+		p := boundPred()
+		clamped := b.Reg()
+		b.Selp(clamped, p, idx, cmIdx)
+		v := b.Reg()
+		b.LdG(v, addrOf(b, baseImg, clamped), 0, f32)
+		return v
+	}
+	jn := loadNbr(-1, func() isa.PredReg {
+		p := b.Pred()
+		b.ISetpI(p, isa.CmpGT, row, 0)
+		return p
+	})
+	js := loadNbr(1, func() isa.PredReg {
+		p := b.Pred()
+		b.ISetpI(p, isa.CmpLT, row, int64(H-1))
+		return p
+	})
+	jw := loadNbr(int64(-H), func() isa.PredReg {
+		p := b.Pred()
+		b.ISetpI(p, isa.CmpGT, col, 0)
+		return p
+	})
+	je := loadNbr(int64(H), func() isa.PredReg {
+		p := b.Pred()
+		b.ISetpI(p, isa.CmpLT, col, W-1)
+		return p
+	})
+
+	// Directional derivatives and diffusion coefficient.
+	dN, dS, dW, dE := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	b.FSub(dN, jn, jc)
+	b.FSub(dS, js, jc)
+	b.FSub(dW, jw, jc)
+	b.FSub(dE, je, jc)
+	g2 := b.FImmReg(0)
+	for _, d := range []isa.Reg{dN, dS, dW, dE} {
+		b.FFma(g2, d, d, g2)
+	}
+	jc2 := b.Reg()
+	b.FMul(jc2, jc, jc)
+	eps := b.FImmReg(1e-6)
+	b.FAdd(jc2, jc2, eps)
+	g2n := b.Reg()
+	b.FDiv(g2n, g2, jc2)
+	l := b.Reg()
+	b.FAdd(l, dN, dS)
+	b.FAdd(l, l, dW)
+	b.FAdd(l, l, dE)
+	lap := b.Reg()
+	b.FDiv(lap, l, jc)
+	num := b.Reg()
+	half := b.FImmReg(0.5)
+	b.FMul(num, g2n, half)
+	lap2 := b.Reg()
+	b.FMul(lap2, lap, lap)
+	sixteenth := b.FImmReg(1.0 / 16.0)
+	b.FFma(num, lap2, sixteenth, num)
+	den := b.Reg()
+	quarter := b.FImmReg(0.25)
+	b.FFma(den, lap, quarter, b.FImmReg(1))
+	den2 := b.Reg()
+	b.FMul(den2, den, den)
+	qsqr := b.Reg()
+	b.FDiv(qsqr, num, den2)
+	q0 := b.FImmReg(q0sqr)
+	dq := b.Reg()
+	b.FSub(dq, qsqr, q0)
+	denc := b.Reg()
+	b.FMul(denc, q0, b.FImmReg(1+q0sqr))
+	cval := b.Reg()
+	b.FDiv(cval, dq, denc)
+	one := b.FImmReg(1)
+	b.FAdd(cval, cval, one)
+	b.FRcp(cval, cval)
+	// Clamp c to [0, 1].
+	zero := b.FImmReg(0)
+	b.FMax(cval, cval, zero)
+	b.FMin(cval, cval, one)
+	b.StG(addrOf(b, baseC, cmIdx), 0, cval, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x54ad1))
+	img := randF32(m, rng, baseImg, n, 0.1, 1.1)
+	want := make([]float32, n)
+	for r := 0; r < H; r++ {
+		for c := 0; c < W; c++ {
+			i := c*H + r // column-major
+			jc := float64(img[i])
+			pick := func(cond bool, idx int) float64 {
+				if cond {
+					return float64(img[idx])
+				}
+				return jc
+			}
+			jn := pick(r > 0, i-1)
+			js := pick(r < H-1, i+1)
+			jw := pick(c > 0, i-H)
+			je := pick(c < W-1, i+H)
+			dN, dS, dW, dE := jn-jc, js-jc, jw-jc, je-jc
+			g2 := dN*dN + dS*dS + dW*dW + dE*dE
+			g2n := g2 / (jc*jc + 1e-6)
+			l := dN + dS + dW + dE
+			lap := l / jc
+			num := g2n*0.5 + lap*lap*(1.0/16.0)
+			den := 1 + lap*0.25
+			qsqr := num / (den * den)
+			cv := 1 / (1 + (qsqr-q0sqr)/(q0sqr*(1+q0sqr)))
+			cv = math.Max(0, math.Min(1, cv))
+			want[i] = float32(cv)
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseC, want, 1e-4, "c") },
+	}, nil
+}
+
+// buildSrad2: the second SRAD pass reads the pass-1 coefficients of the
+// south and east neighbours and applies the diffusion update.
+func buildSrad2(s Scale) (*Launch, error) {
+	const tpb = 128
+	const W = 256
+	const lambda = 0.125
+	n := s.Blocks * tpb
+	if n%W != 0 {
+		return nil, fmt.Errorf("grid of %d threads does not tile width %d", n, W)
+	}
+	H := n / W
+	baseImg, baseC, baseOut := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	b := isa.NewBuilder("rodinia_srad2")
+	gid := b.GlobalID()
+	row, col := b.Reg(), b.Reg()
+	b.IDivI(row, gid, W)
+	b.RemI(col, gid, W)
+
+	jc := b.Reg()
+	b.LdG(jc, addrOf(b, baseImg, gid), 0, f32)
+	cc := b.Reg()
+	b.LdG(cc, addrOf(b, baseC, gid), 0, f32)
+
+	ps := b.Pred()
+	b.ISetpI(ps, isa.CmpLT, row, int64(H-1))
+	sIdx := b.Reg()
+	b.IAddI(sIdx, gid, W)
+	sClamped := b.Reg()
+	b.Selp(sClamped, ps, sIdx, gid)
+	cs := b.Reg()
+	b.LdG(cs, addrOf(b, baseC, sClamped), 0, f32)
+	js := b.Reg()
+	b.LdG(js, addrOf(b, baseImg, sClamped), 0, f32)
+
+	pe := b.Pred()
+	b.ISetpI(pe, isa.CmpLT, col, W-1)
+	eIdx := b.Reg()
+	b.IAddI(eIdx, gid, 1)
+	eClamped := b.Reg()
+	b.Selp(eClamped, pe, eIdx, gid)
+	ce := b.Reg()
+	b.LdG(ce, addrOf(b, baseC, eClamped), 0, f32)
+
+	dS, dE := b.Reg(), b.Reg()
+	b.FSub(dS, js, jc)
+	b.FSub(dE, ce, cc)
+	div := b.Reg()
+	b.FMul(div, cs, dS)
+	b.FFma(div, ce, dE, div)
+	out := b.Reg()
+	lam := b.FImmReg(lambda)
+	b.FFma(out, div, lam, jc)
+	b.StG(addrOf(b, baseOut, gid), 0, out, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x54ad2))
+	img := randF32(m, rng, baseImg, n, 0.1, 1.1)
+	cv := randF32(m, rng, baseC, n, 0, 1)
+	want := make([]float32, n)
+	for r := 0; r < H; r++ {
+		for c := 0; c < W; c++ {
+			i := r*W + c
+			si, ei := i, i
+			if r < H-1 {
+				si = i + W
+			}
+			if c < W-1 {
+				ei = i + 1
+			}
+			dS := float64(img[si]) - float64(img[i])
+			dE := float64(cv[ei]) - float64(cv[i])
+			div := float64(cv[si])*dS + float64(cv[ei])*dE
+			want[i] = float32(div*lambda + float64(img[i]))
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-4, "out") },
+	}, nil
+}
+
+// buildKmeansInvert: the paper's maximum-divergence kernel. Each thread
+// owns one point with 32 features stored point-major (one 128-byte line
+// per point): the feature loop's loads are 32-way divergent on the first
+// iteration and L1 hits afterwards (the paper reports a 90.5% L1 hit
+// rate). The transposed output uses a padded stride of 33 so every store
+// is 32-way divergent — the write traffic that makes DRAM-bandwidth
+// modeling essential (Section VI-B).
+func buildKmeansInvert(s Scale) (*Launch, error) {
+	const tpb = 128
+	const nf = 32
+	np := s.Blocks * tpb
+	baseIn, baseOut := arrayBase(0), arrayBase(1)
+
+	b := isa.NewBuilder("rodinia_kmeans_invert")
+	pt := b.GlobalID()
+	inBase := b.Reg()
+	b.IMulI(inBase, pt, nf)
+	outBase := b.Reg()
+	b.IMulI(outBase, pt, nf+1)
+	fr := b.Reg()
+	b.ForImm(fr, 0, nf, 1, func() {
+		ii := b.Reg()
+		b.IAdd(ii, inBase, fr)
+		v := b.Reg()
+		b.LdG(v, addrOf(b, baseIn, ii), 0, f32)
+		oi := b.Reg()
+		b.IAdd(oi, outBase, fr)
+		b.StG(addrOf(b, baseOut, oi), 0, v, f32)
+	})
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x4a3a))
+	in := randF32(m, rng, baseIn, np*nf, 0, 10)
+	want := make([]float32, np*(nf+1))
+	for p := 0; p < np; p++ {
+		for f := 0; f < nf; f++ {
+			want[p*(nf+1)+f] = in[p*nf+f]
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 0, "out") },
+	}, nil
+}
+
+// buildKmeansPoint: assign each point to the nearest of k centers.
+func buildKmeansPoint(s Scale) (*Launch, error) {
+	const tpb = 128
+	const nf = 8
+	const k = 8
+	np := s.Blocks * tpb
+	baseP, baseC, baseM := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	b := isa.NewBuilder("rodinia_kmeans_point")
+	pt := b.GlobalID()
+	pBase := b.Reg()
+	b.IMulI(pBase, pt, nf)
+	bestD := b.FImmReg(math.MaxFloat32)
+	bestI := b.ImmReg(0)
+	ci := b.Reg()
+	b.ForImm(ci, 0, k, 1, func() {
+		cBase := b.Reg()
+		b.IMulI(cBase, ci, nf)
+		dist := b.FImmReg(0)
+		fi := b.Reg()
+		b.ForImm(fi, 0, nf, 1, func() {
+			pi := b.Reg()
+			b.IAdd(pi, pBase, fi)
+			pv := b.Reg()
+			b.LdG(pv, addrOf(b, baseP, pi), 0, f32) // strided: 8-way divergent, L1 friendly
+			cidx := b.Reg()
+			b.IAdd(cidx, cBase, fi)
+			cv := b.Reg()
+			b.LdG(cv, addrOf(b, baseC, cidx), 0, f32) // broadcast
+			d := b.Reg()
+			b.FSub(d, pv, cv)
+			b.FFma(dist, d, d, dist)
+		})
+		p := b.Pred()
+		b.FSetp(p, isa.CmpLT, dist, bestD)
+		b.If(p, func() {
+			b.Mov(bestD, dist)
+			b.Mov(bestI, ci)
+		})
+	})
+	b.StG(addrOf(b, baseM, pt), 0, bestI, i32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x4a3b))
+	pts := randF32(m, rng, baseP, np*nf, 0, 10)
+	ctr := randF32(m, rng, baseC, k*nf, 0, 10)
+	want := make([]int32, np)
+	for p := 0; p < np; p++ {
+		bd, bi := math.MaxFloat64, int32(0)
+		for c := 0; c < k; c++ {
+			dist := 0.0
+			for f := 0; f < nf; f++ {
+				d := float64(pts[p*nf+f]) - float64(ctr[c*nf+f])
+				dist = d*d + dist
+			}
+			if dist < bd {
+				bd, bi = dist, int32(c)
+			}
+		}
+		want[p] = bi
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkI32(m, baseM, want, "membership") },
+	}, nil
+}
+
+// buildCfdStepFactor: the paper's fully coalesced Figure 16 kernel — five
+// streaming loads, sqrt/div chain, one streaming store.
+func buildCfdStepFactor(s Scale) (*Launch, error) {
+	const tpb = 128
+	const iters = 3
+	n := s.Blocks * tpb * iters
+	baseRho, baseMX, baseMY, baseMZ, baseE, baseOut :=
+		arrayBase(0), arrayBase(1), arrayBase(2), arrayBase(3), arrayBase(4), arrayBase(5)
+	const gamma = 1.4
+
+	prog, err := elementwise("rodinia_cfd_step_factor", iters, func(b *isa.Builder, idx isa.Reg) {
+		rho, mx, my, mz, e := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		b.LdG(rho, addrOf(b, baseRho, idx), 0, f32)
+		b.LdG(mx, addrOf(b, baseMX, idx), 0, f32)
+		b.LdG(my, addrOf(b, baseMY, idx), 0, f32)
+		b.LdG(mz, addrOf(b, baseMZ, idx), 0, f32)
+		b.LdG(e, addrOf(b, baseE, idx), 0, f32)
+		inv := b.Reg()
+		b.FRcp(inv, rho)
+		v2 := b.FImmReg(0)
+		for _, mom := range []isa.Reg{mx, my, mz} {
+			u := b.Reg()
+			b.FMul(u, mom, inv)
+			b.FFma(v2, u, u, v2)
+		}
+		pr := b.Reg()
+		half := b.FImmReg(0.5)
+		b.FMul(pr, rho, v2)
+		b.FMul(pr, pr, half)
+		b.FSub(pr, e, pr)
+		gm := b.FImmReg(gamma - 1)
+		b.FMul(pr, pr, gm)
+		c2 := b.Reg()
+		g := b.FImmReg(gamma)
+		b.FMul(c2, g, pr)
+		b.FMul(c2, c2, inv)
+		cspd := b.Reg()
+		b.FAbs(c2, c2)
+		b.FSqrt(cspd, c2)
+		vmag := b.Reg()
+		b.FSqrt(vmag, v2)
+		denom := b.Reg()
+		b.FAdd(denom, vmag, cspd)
+		sf := b.Reg()
+		halfC := b.FImmReg(0.5)
+		b.FDiv(sf, halfC, denom)
+		b.StG(addrOf(b, baseOut, idx), 0, sf, f32)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xcfd1))
+	rho := randF32(m, rng, baseRho, n, 0.5, 2)
+	mx := randF32(m, rng, baseMX, n, -1, 1)
+	my := randF32(m, rng, baseMY, n, -1, 1)
+	mz := randF32(m, rng, baseMZ, n, -1, 1)
+	en := randF32(m, rng, baseE, n, 2, 5)
+	want := make([]float32, n)
+	for i := 0; i < n; i++ {
+		inv := 1 / float64(rho[i])
+		v2 := 0.0
+		for _, mm := range []float32{mx[i], my[i], mz[i]} {
+			u := float64(mm) * inv
+			v2 = u*u + v2
+		}
+		pr := (float64(en[i]) - 0.5*float64(rho[i])*v2) * (gamma - 1)
+		cspd := math.Sqrt(math.Abs(gamma * pr * inv))
+		want[i] = float32(0.5 / (math.Sqrt(v2) + cspd))
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-4, "sf") },
+	}, nil
+}
+
+// buildCfdComputeFlux: gather over four neighbours through an index array
+// with bounded locality, the paper's medium-divergence Figure 16 kernel
+// ("some memory instructions have up to 16 diverged requests").
+func buildCfdComputeFlux(s Scale) (*Launch, error) {
+	const tpb = 128
+	const nbrs = 4
+	n := s.Blocks * tpb
+	baseVar, baseIdx, baseOut := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	b := isa.NewBuilder("rodinia_cfd_compute_flux")
+	gid := b.GlobalID()
+	mine := b.Reg()
+	b.LdG(mine, addrOf(b, baseVar, gid), 0, f32)
+	idxBase := b.Reg()
+	b.IMulI(idxBase, gid, nbrs)
+	flux := b.FImmReg(0)
+	j := b.Reg()
+	b.ForImm(j, 0, nbrs, 1, func() {
+		ii := b.Reg()
+		b.IAdd(ii, idxBase, j)
+		nb := b.Reg()
+		b.LdG(nb, addrOf(b, baseIdx, ii), 0, i32) // coalesced index load
+		nv := b.Reg()
+		b.LdG(nv, addrOf(b, baseVar, nb), 0, f32) // divergent gather
+		d := b.Reg()
+		b.FSub(d, nv, mine)
+		coef := b.FImmReg(0.25)
+		b.FFma(flux, d, coef, flux)
+	})
+	b.StG(addrOf(b, baseOut, gid), 0, flux, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xcfd2))
+	vars := randF32(m, rng, baseVar, n, 0, 1)
+	idx := make([]int32, n*nbrs)
+	for i := range idx {
+		// Neighbours within a +/-256 element window: 8-16 way divergence.
+		self := int32(i / nbrs)
+		off := rng.Int31n(512) - 256
+		nb := self + off
+		if nb < 0 {
+			nb += int32(n)
+		}
+		if nb >= int32(n) {
+			nb -= int32(n)
+		}
+		idx[i] = nb
+	}
+	m.SetI32Slice(baseIdx, idx)
+	want := make([]float32, n)
+	for i := 0; i < n; i++ {
+		flux := 0.0
+		for j := 0; j < nbrs; j++ {
+			d := float64(vars[idx[i*nbrs+j]]) - float64(vars[i])
+			flux = d*0.25 + flux
+		}
+		want[i] = float32(flux)
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "flux") },
+	}, nil
+}
+
+// buildBfs: one frontier-expansion step. Thread = node; active nodes walk
+// their (variable-length) edge lists, gather neighbour costs, and write
+// the relaxed cost. Inactive warps' lanes idle — the paper's canonical
+// control-divergent kernel.
+func buildBfs(s Scale) (*Launch, error) {
+	const tpb = 128
+	const maxDeg = 8
+	n := s.Blocks * tpb
+	baseMask, baseDeg, baseEdges, baseCost, baseOut :=
+		arrayBase(0), arrayBase(1), arrayBase(2), arrayBase(3), arrayBase(4)
+
+	b := isa.NewBuilder("rodinia_bfs")
+	gid := b.GlobalID()
+	active := b.Reg()
+	b.LdG(active, addrOf(b, baseMask, gid), 0, i32)
+	myCost := b.Reg()
+	b.LdG(myCost, addrOf(b, baseCost, gid), 0, f32)
+	best := b.Reg()
+	b.Mov(best, myCost)
+	pAct := b.Pred()
+	b.ISetpI(pAct, isa.CmpNE, active, 0)
+	b.If(pAct, func() {
+		deg := b.Reg()
+		b.LdG(deg, addrOf(b, baseDeg, gid), 0, i32)
+		eBase := b.Reg()
+		b.IMulI(eBase, gid, maxDeg)
+		e := b.Reg()
+		b.ForN(e, deg, func() {
+			ei := b.Reg()
+			b.IAdd(ei, eBase, e)
+			nb := b.Reg()
+			b.LdG(nb, addrOf(b, baseEdges, ei), 0, i32)
+			nc := b.Reg()
+			b.LdG(nc, addrOf(b, baseCost, nb), 0, f32) // random gather
+			oneMore := b.Reg()
+			one := b.FImmReg(1)
+			b.FAdd(oneMore, nc, one)
+			b.FMin(best, best, oneMore)
+		})
+	})
+	b.StG(addrOf(b, baseOut, gid), 0, best, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xbf5))
+	mask := make([]int32, n)
+	deg := make([]int32, n)
+	edges := make([]int32, n*maxDeg)
+	for i := 0; i < n; i++ {
+		// Frontier density is regional, as in a real BFS wave: every
+		// fourth block is in the hot frontier (dense, high degree), the
+		// rest are mostly idle. This makes warps genuinely heterogeneous
+		// across the grid — the control divergence the paper's Figure 7
+		// representative-warp study depends on.
+		blk := i / tpb
+		hot := blk%4 != 0 // three quarters of the grid is the hot frontier
+		if hot {
+			if rng.Float32() < 0.7 {
+				mask[i] = 1
+			}
+			deg[i] = 3 + rng.Int31n(maxDeg-2)
+		} else {
+			if rng.Float32() < 0.3 {
+				mask[i] = 1
+			}
+			deg[i] = 1 + rng.Int31n(3)
+		}
+		for e := 0; e < maxDeg; e++ {
+			edges[i*maxDeg+e] = rng.Int31n(int32(n))
+		}
+	}
+	m.SetI32Slice(baseMask, mask)
+	m.SetI32Slice(baseDeg, deg)
+	m.SetI32Slice(baseEdges, edges)
+	cost := randF32(m, rng, baseCost, n, 0, 100)
+	want := make([]float32, n)
+	for i := 0; i < n; i++ {
+		best := float64(cost[i])
+		if mask[i] != 0 {
+			for e := 0; e < int(deg[i]); e++ {
+				c := float64(cost[edges[i*maxDeg+e]]) + 1
+				if c < best {
+					best = c
+				}
+			}
+		}
+		want[i] = float32(best)
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-6, "cost") },
+	}, nil
+}
+
+// buildBfsUpdate: the second bfs kernel — cheap predicated mask update.
+func buildBfsUpdate(s Scale) (*Launch, error) {
+	const tpb, iters = 128, 4
+	n := s.Blocks * tpb * iters
+	baseUpd, baseMask, baseVisited := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	prog, err := elementwise("rodinia_bfs_update", iters, func(b *isa.Builder, idx isa.Reg) {
+		upd := b.Reg()
+		b.LdG(upd, addrOf(b, baseUpd, idx), 0, i32)
+		p := b.Pred()
+		b.ISetpI(p, isa.CmpNE, upd, 0)
+		b.If(p, func() {
+			one := b.ImmReg(1)
+			b.StG(addrOf(b, baseMask, idx), 0, one, i32)
+			b.StG(addrOf(b, baseVisited, idx), 0, one, i32)
+			zero := b.ImmReg(0)
+			b.StG(addrOf(b, baseUpd, idx), 0, zero, i32)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xbf6))
+	upd := make([]int32, n)
+	for i := range upd {
+		if rng.Float32() < 0.3 {
+			upd[i] = 1
+		}
+	}
+	m.SetI32Slice(baseUpd, upd)
+	wantMask := make([]int32, n)
+	wantUpd := make([]int32, n)
+	for i := range upd {
+		if upd[i] != 0 {
+			wantMask[i] = 1
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error {
+			if err := checkI32(m, baseMask, wantMask, "mask"); err != nil {
+				return err
+			}
+			return checkI32(m, baseUpd, wantUpd, "updating")
+		},
+	}, nil
+}
+
+// buildHotspot: shared-memory tiled 1D thermal stencil over temperature
+// and power rows.
+func buildHotspot(s Scale) (*Launch, error) {
+	const tpb = 128
+	const cap = 0.5
+	n := s.Blocks * tpb
+	baseT, baseP, baseOut := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	b := isa.NewBuilder("rodinia_hotspot")
+	tid := b.Tid()
+	cta := b.Ctaid()
+	gi := b.Reg()
+	b.IMulI(gi, cta, tpb)
+	b.IAdd(gi, gi, tid)
+	shTid := b.Reg()
+	b.Shl(shTid, tid, 2)
+	tv := b.Reg()
+	b.LdG(tv, addrOf(b, baseT, gi), 4, f32) // +1 element padding on both sides
+	b.StS(shTid, 4, tv, f32)
+	pLo := b.Pred()
+	b.ISetpI(pLo, isa.CmpEQ, tid, 0)
+	b.If(pLo, func() {
+		v := b.Reg()
+		b.LdG(v, addrOf(b, baseT, gi), 0, f32)
+		b.StS(shTid, 0, v, f32)
+	})
+	pHi := b.Pred()
+	b.ISetpI(pHi, isa.CmpEQ, tid, tpb-1)
+	b.If(pHi, func() {
+		v := b.Reg()
+		b.LdG(v, addrOf(b, baseT, gi), 8, f32)
+		b.StS(shTid, 8, v, f32)
+	})
+	b.Bar()
+	pw := b.Reg()
+	b.LdG(pw, addrOf(b, baseP, gi), 0, f32)
+	left, right, center := b.Reg(), b.Reg(), b.Reg()
+	b.LdS(left, shTid, 0, f32)
+	b.LdS(center, shTid, 4, f32)
+	b.LdS(right, shTid, 8, f32)
+	lap := b.Reg()
+	b.FAdd(lap, left, right)
+	minus2 := b.FImmReg(-2)
+	b.FFma(lap, center, minus2, lap)
+	delta := b.Reg()
+	b.FAdd(delta, lap, pw)
+	capr := b.FImmReg(cap)
+	out := b.Reg()
+	b.FFma(out, delta, capr, center)
+	b.StG(addrOf(b, baseOut, gi), 0, out, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x407))
+	padded := make([]float32, n+2)
+	for i := range padded {
+		padded[i] = 20 + rng.Float32()*60
+	}
+	m.SetF32Slice(baseT, padded)
+	pwv := randF32(m, rng, baseP, n, 0, 2)
+	want := make([]float32, n)
+	for i := 0; i < n; i++ {
+		// Tiles only see their own halo: block boundaries use the padded
+		// global row, matching the kernel exactly.
+		lap := float64(padded[i]) + float64(padded[i+2]) - 2*float64(padded[i+1])
+		want[i] = float32((lap+float64(pwv[i]))*cap + float64(padded[i+1]))
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb,
+		SharedBytes: (tpb + 2) * 4, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "temp") },
+	}, nil
+}
+
+// buildPathfinder: several DP iterations over a row held in shared
+// memory; boundary lanes diverge.
+func buildPathfinder(s Scale) (*Launch, error) {
+	const tpb = 128
+	const steps = 6
+	n := s.Blocks * tpb
+	baseWall, baseIn, baseOut := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	b := isa.NewBuilder("rodinia_pathfinder")
+	tid := b.Tid()
+	cta := b.Ctaid()
+	gi := b.Reg()
+	b.IMulI(gi, cta, tpb)
+	b.IAdd(gi, gi, tid)
+	shTid := b.Reg()
+	b.Shl(shTid, tid, 2)
+	v := b.Reg()
+	b.LdG(v, addrOf(b, baseIn, gi), 0, f32)
+	b.StS(shTid, 0, v, f32)
+	b.Bar()
+	for st := 0; st < steps; st++ {
+		left, center, right := b.Reg(), b.Reg(), b.Reg()
+		b.LdS(center, shTid, 0, f32)
+		b.Mov(left, center)
+		b.Mov(right, center)
+		pl := b.Pred()
+		b.ISetpI(pl, isa.CmpGT, tid, 0)
+		b.If(pl, func() { b.LdS(left, shTid, -4, f32) })
+		pr := b.Pred()
+		b.ISetpI(pr, isa.CmpLT, tid, tpb-1)
+		b.If(pr, func() { b.LdS(right, shTid, 4, f32) })
+		best := b.Reg()
+		b.FMin(best, left, right)
+		b.FMin(best, best, center)
+		wi := b.Reg()
+		b.IMulI(wi, b.ImmReg(int64(st)), int64(n))
+		b.IAdd(wi, wi, gi)
+		wv := b.Reg()
+		b.LdG(wv, addrOf(b, baseWall, wi), 0, f32)
+		nv := b.Reg()
+		b.FAdd(nv, best, wv)
+		b.Bar()
+		b.StS(shTid, 0, nv, f32)
+		b.Bar()
+	}
+	res := b.Reg()
+	b.LdS(res, shTid, 0, f32)
+	b.StG(addrOf(b, baseOut, gi), 0, res, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xf1d))
+	wall := randF32(m, rng, baseWall, n*steps, 0, 10)
+	in := randF32(m, rng, baseIn, n, 0, 10)
+	cur := make([]float64, n)
+	for i := range cur {
+		cur[i] = float64(in[i])
+	}
+	for st := 0; st < steps; st++ {
+		next := make([]float64, n)
+		for blk := 0; blk < s.Blocks; blk++ {
+			for t := 0; t < tpb; t++ {
+				i := blk*tpb + t
+				best := cur[i]
+				if t > 0 && cur[i-1] < best {
+					best = cur[i-1]
+				}
+				if t < tpb-1 && cur[i+1] < best {
+					best = cur[i+1]
+				}
+				next[i] = best + float64(wall[st*n+i])
+			}
+		}
+		cur = next
+	}
+	want := make([]float32, n)
+	for i := range cur {
+		want[i] = float32(cur[i])
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb,
+		SharedBytes: tpb * 4, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "path") },
+	}, nil
+}
+
+// buildBackpropForward: per-block weight products reduced in shared
+// memory (the classic divergent reduction ladder).
+func buildBackpropForward(s Scale) (*Launch, error) {
+	const tpb = 128
+	baseIn, baseW, baseOut := arrayBase(0), arrayBase(1), arrayBase(2)
+	n := s.Blocks * tpb
+
+	b := isa.NewBuilder("rodinia_backprop_layerforward")
+	tid := b.Tid()
+	cta := b.Ctaid()
+	gi := b.Reg()
+	b.IMulI(gi, cta, tpb)
+	b.IAdd(gi, gi, tid)
+	iv, wv := b.Reg(), b.Reg()
+	b.LdG(iv, addrOf(b, baseIn, gi), 0, f32)
+	b.LdG(wv, addrOf(b, baseW, gi), 0, f32)
+	prod := b.Reg()
+	b.FMul(prod, iv, wv)
+	shAddr := b.Reg()
+	b.Shl(shAddr, tid, 2)
+	b.StS(shAddr, 0, prod, f32)
+	b.Bar()
+	for stride := tpb / 2; stride >= 1; stride /= 2 {
+		p := b.Pred()
+		b.ISetpI(p, isa.CmpLT, tid, int64(stride))
+		b.If(p, func() {
+			mine, other := b.Reg(), b.Reg()
+			b.LdS(mine, shAddr, 0, f32)
+			b.LdS(other, shAddr, int64(stride*4), f32)
+			b.FAdd(mine, mine, other)
+			b.StS(shAddr, 0, mine, f32)
+		})
+		b.Bar()
+	}
+	p0 := b.Pred()
+	b.ISetpI(p0, isa.CmpEQ, tid, 0)
+	b.If(p0, func() {
+		total := b.Reg()
+		b.LdS(total, shAddr, 0, f32)
+		// Squash through the sigmoid approximation used by backprop.
+		neg := b.Reg()
+		b.FNeg(neg, total)
+		e := b.Reg()
+		b.FExp(e, neg)
+		den := b.Reg()
+		b.FAdd(den, e, b.FImmReg(1))
+		sig := b.Reg()
+		b.FRcp(sig, den)
+		b.StG(addrOf(b, baseOut, cta), 0, sig, f32)
+	})
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xbac1))
+	in := randF32(m, rng, baseIn, n, -1, 1)
+	w := randF32(m, rng, baseW, n, -0.5, 0.5)
+	want := make([]float32, s.Blocks)
+	for blk := 0; blk < s.Blocks; blk++ {
+		sh := make([]float64, tpb)
+		for t := 0; t < tpb; t++ {
+			sh[t] = float64(in[blk*tpb+t]) * float64(w[blk*tpb+t])
+		}
+		for stride := tpb / 2; stride >= 1; stride /= 2 {
+			for t := 0; t < stride; t++ {
+				sh[t] += sh[t+stride]
+			}
+		}
+		want[blk] = float32(1 / (1 + math.Exp(-sh[0])))
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb,
+		SharedBytes: tpb * 4, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "layer") },
+	}, nil
+}
+
+// buildBackpropAdjust: streaming weight update with momentum.
+func buildBackpropAdjust(s Scale) (*Launch, error) {
+	const tpb, iters = 128, 5
+	const lr, momentum = 0.3, 0.3
+	n := s.Blocks * tpb * iters
+	baseW, baseD, baseOldW := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	prog, err := elementwise("rodinia_backprop_adjust", iters, func(b *isa.Builder, idx isa.Reg) {
+		aw := addrOf(b, baseW, idx)
+		w, d, ow := b.Reg(), b.Reg(), b.Reg()
+		b.LdG(w, aw, 0, f32)
+		b.LdG(d, addrOf(b, baseD, idx), 0, f32)
+		aow := addrOf(b, baseOldW, idx)
+		b.LdG(ow, aow, 0, f32)
+		delta := b.Reg()
+		lrr := b.FImmReg(lr)
+		b.FMul(delta, lrr, d)
+		mo := b.FImmReg(momentum)
+		b.FFma(delta, mo, ow, delta)
+		nw := b.Reg()
+		b.FAdd(nw, w, delta)
+		b.StG(aw, 0, nw, f32)
+		b.StG(aow, 0, delta, f32)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xbac2))
+	w := randF32(m, rng, baseW, n, -1, 1)
+	d := randF32(m, rng, baseD, n, -1, 1)
+	ow := randF32(m, rng, baseOldW, n, -1, 1)
+	wantW := make([]float32, n)
+	wantOW := make([]float32, n)
+	for i := 0; i < n; i++ {
+		delta := lr*float64(d[i]) + momentum*float64(ow[i])
+		wantW[i] = float32(float64(w[i]) + delta)
+		wantOW[i] = float32(delta)
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error {
+			if err := checkF32(m, baseW, wantW, 1e-5, "w"); err != nil {
+				return err
+			}
+			return checkF32(m, baseOldW, wantOW, 1e-5, "oldw")
+		},
+	}, nil
+}
+
+// buildLud: each block factorizes one 16x16 diagonal tile in shared
+// memory with triangular (divergent) loops and barriers.
+func buildLud(s Scale) (*Launch, error) {
+	const tpb = 128
+	const dim = 16 // tile dimension; tile has dim*dim elements
+	baseA, baseOut := arrayBase(0), arrayBase(1)
+
+	b := isa.NewBuilder("rodinia_lud_diagonal")
+	tid := b.Tid()
+	cta := b.Ctaid()
+	tileBase := b.Reg()
+	b.IMulI(tileBase, cta, dim*dim)
+	// Load the tile cooperatively: 128 threads, 256 elements -> 2 each.
+	for part := 0; part < 2; part++ {
+		li := b.Reg()
+		b.IAddI(li, tid, int64(part*tpb))
+		gi := b.Reg()
+		b.IAdd(gi, tileBase, li)
+		v := b.Reg()
+		b.LdG(v, addrOf(b, baseA, gi), 0, f32)
+		sa := b.Reg()
+		b.Shl(sa, li, 2)
+		b.StS(sa, 0, v, f32)
+	}
+	b.Bar()
+	// Doolittle factorization: for each pivot k, threads update column k
+	// (rows > k) then the trailing submatrix row by row.
+	row := b.Reg()
+	b.RemI(row, tid, dim)
+	colG := b.Reg()
+	b.IDivI(colG, tid, dim) // thread group: 8 column groups of 16 rows
+	// The pivot loop is a program-level loop (not a Go-level unroll) with
+	// a fixed scratch register set, keeping register pressure flat.
+	pc := b.Pred()
+	b.ISetpI(pc, isa.CmpEQ, colG, 0)
+	kReg := b.Reg()
+	addrA, addrB, addrC := b.Reg(), b.Reg(), b.Reg()
+	va, vb, vc := b.Reg(), b.Reg(), b.Reg()
+	cell, r2, c2 := b.Reg(), b.Reg(), b.Reg()
+	pr, prr, pcc, pb := b.Pred(), b.Pred(), b.Pred(), b.Pred()
+	b.ForImm(kReg, 0, dim-1, 1, func() {
+		// Column update: threads with colG==0 and row>k compute
+		// a[row][k] /= a[k][k].
+		b.ISetp(pr, isa.CmpGT, row, kReg)
+		b.PAnd(pb, pc, pr)
+		b.If(pb, func() {
+			b.IMulI(addrA, row, dim)
+			b.IAdd(addrA, addrA, kReg)
+			b.Shl(addrA, addrA, 2)
+			b.LdS(va, addrA, 0, f32)
+			b.IMulI(addrB, kReg, dim+1) // pivot a[k][k]
+			b.Shl(addrB, addrB, 2)
+			b.LdS(vb, addrB, 0, f32)
+			b.FDiv(vc, va, vb)
+			b.StS(addrA, 0, vc, f32)
+		})
+		b.Bar()
+		// Trailing update: each thread covers 2 cells of the submatrix.
+		for part := 0; part < 2; part++ {
+			b.IAddI(cell, tid, int64(part*tpb))
+			b.IDivI(r2, cell, dim)
+			b.RemI(c2, cell, dim)
+			b.ISetp(prr, isa.CmpGT, r2, kReg)
+			b.ISetp(pcc, isa.CmpGT, c2, kReg)
+			b.PAnd(pb, prr, pcc)
+			b.If(pb, func() {
+				b.IMulI(addrA, r2, dim)
+				b.IAdd(addrA, addrA, kReg)
+				b.Shl(addrA, addrA, 2)
+				b.LdS(va, addrA, 0, f32) // l = a[r2][k]
+				b.IMulI(addrB, kReg, dim)
+				b.IAdd(addrB, addrB, c2)
+				b.Shl(addrB, addrB, 2)
+				b.LdS(vb, addrB, 0, f32) // u = a[k][c2]
+				b.IMulI(addrC, r2, dim)
+				b.IAdd(addrC, addrC, c2)
+				b.Shl(addrC, addrC, 2)
+				b.LdS(vc, addrC, 0, f32)
+				b.FMul(va, va, vb) // l*u
+				b.FSub(vc, vc, va)
+				b.StS(addrC, 0, vc, f32)
+			})
+			b.Bar()
+		}
+	})
+	for part := 0; part < 2; part++ {
+		li := b.Reg()
+		b.IAddI(li, tid, int64(part*tpb))
+		sa := b.Reg()
+		b.Shl(sa, li, 2)
+		v := b.Reg()
+		b.LdS(v, sa, 0, f32)
+		gi := b.Reg()
+		b.IAdd(gi, tileBase, li)
+		b.StG(addrOf(b, baseOut, gi), 0, v, f32)
+	}
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x10d))
+	nTiles := s.Blocks
+	a := make([]float32, nTiles*dim*dim)
+	for t := 0; t < nTiles; t++ {
+		for r := 0; r < dim; r++ {
+			for c := 0; c < dim; c++ {
+				v := rng.Float32()*2 - 1
+				if r == c {
+					v += dim // diagonally dominant: stable pivots
+				}
+				a[t*dim*dim+r*dim+c] = v
+			}
+		}
+	}
+	m.SetF32Slice(baseA, a)
+	want := make([]float32, len(a))
+	for t := 0; t < nTiles; t++ {
+		tile := make([]float64, dim*dim)
+		for i := 0; i < dim*dim; i++ {
+			tile[i] = float64(a[t*dim*dim+i])
+		}
+		for k := 0; k < dim-1; k++ {
+			pv := tile[k*dim+k]
+			for r := k + 1; r < dim; r++ {
+				tile[r*dim+k] = tile[r*dim+k] / pv
+			}
+			for r := k + 1; r < dim; r++ {
+				for c := k + 1; c < dim; c++ {
+					tile[r*dim+c] -= tile[r*dim+k] * tile[k*dim+c]
+				}
+			}
+		}
+		for i := 0; i < dim*dim; i++ {
+			want[t*dim*dim+i] = float32(tile[i])
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb,
+		SharedBytes: dim * dim * 4, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-3, "lu") },
+	}, nil
+}
+
+// buildNW: anti-diagonal dynamic programming over a (tpb+1)^2 score tile
+// would be too large for shared memory; instead each block fills one
+// 64-wide DP row band with strided reference-matrix loads.
+func buildNW(s Scale) (*Launch, error) {
+	const tpb = 128
+	const bandW = 128
+	const rows = 4
+	const penalty = 2
+	n := s.Blocks * bandW
+	baseRef, baseIn, baseOut := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	b := isa.NewBuilder("rodinia_nw")
+	tid := b.Tid()
+	cta := b.Ctaid()
+	gi := b.Reg()
+	b.IMulI(gi, cta, bandW)
+	b.IAdd(gi, gi, tid)
+	shTid := b.Reg()
+	b.Shl(shTid, tid, 2)
+	v := b.Reg()
+	b.LdG(v, addrOf(b, baseIn, gi), 0, f32)
+	b.StS(shTid, 0, v, f32)
+	b.Bar()
+	for r := 0; r < rows; r++ {
+		up, diag, left := b.Reg(), b.Reg(), b.Reg()
+		b.LdS(up, shTid, 0, f32)
+		b.Mov(diag, up)
+		b.Mov(left, up)
+		pl := b.Pred()
+		b.ISetpI(pl, isa.CmpGT, tid, 0)
+		b.If(pl, func() {
+			b.LdS(diag, shTid, -4, f32)
+			b.LdS(left, shTid, -4, f32)
+		})
+		// Reference is stored column-major over the band: stride bandW.
+		ri := b.Reg()
+		b.IMulI(ri, b.ImmReg(int64(r)), int64(n))
+		b.IAdd(ri, ri, gi)
+		rv := b.Reg()
+		b.LdG(rv, addrOf(b, baseRef, ri), 0, f32)
+		dscore := b.Reg()
+		b.FAdd(dscore, diag, rv)
+		pen := b.FImmReg(penalty)
+		uscore := b.Reg()
+		b.FSub(uscore, up, pen)
+		lscore := b.Reg()
+		b.FSub(lscore, left, pen)
+		best := b.Reg()
+		b.FMax(best, dscore, uscore)
+		b.FMax(best, best, lscore)
+		b.Bar()
+		b.StS(shTid, 0, best, f32)
+		b.Bar()
+	}
+	res := b.Reg()
+	b.LdS(res, shTid, 0, f32)
+	b.StG(addrOf(b, baseOut, gi), 0, res, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x95))
+	ref := randF32(m, rng, baseRef, n*rows, -3, 3)
+	in := randF32(m, rng, baseIn, n, 0, 1)
+	cur := make([]float64, n)
+	for i := range cur {
+		cur[i] = float64(in[i])
+	}
+	for r := 0; r < rows; r++ {
+		next := make([]float64, n)
+		for blk := 0; blk < s.Blocks; blk++ {
+			for t := 0; t < bandW; t++ {
+				i := blk*bandW + t
+				up := cur[i]
+				diag, left := up, up
+				if t > 0 {
+					diag = cur[i-1]
+					left = cur[i-1]
+				}
+				best := diag + float64(ref[r*n+i])
+				if s := up - penalty; s > best {
+					best = s
+				}
+				if s := left - penalty; s > best {
+					best = s
+				}
+				next[i] = best
+			}
+		}
+		cur = next
+	}
+	want := make([]float32, n)
+	for i := range cur {
+		want[i] = float32(cur[i])
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb,
+		SharedBytes: tpb * 4, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "nw") },
+	}, nil
+}
+
+// buildGaussianFan1: multiplier column computation with column-major
+// (fully divergent) matrix accesses.
+func buildGaussianFan1(s Scale) (*Launch, error) {
+	const tpb = 128
+	const dim = 64 // matrix dimension per block-group column
+	n := s.Blocks * tpb
+	baseA, baseOut := arrayBase(0), arrayBase(1)
+
+	b := isa.NewBuilder("rodinia_gaussian_fan1")
+	gid := b.GlobalID()
+	// Thread i handles row (i % dim) of matrix (i / dim): loads the
+	// column element a[row*dim + col0] — addresses stride dim*4 bytes,
+	// fully divergent.
+	mrow := b.Reg()
+	b.RemI(mrow, gid, dim)
+	mat := b.Reg()
+	b.IDivI(mat, gid, dim)
+	matBase := b.Reg()
+	b.IMulI(matBase, mat, dim*dim)
+	ai := b.Reg()
+	b.IMulI(ai, mrow, dim)
+	b.IAdd(ai, ai, matBase)
+	av := b.Reg()
+	b.LdG(av, addrOf(b, baseA, ai), 0, f32) // column gather: 32-way divergent
+	pv := b.Reg()
+	b.LdG(pv, addrOf(b, baseA, matBase), 0, f32) // pivot broadcast per matrix
+	mult := b.Reg()
+	b.FDiv(mult, av, pv)
+	b.StG(addrOf(b, baseOut, gid), 0, mult, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x9a1))
+	nMats := n / dim
+	a := make([]float32, nMats*dim*dim)
+	for i := range a {
+		a[i] = rng.Float32() + 0.5
+	}
+	m.SetF32Slice(baseA, a)
+	want := make([]float32, n)
+	for i := 0; i < n; i++ {
+		row, mat := i%dim, i/dim
+		want[i] = float32(float64(a[mat*dim*dim+row*dim]) / float64(a[mat*dim*dim]))
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "mult") },
+	}, nil
+}
+
+// buildGaussianFan2: row elimination with coalesced row access and
+// broadcast multipliers.
+func buildGaussianFan2(s Scale) (*Launch, error) {
+	const tpb = 128
+	const W = 256
+	n := s.Blocks * tpb
+	if n%W != 0 {
+		return nil, fmt.Errorf("grid of %d threads does not tile width %d", n, W)
+	}
+	baseA, baseM, basePivot, baseOut := arrayBase(0), arrayBase(1), arrayBase(2), arrayBase(3)
+
+	b := isa.NewBuilder("rodinia_gaussian_fan2")
+	gid := b.GlobalID()
+	row, col := b.Reg(), b.Reg()
+	b.IDivI(row, gid, W)
+	b.RemI(col, gid, W)
+	av := b.Reg()
+	b.LdG(av, addrOf(b, baseA, gid), 0, f32) // coalesced
+	mv := b.Reg()
+	b.LdG(mv, addrOf(b, baseM, row), 0, f32) // broadcast per row
+	pvv := b.Reg()
+	b.LdG(pvv, addrOf(b, basePivot, col), 0, f32) // coalesced pivot row
+	prod := b.Reg()
+	b.FMul(prod, mv, pvv)
+	out := b.Reg()
+	b.FSub(out, av, prod)
+	b.StG(addrOf(b, baseOut, gid), 0, out, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x9a2))
+	H := n / W
+	a := randF32(m, rng, baseA, n, -1, 1)
+	mult := randF32(m, rng, baseM, H, -1, 1)
+	piv := randF32(m, rng, basePivot, W, -1, 1)
+	want := make([]float32, n)
+	for i := 0; i < n; i++ {
+		r, c := i/W, i%W
+		want[i] = float32(float64(a[i]) - float64(mult[r])*float64(piv[c]))
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "a") },
+	}, nil
+}
+
+// buildStreamcluster: membership test against a candidate center with
+// strided point coordinates.
+func buildStreamcluster(s Scale) (*Launch, error) {
+	const tpb = 128
+	const dims = 8
+	np := s.Blocks * tpb
+	baseP, baseC, baseCost, baseOut := arrayBase(0), arrayBase(1), arrayBase(2), arrayBase(3)
+
+	b := isa.NewBuilder("rodinia_streamcluster")
+	pt := b.GlobalID()
+	pBase := b.Reg()
+	b.IMulI(pBase, pt, dims)
+	dist := b.FImmReg(0)
+	d := b.Reg()
+	b.ForImm(d, 0, dims, 1, func() {
+		pi := b.Reg()
+		b.IAdd(pi, pBase, d)
+		pv := b.Reg()
+		b.LdG(pv, addrOf(b, baseP, pi), 0, f32) // 8-way strided
+		cv := b.Reg()
+		b.LdG(cv, addrOf(b, baseC, d), 0, f32) // broadcast center
+		df := b.Reg()
+		b.FSub(df, pv, cv)
+		b.FFma(dist, df, df, dist)
+	})
+	oldCost := b.Reg()
+	b.LdG(oldCost, addrOf(b, baseCost, pt), 0, f32)
+	p := b.Pred()
+	b.FSetp(p, isa.CmpLT, dist, oldCost)
+	saving := b.Reg()
+	zero := b.FImmReg(0)
+	diff := b.Reg()
+	b.FSub(diff, oldCost, dist)
+	b.Selp(saving, p, diff, zero)
+	b.StG(addrOf(b, baseOut, pt), 0, saving, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5c))
+	pts := randF32(m, rng, baseP, np*dims, 0, 10)
+	ctr := randF32(m, rng, baseC, dims, 0, 10)
+	cost := randF32(m, rng, baseCost, np, 0, 200)
+	want := make([]float32, np)
+	for p := 0; p < np; p++ {
+		dist := 0.0
+		for d := 0; d < dims; d++ {
+			df := float64(pts[p*dims+d]) - float64(ctr[d])
+			dist = df*df + dist
+		}
+		if dist < float64(cost[p]) {
+			want[p] = float32(float64(cost[p]) - dist)
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-4, "saving") },
+	}, nil
+}
+
+// buildLavaMD: per-particle force accumulation over a neighbour list with
+// exp and rsqrt chains — compute/SFU heavy with broadcast-friendly loads.
+func buildLavaMD(s Scale) (*Launch, error) {
+	const tpb = 128
+	const neigh = 16
+	np := s.Blocks * tpb
+	baseX, baseQ, baseOut := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	b := isa.NewBuilder("rodinia_lavamd")
+	pt := b.GlobalID()
+	myX := b.Reg()
+	b.LdG(myX, addrOf(b, baseX, pt), 0, f32)
+	cta := b.Ctaid()
+	blockBase := b.Reg()
+	b.IMulI(blockBase, cta, tpb)
+	force := b.FImmReg(0)
+	jj := b.Reg()
+	b.ForImm(jj, 0, neigh, 1, func() {
+		// Neighbours are block-local: (blockBase + (tid+j*8)%tpb).
+		off := b.Reg()
+		b.IMulI(off, jj, 8)
+		tid := b.Tid()
+		b.IAdd(off, off, tid)
+		b.RemI(off, off, tpb)
+		ni := b.Reg()
+		b.IAdd(ni, blockBase, off)
+		nx := b.Reg()
+		b.LdG(nx, addrOf(b, baseX, ni), 0, f32)
+		nq := b.Reg()
+		b.LdG(nq, addrOf(b, baseQ, ni), 0, f32)
+		dx := b.Reg()
+		b.FSub(dx, nx, myX)
+		r2 := b.Reg()
+		b.FMul(r2, dx, dx)
+		eps := b.FImmReg(0.01)
+		b.FAdd(r2, r2, eps)
+		negR2 := b.Reg()
+		b.FNeg(negR2, r2)
+		ex := b.Reg()
+		b.FExp(ex, negR2)
+		rs := b.Reg()
+		b.FSqrt(rs, r2)
+		inv := b.Reg()
+		b.FRcp(inv, rs)
+		term := b.Reg()
+		b.FMul(term, ex, inv)
+		b.FFma(force, term, nq, force)
+	})
+	b.StG(addrOf(b, baseOut, pt), 0, force, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x1a7a))
+	xs := randF32(m, rng, baseX, np, -2, 2)
+	qs := randF32(m, rng, baseQ, np, 0, 1)
+	want := make([]float32, np)
+	for p := 0; p < np; p++ {
+		blk, tid := p/tpb, p%tpb
+		force := 0.0
+		for j := 0; j < neigh; j++ {
+			ni := blk*tpb + (tid+j*8)%tpb
+			dx := float64(xs[ni]) - float64(xs[p])
+			r2 := dx*dx + 0.01
+			term := math.Exp(-r2) * (1 / math.Sqrt(r2))
+			force = term*float64(qs[ni]) + force
+		}
+		want[p] = float32(force)
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-4, "force") },
+	}, nil
+}

@@ -1,0 +1,802 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gpumech/internal/isa"
+	"gpumech/internal/memory"
+)
+
+// The NVIDIA SDK-style kernels: regular data-parallel workloads spanning
+// fully coalesced streaming, compute-bound SFU chains, shared-memory
+// cooperation, and the classic divergent-write transpose.
+
+func init() {
+	register(&Info{
+		Name: "sdk_vectoradd", Suite: "sdk",
+		Desc:          "elementwise c = a + b, fully coalesced (quickstart kernel)",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildVectorAdd,
+	})
+	register(&Info{
+		Name: "sdk_saxpy", Suite: "sdk",
+		Desc:          "y = alpha*x + y streaming FMA, fully coalesced",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildSaxpy,
+	})
+	register(&Info{
+		Name: "sdk_blackscholes", Suite: "sdk",
+		Desc:          "option pricing: long SFU dependence chains (exp/log/sqrt/div), coalesced",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildBlackScholes,
+	})
+	register(&Info{
+		Name: "sdk_matrixmul_naive", Suite: "sdk",
+		Desc:          "naive dense matmul: broadcast A row, coalesced B column, FMA loop",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildMatrixMulNaive,
+	})
+	register(&Info{
+		Name: "sdk_transpose_naive", Suite: "sdk",
+		Desc:          "matrix transpose with column-major stores: 32-way divergent writes",
+		MemDiv:        DivHigh,
+		WriteHeavy:    true,
+		WarpsPerBlock: 4,
+		build:         buildTransposeNaive,
+	})
+	register(&Info{
+		Name: "sdk_transpose_shared", Suite: "sdk",
+		Desc:          "tiled transpose through shared memory: coalesced loads and stores, barriers",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildTransposeShared,
+	})
+	register(&Info{
+		Name: "sdk_reduction", Suite: "sdk",
+		Desc:          "per-block tree reduction in shared memory: divergent if(tid<s) ladder",
+		ControlDiv:    true,
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildReduction,
+	})
+	register(&Info{
+		Name: "sdk_scan", Suite: "sdk",
+		Desc:          "Hillis-Steele inclusive scan in shared memory, divergent ladder, barriers",
+		ControlDiv:    true,
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildScan,
+	})
+	register(&Info{
+		Name: "sdk_convolution_row", Suite: "sdk",
+		Desc:          "separable row convolution with shared-memory halo",
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildConvolutionRow,
+	})
+	register(&Info{
+		Name: "sdk_scalarprod", Suite: "sdk",
+		Desc:          "batched dot products with register accumulation and shared reduction",
+		ControlDiv:    true,
+		MemDiv:        DivNone,
+		WarpsPerBlock: 4,
+		build:         buildScalarProd,
+	})
+	register(&Info{
+		Name: "sdk_sobol_qrng", Suite: "sdk",
+		Desc:          "quasi-random generator: integer bit mixing, 16-way divergent strided writes",
+		MemDiv:        DivHigh,
+		WriteHeavy:    true,
+		WarpsPerBlock: 4,
+		build:         buildSobol,
+	})
+}
+
+// elementwise builds a grid-stride kernel: body(idx) runs iters times per
+// thread with idx advancing by the grid size.
+func elementwise(name string, iters int64, body func(b *isa.Builder, idx isa.Reg)) (*isa.Program, error) {
+	b := isa.NewBuilder(name)
+	gid := b.GlobalID()
+	total := b.Reg()
+	b.IMul(total, b.Ntid(), b.Nctaid())
+	idx := b.Reg()
+	b.Mov(idx, gid)
+	k := b.Reg()
+	b.ForImm(k, 0, iters, 1, func() {
+		body(b, idx)
+		b.IAdd(idx, idx, total)
+	})
+	return b.Build()
+}
+
+func buildVectorAdd(s Scale) (*Launch, error) {
+	const tpb, iters = 128, 6
+	n := s.Blocks * tpb * iters
+	baseA, baseB, baseC := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	prog, err := elementwise("sdk_vectoradd", iters, func(b *isa.Builder, idx isa.Reg) {
+		va, vb, vc := b.Reg(), b.Reg(), b.Reg()
+		b.LdG(va, addrOf(b, baseA, idx), 0, f32)
+		b.LdG(vb, addrOf(b, baseB, idx), 0, f32)
+		b.FAdd(vc, va, vb)
+		b.StG(addrOf(b, baseC, idx), 0, vc, f32)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5d1))
+	a := randF32(m, rng, baseA, n, -1, 1)
+	bv := randF32(m, rng, baseB, n, -1, 1)
+	want := make([]float32, n)
+	for i := range want {
+		want[i] = float32(float64(a[i]) + float64(bv[i]))
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseC, want, 1e-6, "c") },
+	}, nil
+}
+
+func buildSaxpy(s Scale) (*Launch, error) {
+	const tpb, iters = 128, 8
+	const alpha = 2.5
+	n := s.Blocks * tpb * iters
+	baseX, baseY := arrayBase(0), arrayBase(1)
+
+	prog, err := elementwise("sdk_saxpy", iters, func(b *isa.Builder, idx isa.Reg) {
+		al := b.FImmReg(alpha)
+		vx, vy := b.Reg(), b.Reg()
+		ay := addrOf(b, baseY, idx)
+		b.LdG(vx, addrOf(b, baseX, idx), 0, f32)
+		b.LdG(vy, ay, 0, f32)
+		b.FFma(vy, al, vx, vy)
+		b.StG(ay, 0, vy, f32)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x5a7))
+	x := randF32(m, rng, baseX, n, -1, 1)
+	y := randF32(m, rng, baseY, n, -1, 1)
+	want := make([]float32, n)
+	for i := range want {
+		want[i] = float32(alpha*float64(x[i]) + float64(y[i]))
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseY, want, 1e-6, "y") },
+	}, nil
+}
+
+func buildBlackScholes(s Scale) (*Launch, error) {
+	const tpb, iters = 128, 3
+	n := s.Blocks * tpb * iters
+	baseS, baseX, baseT, baseCall := arrayBase(0), arrayBase(1), arrayBase(2), arrayBase(3)
+	const rate, vol = 0.06, 0.3
+
+	prog, err := elementwise("sdk_blackscholes", iters, func(b *isa.Builder, idx isa.Reg) {
+		sp, xp, tp := b.Reg(), b.Reg(), b.Reg()
+		b.LdG(sp, addrOf(b, baseS, idx), 0, f32)
+		b.LdG(xp, addrOf(b, baseX, idx), 0, f32)
+		b.LdG(tp, addrOf(b, baseT, idx), 0, f32)
+
+		sqrtT := b.Reg()
+		b.FSqrt(sqrtT, tp)
+		volSqrtT := b.Reg()
+		b.FMul(volSqrtT, b.FImmReg(vol), sqrtT)
+		ratio, logR := b.Reg(), b.Reg()
+		b.FDiv(ratio, sp, xp)
+		b.FLog(logR, ratio)
+		drift := b.Reg()
+		b.FMul(drift, b.FImmReg(rate+0.5*vol*vol), tp)
+		num := b.Reg()
+		b.FAdd(num, logR, drift)
+		d1 := b.Reg()
+		b.FDiv(d1, num, volSqrtT)
+		d2 := b.Reg()
+		b.FSub(d2, d1, volSqrtT)
+
+		// Logistic approximation of the cumulative normal.
+		cnd := func(d isa.Reg) isa.Reg {
+			t := b.Reg()
+			b.FMul(t, b.FImmReg(-1.702), d)
+			e := b.Reg()
+			b.FExp(e, t)
+			den := b.Reg()
+			b.FAdd(den, b.FImmReg(1), e)
+			out := b.Reg()
+			b.FRcp(out, den)
+			return out
+		}
+		nd1, nd2 := cnd(d1), cnd(d2)
+
+		discT := b.Reg()
+		b.FMul(discT, b.FImmReg(-rate), tp)
+		disc := b.Reg()
+		b.FExp(disc, discT)
+		xdisc := b.Reg()
+		b.FMul(xdisc, xp, disc)
+		t1, t2, call := b.Reg(), b.Reg(), b.Reg()
+		b.FMul(t1, sp, nd1)
+		b.FMul(t2, xdisc, nd2)
+		b.FSub(call, t1, t2)
+		b.StG(addrOf(b, baseCall, idx), 0, call, f32)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xb5))
+	sv := randF32(m, rng, baseS, n, 5, 30)
+	xv := randF32(m, rng, baseX, n, 1, 100)
+	tv := randF32(m, rng, baseT, n, 0.25, 10)
+	want := make([]float32, n)
+	for i := range want {
+		S, X, T := float64(sv[i]), float64(xv[i]), float64(tv[i])
+		sqrtT := math.Sqrt(T)
+		volSqrtT := vol * sqrtT
+		d1 := (math.Log(math.Abs(S/X)+1e-300) + (rate+0.5*vol*vol)*T) / volSqrtT
+		d2 := d1 - volSqrtT
+		cnd := func(d float64) float64 { return 1 / (1 + math.Exp(-1.702*d)) }
+		want[i] = float32(S*cnd(d1) - X*math.Exp(-rate*T)*cnd(d2))
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseCall, want, 1e-5, "call") },
+	}, nil
+}
+
+func buildMatrixMulNaive(s Scale) (*Launch, error) {
+	const tpb = 128
+	const N = 256       // columns of C and B
+	const K = 24        // inner dimension
+	n := s.Blocks * tpb // elements of C
+	if n%N != 0 {
+		return nil, fmt.Errorf("grid of %d threads does not tile %d columns", n, N)
+	}
+	rows := n / N
+	baseA, baseB, baseC := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	b := isa.NewBuilder("sdk_matrixmul_naive")
+	gid := b.GlobalID()
+	row, col := b.Reg(), b.Reg()
+	b.IDivI(row, gid, N)
+	b.RemI(col, gid, N)
+	rowBase := b.Reg()
+	b.IMulI(rowBase, row, K)
+	acc := b.FImmReg(0)
+	k := b.Reg()
+	b.ForImm(k, 0, K, 1, func() {
+		ai := b.Reg()
+		b.IAdd(ai, rowBase, k)
+		av := b.Reg()
+		b.LdG(av, addrOf(b, baseA, ai), 0, f32)
+		bi := b.Reg()
+		b.IMulI(bi, k, N)
+		b.IAdd(bi, bi, col)
+		bv := b.Reg()
+		b.LdG(bv, addrOf(b, baseB, bi), 0, f32)
+		b.FFma(acc, av, bv, acc)
+	})
+	b.StG(addrOf(b, baseC, gid), 0, acc, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x33a))
+	av := randF32(m, rng, baseA, rows*K, -1, 1)
+	bv := randF32(m, rng, baseB, K*N, -1, 1)
+	want := make([]float32, n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < N; c++ {
+			acc := 0.0
+			for k := 0; k < K; k++ {
+				acc = float64(av[r*K+k])*float64(bv[k*N+c]) + acc
+			}
+			want[r*N+c] = float32(acc)
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseC, want, 1e-5, "C") },
+	}, nil
+}
+
+func buildTransposeNaive(s Scale) (*Launch, error) {
+	const tpb = 128
+	const W = 256 // matrix width
+	n := s.Blocks * tpb
+	if n%W != 0 {
+		return nil, fmt.Errorf("grid of %d threads does not tile width %d", n, W)
+	}
+	H := n / W
+	baseIn, baseOut := arrayBase(0), arrayBase(1)
+
+	b := isa.NewBuilder("sdk_transpose_naive")
+	gid := b.GlobalID()
+	row, col := b.Reg(), b.Reg()
+	b.IDivI(row, gid, W)
+	b.RemI(col, gid, W)
+	v := b.Reg()
+	b.LdG(v, addrOf(b, baseIn, gid), 0, f32) // coalesced read
+	oi := b.Reg()
+	b.IMulI(oi, col, int64(H))
+	b.IAdd(oi, oi, row)
+	b.StG(addrOf(b, baseOut, oi), 0, v, f32) // column-major: fully divergent
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x77))
+	in := randF32(m, rng, baseIn, n, -1, 1)
+	want := make([]float32, n)
+	for r := 0; r < H; r++ {
+		for c := 0; c < W; c++ {
+			want[c*H+r] = in[r*W+c]
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 0, "out") },
+	}, nil
+}
+
+func buildTransposeShared(s Scale) (*Launch, error) {
+	const tpb = 128
+	const tile = 32
+	const pad = tile + 1 // bank-conflict padding
+	baseIn, baseOut := arrayBase(0), arrayBase(1)
+	// Each block transposes one 32x32 tile; tiles are arranged in a
+	// square-ish grid tilesX wide.
+	tilesX := 1
+	for d := 1; d*d <= s.Blocks; d++ {
+		if s.Blocks%d == 0 {
+			tilesX = d
+		}
+	}
+	tilesY := s.Blocks / tilesX
+	W, H := tilesX*tile, tilesY*tile
+
+	b := isa.NewBuilder("sdk_transpose_shared")
+	tid := b.Tid()
+	cta := b.Ctaid()
+	tileX, tileY := b.Reg(), b.Reg()
+	b.RemI(tileX, cta, int64(tilesX))
+	b.IDivI(tileY, cta, int64(tilesX))
+	col := b.Reg()
+	b.RemI(col, tid, tile)
+	rowBase := b.Reg()
+	b.IDivI(rowBase, tid, tile) // 0..3: each thread covers 8 rows
+	originIn := b.Reg()         // (tileY*32)*W + tileX*32
+	b.IMulI(originIn, tileY, int64(tile*W))
+	tmp := b.Reg()
+	b.IMulI(tmp, tileX, tile)
+	b.IAdd(originIn, originIn, tmp)
+	originOut := b.Reg() // (tileX*32)*H + tileY*32
+	b.IMulI(originOut, tileX, int64(tile*H))
+	tmp2 := b.Reg()
+	b.IMulI(tmp2, tileY, tile)
+	b.IAdd(originOut, originOut, tmp2)
+
+	i := b.Reg()
+	b.ForImm(i, 0, 8, 1, func() {
+		row := b.Reg()
+		b.IMulI(row, i, 4)
+		b.IAdd(row, row, rowBase)
+		gi := b.Reg()
+		b.IMulI(gi, row, int64(W))
+		b.IAdd(gi, gi, col)
+		b.IAdd(gi, gi, originIn)
+		v := b.Reg()
+		b.LdG(v, addrOf(b, baseIn, gi), 0, f32)
+		sh := b.Reg()
+		b.IMulI(sh, row, pad)
+		b.IAdd(sh, sh, col)
+		b.Shl(sh, sh, 2)
+		b.StS(sh, 0, v, f32)
+	})
+	b.Bar()
+	j := b.Reg()
+	b.ForImm(j, 0, 8, 1, func() {
+		row := b.Reg()
+		b.IMulI(row, j, 4)
+		b.IAdd(row, row, rowBase)
+		sh := b.Reg() // transposed read from shared: sh[col*pad + row]
+		b.IMulI(sh, col, pad)
+		b.IAdd(sh, sh, row)
+		b.Shl(sh, sh, 2)
+		v := b.Reg()
+		b.LdS(v, sh, 0, f32)
+		go2 := b.Reg()
+		b.IMulI(go2, row, int64(H))
+		b.IAdd(go2, go2, col)
+		b.IAdd(go2, go2, originOut)
+		b.StG(addrOf(b, baseOut, go2), 0, v, f32) // coalesced
+	})
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x78))
+	in := randF32(m, rng, baseIn, W*H, -1, 1)
+	want := make([]float32, W*H)
+	for r := 0; r < H; r++ {
+		for c := 0; c < W; c++ {
+			want[c*H+r] = in[r*W+c]
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb,
+		SharedBytes: tile * pad * 4, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 0, "out") },
+	}, nil
+}
+
+func buildReduction(s Scale) (*Launch, error) {
+	const tpb = 128
+	n := s.Blocks * tpb * 2
+	baseIn, baseOut := arrayBase(0), arrayBase(1)
+
+	b := isa.NewBuilder("sdk_reduction")
+	tid := b.Tid()
+	cta := b.Ctaid()
+	blockStart := b.Reg()
+	b.IMulI(blockStart, cta, int64(tpb*2))
+	i0 := b.Reg()
+	b.IAdd(i0, blockStart, tid)
+	v0, v1 := b.Reg(), b.Reg()
+	b.LdG(v0, addrOf(b, baseIn, i0), 0, f32)
+	i1 := b.Reg()
+	b.IAddI(i1, i0, tpb)
+	b.LdG(v1, addrOf(b, baseIn, i1), 0, f32)
+	sum := b.Reg()
+	b.FAdd(sum, v0, v1)
+	shAddr := b.Reg()
+	b.Shl(shAddr, tid, 2)
+	b.StS(shAddr, 0, sum, f32)
+	b.Bar()
+	for stride := tpb / 2; stride >= 1; stride /= 2 {
+		p := b.Pred()
+		b.ISetpI(p, isa.CmpLT, tid, int64(stride))
+		b.If(p, func() {
+			mine, other := b.Reg(), b.Reg()
+			b.LdS(mine, shAddr, 0, f32)
+			b.LdS(other, shAddr, int64(stride*4), f32)
+			b.FAdd(mine, mine, other)
+			b.StS(shAddr, 0, mine, f32)
+		})
+		b.Bar()
+	}
+	pz := b.Pred()
+	b.ISetpI(pz, isa.CmpEQ, tid, 0)
+	b.If(pz, func() {
+		total := b.Reg()
+		b.LdS(total, shAddr, 0, f32)
+		b.StG(addrOf(b, baseOut, cta), 0, total, f32)
+	})
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x99))
+	in := randF32(m, rng, baseIn, n, 0, 1)
+	want := make([]float32, s.Blocks)
+	for blk := 0; blk < s.Blocks; blk++ {
+		// Reproduce the tree-reduction summation order exactly.
+		sh := make([]float64, tpb)
+		for t := 0; t < tpb; t++ {
+			sh[t] = float64(in[blk*tpb*2+t]) + float64(in[blk*tpb*2+t+tpb])
+		}
+		for stride := tpb / 2; stride >= 1; stride /= 2 {
+			for t := 0; t < stride; t++ {
+				sh[t] += sh[t+stride]
+			}
+		}
+		want[blk] = float32(sh[0])
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb,
+		SharedBytes: tpb * 4, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "sums") },
+	}, nil
+}
+
+func buildScan(s Scale) (*Launch, error) {
+	const tpb = 128
+	n := s.Blocks * tpb
+	baseIn, baseOut := arrayBase(0), arrayBase(1)
+
+	b := isa.NewBuilder("sdk_scan")
+	tid := b.Tid()
+	cta := b.Ctaid()
+	gi := b.Reg()
+	b.IMulI(gi, cta, tpb)
+	b.IAdd(gi, gi, tid)
+	v := b.Reg()
+	b.LdG(v, addrOf(b, baseIn, gi), 0, f32)
+	shTid := b.Reg()
+	b.Shl(shTid, tid, 2)
+	cur, next := int64(0), int64(tpb*4)
+	curAddr := b.Reg()
+	b.IAddI(curAddr, shTid, cur)
+	b.StS(curAddr, 0, v, f32)
+	b.Bar()
+	for d := 1; d < tpb; d *= 2 {
+		val := b.Reg()
+		srcAddr := b.Reg()
+		b.IAddI(srcAddr, shTid, cur)
+		b.LdS(val, srcAddr, 0, f32)
+		p := b.Pred()
+		b.ISetpI(p, isa.CmpGE, tid, int64(d))
+		b.If(p, func() {
+			prev := b.Reg()
+			b.LdS(prev, srcAddr, int64(-4*d), f32)
+			b.FAdd(val, val, prev)
+		})
+		dstAddr := b.Reg()
+		b.IAddI(dstAddr, shTid, next)
+		b.StS(dstAddr, 0, val, f32)
+		b.Bar()
+		cur, next = next, cur
+	}
+	res := b.Reg()
+	finalAddr := b.Reg()
+	b.IAddI(finalAddr, shTid, cur)
+	b.LdS(res, finalAddr, 0, f32)
+	b.StG(addrOf(b, baseOut, gi), 0, res, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xabc))
+	in := randF32(m, rng, baseIn, n, 0, 1)
+	want := make([]float32, n)
+	for blk := 0; blk < s.Blocks; blk++ {
+		buf := make([]float64, tpb)
+		for t := 0; t < tpb; t++ {
+			buf[t] = float64(in[blk*tpb+t])
+		}
+		for d := 1; d < tpb; d *= 2 {
+			nb := make([]float64, tpb)
+			for t := 0; t < tpb; t++ {
+				nb[t] = buf[t]
+				if t >= d {
+					nb[t] += buf[t-d]
+				}
+			}
+			buf = nb
+		}
+		for t := 0; t < tpb; t++ {
+			want[blk*tpb+t] = float32(buf[t])
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb,
+		SharedBytes: 2 * tpb * 4, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "scan") },
+	}, nil
+}
+
+func buildConvolutionRow(s Scale) (*Launch, error) {
+	const tpb = 128
+	const radius = 4
+	n := s.Blocks * tpb
+	// Input is padded with radius zeros on both sides; element i of the
+	// logical array lives at paddedIn[i+radius].
+	baseIn, baseOut := arrayBase(0), arrayBase(1)
+	weights := [2*radius + 1]float64{0.05, 0.09, 0.12, 0.15, 0.18, 0.15, 0.12, 0.09, 0.05}
+
+	b := isa.NewBuilder("sdk_convolution_row")
+	tid := b.Tid()
+	cta := b.Ctaid()
+	gi := b.Reg()
+	b.IMulI(gi, cta, tpb)
+	b.IAdd(gi, gi, tid)
+	// Shared layout: sh[0 .. tpb+2*radius).
+	shTid := b.Reg()
+	b.Shl(shTid, tid, 2)
+	center := b.Reg()
+	b.LdG(center, addrOf(b, baseIn, gi), radius*4, f32)
+	b.StS(shTid, radius*4, center, f32)
+	pLo := b.Pred()
+	b.ISetpI(pLo, isa.CmpLT, tid, radius)
+	b.If(pLo, func() {
+		v := b.Reg()
+		b.LdG(v, addrOf(b, baseIn, gi), 0, f32)
+		b.StS(shTid, 0, v, f32)
+	})
+	pHi := b.Pred()
+	b.ISetpI(pHi, isa.CmpGE, tid, tpb-radius)
+	b.If(pHi, func() {
+		v := b.Reg()
+		b.LdG(v, addrOf(b, baseIn, gi), 2*radius*4, f32)
+		b.StS(shTid, 2*radius*4, v, f32)
+	})
+	b.Bar()
+	acc := b.FImmReg(0)
+	for j := 0; j <= 2*radius; j++ {
+		v := b.Reg()
+		b.LdS(v, shTid, int64(4*j), f32)
+		w := b.FImmReg(weights[j])
+		b.FFma(acc, w, v, acc)
+	}
+	b.StG(addrOf(b, baseOut, gi), 0, acc, f32)
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xc0))
+	padded := make([]float32, n+2*radius)
+	for i := radius; i < n+radius; i++ {
+		padded[i] = rng.Float32()*2 - 1
+	}
+	m.SetF32Slice(baseIn, padded)
+	want := make([]float32, n)
+	for i := 0; i < n; i++ {
+		acc := 0.0
+		for j := 0; j <= 2*radius; j++ {
+			acc = weights[j]*float64(padded[i+j]) + acc
+		}
+		want[i] = float32(acc)
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb,
+		SharedBytes: (tpb + 2*radius) * 4, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "conv") },
+	}, nil
+}
+
+func buildScalarProd(s Scale) (*Launch, error) {
+	const tpb = 128
+	const iters = 4 // elements per thread
+	segLen := tpb * iters
+	n := s.Blocks * segLen
+	baseA, baseB, baseOut := arrayBase(0), arrayBase(1), arrayBase(2)
+
+	b := isa.NewBuilder("sdk_scalarprod")
+	tid := b.Tid()
+	cta := b.Ctaid()
+	segStart := b.Reg()
+	b.IMulI(segStart, cta, int64(segLen))
+	idx := b.Reg()
+	b.IAdd(idx, segStart, tid)
+	acc := b.FImmReg(0)
+	k := b.Reg()
+	b.ForImm(k, 0, iters, 1, func() {
+		va, vb := b.Reg(), b.Reg()
+		b.LdG(va, addrOf(b, baseA, idx), 0, f32)
+		b.LdG(vb, addrOf(b, baseB, idx), 0, f32)
+		b.FFma(acc, va, vb, acc)
+		b.IAddI(idx, idx, tpb)
+	})
+	shAddr := b.Reg()
+	b.Shl(shAddr, tid, 2)
+	b.StS(shAddr, 0, acc, f32)
+	b.Bar()
+	for stride := tpb / 2; stride >= 1; stride /= 2 {
+		p := b.Pred()
+		b.ISetpI(p, isa.CmpLT, tid, int64(stride))
+		b.If(p, func() {
+			mine, other := b.Reg(), b.Reg()
+			b.LdS(mine, shAddr, 0, f32)
+			b.LdS(other, shAddr, int64(stride*4), f32)
+			b.FAdd(mine, mine, other)
+			b.StS(shAddr, 0, mine, f32)
+		})
+		b.Bar()
+	}
+	pz := b.Pred()
+	b.ISetpI(pz, isa.CmpEQ, tid, 0)
+	b.If(pz, func() {
+		total := b.Reg()
+		b.LdS(total, shAddr, 0, f32)
+		b.StG(addrOf(b, baseOut, cta), 0, total, f32)
+	})
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0xd00d))
+	av := randF32(m, rng, baseA, n, -1, 1)
+	bv := randF32(m, rng, baseB, n, -1, 1)
+	want := make([]float32, s.Blocks)
+	for blk := 0; blk < s.Blocks; blk++ {
+		sh := make([]float64, tpb)
+		for t := 0; t < tpb; t++ {
+			acc := 0.0
+			for k := 0; k < iters; k++ {
+				i := blk*segLen + t + k*tpb
+				acc = float64(av[i])*float64(bv[i]) + acc
+			}
+			sh[t] = acc
+		}
+		for stride := tpb / 2; stride >= 1; stride /= 2 {
+			for t := 0; t < stride; t++ {
+				sh[t] += sh[t+stride]
+			}
+		}
+		want[blk] = float32(sh[0])
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb,
+		SharedBytes: tpb * 4, Mem: m,
+		Check: func(m *memory.Memory) error { return checkF32(m, baseOut, want, 1e-5, "dot") },
+	}, nil
+}
+
+func buildSobol(s Scale) (*Launch, error) {
+	const tpb = 128
+	const dims = 16
+	n := s.Blocks * tpb
+	baseDirs, baseOut := arrayBase(0), arrayBase(1)
+
+	b := isa.NewBuilder("sdk_sobol_qrng")
+	gid := b.GlobalID()
+	g1, g3 := b.Reg(), b.Reg()
+	b.Shr(g1, gid, 1)
+	b.Xor(g1, gid, g1) // gray code
+	b.Shr(g3, gid, 3)
+	d := b.Reg()
+	b.ForImm(d, 0, dims, 1, func() {
+		dir := b.Reg()
+		b.LdG(dir, addrOf(b, baseDirs, d), 0, i32) // broadcast, L1 resident
+		v := b.Reg()
+		b.Xor(v, g1, dir)
+		v2 := b.Reg()
+		b.IMul(v2, v, g3)
+		b.Xor(v, v, v2)
+		b.AndI(v, v, 0x7FFFFFFF)
+		oi := b.Reg()
+		b.IMulI(oi, gid, dims)
+		b.IAdd(oi, oi, d)
+		b.StG(addrOf(b, baseOut, oi), 0, v, i32) // stride-16: divergent writes
+	})
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	m := memory.New()
+	rng := rand.New(rand.NewSource(s.Seed ^ 0x50b))
+	dirs := randI32(m, rng, baseDirs, dims, 1<<30)
+	want := make([]int32, n*dims)
+	for g := 0; g < n; g++ {
+		g1 := int64(g) ^ (int64(g) >> 1)
+		g3 := int64(g) >> 3
+		for dd := 0; dd < dims; dd++ {
+			v := g1 ^ int64(dirs[dd])
+			v ^= v * g3
+			v &= 0x7FFFFFFF
+			want[g*dims+dd] = int32(v)
+		}
+	}
+	return &Launch{
+		Prog: prog, Blocks: s.Blocks, ThreadsPerBlock: tpb, Mem: m,
+		Check: func(m *memory.Memory) error { return checkI32(m, baseOut, want, "sobol") },
+	}, nil
+}

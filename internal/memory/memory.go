@@ -1,0 +1,157 @@
+// Package memory provides the sparse, byte-addressable global memory used
+// by the functional emulator. Addresses are 64-bit; storage is allocated
+// lazily in fixed-size pages so kernels can scatter data across a large
+// address space without cost.
+package memory
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+const pageBits = 12 // 4 KiB pages
+const pageSize = 1 << pageBits
+
+// Memory is a sparse byte-addressable memory. The zero value is empty and
+// ready to use. Reads of unwritten addresses return zero bytes, like
+// freshly allocated device memory. Memory is not safe for concurrent use.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory { return &Memory{pages: make(map[uint64]*[pageSize]byte)} }
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	if m.pages == nil {
+		if !create {
+			return nil
+		}
+		m.pages = make(map[uint64]*[pageSize]byte)
+	}
+	key := addr >> pageBits
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// ReadBytes fills dst with the bytes at addr.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		off := int(addr & (pageSize - 1))
+		n := min(pageSize-off, len(dst))
+		if p := m.page(addr, false); p != nil {
+			copy(dst[:n], p[off:off+n])
+		} else {
+			clear(dst[:n])
+		}
+		dst = dst[n:]
+		addr += uint64(n)
+	}
+}
+
+// WriteBytes stores src at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) {
+	for len(src) > 0 {
+		off := int(addr & (pageSize - 1))
+		n := min(pageSize-off, len(src))
+		p := m.page(addr, true)
+		copy(p[off:off+n], src[:n])
+		src = src[n:]
+		addr += uint64(n)
+	}
+}
+
+// Read returns size (1, 4, or 8) bytes at addr as a little-endian uint64.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	var buf [8]byte
+	m.ReadBytes(addr, buf[:size])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Write stores the low size (1, 4, or 8) bytes of v at addr.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	m.WriteBytes(addr, buf[:size])
+}
+
+// U8 returns the byte at addr.
+func (m *Memory) U8(addr uint64) uint8 { return uint8(m.Read(addr, 1)) }
+
+// SetU8 stores a byte at addr.
+func (m *Memory) SetU8(addr uint64, v uint8) { m.Write(addr, 1, uint64(v)) }
+
+// I32 returns the int32 at addr.
+func (m *Memory) I32(addr uint64) int32 { return int32(m.Read(addr, 4)) }
+
+// SetI32 stores an int32 at addr.
+func (m *Memory) SetI32(addr uint64, v int32) { m.Write(addr, 4, uint64(uint32(v))) }
+
+// I64 returns the int64 at addr.
+func (m *Memory) I64(addr uint64) int64 { return int64(m.Read(addr, 8)) }
+
+// SetI64 stores an int64 at addr.
+func (m *Memory) SetI64(addr uint64, v int64) { m.Write(addr, 8, uint64(v)) }
+
+// F32 returns the float32 at addr.
+func (m *Memory) F32(addr uint64) float32 { return math.Float32frombits(uint32(m.Read(addr, 4))) }
+
+// SetF32 stores a float32 at addr.
+func (m *Memory) SetF32(addr uint64, v float32) { m.Write(addr, 4, uint64(math.Float32bits(v))) }
+
+// F64 returns the float64 at addr.
+func (m *Memory) F64(addr uint64) float64 { return math.Float64frombits(m.Read(addr, 8)) }
+
+// SetF64 stores a float64 at addr.
+func (m *Memory) SetF64(addr uint64, v float64) { m.Write(addr, 8, math.Float64bits(v)) }
+
+// SetF32Slice stores vals contiguously starting at base (4 bytes each).
+func (m *Memory) SetF32Slice(base uint64, vals []float32) {
+	for i, v := range vals {
+		m.SetF32(base+uint64(4*i), v)
+	}
+}
+
+// F32Slice reads n contiguous float32 values starting at base.
+func (m *Memory) F32Slice(base uint64, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = m.F32(base + uint64(4*i))
+	}
+	return out
+}
+
+// SetI32Slice stores vals contiguously starting at base (4 bytes each).
+func (m *Memory) SetI32Slice(base uint64, vals []int32) {
+	for i, v := range vals {
+		m.SetI32(base+uint64(4*i), v)
+	}
+}
+
+// I32Slice reads n contiguous int32 values starting at base.
+func (m *Memory) I32Slice(base uint64, n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = m.I32(base + uint64(4*i))
+	}
+	return out
+}
+
+// Footprint returns the number of bytes of storage currently allocated.
+func (m *Memory) Footprint() int { return len(m.pages) * pageSize }
+
+// Clone returns an independent deep copy of the memory. The emulator uses
+// it to rerun a kernel on identical initial state (e.g. once for tracing
+// and once for the timing oracle).
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for k, p := range m.pages {
+		cp := *p
+		c.pages[k] = &cp
+	}
+	return c
+}

@@ -1,0 +1,141 @@
+// Package report renders experiment results as aligned text tables, ASCII
+// bar charts, and CSV files — the output layer of the figure-regeneration
+// harness.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Figure is one regenerated table or chart.
+type Figure struct {
+	ID      string // e.g. "fig11"
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render returns the figure as aligned text.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	b.WriteString(Table(f.Headers, f.Rows))
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the figure's rows to dir/<id>.csv.
+func (f *Figure) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	path := filepath.Join(dir, f.ID+".csv")
+	file, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	defer file.Close()
+	w := csv.NewWriter(file)
+	if err := w.Write(f.Headers); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	if err := w.WriteAll(f.Rows); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// Table renders rows under headers with aligned columns.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Bar renders value as a bar of '#' characters scaled so that max fills
+// width runes, with the numeric value appended.
+func Bar(value, max float64, width int) string {
+	if max <= 0 || width <= 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// StackedBar renders the component values as a stacked bar using one rune
+// per component, scaled so that total==max fills width runes.
+func StackedBar(values []float64, runes []rune, max float64, width int) string {
+	if max <= 0 || width <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	used := 0
+	for i, v := range values {
+		n := int(v / max * float64(width))
+		if used+n > width {
+			n = width - used
+		}
+		r := '#'
+		if i < len(runes) {
+			r = runes[i]
+		}
+		b.WriteString(strings.Repeat(string(r), n))
+		used += n
+	}
+	if used < width {
+		b.WriteString(strings.Repeat(".", width-used))
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// F formats a float compactly.
+func F(x float64) string { return fmt.Sprintf("%.3f", x) }

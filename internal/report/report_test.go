@@ -1,0 +1,94 @@
+package report
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "v"}, [][]string{
+		{"a", "1"},
+		{"longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4", len(lines))
+	}
+	// All rows start their second column at the same offset.
+	idx := strings.Index(lines[0], "v")
+	if !strings.HasPrefix(lines[2][idx-2:], "") || len(lines[2]) < idx {
+		t.Errorf("row misaligned: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator missing: %q", lines[1])
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####....." {
+		t.Errorf("Bar = %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "##########" {
+		t.Errorf("overflow Bar = %q", got)
+	}
+	if got := Bar(-1, 10, 10); got != ".........." {
+		t.Errorf("negative Bar = %q", got)
+	}
+	if Bar(1, 0, 10) != "" || Bar(1, 10, 0) != "" {
+		t.Error("degenerate Bar not empty")
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	got := StackedBar([]float64{2, 3}, []rune{'A', 'B'}, 10, 10)
+	if got != "AABBB....." {
+		t.Errorf("StackedBar = %q", got)
+	}
+	// Overflow clamps at width.
+	got = StackedBar([]float64{8, 8}, []rune{'A', 'B'}, 10, 10)
+	if len(got) != 10 || strings.Contains(got, ".") {
+		t.Errorf("clamped StackedBar = %q", got)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := &Figure{ID: "fig99", Title: "test", Headers: []string{"a"}, Rows: [][]string{{"x"}}, Notes: []string{"n1"}}
+	out := f.Render()
+	for _, want := range []string{"fig99", "test", "x", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	f := &Figure{ID: "figX", Headers: []string{"k", "v"}, Rows: [][]string{{"a", "1"}, {"b", "2"}}}
+	if err := f.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	file, err := os.Open(filepath.Join(dir, "figX.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	rows, err := csv.NewReader(file).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0] != "k" || rows[2][1] != "2" {
+		t.Errorf("CSV rows = %v", rows)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.132) != "13.2%" {
+		t.Errorf("Pct = %q", Pct(0.132))
+	}
+	if F(1.23456) != "1.235" {
+		t.Errorf("F = %q", F(1.23456))
+	}
+}

@@ -1,0 +1,130 @@
+// Package stats provides the small statistical helpers the evaluation
+// harness uses: relative errors (the paper's validation metric), summary
+// statistics, and error-distribution buckets for Figure 11/12 style
+// reporting.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// RelErr returns |predicted-oracle| / oracle (Section VI-A's relative
+// error). A zero oracle yields zero.
+func RelErr(predicted, oracle float64) float64 {
+	if oracle == 0 {
+		return 0
+	}
+	return math.Abs(predicted-oracle) / oracle
+}
+
+// Mean returns the arithmetic mean, or zero for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values, ignoring
+// non-positive entries.
+func GeoMean(xs []float64) float64 {
+	logSum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			logSum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Median returns the median, or zero for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Max returns the maximum, or zero for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// FracBelow returns the fraction of values strictly below the threshold.
+func FracBelow(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x < threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Buckets classifies values into the Figure 11/12 error buckets:
+// <10%, <20%, <30%, <40%, <50%, and >=50%. It returns counts per bucket.
+func Buckets(xs []float64) [6]int {
+	var out [6]int
+	for _, x := range xs {
+		switch {
+		case x < 0.10:
+			out[0]++
+		case x < 0.20:
+			out[1]++
+		case x < 0.30:
+			out[2]++
+		case x < 0.40:
+			out[3]++
+		case x < 0.50:
+			out[4]++
+		default:
+			out[5]++
+		}
+	}
+	return out
+}
+
+// BucketLabels returns the display labels matching Buckets.
+func BucketLabels() [6]string {
+	return [6]string{"<10%", "<20%", "<30%", "<40%", "<50%", ">=50%"}
+}
+
+// Summary bundles the summary statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Median float64
+	Max    float64
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary {
+	return Summary{N: len(xs), Mean: Mean(xs), Median: Median(xs), Max: Max(xs)}
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(13, 10); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("RelErr(13,10) = %g", got)
+	}
+	if got := RelErr(7, 10); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("RelErr is not symmetric in magnitude: %g", got)
+	}
+	if RelErr(5, 0) != 0 {
+		t.Error("zero oracle must yield 0")
+	}
+}
+
+func TestMeanMedianMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 || Median(xs) != 2 || Max(xs) != 3 {
+		t.Errorf("mean/median/max = %g/%g/%g", Mean(xs), Median(xs), Max(xs))
+	}
+	even := []float64{1, 2, 3, 4}
+	if Median(even) != 2.5 {
+		t.Errorf("even median = %g", Median(even))
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty slices must yield 0")
+	}
+	// Median must not mutate its input.
+	if xs[0] != 3 {
+		t.Error("Median sorted the caller's slice")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean = %g, want 10", got)
+	}
+	if got := GeoMean([]float64{2, 0, -3, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean ignoring non-positive = %g, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty GeoMean must be 0")
+	}
+}
+
+func TestFracBelow(t *testing.T) {
+	xs := []float64{0.05, 0.15, 0.25, 0.19}
+	if got := FracBelow(xs, 0.20); got != 0.75 {
+		t.Errorf("FracBelow = %g", got)
+	}
+	if FracBelow(nil, 1) != 0 {
+		t.Error("empty FracBelow must be 0")
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	xs := []float64{0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 3.3}
+	b := Buckets(xs)
+	want := [6]int{1, 1, 1, 1, 1, 2}
+	if b != want {
+		t.Errorf("Buckets = %v, want %v", b, want)
+	}
+	labels := BucketLabels()
+	if labels[0] != "<10%" || labels[5] != ">=50%" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 9})
+	if s.N != 3 || s.Mean != 4 || s.Median != 2 || s.Max != 9 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return Mean(xs) == 0
+		}
+		finite := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				finite = append(finite, x)
+			}
+		}
+		if len(finite) == 0 {
+			return true
+		}
+		m := Mean(finite)
+		return m >= Min(finite)-1e-6 && m <= Max(finite)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Min is test-local: the package intentionally exports only what the
+// harness needs.
+func Min(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

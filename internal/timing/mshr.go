@@ -1,0 +1,91 @@
+package timing
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// mshrFile models a core's miss-status holding registers: a bounded set of
+// in-flight line misses with same-line merging. Entries free when their
+// fill completes.
+type mshrFile struct {
+	entries  int
+	inflight map[uint64]int64 // line -> completion cycle
+	releases releaseHeap
+}
+
+type release struct {
+	cycle int64
+	line  uint64
+}
+
+type releaseHeap []release
+
+func (h releaseHeap) Len() int           { return len(h) }
+func (h releaseHeap) Less(i, j int) bool { return h[i].cycle < h[j].cycle }
+func (h releaseHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *releaseHeap) Push(x any)        { *h = append(*h, x.(release)) }
+func (h *releaseHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func newMSHRFile(entries int) *mshrFile {
+	return &mshrFile{entries: entries, inflight: make(map[uint64]int64)}
+}
+
+// purge frees entries whose fills completed at or before now, returning
+// how many entries were released.
+func (m *mshrFile) purge(now int64) int {
+	freed := 0
+	for len(m.releases) > 0 && m.releases[0].cycle <= now {
+		r := heap.Pop(&m.releases).(release)
+		if c, ok := m.inflight[r.line]; ok && c == r.cycle {
+			delete(m.inflight, r.line)
+			freed++
+		}
+	}
+	return freed
+}
+
+// free returns the number of unallocated entries.
+func (m *mshrFile) free() int { return m.entries - len(m.inflight) }
+
+// pending returns the completion cycle of an in-flight miss on line, if any.
+func (m *mshrFile) pending(line uint64) (int64, bool) {
+	c, ok := m.inflight[line]
+	return c, ok
+}
+
+// allocate reserves an entry for line completing at the given cycle.
+func (m *mshrFile) allocate(line uint64, completion int64) {
+	m.inflight[line] = completion
+	heap.Push(&m.releases, release{cycle: completion, line: line})
+}
+
+// nextRelease returns the earliest completion cycle of any in-flight
+// entry, or max int64 if none.
+func (m *mshrFile) nextRelease() int64 {
+	if len(m.releases) == 0 {
+		return int64(^uint64(0) >> 1)
+	}
+	return m.releases[0].cycle
+}
+
+// kthRelease returns the cycle at which at least k additional entries will
+// have been freed — the earliest retry time for an instruction that needs
+// k more entries than are currently free.
+func (m *mshrFile) kthRelease(k int) int64 {
+	if k <= 1 {
+		return m.nextRelease()
+	}
+	if k > len(m.releases) {
+		k = len(m.releases)
+		if k == 0 {
+			return int64(^uint64(0) >> 1)
+		}
+	}
+	scratch := make([]int64, len(m.releases))
+	for i, r := range m.releases {
+		scratch[i] = r.cycle
+	}
+	sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+	return scratch[k-1]
+}

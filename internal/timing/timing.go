@@ -1,0 +1,781 @@
+// Package timing is the detailed cycle-level GPU simulator used as the
+// validation oracle — the repository's stand-in for Macsim in the paper's
+// evaluation (Section VI-A). It consumes the same per-warp traces as
+// GPUMech and simulates, cycle by cycle:
+//
+//   - in-order issue of one warp-instruction per core per cycle, chosen by
+//     a round-robin or greedy-then-oldest scheduler;
+//   - register scoreboarding over the unified register namespace
+//     (RAW and WAW hazards), with per-class instruction latencies;
+//   - block-granular residency: WarpsPerCore warps stay resident, whole
+//     blocks are admitted as previous blocks drain, and barriers
+//     synchronize the warps of a block;
+//   - per-core L1 and shared L2 tag arrays, per-core MSHRs with same-line
+//     merging (loads needing more free MSHRs than available cannot issue);
+//   - a shared DRAM channel with finite bandwidth: L2-missing loads and
+//     all write-through stores occupy the channel for the line service
+//     time, so bursts queue behind each other.
+//
+// Because it tracks every request at cycle granularity, the oracle
+// captures effects GPUMech only approximates (exact interleavings, MSHR
+// merging, load/store interference), which is what makes the model's
+// error measurements meaningful.
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"gpumech/internal/cache"
+	"gpumech/internal/config"
+	"gpumech/internal/isa"
+	"gpumech/internal/trace"
+)
+
+// Policy is the warp scheduling policy of the simulated cores,
+// re-exported from config.
+type Policy = config.Policy
+
+// Scheduling policies (see config.Policy).
+const (
+	RR  = config.RR
+	GTO = config.GTO
+)
+
+// StallReason classifies why a core could not issue in a cycle, for the
+// measured stall breakdown (the oracle-side counterpart of the model's
+// CPI stack).
+type StallReason int
+
+const (
+	// StallCompute: every candidate warp waits on a compute result.
+	StallCompute StallReason = iota
+	// StallMemory: some candidate warp waits on an outstanding load.
+	StallMemory
+	// StallMSHR: a warp was ready but could not get MSHR entries.
+	StallMSHR
+	// StallDRAMQueue: a warp was ready but the DRAM queue was full.
+	StallDRAMQueue
+	// StallBarrier: all live warps wait at a barrier.
+	StallBarrier
+	// StallDrain: the core had no resident work (block drain/admission).
+	StallDrain
+	numStallReasons
+)
+
+func (r StallReason) String() string {
+	switch r {
+	case StallCompute:
+		return "compute-dep"
+	case StallMemory:
+		return "memory-dep"
+	case StallMSHR:
+		return "mshr"
+	case StallDRAMQueue:
+		return "dram-queue"
+	case StallBarrier:
+		return "barrier"
+	case StallDrain:
+		return "drain"
+	}
+	return fmt.Sprintf("reason(%d)", int(r))
+}
+
+// StallReasons lists the reasons in display order.
+func StallReasons() []StallReason {
+	out := make([]StallReason, numStallReasons)
+	for i := range out {
+		out[i] = StallReason(i)
+	}
+	return out
+}
+
+// Result summarizes one detailed simulation.
+type Result struct {
+	Cycles int64 // completion cycle of the slowest core (wall clock)
+	Insts  int64 // total issued warp-instructions
+
+	// CPI is the wall-clock cycles per warp-instruction per core:
+	// Cycles * Cores / Insts. Cores share the L2 and the DRAM channel, so
+	// the machine-level wall clock — not the mean of per-core finish
+	// times — is what a per-core performance model predicts.
+	CPI float64
+	IPC float64 // 1/CPI
+
+	// MeanCoreCPI averages each core's own finish time over its own
+	// instructions; it converges to CPI for balanced long-running
+	// kernels.
+	MeanCoreCPI   float64
+	PerCoreCycles []int64
+	PerCoreInsts  []int64
+
+	// Diagnostics.
+	MSHRStallCycles int64 // core-cycles in which the chosen warp was blocked only by MSHRs
+	NoIssueCycles   int64 // core-cycles with no issuable warp
+	DRAMRequests    int64 // requests that occupied the shared channel
+
+	// Stalls attributes every core-cycle without an issue to a reason —
+	// the measured stall breakdown. Together with Insts (one cycle each),
+	// the entries sum to the total core-cycles of the run.
+	Stalls [6]int64
+}
+
+// StallBreakdown returns the per-reason share of all core cycles,
+// including the issue cycles under the key "issue".
+func (r *Result) StallBreakdown() map[string]float64 {
+	total := float64(r.Insts)
+	for _, v := range r.Stalls {
+		total += float64(v)
+	}
+	out := make(map[string]float64, int(numStallReasons)+1)
+	if total == 0 {
+		return out
+	}
+	out["issue"] = float64(r.Insts) / total
+	for _, reason := range StallReasons() {
+		out[reason.String()] = float64(r.Stalls[reason]) / total
+	}
+	return out
+}
+
+const maxInt64 = int64(math.MaxInt64)
+
+// debugSample enables periodic state dumps (development only).
+var debugSample = false
+
+// Simulate runs the detailed timing simulation of the kernel trace under
+// the configuration and scheduling policy.
+func Simulate(k *trace.Kernel, cfg config.Config, pol Policy) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if k.LineBytes != cfg.L1LineBytes {
+		return nil, fmt.Errorf("timing: trace coalesced at %d-byte lines but config uses %d", k.LineBytes, cfg.L1LineBytes)
+	}
+	if cfg.WarpsPerCore%k.WarpsPerBlock != 0 {
+		return nil, fmt.Errorf("timing: WarpsPerCore (%d) not a multiple of warps per block (%d)", cfg.WarpsPerCore, k.WarpsPerBlock)
+	}
+	sim, err := newSim(k, cfg, pol)
+	if err != nil {
+		return nil, err
+	}
+	return sim.run()
+}
+
+type sim struct {
+	cfg   config.Config
+	pol   Policy
+	cores []*core
+	l2    *cache.Array
+	// dramFree is the cycle at which the shared DRAM channel next frees.
+	dramFree    int64
+	dramService float64
+	dramSurplus float64 // fractional service cycles carried between requests
+	// dramBacklogMax bounds how far dramFree may run ahead of the current
+	// cycle: the memory controller's finite request queue. Memory
+	// instructions that need the channel cannot issue past it.
+	dramBacklogMax int64
+	numRegs        int // unified register namespace size
+	dramReqs       int64
+	sfuService     int64 // SFU occupancy per warp instruction (0 = unlimited)
+	now            int64
+}
+
+type core struct {
+	id      int
+	blocks  []*blockState // resident
+	pending [][]*trace.WarpTrace
+	warps   []*warpState // resident, admission order
+	l1      *cache.Array
+	mshr    *mshrFile
+	rrPos   int
+	greedy  *warpState
+	insts   int64
+	cycles  int64
+	done    bool
+	nextAge int64
+	// sleepUntil is the earliest cycle at which any of this core's warps
+	// can possibly issue; while now < sleepUntil the scheduler scan is
+	// skipped entirely. Safe because cross-core events can only delay,
+	// never advance, a warp's readiness (dramFree is monotone, MSHRs and
+	// scoreboards are core-local).
+	sleepUntil  int64
+	sleepReason StallReason // attribution for the skipped cycles
+	stalls      [6]int64
+
+	mshrStalls int64
+	noIssue    int64
+
+	// sfuFree is the cycle at which the core's special function unit next
+	// accepts a warp instruction (SFU contention extension; unused when
+	// config.SFUPerCore is 0).
+	sfuFree int64
+
+	// memEpoch increments whenever this core's L1 contents or MSHR
+	// in-flight set change; warps memoize their next instruction's probe
+	// results against it so blocked retries stay O(1).
+	memEpoch int64
+}
+
+type blockState struct {
+	warps   []*warpState
+	alive   int
+	barWait int
+}
+
+type warpState struct {
+	recs     []trace.Rec
+	pos      int
+	regReady []int64
+	// regFromMem marks registers whose pending write comes from a load,
+	// for stall attribution.
+	regFromMem  []bool
+	wake        int64 // earliest cycle the warp may issue again
+	atBar       bool
+	done        bool
+	block       *blockState
+	age         int64
+	mshrBlocked bool        // last issue attempt failed only due to MSHRs
+	blockReason StallReason // why the last issue attempt failed
+
+	// Memoized probe results for the instruction at probePos (valid while
+	// the core's memEpoch is unchanged).
+	probePos   int
+	probeEpoch int64
+	probeNeed  int
+	probeDRAM  bool
+}
+
+func newSim(k *trace.Kernel, cfg config.Config, pol Policy) (*sim, error) {
+	l2, err := cache.NewArray(cfg.L2SizeBytes, cfg.L2LineBytes, cfg.L2Assoc)
+	if err != nil {
+		return nil, err
+	}
+	s := &sim{cfg: cfg, pol: pol, l2: l2, dramService: cfg.DRAMServiceCycles()}
+	s.sfuService = int64(cfg.SFUServiceCycles())
+	s.dramBacklogMax = int64(float64(cfg.DRAMQueueDepth) * s.dramService)
+	if s.dramBacklogMax < 1 {
+		s.dramBacklogMax = 1
+	}
+	asg := trace.Assign(k.Blocks, cfg.Cores)
+	blocksPerCore := cfg.WarpsPerCore / k.WarpsPerBlock
+	numRegs := k.Prog.NumRegs + k.Prog.NumPreds
+
+	for c := 0; c < cfg.Cores; c++ {
+		l1, err := cache.NewArray(cfg.L1SizeBytes, cfg.L1LineBytes, cfg.L1Assoc)
+		if err != nil {
+			return nil, err
+		}
+		co := &core{id: c, l1: l1, mshr: newMSHRFile(cfg.MSHREntries)}
+		for _, b := range asg.CoreBlocks[c] {
+			var ws []*trace.WarpTrace
+			ws = append(ws, k.WarpsOfBlock(b)...)
+			co.pending = append(co.pending, ws)
+		}
+		for i := 0; i < blocksPerCore; i++ {
+			co.admitBlock(numRegs, 0)
+		}
+		co.done = len(co.warps) == 0 && len(co.pending) == 0
+		s.cores = append(s.cores, co)
+	}
+	s.numRegs = numRegs
+	return s, nil
+}
+
+// numRegs is stored on sim for block admission during the run.
+func (s *sim) run() (*Result, error) {
+	res := &Result{
+		PerCoreCycles: make([]int64, len(s.cores)),
+		PerCoreInsts:  make([]int64, len(s.cores)),
+	}
+	const safetyCap = int64(2) << 40
+	for {
+		anyAlive := false
+		anyIssued := false
+		nextEvent := maxInt64
+		// Rotate the polling order each cycle so no core permanently wins
+		// shared-resource arbitration (DRAM queue slots).
+		n := len(s.cores)
+		off := int(s.now % int64(n))
+		for i := 0; i < n; i++ {
+			co := s.cores[(i+off)%n]
+			if co.done {
+				continue
+			}
+			anyAlive = true
+			issued, ev := s.stepCore(co)
+			if issued {
+				anyIssued = true
+			} else if ev < nextEvent {
+				nextEvent = ev
+			}
+		}
+		if !anyAlive {
+			break
+		}
+		if anyIssued {
+			s.now++
+		} else {
+			if nextEvent == maxInt64 || nextEvent <= s.now {
+				return nil, fmt.Errorf("timing: deadlock at cycle %d", s.now)
+			}
+			// Fast-forward idle cycles; account them to every live core
+			// under the reason recorded when it went to sleep.
+			skipped := nextEvent - s.now
+			for _, co := range s.cores {
+				if !co.done {
+					co.noIssue += skipped - 1
+					co.stalls[co.sleepReason] += skipped - 1
+				}
+			}
+			s.now = nextEvent
+		}
+		if s.now > safetyCap {
+			return nil, fmt.Errorf("timing: exceeded cycle safety cap")
+		}
+		if debugSample && s.now%20000 < 1 {
+			co := s.cores[0]
+			fmt.Printf("[dbg] now=%d dramFree-now=%d core0: insts=%d warps=%d pending=%d\n", s.now, s.dramFree-s.now, co.insts, len(co.warps), len(co.pending))
+			for wi, ws := range co.warps {
+				if wi > 5 {
+					break
+				}
+				fmt.Printf("  w%d pos=%d/%d wake=+%d bar=%v done=%v\n", wi, ws.pos, len(ws.recs), ws.wake-s.now, ws.atBar, ws.done)
+			}
+		}
+	}
+
+	var sumCycles int64
+	for i, co := range s.cores {
+		res.PerCoreCycles[i] = co.cycles
+		res.PerCoreInsts[i] = co.insts
+		res.Insts += co.insts
+		sumCycles += co.cycles
+		res.MSHRStallCycles += co.mshrStalls
+		res.NoIssueCycles += co.noIssue
+		for ri := range co.stalls {
+			res.Stalls[ri] += co.stalls[ri]
+		}
+		res.Cycles = max(res.Cycles, co.cycles)
+	}
+	if res.Insts == 0 {
+		return nil, fmt.Errorf("timing: no instructions issued")
+	}
+	res.MeanCoreCPI = float64(sumCycles) / float64(res.Insts)
+	res.CPI = float64(res.Cycles) * float64(len(s.cores)) / float64(res.Insts)
+	res.IPC = 1 / res.CPI
+	res.DRAMRequests = s.dramReqs
+	return res, nil
+}
+
+// stepCore attempts to issue one instruction on the core at the current
+// cycle. It returns whether an instruction issued and, if not, the
+// earliest cycle at which the core might make progress.
+func (s *sim) stepCore(co *core) (bool, int64) {
+	now := s.now
+	if now < co.sleepUntil {
+		return false, co.sleepUntil
+	}
+	if freed := co.mshr.purge(now); freed > 0 {
+		co.memEpoch++
+	}
+
+	w := s.pick(co, now)
+	if w != nil {
+		s.issue(co, w, now)
+		co.insts++
+		co.cycles = now + 1
+		return true, 0
+	}
+
+	// Blocked: find the earliest wake-up among resident warps and MSHR
+	// releases; classify the lost cycle for the measured stall breakdown.
+	next := maxInt64
+	sawMSHRBlock := false
+	live := 0
+	var reasonCounts [6]int64
+	for _, ws := range co.warps {
+		if ws.done {
+			continue
+		}
+		live++
+		if ws.atBar {
+			reasonCounts[StallBarrier]++
+			continue
+		}
+		if ws.mshrBlocked {
+			sawMSHRBlock = true
+		}
+		reasonCounts[ws.blockReason]++
+		if ws.wake > now && ws.wake < next {
+			next = ws.wake
+		}
+	}
+	reason := StallDrain
+	if live > 0 {
+		// Attribute to the structural reasons first (they indicate a
+		// saturated resource), otherwise to the majority dependence kind.
+		switch {
+		case reasonCounts[StallDRAMQueue] > 0:
+			reason = StallDRAMQueue
+		case reasonCounts[StallMSHR] > 0:
+			reason = StallMSHR
+		case reasonCounts[StallMemory] >= reasonCounts[StallCompute] && reasonCounts[StallMemory] > 0:
+			reason = StallMemory
+		case reasonCounts[StallCompute] > 0:
+			reason = StallCompute
+		default:
+			reason = StallBarrier
+		}
+	}
+	co.stalls[reason]++
+	co.sleepReason = reason
+	if r := co.mshr.nextRelease(); r < next && r > now {
+		next = r
+	}
+	if sawMSHRBlock {
+		co.mshrStalls++
+	}
+	co.noIssue++
+	if next > now {
+		co.sleepUntil = next
+	}
+	if next == maxInt64 {
+		// Warps may be waiting on nothing local (all at barrier handled
+		// at issue). Treat as deadlock candidate upstream.
+		return false, maxInt64
+	}
+	return false, next
+}
+
+// pick selects the warp to issue per the policy, or nil if none can.
+func (s *sim) pick(co *core, now int64) *warpState {
+	n := len(co.warps)
+	if n == 0 {
+		return nil
+	}
+	switch s.pol {
+	case GTO:
+		if g := co.greedy; g != nil && s.canIssue(co, g, now) {
+			return g
+		}
+		var oldest *warpState
+		for _, w := range co.warps {
+			if s.canIssue(co, w, now) && (oldest == nil || w.age < oldest.age) {
+				oldest = w
+			}
+		}
+		if oldest != nil {
+			co.greedy = oldest
+		}
+		return oldest
+	default: // RR
+		for i := 0; i < n; i++ {
+			w := co.warps[(co.rrPos+1+i)%n]
+			if s.canIssue(co, w, now) {
+				co.rrPos = (co.rrPos + 1 + i) % n
+				return w
+			}
+		}
+		return nil
+	}
+}
+
+// canIssue checks scoreboard and structural hazards for the warp's next
+// instruction.
+func (s *sim) canIssue(co *core, w *warpState, now int64) bool {
+	if w.done || w.atBar || w.wake > now || w.pos >= len(w.recs) {
+		return false
+	}
+	w.mshrBlocked = false
+	r := &w.recs[w.pos]
+	var latest int64
+	fromMem := false
+	for _, src := range r.SrcRegs() {
+		if src == isa.RegNone {
+			continue
+		}
+		if t := w.regReady[src]; t > now && w.regFromMem[src] {
+			fromMem = true
+		}
+		if t := w.regReady[src]; t > latest {
+			latest = t
+		}
+	}
+	if r.Dst != isa.RegNone && w.regReady[r.Dst] > latest {
+		latest = w.regReady[r.Dst] // WAW
+		if w.regFromMem[r.Dst] {
+			fromMem = true
+		}
+	}
+	if latest > now {
+		w.wake = latest
+		w.blockReason = StallCompute
+		if fromMem {
+			w.blockReason = StallMemory
+		}
+		return false
+	}
+	// Structural hazard: the special function unit accepts one warp
+	// instruction per service interval (extension; see config.SFUPerCore).
+	if s.sfuService > 0 && r.Op.Class() == isa.ClassSFU && co.sfuFree > now {
+		w.wake = co.sfuFree
+		w.blockReason = StallCompute
+		return false
+	}
+	// Structural hazards for global memory instructions.
+	switch r.Op {
+	case isa.OpLdG:
+		if len(r.Lines) == 0 {
+			break
+		}
+		var need int
+		var wantsDRAM bool
+		if w.probePos == w.pos && w.probeEpoch == co.memEpoch {
+			need, wantsDRAM = w.probeNeed, w.probeDRAM
+		} else {
+			for _, line := range r.Lines {
+				if co.l1.Probe(line) {
+					continue
+				}
+				if _, merged := co.mshr.pending(line); merged {
+					continue
+				}
+				need++
+				if !s.l2.Probe(line) {
+					wantsDRAM = true
+				}
+			}
+			w.probePos, w.probeEpoch = w.pos, co.memEpoch
+			w.probeNeed, w.probeDRAM = need, wantsDRAM
+		}
+		// A load must secure an MSHR entry for every L1-missing,
+		// non-merged request. An instruction more divergent than the
+		// whole MSHR file issues once every entry is free (wave-serialized
+		// in real hardware; briefly oversubscribed here).
+		if need >= co.mshr.entries {
+			if co.mshr.free() < co.mshr.entries {
+				w.mshrBlocked = true
+				w.blockReason = StallMSHR
+				if rel := co.mshr.kthRelease(co.mshr.entries - co.mshr.free()); rel > now {
+					w.wake = rel
+				}
+				return false
+			}
+		} else if need > co.mshr.free() {
+			w.mshrBlocked = true
+			w.blockReason = StallMSHR
+			// Wake only when enough entries will have been freed.
+			if rel := co.mshr.kthRelease(need - co.mshr.free()); rel > now {
+				w.wake = rel
+			}
+			return false
+		}
+		if wantsDRAM && s.dramBacklogged(w, now) {
+			w.blockReason = StallDRAMQueue
+			return false
+		}
+	case isa.OpStG:
+		// Write-through stores always consume the channel.
+		if len(r.Lines) > 0 && s.dramBacklogged(w, now) {
+			w.blockReason = StallDRAMQueue
+			return false
+		}
+	}
+	return true
+}
+
+// dramBacklogged reports whether the shared memory controller queue is
+// full; if so it sets the warp's wake time to the drain point.
+func (s *sim) dramBacklogged(w *warpState, now int64) bool {
+	if s.dramFree-now <= s.dramBacklogMax {
+		return false
+	}
+	if wake := s.dramFree - s.dramBacklogMax; wake > now {
+		w.wake = wake
+	}
+	return true
+}
+
+// issue executes the warp's next instruction at cycle now.
+func (s *sim) issue(co *core, w *warpState, now int64) {
+	r := &w.recs[w.pos]
+	w.pos++
+
+	switch r.Op {
+	case isa.OpBar:
+		w.atBar = true
+		w.wake = maxInt64
+		b := w.block
+		b.barWait++
+		if b.barWait >= b.alive {
+			b.barWait = 0
+			for _, ws := range b.warps {
+				if !ws.done {
+					ws.atBar = false
+					ws.wake = now + 1
+				}
+			}
+		}
+	case isa.OpExit:
+		s.finishWarp(co, w, now)
+	case isa.OpLdG:
+		done := now + int64(s.cfg.L1Latency)
+		if len(r.Lines) > 0 {
+			co.memEpoch++
+		}
+		for _, line := range r.Lines {
+			c := s.loadLine(co, line, now)
+			if c > done {
+				done = c
+			}
+		}
+		if r.Dst != isa.RegNone {
+			w.regReady[r.Dst] = done
+			w.regFromMem[r.Dst] = true
+		}
+		w.wake = now + 1
+	case isa.OpStG:
+		// Write-through, no-allocate, fire-and-forget: refresh tags and
+		// occupy the DRAM channel for each request.
+		for _, line := range r.Lines {
+			co.l1.Touch(line)
+			s.l2.Touch(line)
+			s.dramOccupy(now)
+		}
+		w.wake = now + 1
+	default:
+		if s.sfuService > 0 && r.Op.Class() == isa.ClassSFU {
+			co.sfuFree = now + s.sfuService
+		}
+		if r.Dst != isa.RegNone {
+			w.regReady[r.Dst] = now + int64(s.latencyOf(r.Op))
+			w.regFromMem[r.Dst] = false
+		}
+		w.wake = now + 1
+	}
+
+	if w.pos >= len(w.recs) && !w.done {
+		s.finishWarp(co, w, now)
+	}
+}
+
+// loadLine resolves one load request and returns its completion cycle.
+func (s *sim) loadLine(co *core, line uint64, now int64) int64 {
+	if co.l1.Access(line) {
+		return now + int64(s.cfg.L1Latency)
+	}
+	if c, ok := co.mshr.pending(line); ok {
+		return c // merged into an in-flight miss
+	}
+	var completion int64
+	if s.l2.Access(line) {
+		completion = now + int64(s.cfg.L2Latency)
+	} else {
+		// The channel is arbitrated in issue-time order; the L2 lookup and
+		// DRAM access latencies are added to the completion afterwards, so
+		// a future "arrival" never reserves (and wastes) the interleaving
+		// gap on the channel.
+		start := s.dramOccupy(now)
+		completion = start + int64(s.cfg.L2Latency) + int64(s.cfg.DRAMLatency)
+	}
+	co.mshr.allocate(line, completion)
+	return completion
+}
+
+// dramOccupy reserves one line service slot on the shared DRAM channel
+// starting no earlier than arrival, returning the service start cycle.
+func (s *sim) dramOccupy(arrival int64) int64 {
+	s.dramReqs++
+	start := s.dramFree
+	if arrival > start {
+		start = arrival
+	}
+	s.dramSurplus += s.dramService
+	whole := int64(s.dramSurplus)
+	s.dramSurplus -= float64(whole)
+	s.dramFree = start + whole
+	return start
+}
+
+func (s *sim) latencyOf(op isa.Op) int {
+	switch op.Class() {
+	case isa.ClassFP:
+		return s.cfg.FPLatency
+	case isa.ClassSFU:
+		return s.cfg.SFULatency
+	case isa.ClassSMem:
+		return s.cfg.SMemLatency
+	default:
+		return s.cfg.ALULatency
+	}
+}
+
+// finishWarp marks the warp done and admits a new block if its block
+// drained.
+func (s *sim) finishWarp(co *core, w *warpState, now int64) {
+	w.done = true
+	w.wake = maxInt64
+	b := w.block
+	b.alive--
+	if b.alive > 0 {
+		// A barrier may now be satisfiable by the remaining warps.
+		if b.barWait >= b.alive && b.barWait > 0 {
+			b.barWait = 0
+			for _, ws := range b.warps {
+				if !ws.done {
+					ws.atBar = false
+					ws.wake = now + 1
+				}
+			}
+		}
+		return
+	}
+	// Remove the drained block and admit the next one.
+	for i, blk := range co.blocks {
+		if blk == b {
+			co.blocks = append(co.blocks[:i], co.blocks[i+1:]...)
+			break
+		}
+	}
+	live := co.warps[:0]
+	for _, ws := range co.warps {
+		if ws.block != b {
+			live = append(live, ws)
+		}
+	}
+	co.warps = live
+	co.admitBlock(s.numRegs, now+1)
+	if len(co.warps) == 0 && len(co.pending) == 0 {
+		co.done = true
+		co.cycles = now + 1
+	}
+}
+
+// admitBlock moves the next pending block into residency.
+func (co *core) admitBlock(numRegs int, wake int64) {
+	if len(co.pending) == 0 {
+		return
+	}
+	traces := co.pending[0]
+	co.pending = co.pending[1:]
+	b := &blockState{alive: len(traces)}
+	for _, wt := range traces {
+		ws := &warpState{
+			recs:       wt.Recs,
+			regReady:   make([]int64, numRegs),
+			regFromMem: make([]bool, numRegs),
+			wake:       wake,
+			block:      b,
+			age:        co.nextAge,
+			probePos:   -1,
+		}
+		co.nextAge++
+		b.warps = append(b.warps, ws)
+		co.warps = append(co.warps, ws)
+	}
+	co.blocks = append(co.blocks, b)
+}
+
+// SetDebugSample toggles periodic state dumps (development only).
+func SetDebugSample(v bool) { debugSample = v }

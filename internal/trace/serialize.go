@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Serialization lets traces be collected once and reused across tool
+// invocations (the paper's per-input profiling cost is paid offline).
+// The format is gob wrapped in gzip, with a version header for forward
+// compatibility.
+
+const traceFormatVersion = 1
+
+type traceHeader struct {
+	Version int
+	Name    string
+}
+
+// Encode serializes the kernel trace to w.
+func (k *Kernel) Encode(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	enc := gob.NewEncoder(zw)
+	if err := enc.Encode(traceHeader{Version: traceFormatVersion, Name: k.Name}); err != nil {
+		return fmt.Errorf("trace: encoding header: %w", err)
+	}
+	if err := enc.Encode(k); err != nil {
+		return fmt.Errorf("trace: encoding kernel: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("trace: closing stream: %w", err)
+	}
+	return nil
+}
+
+// ReadKernel deserializes a kernel trace written by Encode and validates
+// it before returning.
+func ReadKernel(r io.Reader) (*Kernel, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening stream: %w", err)
+	}
+	defer zr.Close()
+	dec := gob.NewDecoder(zr)
+	var h traceHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: decoding header: %w", err)
+	}
+	if h.Version != traceFormatVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d (want %d)", h.Version, traceFormatVersion)
+	}
+	k := new(Kernel)
+	if err := dec.Decode(k); err != nil {
+		return nil, fmt.Errorf("trace: decoding kernel %q: %w", h.Name, err)
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: loaded kernel invalid: %w", err)
+	}
+	return k, nil
+}
+
+// Save writes the trace to a file.
+func (k *Kernel) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	if err := k.Encode(bw); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a trace from a file written by Save.
+func Load(path string) (*Kernel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	return ReadKernel(bufio.NewReader(f))
+}

@@ -1,0 +1,41 @@
+package gpumech
+
+import (
+	"testing"
+)
+
+// TestEndToEndSmoke runs the full pipeline (trace -> cache sim -> model)
+// and the timing oracle on a few kernels and reports the relative errors.
+// It guards the repository's headline property: GPUMech must land within a
+// sane error band of the detailed simulation.
+func TestEndToEndSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end smoke is not short")
+	}
+	for _, name := range []string{"sdk_vectoradd", "sdk_blackscholes", "sdk_transpose_naive", "sdk_reduction"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sess, err := NewSession(name, WithBlocks(96))
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+			cfg := DefaultConfig()
+			for _, pol := range []Policy{RR, GTO} {
+				est, err := sess.Estimate(cfg, pol)
+				if err != nil {
+					t.Fatalf("Estimate(%v): %v", pol, err)
+				}
+				orc, err := sess.Oracle(cfg, pol)
+				if err != nil {
+					t.Fatalf("Oracle(%v): %v", pol, err)
+				}
+				errRel := RelativeError(est.CPI, orc.CPI)
+				t.Logf("%s %v: model CPI %.3f oracle CPI %.3f err %.1f%% (mt %.3f rc %.3f) stack %v",
+					name, pol, est.CPI, orc.CPI, errRel*100, est.MultithreadingCPI, est.ContentionCPI, est.Stack)
+				if errRel > 1.5 {
+					t.Errorf("%s %v: relative error %.0f%% is beyond sanity", name, pol, errRel*100)
+				}
+			}
+		})
+	}
+}
