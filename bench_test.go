@@ -13,6 +13,7 @@ package gpumech
 
 import (
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -180,6 +181,7 @@ func BenchmarkEmulator(b *testing.B) {
 		b.Fatal(err)
 	}
 	var insts int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr, err := info.Trace(kernels.Scale{Blocks: 64, Seed: 1}, 128)
@@ -195,6 +197,7 @@ func BenchmarkEmulator(b *testing.B) {
 func BenchmarkCacheSimulator(b *testing.B) {
 	tr := benchKernelTrace(b, "rodinia_cfd_compute_flux", 128)
 	cfg := config.Baseline()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cache.Simulate(tr, cfg); err != nil {
@@ -213,6 +216,7 @@ func BenchmarkIntervalAlgorithm(b *testing.B) {
 		b.Fatal(err)
 	}
 	tbl := model.BuildPCTable(tr.Prog, cfg, prof)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := model.BuildWarpProfiles(tr, cfg, tbl); err != nil {
@@ -230,6 +234,7 @@ func BenchmarkModelFull(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := model.Run(model.Inputs{Kernel: tr, Cfg: cfg, Profile: prof, Policy: config.RR}); err != nil {
@@ -243,6 +248,7 @@ func BenchmarkModelFull(b *testing.B) {
 func BenchmarkTimingSimulator(b *testing.B) {
 	tr := benchKernelTrace(b, "rodinia_cfd_compute_flux", 128)
 	cfg := config.Baseline()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := timing.Simulate(tr, cfg, timing.RR); err != nil {
@@ -250,3 +256,59 @@ func BenchmarkTimingSimulator(b *testing.B) {
 		}
 	}
 }
+
+// ---- parallel-vs-sequential benchmarks -------------------------------------
+
+// benchBuildWarpProfiles measures the interval-profiling stage at a fixed
+// worker count. The sequential/parallel pair quantifies the pool's
+// speedup on the model's dominant per-input cost.
+func benchBuildWarpProfiles(b *testing.B, workers int) {
+	tr := benchKernelTrace(b, "rodinia_cfd_compute_flux", 128)
+	cfg := config.Baseline()
+	prof, err := cache.Simulate(tr, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl := model.BuildPCTable(tr.Prog, cfg, prof)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.BuildWarpProfilesWorkers(tr, cfg, tbl, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildWarpProfilesSequential is the one-worker baseline for
+// BenchmarkBuildWarpProfilesParallel.
+func BenchmarkBuildWarpProfilesSequential(b *testing.B) { benchBuildWarpProfiles(b, 1) }
+
+// BenchmarkBuildWarpProfilesParallel profiles every warp using one worker
+// per available CPU.
+func BenchmarkBuildWarpProfilesParallel(b *testing.B) {
+	benchBuildWarpProfiles(b, runtime.GOMAXPROCS(0))
+}
+
+// benchEvaluator builds Figure 11 from scratch each iteration (a fresh
+// Evaluator, so nothing is served from the eval cache) at a fixed worker
+// count.
+func benchEvaluator(b *testing.B, workers int) {
+	opt := benchOptions()
+	opt.Workers = workers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := experiments.NewEvaluator(opt)
+		if _, err := e.Run([]string{"fig11"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluatorSequential is the one-worker baseline for
+// BenchmarkEvaluatorParallel.
+func BenchmarkEvaluatorSequential(b *testing.B) { benchEvaluator(b, 1) }
+
+// BenchmarkEvaluatorParallel runs the full evaluation pipeline — tracing,
+// cache simulation, model chain, and oracle — on the worker pool.
+func BenchmarkEvaluatorParallel(b *testing.B) { benchEvaluator(b, runtime.GOMAXPROCS(0)) }

@@ -8,6 +8,7 @@
 //	gpumech-experiments -quick           # reduced kernels and sweeps
 //	gpumech-experiments -fig fig11,fig13 # subset of figures
 //	gpumech-experiments -csv out/        # also write out/<fig>.csv
+//	gpumech-experiments -workers 8       # evaluate on 8 worker goroutines
 //	gpumech-experiments -list            # list kernels and configuration
 package main
 
@@ -28,6 +29,7 @@ func main() {
 	blocks := flag.Int("blocks", 0, "thread blocks per kernel (0 = 3x system occupancy)")
 	seed := flag.Int64("seed", 1, "synthetic input seed")
 	csvDir := flag.String("csv", "", "directory for CSV output (empty = none)")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GPUMECH_WORKERS or GOMAXPROCS; 1 = sequential)")
 	verbose := flag.Bool("v", false, "log per-evaluation progress")
 	list := flag.Bool("list", false, "list kernels, figures and the baseline configuration")
 	flag.Parse()
@@ -46,7 +48,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Quick: *quick, Blocks: *blocks, Seed: *seed}
+	opt := experiments.Options{Quick: *quick, Blocks: *blocks, Seed: *seed, Workers: *workers}
 	if *kernelsFlag != "" {
 		opt.Kernels = strings.Split(*kernelsFlag, ",")
 	}

@@ -20,6 +20,7 @@ package gpumech
 
 import (
 	"fmt"
+	"sync"
 
 	"gpumech/internal/baseline"
 	"gpumech/internal/cache"
@@ -107,9 +108,10 @@ func KernelInfos() []KernelInfo {
 type Option func(*sessionOpts)
 
 type sessionOpts struct {
-	blocks int
-	seed   int64
-	line   int
+	blocks  int
+	seed    int64
+	line    int
+	workers int
 }
 
 // WithBlocks sets the number of thread blocks to launch. The default
@@ -120,26 +122,46 @@ func WithBlocks(n int) Option { return func(o *sessionOpts) { o.blocks = n } }
 // WithSeed sets the synthetic-input seed (default 1).
 func WithSeed(seed int64) Option { return func(o *sessionOpts) { o.seed = seed } }
 
-// Session holds one traced kernel and evaluates models and the oracle
-// against it. Create with NewSession; safe for sequential reuse across
-// configurations (the paper's design-space exploration mode).
-type Session struct {
-	info  *kernels.Info
-	trace *trace.Kernel
+// WithWorkers bounds the goroutines one estimate fans out across warps
+// (default: GPUMECH_WORKERS, then GOMAXPROCS; 1 forces the sequential
+// path). Estimates are byte-identical at any worker count.
+func WithWorkers(n int) Option { return func(o *sessionOpts) { o.workers = n } }
 
-	// cache profiles are memoized per configuration signature.
-	profiles map[string]*cache.Profile
+// Session holds one traced kernel and evaluates models and the oracle
+// against it. Create with NewSession.
+//
+// A Session is safe for concurrent use: the trace is immutable after
+// NewSession, the cache-profile memo is lock-guarded, and a profile for a
+// given configuration is simulated at most once even when many goroutines
+// request it simultaneously. Callers may therefore sweep hardware
+// configurations from multiple goroutines (the paper's design-space
+// exploration mode) and rely on results identical to sequential calls.
+type Session struct {
+	info    *kernels.Info
+	trace   *trace.Kernel
+	workers int
+
+	// cache profiles are memoized per configuration key; each entry is
+	// simulated once (sync.Once) and shared by every waiter.
+	mu       sync.Mutex
+	profiles map[cache.ProfileKey]*profileOnce
+}
+
+type profileOnce struct {
+	once sync.Once
+	p    *cache.Profile
+	err  error
 }
 
 // DefaultBlocks returns the grid size NewSession uses for a kernel with
-// the given warps per block: three times the system occupancy at the
-// baseline residency (32 warps/core on 16 cores), matching the paper's
-// methodology ("at least 3x system occupancy thread blocks"). At the
-// largest swept residency (48 warps/core) this still gives two full
-// occupancy rounds.
+// the given warps per block: at least three times the system occupancy at
+// the baseline residency (32 warps/core on 16 cores), matching the
+// paper's methodology ("at least 3x system occupancy thread blocks"). The
+// division rounds up, so an awkward warps-per-block value never drops the
+// grid below the 3x floor. At the largest swept residency (48 warps/core)
+// this still gives two full occupancy rounds.
 func DefaultBlocks(warpsPerBlock int) int {
-	const cores, baseWarps, occupancyFactor = 16, 32, 3
-	return occupancyFactor * cores * baseWarps / warpsPerBlock
+	return kernels.DefaultBlocks(warpsPerBlock)
 }
 
 // NewSession builds the named kernel, runs the functional emulator, and
@@ -160,7 +182,12 @@ func NewSession(kernel string, opts ...Option) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Session{info: info, trace: tr, profiles: make(map[string]*cache.Profile)}, nil
+	return &Session{
+		info:     info,
+		trace:    tr,
+		workers:  o.workers,
+		profiles: make(map[cache.ProfileKey]*profileOnce),
+	}, nil
 }
 
 // Kernel returns the session's kernel name.
@@ -175,19 +202,28 @@ func (s *Session) TotalInsts() int64 { return s.trace.TotalInsts() }
 // Warps returns the total number of warps in the trace.
 func (s *Session) Warps() int { return len(s.trace.Warps) }
 
-// cacheProfile memoizes cache.Simulate per configuration.
+// cacheProfile memoizes cache.Simulate per configuration. The memo key
+// (cache.KeyFor) covers every Config field the cache simulator reads and
+// the profile answers queries from — geometry and latencies — so changing
+// any of them re-simulates instead of serving a stale profile. The map is
+// lock-guarded and each entry simulates once, making concurrent sweeps
+// race-free without repeating work.
 func (s *Session) cacheProfile(cfg Config) (*cache.Profile, error) {
-	key := fmt.Sprintf("%d/%d/%d/%d/%d/%d", cfg.Cores, cfg.WarpsPerCore,
-		cfg.L1SizeBytes, cfg.L1Assoc, cfg.L2SizeBytes, cfg.L2Assoc)
-	if p, ok := s.profiles[key]; ok {
-		return p, nil
-	}
-	p, err := cache.Simulate(s.trace, cfg)
-	if err != nil {
+	// Validate eagerly: a memo hit must not mask an invalid configuration
+	// whose fields happen to share a key with a previously valid one.
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s.profiles[key] = p
-	return p, nil
+	key := cache.KeyFor(cfg)
+	s.mu.Lock()
+	ent := s.profiles[key]
+	if ent == nil {
+		ent = &profileOnce{}
+		s.profiles[key] = ent
+	}
+	s.mu.Unlock()
+	ent.once.Do(func() { ent.p, ent.err = cache.Simulate(s.trace, cfg) })
+	return ent.p, ent.err
 }
 
 // Estimate is the model's prediction for a kernel under one configuration.
@@ -225,6 +261,7 @@ func (s *Session) EstimateWith(cfg Config, pol Policy, lvl Level, m Method) (*Es
 		Policy:  pol,
 		Method:  m,
 		Level:   lvl,
+		Workers: s.workers,
 	})
 	if err != nil {
 		return nil, err
@@ -268,7 +305,7 @@ func (s *Session) EstimateBaseline(cfg Config, b BaselineModel) (float64, error)
 		return 0, err
 	}
 	t := model.BuildPCTable(s.trace.Prog, cfg, prof)
-	profiles, err := model.BuildWarpProfiles(s.trace, cfg, t)
+	profiles, err := model.BuildWarpProfilesWorkers(s.trace, cfg, t, s.workers)
 	if err != nil {
 		return 0, err
 	}

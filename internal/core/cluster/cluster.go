@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"gpumech/internal/core/interval"
+	"gpumech/internal/parallel"
 )
 
 // Method selects how the representative warp is chosen. The paper's
@@ -97,10 +98,21 @@ func dist2(a, b [2]float64) float64 {
 	return dx*dx + dy*dy
 }
 
+// parallelAssignMin is the point count below which the assignment step
+// stays sequential: under a few thousand points the distance pass is
+// cheaper than spinning up workers.
+const parallelAssignMin = 2048
+
 // KMeans2 runs deterministic k-means with k=2 on the feature vectors. The
 // initial centroids are the two points farthest apart along the first
 // feature dimension, which makes the algorithm seed-free and reproducible.
 // It returns the per-point assignment and the two centroids.
+//
+// The assignment step (the O(n) distance pass) fans out across the default
+// worker pool for large inputs; the centroid reduction always runs
+// sequentially in index order so the floating-point sums — and therefore
+// the clusters and the selected warp — are byte-identical at any worker
+// count.
 func KMeans2(feats [][2]float64) (assign []int, centers [2][2]float64) {
 	n := len(feats)
 	assign = make([]int, n)
@@ -118,19 +130,19 @@ func KMeans2(feats [][2]float64) (assign []int, centers [2][2]float64) {
 	}
 	centers[0], centers[1] = feats[lo], feats[hi]
 
+	workers := 1
+	if n >= parallelAssignMin {
+		workers = parallel.Workers(0)
+	}
 	for iter := 0; iter < 100; iter++ {
-		changed := false
+		changed := assignStep(feats, assign, centers, iter, workers)
+		// Reduce in index order on one goroutine: chunked partial sums
+		// would reassociate the float additions and move the centroids by
+		// ulps, which can flip a borderline assignment.
 		var sum [2][2]float64
 		var cnt [2]int
 		for i, f := range feats {
-			c := 0
-			if dist2(f, centers[1]) < dist2(f, centers[0]) {
-				c = 1
-			}
-			if assign[i] != c || iter == 0 {
-				assign[i] = c
-				changed = changed || iter > 0
-			}
+			c := assign[i]
 			sum[c][0] += f[0]
 			sum[c][1] += f[1]
 			cnt[c]++
@@ -146,6 +158,43 @@ func KMeans2(feats [][2]float64) (assign []int, centers [2][2]float64) {
 		}
 	}
 	return assign, centers
+}
+
+// assignStep writes each point's nearest centroid into assign and reports
+// whether any assignment moved (movement on the seeding iteration 0 does
+// not count, matching the sequential convergence test). Each worker owns a
+// contiguous index range and a private changed flag, so the pass is
+// race-free and order-independent.
+func assignStep(feats [][2]float64, assign []int, centers [2][2]float64, iter, workers int) bool {
+	n := len(feats)
+	if workers > n {
+		workers = n
+	}
+	chunkChanged := make([]bool, workers)
+	chunk := (n + workers - 1) / workers
+	parallel.ForEach(workers, workers, func(w int) error {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			c := 0
+			if dist2(feats[i], centers[1]) < dist2(feats[i], centers[0]) {
+				c = 1
+			}
+			if assign[i] != c || iter == 0 {
+				assign[i] = c
+				chunkChanged[w] = chunkChanged[w] || iter > 0
+			}
+		}
+		return nil
+	})
+	for _, c := range chunkChanged {
+		if c {
+			return true
+		}
+	}
+	return false
 }
 
 func selectByClustering(profiles []*interval.Profile) int {

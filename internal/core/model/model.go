@@ -16,6 +16,7 @@ import (
 	"gpumech/internal/core/interval"
 	"gpumech/internal/core/multiwarp"
 	"gpumech/internal/isa"
+	"gpumech/internal/parallel"
 	"gpumech/internal/trace"
 )
 
@@ -84,6 +85,11 @@ type Inputs struct {
 	Method  cluster.Method // representative-warp selection; default Clustering
 	Level   Level          // default MTMSHRBand
 	Tuning  Tuning         // ablation switches; zero value = production
+
+	// Workers bounds the goroutines used for the per-warp fan-out
+	// (0 = GPUMECH_WORKERS or GOMAXPROCS, 1 = sequential). Results are
+	// byte-identical at any worker count.
+	Workers int
 }
 
 // Estimate is the model's prediction for one kernel.
@@ -162,16 +168,29 @@ func BuildPCTable(prog *isa.Program, cfg config.Config, prof *cache.Profile) *in
 
 // BuildWarpProfiles runs the interval algorithm over every warp of the
 // kernel. The unified register namespace covers general plus predicate
-// registers.
+// registers. The warps are processed on the default worker pool (see
+// package parallel); use BuildWarpProfilesWorkers to pin the count.
 func BuildWarpProfiles(k *trace.Kernel, cfg config.Config, t *interval.PCTable) ([]*interval.Profile, error) {
+	return BuildWarpProfilesWorkers(k, cfg, t, 0)
+}
+
+// BuildWarpProfilesWorkers is BuildWarpProfiles on an explicit worker
+// count (0 = GPUMECH_WORKERS or GOMAXPROCS, 1 = sequential). Each warp's
+// profile is independent given the PC table, and every worker writes only
+// its own index slot, so the result is identical at any worker count.
+func BuildWarpProfilesWorkers(k *trace.Kernel, cfg config.Config, t *interval.PCTable, workers int) ([]*interval.Profile, error) {
 	numRegs := k.Prog.NumRegs + k.Prog.NumPreds
 	profiles := make([]*interval.Profile, len(k.Warps))
-	for i, w := range k.Warps {
-		p, err := interval.Build(w, numRegs, cfg.IssueRate(), t)
+	err := parallel.ForEach(parallel.Workers(workers), len(k.Warps), func(i int) error {
+		p, err := interval.Build(k.Warps[i], numRegs, cfg.IssueRate(), t)
 		if err != nil {
-			return nil, fmt.Errorf("model: warp %d: %w", i, err)
+			return fmt.Errorf("model: warp %d: %w", i, err)
 		}
 		profiles[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return profiles, nil
 }
@@ -192,7 +211,7 @@ func Run(in Inputs) (*Estimate, error) {
 	if in.Tuning.DisableMergeWindow {
 		t.MergeWindow = 0
 	}
-	profiles, err := BuildWarpProfiles(in.Kernel, in.Cfg, t)
+	profiles, err := BuildWarpProfilesWorkers(in.Kernel, in.Cfg, t, in.Workers)
 	if err != nil {
 		return nil, err
 	}

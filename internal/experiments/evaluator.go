@@ -8,11 +8,16 @@
 // The Evaluator is the shared engine: it traces each kernel once, then
 // evaluates the oracle and all models (Table II) for every hardware
 // configuration a figure needs, caching results so figures share work.
+// With Options.Workers != 1 the work fans out over a bounded pool at the
+// (kernel, configuration, policy, model/oracle) grain; figure output is
+// byte-identical to the sequential run at any worker count.
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"gpumech/internal/baseline"
@@ -23,6 +28,7 @@ import (
 	"gpumech/internal/core/interval"
 	"gpumech/internal/core/model"
 	"gpumech/internal/kernels"
+	"gpumech/internal/parallel"
 	"gpumech/internal/timing"
 	"gpumech/internal/trace"
 )
@@ -39,8 +45,15 @@ type Options struct {
 	Quick bool
 	// Seed drives the synthetic kernel inputs.
 	Seed int64
-	// Log receives progress lines (nil = silent).
+	// Log receives progress lines (nil = silent). Lines arrive in the
+	// same order as the sequential run even when work is parallel.
 	Log io.Writer
+
+	// Workers bounds the worker pool (0 = GPUMECH_WORKERS or GOMAXPROCS,
+	// 1 = the sequential path). Every figure, table and CPI stack is
+	// byte-identical at any worker count; only wall-clock and the
+	// recorded pipeline timings vary.
+	Workers int
 }
 
 func (o *Options) kernelSet() []string {
@@ -58,11 +71,9 @@ func (o *Options) kernelSet() []string {
 	return kernels.PaperNames()
 }
 
-func (o *Options) logf(format string, args ...any) {
-	if o.Log != nil {
-		fmt.Fprintf(o.Log, format+"\n", args...)
-	}
-}
+// logFunc is the progress sink a work item writes to: the shared log in
+// the sequential path, a worker-owned buffer in the parallel path.
+type logFunc func(format string, args ...any)
 
 // Eval holds every model's prediction and the oracle measurement for one
 // (kernel, configuration, policy) point.
@@ -142,16 +153,57 @@ func (t *Timing) Speedup() float64 {
 	return t.OracleSecs / d
 }
 
+// kernelCtx holds one traced kernel and its per-configuration cache
+// profiles. Each profile entry is simulated at most once (sync.Once), so
+// concurrent points of the same kernel share the work instead of racing
+// on a plain map.
+type kernelCtx struct {
+	name string
+	tr   *trace.Kernel
+
+	mu       sync.Mutex
+	profiles map[cache.ProfileKey]*profileEntry
+}
+
+type profileEntry struct {
+	once sync.Once
+	p    *cache.Profile
+	err  error
+	secs float64 // wall-clock of the simulation that filled the entry
+}
+
+// profile memoizes cache.Simulate per configuration signature. The key
+// covers every Config field the cache simulator reads (see cache.KeyFor),
+// so sweep points that cannot change the profile (MSHRs, bandwidth) share
+// one simulation while anything that can does not.
+func (kc *kernelCtx) profile(cfg config.Config) (*cache.Profile, float64, error) {
+	key := cache.KeyFor(cfg)
+	kc.mu.Lock()
+	ent := kc.profiles[key]
+	if ent == nil {
+		ent = &profileEntry{}
+		kc.profiles[key] = ent
+	}
+	kc.mu.Unlock()
+	ent.once.Do(func() {
+		start := time.Now()
+		ent.p, ent.err = cache.Simulate(kc.tr, cfg)
+		ent.secs = time.Since(start).Seconds()
+	})
+	return ent.p, ent.secs, ent.err
+}
+
 // Evaluator runs and caches evaluations kernel by kernel.
 type Evaluator struct {
-	opt Options
+	opt     Options
+	workers int
 
-	curKernel string
-	curTrace  *trace.Kernel
-	profiles  map[string]*cache.Profile // cfg signature -> profile
-
+	mu      sync.Mutex // guards cur, evals and timings
+	cur     *kernelCtx // most recently traced kernel (direct-Eval path)
 	evals   map[string]*Eval
 	timings map[string]*Timing
+
+	logMu sync.Mutex // serializes sequential-path writes to opt.Log
 }
 
 // NewEvaluator returns an Evaluator over the given options.
@@ -161,6 +213,7 @@ func NewEvaluator(opt Options) *Evaluator {
 	}
 	return &Evaluator{
 		opt:     opt,
+		workers: parallel.Workers(opt.Workers),
 		evals:   make(map[string]*Eval),
 		timings: make(map[string]*Timing),
 	}
@@ -172,176 +225,314 @@ func (e *Evaluator) Kernels() []string { return e.opt.kernelSet() }
 // Baseline returns the Table I configuration.
 func (e *Evaluator) Baseline() config.Config { return config.Baseline() }
 
+// Workers returns the resolved worker count of this run.
+func (e *Evaluator) Workers() int { return e.workers }
+
+func (e *Evaluator) logf(format string, args ...any) {
+	if e.opt.Log == nil {
+		return
+	}
+	e.logMu.Lock()
+	fmt.Fprintf(e.opt.Log, format+"\n", args...)
+	e.logMu.Unlock()
+}
+
 func cfgSig(c config.Config, pol config.Policy) string {
 	return fmt.Sprintf("w%d/m%d/b%g/c%d/%s", c.WarpsPerCore, c.MSHREntries, c.DRAMBandwidthGBps, c.Cores, pol)
 }
 
-// ensureKernel traces the kernel if it is not the current one. Only one
-// kernel trace is held at a time.
-func (e *Evaluator) ensureKernel(name string) error {
-	if e.curKernel == name && e.curTrace != nil {
-		return nil
-	}
+// traceKernel builds and traces a kernel, recording its Timing entry. It
+// is safe to call from multiple workers for different kernels.
+func (e *Evaluator) traceKernel(name string, logf logFunc) (*kernelCtx, error) {
 	info, err := kernels.Get(name)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	blocks := e.opt.Blocks
 	if blocks == 0 {
-		const cores, baseWarps, occupancy = 16, 32, 3
-		blocks = occupancy * cores * baseWarps / info.WarpsPerBlock
+		blocks = kernels.DefaultBlocks(info.WarpsPerBlock)
 	}
 	start := time.Now()
 	tr, err := info.Trace(kernels.Scale{Blocks: blocks, Seed: e.opt.Seed}, config.Baseline().L1LineBytes)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	e.curKernel = name
-	e.curTrace = tr
-	e.profiles = make(map[string]*cache.Profile)
+	kc := &kernelCtx{name: name, tr: tr, profiles: make(map[cache.ProfileKey]*profileEntry)}
+	e.mu.Lock()
 	if _, ok := e.timings[name]; !ok {
 		e.timings[name] = &Timing{Kernel: name, TraceSecs: time.Since(start).Seconds(), TraceInsts: tr.TotalInsts()}
 	}
-	e.opt.logf("traced %s: %d blocks, %d warps, %d instructions (%.2fs)",
+	e.mu.Unlock()
+	logf("traced %s: %d blocks, %d warps, %d instructions (%.2fs)",
 		name, tr.Blocks, len(tr.Warps), tr.TotalInsts(), time.Since(start).Seconds())
-	return nil
+	return kc, nil
 }
 
-func (e *Evaluator) profile(cfg config.Config, recordTiming bool) (*cache.Profile, error) {
-	sig := fmt.Sprintf("w%d/c%d", cfg.WarpsPerCore, cfg.Cores)
-	if p, ok := e.profiles[sig]; ok {
-		return p, nil
+// ensureKernel returns a context for the named kernel, re-tracing only
+// when it is not the current one. Only one kernel trace is held by this
+// direct path at a time; the parallel plan executor manages its own
+// contexts (at most Workers of them live at once).
+func (e *Evaluator) ensureKernel(name string) (*kernelCtx, error) {
+	e.mu.Lock()
+	if e.cur != nil && e.cur.name == name {
+		kc := e.cur
+		e.mu.Unlock()
+		return kc, nil
 	}
-	start := time.Now()
-	p, err := cache.Simulate(e.curTrace, cfg)
+	e.mu.Unlock()
+	kc, err := e.traceKernel(name, e.logf)
 	if err != nil {
 		return nil, err
 	}
-	if recordTiming {
-		e.timings[e.curKernel].CacheSimSecs = time.Since(start).Seconds()
-	}
-	e.profiles[sig] = p
-	return p, nil
+	e.mu.Lock()
+	e.cur = kc
+	e.mu.Unlock()
+	return kc, nil
+}
+
+func (e *Evaluator) cachedEval(key string) (*Eval, bool) {
+	e.mu.Lock()
+	ev, ok := e.evals[key]
+	e.mu.Unlock()
+	return ev, ok
 }
 
 // Eval evaluates (and caches) one point. The oracle and all Table II
 // models are computed together.
 func (e *Evaluator) Eval(kernel string, cfg config.Config, pol config.Policy) (*Eval, error) {
-	key := kernel + "|" + cfgSig(cfg, pol)
-	if ev, ok := e.evals[key]; ok {
+	if ev, ok := e.cachedEval(kernel + "|" + cfgSig(cfg, pol)); ok {
 		return ev, nil
 	}
-	if err := e.ensureKernel(kernel); err != nil {
+	kc, err := e.ensureKernel(kernel)
+	if err != nil {
 		return nil, err
+	}
+	return e.evalPoint(kc, cfg, pol, e.logf)
+}
+
+// evalPoint computes one (kernel, configuration, policy) point on an
+// already-traced kernel. With more than one worker the Table II model
+// chain and the detailed timing oracle run as two concurrent work items;
+// they only share read-only inputs (the trace and the cache profile), and
+// each owns disjoint Eval fields, so the split cannot change any result.
+func (e *Evaluator) evalPoint(kc *kernelCtx, cfg config.Config, pol config.Policy, logf logFunc) (*Eval, error) {
+	key := kc.name + "|" + cfgSig(cfg, pol)
+	if ev, ok := e.cachedEval(key); ok {
+		return ev, nil
 	}
 	isBaseline := cfgSig(cfg, pol) == cfgSig(config.Baseline(), config.RR)
 
-	prof, err := e.profile(cfg, isBaseline)
+	prof, cacheSecs, err := kc.profile(cfg)
 	if err != nil {
 		return nil, err
 	}
 
-	modelStart := time.Now()
-	tbl := model.BuildPCTable(e.curTrace.Prog, cfg, prof)
-	profiles, err := model.BuildWarpProfiles(e.curTrace, cfg, tbl)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := cluster.Select(profiles, cluster.Clustering)
-	if err != nil {
-		return nil, err
-	}
+	ev := &Eval{Kernel: kc.name, Cfg: cfg, Policy: pol}
+	var oneTimeSecs, modelSecs, oracleSecs float64
+	var oracleCycles int64
 
-	in := model.Inputs{Kernel: e.curTrace, Cfg: cfg, Profile: prof, Policy: pol}
-	ev := &Eval{Kernel: kernel, Cfg: cfg, Policy: pol}
-
-	runLevel := func(lvl model.Level, rep int) (float64, cpistack.Stack, error) {
-		in.Level = lvl
-		est, err := model.RunWithRepresentative(in, tbl, profiles, rep)
+	runModels := func() error {
+		modelStart := time.Now()
+		tbl := model.BuildPCTable(kc.tr.Prog, cfg, prof)
+		profiles, err := model.BuildWarpProfilesWorkers(kc.tr, cfg, tbl, e.workers)
 		if err != nil {
-			return 0, cpistack.Stack{}, err
+			return err
 		}
-		return est.CPI, est.Stack, nil
-	}
-	if ev.MT, _, err = runLevel(model.MT, rep); err != nil {
-		return nil, err
-	}
-	if ev.MTMSHR, _, err = runLevel(model.MTMSHR, rep); err != nil {
-		return nil, err
-	}
-	if ev.Full, ev.Stack, err = runLevel(model.MTMSHRBand, rep); err != nil {
-		return nil, err
-	}
-	if ev.Naive, err = baseline.NaiveInterval(profiles[rep], cfg.WarpsPerCore); err != nil {
-		return nil, err
-	}
-	if ev.Markov, err = baseline.MarkovChain(profiles[rep], cfg.WarpsPerCore); err != nil {
-		return nil, err
-	}
-	if repMax, err := cluster.Select(profiles, cluster.Max); err == nil {
-		if ev.FullMax, _, err = runLevel(model.MTMSHRBand, repMax); err != nil {
-			return nil, err
+		rep, err := cluster.Select(profiles, cluster.Clustering)
+		if err != nil {
+			return err
 		}
-	}
-	if repMin, err := cluster.Select(profiles, cluster.Min); err == nil {
-		if ev.FullMin, _, err = runLevel(model.MTMSHRBand, repMin); err != nil {
-			return nil, err
+
+		in := model.Inputs{Kernel: kc.tr, Cfg: cfg, Profile: prof, Policy: pol, Workers: e.workers}
+		runLevel := func(lvl model.Level, rep int) (float64, cpistack.Stack, error) {
+			in.Level = lvl
+			est, err := model.RunWithRepresentative(in, tbl, profiles, rep)
+			if err != nil {
+				return 0, cpistack.Stack{}, err
+			}
+			return est.CPI, est.Stack, nil
 		}
-	}
-	if isBaseline {
-		t := e.timings[kernel]
-		// Everything up to here rebuilt every warp's interval profile and
-		// ran clustering: the one-time per-input cost.
-		t.OneTimeSecs = time.Since(modelStart).Seconds()
-		// The per-configuration cost reruns the interval algorithm on the
-		// representative warp only and re-evaluates the models
-		// (Section VI-D's exploration mode).
-		perCfg := time.Now()
-		if _, err := interval.Build(e.curTrace.Warps[rep], e.curTrace.Prog.NumRegs+e.curTrace.Prog.NumPreds, cfg.IssueRate(), tbl); err != nil {
-			return nil, err
+		if ev.MT, _, err = runLevel(model.MT, rep); err != nil {
+			return err
 		}
-		if _, _, err := runLevel(model.MTMSHRBand, rep); err != nil {
-			return nil, err
+		if ev.MTMSHR, _, err = runLevel(model.MTMSHR, rep); err != nil {
+			return err
 		}
-		t.ModelSecs = time.Since(perCfg).Seconds()
+		if ev.Full, ev.Stack, err = runLevel(model.MTMSHRBand, rep); err != nil {
+			return err
+		}
+		if ev.Naive, err = baseline.NaiveInterval(profiles[rep], cfg.WarpsPerCore); err != nil {
+			return err
+		}
+		if ev.Markov, err = baseline.MarkovChain(profiles[rep], cfg.WarpsPerCore); err != nil {
+			return err
+		}
+		if repMax, err := cluster.Select(profiles, cluster.Max); err == nil {
+			if ev.FullMax, _, err = runLevel(model.MTMSHRBand, repMax); err != nil {
+				return err
+			}
+		}
+		if repMin, err := cluster.Select(profiles, cluster.Min); err == nil {
+			if ev.FullMin, _, err = runLevel(model.MTMSHRBand, repMin); err != nil {
+				return err
+			}
+		}
+		if isBaseline {
+			// Everything up to here rebuilt every warp's interval profile
+			// and ran clustering: the one-time per-input cost.
+			oneTimeSecs = time.Since(modelStart).Seconds()
+			// The per-configuration cost reruns the interval algorithm on
+			// the representative warp only and re-evaluates the models
+			// (Section VI-D's exploration mode).
+			perCfg := time.Now()
+			if _, err := interval.Build(kc.tr.Warps[rep], kc.tr.Prog.NumRegs+kc.tr.Prog.NumPreds, cfg.IssueRate(), tbl); err != nil {
+				return err
+			}
+			if _, _, err := runLevel(model.MTMSHRBand, rep); err != nil {
+				return err
+			}
+			modelSecs = time.Since(perCfg).Seconds()
+		}
+		return nil
 	}
 
-	oracleStart := time.Now()
-	orc, err := timing.Simulate(e.curTrace, cfg, pol)
-	if err != nil {
-		return nil, err
+	runOracle := func() error {
+		start := time.Now()
+		orc, err := timing.Simulate(kc.tr, cfg, pol)
+		if err != nil {
+			return err
+		}
+		ev.Oracle = orc.CPI
+		oracleSecs = time.Since(start).Seconds()
+		oracleCycles = orc.Cycles
+		return nil
 	}
-	ev.Oracle = orc.CPI
-	if isBaseline {
-		t := e.timings[kernel]
-		t.OracleSecs = time.Since(oracleStart).Seconds()
-		t.OracleCycles = orc.Cycles
-	}
-	e.opt.logf("  %s %s: oracle %.3f | naive %.3f markov %.3f mt %.3f mshr %.3f full %.3f",
-		kernel, cfgSig(cfg, pol), ev.Oracle, ev.Naive, ev.Markov, ev.MT, ev.MTMSHR, ev.Full)
 
-	e.evals[key] = ev
+	if e.workers > 1 {
+		g := parallel.NewGroup(2)
+		g.Go(runModels)
+		g.Go(runOracle)
+		if err := g.Wait(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := runModels(); err != nil {
+			return nil, err
+		}
+		if err := runOracle(); err != nil {
+			return nil, err
+		}
+	}
+
+	logf("  %s %s: oracle %.3f | naive %.3f markov %.3f mt %.3f mshr %.3f full %.3f",
+		kc.name, cfgSig(cfg, pol), ev.Oracle, ev.Naive, ev.Markov, ev.MT, ev.MTMSHR, ev.Full)
+
+	e.mu.Lock()
+	if isBaseline {
+		if t := e.timings[kc.name]; t != nil {
+			t.CacheSimSecs = cacheSecs
+			t.OneTimeSecs = oneTimeSecs
+			t.ModelSecs = modelSecs
+			t.OracleSecs = oracleSecs
+			t.OracleCycles = oracleCycles
+		}
+	}
+	if prev, ok := e.evals[key]; ok {
+		ev = prev // a concurrent duplicate landed first; results are identical
+	} else {
+		e.evals[key] = ev
+	}
+	e.mu.Unlock()
 	return ev, nil
+}
+
+// point is one (configuration, policy) evaluation of a kernel.
+type point struct {
+	cfg config.Config
+	pol config.Policy
+}
+
+// kernelPlan is every point one kernel needs, in sequential-run order
+// (the baseline point, when present, comes first).
+type kernelPlan struct {
+	kernel string
+	points []point
+}
+
+// executePlans evaluates every plan. The sequential path replays the
+// exact historical loop; the parallel path fans kernels out over the
+// pool, runs each kernel's first point eagerly (it records the Section
+// VI-D timings, as in the sequential order) and then fans the remaining
+// points out as work items. Progress lines are buffered per work item
+// and released in plan order, so the log reads identically either way.
+func (e *Evaluator) executePlans(plans []kernelPlan) error {
+	if e.workers <= 1 {
+		for _, pl := range plans {
+			for _, p := range pl.points {
+				if _, err := e.Eval(pl.kernel, p.cfg, p.pol); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	kernelLog := parallel.NewOrderedWriter(e.opt.Log)
+	return parallel.ForEach(e.workers, len(plans), func(i int) error {
+		var buf bytes.Buffer
+		defer func() { kernelLog.Emit(i, buf.Bytes()) }()
+		pl := plans[i]
+		logf := func(format string, args ...any) {
+			if e.opt.Log != nil {
+				fmt.Fprintf(&buf, format+"\n", args...)
+			}
+		}
+		kc, err := e.traceKernel(pl.kernel, logf)
+		if err != nil {
+			return err
+		}
+		if len(pl.points) == 0 {
+			return nil
+		}
+		if _, err := e.evalPoint(kc, pl.points[0].cfg, pl.points[0].pol, logf); err != nil {
+			return err
+		}
+		rest := pl.points[1:]
+		pointLog := parallel.NewOrderedWriter(&buf)
+		return parallel.ForEach(e.workers, len(rest), func(j int) error {
+			var pb bytes.Buffer
+			defer func() { pointLog.Emit(j, pb.Bytes()) }()
+			plogf := func(format string, args ...any) {
+				if e.opt.Log != nil {
+					fmt.Fprintf(&pb, format+"\n", args...)
+				}
+			}
+			_, err := e.evalPoint(kc, rest[j].cfg, rest[j].pol, plogf)
+			return err
+		})
+	})
 }
 
 // EvalProfiles exposes per-warp interval profiles for studies that need
 // them (Figure 7 diagnostics, examples). The result is not cached.
 func (e *Evaluator) EvalProfiles(kernel string, cfg config.Config) ([]*interval.Profile, *interval.PCTable, error) {
-	if err := e.ensureKernel(kernel); err != nil {
-		return nil, nil, err
-	}
-	prof, err := e.profile(cfg, false)
+	kc, err := e.ensureKernel(kernel)
 	if err != nil {
 		return nil, nil, err
 	}
-	tbl := model.BuildPCTable(e.curTrace.Prog, cfg, prof)
-	profiles, err := model.BuildWarpProfiles(e.curTrace, cfg, tbl)
+	prof, _, err := kc.profile(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := model.BuildPCTable(kc.tr.Prog, cfg, prof)
+	profiles, err := model.BuildWarpProfilesWorkers(kc.tr, cfg, tbl, e.workers)
 	return profiles, tbl, err
 }
 
 // Timings returns the per-kernel pipeline timings recorded at the baseline
 // configuration, in kernel-set order.
 func (e *Evaluator) Timings() []*Timing {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var out []*Timing
 	for _, k := range e.Kernels() {
 		if t, ok := e.timings[k]; ok {

@@ -67,19 +67,21 @@ func (e *Evaluator) Ablation() (*report.Figure, error) {
 			return nil, err
 		}
 		// A cached Eval does not re-trace; make the kernel current before
-		// touching curTrace.
-		if err := e.ensureKernel(k); err != nil {
+		// touching its trace.
+		kc, err := e.ensureKernel(k)
+		if err != nil {
 			return nil, err
 		}
-		prof, err := e.profile(cfg, false)
+		prof, _, err := kc.profile(cfg)
 		if err != nil {
 			return nil, err
 		}
 		row := []string{k, report.F(base.Oracle)}
 		for vi, v := range variants {
 			est, err := model.Run(model.Inputs{
-				Kernel: e.curTrace, Cfg: cfg, Profile: prof,
+				Kernel: kc.tr, Cfg: cfg, Profile: prof,
 				Policy: config.RR, Level: model.MTMSHRBand, Tuning: v.t,
+				Workers: e.workers,
 			})
 			if err != nil {
 				return nil, err
@@ -122,21 +124,23 @@ func (e *Evaluator) SFUExtension() (*report.Figure, error) {
 	}
 	var withExt, withoutExt []float64
 	for _, k := range sfuKernels {
-		if err := e.ensureKernel(k); err != nil {
+		kc, err := e.ensureKernel(k)
+		if err != nil {
 			return nil, err
 		}
 		for _, lanes := range []int{8, 4} {
 			cfg := e.Baseline().WithSFUs(lanes)
-			prof, err := e.profile(cfg, false)
+			prof, _, err := kc.profile(cfg)
 			if err != nil {
 				return nil, err
 			}
-			orc, err := timing.Simulate(e.curTrace, cfg, config.RR)
+			orc, err := timing.Simulate(kc.tr, cfg, config.RR)
 			if err != nil {
 				return nil, err
 			}
-			in := model.Inputs{Kernel: e.curTrace, Cfg: cfg, Profile: prof,
-				Policy: config.RR, Level: model.MTMSHRBand, Method: cluster.Clustering}
+			in := model.Inputs{Kernel: kc.tr, Cfg: cfg, Profile: prof,
+				Policy: config.RR, Level: model.MTMSHRBand, Method: cluster.Clustering,
+				Workers: e.workers}
 			est, err := model.Run(in)
 			if err != nil {
 				return nil, err

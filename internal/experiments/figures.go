@@ -344,7 +344,7 @@ func (e *Evaluator) Run(ids []string) ([]*report.Figure, error) {
 	}
 	var out []*report.Figure
 	for _, id := range ids {
-		e.opt.logf("building %s ...", id)
+		e.logf("building %s ...", id)
 		fig, err := builders[id]()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", id, err)
@@ -354,17 +354,14 @@ func (e *Evaluator) Run(ids []string) ([]*report.Figure, error) {
 	return out, nil
 }
 
-// precompute walks the benchmark set kernel by kernel and evaluates every
-// configuration the requested figures need, so each kernel is traced
-// exactly once even when many figures are regenerated.
+// precompute walks the benchmark set and evaluates every configuration
+// the requested figures need, so each kernel is traced exactly once even
+// when many figures are regenerated. It only builds the per-kernel work
+// plans; executePlans runs them, sequentially or on the worker pool.
 func (e *Evaluator) precompute(ids []string) error {
 	want := make(map[string]bool, len(ids))
 	for _, id := range ids {
 		want[id] = true
-	}
-	type point struct {
-		cfg config.Config
-		pol config.Policy
 	}
 	var all []point                                   // applied to every kernel in the set
 	all = append(all, point{e.Baseline(), config.RR}) // fig04/07/11/speedup baseline
@@ -392,29 +389,47 @@ func (e *Evaluator) precompute(ids []string) error {
 			fig16[k] = true
 		}
 	}
+	var plans []kernelPlan
 	for _, k := range e.Kernels() {
-		for _, p := range all {
-			if _, err := e.Eval(k, p.cfg, p.pol); err != nil {
-				return err
-			}
-		}
+		pts := append([]point(nil), all...)
 		if fig16[k] {
 			for _, w := range e.warpSweep() {
-				if _, err := e.Eval(k, e.Baseline().WithWarps(w), config.RR); err != nil {
-					return err
-				}
+				pts = append(pts, point{e.Baseline().WithWarps(w), config.RR})
 			}
 			delete(fig16, k)
 		}
+		plans = append(plans, kernelPlan{kernel: k, points: dedupPoints(pts)})
 	}
 	// Figure 16 kernels outside the benchmark subset still need their
-	// warp sweeps.
-	for k := range fig16 {
-		for _, w := range e.warpSweep() {
-			if _, err := e.Eval(k, e.Baseline().WithWarps(w), config.RR); err != nil {
-				return err
-			}
+	// warp sweeps; walk figure16Kernels (not the map) for a stable order.
+	for _, k := range figure16Kernels {
+		if !fig16[k] {
+			continue
 		}
+		var pts []point
+		for _, w := range e.warpSweep() {
+			pts = append(pts, point{e.Baseline().WithWarps(w), config.RR})
+		}
+		plans = append(plans, kernelPlan{kernel: k, points: dedupPoints(pts)})
 	}
-	return nil
+	return e.executePlans(plans)
+}
+
+// dedupPoints drops points whose configuration signature repeats (a fig16
+// warp sweep overlaps the fig13 sweep, and sweeping through the baseline
+// value repeats the baseline point), keeping first-occurrence order. The
+// sequential run dedups the same points through the Eval cache; dropping
+// them here also keeps parallel workers from computing a point twice.
+func dedupPoints(pts []point) []point {
+	seen := make(map[string]bool, len(pts))
+	out := pts[:0]
+	for _, p := range pts {
+		sig := cfgSig(p.cfg, p.pol)
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		out = append(out, p)
+	}
+	return out
 }

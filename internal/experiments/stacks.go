@@ -47,10 +47,11 @@ func (e *Evaluator) Stacks() (*report.Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := e.ensureKernel(k); err != nil {
+		kc, err := e.ensureKernel(k)
+		if err != nil {
 			return nil, err
 		}
-		orc, err := timing.Simulate(e.curTrace, cfg, config.RR)
+		orc, err := timing.Simulate(kc.tr, cfg, config.RR)
 		if err != nil {
 			return nil, err
 		}

@@ -46,6 +46,21 @@ func (d Divergence) String() string {
 	return fmt.Sprintf("div(%d)", int(d))
 }
 
+// DefaultBlocks returns the default grid size for a kernel with the given
+// warps per block: at least three times the system occupancy at the
+// baseline residency (32 warps/core on 16 cores), matching the paper's
+// methodology ("at least 3x system occupancy thread blocks"). The division
+// rounds up so a warps-per-block value that does not divide the occupancy
+// target still meets the 3x floor rather than silently undershooting it.
+func DefaultBlocks(warpsPerBlock int) int {
+	const cores, baseWarps, occupancyFactor = 16, 32, 3
+	target := occupancyFactor * cores * baseWarps
+	if warpsPerBlock <= 1 {
+		return target
+	}
+	return (target + warpsPerBlock - 1) / warpsPerBlock
+}
+
 // Scale sets the grid size of a kernel build.
 type Scale struct {
 	// Blocks is the number of thread blocks to launch. Kernels size their

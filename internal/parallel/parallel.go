@@ -1,0 +1,197 @@
+// Package parallel is the repository's stdlib-only worker-pool layer: it
+// fans independent work units (warps, kernels, model/oracle evaluations)
+// out across cores while keeping every observable result byte-identical to
+// the sequential run.
+//
+// Determinism is the design constraint. The helpers never reduce floating-
+// point values concurrently and never expose completion order: ForEach
+// writes each item's result into its own index slot, and OrderedWriter
+// releases buffered output strictly in slot order regardless of which
+// worker finishes first. Callers that need the sequential path verbatim
+// pass a worker count of 1.
+//
+// The worker count is resolved once per fan-out by Workers: an explicit
+// caller value wins, then the GPUMECH_WORKERS environment variable, then
+// GOMAXPROCS. Nested fan-outs (a kernel worker building warp profiles)
+// each apply their own bound rather than sharing a global semaphore —
+// sharing would deadlock when a parent holds a slot while its children
+// wait — so transient goroutine counts can exceed the bound, but runnable
+// threads stay capped by GOMAXPROCS.
+package parallel
+
+import (
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable that overrides the default
+// worker count (any integer >= 1; invalid values are ignored).
+const EnvWorkers = "GPUMECH_WORKERS"
+
+// Workers resolves a worker count: an explicit positive value wins, then
+// a positive GPUMECH_WORKERS, then GOMAXPROCS. The result is always >= 1.
+func Workers(explicit int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for i in [0, n) on at most workers goroutines and
+// waits for all of them. With workers <= 1 it degenerates to the plain
+// sequential loop, stopping at the first error exactly as a for loop
+// would.
+//
+// In the parallel case items are claimed in index order. On error the
+// pool stops claiming new items (in-flight items still finish) and the
+// recorded error with the lowest index is returned, so an error that is
+// deterministic per item yields a deterministic result; items after a
+// failure may be skipped, as in the sequential loop.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		errIdx  = n
+		firstEr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || stopped.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstEr = i, err
+					}
+					mu.Unlock()
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// Group is a bounded goroutine group in the spirit of errgroup: Go blocks
+// while the limit is reached, Wait returns the first recorded error.
+// Unlike ForEach it accepts heterogeneous tasks, so it carries no
+// ordering guarantee on the error choice; use it where any error aborts
+// the whole computation regardless of which task produced it.
+type Group struct {
+	sem  chan struct{}
+	wg   sync.WaitGroup
+	mu   sync.Mutex
+	err  error
+	stop atomic.Bool
+}
+
+// NewGroup returns a Group running at most limit tasks concurrently
+// (limit < 1 is treated as 1).
+func NewGroup(limit int) *Group {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Group{sem: make(chan struct{}, limit)}
+}
+
+// Go schedules fn, blocking until a worker slot is free. After a task has
+// failed, subsequently scheduled tasks are dropped.
+func (g *Group) Go(fn func() error) {
+	g.sem <- struct{}{}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		defer func() { <-g.sem }()
+		if g.stop.Load() {
+			return
+		}
+		if err := fn(); err != nil {
+			g.mu.Lock()
+			if g.err == nil {
+				g.err = err
+			}
+			g.mu.Unlock()
+			g.stop.Store(true)
+		}
+	}()
+}
+
+// Wait blocks until every scheduled task has finished and returns the
+// first error recorded.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// OrderedWriter releases buffered chunks of output to an underlying
+// writer strictly in ascending slot order, no matter which goroutine
+// finishes first. Workers buffer their own output and call Emit with
+// their slot index; slot s is written only after slots 0..s-1 have been
+// emitted. A nil underlying writer discards everything (matching the
+// harness's "nil Log = silent" convention).
+type OrderedWriter struct {
+	mu      sync.Mutex
+	w       io.Writer
+	next    int
+	pending map[int][]byte
+}
+
+// NewOrderedWriter returns an OrderedWriter over w (which may be nil).
+func NewOrderedWriter(w io.Writer) *OrderedWriter {
+	return &OrderedWriter{w: w, pending: make(map[int][]byte)}
+}
+
+// Emit delivers the complete output of slot seq. Each slot must be
+// emitted exactly once; contiguous completed slots are flushed
+// immediately, later slots are held until their predecessors arrive.
+// Emit is safe for concurrent use.
+func (o *OrderedWriter) Emit(seq int, data []byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.pending[seq] = data
+	for {
+		d, ok := o.pending[o.next]
+		if !ok {
+			return
+		}
+		delete(o.pending, o.next)
+		o.next++
+		if o.w != nil && len(d) > 0 {
+			o.w.Write(d)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package parallel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(7); got != 7 {
+		t.Errorf("explicit: Workers(7) = %d", got)
+	}
+	t.Setenv(EnvWorkers, "3")
+	if got := Workers(0); got != 3 {
+		t.Errorf("env: Workers(0) = %d with %s=3", got, EnvWorkers)
+	}
+	if got := Workers(2); got != 2 {
+		t.Errorf("explicit beats env: Workers(2) = %d", got)
+	}
+	t.Setenv(EnvWorkers, "not-a-number")
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("invalid env: Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	t.Setenv(EnvWorkers, "-4")
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("negative env: Workers(0) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 33} {
+		const n = 1000
+		counts := make([]int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	if err := ForEach(4, 0, func(int) error { called = true; return nil }); err != nil || called {
+		t.Errorf("n=0: err=%v called=%v", err, called)
+	}
+}
+
+func TestForEachDeterministicError(t *testing.T) {
+	// Every item fails; the lowest-index error must be returned no matter
+	// how workers race.
+	for trial := 0; trial < 20; trial++ {
+		err := ForEach(8, 64, func(i int) error { return fmt.Errorf("item %d", i) })
+		if err == nil || err.Error() != "item 0" {
+			t.Fatalf("trial %d: err = %v, want item 0", trial, err)
+		}
+	}
+}
+
+func TestForEachSequentialStopsAtFirstError(t *testing.T) {
+	var ran []int
+	sentinel := errors.New("boom")
+	err := ForEach(1, 10, func(i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 4 {
+		t.Errorf("sequential path ran %v, want items 0..3 only", ran)
+	}
+}
+
+func TestForEachStopsClaimingAfterError(t *testing.T) {
+	var ran atomic.Int32
+	err := ForEach(2, 10000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error lost")
+	}
+	if got := ran.Load(); got == 10000 {
+		t.Error("pool kept claiming items after an error")
+	}
+}
+
+func TestGroupRunsAllAndPropagatesError(t *testing.T) {
+	g := NewGroup(3)
+	var ran atomic.Int32
+	for i := 0; i < 20; i++ {
+		g.Go(func() error { ran.Add(1); return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 20 {
+		t.Errorf("ran %d tasks, want 20", ran.Load())
+	}
+
+	g2 := NewGroup(2)
+	sentinel := errors.New("task failed")
+	g2.Go(func() error { return sentinel })
+	g2.Go(func() error { return nil })
+	if err := g2.Wait(); !errors.Is(err, sentinel) {
+		t.Errorf("Wait = %v, want sentinel", err)
+	}
+}
+
+func TestGroupLimitIsRespected(t *testing.T) {
+	const limit = 3
+	g := NewGroup(limit)
+	var cur, peak atomic.Int32
+	for i := 0; i < 50; i++ {
+		g.Go(func() error {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Errorf("peak concurrency %d exceeds limit %d", p, limit)
+	}
+}
+
+func TestOrderedWriterReordersSlots(t *testing.T) {
+	var out bytes.Buffer
+	ow := NewOrderedWriter(&out)
+	// Emit in a scrambled order; output must still be ascending.
+	for _, seq := range []int{3, 0, 2, 4, 1} {
+		ow.Emit(seq, []byte(fmt.Sprintf("slot%d;", seq)))
+	}
+	if got, want := out.String(), "slot0;slot1;slot2;slot3;slot4;"; got != want {
+		t.Errorf("ordered output = %q, want %q", got, want)
+	}
+}
+
+func TestOrderedWriterConcurrentEmit(t *testing.T) {
+	var out bytes.Buffer
+	ow := NewOrderedWriter(&out)
+	const n = 200
+	if err := ForEach(8, n, func(i int) error {
+		ow.Emit(i, []byte(fmt.Sprintf("%d\n", i)))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := ""
+	for i := 0; i < n; i++ {
+		want += fmt.Sprintf("%d\n", i)
+	}
+	if out.String() != want {
+		t.Error("concurrent emits not released in slot order")
+	}
+}
+
+func TestOrderedWriterNilWriter(t *testing.T) {
+	ow := NewOrderedWriter(nil) // must not panic
+	ow.Emit(0, []byte("dropped"))
+	ow.Emit(1, nil)
+}

@@ -1,0 +1,149 @@
+package gpumech
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestSessionWorkersEquivalence pins the determinism contract: a session
+// running on one worker and a session fanning out over several must
+// produce byte-identical estimates, baselines, and CPI stacks.
+func TestSessionWorkersEquivalence(t *testing.T) {
+	seq, err := NewSession("rodinia_srad1", WithBlocks(48), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewSession("rodinia_srad1", WithBlocks(48), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{
+		DefaultConfig(),
+		DefaultConfig().WithWarps(8),
+		DefaultConfig().WithMSHRs(64),
+		DefaultConfig().WithBandwidth(64),
+	}
+	for _, cfg := range cfgs {
+		for _, pol := range []Policy{RR, GTO} {
+			a, err := seq.Estimate(cfg, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := par.Estimate(cfg, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("cfg %v pol %v: workers=1 estimate %+v != workers=4 estimate %+v", cfg, pol, a, b)
+			}
+		}
+		for _, bm := range []BaselineModel{NaiveInterval, MarkovChain} {
+			a, err := seq.EstimateBaseline(cfg, bm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := par.EstimateBaseline(cfg, bm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("cfg %v %v: baseline CPI %g != %g", cfg, bm, a, b)
+			}
+		}
+	}
+}
+
+// TestSessionConcurrentUse drives one Session from 8 goroutines sweeping
+// different configurations and policies, as a design-space exploration
+// would, and checks every concurrent result against a sequential
+// reference. Run with -race this is the Session's data-race stress test.
+func TestSessionConcurrentUse(t *testing.T) {
+	sess, err := NewSession("sdk_reduction", WithBlocks(32), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type job struct {
+		cfg Config
+		pol Policy
+	}
+	var jobs []job
+	for _, warps := range []int{8, 16, 32} {
+		for _, mshrs := range []int{32, 64} {
+			for _, pol := range []Policy{RR, GTO} {
+				jobs = append(jobs, job{DefaultConfig().WithWarps(warps).WithMSHRs(mshrs), pol})
+			}
+		}
+	}
+
+	// Sequential reference from an identical session.
+	ref, err := NewSession("sdk_reduction", WithBlocks(32), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*Estimate, len(jobs))
+	for i, j := range jobs {
+		if want[i], err = ref.Estimate(j.cfg, j.pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const goroutines = 8
+	got := make([][]*Estimate, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		got[g] = make([]*Estimate, len(jobs))
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine sweeps all jobs starting at a different
+			// offset, so every (cfg, pol) point is hit concurrently.
+			for n := 0; n < len(jobs); n++ {
+				i := (g + n) % len(jobs)
+				est, err := sess.Estimate(jobs[i].cfg, jobs[i].pol)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				got[g][i] = est
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		for i := range jobs {
+			if !reflect.DeepEqual(got[g][i], want[i]) {
+				t.Errorf("goroutine %d job %d: concurrent estimate diverges from sequential reference", g, i)
+			}
+		}
+	}
+}
+
+// TestDefaultBlocksRoundsUp is the regression test for the integer
+// truncation fixed in DefaultBlocks: a warps-per-block that does not
+// divide the occupancy target must round the grid up, never below the
+// paper's 3x system-occupancy floor.
+func TestDefaultBlocksRoundsUp(t *testing.T) {
+	const floor = 3 * 16 * 32 // warps needed for 3x baseline occupancy
+	for _, wpb := range []int{1, 2, 3, 4, 5, 6, 7, 8, 12, 48, 100} {
+		t.Run(fmt.Sprintf("wpb=%d", wpb), func(t *testing.T) {
+			blocks := DefaultBlocks(wpb)
+			if blocks*wpb < floor {
+				t.Errorf("DefaultBlocks(%d) = %d launches %d warps, below the 3x floor %d",
+					wpb, blocks, blocks*wpb, floor)
+			}
+			if (blocks-1)*wpb >= floor {
+				t.Errorf("DefaultBlocks(%d) = %d overshoots: %d blocks already meet the floor",
+					wpb, blocks, blocks-1)
+			}
+		})
+	}
+	if got := DefaultBlocks(5); got != 308 {
+		t.Errorf("DefaultBlocks(5) = %d, want 308 (ceil of 1536/5)", got)
+	}
+}
