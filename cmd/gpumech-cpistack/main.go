@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"gpumech"
+	"gpumech/internal/obs/obsflag"
 	"gpumech/internal/report"
 )
 
@@ -23,7 +24,18 @@ func main() {
 	warpsCSV := flag.String("warps", "8,16,32,48", "comma-separated warps-per-core values")
 	policy := flag.String("policy", "rr", "scheduling policy: rr or gto")
 	oracle := flag.Bool("oracle", false, "also run the detailed simulation per point")
+	ob := obsflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	observer, err := ob.Setup()
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := ob.Finish(); err != nil {
+			fail(err)
+		}
+	}()
 
 	pol := gpumech.RR
 	if *policy == "gto" {
@@ -38,7 +50,7 @@ func main() {
 		warps = append(warps, w)
 	}
 
-	sess, err := gpumech.NewSession(*kernel)
+	sess, err := gpumech.NewSession(*kernel, gpumech.WithObserver(observer))
 	if err != nil {
 		fail(err)
 	}

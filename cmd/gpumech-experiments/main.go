@@ -20,6 +20,7 @@ import (
 
 	"gpumech"
 	"gpumech/internal/experiments"
+	"gpumech/internal/obs/obsflag"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GPUMECH_WORKERS or GOMAXPROCS; 1 = sequential)")
 	verbose := flag.Bool("v", false, "log per-evaluation progress")
 	list := flag.Bool("list", false, "list kernels, figures and the baseline configuration")
+	ob := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -48,7 +50,19 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Quick: *quick, Blocks: *blocks, Seed: *seed, Workers: *workers}
+	observer, err := ob.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpumech-experiments:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := ob.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "gpumech-experiments:", err)
+			os.Exit(1)
+		}
+	}()
+
+	opt := experiments.Options{Quick: *quick, Blocks: *blocks, Seed: *seed, Workers: *workers, Obs: observer}
 	if *kernelsFlag != "" {
 		opt.Kernels = strings.Split(*kernelsFlag, ",")
 	}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"gpumech"
+	"gpumech/internal/obs/obsflag"
 )
 
 func main() {
@@ -27,7 +28,18 @@ func main() {
 	level := flag.String("level", "full", "model level: mt, mshr, full")
 	oracle := flag.Bool("oracle", false, "also run the detailed timing simulation")
 	jsonOut := flag.Bool("json", false, "emit a single JSON object instead of text")
+	ob := obsflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	observer, err := ob.Setup()
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := ob.Finish(); err != nil {
+			fail(err)
+		}
+	}()
 
 	cfg := gpumech.DefaultConfig()
 	if *warps > 0 {
@@ -56,7 +68,7 @@ func main() {
 		fail(fmt.Errorf("unknown level %q (want mt, mshr, full)", *level))
 	}
 
-	var opts []gpumech.Option
+	opts := []gpumech.Option{gpumech.WithObserver(observer)}
 	if *blocks > 0 {
 		opts = append(opts, gpumech.WithBlocks(*blocks))
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"gpumech"
+	"gpumech/internal/obs/obsflag"
 )
 
 func main() {
@@ -23,7 +24,20 @@ func main() {
 	mshrs := flag.Int("mshrs", 0, "MSHR entries (0 = baseline)")
 	bw := flag.Float64("bw", 0, "DRAM bandwidth GB/s (0 = baseline)")
 	blocks := flag.Int("blocks", 0, "thread blocks (0 = 3x occupancy)")
+	ob := obsflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	observer, err := ob.Setup()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpumech-sim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := ob.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "gpumech-sim:", err)
+			os.Exit(1)
+		}
+	}()
 
 	cfg := gpumech.DefaultConfig()
 	if *warps > 0 {
@@ -40,7 +54,7 @@ func main() {
 		pol = gpumech.GTO
 	}
 
-	var opts []gpumech.Option
+	opts := []gpumech.Option{gpumech.WithObserver(observer)}
 	if *blocks > 0 {
 		opts = append(opts, gpumech.WithBlocks(*blocks))
 	}

@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"gpumech/internal/cache"
 	"gpumech/internal/config"
 	"gpumech/internal/core/model"
 	"gpumech/internal/kernels"
+	"gpumech/internal/obs/obsflag"
 	"gpumech/internal/trace"
 )
 
@@ -30,7 +32,18 @@ func main() {
 	disasm := flag.Bool("disasm", false, "print the kernel program listing")
 	save := flag.String("save", "", "write the trace to this file (gob+gzip)")
 	loadPath := flag.String("load", "", "load a previously saved trace instead of emulating")
+	ob := obsflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	observer, err := ob.Setup()
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := ob.Finish(); err != nil {
+			fail(err)
+		}
+	}()
 
 	cfg := config.Baseline()
 	var tr *trace.Kernel
@@ -45,10 +58,17 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		sp := observer.StartSpan("trace")
+		sp.SetStr("kernel", *kernel)
+		start := time.Now()
 		tr, err = info.Trace(kernels.Scale{Blocks: *blocks, Seed: *seed}, cfg.L1LineBytes)
 		if err != nil {
+			sp.End()
 			fail(err)
 		}
+		observer.ObserveSince("stage.trace.seconds", start)
+		sp.SetInt("instructions", tr.TotalInsts())
+		sp.End()
 	}
 	if *save != "" {
 		if err := tr.Save(*save); err != nil {
@@ -63,10 +83,15 @@ func main() {
 		fmt.Print(tr.Prog.Disassemble())
 	}
 
+	csp := observer.StartSpan("cache-sim")
+	start := time.Now()
 	prof, err := cache.Simulate(tr, cfg)
 	if err != nil {
+		csp.End()
 		fail(err)
 	}
+	observer.ObserveSince("stage.cachesim.seconds", start)
+	csp.End()
 	fmt.Println("\nper-PC cache profile (loads classified by worst request):")
 	fmt.Print(prof.String())
 	fmt.Printf("avg miss latency: %.1f cycles\n", prof.AvgMissLatency())
@@ -80,10 +105,16 @@ func main() {
 			fail(fmt.Errorf("warp %d out of range (%d warps)", w, len(tr.Warps)))
 		}
 		tbl := model.BuildPCTable(tr.Prog, cfg, prof)
+		isp := observer.StartSpan("interval-profiling")
+		start := time.Now()
 		profiles, err := model.BuildWarpProfiles(tr, cfg, tbl)
 		if err != nil {
+			isp.End()
 			fail(err)
 		}
+		observer.ObserveSince("stage.interval_profiling.seconds", start)
+		isp.SetInt("warps", int64(len(profiles)))
+		isp.End()
 		p := profiles[w]
 		fmt.Printf("\nwarp %d interval profile: %d instructions, %d intervals, %.1f stall cycles, warp_perf %.4f\n",
 			w, p.Insts, len(p.Intervals), p.Stall, p.WarpPerf())

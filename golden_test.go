@@ -1,0 +1,170 @@
+package gpumech
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"gpumech/internal/kernels"
+)
+
+// -update rewrites the golden files from the current model output:
+//
+//	go test -run TestGoldenEstimates -update
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden files from current model output")
+
+// goldenEntry pins every figure of one (kernel, policy) estimate at the
+// baseline configuration. Floats are compared at 1e-9 relative tolerance —
+// tight enough that any reassociation of a floating-point reduction or an
+// accidental model change trips the suite, loose enough to survive
+// encoding round-trips.
+type goldenEntry struct {
+	CPI               float64  `json:"cpi"`
+	MultithreadingCPI float64  `json:"multithreadingCPI"`
+	ContentionCPI     float64  `json:"contentionCPI"`
+	RepWarp           int      `json:"repWarp"`
+	Intervals         int      `json:"intervals"`
+	WarpInsts         int      `json:"warpInsts"`
+	Stack             CPIStack `json:"stack"`
+}
+
+func goldenPath(policy string) string {
+	return filepath.Join("testdata", "golden", policy+".json")
+}
+
+func loadGolden(t *testing.T, policy string) map[string]goldenEntry {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath(policy))
+	if err != nil {
+		t.Fatalf("missing golden file (generate with: go test -run TestGoldenEstimates -update): %v", err)
+	}
+	out := make(map[string]goldenEntry)
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("corrupt golden file %s: %v", goldenPath(policy), err)
+	}
+	return out
+}
+
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*m
+}
+
+func diffEntry(got, want goldenEntry) string {
+	const tol = 1e-9
+	if got.RepWarp != want.RepWarp {
+		return fmt.Sprintf("repWarp = %d, want %d", got.RepWarp, want.RepWarp)
+	}
+	if got.Intervals != want.Intervals {
+		return fmt.Sprintf("intervals = %d, want %d", got.Intervals, want.Intervals)
+	}
+	if got.WarpInsts != want.WarpInsts {
+		return fmt.Sprintf("warpInsts = %d, want %d", got.WarpInsts, want.WarpInsts)
+	}
+	if !relClose(got.CPI, want.CPI, tol) {
+		return fmt.Sprintf("CPI = %.15g, want %.15g", got.CPI, want.CPI)
+	}
+	if !relClose(got.MultithreadingCPI, want.MultithreadingCPI, tol) {
+		return fmt.Sprintf("multithreading CPI = %.15g, want %.15g", got.MultithreadingCPI, want.MultithreadingCPI)
+	}
+	if !relClose(got.ContentionCPI, want.ContentionCPI, tol) {
+		return fmt.Sprintf("contention CPI = %.15g, want %.15g", got.ContentionCPI, want.ContentionCPI)
+	}
+	for i := range got.Stack {
+		if !relClose(got.Stack[i], want.Stack[i], tol) {
+			return fmt.Sprintf("stack[%d] = %.15g, want %.15g", i, got.Stack[i], want.Stack[i])
+		}
+	}
+	return ""
+}
+
+// TestGoldenEstimates locks the full-model prediction (CPI, components,
+// CPI stack, representative-warp identity) for every paper kernel under
+// both scheduling policies against checked-in golden files. Any change to
+// the model, the cache simulator, the interval algorithm, clustering or
+// the trace generator that moves a figure fails here; deliberate changes
+// re-bless with -update.
+func TestGoldenEstimates(t *testing.T) {
+	names := kernels.PaperNames()
+	if len(names) != 40 {
+		t.Fatalf("paper kernel set = %d kernels, want 40", len(names))
+	}
+	policies := []struct {
+		name string
+		pol  Policy
+	}{{"rr", RR}, {"gto", GTO}}
+
+	golden := make(map[string]map[string]goldenEntry)
+	if !*updateGolden {
+		for _, p := range policies {
+			golden[p.name] = loadGolden(t, p.name)
+		}
+	}
+
+	var mu sync.Mutex
+	got := map[string]map[string]goldenEntry{"rr": {}, "gto": {}}
+
+	t.Run("kernels", func(t *testing.T) {
+		for _, name := range names {
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				sess, err := NewSession(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, p := range policies {
+					est, err := sess.Estimate(DefaultConfig(), p.pol)
+					if err != nil {
+						t.Fatalf("%s: %v", p.name, err)
+					}
+					entry := goldenEntry{
+						CPI:               est.CPI,
+						MultithreadingCPI: est.MultithreadingCPI,
+						ContentionCPI:     est.ContentionCPI,
+						RepWarp:           est.RepWarp,
+						Intervals:         est.Intervals,
+						WarpInsts:         est.WarpInsts,
+						Stack:             est.Stack,
+					}
+					if *updateGolden {
+						mu.Lock()
+						got[p.name][name] = entry
+						mu.Unlock()
+						continue
+					}
+					want, ok := golden[p.name][name]
+					if !ok {
+						t.Fatalf("%s: no golden entry (re-bless with -update)", p.name)
+					}
+					if d := diffEntry(entry, want); d != "" {
+						t.Errorf("%s: %s", p.name, d)
+					}
+				}
+			})
+		}
+	})
+
+	if *updateGolden && !t.Failed() {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range policies {
+			data, err := json.MarshalIndent(got[p.name], "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(goldenPath(p.name), append(data, '\n'), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d kernels)", goldenPath(p.name), len(got[p.name]))
+		}
+	}
+}

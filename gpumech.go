@@ -21,6 +21,7 @@ package gpumech
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"gpumech/internal/baseline"
 	"gpumech/internal/cache"
@@ -29,9 +30,19 @@ import (
 	"gpumech/internal/core/cpistack"
 	"gpumech/internal/core/model"
 	"gpumech/internal/kernels"
+	"gpumech/internal/obs"
 	"gpumech/internal/timing"
 	"gpumech/internal/trace"
 )
+
+// Observer is the observability handle threaded through a Session: a
+// metrics registry plus a stage tracer (see internal/obs). A nil
+// Observer disables all instrumentation at zero cost, and enabling one
+// never changes any estimate or oracle figure.
+type Observer = obs.Observer
+
+// NewObserver bundles a metrics registry and a tracer; either may be nil.
+func NewObserver(m *obs.Registry, t *obs.Tracer) *Observer { return obs.NewObserver(m, t) }
 
 // Config is the hardware configuration (Table I of the paper).
 type Config = config.Config
@@ -112,6 +123,7 @@ type sessionOpts struct {
 	seed    int64
 	line    int
 	workers int
+	obs     *obs.Observer
 }
 
 // WithBlocks sets the number of thread blocks to launch. The default
@@ -127,6 +139,14 @@ func WithSeed(seed int64) Option { return func(o *sessionOpts) { o.seed = seed }
 // path). Estimates are byte-identical at any worker count.
 func WithWorkers(n int) Option { return func(o *sessionOpts) { o.workers = n } }
 
+// WithObserver attaches an observability handle: every pipeline stage the
+// session runs (tracing, cache simulation, interval profiling,
+// clustering, the multi-warp and contention models, CPI-stack
+// construction, the oracle) emits a nested span and per-stage metrics.
+// A nil observer — the default — disables instrumentation entirely; the
+// hot paths then perform no allocations and no locking for it.
+func WithObserver(o *Observer) Option { return func(so *sessionOpts) { so.obs = o } }
+
 // Session holds one traced kernel and evaluates models and the oracle
 // against it. Create with NewSession.
 //
@@ -140,6 +160,7 @@ type Session struct {
 	info    *kernels.Info
 	trace   *trace.Kernel
 	workers int
+	obs     *obs.Observer
 
 	// cache profiles are memoized per configuration key; each entry is
 	// simulated once (sync.Once) and shared by every waiter.
@@ -178,14 +199,28 @@ func NewSession(kernel string, opts ...Option) (*Session, error) {
 	if o.blocks == 0 {
 		o.blocks = DefaultBlocks(info.WarpsPerBlock)
 	}
+	sp := o.obs.StartSpan("trace")
+	sp.SetStr("kernel", kernel)
+	start := time.Now()
 	tr, err := info.Trace(kernels.Scale{Blocks: o.blocks, Seed: o.seed}, o.line)
 	if err != nil {
+		sp.End()
 		return nil, err
+	}
+	o.obs.ObserveSince("stage.trace.seconds", start)
+	sp.SetInt("blocks", int64(tr.Blocks))
+	sp.SetInt("warps", int64(len(tr.Warps)))
+	sp.SetInt("instructions", tr.TotalInsts())
+	sp.End()
+	if o.obs != nil && o.obs.Metrics != nil {
+		o.obs.Counter("trace.kernels").Inc()
+		o.obs.Counter("trace.instructions").Add(tr.TotalInsts())
 	}
 	return &Session{
 		info:     info,
 		trace:    tr,
 		workers:  o.workers,
+		obs:      o.obs,
 		profiles: make(map[cache.ProfileKey]*profileOnce),
 	}, nil
 }
@@ -208,7 +243,7 @@ func (s *Session) Warps() int { return len(s.trace.Warps) }
 // any of them re-simulates instead of serving a stale profile. The map is
 // lock-guarded and each entry simulates once, making concurrent sweeps
 // race-free without repeating work.
-func (s *Session) cacheProfile(cfg Config) (*cache.Profile, error) {
+func (s *Session) cacheProfile(cfg Config, o *obs.Observer) (*cache.Profile, error) {
 	// Validate eagerly: a memo hit must not mask an invalid configuration
 	// whose fields happen to share a key with a previously valid one.
 	if err := cfg.Validate(); err != nil {
@@ -222,7 +257,30 @@ func (s *Session) cacheProfile(cfg Config) (*cache.Profile, error) {
 		s.profiles[key] = ent
 	}
 	s.mu.Unlock()
-	ent.once.Do(func() { ent.p, ent.err = cache.Simulate(s.trace, cfg) })
+	simulated := false
+	ent.once.Do(func() {
+		simulated = true
+		sp := o.StartSpan("cache-sim")
+		start := time.Now()
+		ent.p, ent.err = cache.Simulate(s.trace, cfg)
+		o.ObserveSince("stage.cachesim.seconds", start)
+		sp.End()
+		if ent.err == nil && o != nil && o.Metrics != nil {
+			t := ent.p.Totals()
+			o.Counter("cachesim.load_reqs").Add(t.LoadReqs)
+			o.Counter("cachesim.store_reqs").Add(t.StoreReqs)
+			o.Counter("cachesim.l1_hit_reqs").Add(t.L1HitReqs)
+			o.Counter("cachesim.l2_hit_reqs").Add(t.L2HitReqs)
+			o.Counter("cachesim.l2_miss_reqs").Add(t.L2MissReqs)
+		}
+	})
+	if o != nil && o.Metrics != nil {
+		if simulated {
+			o.Counter("cache.profile.memo_misses").Inc()
+		} else {
+			o.Counter("cache.profile.memo_hits").Inc()
+		}
+	}
 	return ent.p, ent.err
 }
 
@@ -250,7 +308,13 @@ func (s *Session) Estimate(cfg Config, pol Policy) (*Estimate, error) {
 // EstimateWith runs GPUMech at a chosen model level and representative-
 // warp selection method.
 func (s *Session) EstimateWith(cfg Config, pol Policy, lvl Level, m Method) (*Estimate, error) {
-	prof, err := s.cacheProfile(cfg)
+	sp := s.obs.StartSpan("estimate")
+	defer sp.End()
+	sp.SetStr("kernel", s.info.Name)
+	sp.SetStr("policy", pol.String())
+	sp.SetStr("method", m.String())
+	o := s.obs.WithSpan(sp)
+	prof, err := s.cacheProfile(cfg, o)
 	if err != nil {
 		return nil, err
 	}
@@ -262,6 +326,7 @@ func (s *Session) EstimateWith(cfg Config, pol Policy, lvl Level, m Method) (*Es
 		Method:  m,
 		Level:   lvl,
 		Workers: s.workers,
+		Obs:     o,
 	})
 	if err != nil {
 		return nil, err
@@ -300,7 +365,12 @@ func (b BaselineModel) String() string {
 // EstimateBaseline predicts CPI with one of the comparison models. Both
 // use the same representative warp as GPUMech (selected by clustering).
 func (s *Session) EstimateBaseline(cfg Config, b BaselineModel) (float64, error) {
-	prof, err := s.cacheProfile(cfg)
+	sp := s.obs.StartSpan("estimate-baseline")
+	defer sp.End()
+	sp.SetStr("kernel", s.info.Name)
+	sp.SetStr("model", b.String())
+	o := s.obs.WithSpan(sp)
+	prof, err := s.cacheProfile(cfg, o)
 	if err != nil {
 		return 0, err
 	}
@@ -309,7 +379,7 @@ func (s *Session) EstimateBaseline(cfg Config, b BaselineModel) (float64, error)
 	if err != nil {
 		return 0, err
 	}
-	rep, err := cluster.Select(profiles, cluster.Clustering)
+	rep, err := cluster.SelectObs(profiles, cluster.Clustering, o)
 	if err != nil {
 		return 0, err
 	}
@@ -339,9 +409,22 @@ type OracleResult struct {
 // Oracle runs the detailed cycle-level timing simulator on the session's
 // trace — the validation reference for the model (the paper's Macsim).
 func (s *Session) Oracle(cfg Config, pol Policy) (*OracleResult, error) {
+	sp := s.obs.StartSpan("oracle")
+	sp.SetStr("kernel", s.info.Name)
+	sp.SetStr("policy", pol.String())
+	start := time.Now()
 	r, err := timing.Simulate(s.trace, cfg, pol)
 	if err != nil {
+		sp.End()
 		return nil, err
+	}
+	s.obs.ObserveSince("stage.oracle.seconds", start)
+	sp.SetInt("cycles", r.Cycles)
+	sp.SetInt("instructions", r.Insts)
+	sp.End()
+	if s.obs != nil && s.obs.Metrics != nil {
+		s.obs.Counter("oracle.runs").Inc()
+		s.obs.Histogram("oracle.cpi").Observe(r.CPI)
 	}
 	return &OracleResult{CPI: r.CPI, IPC: r.IPC, Cycles: r.Cycles, Insts: r.Insts,
 		StallBreakdown: r.StallBreakdown()}, nil

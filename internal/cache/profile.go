@@ -113,6 +113,35 @@ func (p *Profile) AvgMissLatency() float64 {
 		float64(dram)*float64(p.Cfg.MissLatency("dram"))) / float64(l2+dram)
 }
 
+// TotalStats aggregates instruction- and request-level events over every
+// profiled PC, for observability dumps and cross-checks. Load requests
+// split into L1 hits, L2 hits and L2 misses; store requests are counted
+// separately (write-through, never cached).
+type TotalStats struct {
+	LoadInsts, StoreInsts int64
+	LoadReqs, StoreReqs   int64
+
+	L1HitReqs, L2HitReqs, L2MissReqs int64
+}
+
+// Totals sums the per-PC statistics of the profile.
+func (p *Profile) Totals() TotalStats {
+	var t TotalStats
+	for _, s := range p.PCs {
+		if s.IsStore {
+			t.StoreInsts += s.Insts
+			t.StoreReqs += s.Reqs
+			continue
+		}
+		t.LoadInsts += s.Insts
+		t.LoadReqs += s.Reqs
+		t.L1HitReqs += s.L1HitReqs
+		t.L2HitReqs += s.L2HitReqs
+		t.L2MissReqs += s.L2MissReqs
+	}
+	return t
+}
+
 // SortedPCs returns the profiled PCs in ascending order.
 func (p *Profile) SortedPCs() []int {
 	pcs := make([]int, 0, len(p.PCs))

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"gpumech/internal/core/interval"
+	"gpumech/internal/obs"
 	"gpumech/internal/parallel"
 )
 
@@ -67,6 +68,14 @@ func Features(profiles []*interval.Profile) [][2]float64 {
 
 // Select returns the index of the representative warp.
 func Select(profiles []*interval.Profile, m Method) (int, error) {
+	return SelectObs(profiles, m, nil)
+}
+
+// SelectObs is Select with observability: when o carries metrics, the
+// clustering method records the k-means iteration count, whether it
+// converged before the iteration cap, and the point count. The selected
+// warp is identical with or without an observer.
+func SelectObs(profiles []*interval.Profile, m Method, o *obs.Observer) (int, error) {
 	if len(profiles) == 0 {
 		return 0, fmt.Errorf("cluster: no warp profiles")
 	}
@@ -88,7 +97,7 @@ func Select(profiles []*interval.Profile, m Method) (int, error) {
 		}
 		return best, nil
 	case Clustering:
-		return selectByClustering(profiles), nil
+		return selectByClustering(profiles, o), nil
 	}
 	return 0, fmt.Errorf("cluster: unknown method %d", m)
 }
@@ -114,10 +123,18 @@ const parallelAssignMin = 2048
 // the clusters and the selected warp — are byte-identical at any worker
 // count.
 func KMeans2(feats [][2]float64) (assign []int, centers [2][2]float64) {
+	assign, centers, _, _ = KMeans2Stats(feats)
+	return assign, centers
+}
+
+// KMeans2Stats is KMeans2 reporting, additionally, the number of
+// iterations performed and whether the assignment converged before the
+// 100-iteration cap.
+func KMeans2Stats(feats [][2]float64) (assign []int, centers [2][2]float64, iters int, converged bool) {
 	n := len(feats)
 	assign = make([]int, n)
 	if n == 0 {
-		return assign, centers
+		return assign, centers, 0, true
 	}
 	lo, hi := 0, 0
 	for i, f := range feats {
@@ -135,6 +152,7 @@ func KMeans2(feats [][2]float64) (assign []int, centers [2][2]float64) {
 		workers = parallel.Workers(0)
 	}
 	for iter := 0; iter < 100; iter++ {
+		iters = iter + 1
 		changed := assignStep(feats, assign, centers, iter, workers)
 		// Reduce in index order on one goroutine: chunked partial sums
 		// would reassociate the float additions and move the centroids by
@@ -154,10 +172,11 @@ func KMeans2(feats [][2]float64) (assign []int, centers [2][2]float64) {
 			}
 		}
 		if iter > 0 && !changed {
+			converged = true
 			break
 		}
 	}
-	return assign, centers
+	return assign, centers, iters, converged
 }
 
 // assignStep writes each point's nearest centroid into assign and reports
@@ -197,9 +216,17 @@ func assignStep(feats [][2]float64, assign []int, centers [2][2]float64, iter, w
 	return false
 }
 
-func selectByClustering(profiles []*interval.Profile) int {
+func selectByClustering(profiles []*interval.Profile, o *obs.Observer) int {
 	feats := Features(profiles)
-	assign, centers := KMeans2(feats)
+	assign, centers, iters, converged := KMeans2Stats(feats)
+	if o != nil && o.Metrics != nil {
+		o.Counter("kmeans.runs").Inc()
+		if converged {
+			o.Counter("kmeans.converged").Inc()
+		}
+		o.Histogram("kmeans.iterations").Observe(float64(iters))
+		o.Histogram("kmeans.points").Observe(float64(len(feats)))
+	}
 
 	var cnt [2]int
 	for _, c := range assign {

@@ -1,0 +1,108 @@
+package cpistack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gpumech/internal/core/interval"
+	"gpumech/internal/isa"
+)
+
+// randomProfile builds a random but structurally valid interval profile
+// plus a PC table with miss-event distributions for its memory PCs.
+func randomProfile(rng *rand.Rand) (*interval.Profile, *interval.PCTable) {
+	numPCs := 2 + rng.Intn(10)
+	tbl := &interval.PCTable{
+		DistL1:   make([]float64, numPCs),
+		DistL2:   make([]float64, numPCs),
+		DistDRAM: make([]float64, numPCs),
+	}
+	memPC := rng.Intn(numPCs)
+	l1, l2, dram := rng.Float64(), rng.Float64(), rng.Float64()
+	tot := l1 + l2 + dram
+	tbl.DistL1[memPC], tbl.DistL2[memPC], tbl.DistDRAM[memPC] = l1/tot, l2/tot, dram/tot
+
+	p := &interval.Profile{IssueRate: []float64{0.5, 1, 2}[rng.Intn(3)]}
+	n := 1 + rng.Intn(30)
+	for i := 0; i < n; i++ {
+		iv := interval.Interval{
+			Insts:       1 + rng.Intn(40),
+			StallCycles: 500 * rng.Float64(),
+			CausePC:     -1,
+		}
+		if iv.StallCycles > 0 {
+			switch rng.Intn(3) {
+			case 0:
+				iv.CausePC, iv.CauseClass = memPC, isa.ClassGMem
+			case 1:
+				iv.CausePC, iv.CauseClass = rng.Intn(numPCs), isa.ClassALU
+			default:
+				// A memory cause with no profiled distribution exercises
+				// the fall-back-to-DEP path.
+				iv.CausePC, iv.CauseClass = (memPC+1)%numPCs, isa.ClassGMem
+			}
+		}
+		p.Intervals = append(p.Intervals, iv)
+		p.Insts += iv.Insts
+		p.Stall += iv.StallCycles
+	}
+	return p, tbl
+}
+
+// TestPropertyStackSumsToCPI checks the stack's defining identity on
+// random profiles: the categories sum to the predicted CPI — the
+// multithreading CPI plus the per-instruction contention delays — within
+// 1e-9 relative tolerance, and no category is ever negative.
+func TestPropertyStackSumsToCPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		p, tbl := randomProfile(rng)
+		cpiMT := p.CPI() * (0.1 + rng.Float64()) // multithreading can only help or match
+		mshr := 1000 * rng.Float64()
+		bw := 1000 * rng.Float64()
+		sfu := 100 * rng.Float64()
+
+		s, err := Build(p, tbl, cpiMT, mshr, bw, sfu)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		insts := float64(p.Insts)
+		want := cpiMT + (mshr+bw+sfu)/insts
+		got := s.CPI()
+		if diff := math.Abs(got - want); diff > 1e-9*math.Max(got, want) {
+			t.Fatalf("trial %d: stack sums to %.15g, want %.15g (diff %g)", trial, got, want, diff)
+		}
+		for c, v := range s {
+			if v < 0 {
+				t.Fatalf("trial %d: category %v negative: %g", trial, Category(c), v)
+			}
+		}
+		if s[MSHR] != mshr/insts || s[Queue] != bw/insts || s[SFU] != sfu/insts {
+			t.Fatalf("trial %d: contention categories not delay/insts: %+v", trial, s)
+		}
+	}
+}
+
+// TestPropertyStackScaleInvariance checks step 2 of the construction: the
+// pre-contention categories keep their relative proportions regardless of
+// the multithreading CPI they are shrunk to.
+func TestPropertyStackScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		p, tbl := randomProfile(rng)
+		a, err := Build(p, tbl, p.CPI(), 0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(p, tbl, p.CPI()/2, 0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := Base; c <= DRAM; c++ {
+			if diff := math.Abs(a[c] - 2*b[c]); diff > 1e-9*math.Max(a[c], 2*b[c]) {
+				t.Fatalf("trial %d: category %v not scale-invariant: %g vs 2*%g", trial, c, a[c], b[c])
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ package model
 
 import (
 	"fmt"
+	"time"
 
 	"gpumech/internal/cache"
 	"gpumech/internal/config"
@@ -16,6 +17,7 @@ import (
 	"gpumech/internal/core/interval"
 	"gpumech/internal/core/multiwarp"
 	"gpumech/internal/isa"
+	"gpumech/internal/obs"
 	"gpumech/internal/parallel"
 	"gpumech/internal/trace"
 )
@@ -90,6 +92,11 @@ type Inputs struct {
 	// (0 = GPUMECH_WORKERS or GOMAXPROCS, 1 = sequential). Results are
 	// byte-identical at any worker count.
 	Workers int
+
+	// Obs receives per-stage spans and metrics (nil = disabled). The
+	// observer never influences any estimate: enabling it leaves every
+	// figure byte-identical.
+	Obs *obs.Observer
 }
 
 // Estimate is the model's prediction for one kernel.
@@ -207,18 +214,44 @@ func Run(in Inputs) (*Estimate, error) {
 		return nil, fmt.Errorf("model: nil cache profile (run cache.Simulate first)")
 	}
 
+	o := in.Obs
+	start := time.Now()
 	t := BuildPCTable(in.Kernel.Prog, in.Cfg, in.Profile)
 	if in.Tuning.DisableMergeWindow {
 		t.MergeWindow = 0
 	}
+	o.ObserveSince("stage.pctable.seconds", start)
+
+	sp := o.StartSpan("interval-profiling")
+	start = time.Now()
 	profiles, err := BuildWarpProfilesWorkers(in.Kernel, in.Cfg, t, in.Workers)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	rep, err := cluster.Select(profiles, in.Method)
+	o.ObserveSince("stage.interval_profiling.seconds", start)
+	sp.SetInt("warps", int64(len(profiles)))
+	sp.End()
+	if o != nil && o.Metrics != nil {
+		intervals := o.Histogram("interval.intervals_per_warp")
+		stalls := o.Histogram("interval.stall_cycles_per_warp")
+		for _, p := range profiles {
+			intervals.Observe(float64(len(p.Intervals)))
+			stalls.Observe(p.Stall)
+		}
+		o.Counter("interval.warps_profiled").Add(int64(len(profiles)))
+	}
+
+	sp = o.StartSpan("clustering")
+	start = time.Now()
+	rep, err := cluster.SelectObs(profiles, in.Method, o)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
+	o.ObserveSince("stage.clustering.seconds", start)
+	sp.SetInt("repWarp", int64(rep))
+	sp.End()
 	return runWithProfile(in, t, profiles, rep)
 }
 
@@ -234,9 +267,14 @@ func RunWithRepresentative(in Inputs, t *interval.PCTable, profiles []*interval.
 }
 
 func runWithProfile(in Inputs, t *interval.PCTable, profiles []*interval.Profile, rep int) (*Estimate, error) {
+	o := in.Obs
 	p := profiles[rep]
+	sp := o.StartSpan("multi-warp")
+	start := time.Now()
 	mw, err := multiwarp.ModelWithOptions(p, in.Cfg.WarpsPerCore, in.Policy,
 		multiwarp.Options{DisableIssueFloor: in.Tuning.DisableIssueFloor})
+	o.ObserveSince("stage.multiwarp.seconds", start)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -250,6 +288,8 @@ func runWithProfile(in Inputs, t *interval.PCTable, profiles []*interval.Profile
 	}
 
 	if in.Level >= MTMSHR {
+		sp = o.StartSpan("contention")
+		start = time.Now()
 		cin := contention.Inputs{
 			Warps:                in.Cfg.WarpsPerCore,
 			Cores:                in.Cfg.Cores,
@@ -263,6 +303,8 @@ func runWithProfile(in Inputs, t *interval.PCTable, profiles []*interval.Profile
 			DisableBWRoofline:    in.Tuning.DisableBWRoofline,
 		}
 		ct, err := contention.Model(p, cin)
+		o.ObserveSince("stage.contention.seconds", start)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -277,11 +319,21 @@ func runWithProfile(in Inputs, t *interval.PCTable, profiles []*interval.Profile
 
 	est.CPI = est.CPIMultithreading + est.CPIContention
 
+	sp = o.StartSpan("cpi-stack")
+	start = time.Now()
 	stack, err := cpistack.Build(p, t, est.CPIMultithreading, est.Contention.MSHRDelay,
 		est.Contention.BWDelay, est.Contention.SFUDelay)
+	o.ObserveSince("stage.cpistack.seconds", start)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	est.Stack = stack
+	if o != nil && o.Metrics != nil {
+		o.Counter("model.estimates").Inc()
+		o.Histogram("model.cpi").Observe(est.CPI)
+		o.Histogram("model.rep_intervals").Observe(float64(len(p.Intervals)))
+		o.Histogram("model.rep_stall_cycles").Observe(p.Stall)
+	}
 	return est, nil
 }

@@ -28,6 +28,7 @@ import (
 	"gpumech/internal/core/interval"
 	"gpumech/internal/core/model"
 	"gpumech/internal/kernels"
+	"gpumech/internal/obs"
 	"gpumech/internal/parallel"
 	"gpumech/internal/timing"
 	"gpumech/internal/trace"
@@ -54,6 +55,12 @@ type Options struct {
 	// byte-identical at any worker count; only wall-clock and the
 	// recorded pipeline timings vary.
 	Workers int
+
+	// Obs attaches an observability handle: each trace, cache simulation,
+	// evaluation point and oracle run emits spans and per-stage metrics.
+	// Nil (the default) disables instrumentation; figures are identical
+	// either way.
+	Obs *obs.Observer
 }
 
 func (o *Options) kernelSet() []string {
@@ -160,6 +167,7 @@ func (t *Timing) Speedup() float64 {
 type kernelCtx struct {
 	name string
 	tr   *trace.Kernel
+	obs  *obs.Observer
 
 	mu       sync.Mutex
 	profiles map[cache.ProfileKey]*profileEntry
@@ -185,11 +193,24 @@ func (kc *kernelCtx) profile(cfg config.Config) (*cache.Profile, float64, error)
 		kc.profiles[key] = ent
 	}
 	kc.mu.Unlock()
+	simulated := false
 	ent.once.Do(func() {
+		simulated = true
+		sp := kc.obs.StartSpan("cache-sim")
+		sp.SetStr("kernel", kc.name)
 		start := time.Now()
 		ent.p, ent.err = cache.Simulate(kc.tr, cfg)
 		ent.secs = time.Since(start).Seconds()
+		kc.obs.ObserveSince("stage.cachesim.seconds", start)
+		sp.End()
 	})
+	if o := kc.obs; o != nil && o.Metrics != nil {
+		if simulated {
+			o.Counter("cache.profile.memo_misses").Inc()
+		} else {
+			o.Counter("cache.profile.memo_hits").Inc()
+		}
+	}
 	return ent.p, ent.secs, ent.err
 }
 
@@ -252,12 +273,24 @@ func (e *Evaluator) traceKernel(name string, logf logFunc) (*kernelCtx, error) {
 	if blocks == 0 {
 		blocks = kernels.DefaultBlocks(info.WarpsPerBlock)
 	}
+	sp := e.opt.Obs.StartSpan("trace")
+	sp.SetStr("kernel", name)
 	start := time.Now()
 	tr, err := info.Trace(kernels.Scale{Blocks: blocks, Seed: e.opt.Seed}, config.Baseline().L1LineBytes)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
-	kc := &kernelCtx{name: name, tr: tr, profiles: make(map[cache.ProfileKey]*profileEntry)}
+	e.opt.Obs.ObserveSince("stage.trace.seconds", start)
+	sp.SetInt("blocks", int64(tr.Blocks))
+	sp.SetInt("warps", int64(len(tr.Warps)))
+	sp.SetInt("instructions", tr.TotalInsts())
+	sp.End()
+	if o := e.opt.Obs; o != nil && o.Metrics != nil {
+		o.Counter("trace.kernels").Inc()
+		o.Counter("trace.instructions").Add(tr.TotalInsts())
+	}
+	kc := &kernelCtx{name: name, tr: tr, obs: e.opt.Obs, profiles: make(map[cache.ProfileKey]*profileEntry)}
 	e.mu.Lock()
 	if _, ok := e.timings[name]; !ok {
 		e.timings[name] = &Timing{Kernel: name, TraceSecs: time.Since(start).Seconds(), TraceInsts: tr.TotalInsts()}
@@ -322,6 +355,12 @@ func (e *Evaluator) evalPoint(kc *kernelCtx, cfg config.Config, pol config.Polic
 	}
 	isBaseline := cfgSig(cfg, pol) == cfgSig(config.Baseline(), config.RR)
 
+	psp := e.opt.Obs.StartSpan("eval-point")
+	defer psp.End()
+	psp.SetStr("kernel", kc.name)
+	psp.SetStr("config", cfgSig(cfg, pol))
+	po := e.opt.Obs.WithSpan(psp)
+
 	prof, cacheSecs, err := kc.profile(cfg)
 	if err != nil {
 		return nil, err
@@ -338,12 +377,12 @@ func (e *Evaluator) evalPoint(kc *kernelCtx, cfg config.Config, pol config.Polic
 		if err != nil {
 			return err
 		}
-		rep, err := cluster.Select(profiles, cluster.Clustering)
+		rep, err := cluster.SelectObs(profiles, cluster.Clustering, po)
 		if err != nil {
 			return err
 		}
 
-		in := model.Inputs{Kernel: kc.tr, Cfg: cfg, Profile: prof, Policy: pol, Workers: e.workers}
+		in := model.Inputs{Kernel: kc.tr, Cfg: cfg, Profile: prof, Policy: pol, Workers: e.workers, Obs: po}
 		runLevel := func(lvl model.Level, rep int) (float64, cpistack.Stack, error) {
 			in.Level = lvl
 			est, err := model.RunWithRepresentative(in, tbl, profiles, rep)
@@ -397,14 +436,23 @@ func (e *Evaluator) evalPoint(kc *kernelCtx, cfg config.Config, pol config.Polic
 	}
 
 	runOracle := func() error {
+		sp := po.StartSpan("oracle")
 		start := time.Now()
 		orc, err := timing.Simulate(kc.tr, cfg, pol)
 		if err != nil {
+			sp.End()
 			return err
 		}
 		ev.Oracle = orc.CPI
 		oracleSecs = time.Since(start).Seconds()
 		oracleCycles = orc.Cycles
+		po.ObserveSince("stage.oracle.seconds", start)
+		sp.SetInt("cycles", orc.Cycles)
+		sp.End()
+		if po != nil && po.Metrics != nil {
+			po.Counter("oracle.runs").Inc()
+			po.Histogram("oracle.cpi").Observe(orc.CPI)
+		}
 		return nil
 	}
 

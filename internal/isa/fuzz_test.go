@@ -1,0 +1,121 @@
+package isa
+
+import (
+	"testing"
+)
+
+// decodeInstr maps 10 raw bytes onto one Instr without any sanitization,
+// so the fuzzer can reach every branch of Validate, including the
+// rejection paths.
+func decodeInstr(b []byte) Instr {
+	return Instr{
+		Op:     Op(b[0]),
+		Dst:    Reg(b[1]),
+		SrcA:   Reg(b[2]),
+		SrcB:   Reg(b[3]),
+		SrcC:   Reg(b[4]),
+		PDst:   PredReg(b[5]),
+		Pred:   PredReg(b[6]),
+		Pred2:  PredReg(b[7]),
+		Target: int(int8(b[8])),
+		Reconv: int(int8(b[9])),
+		Imm:    int64(b[0]) - int64(b[9]),
+	}
+}
+
+// FuzzProgramValidate decodes arbitrary bytes into a Program and checks
+// that Validate either rejects it or accepts a program on which every
+// read-only accessor is safe: Disassemble, String, SrcRegs and Class must
+// not panic on anything Validate lets through.
+func FuzzProgramValidate(f *testing.F) {
+	f.Add([]byte{byte(OpIAdd), 0, 1, 2, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0,
+		byte(OpExit), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0}, uint8(8), uint8(2))
+	f.Add([]byte{byte(OpBra), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0xFF, 1, 1,
+		byte(OpExit), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0}, uint8(4), uint8(1))
+	f.Add([]byte{200, 1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, numRegs, numPreds uint8) {
+		var instrs []Instr
+		for i := 0; i+10 <= len(raw) && len(instrs) < 64; i += 10 {
+			instrs = append(instrs, decodeInstr(raw[i:i+10]))
+		}
+		p := &Program{
+			Name:     "fuzz",
+			Instrs:   instrs,
+			NumRegs:  int(numRegs),
+			NumPreds: int(numPreds),
+		}
+		if err := p.Validate(); err != nil {
+			return // rejected inputs need no further guarantees
+		}
+		// Everything Validate accepts must be safe to inspect.
+		_ = p.Disassemble()
+		_ = p.StaticMemPCs()
+		var buf []Reg
+		for _, in := range p.Instrs {
+			_ = in.String()
+			_ = in.Op.Class()
+			buf = in.SrcRegs(buf[:0])
+			for _, r := range buf {
+				if int(r) >= p.NumRegs {
+					t.Fatalf("SrcRegs returned r%d beyond NumRegs %d on a validated program", r, p.NumRegs)
+				}
+			}
+		}
+	})
+}
+
+// FuzzBuilder drives the Builder with a byte-directed program of emits,
+// conditionals and loops, and checks the builder's contract: every
+// program it accepts must pass Validate, with all labels resolved.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{5, 5, 5, 0, 9, 9, 1})
+	f.Add([]byte{2, 0, 2, 1, 2, 2})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		b := NewBuilder("fuzz")
+		r0 := b.Reg()
+		r1 := b.Reg()
+		p0 := b.Pred()
+		depth := 0
+		for _, op := range script {
+			switch op % 8 {
+			case 0:
+				b.IAdd(r0, r0, r1)
+			case 1:
+				b.FMul(r1, r1, r0)
+			case 2:
+				b.LdG(r0, r1, int64(op), MemF32)
+			case 3:
+				b.StG(r0, int64(op), r1, MemF32)
+			case 4:
+				b.ISetpI(p0, CmpLT, r0, int64(op))
+			case 5:
+				if depth < 3 { // bound nesting so programs stay small
+					depth++
+					b.If(p0, func() { b.IAdd(r0, r0, r1) })
+					depth--
+				}
+			case 6:
+				if depth < 3 {
+					depth++
+					b.ForImm(b.Reg(), 0, int64(op%4), 1, func() { b.FAdd(r1, r1, r0) })
+					depth--
+				}
+			case 7:
+				b.Bar()
+			}
+		}
+		prog, err := b.Build()
+		if err != nil {
+			t.Fatalf("builder rejected a well-formed script: %v", err)
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("builder produced an invalid program: %v", err)
+		}
+		for pc, in := range prog.Instrs {
+			if in.Op == OpBra && (in.Target < 0 || in.Reconv < 0) {
+				t.Fatalf("pc %d: unresolved label: %+v", pc, in)
+			}
+		}
+	})
+}

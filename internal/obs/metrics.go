@@ -1,0 +1,386 @@
+// Package obs is the repository's zero-dependency observability layer: a
+// lock-cheap metrics registry (counters, gauges, histograms with atomic
+// hot paths), a stage tracer emitting nested span records, and an
+// Observer handle that bundles both for threading through the pipeline.
+//
+// Every instrument and span method is nil-safe: calling Add, Observe,
+// Child, SetInt or End on a nil receiver is a no-op that performs no
+// allocation, so instrumented code needs no "is observability on?"
+// branches and pays nothing when it is off. The layer never touches the
+// values it observes — enabling it cannot change any model figure.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer series.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float value supporting set, delta and
+// running-max updates from concurrent writers.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+	max  atomic.Uint64 // float64 bits of the high-water mark
+}
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	g.noteMax(v)
+}
+
+// Add applies a delta with a compare-and-swap loop. No-op on nil.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			g.noteMax(v)
+			return
+		}
+	}
+}
+
+func (g *Gauge) noteMax(v float64) {
+	for {
+		old := g.max.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.max.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Max returns the high-water mark since creation (0 on a nil receiver).
+func (g *Gauge) Max() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.max.Load())
+}
+
+// histBuckets spans base-2 exponential buckets from 2^histMinExp (~1e-9,
+// a nanosecond when observing seconds) to 2^(histMinExp+histBuckets-2)
+// (~8.6e9); values outside the range clamp into the edge buckets.
+const (
+	histBuckets = 64
+	histMinExp  = -30
+)
+
+// Histogram accumulates a distribution in exponential base-2 buckets.
+// Observations are lock-free: bucket counts, the count, the sum and the
+// min/max are all maintained with atomics, so the hot path never blocks.
+type Histogram struct {
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64 // float64 bits, +Inf until first observation
+	maxBits atomic.Uint64 // float64 bits, -Inf until first observation
+	buckets [histBuckets]atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+func bucketIndex(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	idx := math.Ilogb(v) - histMinExp + 1
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// BucketBound returns the inclusive upper bound of bucket i.
+func BucketBound(i int) float64 {
+	if i <= 0 {
+		return math.Ldexp(1, histMinExp)
+	}
+	if i >= histBuckets-1 {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, histMinExp+i)
+}
+
+// Observe records v. NaN observations are dropped; a nil receiver is a
+// no-op.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.count.Add(1)
+	h.buckets[bucketIndex(v)].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Mean returns the mean observation (0 before the first one).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Min returns the smallest observation (0 before the first one).
+func (h *Histogram) Min() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBits.Load())
+}
+
+// Max returns the largest observation (0 before the first one).
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// HistSnapshot is a point-in-time summary of a histogram.
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// Registry holds named instruments. Lookup (Counter, Gauge, Histogram)
+// takes a mutex and should happen at setup points — per pipeline stage,
+// not per work item; the returned instruments are then updated with pure
+// atomics. A nil *Registry hands out nil instruments, whose methods are
+// all no-ops, so "disabled" costs one nil check per update.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter, or nil when the
+// registry is nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge, or nil when the
+// registry is nil.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram, or nil when
+// the registry is nil.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every series in a registry.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// NumSeries returns the number of distinct series in the snapshot.
+func (s Snapshot) NumSeries() int {
+	return len(s.Counters) + len(s.Gauges) + len(s.Histograms)
+}
+
+// Snapshot copies the current value of every series. Safe to call while
+// writers are active; each series is read atomically.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		s.Histograms[n] = HistSnapshot{
+			Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(), Min: h.Min(), Max: h.Max(),
+		}
+	}
+	return s
+}
+
+// WriteText renders a sorted human-readable dump of every series.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	var names []string
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "counter %-36s %d\n", n, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "gauge   %-36s %g\n", n, s.Gauges[n]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		if _, err := fmt.Fprintf(w, "hist    %-36s count=%d sum=%.6g mean=%.6g min=%.6g max=%.6g\n",
+			n, h.Count, h.Sum, h.Mean, h.Min, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,431 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+	var nilC *Counter
+	nilC.Inc()
+	nilC.Add(7)
+	if got := nilC.Value(); got != 0 {
+		t.Fatalf("nil Counter Value = %d, want 0", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(3)
+	g.Add(2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("Value = %g, want 5", got)
+	}
+	g.Add(-4)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("Value = %g, want 1", got)
+	}
+	if got := g.Max(); got != 5 {
+		t.Fatalf("Max = %g, want 5", got)
+	}
+	var nilG *Gauge
+	nilG.Set(9)
+	nilG.Add(1)
+	if nilG.Value() != 0 || nilG.Max() != 0 {
+		t.Fatal("nil Gauge must read 0")
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	var g Gauge
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != workers*per {
+		t.Fatalf("concurrent Add lost updates: %g, want %d", got, workers*per)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := newHistogram()
+	for _, v := range []float64{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 10 {
+		t.Fatalf("Sum = %g, want 10", got)
+	}
+	if got := h.Mean(); got != 2.5 {
+		t.Fatalf("Mean = %g, want 2.5", got)
+	}
+	if h.Min() != 1 || h.Max() != 4 {
+		t.Fatalf("Min/Max = %g/%g, want 1/4", h.Min(), h.Max())
+	}
+	h.Observe(math.NaN())
+	if got := h.Count(); got != 4 {
+		t.Fatalf("NaN was recorded: Count = %d, want 4", got)
+	}
+
+	empty := newHistogram()
+	if empty.Count() != 0 || empty.Sum() != 0 || empty.Mean() != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Fatal("empty histogram must read all zeros")
+	}
+
+	var nilH *Histogram
+	nilH.Observe(1)
+	if nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Fatal("nil Histogram must read 0")
+	}
+}
+
+func TestBucketIndex(t *testing.T) {
+	// Every positive value must land in a bucket whose bound contains it,
+	// and indices must be monotone in the value.
+	prev := -1
+	for exp := -40; exp <= 40; exp++ {
+		v := math.Ldexp(1, exp)
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%g) = %d out of range", v, i)
+		}
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %g: %d < %d", v, i, prev)
+		}
+		prev = i
+		if v > BucketBound(i) {
+			t.Fatalf("value %g above its bucket bound %g (bucket %d)", v, BucketBound(i), i)
+		}
+	}
+	if bucketIndex(0) != 0 || bucketIndex(-5) != 0 {
+		t.Fatal("non-positive values must clamp to bucket 0")
+	}
+	if bucketIndex(math.MaxFloat64) != histBuckets-1 {
+		t.Fatal("huge values must clamp to the last bucket")
+	}
+	if !math.IsInf(BucketBound(histBuckets-1), 1) {
+		t.Fatal("last bucket bound must be +Inf")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("a")
+	c2 := r.Counter("a")
+	if c1 != c2 {
+		t.Fatal("same name must return the same counter")
+	}
+	c1.Add(3)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h").Observe(2)
+
+	s := r.Snapshot()
+	if s.NumSeries() != 3 {
+		t.Fatalf("NumSeries = %d, want 3", s.NumSeries())
+	}
+	if s.Counters["a"] != 3 {
+		t.Fatalf("snapshot counter = %d, want 3", s.Counters["a"])
+	}
+	if s.Gauges["g"] != 1.5 {
+		t.Fatalf("snapshot gauge = %g, want 1.5", s.Gauges["g"])
+	}
+	if hs := s.Histograms["h"]; hs.Count != 1 || hs.Sum != 2 {
+		t.Fatalf("snapshot hist = %+v", hs)
+	}
+
+	var nilR *Registry
+	if nilR.Counter("x") != nil || nilR.Gauge("x") != nil || nilR.Histogram("x") != nil {
+		t.Fatal("nil Registry must hand out nil instruments")
+	}
+	if nilR.Snapshot().NumSeries() != 0 {
+		t.Fatal("nil Registry snapshot must be empty")
+	}
+}
+
+func TestRegistryWriteTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Gauge("depth").Set(4)
+	r.Histogram("lat").Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "counter a.count") || !strings.Contains(text, "counter b.count") {
+		t.Fatalf("missing counters in text dump:\n%s", text)
+	}
+	if strings.Index(text, "a.count") > strings.Index(text, "b.count") {
+		t.Fatalf("counters not sorted:\n%s", text)
+	}
+	if !strings.Contains(text, "gauge   depth") || !strings.Contains(text, "hist    lat") {
+		t.Fatalf("missing gauge/hist in text dump:\n%s", text)
+	}
+
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v", err)
+	}
+	if snap.Counters["b.count"] != 2 {
+		t.Fatalf("JSON round-trip lost counter: %+v", snap)
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("root")
+	root.SetStr("kernel", "k1")
+	root.SetInt("warps", 32)
+	root.SetFloat("cpi", 1.5)
+	child := root.Child("child")
+	grand := child.Child("grand")
+	grand.End()
+	child.End()
+	root.End()
+	root.End() // second End must be ignored
+
+	recs := tr.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d roots, want 1", len(recs))
+	}
+	r := recs[0]
+	if r.Name != "root" || r.InFlight {
+		t.Fatalf("root record = %+v", r)
+	}
+	if len(r.Attrs) != 3 || r.Attrs[0].Value != "k1" || r.Attrs[1].Value != "32" || r.Attrs[2].Value != "1.5" {
+		t.Fatalf("attrs = %+v", r.Attrs)
+	}
+	if len(r.Children) != 1 || r.Children[0].Name != "child" {
+		t.Fatalf("children = %+v", r.Children)
+	}
+	if len(r.Children[0].Children) != 1 || r.Children[0].Children[0].Name != "grand" {
+		t.Fatalf("grandchildren = %+v", r.Children[0].Children)
+	}
+}
+
+func TestSpanInFlight(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartSpan("open")
+	time.Sleep(time.Millisecond)
+	recs := tr.Records()
+	if !recs[0].InFlight {
+		t.Fatal("unended span must report InFlight")
+	}
+	if recs[0].Seconds <= 0 {
+		t.Fatal("in-flight span must report elapsed time so far")
+	}
+	sp.End()
+	if tr.Records()[0].InFlight {
+		t.Fatal("ended span must not report InFlight")
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var sp *Span
+	sp.End()
+	sp.SetStr("k", "v")
+	sp.SetInt("k", 1)
+	sp.SetFloat("k", 1.0)
+	if c := sp.Child("c"); c != nil {
+		t.Fatal("nil span Child must be nil")
+	}
+	if r := sp.Record(); r.Name != "" {
+		t.Fatalf("nil span Record = %+v", r)
+	}
+	var tr *Tracer
+	if tr.StartSpan("x") != nil {
+		t.Fatal("nil tracer StartSpan must be nil")
+	}
+	if tr.Records() != nil {
+		t.Fatal("nil tracer Records must be nil")
+	}
+}
+
+func TestTracerWriteJSONAndTree(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartSpan("estimate")
+	sp.SetStr("kernel", "k")
+	sp.Child("cache-sim").End()
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var recs []SpanRecord
+	if err := json.Unmarshal(buf.Bytes(), &recs); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Children[0].Name != "cache-sim" {
+		t.Fatalf("JSON round-trip = %+v", recs)
+	}
+
+	buf.Reset()
+	if err := tr.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tree := buf.String()
+	if !strings.Contains(tree, "estimate kernel=k") || !strings.Contains(tree, "  cache-sim") {
+		t.Fatalf("tree dump missing content:\n%s", tree)
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr := NewTracer()
+	root := tr.StartSpan("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := root.Child("worker")
+			c.SetInt("i", 1)
+			c.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(tr.Records()[0].Children); got != 16 {
+		t.Fatalf("got %d children, want 16", got)
+	}
+}
+
+func TestObserver(t *testing.T) {
+	if NewObserver(nil, nil) != nil {
+		t.Fatal("NewObserver(nil, nil) must be nil")
+	}
+
+	var nilO *Observer
+	if nilO.StartSpan("x") != nil {
+		t.Fatal("nil observer StartSpan must be nil")
+	}
+	if nilO.WithSpan(nil) != nil {
+		t.Fatal("nil observer WithSpan must stay nil")
+	}
+	if nilO.Counter("c") != nil || nilO.Gauge("g") != nil || nilO.Histogram("h") != nil {
+		t.Fatal("nil observer must hand out nil instruments")
+	}
+	nilO.ObserveSince("h", time.Now()) // must not panic
+
+	r := NewRegistry()
+	tr := NewTracer()
+	o := NewObserver(r, tr)
+	sp := o.StartSpan("root")
+	child := o.WithSpan(sp)
+	child.StartSpan("nested").End()
+	sp.End()
+	recs := tr.Records()
+	if len(recs) != 1 || len(recs[0].Children) != 1 || recs[0].Children[0].Name != "nested" {
+		t.Fatalf("WithSpan did not nest: %+v", recs)
+	}
+	o.Counter("c").Inc()
+	if r.Counter("c").Value() != 1 {
+		t.Fatal("observer counter did not reach the registry")
+	}
+	o.ObserveSince("lat", time.Now().Add(-time.Millisecond))
+	if r.Histogram("lat").Count() != 1 {
+		t.Fatal("ObserveSince did not record")
+	}
+
+	// Metrics-only observer: spans disabled, metrics live.
+	mo := NewObserver(r, nil)
+	if mo == nil || mo.StartSpan("x") != nil {
+		t.Fatal("metrics-only observer must return nil spans")
+	}
+	// Tracer-only observer: ObserveSince must be a no-op, not a panic.
+	to := NewObserver(nil, tr)
+	to.ObserveSince("never", time.Now())
+	if r.Histogram("never").Count() != 0 {
+		t.Fatal("tracer-only observer must not record metrics")
+	}
+}
+
+// The disabled path must not allocate: instrumented hot loops run with nil
+// instruments everywhere when observability is off.
+func TestDisabledPathDoesNotAllocate(t *testing.T) {
+	var nilO *Observer
+	var nilC *Counter
+	var nilH *Histogram
+	var nilS *Span
+	allocs := testing.AllocsPerRun(100, func() {
+		nilC.Inc()
+		nilH.Observe(1.5)
+		nilS.End()
+		sp := nilO.StartSpan("x")
+		sp.SetInt("k", 1)
+		sp.End()
+		nilO.ObserveSince("h", time.Time{})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 1e-6)
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var o *Observer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := o.StartSpan("stage")
+		sp.SetInt("i", int64(i))
+		sp.End()
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import "time"
+
+// Observer bundles a metrics registry and a tracer into one handle the
+// pipeline threads through its layers. A nil *Observer (or nil fields)
+// disables the corresponding half at zero cost: every method is a
+// nil-safe no-op.
+//
+// Spans nest through derived observers: a stage opens a span with
+// StartSpan, then passes o.WithSpan(span) downward so the callee's spans
+// become children. The derivation allocates one small struct and happens
+// only when observability is enabled.
+type Observer struct {
+	Metrics *Registry
+	Tracer  *Tracer
+
+	parent *Span // non-nil: StartSpan creates children of this span
+}
+
+// NewObserver bundles m and t. Returns nil when both are nil, so a fully
+// disabled observer is a nil pointer and costs nothing downstream.
+func NewObserver(m *Registry, t *Tracer) *Observer {
+	if m == nil && t == nil {
+		return nil
+	}
+	return &Observer{Metrics: m, Tracer: t}
+}
+
+// StartSpan opens a span: a child of the observer's parent span when one
+// is set (see WithSpan), a top-level tracer span otherwise. Returns nil
+// when the observer or tracing is disabled.
+func (o *Observer) StartSpan(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	if o.parent != nil {
+		return o.parent.Child(name)
+	}
+	return o.Tracer.StartSpan(name)
+}
+
+// WithSpan returns a derived observer whose StartSpan nests under s.
+// With a nil observer or span it returns the receiver unchanged.
+func (o *Observer) WithSpan(s *Span) *Observer {
+	if o == nil || s == nil {
+		return o
+	}
+	d := *o
+	d.parent = s
+	return &d
+}
+
+// Counter resolves a counter from the metrics registry (nil-safe).
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name)
+}
+
+// Gauge resolves a gauge from the metrics registry (nil-safe).
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name)
+}
+
+// Histogram resolves a histogram from the metrics registry (nil-safe).
+func (o *Observer) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name)
+}
+
+// ObserveSince records the seconds elapsed since start into the named
+// histogram. No-op when the observer or metrics are disabled.
+func (o *Observer) ObserveSince(name string, start time.Time) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.Histogram(name).Observe(time.Since(start).Seconds())
+}

@@ -1,0 +1,112 @@
+// Package obsflag wires the observability layer (internal/obs) into
+// command-line binaries: it registers the shared -metrics, -trace-out and
+// -pprof flags, builds the Observer they imply, installs worker-pool
+// instrumentation, and writes the dumps on exit.
+//
+// It lives outside package obs because it depends on internal/parallel
+// (for SetMetrics) while parallel itself depends on obs; obs must stay a
+// stdlib-only leaf.
+package obsflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof registers the profiling handlers
+	"os"
+
+	"gpumech/internal/obs"
+	"gpumech/internal/parallel"
+)
+
+// Flags holds one binary's parsed observability flags. Zero value is
+// unusable; obtain one from Register.
+type Flags struct {
+	metrics  *bool
+	traceOut *string
+	pprof    *string
+
+	registry *obs.Registry
+	tracer   *obs.Tracer
+}
+
+// Register installs -metrics, -trace-out and -pprof on fs (use
+// flag.CommandLine for a binary's default set).
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		metrics:  fs.Bool("metrics", false, "collect pipeline metrics and dump them to stderr on exit"),
+		traceOut: fs.String("trace-out", "", "write stage spans as JSON to this file and a span tree to stderr"),
+		pprof:    fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)"),
+	}
+}
+
+// Setup acts on the parsed flags: it builds the Observer (nil when neither
+// -metrics nor -trace-out was given), installs worker-pool metrics, and
+// starts the pprof listener. The listener is bound synchronously so an
+// unusable address fails here rather than in a background goroutine.
+func (f *Flags) Setup() (*obs.Observer, error) {
+	if *f.metrics {
+		f.registry = obs.NewRegistry()
+		parallel.SetMetrics(f.registry)
+	}
+	if *f.traceOut != "" {
+		f.tracer = obs.NewTracer()
+	}
+	if *f.pprof != "" {
+		ln, err := net.Listen("tcp", *f.pprof)
+		if err != nil {
+			return nil, fmt.Errorf("obsflag: pprof listener: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil)
+	}
+	return obs.NewObserver(f.registry, f.tracer), nil
+}
+
+// Finish writes the requested dumps: the metrics table to stderr, the span
+// JSON to the -trace-out file, and the human-readable span tree to stderr.
+// Call once, after the pipeline has finished.
+func (f *Flags) Finish() error {
+	if f.registry != nil {
+		fmt.Fprintln(os.Stderr, "-- metrics --")
+		if err := f.registry.WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if f.tracer != nil {
+		out, err := os.Create(*f.traceOut)
+		if err != nil {
+			return fmt.Errorf("obsflag: %w", err)
+		}
+		if err := f.tracer.WriteJSON(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "-- spans --")
+		if err := f.tracer.WriteTree(os.Stderr); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "spans written to %s\n", *f.traceOut)
+	}
+	return nil
+}
+
+// FinishTo is Finish with an explicit sink for the textual dumps (tests).
+func (f *Flags) FinishTo(w io.Writer) error {
+	if f.registry != nil {
+		if err := f.registry.WriteText(w); err != nil {
+			return err
+		}
+	}
+	if f.tracer != nil {
+		if err := f.tracer.WriteTree(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package obsflag
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpumech/internal/parallel"
+)
+
+func TestRegisterSetupFinish(t *testing.T) {
+	defer parallel.SetMetrics(nil)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "spans.json")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-metrics", "-trace-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil || o.Metrics == nil || o.Tracer == nil {
+		t.Fatal("Setup must build a full observer when both flags are set")
+	}
+
+	o.Counter("test.count").Inc()
+	o.StartSpan("stage").End()
+	parallel.ForEach(2, 4, func(int) error { return nil })
+
+	var buf strings.Builder
+	if err := f.FinishTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "test.count") {
+		t.Fatalf("metrics dump missing counter:\n%s", text)
+	}
+	if !strings.Contains(text, "pool.fanouts") {
+		t.Fatalf("pool instrumentation not installed:\n%s", text)
+	}
+	if !strings.Contains(text, "stage") {
+		t.Fatalf("span tree missing:\n%s", text)
+	}
+}
+
+func TestSetupDisabled(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	o, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil {
+		t.Fatal("Setup with no flags must return a nil observer")
+	}
+	if err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinishWritesTraceFile(t *testing.T) {
+	defer parallel.SetMetrics(nil)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "spans.json")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-trace-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.StartSpan("root").End()
+
+	// Finish writes the span tree to stderr; silence it for the test run.
+	olderr := os.Stderr
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = null
+	err = f.Finish()
+	os.Stderr = olderr
+	null.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"root"`) {
+		t.Fatalf("trace file missing span:\n%s", data)
+	}
+}

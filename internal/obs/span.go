@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are stored as
+// strings so serialization is deterministic across types.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed stage of the pipeline. Spans nest: children created
+// with Child record sub-stages, and concurrent children (e.g. warps
+// profiled on the worker pool, or the model chain racing the oracle) may
+// be added and ended from different goroutines. All methods are nil-safe
+// no-ops so disabled tracing costs one nil check.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+func newSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child starts a nested span. Returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End records the span's duration. Extra Ends are ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Span) setAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// SetStr annotates the span with a string attribute.
+func (s *Span) SetStr(key, value string) { s.setAttr(key, value) }
+
+// SetInt annotates the span with an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, strconv.FormatInt(v, 10))
+}
+
+// SetFloat annotates the span with a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, strconv.FormatFloat(v, 'g', 6, 64))
+}
+
+// SpanRecord is the serializable form of a span (and its subtree).
+type SpanRecord struct {
+	Name     string       `json:"name"`
+	Seconds  float64      `json:"seconds"`
+	InFlight bool         `json:"inFlight,omitempty"`
+	Attrs    []Attr       `json:"attrs,omitempty"`
+	Children []SpanRecord `json:"children,omitempty"`
+}
+
+// Record snapshots the span subtree. Spans still in flight report their
+// duration so far and InFlight=true. Returns a zero record on nil.
+func (s *Span) Record() SpanRecord {
+	if s == nil {
+		return SpanRecord{}
+	}
+	s.mu.Lock()
+	r := SpanRecord{Name: s.name, Seconds: s.dur.Seconds(), InFlight: !s.ended}
+	if !s.ended {
+		r.Seconds = time.Since(s.start).Seconds()
+	}
+	r.Attrs = append(r.Attrs, s.attrs...)
+	kids := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range kids {
+		r.Children = append(r.Children, c.Record())
+	}
+	return r
+}
+
+// Tracer collects top-level spans. A nil *Tracer hands out nil spans.
+type Tracer struct {
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// StartSpan opens a new top-level span. Returns nil on a nil receiver.
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := newSpan(name)
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Records snapshots every top-level span tree in start order.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(roots))
+	for _, s := range roots {
+		out = append(out, s.Record())
+	}
+	return out
+}
+
+// WriteJSON serializes every span tree as an indented JSON array.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Records())
+}
+
+// WriteTree renders the span trees as a human-readable indented tree,
+// one line per span: name, attributes, duration.
+func (t *Tracer) WriteTree(w io.Writer) error {
+	for _, r := range t.Records() {
+		if err := writeTreeNode(w, r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeTreeNode(w io.Writer, r SpanRecord, depth int) error {
+	indent := ""
+	for i := 0; i < depth; i++ {
+		indent += "  "
+	}
+	line := indent + r.Name
+	for _, a := range r.Attrs {
+		line += " " + a.Key + "=" + a.Value
+	}
+	line += fmt.Sprintf("  %.3fms", r.Seconds*1e3)
+	if r.InFlight {
+		line += " (in flight)"
+	}
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		return err
+	}
+	for _, c := range r.Children {
+		if err := writeTreeNode(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

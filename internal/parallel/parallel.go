@@ -26,11 +26,50 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"gpumech/internal/obs"
 )
 
 // EnvWorkers is the environment variable that overrides the default
 // worker count (any integer >= 1; invalid values are ignored).
 const EnvWorkers = "GPUMECH_WORKERS"
+
+// poolMetrics holds the pre-resolved instruments the pool updates. The
+// instruments are resolved once in SetMetrics so the fan-out hot path
+// never touches the registry's map or mutex.
+type poolMetrics struct {
+	fanouts *obs.Counter   // ForEach fan-outs started
+	items   *obs.Counter   // work items completed
+	queue   *obs.Gauge     // items submitted but not yet claimed
+	active  *obs.Gauge     // workers currently running an item
+	workers *obs.Histogram // worker count per fan-out
+	util    *obs.Histogram // busy-time / (wall-time * workers) per fan-out
+}
+
+// pm is the installed pool instrumentation; nil when disabled. A single
+// atomic load gates every fan-out, so the disabled path adds no
+// allocations and no locking.
+var pm atomic.Pointer[poolMetrics]
+
+// SetMetrics installs (or, with nil, removes) pool instrumentation on the
+// given registry. The pool records fan-out counts, completed items, queue
+// depth, active workers, workers per fan-out, and per-fan-out utilization.
+// Instrumentation never changes scheduling or results; it only counts.
+func SetMetrics(r *obs.Registry) {
+	if r == nil {
+		pm.Store(nil)
+		return
+	}
+	pm.Store(&poolMetrics{
+		fanouts: r.Counter("pool.fanouts"),
+		items:   r.Counter("pool.items"),
+		queue:   r.Gauge("pool.queue_depth"),
+		active:  r.Gauge("pool.active_workers"),
+		workers: r.Histogram("pool.workers_per_fanout"),
+		util:    r.Histogram("pool.utilization"),
+	})
+}
 
 // Workers resolves a worker count: an explicit positive value wins, then
 // a positive GPUMECH_WORKERS, then GOMAXPROCS. The result is always >= 1.
@@ -63,10 +102,18 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	m := pm.Load()
 	if workers <= 1 {
+		if m != nil {
+			m.fanouts.Inc()
+			m.workers.Observe(1)
+		}
 		for i := 0; i < n; i++ {
 			if err := fn(i); err != nil {
 				return err
+			}
+			if m != nil {
+				m.items.Inc()
 			}
 		}
 		return nil
@@ -78,7 +125,17 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		mu      sync.Mutex
 		errIdx  = n
 		firstEr error
+
+		claimed   atomic.Int64 // instrumented path only
+		busyNanos atomic.Int64
+		fanStart  time.Time
 	)
+	if m != nil {
+		m.fanouts.Inc()
+		m.workers.Observe(float64(workers))
+		m.queue.Add(float64(n))
+		fanStart = time.Now()
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -88,7 +145,20 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n || stopped.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				var err error
+				if m != nil {
+					claimed.Add(1)
+					m.queue.Add(-1)
+					m.active.Add(1)
+					start := time.Now()
+					err = fn(i)
+					busyNanos.Add(time.Since(start).Nanoseconds())
+					m.active.Add(-1)
+					m.items.Inc()
+				} else {
+					err = fn(i)
+				}
+				if err != nil {
 					mu.Lock()
 					if i < errIdx {
 						errIdx, firstEr = i, err
@@ -101,6 +171,13 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if m != nil {
+		// Items never claimed (early stop after an error) leave the queue.
+		m.queue.Add(-float64(int64(n) - claimed.Load()))
+		if wall := time.Since(fanStart).Seconds(); wall > 0 {
+			m.util.Observe(float64(busyNanos.Load()) / 1e9 / (wall * float64(workers)))
+		}
+	}
 	return firstEr
 }
 
@@ -136,6 +213,13 @@ func (g *Group) Go(fn func() error) {
 		defer func() { <-g.sem }()
 		if g.stop.Load() {
 			return
+		}
+		if m := pm.Load(); m != nil {
+			m.active.Add(1)
+			defer func() {
+				m.active.Add(-1)
+				m.items.Inc()
+			}()
 		}
 		if err := fn(); err != nil {
 			g.mu.Lock()

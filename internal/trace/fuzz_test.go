@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"gpumech/internal/isa"
+)
+
+// fuzzKernel builds a small but fully valid kernel trace for seeding.
+func fuzzKernel() *Kernel {
+	b := isa.NewBuilder("fuzz-seed")
+	r0, r1 := b.Reg(), b.Reg()
+	b.IAdd(r0, r0, r1)
+	b.LdG(r1, r0, 0, isa.MemF32)
+	prog := b.MustBuild()
+
+	k := &Kernel{
+		Name:          "fuzz-seed",
+		Prog:          prog,
+		Blocks:        1,
+		WarpsPerBlock: 2,
+		LineBytes:     128,
+	}
+	for w := 0; w < 2; w++ {
+		wt := &WarpTrace{BlockID: 0, WarpID: w}
+		wt.Recs = append(wt.Recs,
+			Rec{PC: 0, Op: isa.OpIAdd, Dst: r0, Srcs: [4]isa.Reg{r0, r1, isa.RegNone, isa.RegNone}, NumSrcs: 2, Mask: 0xFFFFFFFF},
+			Rec{PC: 1, Op: isa.OpLdG, Dst: r1, Srcs: [4]isa.Reg{r0, isa.RegNone, isa.RegNone, isa.RegNone}, NumSrcs: 1,
+				Mask: 0xFFFFFFFF, Lines: []uint64{0, 128}},
+		)
+		k.Warps = append(k.Warps, wt)
+	}
+	return k
+}
+
+// FuzzReadKernel feeds arbitrary bytes to the trace deserializer. The
+// contract: ReadKernel either returns an error or a kernel that passes
+// Validate and round-trips through Encode byte-faithfully — it must never
+// panic, whatever the input stream contains.
+func FuzzReadKernel(f *testing.F) {
+	var buf bytes.Buffer
+	if err := fuzzKernel().Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])    // truncated stream
+	f.Add([]byte{0x1f, 0x8b})      // bare gzip magic
+	f.Add([]byte("not gzip data")) // wrong container
+	f.Add(bytes.Repeat(valid, 2))  // trailing garbage after a valid stream
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, err := ReadKernel(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is always acceptable
+		}
+		// Anything accepted must satisfy the trace invariants...
+		if verr := k.Validate(); verr != nil {
+			t.Fatalf("ReadKernel returned an invalid kernel: %v", verr)
+		}
+		if k.TotalInsts() < 0 {
+			t.Fatalf("negative instruction count %d", k.TotalInsts())
+		}
+		// ...and survive a round trip unchanged.
+		var out bytes.Buffer
+		if err := k.Encode(&out); err != nil {
+			t.Fatalf("re-encoding an accepted kernel failed: %v", err)
+		}
+		k2, err := ReadKernel(&out)
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded kernel failed: %v", err)
+		}
+		if !reflect.DeepEqual(k, k2) {
+			t.Fatal("kernel changed across an encode/decode round trip")
+		}
+	})
+}
+
+// TestFuzzSeedRoundTrip pins the seed kernel's round trip outside the
+// fuzzer so the property is exercised on every plain `go test` run.
+func TestFuzzSeedRoundTrip(t *testing.T) {
+	k := fuzzKernel()
+	var buf bytes.Buffer
+	if err := k.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadKernel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(k, got) {
+		t.Fatal("round trip changed the kernel")
+	}
+}
