@@ -9,13 +9,13 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"gpumech"
 	"gpumech/internal/obs/obsflag"
+	"gpumech/internal/runjson"
 )
 
 func main() {
@@ -51,21 +51,13 @@ func main() {
 	if *bw > 0 {
 		cfg = cfg.WithBandwidth(*bw)
 	}
-	pol := gpumech.RR
-	if *policy == "gto" {
-		pol = gpumech.GTO
-	} else if *policy != "rr" {
-		fail(fmt.Errorf("unknown policy %q (want rr or gto)", *policy))
+	pol, err := gpumech.ParsePolicy(*policy)
+	if err != nil {
+		fail(err)
 	}
-	lvl := gpumech.MTMSHRBand
-	switch *level {
-	case "mt":
-		lvl = gpumech.MT
-	case "mshr":
-		lvl = gpumech.MTMSHR
-	case "full":
-	default:
-		fail(fmt.Errorf("unknown level %q (want mt, mshr, full)", *level))
+	lvl, err := gpumech.ParseLevel(*level)
+	if err != nil {
+		fail(err)
 	}
 
 	opts := []gpumech.Option{gpumech.WithObserver(observer)}
@@ -88,33 +80,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		out := map[string]any{
-			"kernel":       sess.Kernel(),
-			"blocks":       sess.Blocks(),
-			"warps":        sess.Warps(),
-			"instructions": sess.TotalInsts(),
-			"policy":       pol.String(),
-			"level":        lvl.String(),
-			"model": map[string]any{
-				"cpi":            est.CPI,
-				"ipc":            est.IPC,
-				"multithreading": est.MultithreadingCPI,
-				"contention":     est.ContentionCPI,
-				"repWarp":        est.RepWarp,
-				"stack":          est.Stack,
-			},
-		}
-		if orc != nil {
-			out["oracle"] = map[string]any{
-				"cpi":    orc.CPI,
-				"cycles": orc.Cycles,
-				"stalls": orc.StallBreakdown,
-			}
-			out["relativeError"] = gpumech.RelativeError(est.CPI, orc.CPI)
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := runjson.Encode(os.Stdout, runjson.Result(sess, pol, lvl, est, orc)); err != nil {
 			fail(err)
 		}
 		return

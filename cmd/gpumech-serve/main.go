@@ -1,0 +1,108 @@
+// Command gpumech-serve runs the GPUMech model as a long-lived HTTP
+// daemon: POST /v1/evaluate answers with the same JSON document as
+// `gpumech-run -json` (byte-identical for the same parameters), GET
+// /v1/kernels lists the bundled kernels, and GET /metrics exposes the
+// pipeline's observability registry — plus live Go-runtime telemetry —
+// in Prometheus text exposition format. /healthz and /readyz serve
+// liveness and readiness; SIGINT/SIGTERM trigger a graceful drain.
+//
+// Usage:
+//
+//	gpumech-serve -addr 127.0.0.1:8080 -max-inflight 64 -timeout 30s
+//
+// The shared observability flags still apply: -metrics dumps the final
+// registry to stderr on exit, -metrics-out archives it as JSON,
+// -trace-out records per-request span trees (diagnostic runs only — the
+// tracer grows for its lifetime), -pprof serves live profiles.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpumech/internal/obs/obsflag"
+	"gpumech/internal/obs/runtimecollector"
+	"gpumech/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "worker goroutines per evaluation (0 = GPUMECH_WORKERS, then GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 64, "concurrent evaluations before shedding load with 429")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation timeout")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown grace period for in-flight requests")
+	ob := obsflag.Register(flag.CommandLine)
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	// The /metrics endpoint always needs a registry, whatever the
+	// -metrics flag says; the exit-time dumps still honour the flags.
+	ob.RequireMetrics()
+	observer, err := ob.Setup()
+	if err != nil {
+		fail(err)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		MaxInFlight:    *maxInflight,
+		RequestTimeout: *timeout,
+		Logger:         logger,
+		Metrics:        observer.Metrics,
+		Tracer:         observer.Tracer,
+		Runtime:        runtimecollector.New(observer.Metrics),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	// The plain stdout line is the script-friendly address handshake
+	// (with -addr ending in :0 the kernel picks the port); the slog
+	// record is for log pipelines.
+	fmt.Printf("gpumech-serve: listening on %s\n", ln.Addr())
+	logger.Info("listening", slog.String("addr", ln.Addr().String()))
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills hard
+		srv.BeginDrain()
+		logger.Info("draining", slog.Duration("grace", *drainTimeout))
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			logger.Error("shutdown", slog.String("error", err.Error()))
+		}
+	case err := <-errCh:
+		fail(err)
+	}
+
+	if err := ob.Finish(); err != nil {
+		fail(err)
+	}
+	logger.Info("stopped")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gpumech-serve:", err)
+	os.Exit(1)
+}

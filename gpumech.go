@@ -60,6 +60,34 @@ const (
 	GTO = config.GTO
 )
 
+// ParsePolicy maps the user-facing policy names ("rr", "gto") onto a
+// Policy — the shared validation for the -policy flag and the serve
+// API's "policy" field.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "rr":
+		return RR, nil
+	case "gto":
+		return GTO, nil
+	}
+	return RR, fmt.Errorf("unknown policy %q (want rr or gto)", s)
+}
+
+// ParseLevel maps the user-facing model-level names ("mt", "mshr",
+// "full") onto a Level — the shared validation for the -level flag and
+// the serve API's "level" field.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "mt":
+		return MT, nil
+	case "mshr":
+		return MTMSHR, nil
+	case "full":
+		return MTMSHRBand, nil
+	}
+	return MTMSHRBand, fmt.Errorf("unknown level %q (want mt, mshr, full)", s)
+}
+
 // Level selects how much of GPUMech is applied (Table II).
 type Level = model.Level
 
@@ -162,8 +190,15 @@ type Session struct {
 	workers int
 	obs     *obs.Observer
 
-	// cache profiles are memoized per configuration key; each entry is
-	// simulated once (sync.Once) and shared by every waiter.
+	// memo is shared by every view of this session (see Observing): the
+	// trace is simulated per configuration at most once process-wide no
+	// matter which view asked first.
+	memo *profileMemo
+}
+
+// profileMemo memoizes cache profiles per configuration key; each entry
+// is simulated once (sync.Once) and shared by every waiter.
+type profileMemo struct {
 	mu       sync.Mutex
 	profiles map[cache.ProfileKey]*profileOnce
 }
@@ -172,6 +207,19 @@ type profileOnce struct {
 	once sync.Once
 	p    *cache.Profile
 	err  error
+}
+
+// Observing returns a view of s that reports to o instead of the
+// observer the session was created with, while sharing the trace and the
+// cache-profile memo. A serving layer uses it to nest one request's
+// evaluation spans under that request's span (via Observer.WithSpan)
+// without re-tracing the kernel or abandoning memoized profiles; the
+// receiver is not modified and both views remain safe for concurrent
+// use. Observing(nil) returns an uninstrumented view.
+func (s *Session) Observing(o *Observer) *Session {
+	d := *s
+	d.obs = o
+	return &d
 }
 
 // DefaultBlocks returns the grid size NewSession uses for a kernel with
@@ -217,11 +265,11 @@ func NewSession(kernel string, opts ...Option) (*Session, error) {
 		o.obs.Counter("trace.instructions").Add(tr.TotalInsts())
 	}
 	return &Session{
-		info:     info,
-		trace:    tr,
-		workers:  o.workers,
-		obs:      o.obs,
-		profiles: make(map[cache.ProfileKey]*profileOnce),
+		info:    info,
+		trace:   tr,
+		workers: o.workers,
+		obs:     o.obs,
+		memo:    &profileMemo{profiles: make(map[cache.ProfileKey]*profileOnce)},
 	}, nil
 }
 
@@ -250,13 +298,13 @@ func (s *Session) cacheProfile(cfg Config, o *obs.Observer) (*cache.Profile, err
 		return nil, err
 	}
 	key := cache.KeyFor(cfg)
-	s.mu.Lock()
-	ent := s.profiles[key]
+	s.memo.mu.Lock()
+	ent := s.memo.profiles[key]
 	if ent == nil {
 		ent = &profileOnce{}
-		s.profiles[key] = ent
+		s.memo.profiles[key] = ent
 	}
-	s.mu.Unlock()
+	s.memo.mu.Unlock()
 	simulated := false
 	ent.once.Do(func() {
 		simulated = true

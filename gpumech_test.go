@@ -3,6 +3,8 @@ package gpumech
 import (
 	"strings"
 	"testing"
+
+	"gpumech/internal/obs"
 )
 
 func TestKernelRegistryComplete(t *testing.T) {
@@ -242,5 +244,61 @@ func TestModelTracksOracleAcrossAllKernels(t *testing.T) {
 	t.Logf("mean error across %d kernels: %.1f%%", len(errs), mean*100)
 	if mean > 0.25 {
 		t.Errorf("mean error %.1f%% exceeds the 25%% aggregate band (paper headline: 13.2%%)", mean*100)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	if p, err := ParsePolicy("rr"); err != nil || p != RR {
+		t.Fatalf("ParsePolicy(rr) = %v, %v", p, err)
+	}
+	if p, err := ParsePolicy("gto"); err != nil || p != GTO {
+		t.Fatalf("ParsePolicy(gto) = %v, %v", p, err)
+	}
+	if _, err := ParsePolicy("fifo"); err == nil {
+		t.Fatal("ParsePolicy must reject unknown policies")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"mt": MT, "mshr": MTMSHR, "full": MTMSHRBand,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("turbo"); err == nil {
+		t.Fatal("ParseLevel must reject unknown levels")
+	}
+}
+
+// TestObservingSharesMemo proves an Observing view reuses the base
+// session's cache-profile memo (no re-simulation) while reporting to its
+// own observer, and that the view's estimates are identical.
+func TestObservingSharesMemo(t *testing.T) {
+	base, err := NewSession("sdk_vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	want, err := base.Estimate(cfg, RR)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewObserver(obs.NewRegistry(), nil)
+	view := base.Observing(reg)
+	got, err := view.Estimate(cfg, RR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *want {
+		t.Fatalf("Observing view estimate differs:\n got %+v\nwant %+v", got, want)
+	}
+	s := reg.Metrics.Snapshot()
+	if s.Counters["cache.profile.memo_hits"] != 1 || s.Counters["cache.profile.memo_misses"] != 0 {
+		t.Fatalf("view must hit the shared memo, got hits=%d misses=%d",
+			s.Counters["cache.profile.memo_hits"], s.Counters["cache.profile.memo_misses"])
 	}
 }

@@ -111,6 +111,13 @@ const (
 	histMinExp  = -30
 )
 
+// NumBuckets is the number of buckets every Histogram carries. Bucket i
+// covers observations up to and including BucketBound(i); the last bucket
+// is unbounded (BucketBound(NumBuckets-1) is +Inf). Exporters that need
+// the full distribution — internal/obs/promtext renders it in Prometheus
+// text exposition format — iterate i in [0, NumBuckets).
+const NumBuckets = histBuckets
+
 // Histogram accumulates a distribution in exponential base-2 buckets.
 // Observations are lock-free: bucket counts, the count, the sum and the
 // min/max are all maintained with atomics, so the hot path never blocks.
@@ -224,12 +231,23 @@ func (h *Histogram) Max() float64 {
 }
 
 // HistSnapshot is a point-in-time summary of a histogram.
+//
+// Buckets holds the raw (non-cumulative) per-bucket counts, indexed like
+// BucketBound: Buckets[i] observations fell in (BucketBound(i-1),
+// BucketBound(i)]. It is excluded from JSON output — the summary fields
+// are what batch archives want — but exporters (promtext) read it to
+// reconstruct the full distribution. Under concurrent writers the bucket
+// total may momentarily trail Count by in-flight observations; exporters
+// that need internal consistency should derive their count from the
+// bucket total.
 type HistSnapshot struct {
 	Count int64   `json:"count"`
 	Sum   float64 `json:"sum"`
 	Mean  float64 `json:"mean"`
 	Min   float64 `json:"min"`
 	Max   float64 `json:"max"`
+
+	Buckets []int64 `json:"-"`
 }
 
 // Registry holds named instruments. Lookup (Counter, Gauge, Histogram)
@@ -333,8 +351,13 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[n] = g.Value()
 	}
 	for n, h := range r.hists {
+		buckets := make([]int64, histBuckets)
+		for i := range buckets {
+			buckets[i] = h.buckets[i].Load()
+		}
 		s.Histograms[n] = HistSnapshot{
 			Count: h.Count(), Sum: h.Sum(), Mean: h.Mean(), Min: h.Min(), Max: h.Max(),
+			Buckets: buckets,
 		}
 	}
 	return s

@@ -429,3 +429,49 @@ func BenchmarkSpanDisabled(b *testing.B) {
 		sp.End()
 	}
 }
+
+func TestSnapshotBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	vals := []float64{1e-9, 0.001, 0.001, 1.5, 1e12}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	s := r.Snapshot()
+	hs := s.Histograms["lat"]
+	if len(hs.Buckets) != NumBuckets {
+		t.Fatalf("got %d buckets, want %d", len(hs.Buckets), NumBuckets)
+	}
+	var total int64
+	for _, c := range hs.Buckets {
+		if c < 0 {
+			t.Fatalf("negative bucket count %d", c)
+		}
+		total += c
+	}
+	if total != int64(len(vals)) || total != hs.Count {
+		t.Fatalf("bucket total %d, count %d, want %d", total, hs.Count, len(vals))
+	}
+	// Each observation must land in the bucket whose bound covers it.
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if hs.Buckets[idx] == 0 {
+			t.Fatalf("value %g not counted in bucket %d", v, idx)
+		}
+		if v > BucketBound(idx) {
+			t.Fatalf("value %g exceeds its bucket bound %g", v, BucketBound(idx))
+		}
+	}
+}
+
+func TestBucketBoundMonotone(t *testing.T) {
+	for i := 1; i < NumBuckets; i++ {
+		if !(BucketBound(i) > BucketBound(i-1)) {
+			t.Fatalf("BucketBound(%d)=%g not above BucketBound(%d)=%g",
+				i, BucketBound(i), i-1, BucketBound(i-1))
+		}
+	}
+	if !math.IsInf(BucketBound(NumBuckets-1), 1) {
+		t.Fatalf("last bucket bound %g, want +Inf", BucketBound(NumBuckets-1))
+	}
+}

@@ -1,7 +1,7 @@
 // Package obsflag wires the observability layer (internal/obs) into
-// command-line binaries: it registers the shared -metrics, -trace-out and
-// -pprof flags, builds the Observer they imply, installs worker-pool
-// instrumentation, and writes the dumps on exit.
+// command-line binaries: it registers the shared -metrics, -metrics-out,
+// -trace-out and -pprof flags, builds the Observer they imply, installs
+// worker-pool instrumentation, and writes the dumps on exit.
 //
 // It lives outside package obs because it depends on internal/parallel
 // (for SetMetrics) while parallel itself depends on obs; obs must stay a
@@ -9,6 +9,7 @@
 package obsflag
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,30 +25,48 @@ import (
 // Flags holds one binary's parsed observability flags. Zero value is
 // unusable; obtain one from Register.
 type Flags struct {
-	metrics  *bool
-	traceOut *string
-	pprof    *string
+	metrics    *bool
+	metricsOut *string
+	traceOut   *string
+	pprof      *string
+
+	forceMetrics bool
 
 	registry *obs.Registry
 	tracer   *obs.Tracer
+	pprofLn  net.Listener
 }
 
-// Register installs -metrics, -trace-out and -pprof on fs (use
-// flag.CommandLine for a binary's default set).
+// Register installs -metrics, -metrics-out, -trace-out and -pprof on fs
+// (use flag.CommandLine for a binary's default set).
 func Register(fs *flag.FlagSet) *Flags {
 	return &Flags{
-		metrics:  fs.Bool("metrics", false, "collect pipeline metrics and dump them to stderr on exit"),
-		traceOut: fs.String("trace-out", "", "write stage spans as JSON to this file and a span tree to stderr"),
-		pprof:    fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)"),
+		metrics:    fs.Bool("metrics", false, "collect pipeline metrics and dump them to stderr on exit"),
+		metricsOut: fs.String("metrics-out", "", "collect pipeline metrics and write them as JSON to this file on exit"),
+		traceOut:   fs.String("trace-out", "", "write stage spans as JSON to this file and a span tree to stderr"),
+		pprof:      fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)"),
 	}
 }
 
-// Setup acts on the parsed flags: it builds the Observer (nil when neither
-// -metrics nor -trace-out was given), installs worker-pool metrics, and
-// starts the pprof listener. The listener is bound synchronously so an
-// unusable address fails here rather than in a background goroutine.
+// RequireMetrics forces Setup to build a metrics registry (and install
+// worker-pool instrumentation) even when neither -metrics nor
+// -metrics-out was given. gpumech-serve calls it before Setup: a daemon's
+// /metrics endpoint always needs a registry, while the exit-time stderr
+// dump still honours the -metrics flag.
+func (f *Flags) RequireMetrics() { f.forceMetrics = true }
+
+// Registry returns the metrics registry Setup built (nil when metrics
+// collection is disabled).
+func (f *Flags) Registry() *obs.Registry { return f.registry }
+
+// Setup acts on the parsed flags: it builds the Observer (nil when no
+// collection was requested), installs worker-pool metrics, and starts the
+// pprof listener. The listener is bound synchronously so an unusable
+// address fails here rather than in a background goroutine; serve errors
+// from the background goroutine are logged to stderr, and Finish closes
+// the listener.
 func (f *Flags) Setup() (*obs.Observer, error) {
-	if *f.metrics {
+	if *f.metrics || *f.metricsOut != "" || f.forceMetrics {
 		f.registry = obs.NewRegistry()
 		parallel.SetMetrics(f.registry)
 	}
@@ -59,54 +78,76 @@ func (f *Flags) Setup() (*obs.Observer, error) {
 		if err != nil {
 			return nil, fmt.Errorf("obsflag: pprof listener: %w", err)
 		}
+		f.pprofLn = ln
 		fmt.Fprintf(os.Stderr, "pprof: http://%s/debug/pprof/\n", ln.Addr())
-		go http.Serve(ln, nil)
+		go func() {
+			err := http.Serve(ln, nil)
+			// Finish closing the listener surfaces as ErrClosed: the
+			// normal shutdown path, not worth a log line.
+			if err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(os.Stderr, "obsflag: pprof serve: %v\n", err)
+			}
+		}()
 	}
 	return obs.NewObserver(f.registry, f.tracer), nil
 }
 
-// Finish writes the requested dumps: the metrics table to stderr, the span
-// JSON to the -trace-out file, and the human-readable span tree to stderr.
-// Call once, after the pipeline has finished.
+// Finish writes the requested dumps to stderr (see FinishTo) and shuts
+// down the pprof listener. Call once, after the pipeline has finished.
 func (f *Flags) Finish() error {
-	if f.registry != nil {
-		fmt.Fprintln(os.Stderr, "-- metrics --")
-		if err := f.registry.WriteText(os.Stderr); err != nil {
-			return err
-		}
-	}
-	if f.tracer != nil {
-		out, err := os.Create(*f.traceOut)
-		if err != nil {
-			return fmt.Errorf("obsflag: %w", err)
-		}
-		if err := f.tracer.WriteJSON(out); err != nil {
-			out.Close()
-			return err
-		}
-		if err := out.Close(); err != nil {
-			return err
-		}
-		fmt.Fprintln(os.Stderr, "-- spans --")
-		if err := f.tracer.WriteTree(os.Stderr); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "spans written to %s\n", *f.traceOut)
-	}
-	return nil
+	return f.FinishTo(os.Stderr)
 }
 
-// FinishTo is Finish with an explicit sink for the textual dumps (tests).
+// FinishTo is the full exit path with an explicit sink for the textual
+// dumps: the "-- metrics --" table (with -metrics), the metrics JSON
+// archive (to the -metrics-out file), the span JSON (to the -trace-out
+// file) followed by the "-- spans --" tree and the spans-written note,
+// and closing the -pprof listener. Finish is exactly FinishTo(os.Stderr),
+// so tests exercising FinishTo see the real output byte for byte.
 func (f *Flags) FinishTo(w io.Writer) error {
-	if f.registry != nil {
+	if f.pprofLn != nil {
+		if err := f.pprofLn.Close(); err != nil {
+			return fmt.Errorf("obsflag: closing pprof listener: %w", err)
+		}
+		f.pprofLn = nil
+	}
+	if f.registry != nil && *f.metrics {
+		fmt.Fprintln(w, "-- metrics --")
 		if err := f.registry.WriteText(w); err != nil {
 			return err
 		}
 	}
+	if f.registry != nil && *f.metricsOut != "" {
+		if err := writeFile(*f.metricsOut, f.registry.WriteJSON); err != nil {
+			return err
+		}
+	}
 	if f.tracer != nil {
+		if err := writeFile(*f.traceOut, f.tracer.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "-- spans --")
 		if err := f.tracer.WriteTree(w); err != nil {
 			return err
 		}
+		fmt.Fprintf(w, "spans written to %s\n", *f.traceOut)
+	}
+	return nil
+}
+
+// writeFile creates path and streams one dump into it, reporting create,
+// write and close errors alike.
+func writeFile(path string, dump func(io.Writer) error) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obsflag: %w", err)
+	}
+	if err := dump(out); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return fmt.Errorf("obsflag: %w", err)
 	}
 	return nil
 }

@@ -1,11 +1,16 @@
 package obsflag
 
 import (
+	"encoding/json"
 	"flag"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"gpumech/internal/parallel"
 )
@@ -101,5 +106,165 @@ func TestFinishWritesTraceFile(t *testing.T) {
 	}
 	if !strings.Contains(string(data), `"root"`) {
 		t.Fatalf("trace file missing span:\n%s", data)
+	}
+}
+
+// captureStderr runs fn with os.Stderr redirected to a pipe and returns
+// what fn wrote there.
+func captureStderr(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	olderr := os.Stderr
+	os.Stderr = w
+	ferr := fn()
+	os.Stderr = olderr
+	w.Close()
+	data, rerr := io.ReadAll(r)
+	r.Close()
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	return string(data)
+}
+
+// TestFinishMatchesFinishTo pins the satellite contract: Finish is
+// FinishTo(os.Stderr), headers and all, so the tested path is the real
+// output path byte for byte.
+func TestFinishMatchesFinishTo(t *testing.T) {
+	defer parallel.SetMetrics(nil)
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-metrics", "-trace-out", filepath.Join(dir, "spans.json")}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Counter("x.count").Inc()
+	o.StartSpan("root").End()
+
+	var want strings.Builder
+	if err := f.FinishTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	got := captureStderr(t, f.Finish)
+	if got != want.String() {
+		t.Fatalf("Finish and FinishTo diverge:\n--- Finish ---\n%s--- FinishTo ---\n%s", got, want.String())
+	}
+	for _, header := range []string{"-- metrics --", "-- spans --", "spans written to "} {
+		if !strings.Contains(got, header) {
+			t.Fatalf("Finish output missing %q:\n%s", header, got)
+		}
+	}
+}
+
+func TestMetricsOutWritesJSON(t *testing.T) {
+	defer parallel.SetMetrics(nil)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "metrics.json")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-metrics-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil || o.Metrics == nil {
+		t.Fatal("-metrics-out alone must still build a registry")
+	}
+	o.Counter("archived.count").Add(5)
+
+	var buf strings.Builder
+	if err := f.FinishTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// -metrics was not given: no stderr table, only the JSON archive.
+	if strings.Contains(buf.String(), "-- metrics --") {
+		t.Fatalf("text dump written without -metrics:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics archive is not JSON: %v\n%s", err, data)
+	}
+	if snap.Counters["archived.count"] != 5 {
+		t.Fatalf("archive missing counter: %s", data)
+	}
+}
+
+func TestRequireMetrics(t *testing.T) {
+	defer parallel.SetMetrics(nil)
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	f.RequireMetrics()
+	o, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil || o.Metrics == nil || f.Registry() == nil {
+		t.Fatal("RequireMetrics must force a registry with no flags set")
+	}
+	// No flags were given, so the exit path must stay silent.
+	var buf strings.Builder
+	if err := f.FinishTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("FinishTo wrote output with no dump flags:\n%s", buf.String())
+	}
+}
+
+// TestPprofListenerLifecycle pins the satellite fix: Setup retains the
+// pprof listener, it serves until Finish, and Finish closes it.
+func TestPprofListenerLifecycle(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	_ = captureStderr(t, func() error {
+		_, err := f.Setup()
+		return err
+	})
+	if f.pprofLn == nil {
+		t.Fatal("Setup must retain the pprof listener")
+	}
+	addr := f.pprofLn.Addr().String()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof not served while running: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
+
+	var buf strings.Builder
+	if err := f.FinishTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if f.pprofLn != nil {
+		t.Fatal("FinishTo must drop the closed listener")
+	}
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Fatal("pprof listener still accepting after Finish")
 	}
 }

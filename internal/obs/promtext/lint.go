@@ -1,0 +1,232 @@
+package promtext
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates data against the exposition-format rules this package
+// promises, line by line:
+//
+//   - every line is a # HELP comment, a # TYPE comment, a sample, or
+//     blank;
+//   - metric and family names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+//   - each family has exactly one # TYPE line (and at most one # HELP),
+//     appearing before its samples;
+//   - every sample value parses as a float;
+//   - for each histogram family: every _bucket carries a parseable `le`
+//     label, cumulative bucket values are monotonically non-decreasing in
+//     increasing `le` order, the family has an le="+Inf" bucket, and that
+//     bucket equals the family's _count sample.
+//
+// It exists so the conformance rules live next to the writer and both the
+// package tests and the serve handler tests check the same contract.
+func Lint(data []byte) error {
+	type hist struct {
+		les    []float64
+		counts []float64
+		count  float64
+		hasCnt bool
+		hasSum bool
+	}
+	typed := map[string]string{} // family -> declared type
+	helped := map[string]bool{}  // family -> saw # HELP
+	sampled := map[string]bool{} // family (or bare metric) with samples
+	hists := map[string]*hist{}  // histogram family accumulation
+
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if !validName(name) {
+				return fmt.Errorf("line %d: invalid family name %q", lineNo, name)
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				if _, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: second # TYPE for family %q", lineNo, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("line %d: # TYPE for %q after its samples", lineNo, name)
+				}
+				typed[name] = fields[3]
+			case "HELP":
+				if helped[name] {
+					return fmt.Errorf("line %d: second # HELP for family %q", lineNo, name)
+				}
+				helped[name] = true
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !validName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		fam, series := histFamily(name, typed)
+		sampled[fam] = true
+		if typed[fam] == "" {
+			return fmt.Errorf("line %d: sample %q without a # TYPE", lineNo, name)
+		}
+		if typed[fam] != "histogram" {
+			continue
+		}
+		h := hists[fam]
+		if h == nil {
+			h = &hist{}
+			hists[fam] = h
+		}
+		switch series {
+		case "bucket":
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: _bucket sample without le label", lineNo)
+			}
+			bound, err := parseLE(le)
+			if err != nil {
+				return fmt.Errorf("line %d: bad le %q: %v", lineNo, le, err)
+			}
+			h.les = append(h.les, bound)
+			h.counts = append(h.counts, value)
+		case "sum":
+			h.hasSum = true
+		case "count":
+			h.count = value
+			h.hasCnt = true
+		default:
+			return fmt.Errorf("line %d: unexpected histogram series %q", lineNo, name)
+		}
+	}
+
+	var fams []string
+	for f, typ := range typed {
+		if typ == "histogram" {
+			fams = append(fams, f)
+		}
+	}
+	sort.Strings(fams)
+	for _, f := range fams {
+		h := hists[f]
+		if h == nil {
+			return fmt.Errorf("histogram family %q has no samples", f)
+		}
+		if !h.hasSum || !h.hasCnt {
+			return fmt.Errorf("histogram family %q missing _sum or _count", f)
+		}
+		inf := math.NaN()
+		for i := range h.les {
+			if i > 0 {
+				if h.les[i] <= h.les[i-1] {
+					return fmt.Errorf("histogram %q: le bounds not increasing (%g after %g)",
+						f, h.les[i], h.les[i-1])
+				}
+				if h.counts[i] < h.counts[i-1] {
+					return fmt.Errorf("histogram %q: bucket values decrease (%g after %g at le=%g)",
+						f, h.counts[i], h.counts[i-1], h.les[i])
+				}
+			}
+			if math.IsInf(h.les[i], 1) {
+				inf = h.counts[i]
+			}
+		}
+		if math.IsNaN(inf) {
+			return fmt.Errorf("histogram %q has no le=\"+Inf\" bucket", f)
+		}
+		if inf != h.count {
+			return fmt.Errorf("histogram %q: +Inf bucket %g != _count %g", f, inf, h.count)
+		}
+	}
+	return nil
+}
+
+// histFamily strips a histogram series suffix from a metric name when the
+// resulting family is a declared histogram, returning the family and the
+// series kind ("bucket", "sum", "count", or "" for plain samples).
+func histFamily(name string, typed map[string]string) (fam, series string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && typed[base] == "histogram" {
+			return base, suf[1:]
+		}
+	}
+	return name, ""
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSample splits `name{labels} value` (labels optional) into parts.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels = map[string]string{}
+		for _, pair := range strings.Split(rest[i+1:j], ",") {
+			if pair == "" {
+				continue
+			}
+			k, qv, ok := strings.Cut(pair, "=")
+			if !ok {
+				return "", nil, 0, fmt.Errorf("malformed label %q", pair)
+			}
+			v, err := strconv.Unquote(qv)
+			if err != nil {
+				return "", nil, 0, fmt.Errorf("unquoting label %q: %v", pair, err)
+			}
+			labels[k] = v
+		}
+		rest = strings.TrimPrefix(rest[j+1:], " ")
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+		}
+	}
+	v, perr := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if perr != nil {
+		return "", nil, 0, fmt.Errorf("sample value in %q: %v", line, perr)
+	}
+	return name, labels, v, nil
+}
+
+func parseLE(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

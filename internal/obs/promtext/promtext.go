@@ -1,0 +1,165 @@
+// Package promtext renders an obs.Registry snapshot in the Prometheus
+// text exposition format, version 0.0.4 — the format every Prometheus
+// server scrapes — so a long-lived gpumech process can expose the same
+// instruments the batch pipeline dumps on exit.
+//
+// Mapping from obs instruments to Prometheus families:
+//
+//   - every family name is the obs series name with each character
+//     outside [a-zA-Z0-9_:] replaced by '_', prefixed with "gpumech_"
+//     (which also guarantees a legal first character);
+//   - counters additionally get the conventional "_total" suffix (unless
+//     the name already ends in it) and render as TYPE counter;
+//   - gauges render as TYPE gauge;
+//   - histograms render as TYPE histogram with the full cumulative
+//     `_bucket{le="..."}` series over the obs bucket bounds
+//     (obs.BucketBound), a closing `le="+Inf"` bucket, and `_sum` and
+//     `_count` samples. `_count` and the +Inf bucket are both derived
+//     from the bucket total, so they agree even while writers race the
+//     scrape.
+//
+// The package is stdlib-only and pure: Write is a function of a
+// Snapshot, which makes conformance testable without a live server.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpumech/internal/obs"
+)
+
+// ContentType is the Content-Type header value for exposition format
+// version 0.0.4.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// namePrefix namespaces every exported family.
+const namePrefix = "gpumech_"
+
+// sanitizeName maps an obs series name onto the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*: illegal characters become '_' and the
+// gpumech_ prefix supplies a legal first character.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	b.WriteString(namePrefix)
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// counterName is sanitizeName plus the conventional _total suffix.
+func counterName(name string) string {
+	n := sanitizeName(name)
+	if !strings.HasSuffix(n, "_total") {
+		n += "_total"
+	}
+	return n
+}
+
+// escapeHelp escapes a HELP text per the exposition format: backslashes
+// and line feeds must be escaped; everything else passes through.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a sample value. Prometheus accepts Go's shortest
+// round-trip representation; infinities spell +Inf/-Inf.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Write renders s in exposition format v0.0.4. Families are emitted in
+// sorted order (counters, then gauges, then histograms), each preceded by
+// exactly one # HELP and one # TYPE line, so the output is deterministic
+// for a fixed snapshot.
+func Write(w io.Writer, s obs.Snapshot) error {
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fam := counterName(n)
+		fmt.Fprintf(bw, "# HELP %s obs counter %s\n", fam, escapeHelp(strconv.Quote(n)))
+		fmt.Fprintf(bw, "# TYPE %s counter\n", fam)
+		fmt.Fprintf(bw, "%s %d\n", fam, s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fam := sanitizeName(n)
+		fmt.Fprintf(bw, "# HELP %s obs gauge %s\n", fam, escapeHelp(strconv.Quote(n)))
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", fam)
+		fmt.Fprintf(bw, "%s %s\n", fam, formatFloat(s.Gauges[n]))
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fam := sanitizeName(n)
+		fmt.Fprintf(bw, "# HELP %s obs histogram %s\n", fam, escapeHelp(strconv.Quote(n)))
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", fam)
+		var cum int64
+		for i, c := range h.Buckets {
+			cum += c
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", fam, formatFloat(obs.BucketBound(i)), cum)
+		}
+		// The obs layout makes the last bucket unbounded, so the final
+		// cumulative value above already carries le="+Inf"; _count repeats
+		// it so the two agree even mid-scrape.
+		fmt.Fprintf(bw, "%s_sum %s\n", fam, formatFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", fam, cum)
+	}
+
+	return bw.Flush()
+}
+
+// Handler serves r's snapshot at scrape time, invoking each refresh
+// function first (e.g. a runtimecollector.Collector's Collect) so
+// point-in-time gauges are current. A nil registry serves an empty but
+// valid exposition.
+func Handler(r *obs.Registry, refresh ...func()) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		for _, f := range refresh {
+			f()
+		}
+		w.Header().Set("Content-Type", ContentType)
+		if err := Write(w, r.Snapshot()); err != nil {
+			// Headers are already out; nothing useful left to do but log
+			// via the server's ErrorLog. Abort the body.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package promtext
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gpumech/internal/obs"
+)
+
+func sampleRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("trace.kernels").Add(3)
+	r.Counter("pool.items_total").Add(7) // already suffixed: no double _total
+	r.Gauge("pool.queue.depth").Set(4.5)
+	h := r.Histogram("stage.trace.seconds")
+	for _, v := range []float64{1e-9, 0.002, 0.002, 0.4, 12, 1e11} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWriteConformance(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, sampleRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := Lint([]byte(out)); err != nil {
+		t.Fatalf("lint: %v\noutput:\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE gpumech_trace_kernels_total counter",
+		"gpumech_trace_kernels_total 3",
+		"# TYPE gpumech_pool_items_total counter",
+		"gpumech_pool_items_total 7",
+		"# TYPE gpumech_pool_queue_depth gauge",
+		"gpumech_pool_queue_depth 4.5",
+		"# TYPE gpumech_stage_trace_seconds histogram",
+		`gpumech_stage_trace_seconds_bucket{le="+Inf"} 6`,
+		"gpumech_stage_trace_seconds_count 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteHistogramCumulative(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(0.001)
+	h.Observe(1.0)
+	var b strings.Builder
+	if err := Write(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly NumBuckets bucket lines, ending in the +Inf bucket, with
+	// per-line cumulative values that never decrease.
+	var bucketLines int
+	prev := -1.0
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "gpumech_lat_bucket{") {
+			continue
+		}
+		bucketLines++
+		name, labels, v, err := parseSample(line)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		if name != "gpumech_lat_bucket" {
+			t.Fatalf("unexpected sample name %q", name)
+		}
+		if _, err := parseLE(labels["le"]); err != nil {
+			t.Fatalf("bad le on %q: %v", line, err)
+		}
+		if v < prev {
+			t.Fatalf("cumulative bucket decreased at %q", line)
+		}
+		prev = v
+	}
+	if bucketLines != obs.NumBuckets {
+		t.Fatalf("got %d bucket lines, want %d", bucketLines, obs.NumBuckets)
+	}
+	if prev != 2 {
+		t.Fatalf("final cumulative bucket %g, want 2", prev)
+	}
+}
+
+func TestSanitizeAndNames(t *testing.T) {
+	if got := sanitizeName("stage.trace/秒"); got != "gpumech_stage_trace__" {
+		t.Fatalf("sanitizeName: got %q", got)
+	}
+	if got := counterName("x.y"); got != "gpumech_x_y_total" {
+		t.Fatalf("counterName: got %q", got)
+	}
+	if got := counterName("x_total"); got != "gpumech_x_total" {
+		t.Fatalf("counterName suffix: got %q", got)
+	}
+	if !validName("gpumech_a:b_1") || validName("1abc") || validName("a.b") || validName("") {
+		t.Fatal("validName misclassifies")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for in, want := range map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		4.5:          "4.5",
+	} {
+		if got := formatFloat(in); got != want {
+			t.Fatalf("formatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+	if formatFloat(math.NaN()) != "NaN" {
+		t.Fatal("formatFloat(NaN)")
+	}
+}
+
+func TestLintRejections(t *testing.T) {
+	cases := map[string]string{
+		"invalid name":       "# TYPE bad.name counter\nbad.name 1\n",
+		"duplicate TYPE":     "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"untyped sample":     "a 1\n",
+		"decreasing buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"no +Inf bucket":     "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 1\nh_count 2\n",
+		"count mismatch":     "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"bad value":          "# TYPE a counter\na one\n",
+	}
+	for name, in := range cases {
+		if err := Lint([]byte(in)); err == nil {
+			t.Errorf("%s: Lint accepted invalid input", name)
+		}
+	}
+	if err := Lint([]byte("# TYPE a counter\n# HELP a help text\na 1\n")); err != nil {
+		t.Errorf("Lint rejected valid input: %v", err)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := sampleRegistry()
+	refreshed := false
+	h := Handler(r, func() { refreshed = true })
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !refreshed {
+		t.Fatal("refresh function not invoked on scrape")
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("Content-Type %q, want %q", ct, ContentType)
+	}
+	if err := Lint(rec.Body.Bytes()); err != nil {
+		t.Fatalf("handler output fails lint: %v", err)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if err := Lint(rec.Body.Bytes()); err != nil {
+		t.Fatalf("empty exposition fails lint: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package runtimecollector mirrors the Go runtime's own telemetry
+// (runtime/metrics) into an obs.Registry so a long-lived gpumech process
+// exposes scheduler, heap and GC health next to its model metrics on the
+// same /metrics endpoint.
+//
+// A Collector is pull-based: nothing runs in the background; Collect
+// re-samples the runtime and updates the registry, and the serving layer
+// calls it once per scrape (promtext.Handler's refresh hook). That keeps
+// the daemon's idle cost at zero and means every scrape sees values read
+// at scrape time.
+package runtimecollector
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+
+	"gpumech/internal/obs"
+)
+
+// gaugeSamples maps runtime/metrics sample names onto obs gauge names.
+// Cumulative runtime counters (alloc bytes, GC cycles) are exposed as
+// gauges too: obs counters are write-side instruments and these are
+// read-side copies of values the runtime already accumulates.
+var gaugeSamples = []struct {
+	runtime string
+	gauge   string
+}{
+	{"/sched/goroutines:goroutines", "runtime.goroutines"},
+	{"/memory/classes/heap/objects:bytes", "runtime.heap.objects.bytes"},
+	{"/memory/classes/total:bytes", "runtime.memory.total.bytes"},
+	{"/gc/heap/allocs:bytes", "runtime.heap.allocs.bytes"},
+	{"/gc/heap/goal:bytes", "runtime.gc.heap.goal.bytes"},
+	{"/gc/cycles/total:gc-cycles", "runtime.gc.cycles"},
+}
+
+// pauseSample is the runtime's cumulative GC stop-the-world pause
+// distribution; Collect replays its per-bucket increments into an obs
+// histogram.
+const pauseSample = "/gc/pauses:seconds"
+
+// pauseHistName is the obs histogram receiving GC pause observations.
+const pauseHistName = "runtime.gc.pause.seconds"
+
+// Collector resamples runtime/metrics into a registry. Create with New;
+// Collect is safe for concurrent use (scrapes serialize on an internal
+// mutex). A nil *Collector's Collect is a no-op.
+type Collector struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	gauges  []*obs.Gauge // parallel to samples[:len(gauges)]
+	pause   *obs.Histogram
+	prev    []uint64 // previous cumulative GC-pause bucket counts
+}
+
+// New builds a collector that writes into reg. The instruments are
+// resolved once here so Collect never touches the registry's mutex.
+// Returns nil when reg is nil.
+func New(reg *obs.Registry) *Collector {
+	if reg == nil {
+		return nil
+	}
+	c := &Collector{}
+	for _, gs := range gaugeSamples {
+		c.samples = append(c.samples, metrics.Sample{Name: gs.runtime})
+		c.gauges = append(c.gauges, reg.Gauge(gs.gauge))
+	}
+	c.samples = append(c.samples, metrics.Sample{Name: pauseSample})
+	c.pause = reg.Histogram(pauseHistName)
+	return c
+}
+
+// Collect resamples the runtime and refreshes every mirrored instrument:
+// gauges are overwritten with the current values and new GC pauses since
+// the previous Collect are replayed into the pause histogram.
+func (c *Collector) Collect() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	metrics.Read(c.samples)
+	for i, g := range c.gauges {
+		if v, ok := sampleValue(c.samples[i].Value); ok {
+			g.Set(v)
+		}
+	}
+	if h := c.samples[len(c.samples)-1].Value; h.Kind() == metrics.KindFloat64Histogram {
+		c.replayPauses(h.Float64Histogram())
+	}
+}
+
+// replayPauses observes the increment of each cumulative runtime bucket
+// since the last call, attributing it to the bucket's midpoint (clamped
+// to the finite edge for the unbounded first/last buckets). The runtime's
+// bucket layout is fixed for a process lifetime; if it ever changes the
+// baseline resets rather than observing a bogus delta.
+func (c *Collector) replayPauses(h *metrics.Float64Histogram) {
+	if len(c.prev) != len(h.Counts) {
+		c.prev = make([]uint64, len(h.Counts))
+		copy(c.prev, h.Counts)
+		return
+	}
+	for i, n := range h.Counts {
+		delta := n - c.prev[i]
+		c.prev[i] = n
+		if delta == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		v := (lo + hi) / 2
+		if math.IsInf(lo, -1) {
+			v = hi
+		} else if math.IsInf(hi, 1) {
+			v = lo
+		}
+		for ; delta > 0; delta-- {
+			c.pause.Observe(v)
+		}
+	}
+}
+
+// sampleValue converts a runtime/metrics value to float64. Unknown kinds
+// (KindBad on older runtimes, or future additions) report ok=false and
+// leave the gauge untouched.
+func sampleValue(v metrics.Value) (float64, bool) {
+	switch v.Kind() {
+	case metrics.KindUint64:
+		return float64(v.Uint64()), true
+	case metrics.KindFloat64:
+		return v.Float64(), true
+	}
+	return 0, false
+}

@@ -1,0 +1,75 @@
+package runtimecollector
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"gpumech/internal/obs"
+)
+
+func TestCollectRefreshesGauges(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(reg)
+	c.Collect()
+	s := reg.Snapshot()
+	if g := s.Gauges["runtime.goroutines"]; g < 1 {
+		t.Fatalf("runtime.goroutines = %g, want >= 1", g)
+	}
+	if g := s.Gauges["runtime.memory.total.bytes"]; g <= 0 {
+		t.Fatalf("runtime.memory.total.bytes = %g, want > 0", g)
+	}
+	if g := s.Gauges["runtime.heap.allocs.bytes"]; g <= 0 {
+		t.Fatalf("runtime.heap.allocs.bytes = %g, want > 0", g)
+	}
+	for _, gs := range gaugeSamples {
+		if _, ok := s.Gauges[gs.gauge]; !ok {
+			t.Fatalf("gauge %q missing from registry", gs.gauge)
+		}
+	}
+}
+
+func TestCollectObservesGCPauses(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(reg)
+	c.Collect() // establish the pause baseline
+	before := reg.Histogram(pauseHistName).Count()
+	for i := 0; i < 4; i++ {
+		runtime.GC()
+	}
+	c.Collect()
+	after := reg.Histogram(pauseHistName).Count()
+	if after <= before {
+		t.Fatalf("pause histogram count %d -> %d, want an increase after 4 GCs", before, after)
+	}
+	if min := reg.Histogram(pauseHistName).Min(); min < 0 {
+		t.Fatalf("negative pause observation %g", min)
+	}
+}
+
+func TestCollectConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(reg)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				c.Collect()
+			}
+		}()
+	}
+	wg.Wait()
+	if reg.Snapshot().Gauges["runtime.goroutines"] < 1 {
+		t.Fatal("goroutine gauge unset after concurrent collects")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	if New(nil) != nil {
+		t.Fatal("New(nil) must return nil")
+	}
+	var c *Collector
+	c.Collect() // must not panic
+}

@@ -1,0 +1,55 @@
+// Package runjson builds the canonical JSON document for one model
+// evaluation. It is the single source of truth for that document's shape:
+// cmd/gpumech-run (-json) and internal/serve (POST /v1/evaluate) both
+// assemble and encode through this package, which is what makes the
+// daemon's responses byte-identical to the CLI's output for the same
+// parameters.
+package runjson
+
+import (
+	"encoding/json"
+	"io"
+
+	"gpumech"
+)
+
+// Result assembles the evaluation document: session identity, the model
+// estimate, and — when orc is non-nil — the oracle result and the
+// relative error. Keys marshal in sorted order (encoding/json sorts map
+// keys), so the document is deterministic.
+func Result(sess *gpumech.Session, pol gpumech.Policy, lvl gpumech.Level,
+	est *gpumech.Estimate, orc *gpumech.OracleResult) map[string]any {
+	out := map[string]any{
+		"kernel":       sess.Kernel(),
+		"blocks":       sess.Blocks(),
+		"warps":        sess.Warps(),
+		"instructions": sess.TotalInsts(),
+		"policy":       pol.String(),
+		"level":        lvl.String(),
+		"model": map[string]any{
+			"cpi":            est.CPI,
+			"ipc":            est.IPC,
+			"multithreading": est.MultithreadingCPI,
+			"contention":     est.ContentionCPI,
+			"repWarp":        est.RepWarp,
+			"stack":          est.Stack,
+		},
+	}
+	if orc != nil {
+		out["oracle"] = map[string]any{
+			"cpi":    orc.CPI,
+			"cycles": orc.Cycles,
+			"stalls": orc.StallBreakdown,
+		}
+		out["relativeError"] = gpumech.RelativeError(est.CPI, orc.CPI)
+	}
+	return out
+}
+
+// Encode writes v as two-space-indented JSON followed by a newline — the
+// exact framing gpumech-run has always printed.
+func Encode(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

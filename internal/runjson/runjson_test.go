@@ -1,0 +1,74 @@
+package runjson
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gpumech"
+)
+
+func TestResultShapeAndDeterminism(t *testing.T) {
+	sess, err := gpumech.NewSession("sdk_vectoradd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := sess.Estimate(gpumech.DefaultConfig(), gpumech.RR)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc := Result(sess, gpumech.RR, gpumech.MTMSHRBand, est, nil)
+	for _, key := range []string{"kernel", "blocks", "warps", "instructions", "policy", "level", "model"} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("document missing key %q", key)
+		}
+	}
+	if _, ok := doc["oracle"]; ok {
+		t.Fatal("oracle key present without an oracle result")
+	}
+	if doc["policy"] != "rr" || doc["level"] != "MT_MSHR_BAND" {
+		t.Fatalf("policy/level = %v/%v", doc["policy"], doc["level"])
+	}
+
+	var a, b bytes.Buffer
+	if err := Encode(&a, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, Result(sess, gpumech.RR, gpumech.MTMSHRBand, est, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same evaluation differ")
+	}
+	if a.Bytes()[a.Len()-1] != '\n' {
+		t.Fatal("encoding must end with a newline")
+	}
+	var round map[string]any
+	if err := json.Unmarshal(a.Bytes(), &round); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+}
+
+func TestResultWithOracle(t *testing.T) {
+	sess, err := gpumech.NewSession("micro_copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gpumech.DefaultConfig()
+	est, err := sess.Estimate(cfg, gpumech.GTO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc, err := sess.Oracle(cfg, gpumech.GTO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := Result(sess, gpumech.GTO, gpumech.MTMSHRBand, est, orc)
+	if _, ok := doc["oracle"]; !ok {
+		t.Fatal("oracle key missing")
+	}
+	if _, ok := doc["relativeError"]; !ok {
+		t.Fatal("relativeError key missing")
+	}
+}

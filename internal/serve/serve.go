@@ -1,0 +1,494 @@
+// Package serve implements the gpumech-serve HTTP daemon: model
+// evaluations as a long-lived service instead of a fork-per-query CLI.
+// The paper's pitch — interval modeling ~97,000× faster than cycle-level
+// simulation (Table IV) — only pays off operationally when the traced
+// kernels stay resident and each query reuses them; a Server keeps one
+// gpumech.Session per (kernel, blocks) and serves evaluations from the
+// shared profile memo.
+//
+// Endpoints:
+//
+//	POST /v1/evaluate   model evaluation; body {"kernel","policy","warps",
+//	                    "mshrs","bw","blocks","level","oracle"}; the
+//	                    response is byte-identical to `gpumech-run -json`
+//	                    for the same parameters (both go through
+//	                    internal/runjson)
+//	GET  /v1/kernels    the bundled kernel catalogue
+//	GET  /metrics       Prometheus text exposition (internal/obs/promtext)
+//	GET  /healthz       liveness: 200 while the process runs
+//	GET  /readyz        readiness: 200, or 503 once draining
+//
+// Production behaviours: bounded in-flight evaluation concurrency with
+// 429 load-shedding, per-request timeouts (504), structured JSON request
+// logs (log/slog) carrying a per-request ID that is also threaded into
+// the request's obs span tree, and a drain switch the binary flips on
+// SIGINT/SIGTERM so load balancers stop routing before Shutdown.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpumech"
+	"gpumech/internal/obs"
+	"gpumech/internal/obs/promtext"
+	"gpumech/internal/obs/runtimecollector"
+	"gpumech/internal/runjson"
+)
+
+// Config parameterizes a Server. The zero value is usable: defaults are
+// applied by New.
+type Config struct {
+	// Workers bounds the goroutines each evaluation fans out across
+	// warps (0: the gpumech default — GPUMECH_WORKERS, then GOMAXPROCS).
+	Workers int
+
+	// MaxInFlight bounds concurrently running evaluations; beyond it
+	// /v1/evaluate sheds load with 429 (default 64).
+	MaxInFlight int
+
+	// RequestTimeout bounds one evaluation; past it the request gets 504
+	// while the abandoned evaluation finishes in the background, still
+	// holding its in-flight slot (default 30s).
+	RequestTimeout time.Duration
+
+	// MaxSessions caps the (kernel, blocks) session cache. Kernels are
+	// finite but blocks is client-controlled; the cap keeps a scanning
+	// client from growing the cache without bound. Past it, requests for
+	// new sessions get 503 (default 256).
+	MaxSessions int
+
+	// Logger receives one structured record per request (default:
+	// slog.Default).
+	Logger *slog.Logger
+
+	// Metrics receives server and pipeline instruments and backs
+	// /metrics. Nil disables metrics (the endpoint serves an empty but
+	// valid exposition).
+	Metrics *obs.Registry
+
+	// Tracer, when non-nil, records one span tree per request with the
+	// evaluation's pipeline spans nested inside. Spans accumulate for
+	// the tracer's lifetime, so this is for bounded diagnostic runs
+	// (gpumech-serve wires it to -trace-out), not always-on production.
+	Tracer *obs.Tracer
+
+	// Runtime, when non-nil, is refreshed on every /metrics scrape.
+	Runtime *runtimecollector.Collector
+}
+
+// Server routes and instruments requests. Create with New; it is safe
+// for concurrent use.
+type Server struct {
+	cfg  Config
+	log  *slog.Logger
+	base *obs.Observer
+	mux  *http.ServeMux
+
+	sem      chan struct{}
+	draining atomic.Bool
+
+	idPrefix string
+	idSeq    atomic.Uint64
+
+	mu       sync.Mutex
+	sessions map[sessionKey]*sessionEntry
+
+	requests  *obs.Counter
+	shed      *obs.Counter
+	timeouts  *obs.Counter
+	inflight  *obs.Gauge
+	cached    *obs.Gauge
+	latency   *obs.Histogram
+	evaluate  *obs.Histogram
+	statusCls [6]*obs.Counter // index by status/100; [0] unused
+}
+
+// errCacheFull marks session-cache exhaustion: a capacity condition
+// (503), not a caller mistake (400).
+var errCacheFull = errors.New("session cache full")
+
+type sessionKey struct {
+	kernel string
+	blocks int
+}
+
+type sessionEntry struct {
+	once sync.Once
+	sess *gpumech.Session
+	err  error
+}
+
+// New builds a Server from cfg, applying defaults for unset fields.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 256
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		base:     obs.NewObserver(cfg.Metrics, cfg.Tracer),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		idPrefix: newIDPrefix(),
+		sessions: make(map[sessionKey]*sessionEntry),
+
+		requests: cfg.Metrics.Counter("serve.requests"),
+		shed:     cfg.Metrics.Counter("serve.shed"),
+		timeouts: cfg.Metrics.Counter("serve.timeouts"),
+		inflight: cfg.Metrics.Gauge("serve.inflight"),
+		cached:   cfg.Metrics.Gauge("serve.sessions.cached"),
+		latency:  cfg.Metrics.Histogram("serve.request.seconds"),
+		evaluate: cfg.Metrics.Histogram("serve.evaluate.seconds"),
+	}
+	for c := 1; c < len(s.statusCls); c++ {
+		s.statusCls[c] = cfg.Metrics.Counter(fmt.Sprintf("serve.status.%dxx", c))
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.Handle("POST /v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
+	s.mux.Handle("GET /v1/kernels", s.instrument("kernels", s.handleKernels))
+	s.mux.Handle("GET /metrics", promtext.Handler(cfg.Metrics, func() {
+		cfg.Runtime.Collect()
+		s.mu.Lock()
+		s.cached.Set(float64(len(s.sessions)))
+		s.mu.Unlock()
+	}))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	}))
+	s.mux.Handle("GET /readyz", s.instrument("readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	}))
+	return s
+}
+
+// newIDPrefix draws a per-instance entropy prefix so request IDs from
+// different daemon instances never collide in aggregated logs.
+func newIDPrefix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Handler returns the daemon's root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips /readyz to 503 so load balancers stop routing new
+// work. In-flight and already-routed requests still complete; pair with
+// http.Server.Shutdown for the connection-level drain.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// requestState carries per-request bookkeeping from the instrumentation
+// middleware into handlers (via context): the request ID, the request's
+// span, and extra attributes handlers want logged. It is only touched by
+// the handler goroutine.
+type requestState struct {
+	id    string
+	span  *obs.Span
+	attrs []slog.Attr
+}
+
+type ctxKey struct{}
+
+func stateFrom(ctx context.Context) *requestState {
+	st, _ := ctx.Value(ctxKey{}).(*requestState)
+	return st
+}
+
+// statusWriter captures the response status for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the request lifecycle: ID allocation,
+// span, status capture, latency metrics, and one structured log record.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		st := &requestState{id: fmt.Sprintf("%s-%d", s.idPrefix, s.idSeq.Add(1))}
+		st.span = s.base.StartSpan("http." + route)
+		st.span.SetStr("req.id", st.id)
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r.WithContext(context.WithValue(r.Context(), ctxKey{}, st)))
+
+		elapsed := time.Since(start)
+		st.span.SetInt("status", int64(sw.status))
+		st.span.End()
+		s.requests.Inc()
+		s.latency.Observe(elapsed.Seconds())
+		if cls := sw.status / 100; cls >= 1 && cls < len(s.statusCls) {
+			s.statusCls[cls].Inc()
+		}
+
+		level := slog.LevelInfo
+		switch {
+		case sw.status >= 500:
+			level = slog.LevelError
+		case sw.status >= 400:
+			level = slog.LevelWarn
+		}
+		attrs := append([]slog.Attr{
+			slog.String("id", st.id),
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("latency", elapsed),
+		}, st.attrs...)
+		s.log.LogAttrs(r.Context(), level, "request", attrs...)
+	})
+}
+
+// EvaluateRequest is the POST /v1/evaluate body. Zero values mean the
+// gpumech-run defaults: policy rr, level full, baseline warps/MSHRs/
+// bandwidth, 3× occupancy blocks.
+type EvaluateRequest struct {
+	Kernel string  `json:"kernel"`
+	Policy string  `json:"policy"`
+	Warps  int     `json:"warps"`
+	MSHRs  int     `json:"mshrs"`
+	BW     float64 `json:"bw"`
+	Blocks int     `json:"blocks"`
+	Level  string  `json:"level"`
+	Oracle bool    `json:"oracle"`
+}
+
+// parseEvaluate validates the request body into evaluation inputs.
+func parseEvaluate(r *http.Request) (req EvaluateRequest, pol gpumech.Policy, lvl gpumech.Level, err error) {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err = dec.Decode(&req); err != nil {
+		return req, pol, lvl, fmt.Errorf("decoding body: %w", err)
+	}
+	if req.Kernel == "" {
+		return req, pol, lvl, fmt.Errorf("missing field %q", "kernel")
+	}
+	if req.Warps < 0 || req.MSHRs < 0 || req.BW < 0 || req.Blocks < 0 {
+		return req, pol, lvl, fmt.Errorf("warps, mshrs, bw and blocks must be non-negative")
+	}
+	if req.Policy == "" {
+		req.Policy = "rr"
+	}
+	if req.Level == "" {
+		req.Level = "full"
+	}
+	if pol, err = gpumech.ParsePolicy(req.Policy); err != nil {
+		return req, pol, lvl, err
+	}
+	lvl, err = gpumech.ParseLevel(req.Level)
+	return req, pol, lvl, err
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	st := stateFrom(r.Context())
+	req, pol, lvl, err := parseEvaluate(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st.attrs = append(st.attrs,
+		slog.String("kernel", req.Kernel),
+		slog.String("policy", req.Policy),
+		slog.String("level", req.Level),
+		slog.Int("warps", req.Warps),
+		slog.Int("mshrs", req.MSHRs),
+		slog.Int("blocks", req.Blocks),
+		slog.Float64("bw", req.BW),
+		slog.Bool("oracle", req.Oracle),
+	)
+	st.span.SetStr("kernel", req.Kernel)
+	st.span.SetStr("policy", req.Policy)
+
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.shed.Inc()
+		writeError(w, http.StatusTooManyRequests, fmt.Errorf(
+			"server at capacity (%d evaluations in flight)", cap(s.sem)))
+		return
+	}
+	s.inflight.Add(1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	type outcome struct {
+		body   []byte
+		status int
+		err    error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			<-s.sem
+			s.inflight.Add(-1)
+		}()
+		start := time.Now()
+		body, status, err := s.runEvaluation(req, pol, lvl, st)
+		s.evaluate.Observe(time.Since(start).Seconds())
+		done <- outcome{body: body, status: status, err: err}
+	}()
+
+	select {
+	case out := <-done:
+		if out.err != nil {
+			writeError(w, out.status, out.err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(out.body)
+	case <-ctx.Done():
+		s.timeouts.Inc()
+		if r.Context().Err() != nil {
+			// The client went away; nobody reads this response, but the
+			// status still lands in the log record.
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("client cancelled"))
+			return
+		}
+		writeError(w, http.StatusGatewayTimeout, fmt.Errorf(
+			"evaluation exceeded the %s request timeout", s.cfg.RequestTimeout))
+	}
+}
+
+// runEvaluation resolves the session and produces the response document.
+// It runs on the evaluation goroutine; the request's span is threaded in
+// so pipeline spans nest under the request.
+func (s *Server) runEvaluation(req EvaluateRequest, pol gpumech.Policy, lvl gpumech.Level, st *requestState) ([]byte, int, error) {
+	sess, err := s.session(req.Kernel, req.Blocks)
+	if err != nil {
+		if errors.Is(err, errCacheFull) {
+			return nil, http.StatusServiceUnavailable, err
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	cfg := gpumech.DefaultConfig()
+	if req.Warps > 0 {
+		cfg = cfg.WithWarps(req.Warps)
+	}
+	if req.MSHRs > 0 {
+		cfg = cfg.WithMSHRs(req.MSHRs)
+	}
+	if req.BW > 0 {
+		cfg = cfg.WithBandwidth(req.BW)
+	}
+
+	view := sess.Observing(s.base.WithSpan(st.span))
+	est, err := view.EstimateWith(cfg, pol, lvl, gpumech.Clustering)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	var orc *gpumech.OracleResult
+	if req.Oracle {
+		if orc, err = view.Oracle(cfg, pol); err != nil {
+			return nil, http.StatusInternalServerError, err
+		}
+	}
+	var buf bytes.Buffer
+	if err := runjson.Encode(&buf, runjson.Result(sess, pol, lvl, est, orc)); err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	return buf.Bytes(), http.StatusOK, nil
+}
+
+// session returns the cached session for (kernel, blocks), tracing the
+// kernel on first use. Unknown kernels fail fast without consuming a
+// cache slot; concurrent first requests trace once (sync.Once).
+func (s *Server) session(kernel string, blocks int) (*gpumech.Session, error) {
+	key := sessionKey{kernel: kernel, blocks: blocks}
+	s.mu.Lock()
+	ent := s.sessions[key]
+	if ent == nil {
+		if len(s.sessions) >= s.cfg.MaxSessions {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("%w (%d kernel/blocks variants)", errCacheFull, s.cfg.MaxSessions)
+		}
+		ent = &sessionEntry{}
+		s.sessions[key] = ent
+	}
+	s.mu.Unlock()
+
+	ent.once.Do(func() {
+		opts := []gpumech.Option{gpumech.WithObserver(s.base)}
+		if s.cfg.Workers > 0 {
+			opts = append(opts, gpumech.WithWorkers(s.cfg.Workers))
+		}
+		if blocks > 0 {
+			opts = append(opts, gpumech.WithBlocks(blocks))
+		}
+		ent.sess, ent.err = gpumech.NewSession(kernel, opts...)
+		if ent.err != nil {
+			// Release the slot: a typo'd kernel name must not occupy the
+			// cache, and the next request re-checks the name.
+			s.mu.Lock()
+			delete(s.sessions, key)
+			s.mu.Unlock()
+		}
+	})
+	return ent.sess, ent.err
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	type kernelDoc struct {
+		Name          string `json:"name"`
+		Suite         string `json:"suite"`
+		Description   string `json:"description"`
+		ControlDiv    bool   `json:"controlDivergent"`
+		MemDivergence string `json:"memDivergence"`
+		WriteHeavy    bool   `json:"writeHeavy"`
+		WarpsPerBlock int    `json:"warpsPerBlock"`
+	}
+	infos := gpumech.KernelInfos()
+	docs := make([]kernelDoc, 0, len(infos))
+	for _, k := range infos {
+		docs = append(docs, kernelDoc{
+			Name:          k.Name,
+			Suite:         k.Suite,
+			Description:   k.Description,
+			ControlDiv:    k.ControlDiv,
+			MemDivergence: k.MemDivergence,
+			WriteHeavy:    k.WriteHeavy,
+			WarpsPerBlock: k.WarpsPerBlock,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	runjson.Encode(w, map[string]any{"count": len(docs), "kernels": docs})
+}
+
+// writeError emits the uniform error body {"error": "..."}.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
