@@ -1,0 +1,107 @@
+// Command gpumech-dse runs a design-space exploration sweep from a
+// declarative JSON specification: the cross-product of kernels,
+// scheduling policies and hardware-parameter axes is evaluated with the
+// GPUMech model, reusing one trace and one cache simulation per kernel
+// wherever the cache geometry is unchanged, and the result — every
+// point, the Pareto frontier and the best configuration per kernel — is
+// printed as tables or as a stable JSON document.
+//
+// Usage:
+//
+//	gpumech-dse -spec sweep.json -workers 8 -json
+//	gpumech-dse -spec - < sweep.json          # spec on stdin
+//	gpumech-dse -spec sweep.json -checkpoint sweep.ckpt   # resumable
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"gpumech/internal/dse"
+	"gpumech/internal/obs/obsflag"
+	"gpumech/internal/runjson"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "sweep specification JSON file (\"-\" reads stdin)")
+	workers := flag.Int("workers", 0, "evaluation workers (0 = GPUMECH_WORKERS, then GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit the full result as JSON instead of tables")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: completed points are saved here and reused on restart")
+	progress := flag.Bool("progress", false, "log one line per evaluated point to stderr")
+	ob := obsflag.Register(flag.CommandLine)
+	flag.Parse()
+
+	if *specPath == "" {
+		fail(fmt.Errorf("-spec is required (JSON file, or \"-\" for stdin)"))
+	}
+	var data []byte
+	var err error
+	if *specPath == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*specPath)
+	}
+	if err != nil {
+		fail(err)
+	}
+	var spec dse.Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		fail(fmt.Errorf("parsing spec: %w", err))
+	}
+
+	observer, err := ob.Setup()
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := ob.Finish(); err != nil {
+			fail(err)
+		}
+	}()
+
+	// Ctrl-C cancels the sweep between points; with -checkpoint the
+	// completed points survive for the next invocation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opt := dse.Options{
+		Workers:    *workers,
+		Obs:        observer,
+		Checkpoint: *checkpoint,
+	}
+	if *progress {
+		opt.Log = os.Stderr
+	}
+	res, err := dse.Run(ctx, spec, opt)
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		if err := runjson.Encode(os.Stdout, res); err != nil {
+			fail(err)
+		}
+		return
+	}
+	figs, err := res.Figures()
+	if err != nil {
+		fail(err)
+	}
+	for _, f := range figs {
+		fmt.Println(f.Render())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gpumech-dse:", err)
+	os.Exit(1)
+}

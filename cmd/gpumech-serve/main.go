@@ -1,9 +1,12 @@
 // Command gpumech-serve runs the GPUMech model as a long-lived HTTP
 // daemon: POST /v1/evaluate answers with the same JSON document as
 // `gpumech-run -json` (byte-identical for the same parameters), GET
-// /v1/kernels lists the bundled kernels, and GET /metrics exposes the
-// pipeline's observability registry — plus live Go-runtime telemetry —
-// in Prometheus text exposition format. /healthz and /readyz serve
+// /v1/kernels lists the bundled kernels with per-kernel instruction
+// counts (?version=1 for the original shape), POST /v1/sweeps starts an
+// asynchronous design-space sweep (GET /v1/sweeps/{id} for progress and
+// results, DELETE to cancel), and GET /metrics exposes the pipeline's
+// observability registry — plus live Go-runtime telemetry — in
+// Prometheus text exposition format. /healthz and /readyz serve
 // liveness and readiness; SIGINT/SIGTERM trigger a graceful drain.
 //
 // Usage:
@@ -39,6 +42,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "concurrent evaluations before shedding load with 429")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request evaluation timeout")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown grace period for in-flight requests")
+	maxSweepJobs := flag.Int("max-sweep-jobs", 32, "sweep job table size; finished jobs are evicted oldest-first when full")
+	maxRunningSweeps := flag.Int("max-running-sweeps", 2, "concurrently evaluating sweeps; excess jobs wait queued")
 	ob := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -53,13 +58,15 @@ func main() {
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:        *workers,
-		MaxInFlight:    *maxInflight,
-		RequestTimeout: *timeout,
-		Logger:         logger,
-		Metrics:        observer.Metrics,
-		Tracer:         observer.Tracer,
-		Runtime:        runtimecollector.New(observer.Metrics),
+		Workers:          *workers,
+		MaxInFlight:      *maxInflight,
+		RequestTimeout:   *timeout,
+		MaxSweepJobs:     *maxSweepJobs,
+		MaxRunningSweeps: *maxRunningSweeps,
+		Logger:           logger,
+		Metrics:          observer.Metrics,
+		Tracer:           observer.Tracer,
+		Runtime:          runtimecollector.New(observer.Metrics),
 	})
 
 	ln, err := net.Listen("tcp", *addr)

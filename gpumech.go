@@ -285,19 +285,23 @@ func (s *Session) TotalInsts() int64 { return s.trace.TotalInsts() }
 // Warps returns the total number of warps in the trace.
 func (s *Session) Warps() int { return len(s.trace.Warps) }
 
-// cacheProfile memoizes cache.Simulate per configuration. The memo key
-// (cache.KeyFor) covers every Config field the cache simulator reads and
-// the profile answers queries from — geometry and latencies — so changing
-// any of them re-simulates instead of serving a stale profile. The map is
-// lock-guarded and each entry simulates once, making concurrent sweeps
-// race-free without repeating work.
+// cacheProfile memoizes cache.Simulate per cache-geometry key
+// (config.Config.ProfileKey): the Config fields the profile depends on —
+// geometry and latencies — with the cache residency pinned at the
+// canonical profiling value (config.Config.ProfileConfig). Sweep points
+// that differ only in warps, MSHRs or DRAM bandwidth therefore share one
+// simulation, the paper's one-profile-per-input methodology, while
+// changing any geometry or latency field re-simulates instead of serving
+// a stale profile. The map is lock-guarded and each entry simulates once,
+// making concurrent sweeps race-free without repeating work.
 func (s *Session) cacheProfile(cfg Config, o *obs.Observer) (*cache.Profile, error) {
 	// Validate eagerly: a memo hit must not mask an invalid configuration
-	// whose fields happen to share a key with a previously valid one.
+	// whose fields happen to share a key with a previously valid one (and
+	// canonicalization could make an invalid residency simulate cleanly).
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	key := cache.KeyFor(cfg)
+	key := cfg.ProfileKey()
 	s.memo.mu.Lock()
 	ent := s.memo.profiles[key]
 	if ent == nil {
@@ -310,7 +314,7 @@ func (s *Session) cacheProfile(cfg Config, o *obs.Observer) (*cache.Profile, err
 		simulated = true
 		sp := o.StartSpan("cache-sim")
 		start := time.Now()
-		ent.p, ent.err = cache.Simulate(s.trace, cfg)
+		ent.p, ent.err = cache.Simulate(s.trace, cfg.ProfileConfig())
 		o.ObserveSince("stage.cachesim.seconds", start)
 		sp.End()
 		if ent.err == nil && o != nil && o.Metrics != nil {

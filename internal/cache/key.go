@@ -2,35 +2,13 @@ package cache
 
 import "gpumech/internal/config"
 
-// ProfileKey identifies every Config field that influences the Profile a
-// Simulate call returns: the system geometry the simulation itself walks
-// (cores, residency, cache shapes) plus the latency fields the returned
-// Profile folds into AMAT, MissLatency and AvgMissLatency answers. Two
-// configurations with equal keys yield interchangeable profiles, so the
-// key is the correct memoization index — unlike a hand-picked subset,
-// which silently serves stale profiles when an uncovered field changes.
-type ProfileKey struct {
-	Cores, WarpsPerCore int
-
-	L1SizeBytes, L1LineBytes, L1Assoc, L1Latency int
-	L2SizeBytes, L2LineBytes, L2Assoc, L2Latency int
-
-	DRAMLatency int
-}
+// ProfileKey is the memoization index for Simulate results: the canonical
+// cache-geometry subset of a Config (see config.ProfileKey). Two
+// configurations with equal keys yield interchangeable profiles when
+// simulated under their canonical profiling configuration
+// (config.Config.ProfileConfig), so sweep points that differ only in
+// warps, MSHRs or DRAM bandwidth share one simulation.
+type ProfileKey = config.ProfileKey
 
 // KeyFor derives the memoization key of cfg.
-func KeyFor(cfg config.Config) ProfileKey {
-	return ProfileKey{
-		Cores:        cfg.Cores,
-		WarpsPerCore: cfg.WarpsPerCore,
-		L1SizeBytes:  cfg.L1SizeBytes,
-		L1LineBytes:  cfg.L1LineBytes,
-		L1Assoc:      cfg.L1Assoc,
-		L1Latency:    cfg.L1Latency,
-		L2SizeBytes:  cfg.L2SizeBytes,
-		L2LineBytes:  cfg.L2LineBytes,
-		L2Assoc:      cfg.L2Assoc,
-		L2Latency:    cfg.L2Latency,
-		DRAMLatency:  cfg.DRAMLatency,
-	}
-}
+func KeyFor(cfg config.Config) ProfileKey { return cfg.ProfileKey() }

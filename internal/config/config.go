@@ -8,6 +8,7 @@ package config
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Config captures every hardware parameter the simulators and the GPUMech
@@ -213,10 +214,21 @@ func (c Config) Validate() error {
 	if c.SFUPerCore < 0 {
 		errs = append(errs, fmt.Errorf("config: SFUPerCore must be non-negative, got %d", c.SFUPerCore))
 	}
-	if c.ClockGHz <= 0 {
+	// Float fields: reject NaN and infinities explicitly. Random design-
+	// space sampling (and arithmetic on user-supplied axes) can produce
+	// them, and a NaN survives every "<= 0" comparison below, flowing all
+	// the way to a NaN CPI instead of failing here with a field name.
+	finite := func(name string, v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			errs = append(errs, fmt.Errorf("config: %s must be finite, got %g", name, v))
+			return false
+		}
+		return true
+	}
+	if finite("ClockGHz", c.ClockGHz) && c.ClockGHz <= 0 {
 		errs = append(errs, fmt.Errorf("config: ClockGHz must be positive, got %g", c.ClockGHz))
 	}
-	if c.DRAMBandwidthGBps <= 0 {
+	if finite("DRAMBandwidthGBps", c.DRAMBandwidthGBps) && c.DRAMBandwidthGBps <= 0 {
 		errs = append(errs, fmt.Errorf("config: DRAMBandwidthGBps must be positive, got %g", c.DRAMBandwidthGBps))
 	}
 	if c.WarpSize != c.SIMTWidth {

@@ -1,0 +1,128 @@
+package config
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestProfileKeyIgnoresModelOnlyFields pins the sweep-sharing invariant:
+// warps, MSHRs, DRAM bandwidth, issue width and SFU lanes enter only the
+// multithreading and contention models, so changing them must not change
+// the cache-geometry key.
+func TestProfileKeyIgnoresModelOnlyFields(t *testing.T) {
+	base := Baseline()
+	key := base.ProfileKey()
+	variants := map[string]Config{
+		"warps 8":       base.WithWarps(8),
+		"warps 48":      base.WithWarps(48),
+		"mshrs 256":     base.WithMSHRs(256),
+		"bandwidth 64":  base.WithBandwidth(64),
+		"issue width 2": func() Config { c := base; c.IssueWidth = 2; return c }(),
+		"sfus 8":        base.WithSFUs(8),
+		"queue depth":   func() Config { c := base; c.DRAMQueueDepth = 128; return c }(),
+		"alu latency":   func() Config { c := base; c.ALULatency = 8; return c }(),
+	}
+	for name, cfg := range variants {
+		if cfg.ProfileKey() != key {
+			t.Errorf("%s: ProfileKey changed; the sweep would re-simulate the cache", name)
+		}
+	}
+}
+
+// TestProfileKeySeparatesGeometry pins the converse: every field the
+// profile actually depends on must split the key.
+func TestProfileKeySeparatesGeometry(t *testing.T) {
+	base := Baseline()
+	key := base.ProfileKey()
+	variants := map[string]func(*Config){
+		"cores":        func(c *Config) { c.Cores = 8 },
+		"l1 size":      func(c *Config) { c.L1SizeBytes = 64 * 1024 },
+		"l1 line":      func(c *Config) { c.L1LineBytes = 64; c.L2LineBytes = 64 },
+		"l1 assoc":     func(c *Config) { c.L1Assoc = 4 },
+		"l1 latency":   func(c *Config) { c.L1Latency = 30 },
+		"l2 size":      func(c *Config) { c.L2SizeBytes = 1024 * 1024 },
+		"l2 assoc":     func(c *Config) { c.L2Assoc = 16 },
+		"l2 latency":   func(c *Config) { c.L2Latency = 200 },
+		"dram latency": func(c *Config) { c.DRAMLatency = 400 },
+	}
+	for name, mutate := range variants {
+		c := base
+		mutate(&c)
+		if c.ProfileKey() == key {
+			t.Errorf("%s: ProfileKey unchanged; a stale profile would be served", name)
+		}
+	}
+}
+
+// TestProfileConfigCanonicalResidency checks the canonical profiling
+// configuration pins residency at the Table I baseline and still
+// validates, including from sweep points whose occupancy limit is below
+// the canonical residency.
+func TestProfileConfigCanonicalResidency(t *testing.T) {
+	for _, cfg := range []Config{
+		Baseline(),
+		Baseline().WithWarps(8),
+		Baseline().WithWarps(48),
+		func() Config { // occupancy limit below the canonical 32 warps
+			c := Baseline().WithWarps(8)
+			c.MaxThreadsPerCore = 8 * c.WarpSize
+			return c
+		}(),
+	} {
+		p := cfg.ProfileConfig()
+		if p.WarpsPerCore != Baseline().WarpsPerCore {
+			t.Errorf("ProfileConfig residency = %d, want %d", p.WarpsPerCore, Baseline().WarpsPerCore)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("ProfileConfig() of %v does not validate: %v", cfg, err)
+		}
+		if p.ProfileKey() != cfg.ProfileKey() {
+			t.Errorf("ProfileConfig changed the ProfileKey")
+		}
+	}
+}
+
+// TestValidateRejectsSampledEdgeCases is the sweep-sampling gate: every
+// degenerate value a random or mis-authored sweep axis can produce must
+// fail Validate with an error naming the offending field, before it can
+// reach the model and come back as a NaN CPI.
+func TestValidateRejectsSampledEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string // substring the field-level error must carry
+	}{
+		{"zero mshrs", func(c *Config) { c.MSHREntries = 0 }, "MSHREntries"},
+		{"negative mshrs", func(c *Config) { c.MSHREntries = -32 }, "MSHREntries"},
+		{"zero bandwidth", func(c *Config) { c.DRAMBandwidthGBps = 0 }, "DRAMBandwidthGBps"},
+		{"negative bandwidth", func(c *Config) { c.DRAMBandwidthGBps = -192 }, "DRAMBandwidthGBps"},
+		{"zero warps", func(c *Config) { c.WarpsPerCore = 0 }, "WarpsPerCore"},
+		{"negative warps", func(c *Config) { c.WarpsPerCore = -8 }, "WarpsPerCore"},
+		{"zero cores", func(c *Config) { c.Cores = 0 }, "Cores"},
+		{"zero issue width", func(c *Config) { c.IssueWidth = 0 }, "IssueWidth"},
+		{"negative dram latency", func(c *Config) { c.DRAMLatency = -1 }, "DRAMLatency"},
+		{"nan bandwidth", func(c *Config) { c.DRAMBandwidthGBps = math.NaN() }, "DRAMBandwidthGBps"},
+		{"inf bandwidth", func(c *Config) { c.DRAMBandwidthGBps = math.Inf(1) }, "DRAMBandwidthGBps"},
+		{"-inf bandwidth", func(c *Config) { c.DRAMBandwidthGBps = math.Inf(-1) }, "DRAMBandwidthGBps"},
+		{"nan clock", func(c *Config) { c.ClockGHz = math.NaN() }, "ClockGHz"},
+		{"inf clock", func(c *Config) { c.ClockGHz = math.Inf(1) }, "ClockGHz"},
+		{"negative sfus", func(c *Config) { c.SFUPerCore = -1 }, "SFUPerCore"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Baseline()
+			tc.mutate(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatal("expected validation failure")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name field %q", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), "must be") {
+				t.Errorf("error %q is not a field-level constraint message", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package dse
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// checkpointEvery bounds checkpoint I/O: the file is rewritten after
+// this many newly recorded points (and always once more by flush at the
+// end of the sweep, successful or not).
+const checkpointEvery = 16
+
+// checkpointFile is the on-disk shape. SpecHash guards against resuming
+// a sweep with a different spec: point indices are only meaningful
+// relative to the exact expansion they were computed from.
+type checkpointFile struct {
+	SpecHash string        `json:"specHash"`
+	Points   map[int]Point `json:"points"`
+}
+
+// checkpoint tracks completed points and persists them with
+// write-to-temp-then-rename, so a crash mid-write never corrupts the
+// resumable state. Not safe for concurrent use; Run serializes access.
+type checkpoint struct {
+	path      string
+	hash      string
+	completed map[int]Point
+	unsaved   int
+}
+
+// specHash fingerprints the spec. The JSON encoding is deterministic
+// (struct field order is fixed, map keys marshal sorted), so equal
+// specs always hash equal.
+func specHash(spec Spec) (string, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", fmt.Errorf("dse: hashing spec: %w", err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b)), nil
+}
+
+// openCheckpoint loads path if it exists. A file written for a
+// different spec is an error, not a silent restart: the caller chose
+// the path, and mixing sweeps would corrupt both.
+func openCheckpoint(path string, spec Spec) (*checkpoint, error) {
+	hash, err := specHash(spec)
+	if err != nil {
+		return nil, err
+	}
+	c := &checkpoint{path: path, hash: hash, completed: make(map[int]Point)}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dse: reading checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("dse: checkpoint %s is not a checkpoint file: %w", path, err)
+	}
+	if f.SpecHash != hash {
+		return nil, fmt.Errorf("dse: checkpoint %s was written for a different spec; delete it or pick another path", path)
+	}
+	for idx, pt := range f.Points {
+		c.completed[idx] = pt
+	}
+	return c, nil
+}
+
+// record adds a completed point and persists every checkpointEvery
+// additions.
+func (c *checkpoint) record(pt Point) error {
+	c.completed[pt.Index] = pt
+	c.unsaved++
+	if c.unsaved >= checkpointEvery {
+		return c.flush()
+	}
+	return nil
+}
+
+// flush writes the current state if anything is unsaved.
+func (c *checkpoint) flush() error {
+	if c.unsaved == 0 {
+		return nil
+	}
+	data, err := json.Marshal(checkpointFile{SpecHash: c.hash, Points: c.completed})
+	if err != nil {
+		return fmt.Errorf("dse: encoding checkpoint: %w", err)
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("dse: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("dse: writing checkpoint: %w", err)
+	}
+	c.unsaved = 0
+	return nil
+}

@@ -1,0 +1,65 @@
+package dse
+
+import (
+	"fmt"
+
+	"gpumech/internal/report"
+)
+
+// Figures renders the sweep outcome as report tables: the best
+// configuration per kernel and the Pareto frontier per kernel. The
+// tables derive entirely from the Result, so rendering a decoded JSON
+// document gives the same output as rendering a live one.
+func (r *Result) Figures() ([]report.Figure, error) {
+	plan, err := compile(r.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("dse: result carries an invalid spec: %w", err)
+	}
+	headers := []string{"kernel", "policy"}
+	headers = append(headers, plan.paramNames...)
+	for _, o := range plan.objectives {
+		headers = append(headers, o.name)
+	}
+
+	row := func(p *Point) []string {
+		cells := []string{p.Kernel, p.Policy}
+		for _, name := range plan.paramNames {
+			cells = append(cells, fmt.Sprintf("%g", p.Params[name]))
+		}
+		for _, o := range plan.objectives {
+			cells = append(cells, report.F(o.metric(p)))
+		}
+		return cells
+	}
+
+	bestFig := report.Figure{
+		ID:      "dse-best",
+		Title:   "Best configuration per kernel (first objective: " + plan.objectives[0].name + ")",
+		Headers: headers,
+	}
+	for _, kernel := range r.Spec.Kernels {
+		i, ok := r.Best[kernel]
+		if !ok || i < 0 || i >= len(r.Points) {
+			return nil, fmt.Errorf("dse: result has no best point for kernel %q", kernel)
+		}
+		bestFig.Rows = append(bestFig.Rows, row(&r.Points[i]))
+	}
+
+	frontFig := report.Figure{
+		ID:      "dse-frontier",
+		Title:   "Pareto frontier per kernel",
+		Headers: append([]string{"point"}, headers...),
+	}
+	for _, kernel := range r.Spec.Kernels {
+		for _, i := range r.Frontiers[kernel] {
+			if i < 0 || i >= len(r.Points) {
+				return nil, fmt.Errorf("dse: frontier index %d out of range", i)
+			}
+			frontFig.Rows = append(frontFig.Rows,
+				append([]string{fmt.Sprintf("%d", i)}, row(&r.Points[i])...))
+		}
+	}
+	frontFig.Notes = append(frontFig.Notes,
+		fmt.Sprintf("%d points evaluated; objectives are minimized unless prefixed max:", len(r.Points)))
+	return []report.Figure{bestFig, frontFig}, nil
+}

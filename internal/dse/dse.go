@@ -1,0 +1,257 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"gpumech"
+	"gpumech/internal/obs"
+	"gpumech/internal/parallel"
+)
+
+// SchemaVersion identifies the shape of the Result JSON document. Bump
+// only on incompatible changes; additions keep the version.
+const SchemaVersion = 1
+
+// Point is one evaluated design point: a kernel, a policy, a parameter
+// tuple, and the model's prediction there.
+type Point struct {
+	Index  int                `json:"index"`
+	Kernel string             `json:"kernel"`
+	Policy string             `json:"policy"`
+	Params map[string]float64 `json:"params"`
+
+	CPI               float64          `json:"cpi"`
+	IPC               float64          `json:"ipc"`
+	MultithreadingCPI float64          `json:"multithreading"`
+	ContentionCPI     float64          `json:"contention"`
+	MSHRDelayCycles   float64          `json:"mshrDelayCycles"`
+	DRAMDelayCycles   float64          `json:"dramDelayCycles"`
+	RepWarp           int              `json:"repWarp"`
+	Stack             gpumech.CPIStack `json:"stack"`
+}
+
+// Result is the complete outcome of one sweep. It contains no
+// timestamps and no host state: the same spec always produces the same
+// document, byte for byte, at any worker count.
+type Result struct {
+	SchemaVersion int     `json:"schemaVersion"`
+	Spec          Spec    `json:"spec"`
+	Points        []Point `json:"points"`
+
+	// Frontiers maps each kernel to the indices (into Points, ascending)
+	// of its Pareto-optimal points under the spec's objectives.
+	Frontiers map[string][]int `json:"paretoFrontiers"`
+
+	// Best maps each kernel to the index of its best point by the first
+	// objective (ties broken by lowest index).
+	Best map[string]int `json:"bestPerKernel"`
+}
+
+// Options tunes one Run call.
+type Options struct {
+	// Workers bounds the evaluation fan-out (see parallel.Workers for
+	// the default resolution). Results are identical at any value.
+	Workers int
+
+	// Log receives one progress line per evaluated point; nil is silent.
+	Log io.Writer
+
+	// Obs threads metrics and spans through the sweep: the engine emits
+	// a "sweep" span, per-point counters, and the sessions it creates
+	// report their stage metrics (trace.kernels, cache.profile.memo_*).
+	Obs *obs.Observer
+
+	// Checkpoint names a JSON file recording completed points. When the
+	// file exists and matches the spec, those points are not
+	// re-evaluated; the engine rewrites the file as the sweep advances,
+	// so an interrupted sweep resumes where it stopped. Empty disables
+	// checkpointing.
+	Checkpoint string
+
+	// OnPoint, when non-nil, is called once per completed point (both
+	// freshly evaluated and restored from the checkpoint), serialized
+	// under the engine's lock. The serving layer uses it to publish
+	// partial results while a sweep is still running.
+	OnPoint func(Point)
+}
+
+// Run evaluates the sweep and assembles the Result. The context cancels
+// the sweep between points: evaluation stops, the checkpoint (if any) is
+// flushed with every completed point, and ctx.Err() is returned.
+func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
+	plan, err := compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	sp := opt.Obs.StartSpan("sweep")
+	sp.SetInt("points", int64(len(plan.points)))
+	sp.SetInt("kernels", int64(len(spec.Kernels)))
+	defer sp.End()
+	o := opt.Obs.WithSpan(sp)
+	start := time.Now()
+
+	// One session per kernel, created on first use (sync.Once) so a
+	// cancelled sweep never traces kernels it did not reach. Sessions
+	// memoize cache profiles per geometry key, which is what collapses a
+	// warps x MSHRs x bandwidth sweep to one trace and one cache
+	// simulation per kernel.
+	sessions := newSessionSet(spec, o)
+
+	points := make([]Point, len(plan.points))
+	done := make([]bool, len(plan.points))
+
+	var ckpt *checkpoint
+	if opt.Checkpoint != "" {
+		ckpt, err = openCheckpoint(opt.Checkpoint, spec)
+		if err != nil {
+			return nil, err
+		}
+		for idx, pt := range ckpt.completed {
+			if idx < len(points) {
+				points[idx] = pt
+				done[idx] = true
+			}
+		}
+	}
+
+	var mu sync.Mutex // serializes Log, OnPoint, and checkpoint writes
+	evaluated := 0
+	finish := func(i int, pt Point, fresh bool) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if fresh {
+			evaluated++
+			if ckpt != nil {
+				if err := ckpt.record(pt); err != nil {
+					return err
+				}
+			}
+		}
+		if opt.Log != nil {
+			source := "eval"
+			if !fresh {
+				source = "ckpt"
+			}
+			fmt.Fprintf(opt.Log, "point %d/%d %s %s %s %s cpi=%.6f\n",
+				i+1, len(points), source, pt.Kernel, pt.Policy,
+				tupleString(plan.paramNames, plan.points[i].values), pt.CPI)
+		}
+		if opt.OnPoint != nil {
+			opt.OnPoint(pt)
+		}
+		return nil
+	}
+
+	workers := parallel.Workers(opt.Workers)
+	err = parallel.ForEach(workers, len(points), func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		pp := plan.points[i]
+		if done[i] {
+			o.Counter("dse.points.restored").Inc()
+			return finish(i, points[i], false)
+		}
+		sess, err := sessions.get(pp.kernel)
+		if err != nil {
+			return err
+		}
+		est, err := sess.EstimateWith(pp.cfg, pp.policy, plan.level, gpumech.Clustering)
+		if err != nil {
+			return fmt.Errorf("dse: point %d (%s %s %s): %w",
+				i, pp.kernel, pp.policy, tupleString(plan.paramNames, pp.values), err)
+		}
+		params := make(map[string]float64, len(plan.paramNames))
+		for j, name := range plan.paramNames {
+			params[name] = pp.values[j]
+		}
+		points[i] = Point{
+			Index:             i,
+			Kernel:            pp.kernel,
+			Policy:            pp.policy.String(),
+			Params:            params,
+			CPI:               est.CPI,
+			IPC:               est.IPC,
+			MultithreadingCPI: est.MultithreadingCPI,
+			ContentionCPI:     est.ContentionCPI,
+			MSHRDelayCycles:   est.MSHRDelayCycles,
+			DRAMDelayCycles:   est.DRAMDelayCycles,
+			RepWarp:           est.RepWarp,
+			Stack:             est.Stack,
+		}
+		o.Counter("dse.points.evaluated").Inc()
+		return finish(i, points[i], true)
+	})
+	if ckpt != nil {
+		// Flush whatever completed, even on error or cancellation: that
+		// is the state a resumed run picks up.
+		if ferr := ckpt.flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	o.ObserveSince("dse.sweep.seconds", start)
+	sp.SetInt("evaluated", int64(evaluated))
+
+	res := &Result{
+		SchemaVersion: SchemaVersion,
+		Spec:          spec,
+		Points:        points,
+		Frontiers:     make(map[string][]int, len(spec.Kernels)),
+		Best:          make(map[string]int, len(spec.Kernels)),
+	}
+	for _, kernel := range spec.Kernels {
+		var idxs []int
+		for i := range points {
+			if points[i].Kernel == kernel {
+				idxs = append(idxs, i)
+			}
+		}
+		res.Frontiers[kernel] = frontier(points, idxs, plan.objectives)
+		res.Best[kernel] = best(points, idxs, plan.objectives[0])
+	}
+	return res, nil
+}
+
+// sessionSet creates at most one gpumech.Session per kernel, on demand,
+// sharing it across every worker that evaluates points of that kernel.
+type sessionSet struct {
+	spec Spec
+	obs  *obs.Observer
+	mu   sync.Mutex
+	ents map[string]*sessionOnce
+}
+
+type sessionOnce struct {
+	once sync.Once
+	sess *gpumech.Session
+	err  error
+}
+
+func newSessionSet(spec Spec, o *obs.Observer) *sessionSet {
+	return &sessionSet{spec: spec, obs: o, ents: make(map[string]*sessionOnce)}
+}
+
+func (s *sessionSet) get(kernel string) (*gpumech.Session, error) {
+	s.mu.Lock()
+	ent := s.ents[kernel]
+	if ent == nil {
+		ent = &sessionOnce{}
+		s.ents[kernel] = ent
+	}
+	s.mu.Unlock()
+	ent.once.Do(func() {
+		opts := []gpumech.Option{gpumech.WithObserver(s.obs)}
+		if s.spec.Blocks > 0 {
+			opts = append(opts, gpumech.WithBlocks(s.spec.Blocks))
+		}
+		ent.sess, ent.err = gpumech.NewSession(kernel, opts...)
+	})
+	return ent.sess, ent.err
+}

@@ -1,0 +1,370 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gpumech"
+	"gpumech/internal/obs"
+	"gpumech/internal/runjson"
+)
+
+// gridSpec is the acceptance sweep: a 3-parameter grid (residency x
+// MSHRs x DRAM bandwidth, 100 points) over one kernel.
+func gridSpec() Spec {
+	return Spec{
+		Kernels: []string{"sdk_vectoradd"},
+		Blocks:  24,
+		Parameters: map[string]Axis{
+			"warps":     {Values: []float64{8, 16, 24, 32, 48}},
+			"mshrs":     {Values: []float64{16, 32, 64, 128, 256}},
+			"bandwidth": {Values: []float64{48, 96, 192, 384}},
+		},
+	}
+}
+
+// TestGridSweepSharesOneProfile is the subsystem's load-bearing claim:
+// a 100-point sweep over warps, MSHRs and bandwidth performs exactly
+// one trace and one cache simulation, and every per-point CPI matches
+// an independent gpumech evaluation of that configuration to 1e-9.
+func TestGridSweepSharesOneProfile(t *testing.T) {
+	reg := obs.NewRegistry()
+	o := obs.NewObserver(reg, nil)
+	res, err := Run(context.Background(), gridSpec(), Options{Workers: 4, Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 100 {
+		t.Fatalf("got %d points, want 100", len(res.Points))
+	}
+	if got := reg.Counter("trace.kernels").Value(); got != 1 {
+		t.Errorf("trace.kernels = %d, want 1 (the kernel must be traced once)", got)
+	}
+	if got := reg.Counter("cache.profile.memo_misses").Value(); got != 1 {
+		t.Errorf("cache.profile.memo_misses = %d, want 1 (one cache simulation for the whole sweep)", got)
+	}
+	if got := reg.Counter("cache.profile.memo_hits").Value(); got != 99 {
+		t.Errorf("cache.profile.memo_hits = %d, want 99", got)
+	}
+	if got := reg.Counter("dse.points.evaluated").Value(); got != 100 {
+		t.Errorf("dse.points.evaluated = %d, want 100", got)
+	}
+
+	// Every point must match what gpumech-run would print for the same
+	// kernel, blocks, policy and configuration: a session of its own,
+	// evaluated at that single point.
+	sess, err := gpumech.NewSession("sdk_vectoradd", gpumech.WithBlocks(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		cfg := gpumech.DefaultConfig().
+			WithWarps(int(p.Params["warps"])).
+			WithMSHRs(int(p.Params["mshrs"])).
+			WithBandwidth(p.Params["bandwidth"])
+		want, err := sess.Estimate(cfg, gpumech.RR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.CPI-want.CPI) > 1e-9 {
+			t.Fatalf("point %d (%v): sweep CPI %.12f != run CPI %.12f",
+				p.Index, p.Params, p.CPI, want.CPI)
+		}
+	}
+
+	// The frontier and best table must cover the kernel.
+	if len(res.Frontiers["sdk_vectoradd"]) == 0 {
+		t.Error("empty Pareto frontier")
+	}
+	bestIdx := res.Best["sdk_vectoradd"]
+	for _, p := range res.Points {
+		if p.CPI < res.Points[bestIdx].CPI {
+			t.Fatalf("best index %d (cpi %.6f) is not minimal: point %d has %.6f",
+				bestIdx, res.Points[bestIdx].CPI, p.Index, p.CPI)
+		}
+	}
+}
+
+// TestRandomSweepDeterministicAcrossWorkers is the determinism gate: a
+// fixed-seed random sweep encodes to byte-identical JSON at 1 and 8
+// workers. Run under -race in CI.
+func TestRandomSweepDeterministicAcrossWorkers(t *testing.T) {
+	spec := Spec{
+		Kernels:    []string{"sdk_vectoradd", "rodinia_srad1"},
+		Policies:   []string{"rr", "gto"},
+		Blocks:     16,
+		Sampling:   "random",
+		Samples:    12,
+		Seed:       42,
+		Objectives: []string{"cpi", "max:ipc"},
+		Parameters: map[string]Axis{
+			"warps": {Min: 8, Max: 48, Step: 8},
+			"mshrs": {Values: []float64{16, 32, 64, 128}},
+		},
+	}
+	encode := func(workers int) []byte {
+		res, err := Run(context.Background(), spec, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := runjson.Encode(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seq := encode(1)
+	par := encode(8)
+	if !bytes.Equal(seq, par) {
+		t.Fatal("random sweep JSON differs between 1 and 8 workers")
+	}
+	if !bytes.Equal(seq, encode(1)) {
+		t.Fatal("random sweep JSON is not reproducible at fixed seed")
+	}
+}
+
+// TestCheckpointResume interrupts a sweep by cancelling its context,
+// then resumes from the checkpoint file and checks (a) no point is
+// evaluated twice and (b) the resumed result equals an uninterrupted
+// run.
+func TestCheckpointResume(t *testing.T) {
+	spec := Spec{
+		Kernels: []string{"sdk_vectoradd"},
+		Blocks:  16,
+		Parameters: map[string]Axis{
+			"warps": {Values: []float64{8, 16, 24, 32, 48}},
+			"mshrs": {Values: []float64{16, 32, 64, 128, 256}},
+		},
+	}
+	want, err := Run(context.Background(), spec, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := 0
+	_, err = Run(ctx, spec, Options{
+		Workers:    1,
+		Checkpoint: ckpt,
+		OnPoint: func(Point) {
+			done++
+			if done == 7 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if done >= len(want.Points) {
+		t.Fatalf("cancellation did not interrupt the sweep (%d points done)", done)
+	}
+
+	reg := obs.NewRegistry()
+	got, err := Run(context.Background(), spec, Options{
+		Workers:    1,
+		Checkpoint: ckpt,
+		Obs:        obs.NewObserver(reg, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := reg.Counter("dse.points.restored").Value()
+	evaluated := reg.Counter("dse.points.evaluated").Value()
+	if restored == 0 {
+		t.Error("resume restored no points from the checkpoint")
+	}
+	if restored+evaluated != int64(len(want.Points)) {
+		t.Errorf("restored %d + evaluated %d != %d points", restored, evaluated, len(want.Points))
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("resumed result differs from an uninterrupted run")
+	}
+
+	// A checkpoint written for one spec must refuse another.
+	other := spec
+	other.Blocks = 8
+	if _, err := Run(context.Background(), other, Options{Workers: 1, Checkpoint: ckpt}); err == nil ||
+		!strings.Contains(err.Error(), "different spec") {
+		t.Errorf("checkpoint spec guard: got %v", err)
+	}
+}
+
+// TestSpecValidation exercises the compile-time rejections.
+func TestSpecValidation(t *testing.T) {
+	base := gridSpec()
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"no kernels", func(s *Spec) { s.Kernels = nil }, "no kernels"},
+		{"unknown kernel", func(s *Spec) { s.Kernels = []string{"nope"} }, "unknown kernel"},
+		{"duplicate kernel", func(s *Spec) { s.Kernels = []string{"sdk_vectoradd", "sdk_vectoradd"} }, "listed twice"},
+		{"unknown policy", func(s *Spec) { s.Policies = []string{"fifo"} }, "unknown policy"},
+		{"unknown level", func(s *Spec) { s.Level = "ultra" }, "unknown level"},
+		{"unknown objective", func(s *Spec) { s.Objectives = []string{"latency"} }, "unknown objective"},
+		{"unknown parameter", func(s *Spec) { s.Parameters = map[string]Axis{"l3": {Values: []float64{1}}} }, "unknown parameter"},
+		{"no parameters", func(s *Spec) { s.Parameters = nil }, "no parameters"},
+		{"fractional warps", func(s *Spec) { s.Parameters["warps"] = Axis{Values: []float64{7.5}} }, "integral"},
+		{"values and range", func(s *Spec) { s.Parameters["warps"] = Axis{Values: []float64{8}, Max: 48, Step: 8} }, "both values and a range"},
+		{"bad step", func(s *Spec) { s.Parameters["warps"] = Axis{Min: 8, Max: 48} }, "step > 0"},
+		{"inverted range", func(s *Spec) { s.Parameters["warps"] = Axis{Min: 48, Max: 8, Step: 8} }, "max"},
+		{"bad sampling", func(s *Spec) { s.Sampling = "sobol" }, "unknown sampling"},
+		{"random without samples", func(s *Spec) { s.Sampling = "random" }, "samples > 0"},
+		{"samples on grid", func(s *Spec) { s.Samples = 5 }, "only meaningful"},
+		{"invalid point", func(s *Spec) { s.Parameters["mshrs"] = Axis{Values: []float64{0}} }, "invalid"},
+		{"nan axis value", func(s *Spec) { s.Parameters["bandwidth"] = Axis{Values: []float64{math.NaN()}} }, "non-finite"},
+		{"negative blocks", func(s *Spec) { s.Blocks = -4 }, "blocks"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base
+			s.Parameters = map[string]Axis{}
+			for k, v := range base.Parameters {
+				s.Parameters[k] = v
+			}
+			tc.mutate(&s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("expected a validation error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("base spec should validate: %v", err)
+	}
+	if n, err := base.NumPoints(); err != nil || n != 100 {
+		t.Errorf("NumPoints = %d, %v; want 100, nil", n, err)
+	}
+}
+
+// TestGridExpansionOrder pins the deterministic point order: sorted
+// parameter names, odometer with the last name fastest.
+func TestGridExpansionOrder(t *testing.T) {
+	p, err := compile(Spec{
+		Kernels: []string{"sdk_vectoradd"},
+		Parameters: map[string]Axis{
+			"warps": {Values: []float64{8, 16}},
+			"mshrs": {Values: []float64{32, 64}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted names: [mshrs warps]; warps cycles fastest.
+	want := [][]float64{{32, 8}, {32, 16}, {64, 8}, {64, 16}}
+	if len(p.points) != len(want) {
+		t.Fatalf("got %d points, want %d", len(p.points), len(want))
+	}
+	for i, pt := range p.points {
+		if !reflect.DeepEqual(pt.values, want[i]) {
+			t.Errorf("point %d values = %v, want %v", i, pt.values, want[i])
+		}
+	}
+}
+
+// TestRangeAxisIncludesMax guards the float range walker against
+// dropping the endpoint to accumulated error.
+func TestRangeAxisIncludesMax(t *testing.T) {
+	vals, err := Axis{Min: 8, Max: 48, Step: 8}.expand("warps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{8, 16, 24, 32, 40, 48}
+	if !reflect.DeepEqual(vals, want) {
+		t.Errorf("range expansion = %v, want %v", vals, want)
+	}
+}
+
+// TestParetoFrontier checks domination on a hand-built point set with a
+// maximized second objective.
+func TestParetoFrontier(t *testing.T) {
+	points := []Point{
+		{Index: 0, CPI: 1.0, IPC: 1.0}, // dominated by 2
+		{Index: 1, CPI: 0.5, IPC: 0.5}, // frontier: best cpi
+		{Index: 2, CPI: 0.8, IPC: 2.0}, // frontier: best ipc
+		{Index: 3, CPI: 0.9, IPC: 1.5}, // dominated by 2
+		{Index: 4, CPI: 0.5, IPC: 0.5}, // duplicate of 1: stays (no strict win)
+	}
+	objs := []objective{
+		{name: "cpi", metric: metricRegistry["cpi"]},
+		{name: "max:ipc", metric: metricRegistry["ipc"], maximize: true},
+	}
+	got := frontier(points, []int{0, 1, 2, 3, 4}, objs)
+	want := []int{1, 2, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("frontier = %v, want %v", got, want)
+	}
+	if b := best(points, []int{0, 1, 2, 3, 4}, objs[0]); b != 1 {
+		t.Errorf("best = %d, want 1 (lowest index among ties)", b)
+	}
+}
+
+// TestRandomSamplingDistinct checks random draws are deduplicated and
+// capped by the grid size.
+func TestRandomSamplingDistinct(t *testing.T) {
+	p, err := compile(Spec{
+		Kernels:  []string{"sdk_vectoradd"},
+		Sampling: "random",
+		Samples:  100, // far more than the 4-tuple grid
+		Seed:     7,
+		Parameters: map[string]Axis{
+			"warps": {Values: []float64{8, 16}},
+			"mshrs": {Values: []float64{32, 64}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.points) != 4 {
+		t.Fatalf("got %d points, want the full 4-tuple grid", len(p.points))
+	}
+	seen := map[string]bool{}
+	for _, pt := range p.points {
+		key := tupleString(p.paramNames, pt.values)
+		if seen[key] {
+			t.Errorf("duplicate tuple %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+// TestFigures smoke-tests the report rendering path on a tiny sweep.
+func TestFigures(t *testing.T) {
+	spec := Spec{
+		Kernels: []string{"sdk_vectoradd"},
+		Blocks:  16,
+		Parameters: map[string]Axis{
+			"warps": {Values: []float64{16, 32}},
+		},
+	}
+	res, err := Run(context.Background(), spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := res.Figures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("got %d figures, want 2", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Rows) == 0 {
+			t.Errorf("figure %s has no rows", f.ID)
+		}
+		if !strings.Contains(f.Render(), "sdk_vectoradd") {
+			t.Errorf("figure %s does not mention the kernel", f.ID)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package dse
+
+// frontier returns the subset of idxs (ascending) whose points are
+// Pareto-optimal under the objectives: no other candidate is at least as
+// good in every objective and strictly better in one. Objectives are
+// evaluated in minimization orientation (objective.value negates
+// maximized metrics). Duplicate objective vectors all stay on the
+// frontier — neither dominates the other — so the frontier never
+// depends on evaluation order.
+func frontier(points []Point, idxs []int, objs []objective) []int {
+	var out []int
+	for _, i := range idxs {
+		dominated := false
+		for _, j := range idxs {
+			if i != j && dominates(&points[j], &points[i], objs) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// dominates reports whether a is at least as good as b in every
+// objective and strictly better in at least one.
+func dominates(a, b *Point, objs []objective) bool {
+	strict := false
+	for _, o := range objs {
+		va, vb := o.value(a), o.value(b)
+		if va > vb {
+			return false
+		}
+		if va < vb {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// best returns the index (from idxs) minimizing the objective, with
+// ties broken by the lowest index. idxs must be non-empty.
+func best(points []Point, idxs []int, obj objective) int {
+	bestIdx := idxs[0]
+	bestVal := obj.value(&points[bestIdx])
+	for _, i := range idxs[1:] {
+		if v := obj.value(&points[i]); v < bestVal {
+			bestIdx, bestVal = i, v
+		}
+	}
+	return bestIdx
+}

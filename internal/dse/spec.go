@@ -1,0 +1,445 @@
+// Package dse is the design-space exploration engine: it takes a
+// declarative sweep specification — a set of kernels, scheduling
+// policies, and per-parameter axes over the hardware configuration — and
+// evaluates the GPUMech model at every point of the resulting
+// cross-product, reusing one trace and one cache simulation per kernel
+// across every point that agrees on the cache-geometry key
+// (config.Config.ProfileKey). This is the paper's Section VI-D
+// methodology ("profile once per input, evaluate many configurations")
+// promoted to a subsystem: Pareto frontiers over user-chosen objectives,
+// a best-configuration table per kernel, deterministic JSON output, and
+// a checkpoint file for resuming interrupted sweeps.
+package dse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"gpumech"
+	"gpumech/internal/config"
+	"gpumech/internal/kernels"
+)
+
+// MaxPoints bounds the total number of evaluation points one sweep may
+// expand to (kernels x policies x parameter tuples). A cross-product is
+// easy to make astronomically large by accident; the engine refuses
+// rather than grinding for hours.
+const MaxPoints = 4096
+
+// Spec is the declarative sweep specification, normally decoded from a
+// JSON file (cmd/gpumech-dse) or a request body (POST /v1/sweeps).
+type Spec struct {
+	// Kernels names the benchmark kernels to sweep (see gpumech.Kernels).
+	Kernels []string `json:"kernels"`
+
+	// Policies lists scheduling policies ("rr", "gto"). Default: ["rr"].
+	Policies []string `json:"policies,omitempty"`
+
+	// Level selects the model level ("mt", "mshr", "full"). Default "full".
+	Level string `json:"level,omitempty"`
+
+	// Blocks overrides the traced grid size; 0 uses each kernel's default
+	// (at least 3x baseline system occupancy, the paper's methodology).
+	Blocks int `json:"blocks,omitempty"`
+
+	// Parameters maps hardware parameter names (see Parameters) onto axes.
+	Parameters map[string]Axis `json:"parameters"`
+
+	// Sampling chooses how parameter tuples are drawn from the axes:
+	// "grid" (the default) takes the full cross-product, "random" draws
+	// Samples distinct tuples from the axes' cross-product using Seed.
+	Sampling string `json:"sampling,omitempty"`
+
+	// Samples is the number of random tuples to draw (Sampling "random").
+	Samples int `json:"samples,omitempty"`
+
+	// Seed drives random sampling. The same seed always draws the same
+	// tuples, so random sweeps are exactly reproducible.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Objectives are the metrics the Pareto frontier and the best-config
+	// table optimize. Each is a metric name ("cpi", "ipc",
+	// "multithreading", "contention", "mshr_delay", "dram_delay"),
+	// minimized by default; prefix with "max:" to maximize. Default
+	// ["cpi"].
+	Objectives []string `json:"objectives,omitempty"`
+}
+
+// Axis is one swept parameter: either an explicit value list or an
+// inclusive [Min, Max] range walked in Step increments.
+type Axis struct {
+	Values []float64 `json:"values,omitempty"`
+	Min    float64   `json:"min,omitempty"`
+	Max    float64   `json:"max,omitempty"`
+	Step   float64   `json:"step,omitempty"`
+}
+
+// expand returns the axis's concrete values in specification order.
+func (a Axis) expand(name string) ([]float64, error) {
+	if len(a.Values) > 0 {
+		if a.Min != 0 || a.Max != 0 || a.Step != 0 {
+			return nil, fmt.Errorf("dse: parameter %q sets both values and a range", name)
+		}
+		return a.Values, nil
+	}
+	if a.Step <= 0 {
+		return nil, fmt.Errorf("dse: parameter %q range needs step > 0, got %g", name, a.Step)
+	}
+	if a.Max < a.Min {
+		return nil, fmt.Errorf("dse: parameter %q range has max %g < min %g", name, a.Max, a.Min)
+	}
+	var out []float64
+	// The epsilon admits Max itself in the face of accumulated float
+	// error (e.g. min 0.5, step 0.1) without admitting Max+Step.
+	for i := 0; ; i++ {
+		v := a.Min + float64(i)*a.Step
+		if v > a.Max+a.Step*1e-9 {
+			break
+		}
+		out = append(out, v)
+		if len(out) > MaxPoints {
+			return nil, fmt.Errorf("dse: parameter %q range expands past %d values", name, MaxPoints)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dse: parameter %q expands to no values", name)
+	}
+	return out, nil
+}
+
+// param describes one sweepable hardware parameter.
+type param struct {
+	integer bool
+	apply   func(config.Config, float64) config.Config
+}
+
+// paramRegistry maps the user-facing parameter names onto config fields.
+// Integer parameters reject fractional axis values at compile time.
+var paramRegistry = map[string]param{
+	"warps": {true, func(c config.Config, v float64) config.Config {
+		return c.WithWarps(int(v))
+	}},
+	"mshrs": {true, func(c config.Config, v float64) config.Config {
+		return c.WithMSHRs(int(v))
+	}},
+	"bandwidth": {false, func(c config.Config, v float64) config.Config {
+		return c.WithBandwidth(v)
+	}},
+	"cores": {true, func(c config.Config, v float64) config.Config {
+		c.Cores = int(v)
+		return c
+	}},
+	"issue_width": {true, func(c config.Config, v float64) config.Config {
+		c.IssueWidth = int(v)
+		return c
+	}},
+	"dram_latency": {true, func(c config.Config, v float64) config.Config {
+		c.DRAMLatency = int(v)
+		return c
+	}},
+	"sfus": {true, func(c config.Config, v float64) config.Config {
+		return c.WithSFUs(int(v))
+	}},
+}
+
+// Parameters returns the sweepable parameter names, sorted.
+func Parameters() []string {
+	out := make([]string, 0, len(paramRegistry))
+	for name := range paramRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// metricRegistry extracts objective values from an evaluated point.
+var metricRegistry = map[string]func(*Point) float64{
+	"cpi":            func(p *Point) float64 { return p.CPI },
+	"ipc":            func(p *Point) float64 { return p.IPC },
+	"multithreading": func(p *Point) float64 { return p.MultithreadingCPI },
+	"contention":     func(p *Point) float64 { return p.ContentionCPI },
+	"mshr_delay":     func(p *Point) float64 { return p.MSHRDelayCycles },
+	"dram_delay":     func(p *Point) float64 { return p.DRAMDelayCycles },
+}
+
+// Metrics returns the objective metric names, sorted.
+func Metrics() []string {
+	out := make([]string, 0, len(metricRegistry))
+	for name := range metricRegistry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// objective is one parsed optimization target.
+type objective struct {
+	name     string // as written in the spec, e.g. "max:ipc"
+	metric   func(*Point) float64
+	maximize bool
+}
+
+// value returns the objective in minimization orientation.
+func (o objective) value(p *Point) float64 {
+	v := o.metric(p)
+	if o.maximize {
+		return -v
+	}
+	return v
+}
+
+// plan is a compiled Spec: every evaluation point fully expanded and
+// validated, in the deterministic order the results will carry.
+type plan struct {
+	spec       Spec
+	level      gpumech.Level
+	objectives []objective
+	paramNames []string // sorted
+	points     []pointPlan
+}
+
+type pointPlan struct {
+	kernel string
+	policy gpumech.Policy
+	values []float64 // aligned with plan.paramNames
+	cfg    config.Config
+}
+
+// compile validates the spec and expands it into the full point list.
+// Every error is reported in terms of the spec, before any evaluation
+// has started.
+func compile(spec Spec) (*plan, error) {
+	if len(spec.Kernels) == 0 {
+		return nil, fmt.Errorf("dse: spec names no kernels")
+	}
+	seenK := map[string]bool{}
+	for _, k := range spec.Kernels {
+		if _, err := kernels.Get(k); err != nil {
+			return nil, fmt.Errorf("dse: %w", err)
+		}
+		if seenK[k] {
+			return nil, fmt.Errorf("dse: kernel %q listed twice", k)
+		}
+		seenK[k] = true
+	}
+	if spec.Blocks < 0 {
+		return nil, fmt.Errorf("dse: blocks must be >= 0, got %d", spec.Blocks)
+	}
+
+	polNames := spec.Policies
+	if len(polNames) == 0 {
+		polNames = []string{"rr"}
+	}
+	var policies []gpumech.Policy
+	seenP := map[string]bool{}
+	for _, s := range polNames {
+		p, err := gpumech.ParsePolicy(s)
+		if err != nil {
+			return nil, fmt.Errorf("dse: %w", err)
+		}
+		if seenP[s] {
+			return nil, fmt.Errorf("dse: policy %q listed twice", s)
+		}
+		seenP[s] = true
+		policies = append(policies, p)
+	}
+
+	levelName := spec.Level
+	if levelName == "" {
+		levelName = "full"
+	}
+	level, err := gpumech.ParseLevel(levelName)
+	if err != nil {
+		return nil, fmt.Errorf("dse: %w", err)
+	}
+
+	objNames := spec.Objectives
+	if len(objNames) == 0 {
+		objNames = []string{"cpi"}
+	}
+	var objectives []objective
+	seenO := map[string]bool{}
+	for _, name := range objNames {
+		metricName, maximize := strings.CutPrefix(name, "max:")
+		fn, ok := metricRegistry[metricName]
+		if !ok {
+			return nil, fmt.Errorf("dse: unknown objective %q (metrics: %s)", name, strings.Join(Metrics(), ", "))
+		}
+		if seenO[metricName] {
+			return nil, fmt.Errorf("dse: objective metric %q listed twice", metricName)
+		}
+		seenO[metricName] = true
+		objectives = append(objectives, objective{name: name, metric: fn, maximize: maximize})
+	}
+
+	if len(spec.Parameters) == 0 {
+		return nil, fmt.Errorf("dse: spec sweeps no parameters")
+	}
+	paramNames := make([]string, 0, len(spec.Parameters))
+	for name := range spec.Parameters {
+		paramNames = append(paramNames, name)
+	}
+	sort.Strings(paramNames)
+	axes := make([][]float64, len(paramNames))
+	for i, name := range paramNames {
+		reg, ok := paramRegistry[name]
+		if !ok {
+			return nil, fmt.Errorf("dse: unknown parameter %q (parameters: %s)", name, strings.Join(Parameters(), ", "))
+		}
+		vals, err := spec.Parameters[name].expand(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dse: parameter %q has non-finite value %g", name, v)
+			}
+			if reg.integer && v != math.Trunc(v) {
+				return nil, fmt.Errorf("dse: parameter %q is integral; axis value %g is not", name, v)
+			}
+		}
+		axes[i] = vals
+	}
+
+	tuples, err := expandTuples(spec, paramNames, axes)
+	if err != nil {
+		return nil, err
+	}
+
+	total := len(spec.Kernels) * len(policies) * len(tuples)
+	if total > MaxPoints {
+		return nil, fmt.Errorf("dse: sweep expands to %d points, above the %d-point limit", total, MaxPoints)
+	}
+
+	p := &plan{
+		spec:       spec,
+		level:      level,
+		objectives: objectives,
+		paramNames: paramNames,
+		points:     make([]pointPlan, 0, total),
+	}
+	for _, kernel := range spec.Kernels {
+		for _, pol := range policies {
+			for _, tuple := range tuples {
+				cfg := config.Baseline()
+				for i, name := range paramNames {
+					cfg = paramRegistry[name].apply(cfg, tuple[i])
+				}
+				if err := cfg.Validate(); err != nil {
+					return nil, fmt.Errorf("dse: point %s is invalid: %w", tupleString(paramNames, tuple), err)
+				}
+				p.points = append(p.points, pointPlan{
+					kernel: kernel,
+					policy: pol,
+					values: tuple,
+					cfg:    cfg,
+				})
+			}
+		}
+	}
+	return p, nil
+}
+
+// expandTuples draws the parameter tuples: the full odometer-ordered
+// cross-product for grid sampling, or Samples distinct seeded draws for
+// random sampling. Both orders are deterministic functions of the spec.
+func expandTuples(spec Spec, names []string, axes [][]float64) ([][]float64, error) {
+	gridSize := 1
+	for _, vals := range axes {
+		if gridSize > MaxPoints/len(vals)+1 {
+			gridSize = MaxPoints + 1 // saturate; exact count no longer matters
+			break
+		}
+		gridSize *= len(vals)
+	}
+	switch spec.Sampling {
+	case "", "grid":
+		if spec.Samples != 0 {
+			return nil, fmt.Errorf("dse: samples is only meaningful with sampling \"random\"")
+		}
+		if gridSize > MaxPoints {
+			return nil, fmt.Errorf("dse: grid expands past the %d-point limit", MaxPoints)
+		}
+		tuples := make([][]float64, 0, gridSize)
+		idx := make([]int, len(axes))
+		for {
+			t := make([]float64, len(axes))
+			for i, j := range idx {
+				t[i] = axes[i][j]
+			}
+			tuples = append(tuples, t)
+			// Odometer over sorted parameter names, last name fastest.
+			k := len(idx) - 1
+			for k >= 0 {
+				idx[k]++
+				if idx[k] < len(axes[k]) {
+					break
+				}
+				idx[k] = 0
+				k--
+			}
+			if k < 0 {
+				return tuples, nil
+			}
+		}
+	case "random":
+		if spec.Samples <= 0 {
+			return nil, fmt.Errorf("dse: sampling \"random\" needs samples > 0, got %d", spec.Samples)
+		}
+		if spec.Samples > MaxPoints {
+			return nil, fmt.Errorf("dse: samples %d above the %d-point limit", spec.Samples, MaxPoints)
+		}
+		want := spec.Samples
+		if want > gridSize {
+			want = gridSize // cannot draw more distinct tuples than exist
+		}
+		rng := rand.New(rand.NewSource(spec.Seed))
+		seen := map[string]bool{}
+		var tuples [][]float64
+		for attempts := 0; len(tuples) < want && attempts < spec.Samples*100; attempts++ {
+			t := make([]float64, len(axes))
+			for i := range axes {
+				t[i] = axes[i][rng.Intn(len(axes[i]))]
+			}
+			key := tupleString(names, t)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			tuples = append(tuples, t)
+		}
+		return tuples, nil
+	default:
+		return nil, fmt.Errorf("dse: unknown sampling %q (want grid or random)", spec.Sampling)
+	}
+}
+
+// tupleString renders a parameter tuple for error messages and dedup
+// keys, e.g. "mshrs=64 warps=32".
+func tupleString(names []string, tuple []float64) string {
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s=%g", name, tuple[i])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Validate compiles the spec without evaluating it, reporting every
+// structural error the engine would reject — the serving layer's
+// request validation.
+func (s Spec) Validate() error {
+	_, err := compile(s)
+	return err
+}
+
+// NumPoints returns the number of evaluation points the spec expands to.
+func (s Spec) NumPoints() (int, error) {
+	p, err := compile(s)
+	if err != nil {
+		return 0, err
+	}
+	return len(p.points), nil
+}

@@ -180,12 +180,13 @@ type profileEntry struct {
 	secs float64 // wall-clock of the simulation that filled the entry
 }
 
-// profile memoizes cache.Simulate per configuration signature. The key
-// covers every Config field the cache simulator reads (see cache.KeyFor),
-// so sweep points that cannot change the profile (MSHRs, bandwidth) share
-// one simulation while anything that can does not.
+// profile memoizes cache.Simulate per cache-geometry key
+// (config.Config.ProfileKey), simulating under the canonical profiling
+// configuration (config.Config.ProfileConfig). Sweep points that cannot
+// change the profile — warps, MSHRs, bandwidth, i.e. all of Figs. 13–15 —
+// share one simulation per kernel while geometry changes do not.
 func (kc *kernelCtx) profile(cfg config.Config) (*cache.Profile, float64, error) {
-	key := cache.KeyFor(cfg)
+	key := cfg.ProfileKey()
 	kc.mu.Lock()
 	ent := kc.profiles[key]
 	if ent == nil {
@@ -199,7 +200,7 @@ func (kc *kernelCtx) profile(cfg config.Config) (*cache.Profile, float64, error)
 		sp := kc.obs.StartSpan("cache-sim")
 		sp.SetStr("kernel", kc.name)
 		start := time.Now()
-		ent.p, ent.err = cache.Simulate(kc.tr, cfg)
+		ent.p, ent.err = cache.Simulate(kc.tr, cfg.ProfileConfig())
 		ent.secs = time.Since(start).Seconds()
 		kc.obs.ObserveSince("stage.cachesim.seconds", start)
 		sp.End()

@@ -11,6 +11,11 @@ import (
 func TestCollectRefreshesGauges(t *testing.T) {
 	reg := obs.NewRegistry()
 	c := New(reg)
+	// The runtime flushes per-P allocation statistics lazily; without a
+	// GC the cumulative alloc gauges can legitimately read 0 this early
+	// in the process. Force the flush so the assertions are
+	// deterministic.
+	runtime.GC()
 	c.Collect()
 	s := reg.Snapshot()
 	if g := s.Gauges["runtime.goroutines"]; g < 1 {

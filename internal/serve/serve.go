@@ -13,7 +13,15 @@
 //	                    response is byte-identical to `gpumech-run -json`
 //	                    for the same parameters (both go through
 //	                    internal/runjson)
-//	GET  /v1/kernels    the bundled kernel catalogue
+//	GET  /v1/kernels    the bundled kernel catalogue with per-kernel
+//	                    instruction counts and default grids
+//	                    (?version=1 preserves the original shape)
+//	POST /v1/sweeps     start an asynchronous design-space sweep
+//	                    (internal/dse spec in the body); answers 202
+//	                    with a job ID
+//	GET  /v1/sweeps/{id} job state, progress, partial points while
+//	                    running, the full result document once done
+//	DELETE /v1/sweeps/{id} cancel the job between evaluation points
 //	GET  /metrics       Prometheus text exposition (internal/obs/promtext)
 //	GET  /healthz       liveness: 200 while the process runs
 //	GET  /readyz        readiness: 200, or 503 once draining
@@ -40,9 +48,11 @@ import (
 	"time"
 
 	"gpumech"
+	"gpumech/internal/kernels"
 	"gpumech/internal/obs"
 	"gpumech/internal/obs/promtext"
 	"gpumech/internal/obs/runtimecollector"
+	"gpumech/internal/parallel"
 	"gpumech/internal/runjson"
 )
 
@@ -67,6 +77,21 @@ type Config struct {
 	// client from growing the cache without bound. Past it, requests for
 	// new sessions get 503 (default 256).
 	MaxSessions int
+
+	// MaxSweepJobs bounds the async sweep job table. When full, POST
+	// /v1/sweeps evicts the oldest finished job; with every slot still
+	// live it sheds the request with 429 (default 32).
+	MaxSweepJobs int
+
+	// MaxRunningSweeps bounds concurrently evaluating sweeps; jobs past
+	// it wait in the queued state (default 2).
+	MaxRunningSweeps int
+
+	// KernelProbeBlocks overrides the grid size of the one-off kernel
+	// census backing GET /v1/kernels instruction counts (0: each
+	// kernel's default grid). Tests use a small value to keep the
+	// census fast; production leaves the default.
+	KernelProbeBlocks int
 
 	// Logger receives one structured record per request (default:
 	// slog.Default).
@@ -104,14 +129,27 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[sessionKey]*sessionEntry
 
-	requests  *obs.Counter
-	shed      *obs.Counter
-	timeouts  *obs.Counter
-	inflight  *obs.Gauge
-	cached    *obs.Gauge
-	latency   *obs.Histogram
-	evaluate  *obs.Histogram
-	statusCls [6]*obs.Counter // index by status/100; [0] unused
+	sweepMu    sync.Mutex
+	sweeps     map[string]*sweepJob
+	sweepOrder []string // insertion order, for oldest-terminal eviction
+	sweepSem   chan struct{}
+	sweepSeq   atomic.Uint64
+
+	censusOnce sync.Once
+	census     map[string]kernelCensus
+	censusErr  error
+
+	requests      *obs.Counter
+	shed          *obs.Counter
+	timeouts      *obs.Counter
+	inflight      *obs.Gauge
+	cached        *obs.Gauge
+	sweepsRunning *obs.Gauge
+	sweepsQueued  *obs.Gauge
+	latency       *obs.Histogram
+	evaluate      *obs.Histogram
+	sweepDuration *obs.Histogram
+	statusCls     [6]*obs.Counter // index by status/100; [0] unused
 }
 
 // errCacheFull marks session-cache exhaustion: a capacity condition
@@ -140,6 +178,12 @@ func New(cfg Config) *Server {
 	if cfg.MaxSessions <= 0 {
 		cfg.MaxSessions = 256
 	}
+	if cfg.MaxSweepJobs <= 0 {
+		cfg.MaxSweepJobs = 32
+	}
+	if cfg.MaxRunningSweeps <= 0 {
+		cfg.MaxRunningSweeps = 2
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
@@ -150,14 +194,19 @@ func New(cfg Config) *Server {
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		idPrefix: newIDPrefix(),
 		sessions: make(map[sessionKey]*sessionEntry),
+		sweeps:   make(map[string]*sweepJob),
+		sweepSem: make(chan struct{}, cfg.MaxRunningSweeps),
 
-		requests: cfg.Metrics.Counter("serve.requests"),
-		shed:     cfg.Metrics.Counter("serve.shed"),
-		timeouts: cfg.Metrics.Counter("serve.timeouts"),
-		inflight: cfg.Metrics.Gauge("serve.inflight"),
-		cached:   cfg.Metrics.Gauge("serve.sessions.cached"),
-		latency:  cfg.Metrics.Histogram("serve.request.seconds"),
-		evaluate: cfg.Metrics.Histogram("serve.evaluate.seconds"),
+		requests:      cfg.Metrics.Counter("serve.requests"),
+		shed:          cfg.Metrics.Counter("serve.shed"),
+		timeouts:      cfg.Metrics.Counter("serve.timeouts"),
+		inflight:      cfg.Metrics.Gauge("serve.inflight"),
+		cached:        cfg.Metrics.Gauge("serve.sessions.cached"),
+		sweepsRunning: cfg.Metrics.Gauge("serve.sweeps.running"),
+		sweepsQueued:  cfg.Metrics.Gauge("serve.sweeps.queued"),
+		latency:       cfg.Metrics.Histogram("serve.request.seconds"),
+		evaluate:      cfg.Metrics.Histogram("serve.evaluate.seconds"),
+		sweepDuration: cfg.Metrics.Histogram("serve.sweep.seconds"),
 	}
 	for c := 1; c < len(s.statusCls); c++ {
 		s.statusCls[c] = cfg.Metrics.Counter(fmt.Sprintf("serve.status.%dxx", c))
@@ -166,6 +215,9 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
 	s.mux.Handle("GET /v1/kernels", s.instrument("kernels", s.handleKernels))
+	s.mux.Handle("POST /v1/sweeps", s.instrument("sweeps.create", s.handleSweepCreate))
+	s.mux.Handle("GET /v1/sweeps/{id}", s.instrument("sweeps.get", s.handleSweepGet))
+	s.mux.Handle("DELETE /v1/sweeps/{id}", s.instrument("sweeps.cancel", s.handleSweepCancel))
 	s.mux.Handle("GET /metrics", promtext.Handler(cfg.Metrics, func() {
 		cfg.Runtime.Collect()
 		s.mu.Lock()
@@ -459,6 +511,52 @@ func (s *Server) session(kernel string, blocks int) (*gpumech.Session, error) {
 	return ent.sess, ent.err
 }
 
+// kernelCensus is the per-kernel metadata the v2 catalogue adds: the
+// instruction count of one trace at the census grid size.
+type kernelCensus struct {
+	insts  int64
+	blocks int
+}
+
+// kernelCensusAll traces every bundled kernel once (in parallel, on
+// first use) to count its warp-instructions. The grid is each kernel's
+// default unless Config.KernelProbeBlocks overrides it; the reported
+// blocks value is the grid actually traced.
+func (s *Server) kernelCensusAll() (map[string]kernelCensus, error) {
+	s.censusOnce.Do(func() {
+		names := kernels.Names()
+		out := make([]kernelCensus, len(names))
+		workers := parallel.Workers(s.cfg.Workers)
+		s.censusErr = parallel.ForEach(workers, len(names), func(i int) error {
+			info, err := kernels.Get(names[i])
+			if err != nil {
+				return err
+			}
+			blocks := s.cfg.KernelProbeBlocks
+			if blocks <= 0 {
+				blocks = kernels.DefaultBlocks(info.WarpsPerBlock)
+			}
+			tr, err := info.Trace(kernels.Scale{Blocks: blocks, Seed: 1}, 128)
+			if err != nil {
+				return fmt.Errorf("census of %s: %w", names[i], err)
+			}
+			out[i] = kernelCensus{insts: tr.TotalInsts(), blocks: blocks}
+			return nil
+		})
+		if s.censusErr == nil {
+			s.census = make(map[string]kernelCensus, len(names))
+			for i, name := range names {
+				s.census[name] = out[i]
+			}
+		}
+	})
+	return s.census, s.censusErr
+}
+
+// handleKernels serves the kernel catalogue. The default (version 2)
+// shape adds per-kernel instruction counts and the grid they were
+// traced at; ?version=1 preserves the original shape exactly for older
+// clients.
 func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 	type kernelDoc struct {
 		Name          string `json:"name"`
@@ -468,11 +566,24 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 		MemDivergence string `json:"memDivergence"`
 		WriteHeavy    bool   `json:"writeHeavy"`
 		WarpsPerBlock int    `json:"warpsPerBlock"`
+
+		// v2 additions; omitted entirely from the version=1 shape.
+		Instructions  int64 `json:"instructions,omitempty"`
+		DefaultBlocks int   `json:"defaultBlocks,omitempty"`
+	}
+	v1 := r.URL.Query().Get("version") == "1"
+	var census map[string]kernelCensus
+	if !v1 {
+		var err error
+		if census, err = s.kernelCensusAll(); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
 	infos := gpumech.KernelInfos()
 	docs := make([]kernelDoc, 0, len(infos))
 	for _, k := range infos {
-		docs = append(docs, kernelDoc{
+		doc := kernelDoc{
 			Name:          k.Name,
 			Suite:         k.Suite,
 			Description:   k.Description,
@@ -480,10 +591,19 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 			MemDivergence: k.MemDivergence,
 			WriteHeavy:    k.WriteHeavy,
 			WarpsPerBlock: k.WarpsPerBlock,
-		})
+		}
+		if c, ok := census[k.Name]; ok {
+			doc.Instructions = c.insts
+			doc.DefaultBlocks = c.blocks
+		}
+		docs = append(docs, doc)
+	}
+	out := map[string]any{"count": len(docs), "kernels": docs}
+	if !v1 {
+		out["schemaVersion"] = 2
 	}
 	w.Header().Set("Content-Type", "application/json")
-	runjson.Encode(w, map[string]any{"count": len(docs), "kernels": docs})
+	runjson.Encode(w, out)
 }
 
 // writeError emits the uniform error body {"error": "..."}.

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"gpumech/internal/dse"
+)
+
+const smallSweep = `{
+	"kernels": ["sdk_vectoradd"],
+	"blocks": 16,
+	"parameters": {"warps": {"values": [16, 32]}, "mshrs": {"values": [16, 64]}}
+}`
+
+func postSweep(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/sweeps", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func getSweep(t *testing.T, h http.Handler, id string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/sweeps/"+id, nil))
+	return rec
+}
+
+// sweepStatus is the decoded GET /v1/sweeps/{id} document.
+type sweepStatus struct {
+	ID     string      `json:"id"`
+	State  string      `json:"state"`
+	Total  int         `json:"total"`
+	Done   int         `json:"done"`
+	Error  string      `json:"error"`
+	Points []dse.Point `json:"points"`
+	Result *dse.Result `json:"result"`
+}
+
+// pollSweep polls until the job reaches a terminal state.
+func pollSweep(t *testing.T, h http.Handler, id string) sweepStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		rec := getSweep(t, h, id)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET sweep %s: status %d: %s", id, rec.Code, rec.Body.String())
+		}
+		var st sweepStatus
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatalf("GET sweep %s: %v", id, err)
+		}
+		switch st.State {
+		case "completed", "failed", "cancelled":
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep %s stuck in state %q (%d/%d)", id, st.State, st.Done, st.Total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSweepLifecycle drives POST -> poll -> completed and checks the
+// result document equals a direct dse.Run of the same spec.
+func TestSweepLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := postSweep(t, s.Handler(), smallSweep)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("POST status %d: %s", rec.Code, rec.Body.String())
+	}
+	var created struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Total int    `json:"total"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.ID == "" || created.State != "queued" || created.Total != 4 {
+		t.Fatalf("create response %+v", created)
+	}
+
+	st := pollSweep(t, s.Handler(), created.ID)
+	if st.State != "completed" {
+		t.Fatalf("terminal state %q (error %q), want completed", st.State, st.Error)
+	}
+	if st.Done != 4 || st.Result == nil {
+		t.Fatalf("completed sweep: done=%d result=%v", st.Done, st.Result != nil)
+	}
+
+	var spec dse.Spec
+	if err := json.Unmarshal([]byte(smallSweep), &spec); err != nil {
+		t.Fatal(err)
+	}
+	want, err := dse.Run(context.Background(), spec, dse.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Result, want) {
+		t.Error("daemon sweep result differs from a direct dse.Run of the same spec")
+	}
+
+	// The gauges must have returned to idle.
+	if v := s.sweepsRunning.Value(); v != 0 {
+		t.Errorf("serve.sweeps.running = %g after completion", v)
+	}
+	if v := s.sweepsQueued.Value(); v != 0 {
+		t.Errorf("serve.sweeps.queued = %g after completion", v)
+	}
+}
+
+// TestSweepValidation: structurally bad specs are rejected before a job
+// is created.
+func TestSweepValidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := map[string]string{
+		"malformed":     `{"kernels":`,
+		"unknown field": `{"kernels":["sdk_vectoradd"],"turbo":true}`,
+		"no kernels":    `{"parameters":{"warps":{"values":[16]}}}`,
+		"bad kernel":    `{"kernels":["nope"],"parameters":{"warps":{"values":[16]}}}`,
+		"bad parameter": `{"kernels":["sdk_vectoradd"],"parameters":{"l3":{"values":[1]}}}`,
+		"invalid point": `{"kernels":["sdk_vectoradd"],"parameters":{"mshrs":{"values":[0]}}}`,
+	}
+	for name, body := range cases {
+		if rec := postSweep(t, s.Handler(), body); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", name, rec.Code, rec.Body.String())
+		}
+	}
+	if rec := getSweep(t, s.Handler(), "swp-none-1"); rec.Code != http.StatusNotFound {
+		t.Errorf("GET unknown sweep: status %d, want 404", rec.Code)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("DELETE", "/v1/sweeps/swp-none-1", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("DELETE unknown sweep: status %d, want 404", rec.Code)
+	}
+}
+
+// TestSweepCancel starts a sweep large enough to outlive the DELETE
+// that immediately follows and checks it lands in the cancelled state
+// with partial progress.
+func TestSweepCancel(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// 6 x 7 x 6 tuples x 2 policies = 504 points: far more work than
+	// the time it takes the next request to cancel it.
+	rec := postSweep(t, s.Handler(), `{
+		"kernels": ["sdk_vectoradd"], "blocks": 16,
+		"policies": ["rr", "gto"],
+		"parameters": {
+			"warps": {"min": 8, "max": 48, "step": 8},
+			"mshrs": {"values": [8, 16, 32, 64, 96, 128, 256]},
+			"bandwidth": {"values": [32, 64, 96, 192, 256, 384]}
+		}
+	}`)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("POST status %d: %s", rec.Code, rec.Body.String())
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &created); err != nil {
+		t.Fatal(err)
+	}
+
+	del := httptest.NewRecorder()
+	s.Handler().ServeHTTP(del, httptest.NewRequest("DELETE", "/v1/sweeps/"+created.ID, nil))
+	if del.Code != http.StatusAccepted {
+		t.Fatalf("DELETE status %d: %s", del.Code, del.Body.String())
+	}
+
+	st := pollSweep(t, s.Handler(), created.ID)
+	if st.State != "cancelled" {
+		t.Fatalf("terminal state %q, want cancelled", st.State)
+	}
+	if st.Done >= st.Total {
+		t.Errorf("cancelled sweep finished all %d points", st.Total)
+	}
+	// Cancelling a terminal job is idempotent and reports the state.
+	del2 := httptest.NewRecorder()
+	s.Handler().ServeHTTP(del2, httptest.NewRequest("DELETE", "/v1/sweeps/"+created.ID, nil))
+	if del2.Code != http.StatusOK || !strings.Contains(del2.Body.String(), "cancelled") {
+		t.Errorf("second DELETE: status %d body %s", del2.Code, del2.Body.String())
+	}
+}
+
+// TestSweepTableBound fills the bounded job table and checks eviction
+// of finished jobs and 429 when every slot is live.
+func TestSweepTableBound(t *testing.T) {
+	s := newTestServer(t, Config{MaxSweepJobs: 1, MaxRunningSweeps: 1})
+	h := s.Handler()
+
+	// Job A completes, then B evicts it.
+	recA := postSweep(t, h, smallSweep)
+	if recA.Code != http.StatusAccepted {
+		t.Fatalf("POST A: %d", recA.Code)
+	}
+	var a, b struct {
+		ID string `json:"id"`
+	}
+	json.Unmarshal(recA.Body.Bytes(), &a)
+	pollSweep(t, h, a.ID)
+
+	// B is deliberately large so it is still live for the next POST.
+	recB := postSweep(t, h, `{
+		"kernels": ["sdk_vectoradd"], "blocks": 16,
+		"policies": ["rr", "gto"],
+		"parameters": {
+			"warps": {"min": 8, "max": 48, "step": 8},
+			"mshrs": {"values": [8, 16, 32, 64, 96, 128, 256]},
+			"bandwidth": {"values": [32, 64, 96, 192, 256, 384]}
+		}
+	}`)
+	if recB.Code != http.StatusAccepted {
+		t.Fatalf("POST B: %d (%s)", recB.Code, recB.Body.String())
+	}
+	json.Unmarshal(recB.Body.Bytes(), &b)
+	if rec := getSweep(t, h, a.ID); rec.Code != http.StatusNotFound {
+		t.Errorf("evicted job A still served: %d", rec.Code)
+	}
+
+	// The only slot holds live job B: the next POST is shed.
+	if rec := postSweep(t, h, smallSweep); rec.Code != http.StatusTooManyRequests {
+		t.Errorf("POST with full live table: status %d, want 429 (%s)", rec.Code, rec.Body.String())
+	}
+
+	// Cleanup: cancel B so the test does not leave a runaway sweep.
+	del := httptest.NewRecorder()
+	h.ServeHTTP(del, httptest.NewRequest("DELETE", "/v1/sweeps/"+b.ID, nil))
+	pollSweep(t, h, b.ID)
+}
+
+// TestKernelsV2 checks the catalogue's v2 metadata and the version=1
+// compatibility shape.
+func TestKernelsV2(t *testing.T) {
+	s := newTestServer(t, Config{KernelProbeBlocks: 2})
+	h := s.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/kernels", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var v2 struct {
+		SchemaVersion int `json:"schemaVersion"`
+		Count         int `json:"count"`
+		Kernels       []struct {
+			Name          string `json:"name"`
+			Suite         string `json:"suite"`
+			Instructions  int64  `json:"instructions"`
+			DefaultBlocks int    `json:"defaultBlocks"`
+		} `json:"kernels"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.SchemaVersion != 2 || v2.Count == 0 || len(v2.Kernels) != v2.Count {
+		t.Fatalf("v2 envelope: %+v", v2)
+	}
+	for _, k := range v2.Kernels {
+		if k.Suite == "" {
+			t.Errorf("kernel %s: empty suite", k.Name)
+		}
+		if k.Instructions <= 0 {
+			t.Errorf("kernel %s: instructions = %d", k.Name, k.Instructions)
+		}
+		if k.DefaultBlocks != 2 {
+			t.Errorf("kernel %s: defaultBlocks = %d, want the 2-block probe grid", k.Name, k.DefaultBlocks)
+		}
+	}
+
+	// version=1 keeps the original shape: no schemaVersion, no v2 keys.
+	rec1 := httptest.NewRecorder()
+	h.ServeHTTP(rec1, httptest.NewRequest("GET", "/v1/kernels?version=1", nil))
+	if rec1.Code != http.StatusOK {
+		t.Fatalf("v1 status %d", rec1.Code)
+	}
+	var v1 map[string]any
+	if err := json.Unmarshal(rec1.Body.Bytes(), &v1); err != nil {
+		t.Fatal(err)
+	}
+	if _, has := v1["schemaVersion"]; has {
+		t.Error("version=1 response carries schemaVersion")
+	}
+	body := rec1.Body.String()
+	for _, key := range []string{"instructions", "defaultBlocks"} {
+		if strings.Contains(body, key) {
+			t.Errorf("version=1 response carries v2 key %q", key)
+		}
+	}
+	if int(v1["count"].(float64)) != v2.Count {
+		t.Error("v1 and v2 catalogues disagree on the kernel count")
+	}
+}
