@@ -1,0 +1,163 @@
+// Command gpumech-lint runs the repository's static-verification layer
+// (internal/check) from the command line:
+//
+//	gpumech-lint kernels [name ...]   verify bundled ISA kernels
+//	gpumech-lint src [pattern ...]    run the determinism linter on Go source
+//
+// `kernels` with no names verifies the whole registry; `src` with no
+// patterns lints ./... from the module root. Findings print one per
+// line in the same format the emulator pre-flight uses; -json emits a
+// JSON array instead.
+//
+// Exit codes are vet-style: 0 when no error-severity finding was
+// reported, 1 when at least one was, 2 on usage or internal errors.
+// Warnings and infos never affect the exit code (use -strict to make
+// warnings count).
+//
+// Examples:
+//
+//	gpumech-lint kernels                      # the whole registry
+//	gpumech-lint kernels rodinia_bfs sdk_scan # two kernels, text output
+//	gpumech-lint -json kernels                # machine-readable findings
+//	gpumech-lint -min-severity=info kernels   # show observations too
+//	gpumech-lint src ./...                    # determinism lint, whole module
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gpumech/internal/check"
+	"gpumech/internal/kernels"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	minSev := flag.String("min-severity", "warning", "lowest severity to print: info, warning, error")
+	strict := flag.Bool("strict", false, "exit 1 on warnings too, not just errors")
+	blocks := flag.Int("blocks", 2, "grid size used to build kernels for verification")
+	seed := flag.Int64("seed", 1, "input seed used to build kernels for verification")
+	flag.Usage = usage
+	flag.Parse()
+
+	var show check.Severity
+	if err := parseSeverity(*minSev, &show); err != nil {
+		fatal(err)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	var fs check.Findings
+	var err error
+	switch args[0] {
+	case "kernels":
+		fs, err = kernels.VerifyAll(args[1:], kernels.Scale{Blocks: *blocks, Seed: *seed})
+	case "src":
+		patterns := args[1:]
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		var root string
+		root, err = moduleRoot()
+		if err == nil {
+			fs, err = check.LintSource(root, patterns)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "gpumech-lint: unknown subcommand %q\n\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var shown check.Findings
+	for _, f := range fs {
+		if f.Severity >= show {
+			shown = append(shown, f)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if shown == nil {
+			shown = check.Findings{} // [] rather than null
+		}
+		if err := enc.Encode(shown); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range shown {
+			fmt.Println(f)
+		}
+	}
+
+	bad := fs.Count(check.Error)
+	if *strict {
+		bad += fs.Count(check.Warning)
+	}
+	if bad > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "gpumech-lint: %d blocking finding(s)\n", bad)
+		}
+		os.Exit(1)
+	}
+}
+
+func parseSeverity(name string, out *check.Severity) error {
+	switch name {
+	case "info":
+		*out = check.Info
+	case "warning":
+		*out = check.Warning
+	case "error":
+		*out = check.Error
+	default:
+		return fmt.Errorf("gpumech-lint: unknown severity %q (want info, warning, or error)", name)
+	}
+	return nil
+}
+
+// moduleRoot walks up from the working directory to the go.mod, so
+// `gpumech-lint src` works from any subdirectory of the checkout.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("gpumech-lint: no go.mod above %s (run inside the checkout)", dir)
+		}
+		dir = parent
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: gpumech-lint [flags] kernels [name ...]
+       gpumech-lint [flags] src [pattern ...]
+
+Static verification for GPUMech: 'kernels' runs the CFG/dataflow checker
+over bundled ISA programs; 'src' runs the determinism linter over the Go
+source tree. Exit code 1 means error-severity findings were reported.
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

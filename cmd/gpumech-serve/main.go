@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"gpumech/internal/kernels"
 	"gpumech/internal/obs/obsflag"
 	"gpumech/internal/obs/runtimecollector"
 	"gpumech/internal/serve"
@@ -55,6 +56,17 @@ func main() {
 	observer, err := ob.Setup()
 	if err != nil {
 		fail(err)
+	}
+
+	// Static pre-flight: the daemon refuses to start if any bundled
+	// kernel fails the checker, so a bad registry is caught at deploy
+	// time rather than on the first request that touches it.
+	if fs, err := kernels.VerifyAll(nil, kernels.Scale{Blocks: 2, Seed: 1}); err != nil {
+		fail(err)
+	} else if err := fs.Err(); err != nil {
+		fail(fmt.Errorf("kernel pre-flight failed (run gpumech-lint kernels for details): %w", err))
+	} else {
+		logger.Info("kernel pre-flight clean", slog.Int("kernels", len(kernels.Names())))
 	}
 
 	srv := serve.New(serve.Config{

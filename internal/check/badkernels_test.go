@@ -1,0 +1,218 @@
+// Badkernels corpus test. testdata/badkernels (repo root) holds one
+// deliberately broken ISA program per checker pass, as JSON alongside a
+// golden findings file. The test asserts two things: the findings match
+// the golden byte-for-byte, and every finding comes from exactly the
+// pass the file is named after. Run with -update to regenerate both the
+// corpus (from the definitions below) and the goldens.
+//
+// The file lives in the external test package so it can share helpers
+// with the fuzz target, which needs internal/emu (emu imports check, so
+// the internal test package cannot).
+package check_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpumech/internal/check"
+	"gpumech/internal/isa"
+)
+
+var update = flag.Bool("update", false, "rewrite the badkernels corpus and goldens")
+
+const badkernelsDir = "../../testdata/badkernels"
+
+// badKernel is the on-disk corpus entry format.
+type badKernel struct {
+	// Launch carries the geometry the checker verifies bounds against;
+	// nil skips the launch-dependent checks.
+	Launch  *check.LaunchInfo `json:"launch,omitempty"`
+	Program isa.Program       `json:"program"`
+}
+
+// raw builds an Instr with every sentinel field populated, then applies
+// mutations.
+func raw(op isa.Op, mut func(*isa.Instr)) isa.Instr {
+	in := isa.Instr{Op: op, Dst: isa.RegNone, SrcA: isa.RegNone, SrcB: isa.RegNone,
+		SrcC: isa.RegNone, PDst: isa.PredNone, Pred: isa.PredNone, Pred2: isa.PredNone}
+	if mut != nil {
+		mut(&in)
+	}
+	return in
+}
+
+// corpus returns the seeded defects, keyed by the pass that must catch
+// them. Each program is crafted so no other pass fires; the test
+// enforces that.
+func corpus(t *testing.T) map[string]badKernel {
+	t.Helper()
+	out := map[string]badKernel{}
+
+	// decode: destination register outside the declared register file.
+	out["decode"] = badKernel{Program: isa.Program{
+		Name: "bad_decode", NumRegs: 2, NumPreds: 1,
+		Instrs: []isa.Instr{
+			raw(isa.OpIAdd, func(in *isa.Instr) { in.Dst, in.SrcA, in.SrcB = 5, 0, 1 }),
+			raw(isa.OpExit, nil),
+		},
+	}}
+
+	// cfg: an unconditional branch jumps over an instruction no path
+	// reaches.
+	out["cfg"] = badKernel{Program: isa.Program{
+		Name: "bad_cfg", NumRegs: 1, NumPreds: 1,
+		Instrs: []isa.Instr{
+			raw(isa.OpBra, func(in *isa.Instr) { in.Target, in.Reconv = 2, 2 }),
+			raw(isa.OpNop, nil),
+			raw(isa.OpExit, nil),
+		},
+	}}
+
+	// defuse: r1 and r2 are read but never written on any path.
+	out["defuse"] = badKernel{Program: isa.Program{
+		Name: "bad_defuse", NumRegs: 3, NumPreds: 1,
+		Instrs: []isa.Instr{
+			raw(isa.OpIAdd, func(in *isa.Instr) { in.Dst, in.SrcA, in.SrcB = 0, 1, 2 }),
+			raw(isa.OpExit, nil),
+		},
+	}}
+
+	// reconverge: the declared reconvergence point (pc 3) is bypassed by
+	// the taken path, so it does not post-dominate the branch — the SIMT
+	// stack entry would never pop.
+	out["reconverge"] = badKernel{Program: isa.Program{
+		Name: "bad_reconverge", NumRegs: 1, NumPreds: 1,
+		Instrs: []isa.Instr{
+			raw(isa.OpMovI, func(in *isa.Instr) { in.Dst = 0 }),
+			raw(isa.OpISetp, func(in *isa.Instr) { in.PDst, in.SrcA, in.SrcB = 0, 0, 0 }),
+			raw(isa.OpBra, func(in *isa.Instr) { in.Pred = 0; in.Target, in.Reconv = 4, 3 }),
+			raw(isa.OpMovI, func(in *isa.Instr) { in.Dst = 0 }),
+			raw(isa.OpExit, nil),
+		},
+	}}
+
+	// barrier: a barrier guarded by control flow that branches on loaded
+	// data — whether a warp reaches the barrier depends on memory
+	// contents, a statically reportable deadlock.
+	bb := isa.NewBuilder("bad_barrier")
+	addr := bb.ImmReg(1 << 20)
+	v := bb.Reg()
+	bb.LdG(v, addr, 0, isa.MemI32)
+	p := bb.Pred()
+	bb.ISetpI(p, isa.CmpGT, v, 0)
+	bb.If(p, func() { bb.Bar() })
+	barProg, err := bb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["barrier"] = badKernel{Program: *barProg}
+
+	// bounds: a constant shared-memory access provably outside the
+	// declared segment.
+	ob := isa.NewBuilder("bad_bounds")
+	a := ob.ImmReg(4096)
+	w := ob.Reg()
+	ob.LdS(w, a, 0, isa.MemI32)
+	ob.StG(ob.ImmReg(1<<20), 0, w, isa.MemI32)
+	obProg, err := ob.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["bounds"] = badKernel{
+		Launch:  &check.LaunchInfo{Blocks: 1, ThreadsPerBlock: 32, SharedBytes: 64},
+		Program: *obProg,
+	}
+
+	return out
+}
+
+func renderFindings(fs check.Findings) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestBadKernelsCorpus(t *testing.T) {
+	defs := corpus(t)
+	if *update {
+		if err := os.MkdirAll(badkernelsDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for pass, bk := range defs {
+			data, err := json.MarshalIndent(bk, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(badkernelsDir, pass+".json"), append(data, '\n'), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for pass := range defs {
+		pass := pass
+		t.Run(pass, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(badkernelsDir, pass+".json"))
+			if err != nil {
+				t.Fatalf("corpus entry missing (run with -update to regenerate): %v", err)
+			}
+			var bk badKernel
+			if err := json.Unmarshal(data, &bk); err != nil {
+				t.Fatal(err)
+			}
+			fs := check.Verify(&bk.Program, check.Options{Launch: bk.Launch})
+			if len(fs) == 0 {
+				t.Fatalf("seeded %s defect produced no findings", pass)
+			}
+			for _, f := range fs {
+				if f.Pass != pass {
+					t.Errorf("finding from pass %q, want only %q: %s", f.Pass, pass, f)
+				}
+			}
+			got := renderFindings(fs)
+			goldenPath := filepath.Join(badkernelsDir, pass+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("golden missing (run with -update to regenerate): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings drifted from golden %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+	// Every corpus file on disk must correspond to a seeded definition,
+	// so stale entries cannot linger unchecked.
+	entries, err := os.ReadDir(badkernelsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		stem := strings.TrimSuffix(strings.TrimSuffix(name, ".json"), ".golden")
+		if name != "README.md" && defs[stem].Program.Name == "" {
+			t.Errorf("stray file %s in %s", name, badkernelsDir)
+		}
+	}
+}
+
+func ExampleFinding_ordering() {
+	fs := check.Findings{
+		{Pass: check.PassDefUse, Severity: check.Error, Program: "k", PC: 3, Block: -1, Warp: -1, Msg: "b"},
+		{Pass: check.PassCFG, Severity: check.Warning, Program: "k", PC: 1, Block: -1, Warp: -1, Msg: "a"},
+	}
+	fs.Sort()
+	fmt.Println(fs[0].Pass, fs[1].Pass)
+	// Output: cfg defuse
+}

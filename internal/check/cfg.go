@@ -1,0 +1,211 @@
+package check
+
+import (
+	"gpumech/internal/isa"
+)
+
+// cfg is a basic-block control-flow graph over an isa.Program. Block
+// boundaries (leaders) are the entry PC, branch targets, declared
+// reconvergence points, and the instruction after any branch or exit.
+// A single virtual exit node collects OpExit blocks and fall-off-the-end
+// control flow, matching the emulator's "pc past the last instruction
+// terminates the warp" behaviour.
+type cfg struct {
+	prog   *isa.Program
+	blocks []basicBlock
+	// blockOf maps every PC to the index of its containing block.
+	blockOf []int
+	// exit is the index of the virtual exit node (len(blocks)-1); it
+	// spans no instructions.
+	exit int
+	// reach[b] reports whether block b is reachable from the entry.
+	reach []bool
+	// pdom[b] is the set of blocks post-dominating b (including b),
+	// as a bitset; nil for blocks that cannot reach the exit.
+	pdom []bitset
+}
+
+type basicBlock struct {
+	start, end int // instruction PCs [start, end); empty for the exit node
+	succs      []int
+	preds      []int
+}
+
+// terminator returns the PC of the block's last instruction, or -1 for
+// the empty virtual exit block.
+func (b basicBlock) terminator() int {
+	if b.end <= b.start {
+		return -1
+	}
+	return b.end - 1
+}
+
+// buildCFG constructs the CFG. The program must already have passed
+// isa.Program.Validate, so branch targets and reconvergence PCs are in
+// [0, len(Instrs)].
+func buildCFG(p *isa.Program) *cfg {
+	n := len(p.Instrs)
+	leader := make([]bool, n+1)
+	leader[0] = true
+	leader[n] = true
+	for pc, in := range p.Instrs {
+		switch in.Op {
+		case isa.OpBra:
+			leader[in.Target] = true
+			leader[in.Reconv] = true
+			if pc+1 <= n {
+				leader[pc+1] = true
+			}
+		case isa.OpExit:
+			if pc+1 <= n {
+				leader[pc+1] = true
+			}
+		}
+	}
+
+	g := &cfg{prog: p, blockOf: make([]int, n+1)}
+	for pc := 0; pc <= n; pc++ {
+		if leader[pc] {
+			g.blocks = append(g.blocks, basicBlock{start: pc, end: pc})
+		}
+		g.blockOf[pc] = len(g.blocks) - 1
+	}
+	for i := range g.blocks {
+		if i+1 < len(g.blocks) {
+			g.blocks[i].end = g.blocks[i+1].start
+		} else {
+			g.blocks[i].end = n
+		}
+	}
+	// The last block starts at PC n and is empty: the virtual exit.
+	g.exit = len(g.blocks) - 1
+
+	edge := func(from, to int) {
+		g.blocks[from].succs = append(g.blocks[from].succs, to)
+		g.blocks[to].preds = append(g.blocks[to].preds, from)
+	}
+	for i := range g.blocks {
+		b := &g.blocks[i]
+		t := b.terminator()
+		if t < 0 {
+			continue // virtual exit
+		}
+		in := p.Instrs[t]
+		switch in.Op {
+		case isa.OpExit:
+			edge(i, g.exit)
+		case isa.OpBra:
+			edge(i, g.blockOf[in.Target])
+			if in.Pred != isa.PredNone && g.blockOf[in.Target] != g.blockOf[b.end] {
+				edge(i, g.blockOf[b.end]) // fall-through of a conditional branch
+			}
+		default:
+			edge(i, g.blockOf[b.end])
+		}
+	}
+
+	g.computeReach()
+	g.computePostDominators()
+	return g
+}
+
+func (g *cfg) computeReach() {
+	g.reach = make([]bool, len(g.blocks))
+	stack := []int{g.blockOf[0]}
+	g.reach[g.blockOf[0]] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.blocks[b].succs {
+			if !g.reach[s] {
+				g.reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+}
+
+// computePostDominators runs the standard iterative dataflow on the
+// reverse CFG: pdom(exit) = {exit}; pdom(b) = {b} ∪ ⋂ pdom(succs).
+// Blocks with no path to the exit keep a nil (⊤) set.
+func (g *cfg) computePostDominators() {
+	nb := len(g.blocks)
+	g.pdom = make([]bitset, nb)
+	g.pdom[g.exit] = newBitset(nb)
+	g.pdom[g.exit].set(g.exit)
+	for changed := true; changed; {
+		changed = false
+		// Iterate in reverse block order (roughly reverse topological for
+		// the forward CFG), which converges quickly.
+		for b := nb - 1; b >= 0; b-- {
+			if b == g.exit {
+				continue
+			}
+			var meet bitset
+			for _, s := range g.blocks[b].succs {
+				if g.pdom[s] == nil {
+					continue // ⊤: does not constrain the meet
+				}
+				if meet == nil {
+					meet = g.pdom[s].clone()
+				} else {
+					meet.intersect(g.pdom[s])
+				}
+			}
+			if meet == nil {
+				continue // all successors ⊤ (or no successors): stay ⊤
+			}
+			meet.set(b)
+			if g.pdom[b] == nil || !g.pdom[b].equal(meet) {
+				g.pdom[b] = meet
+				changed = true
+			}
+		}
+	}
+}
+
+// postDominates reports whether block a post-dominates block b.
+func (g *cfg) postDominates(a, b int) bool {
+	return g.pdom[b] != nil && g.pdom[b].has(a)
+}
+
+// reachesWithout collects the blocks reachable from `from` without
+// passing through `stop`, appending them to the visited set.
+func (g *cfg) reachesWithout(from, stop int, visited []bool) {
+	if from == stop || visited[from] {
+		return
+	}
+	visited[from] = true
+	for _, s := range g.blocks[from].succs {
+		g.reachesWithout(s, stop, visited)
+	}
+}
+
+// bitset is a fixed-capacity bit vector over block indices.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) intersect(o bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,231 @@
+// Package check is the static-verification layer: a CFG-based verifier
+// for ISA kernel programs (internal/isa) and a determinism linter for the
+// project's own Go source. Both report structured Findings so the CLI
+// (cmd/gpumech-lint), the emulator pre-flight, and CI share one
+// vocabulary for "this input is broken and here is where".
+//
+// The ISA verifier (Verify) builds a basic-block control-flow graph over
+// an isa.Program and runs dataflow passes over it: register
+// def-before-use, branch/reconvergence validity, unreachable code,
+// barrier-divergence detection, and shared/global memory bounds via a
+// lightweight interval abstract interpretation. See DESIGN.md §11 for the
+// pass list and soundness caveats.
+//
+// The source linter (LintSource) parses Go packages with go/parser and
+// typechecks them with go/types to enforce the invariants that keep model
+// output byte-identical at any worker count: no wallclock reads feeding
+// model state, no global (unseeded) randomness, no map-iteration order
+// reaching output without a sort, and no float equality between computed
+// values in model math.
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity grades a finding. Errors make gpumech-lint exit nonzero and
+// fail the emulator pre-flight; warnings are reported but do not gate.
+type Severity uint8
+
+const (
+	// Info findings are observations (e.g. a non-immediate reconvergence
+	// point that only costs performance).
+	Info Severity = iota
+	// Warning findings are suspicious but have defined behaviour in the
+	// emulator (e.g. reading a zero-initialized register on some paths).
+	Warning
+	// Error findings are defects: the program is malformed or can
+	// misbehave (deadlock, out-of-bounds access, undefined register use).
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// MarshalJSON renders the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "info":
+		*s = Info
+	case "warning":
+		*s = Warning
+	case "error":
+		*s = Error
+	default:
+		return fmt.Errorf("check: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Pass names. Every finding is attributed to exactly one pass; the
+// badkernels corpus is golden-tested against these names.
+const (
+	PassDecode     = "decode"     // structural validation (isa.Program.Validate)
+	PassCFG        = "cfg"        // CFG construction: unreachable code
+	PassDefUse     = "defuse"     // register/predicate def-before-use
+	PassReconverge = "reconverge" // reconvergence-stack balance (post-dominance)
+	PassBarrier    = "barrier"    // barriers under divergent control flow
+	PassBounds     = "bounds"     // shared/global memory bounds
+	PassRuntime    = "runtime"    // dynamic faults reported by the emulator
+)
+
+// Finding is one verifier, linter, or runtime diagnostic.
+type Finding struct {
+	Pass     string   `json:"pass"`
+	Severity Severity `json:"severity"`
+	Msg      string   `json:"msg"`
+
+	// Program findings: the kernel name, instruction PC and opcode the
+	// finding anchors to. PC is -1 when the finding is program-wide.
+	Program string `json:"program,omitempty"`
+	PC      int    `json:"pc"`
+	Op      string `json:"op,omitempty"`
+
+	// Runtime findings additionally carry the faulting block and warp.
+	// Both are -1 for static findings.
+	Block int `json:"block"`
+	Warp  int `json:"warp"`
+
+	// Source findings: file:line position of the offending construct.
+	File string `json:"file,omitempty"`
+}
+
+// String renders the finding in the one-line text form used by
+// gpumech-lint and by the badkernels goldens.
+func (f Finding) String() string {
+	var b strings.Builder
+	switch {
+	case f.File != "":
+		fmt.Fprintf(&b, "%s: ", f.File)
+	case f.Program != "":
+		fmt.Fprintf(&b, "%s", f.Program)
+		if f.Block >= 0 || f.Warp >= 0 {
+			fmt.Fprintf(&b, " block %d warp %d", f.Block, f.Warp)
+		}
+		if f.PC >= 0 {
+			fmt.Fprintf(&b, " pc %d", f.PC)
+		}
+		if f.Op != "" {
+			fmt.Fprintf(&b, " (%s)", f.Op)
+		}
+		b.WriteString(": ")
+	}
+	fmt.Fprintf(&b, "%s [%s] %s", f.Severity, f.Pass, f.Msg)
+	return b.String()
+}
+
+// staticFinding returns a Finding template with the runtime fields
+// blanked out.
+func staticFinding(pass string, sev Severity, program string, pc int, op, msg string) Finding {
+	return Finding{
+		Pass: pass, Severity: sev, Msg: msg,
+		Program: program, PC: pc, Op: op,
+		Block: -1, Warp: -1,
+	}
+}
+
+// Findings is a sortable, filterable finding list.
+type Findings []Finding
+
+// Sort orders findings deterministically: by file, program, PC, pass,
+// then message. Verifier passes append in pass order; Sort gives the
+// stable presentation order used by the CLI and the goldens.
+func (fs Findings) Sort() {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Program != b.Program {
+			return a.Program < b.Program
+		}
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		if a.Pass != b.Pass {
+			return a.Pass < b.Pass
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// Count returns the number of findings at exactly the given severity.
+func (fs Findings) Count(sev Severity) int {
+	n := 0
+	for _, f := range fs {
+		if f.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Errs returns only the error-severity findings.
+func (fs Findings) Errs() Findings {
+	var out Findings
+	for _, f := range fs {
+		if f.Severity == Error {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Err converts the error-severity findings into a single error, or nil
+// when there are none. The error lists up to three findings.
+func (fs Findings) Err() error {
+	errs := fs.Errs()
+	if len(errs) == 0 {
+		return nil
+	}
+	shown := errs
+	const maxShown = 3
+	if len(shown) > maxShown {
+		shown = shown[:maxShown]
+	}
+	lines := make([]string, len(shown))
+	for i, f := range shown {
+		lines[i] = f.String()
+	}
+	suffix := ""
+	if len(errs) > maxShown {
+		suffix = fmt.Sprintf(" (and %d more)", len(errs)-maxShown)
+	}
+	return fmt.Errorf("check: %d error finding(s): %s%s", len(errs), strings.Join(lines, "; "), suffix)
+}
+
+// RuntimeError is a dynamic fault reported by the emulator in the shared
+// finding vocabulary: it carries the kernel, block, warp, PC and opcode
+// of the faulting instruction so failures are attributable.
+type RuntimeError struct {
+	Finding Finding
+}
+
+// Runtime builds a RuntimeError for the given fault site.
+func Runtime(program string, block, warp, pc int, op string, format string, args ...any) *RuntimeError {
+	return &RuntimeError{Finding: Finding{
+		Pass: PassRuntime, Severity: Error, Msg: fmt.Sprintf(format, args...),
+		Program: program, PC: pc, Op: op, Block: block, Warp: warp,
+	}}
+}
+
+func (e *RuntimeError) Error() string { return "emu: " + e.Finding.String() }

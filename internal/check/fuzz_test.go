@@ -1,0 +1,84 @@
+package check_test
+
+import (
+	"testing"
+
+	"gpumech/internal/check"
+	"gpumech/internal/emu"
+	"gpumech/internal/isa"
+)
+
+// decodeProgram derives a structurally plausible program from fuzz
+// bytes: 8 bytes per instruction, fields reduced into their legal
+// domains so the interesting rejections come from the dataflow passes
+// rather than trivial range checks. A trailing Exit is always appended.
+func decodeProgram(data []byte) *isa.Program {
+	const numRegs, numPreds = 8, 4
+	n := len(data) / 8
+	if n > 16 {
+		n = 16
+	}
+	instrs := make([]isa.Instr, 0, n+1)
+	for i := 0; i < n; i++ {
+		b := data[i*8 : i*8+8]
+		in := isa.Instr{
+			Op:   isa.Op(b[0]) % (isa.OpExit + 1),
+			Dst:  isa.Reg(b[1] % numRegs),
+			SrcA: isa.Reg(b[2] % numRegs),
+			SrcB: isa.Reg(b[3] % numRegs),
+			SrcC: isa.Reg(b[4] % numRegs),
+			PDst: isa.PredReg(b[5] % numPreds),
+			Imm:  int64(int8(b[6])),
+		}
+		if b[5]&0x80 != 0 {
+			in.Pred = isa.PredReg(b[5] % numPreds)
+		} else {
+			in.Pred = isa.PredNone
+		}
+		in.Pred2 = isa.PredReg(b[4] % numPreds)
+		in.Cmp = isa.Cmp(b[7] % 6)
+		in.Mem = isa.MemType(b[7] % 5)
+		in.Target = int(b[6]) % (n + 1)
+		in.Reconv = int(b[7]) % (n + 1)
+		if in.Op == isa.OpS2R {
+			in.Imm = int64(b[6] % 7)
+		}
+		instrs = append(instrs, in)
+	}
+	instrs = append(instrs, isa.Instr{Op: isa.OpExit, Dst: isa.RegNone,
+		SrcA: isa.RegNone, SrcB: isa.RegNone, SrcC: isa.RegNone,
+		PDst: isa.PredNone, Pred: isa.PredNone, Pred2: isa.PredNone})
+	return &isa.Program{Name: "fuzz", Instrs: instrs, NumRegs: numRegs, NumPreds: numPreds}
+}
+
+// FuzzEmuAcceptsVerifiedPrograms is the checker's soundness contract
+// from the emulator's point of view: any program the static checker
+// accepts (no error-severity findings) must emulate without panicking.
+// Runtime errors (trace budget, barrier timeout) remain legal outcomes;
+// crashing is not.
+func FuzzEmuAcceptsVerifiedPrograms(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 0, 1, 2, 3, 0, 4, 0})                                          // movi
+	f.Add([]byte{byte(isa.OpBra), 0, 0, 0, 0, 0x81, 1, 1, 2, 0, 1, 2, 3, 0, 4, 0}) // guarded bra
+	f.Add([]byte{byte(isa.OpBar), 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{byte(isa.OpLdS), 1, 2, 0, 0, 0, 8, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog := decodeProgram(data)
+		if err := prog.Validate(); err != nil {
+			return
+		}
+		launch := &check.LaunchInfo{Blocks: 1, ThreadsPerBlock: 64, SharedBytes: 256}
+		fs := check.Verify(prog, check.Options{Launch: launch})
+		if fs.Err() != nil {
+			return // checker rejected it; nothing to assert
+		}
+		// Checker-accepted: the emulator must not panic. Errors are fine.
+		_, _ = emu.Run(emu.Launch{
+			Prog:            prog,
+			Blocks:          1,
+			ThreadsPerBlock: 64,
+			SharedBytes:     256,
+			MaxRecs:         100_000,
+		})
+	})
+}

@@ -1,0 +1,503 @@
+package check
+
+// The determinism linter. Byte-identical output at any worker count is a
+// load-bearing guarantee of this repository (golden_test.go pins model
+// output; the parallel layer asserts worker-count invariance), so the
+// sources of accidental nondeterminism in Go — wallclock reads, the
+// global math/rand source, map iteration order, and float equality on
+// computed values — are project-level lint errors in model packages.
+//
+// The linter is deliberately syntactic-plus-types: it parses with
+// go/parser, typechecks with go/types (source importer), and applies
+// narrow, allowance-carrying rules rather than a full taint analysis.
+// A `//det:ok` comment on (or immediately above) the offending line
+// suppresses any finding, for the rare case the rule cannot see why the
+// code is safe.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Lint pass names, alongside the verifier passes in finding.go.
+const (
+	PassWallclock = "wallclock" // time.Now / time.Since outside telemetry sinks
+	PassRand      = "rand"      // global (unseeded) math/rand source
+	PassMapOrder  = "maporder"  // map iteration order reaching output unsorted
+	PassFloatEq   = "floateq"   // float == / != between computed values
+)
+
+// pkgRules selects which lint rules apply to a package.
+type pkgRules struct {
+	Wallclock bool // R1: no wallclock outside ObserveSince sinks
+	Rand      bool // R2: no global math/rand source
+	MapOrder  bool // R3: no unsorted map iteration feeding output
+	FloatEq   bool // R4: no float ==/!= between computed values
+}
+
+// modelRules returns the rule set for an import path within this module.
+// Model packages — everything that contributes to model math or model
+// output — get the full set. Telemetry and orchestration layers
+// (obs, parallel, serve, experiments) measure wallclock on purpose and
+// are exempt from R1; emu is exempt from R4 because compareF implements
+// the ISA's floating-point comparison semantics by design.
+func modelRules(importPath string) pkgRules {
+	switch importPath {
+	case "gpumech/internal/obs",
+		"gpumech/internal/parallel",
+		"gpumech/internal/serve",
+		"gpumech/internal/experiments":
+		return pkgRules{Rand: true, MapOrder: true}
+	}
+	r := pkgRules{Wallclock: true, Rand: true, MapOrder: true, FloatEq: true}
+	if importPath == "gpumech/internal/emu" {
+		r.FloatEq = false
+	}
+	if strings.HasPrefix(importPath, "gpumech/cmd/") || strings.HasPrefix(importPath, "gpumech/examples/") {
+		// Binaries print wall-time summaries for humans; model state
+		// never flows back out of them.
+		r.Wallclock = false
+	}
+	return r
+}
+
+// LintSource lints the Go packages under root. Each pattern is a
+// directory relative to root, or "./..." to walk the whole module.
+// Test files and testdata directories are skipped. The returned
+// findings are sorted; an error is returned only for environmental
+// failures (unreadable tree, unparseable file), not for findings.
+func LintSource(root string, patterns []string) (Findings, error) {
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var all Findings
+	for _, dir := range dirs {
+		importPath, err := modulePath(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := lintDir(fset, imp, root, dir, modelRules(importPath))
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, fs...)
+	}
+	all.Sort()
+	return all, nil
+}
+
+// modulePath maps a directory under root to its import path in the
+// gpumech module.
+func modulePath(root, dir string) (string, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return "gpumech", nil
+	}
+	return "gpumech/" + filepath.ToSlash(rel), nil
+}
+
+// expandPatterns resolves CLI patterns to package directories.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." {
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(root, dir)
+		}
+		if !hasGoFiles(dir) {
+			return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		}
+		add(dir)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	pkg, err := build.Default.ImportDir(dir, 0)
+	return err == nil && len(pkg.GoFiles) > 0
+}
+
+// lintDir parses, typechecks, and lints one package directory.
+func lintDir(fset *token.FileSet, imp types.Importer, root, dir string, rules pkgRules) (Findings, error) {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Uses:  map[*ast.Ident]types.Object{},
+		Types: map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		// Best-effort: record type information even if some imports or
+		// expressions fail to resolve; the rules below degrade to "no
+		// finding" for anything untyped.
+		Error: func(error) {},
+	}
+	conf.Check(bp.Name, fset, files, info) //nolint:errcheck // best-effort above
+
+	l := &srcLinter{fset: fset, root: root, info: info, rules: rules}
+	for _, f := range files {
+		l.lintFile(f)
+	}
+	return l.findings, nil
+}
+
+type srcLinter struct {
+	fset     *token.FileSet
+	root     string
+	info     *types.Info
+	rules    pkgRules
+	okLines  map[string]map[int]bool // file -> lines carrying //det:ok
+	findings Findings
+}
+
+func (l *srcLinter) lintFile(f *ast.File) {
+	l.okLines = map[string]map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "det:ok") {
+				pos := l.fset.Position(c.Pos())
+				m := l.okLines[pos.Filename]
+				if m == nil {
+					m = map[int]bool{}
+					l.okLines[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		l.lintFunc(fn)
+	}
+}
+
+func (l *srcLinter) report(pass string, pos token.Pos, format string, args ...any) {
+	p := l.fset.Position(pos)
+	// //det:ok on the offending line or the line above suppresses.
+	if m := l.okLines[p.Filename]; m != nil && (m[p.Line] || m[p.Line-1]) {
+		return
+	}
+	file := p.Filename
+	if rel, err := filepath.Rel(l.root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = rel
+	}
+	l.findings = append(l.findings, Finding{
+		Pass: pass, Severity: Error, Msg: fmt.Sprintf(format, args...),
+		File: fmt.Sprintf("%s:%d:%d", file, p.Line, p.Column),
+		PC:   -1, Block: -1, Warp: -1,
+	})
+}
+
+// pkgOf resolves an expression to the package it names, if it is a bare
+// package qualifier (e.g. the `time` in time.Now).
+func (l *srcLinter) pkgOf(e ast.Expr) *types.Package {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := l.info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	return pn.Imported()
+}
+
+// pkgCall reports whether call invokes pkgPath.name.
+func (l *srcLinter) pkgCall(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	p := l.pkgOf(sel.X)
+	return p != nil && p.Path() == pkgPath
+}
+
+func (l *srcLinter) lintFunc(fn *ast.FuncDecl) {
+	if l.rules.Wallclock {
+		l.checkWallclock(fn)
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if l.rules.Rand {
+				l.checkRandCall(n)
+			}
+		case *ast.RangeStmt:
+			if l.rules.MapOrder {
+				l.checkMapRange(fn, n)
+			}
+		case *ast.BinaryExpr:
+			if l.rules.FloatEq {
+				l.checkFloatEq(n)
+			}
+		}
+		return true
+	})
+}
+
+// checkWallclock enforces R1: time.Now and time.Since may appear in a
+// model package only when the timestamp flows into an ObserveSince
+// telemetry sink (the `start := time.Now(); ...; o.ObserveSince(name,
+// start)` idiom). Everything else — including time.Since, which the
+// model layers never legitimately need — is flagged.
+func (l *srcLinter) checkWallclock(fn *ast.FuncDecl) {
+	// Idents passed to an ObserveSince call anywhere in the function.
+	sunk := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "ObserveSince" {
+			for _, arg := range call.Args {
+				if id, ok := arg.(*ast.Ident); ok {
+					sunk[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// start := time.Now() with start later sunk is the one
+			// allowed form; mark and skip the call inside.
+			if len(n.Rhs) == 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok && l.pkgCall(call, "time", "Now") {
+					allowed := false
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && sunk[id.Name] {
+							allowed = true
+						}
+					}
+					if !allowed {
+						l.report(PassWallclock, call.Pos(),
+							"time.Now() result never reaches an ObserveSince sink; wallclock must not feed model state")
+					}
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			if l.pkgCall(n, "time", "Now") {
+				l.report(PassWallclock, n.Pos(),
+					"time.Now() outside the `start := time.Now(); ObserveSince(..., start)` idiom")
+				return false
+			}
+			if l.pkgCall(n, "time", "Since") {
+				l.report(PassWallclock, n.Pos(),
+					"time.Since() in a model package; use obs.ObserveSince for telemetry")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkRandCall enforces R2: package-level math/rand functions draw from
+// the global, racily-seeded source and are banned; constructing an
+// explicitly seeded generator (rand.New, rand.NewSource) is the
+// deterministic idiom and stays legal.
+func (l *srcLinter) checkRandCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	p := l.pkgOf(sel.X)
+	if p == nil || p.Path() != "math/rand" {
+		return
+	}
+	switch sel.Sel.Name {
+	case "New", "NewSource", "NewZipf":
+		return
+	}
+	l.report(PassRand, call.Pos(),
+		"rand.%s uses the global math/rand source; use rand.New(rand.NewSource(seed))", sel.Sel.Name)
+}
+
+// checkMapRange enforces R3: iterating a map in randomized order is fine
+// for pure aggregation, but not when the order can reach output — when
+// the body appends, prints, writes, or accumulates floats — unless a
+// sort call follows later in the same function (the `collect keys, then
+// sort.Strings` idiom).
+func (l *srcLinter) checkMapRange(fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	t := l.info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	leak := l.mapRangeLeak(rng.Body)
+	if leak == "" {
+		return
+	}
+	if l.sortFollows(fn, rng.End()) {
+		return
+	}
+	l.report(PassMapOrder, rng.Pos(),
+		"map iteration order reaches output (%s) with no sort afterwards in this function", leak)
+}
+
+// mapRangeLeak reports how a map-range body leaks iteration order, or ""
+// when the body looks order-insensitive.
+func (l *srcLinter) mapRangeLeak(body *ast.BlockStmt) string {
+	leak := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if leak != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, user := l.info.Uses[id].(*types.Func); !user {
+					leak = "append"
+					return false
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln",
+					"Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+					leak = sel.Sel.Name + " call"
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			leak = "channel send"
+			return false
+		case *ast.AssignStmt:
+			// Float accumulation is order-dependent: (a+b)+c != a+(b+c).
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN || n.Tok == token.MUL_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if isFloat(l.info.TypeOf(lhs)) {
+						leak = "float accumulation"
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return leak
+}
+
+// sortFollows reports whether a sort.* or slices.Sort* call appears
+// after pos in the function body.
+func (l *srcLinter) sortFollows(fn *ast.FuncDecl, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		p := l.pkgOf(sel.X)
+		if p == nil {
+			return true
+		}
+		if p.Path() == "sort" || (p.Path() == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort")) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkFloatEq enforces R4: == / != between two computed floats is
+// almost always a rounding-sensitive bug in model math. Comparing
+// against a constant (typically exact zero, e.g. guarding a division)
+// stays legal.
+func (l *srcLinter) checkFloatEq(e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	if !isFloat(l.info.TypeOf(e.X)) && !isFloat(l.info.TypeOf(e.Y)) {
+		return
+	}
+	if l.isConst(e.X) || l.isConst(e.Y) {
+		return
+	}
+	l.report(PassFloatEq, e.OpPos,
+		"float %s between computed values; compare against a tolerance instead", e.Op)
+}
+
+func (l *srcLinter) isConst(e ast.Expr) bool {
+	tv, ok := l.info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,143 @@
+package check
+
+import (
+	"bufio"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLintBadPackage runs the determinism linter over the seeded fixture
+// and cross-checks the findings against the `// want <pass>` markers in
+// the fixture source: every marked line must produce a finding of that
+// pass, and no unmarked line may produce anything.
+func TestLintBadPackage(t *testing.T) {
+	dir := filepath.Join("testdata", "srclint", "bad")
+	want := wantMarkers(t, filepath.Join(dir, "bad.go"))
+
+	fset := token.NewFileSet()
+	rules := pkgRules{Wallclock: true, Rand: true, MapOrder: true, FloatEq: true}
+	fs, err := lintDir(fset, importer.ForCompiler(fset, "source", nil), dir, dir, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, f := range fs {
+		if f.Severity != Error {
+			t.Errorf("lint finding below error severity: %s", f)
+		}
+		parts := strings.Split(f.File, ":")
+		if len(parts) < 2 {
+			t.Fatalf("finding without file:line position: %s", f)
+		}
+		key := fmt.Sprintf("%s:%s:%s", filepath.Base(parts[0]), parts[1], f.Pass)
+		if got[key] {
+			t.Errorf("duplicate finding at %s", key)
+		}
+		got[key] = true
+	}
+	for key := range want {
+		if !got[key] {
+			t.Errorf("missing expected finding %s", key)
+		}
+	}
+	for key := range got {
+		if !want[key] {
+			t.Errorf("unexpected finding %s", key)
+		}
+	}
+}
+
+// wantMarkers parses `// want <pass>` comments into file:line:pass keys.
+func wantMarkers(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		i := strings.Index(text, "// want ")
+		if i < 0 {
+			continue
+		}
+		pass := strings.TrimSpace(text[i+len("// want "):])
+		want[fmt.Sprintf("%s:%d:%s", filepath.Base(path), line, pass)] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatalf("no want markers in %s", path)
+	}
+	return want
+}
+
+// TestLintSourceRepoClean pins the repository itself lint-clean: the
+// same gate CI runs. Any new wallclock read, global-rand draw, unsorted
+// map-order leak, or float equality in model code fails here first.
+func TestLintSourceRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := LintSource(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		var b strings.Builder
+		for _, f := range fs {
+			fmt.Fprintf(&b, "  %s\n", f)
+		}
+		t.Fatalf("repository is not lint-clean:\n%s", b.String())
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestModelRules pins the package classification table.
+func TestModelRules(t *testing.T) {
+	cases := []struct {
+		path string
+		want pkgRules
+	}{
+		{"gpumech", pkgRules{Wallclock: true, Rand: true, MapOrder: true, FloatEq: true}},
+		{"gpumech/internal/core/model", pkgRules{Wallclock: true, Rand: true, MapOrder: true, FloatEq: true}},
+		{"gpumech/internal/emu", pkgRules{Wallclock: true, Rand: true, MapOrder: true, FloatEq: false}},
+		{"gpumech/internal/obs", pkgRules{Rand: true, MapOrder: true}},
+		{"gpumech/internal/serve", pkgRules{Rand: true, MapOrder: true}},
+		{"gpumech/cmd/gpumech-run", pkgRules{Rand: true, MapOrder: true, FloatEq: true}},
+	}
+	for _, c := range cases {
+		if got := modelRules(c.path); got != c.want {
+			t.Errorf("modelRules(%q) = %+v, want %+v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package badpkg seeds one violation per determinism-linter rule, plus
+// the allowed idiom next to each so the test pins both directions.
+package badpkg
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type obsLike struct{}
+
+func (obsLike) ObserveSince(name string, start time.Time) {}
+
+// WallclockBad reads the wallclock without a telemetry sink.
+func WallclockBad() time.Duration {
+	t := time.Now()                        // want wallclock
+	return time.Since(t.AddDate(0, 0, -1)) // want wallclock
+}
+
+// WallclockGood uses the one sanctioned idiom.
+func WallclockGood(o obsLike) {
+	start := time.Now()
+	o.ObserveSince("stage.seconds", start)
+}
+
+// RandBad draws from the global source.
+func RandBad() int {
+	return rand.Intn(10) // want rand
+}
+
+// RandGood seeds explicitly.
+func RandGood() int {
+	rng := rand.New(rand.NewSource(42))
+	return rng.Intn(10)
+}
+
+// MapOrderBad lets iteration order reach the returned slice.
+func MapOrderBad(m map[string]int) []string {
+	var out []string
+	for k := range m { // want maporder
+		out = append(out, k)
+	}
+	return out
+}
+
+// MapOrderPrint leaks order through fmt.
+func MapOrderPrint(m map[string]int) {
+	for k, v := range m { // want maporder
+		fmt.Println(k, v)
+	}
+}
+
+// MapOrderFloatAccum accumulates floats in map order: the sum depends
+// on association order.
+func MapOrderFloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want maporder
+		sum += v
+	}
+	return sum
+}
+
+// MapOrderGood collects then sorts.
+func MapOrderGood(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MapOrderAggregation counts, which is order-insensitive.
+func MapOrderAggregation(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// FloatEqBad compares two computed floats exactly.
+func FloatEqBad(a, b float64) bool {
+	return a/3 == b/3 // want floateq
+}
+
+// FloatEqGood compares against a constant.
+func FloatEqGood(a float64) bool {
+	return a == 0
+}
+
+// FloatEqEscaped carries an explicit waiver.
+func FloatEqEscaped(a, b float64) bool {
+	return a == b //det:ok test waiver
+}

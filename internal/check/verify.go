@@ -1,0 +1,755 @@
+package check
+
+import (
+	"fmt"
+
+	"gpumech/internal/isa"
+)
+
+// LaunchInfo declares the launch geometry a program will run under. It
+// enables the bounds pass to check shared-memory accesses against the
+// declared segment and gives the S2R special registers concrete ranges.
+type LaunchInfo struct {
+	Blocks          int
+	ThreadsPerBlock int
+	WarpSize        int // 0 means 32
+	SharedBytes     int
+}
+
+// Options configures Verify.
+type Options struct {
+	// Launch, when non-nil, enables launch-dependent checks (shared
+	// memory bounds, S2R value ranges). A nil Launch verifies only the
+	// launch-independent structural properties.
+	Launch *LaunchInfo
+}
+
+// Verify statically checks the program and returns all findings, sorted.
+// The passes, in order:
+//
+//	decode      structural validation (isa.Program.Validate)
+//	cfg         unreachable instructions
+//	defuse      register/predicate def-before-use dataflow
+//	reconverge  every conditional branch's reconvergence PC must
+//	            post-dominate the branch (SIMT stack balance)
+//	barrier     OpBar reachable under divergent control flow
+//	bounds      shared/global address ranges via interval abstract
+//	            interpretation against the declared launch
+//
+// A program with no Error-severity findings is safe to emulate: it
+// cannot deadlock the SIMT stack, read registers that were never
+// written, or provably access memory out of bounds.
+func Verify(p *isa.Program, opts Options) Findings {
+	var fs Findings
+	if err := p.Validate(); err != nil {
+		fs = append(fs, staticFinding(PassDecode, Error, progName(p), -1, "", err.Error()))
+		return fs
+	}
+	g := buildCFG(p)
+	fs = append(fs, unreachablePass(g)...)
+	fs = append(fs, defUsePass(g)...)
+	fs = append(fs, reconvergePass(g)...)
+	fs = append(fs, barrierPass(g)...)
+	fs = append(fs, boundsPass(g, opts.Launch)...)
+	fs.Sort()
+	return fs
+}
+
+func progName(p *isa.Program) string {
+	if p.Name != "" {
+		return p.Name
+	}
+	return "<unnamed>"
+}
+
+// ---- cfg pass: unreachable code -------------------------------------------
+
+func unreachablePass(g *cfg) Findings {
+	var fs Findings
+	for i, b := range g.blocks {
+		if g.reach[i] || b.start >= b.end {
+			continue
+		}
+		fs = append(fs, staticFinding(PassCFG, Warning, progName(g.prog), b.start,
+			g.prog.Instrs[b.start].Op.String(),
+			fmt.Sprintf("unreachable code: pcs %d..%d are on no path from the entry", b.start, b.end-1)))
+	}
+	return fs
+}
+
+// ---- defuse pass: def-before-use ------------------------------------------
+
+// defUsePass runs two forward dataflows over the unified register
+// namespace (general registers, then predicates): may-defined (union at
+// joins) and must-defined (intersection at joins). A use outside the
+// may set was never written on any path — an Error. A use in may but not
+// must reads the zero-initialized register on some path — a Warning.
+func defUsePass(g *cfg) Findings {
+	p := g.prog
+	nr, np := p.NumRegs, p.NumPreds
+	width := nr + np
+	nb := len(g.blocks)
+
+	gen := make([]bitset, nb)
+	for i, b := range g.blocks {
+		gen[i] = newBitset(width)
+		for pc := b.start; pc < b.end; pc++ {
+			for _, d := range instrDefs(&p.Instrs[pc], nr) {
+				gen[i].set(d)
+			}
+		}
+	}
+
+	entry := g.blockOf[0]
+	// May-defined: in = ∪ preds out; increasing fixpoint from ∅.
+	mayIn := make([]bitset, nb)
+	mayOut := make([]bitset, nb)
+	for i := range mayOut {
+		mayIn[i] = newBitset(width)
+		mayOut[i] = newBitset(width)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < nb; i++ {
+			in := newBitset(width)
+			for _, pr := range g.blocks[i].preds {
+				for w := range in {
+					in[w] |= mayOut[pr][w]
+				}
+			}
+			out := in.clone()
+			for w := range out {
+				out[w] |= gen[i][w]
+			}
+			if !in.equal(mayIn[i]) || !out.equal(mayOut[i]) {
+				mayIn[i], mayOut[i] = in, out
+				changed = true
+			}
+		}
+	}
+
+	// Must-defined: in = ∩ preds out; decreasing fixpoint from ⊤.
+	full := newBitset(width)
+	for w := range full {
+		full[w] = ^uint64(0)
+	}
+	mustIn := make([]bitset, nb)
+	mustOut := make([]bitset, nb)
+	for i := range mustOut {
+		mustIn[i] = full.clone()
+		mustOut[i] = full.clone()
+	}
+	mustIn[entry] = newBitset(width)
+	mustOut[entry] = gen[entry].clone()
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < nb; i++ {
+			if i == entry {
+				continue
+			}
+			var in bitset
+			for _, pr := range g.blocks[i].preds {
+				if in == nil {
+					in = mustOut[pr].clone()
+				} else {
+					in.intersect(mustOut[pr])
+				}
+			}
+			if in == nil {
+				in = full.clone() // unreachable: keep ⊤
+			}
+			out := in.clone()
+			for w := range out {
+				out[w] |= gen[i][w]
+			}
+			if !in.equal(mustIn[i]) || !out.equal(mustOut[i]) {
+				mustIn[i], mustOut[i] = in, out
+				changed = true
+			}
+		}
+	}
+
+	var fs Findings
+	name := progName(p)
+	for i, b := range g.blocks {
+		if !g.reach[i] {
+			continue
+		}
+		may := mayIn[i].clone()
+		must := mustIn[i].clone()
+		if i == entry {
+			must = newBitset(width)
+		}
+		for pc := b.start; pc < b.end; pc++ {
+			in := &p.Instrs[pc]
+			for _, u := range instrUses(in, nr) {
+				rn := regName(u, nr)
+				switch {
+				case !may.has(u):
+					fs = append(fs, staticFinding(PassDefUse, Error, name, pc, in.Op.String(),
+						fmt.Sprintf("read of %s, which is never written on any path to this instruction", rn)))
+				case !must.has(u):
+					fs = append(fs, staticFinding(PassDefUse, Warning, name, pc, in.Op.String(),
+						fmt.Sprintf("%s may be read before it is written (zero on those paths)", rn)))
+				}
+			}
+			for _, d := range instrDefs(in, nr) {
+				may.set(d)
+				must.set(d)
+			}
+		}
+	}
+	return fs
+}
+
+func regName(u, numRegs int) string {
+	if u < numRegs {
+		return fmt.Sprintf("r%d", u)
+	}
+	return fmt.Sprintf("p%d", u-numRegs)
+}
+
+// instrDefs returns the unified-namespace indices the instruction writes.
+func instrDefs(in *isa.Instr, numRegs int) []int {
+	var out []int
+	if in.Dst != isa.RegNone {
+		out = append(out, int(in.Dst))
+	}
+	if in.PDst != isa.PredNone {
+		out = append(out, numRegs+int(in.PDst))
+	}
+	return out
+}
+
+// instrUses returns the unified-namespace indices the instruction reads:
+// its general source registers plus any predicate it consumes, whether as
+// a guard, a branch condition, or an operand (selp/pand/pnot).
+func instrUses(in *isa.Instr, numRegs int) []int {
+	var out []int
+	for _, r := range in.SrcRegs(nil) {
+		out = append(out, int(r))
+	}
+	if in.Pred != isa.PredNone {
+		out = append(out, numRegs+int(in.Pred))
+	}
+	if in.Pred2 != isa.PredNone {
+		out = append(out, numRegs+int(in.Pred2))
+	}
+	return out
+}
+
+// ---- reconverge pass: SIMT stack balance ----------------------------------
+
+// reconvergePass checks every conditional branch's declared reconvergence
+// PC. The emulator pushes divergent paths with rpc=Reconv and pops only
+// when pc reaches rpc, so if Reconv does not post-dominate the branch a
+// divergent path can terminate with stack entries pending and lanes are
+// silently lost (Error). A Reconv that post-dominates but is later than
+// the immediate post-dominator re-executes the join-to-Reconv range once
+// per divergent side (Info; and any barrier in that range would
+// mismatch — caught by the barrier pass).
+func reconvergePass(g *cfg) Findings {
+	var fs Findings
+	name := progName(g.prog)
+	for i, b := range g.blocks {
+		if !g.reach[i] {
+			continue
+		}
+		t := b.terminator()
+		if t < 0 {
+			continue
+		}
+		in := g.prog.Instrs[t]
+		if in.Op != isa.OpBra || in.Pred == isa.PredNone {
+			continue
+		}
+		rb := g.blockOf[in.Reconv]
+		if !g.postDominates(rb, i) {
+			fs = append(fs, staticFinding(PassReconverge, Error, name, t, in.Op.String(),
+				fmt.Sprintf("reconvergence point pc %d does not post-dominate the branch; a divergent path can bypass it and the SIMT stack never rebalances", in.Reconv)))
+			continue
+		}
+		if ip := g.ipdom(i); ip >= 0 && ip != rb && in.Reconv != b.end {
+			fs = append(fs, staticFinding(PassReconverge, Info, name, t, in.Op.String(),
+				fmt.Sprintf("reconvergence point pc %d is later than the immediate post-dominator (pc %d); lanes re-execute the range in between once per side", in.Reconv, g.blocks[ip].start)))
+		}
+	}
+	return fs
+}
+
+// ipdom returns the immediate post-dominator block of b, or -1.
+func (g *cfg) ipdom(b int) int {
+	if g.pdom[b] == nil {
+		return -1
+	}
+	var cands []int
+	for i := range g.blocks {
+		if i != b && g.pdom[b].has(i) {
+			cands = append(cands, i)
+		}
+	}
+	for _, c := range cands {
+		imm := true
+		for _, c2 := range cands {
+			if c2 != c && !g.postDominates(c2, c) {
+				imm = false
+				break
+			}
+		}
+		if imm {
+			return c
+		}
+	}
+	return -1
+}
+
+// ---- barrier pass: divergence taint + divergent-region barriers -----------
+
+// Divergence levels for the taint analysis.
+const (
+	lvlUniform uint8 = iota // same value in every thread of the block
+	lvlTid                  // varies with thread/lane/warp ID
+	lvlData                 // depends on loaded data
+)
+
+// barrierPass flags OpBar instructions reachable under non-uniform
+// control flow. A flow-insensitive taint analysis grades every register
+// and predicate: uniform, thread-ID-divergent, or data-divergent
+// (anything touched by a load). Control dependence is included: values
+// written inside a divergent region inherit the region's level.
+//
+// A barrier inside a region guarded by a data-divergent predicate is a
+// statically reportable deadlock hazard (Error): whether a warp reaches
+// the barrier depends on memory contents. Under a thread-ID-divergent
+// predicate the barrier is a Warning: it is safe exactly when every warp
+// keeps at least one thread in the region, which is a launch-geometry
+// property the checker cannot prove. A guard predicate directly on the
+// barrier is flagged too, since the emulator's barrier ignores guards.
+func barrierPass(g *cfg) Findings {
+	p := g.prog
+	regLvl := make([]uint8, p.NumRegs)
+	predLvl := make([]uint8, p.NumPreds)
+	ctrl := make([]uint8, len(g.blocks))
+
+	raise := func(dst *uint8, l uint8) bool {
+		if l > *dst {
+			*dst = l
+			return true
+		}
+		return false
+	}
+
+	// divergentRegion marks the blocks reachable from the branch's two
+	// successors without passing through its reconvergence block.
+	divergentRegion := func(blk int, in isa.Instr) []bool {
+		visited := make([]bool, len(g.blocks))
+		stop := g.blockOf[in.Reconv]
+		g.reachesWithout(g.blockOf[in.Target], stop, visited)
+		g.reachesWithout(g.blockOf[g.blocks[blk].end], stop, visited)
+		return visited
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Control-dependence: blocks inside a divergent branch's region
+		// run at least at the branch predicate's level.
+		for i, b := range g.blocks {
+			t := b.terminator()
+			if !g.reach[i] || t < 0 {
+				continue
+			}
+			in := p.Instrs[t]
+			if in.Op != isa.OpBra || in.Pred == isa.PredNone || predLvl[in.Pred] == lvlUniform {
+				continue
+			}
+			for blk, inRegion := range divergentRegion(i, in) {
+				if inRegion && raise(&ctrl[blk], predLvl[in.Pred]) {
+					changed = true
+				}
+			}
+		}
+		for i, b := range g.blocks {
+			if !g.reach[i] {
+				continue
+			}
+			for pc := b.start; pc < b.end; pc++ {
+				in := &p.Instrs[pc]
+				lvl := ctrl[i]
+				if in.Pred != isa.PredNone {
+					// A guard merges old and new values per lane; the
+					// result is at least as divergent as the guard.
+					lvl = max(lvl, predLvl[in.Pred])
+				}
+				if in.Pred2 != isa.PredNone {
+					lvl = max(lvl, predLvl[in.Pred2])
+				}
+				for _, r := range in.SrcRegs(nil) {
+					lvl = max(lvl, regLvl[r])
+				}
+				switch in.Op {
+				case isa.OpLdG, isa.OpLdS:
+					lvl = max(lvl, lvlData)
+				case isa.OpS2R:
+					switch isa.SpecialKind(in.Imm) {
+					case isa.SrTid, isa.SrLaneID, isa.SrWarpID, isa.SrGlobalID:
+						lvl = max(lvl, lvlTid)
+					}
+				}
+				if in.Dst != isa.RegNone && raise(&regLvl[in.Dst], lvl) {
+					changed = true
+				}
+				if in.PDst != isa.PredNone && raise(&predLvl[in.PDst], lvl) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// barLvl[pc] is the worst divergence level under which the barrier at
+	// pc is reachable; barBranch[pc] records one responsible branch.
+	barLvl := map[int]uint8{}
+	barBranch := map[int]int{}
+	for i, b := range g.blocks {
+		t := b.terminator()
+		if !g.reach[i] || t < 0 {
+			continue
+		}
+		in := p.Instrs[t]
+		if in.Op != isa.OpBra || in.Pred == isa.PredNone || predLvl[in.Pred] == lvlUniform {
+			continue
+		}
+		for blk, inRegion := range divergentRegion(i, in) {
+			if !inRegion || !g.reach[blk] {
+				continue
+			}
+			for pc := g.blocks[blk].start; pc < g.blocks[blk].end; pc++ {
+				if p.Instrs[pc].Op != isa.OpBar {
+					continue
+				}
+				if lvl, seen := barLvl[pc]; !seen || predLvl[in.Pred] > lvl {
+					barLvl[pc] = predLvl[in.Pred]
+					barBranch[pc] = t
+				}
+			}
+		}
+	}
+
+	var fs Findings
+	name := progName(p)
+	for pc, in := range p.Instrs {
+		if in.Op != isa.OpBar {
+			continue
+		}
+		if lvl, ok := barLvl[pc]; ok {
+			if lvl >= lvlData {
+				fs = append(fs, staticFinding(PassBarrier, Error, name, pc, in.Op.String(),
+					fmt.Sprintf("barrier inside control flow that diverges on loaded data (branch at pc %d): whether a warp reaches it depends on memory contents — statically reportable deadlock", barBranch[pc])))
+			} else {
+				fs = append(fs, staticFinding(PassBarrier, Warning, name, pc, in.Op.String(),
+					fmt.Sprintf("barrier under thread-ID-divergent control flow (branch at pc %d): safe only if every warp keeps a thread in the region", barBranch[pc])))
+			}
+		}
+		if in.Pred != isa.PredNone {
+			fs = append(fs, staticFinding(PassBarrier, Warning, name, pc, in.Op.String(),
+				"guard predicate on a barrier is ignored: the warp synchronizes regardless of the guard"))
+		}
+	}
+	return fs
+}
+
+// ---- bounds pass: interval abstract interpretation ------------------------
+
+// absVal is an integer interval; !known means ⊤ (any value). Bounds are
+// saturated at ±absInf so arithmetic cannot overflow.
+type absVal struct {
+	lo, hi int64
+	known  bool
+}
+
+const absInf = int64(1) << 48
+
+func absConst(c int64) absVal { return absVal{lo: c, hi: c, known: true} }
+func absRange(l, h int64) absVal {
+	return absVal{lo: satClamp(l), hi: satClamp(h), known: true}
+}
+func absTop() absVal { return absVal{} }
+
+func satClamp(v int64) int64 {
+	if v > absInf {
+		return absInf
+	}
+	if v < -absInf {
+		return -absInf
+	}
+	return v
+}
+
+func (a absVal) hull(b absVal) absVal {
+	if !a.known || !b.known {
+		return absTop()
+	}
+	return absRange(min(a.lo, b.lo), max(a.hi, b.hi))
+}
+
+func (a absVal) add(b absVal) absVal {
+	if !a.known || !b.known {
+		return absTop()
+	}
+	return absRange(a.lo+b.lo, a.hi+b.hi)
+}
+
+func (a absVal) sub(b absVal) absVal {
+	if !a.known || !b.known {
+		return absTop()
+	}
+	return absRange(a.lo-b.hi, a.hi-b.lo)
+}
+
+func (a absVal) mul(b absVal) absVal {
+	if !a.known || !b.known {
+		return absTop()
+	}
+	c := []int64{satMul(a.lo, b.lo), satMul(a.lo, b.hi), satMul(a.hi, b.lo), satMul(a.hi, b.hi)}
+	lo, hi := c[0], c[0]
+	for _, v := range c[1:] {
+		lo, hi = min(lo, v), max(hi, v)
+	}
+	return absRange(lo, hi)
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := float64(a) * float64(b)
+	if p > float64(absInf) || p < -float64(absInf) {
+		if p > 0 {
+			return absInf
+		}
+		return -absInf
+	}
+	return a * b
+}
+
+func (a absVal) eq(b absVal) bool { return a == b }
+
+// boundsPass interprets the program over interval-abstract register
+// states, one state per basic block, to fixpoint with widening, then
+// checks every shared access against the declared segment and every
+// global access for provably negative addresses.
+//
+// Soundness caveat (documented in DESIGN.md §11): registers holding
+// float64 bit patterns are ⊤, loads are ⊤, and loop-carried values that
+// keep changing are widened to ⊤ after two sweeps — the pass can miss
+// real violations but Error findings are definite: every execution
+// reaching that instruction faults.
+func boundsPass(g *cfg, launch *LaunchInfo) Findings {
+	p := g.prog
+	nb := len(g.blocks)
+	nr := p.NumRegs
+
+	s2r := func(kind isa.SpecialKind) absVal {
+		if launch == nil {
+			return absTop()
+		}
+		ws := launch.WarpSize
+		if ws == 0 {
+			ws = 32
+		}
+		switch kind {
+		case isa.SrTid:
+			return absRange(0, int64(launch.ThreadsPerBlock-1))
+		case isa.SrNtid:
+			return absConst(int64(launch.ThreadsPerBlock))
+		case isa.SrCtaid:
+			return absRange(0, int64(launch.Blocks-1))
+		case isa.SrNctaid:
+			return absConst(int64(launch.Blocks))
+		case isa.SrLaneID:
+			return absRange(0, int64(ws-1))
+		case isa.SrWarpID:
+			return absRange(0, int64(launch.ThreadsPerBlock/ws-1))
+		case isa.SrGlobalID:
+			return absRange(0, int64(launch.Blocks*launch.ThreadsPerBlock-1))
+		}
+		return absTop()
+	}
+
+	// transfer interprets one instruction over the state.
+	transfer := func(st []absVal, in *isa.Instr) {
+		if in.Dst == isa.RegNone {
+			return
+		}
+		v := absTop()
+		a := func() absVal { return st[in.SrcA] }
+		b := func() absVal { return st[in.SrcB] }
+		switch in.Op {
+		case isa.OpMovI:
+			v = absConst(in.Imm)
+		case isa.OpMov:
+			v = a()
+		case isa.OpIAdd:
+			v = a().add(b())
+		case isa.OpIAddI:
+			v = a().add(absConst(in.Imm))
+		case isa.OpISub:
+			v = a().sub(b())
+		case isa.OpIMul:
+			v = a().mul(b())
+		case isa.OpIMulI:
+			v = a().mul(absConst(in.Imm))
+		case isa.OpIMad:
+			v = a().mul(b()).add(st[in.SrcC])
+		case isa.OpIMin:
+			if av, bv := a(), b(); av.known && bv.known {
+				v = absRange(min(av.lo, bv.lo), min(av.hi, bv.hi))
+			}
+		case isa.OpIMax:
+			if av, bv := a(), b(); av.known && bv.known {
+				v = absRange(max(av.lo, bv.lo), max(av.hi, bv.hi))
+			}
+		case isa.OpAndI:
+			if in.Imm >= 0 {
+				v = absRange(0, in.Imm)
+				if av := a(); av.known && av.lo >= 0 {
+					v = absRange(0, min(av.hi, in.Imm))
+				}
+			}
+		case isa.OpShl:
+			v = a().mul(absConst(1 << uint(in.Imm&63)))
+		case isa.OpShr:
+			if av := a(); av.known {
+				sh := uint(in.Imm & 63)
+				v = absRange(av.lo>>sh, av.hi>>sh)
+			}
+		case isa.OpRemI:
+			if m := in.Imm; m > 0 {
+				if av := a(); av.known && av.lo >= 0 {
+					v = absRange(0, min(av.hi, m-1))
+				} else {
+					v = absRange(-(m - 1), m-1)
+				}
+			}
+		case isa.OpIDivI:
+			if av := a(); av.known && in.Imm > 0 {
+				v = absRange(av.lo/in.Imm, av.hi/in.Imm)
+			}
+		case isa.OpSelp:
+			v = a().hull(b())
+		case isa.OpS2R:
+			v = s2r(isa.SpecialKind(in.Imm))
+		}
+		if in.Pred != isa.PredNone && in.Op != isa.OpSelp {
+			// Guarded write: inactive lanes keep the old value.
+			v = v.hull(st[in.Dst])
+		}
+		st[in.Dst] = v
+	}
+
+	// Fixpoint over per-block input states. Registers are
+	// zero-initialized by the emulator, so the entry state is const 0.
+	states := make([][]absVal, nb)
+	entry := g.blockOf[0]
+	states[entry] = make([]absVal, nr)
+	for r := range states[entry] {
+		states[entry][r] = absConst(0)
+	}
+	sweep := 0
+	for changed := true; changed && sweep < 8; sweep++ {
+		changed = false
+		for i := 0; i < nb; i++ {
+			if !g.reach[i] {
+				continue
+			}
+			var in []absVal
+			if i == entry {
+				in = append([]absVal(nil), states[entry]...)
+			}
+			for _, pr := range g.blocks[i].preds {
+				if states[pr] == nil {
+					continue
+				}
+				out := append([]absVal(nil), states[pr]...)
+				for pc := g.blocks[pr].start; pc < g.blocks[pr].end; pc++ {
+					transfer(out, &p.Instrs[pc])
+				}
+				if in == nil {
+					in = out
+				} else {
+					for r := range in {
+						in[r] = in[r].hull(out[r])
+					}
+				}
+			}
+			if in == nil {
+				continue // no predecessor state yet
+			}
+			if states[i] == nil {
+				states[i] = in
+				changed = true
+				continue
+			}
+			for r := range in {
+				merged := states[i][r].hull(in[r])
+				if !merged.eq(states[i][r]) {
+					if sweep >= 2 {
+						merged = absTop() // widen: still growing after two sweeps
+					}
+					states[i][r] = merged
+					changed = true
+				}
+			}
+		}
+	}
+
+	var fs Findings
+	name := progName(p)
+	for i, b := range g.blocks {
+		if !g.reach[i] || states[i] == nil {
+			continue
+		}
+		st := append([]absVal(nil), states[i]...)
+		for pc := b.start; pc < b.end; pc++ {
+			in := &p.Instrs[pc]
+			switch in.Op {
+			case isa.OpLdS, isa.OpStS:
+				fs = append(fs, checkShared(name, pc, in, st, launch)...)
+			case isa.OpLdG, isa.OpStG:
+				if ea := st[in.SrcA].add(absConst(in.Imm)); ea.known && ea.hi < 0 {
+					fs = append(fs, staticFinding(PassBounds, Error, name, pc, in.Op.String(),
+						fmt.Sprintf("global address is always negative (range [%d, %d])", ea.lo, ea.hi)))
+				}
+			}
+			transfer(st, in)
+		}
+	}
+	return fs
+}
+
+func checkShared(name string, pc int, in *isa.Instr, st []absVal, launch *LaunchInfo) Findings {
+	if launch == nil {
+		return nil
+	}
+	size := int64(in.Mem.Bytes())
+	seg := int64(launch.SharedBytes)
+	if seg == 0 {
+		return Findings{staticFinding(PassBounds, Error, name, pc, in.Op.String(),
+			"shared memory access, but the launch declares no shared segment")}
+	}
+	ea := st[in.SrcA].add(absConst(in.Imm))
+	if !ea.known {
+		return nil
+	}
+	switch {
+	case ea.lo+size > seg || ea.hi < 0:
+		return Findings{staticFinding(PassBounds, Error, name, pc, in.Op.String(),
+			fmt.Sprintf("shared access at [%d, %d] (+%d bytes) is entirely outside the %d-byte segment", ea.lo, ea.hi, size, seg))}
+	case ea.lo < 0 || ea.hi+size > seg:
+		// The interval analysis cannot narrow ranges through guard
+		// predicates, so partial overlap is common in correct kernels
+		// (e.g. guarded tree reductions); report it at Info only.
+		return Findings{staticFinding(PassBounds, Info, name, pc, in.Op.String(),
+			fmt.Sprintf("shared access at [%d, %d] (+%d bytes) may fall outside the %d-byte segment", ea.lo, ea.hi, size, seg))}
+	}
+	return nil
+}

@@ -1,0 +1,388 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"gpumech/internal/isa"
+)
+
+// findPass returns the findings attributed to the given pass.
+func findPass(fs Findings, pass string) Findings {
+	var out Findings
+	for _, f := range fs {
+		if f.Pass == pass {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func wantFinding(t *testing.T, fs Findings, pass string, sev Severity, pc int, msgPart string) {
+	t.Helper()
+	for _, f := range findPass(fs, pass) {
+		if f.Severity == sev && (pc < 0 || f.PC == pc) && strings.Contains(f.Msg, msgPart) {
+			return
+		}
+	}
+	t.Fatalf("no %s finding at severity %s pc %d containing %q; got:\n%s", pass, sev, pc, msgPart, render(fs))
+}
+
+func wantClean(t *testing.T, fs Findings) {
+	t.Helper()
+	if n := fs.Count(Error); n != 0 {
+		t.Fatalf("want no error findings, got %d:\n%s", n, render(fs))
+	}
+}
+
+func render(fs Findings) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// wellFormed builds a representative well-formed kernel: divergent If on
+// tid, a uniform loop with a barrier, shared and global traffic.
+func wellFormed(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("wellformed")
+	tid := b.Tid()
+	sh := b.Reg()
+	b.Shl(sh, tid, 2)
+	v := b.Reg()
+	b.MovI(v, 7)
+	i := b.Reg()
+	b.ForImm(i, 0, 4, 1, func() {
+		b.StS(sh, 0, v, isa.MemI32)
+		b.Bar()
+		b.LdS(v, sh, 0, isa.MemI32)
+	})
+	p := b.Pred()
+	b.ISetpI(p, isa.CmpLT, tid, 16)
+	b.If(p, func() { b.IAddI(v, v, 1) })
+	addr := b.ImmReg(1 << 20)
+	b.StG(addr, 0, v, isa.MemI32)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func launch128() *LaunchInfo {
+	return &LaunchInfo{Blocks: 4, ThreadsPerBlock: 128, SharedBytes: 512}
+}
+
+func TestVerifyWellFormed(t *testing.T) {
+	fs := Verify(wellFormed(t), Options{Launch: launch128()})
+	wantClean(t, fs)
+	if n := len(findPass(fs, PassBarrier)); n != 0 {
+		t.Fatalf("uniform-loop barrier flagged: %s", render(fs))
+	}
+}
+
+func TestDecodePassRejectsInvalidProgram(t *testing.T) {
+	p := &isa.Program{
+		Name:     "badreg",
+		NumRegs:  2,
+		NumPreds: 1,
+		Instrs: []isa.Instr{
+			{Op: isa.OpIAdd, Dst: 5, SrcA: 0, SrcB: 1, SrcC: isa.RegNone,
+				PDst: isa.PredNone, Pred: isa.PredNone, Pred2: isa.PredNone},
+			{Op: isa.OpExit, Dst: isa.RegNone, SrcA: isa.RegNone, SrcB: isa.RegNone,
+				SrcC: isa.RegNone, PDst: isa.PredNone, Pred: isa.PredNone, Pred2: isa.PredNone},
+		},
+	}
+	fs := Verify(p, Options{})
+	wantFinding(t, fs, PassDecode, Error, -1, "out of range")
+	if len(fs) != 1 {
+		t.Fatalf("decode failure must short-circuit later passes, got:\n%s", render(fs))
+	}
+}
+
+// instr builds an Instr with all sentinel fields populated.
+func instr(op isa.Op) isa.Instr {
+	return isa.Instr{Op: op, Dst: isa.RegNone, SrcA: isa.RegNone, SrcB: isa.RegNone,
+		SrcC: isa.RegNone, PDst: isa.PredNone, Pred: isa.PredNone, Pred2: isa.PredNone}
+}
+
+func TestCFGPassFlagsUnreachable(t *testing.T) {
+	// 0: bra 2 (uniform); 1: nop (unreachable); 2: exit
+	bra := instr(isa.OpBra)
+	bra.Target, bra.Reconv = 2, 2
+	p := &isa.Program{Name: "unreach", NumRegs: 1, NumPreds: 1,
+		Instrs: []isa.Instr{bra, instr(isa.OpNop), instr(isa.OpExit)}}
+	fs := Verify(p, Options{})
+	wantFinding(t, fs, PassCFG, Warning, 1, "unreachable")
+}
+
+func TestDefUsePassNeverWritten(t *testing.T) {
+	add := instr(isa.OpIAdd)
+	add.Dst, add.SrcA, add.SrcB = 0, 1, 2 // r1, r2 never written
+	p := &isa.Program{Name: "neverdef", NumRegs: 3, NumPreds: 1,
+		Instrs: []isa.Instr{add, instr(isa.OpExit)}}
+	fs := Verify(p, Options{})
+	wantFinding(t, fs, PassDefUse, Error, 0, "r1")
+	wantFinding(t, fs, PassDefUse, Error, 0, "r2")
+}
+
+func TestDefUsePassMaybeUndefined(t *testing.T) {
+	// r1 is written only inside the If body, then read after the join:
+	// may-defined but not must-defined -> Warning, not Error.
+	b := isa.NewBuilder("maybe")
+	tid := b.Tid()
+	p := b.Pred()
+	b.ISetpI(p, isa.CmpLT, tid, 4)
+	r := b.Reg()
+	b.If(p, func() { b.MovI(r, 1) })
+	out := b.Reg()
+	b.IAdd(out, r, tid)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Verify(prog, Options{})
+	wantClean(t, fs)
+	wantFinding(t, fs, PassDefUse, Warning, -1, "may be read before it is written")
+}
+
+func TestDefUsePassLoopCarriedIsNotError(t *testing.T) {
+	// An accumulator defined before the loop and updated inside it must
+	// not be flagged: the back edge carries the definition.
+	b := isa.NewBuilder("loopcarried")
+	acc := b.Reg()
+	b.MovI(acc, 0)
+	i := b.Reg()
+	b.ForImm(i, 0, 8, 1, func() { b.IAddI(acc, acc, 3) })
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Verify(prog, Options{})
+	wantClean(t, fs)
+	if n := len(findPass(fs, PassDefUse)); n != 0 {
+		t.Fatalf("loop-carried def flagged:\n%s", render(fs))
+	}
+}
+
+func TestDefUsePassPredicateUse(t *testing.T) {
+	bra := instr(isa.OpBra)
+	bra.Pred = 0 // branch on p0, never set
+	bra.Target, bra.Reconv = 1, 1
+	p := &isa.Program{Name: "undefpred", NumRegs: 1, NumPreds: 1,
+		Instrs: []isa.Instr{bra, instr(isa.OpExit)}}
+	fs := Verify(p, Options{})
+	wantFinding(t, fs, PassDefUse, Error, 0, "p0")
+}
+
+func TestReconvergePassBadReconv(t *testing.T) {
+	// 0: isetp p0      (defines p0)
+	// 1: @p0 bra 3, reconv 2  -- reconv does NOT post-dominate: the
+	//    taken path (pc 3) exits without ever reaching pc 2.
+	// 2: nop
+	// 3: exit
+	setp := instr(isa.OpISetp)
+	setp.PDst, setp.SrcA, setp.SrcB = 0, 0, 0
+	bra := instr(isa.OpBra)
+	bra.Pred = 0
+	bra.Target, bra.Reconv = 3, 2
+	mov := instr(isa.OpMovI)
+	mov.Dst = 0
+	p := &isa.Program{Name: "badreconv", NumRegs: 1, NumPreds: 1,
+		Instrs: []isa.Instr{setp, bra, mov, instr(isa.OpExit)}}
+	fs := Verify(p, Options{})
+	wantFinding(t, fs, PassReconverge, Error, 1, "does not post-dominate")
+}
+
+func TestReconvergePassLateReconvIsInfo(t *testing.T) {
+	// 0: movi r0
+	// 1: isetp p0
+	// 2: @p0 bra 3, reconv 4 -- post-dominates, but the immediate
+	//    post-dominator is pc 3; lanes re-execute pc 3 per side.
+	movi := instr(isa.OpMovI)
+	movi.Dst = 0
+	setp := instr(isa.OpISetp)
+	setp.PDst, setp.SrcA, setp.SrcB = 0, 0, 0
+	bra := instr(isa.OpBra)
+	bra.Pred = 0
+	bra.Target, bra.Reconv = 3, 4
+	mov := instr(isa.OpMovI)
+	mov.Dst = 0
+	p := &isa.Program{Name: "latereconv", NumRegs: 1, NumPreds: 1,
+		Instrs: []isa.Instr{movi, setp, bra, mov, instr(isa.OpExit)}}
+	fs := Verify(p, Options{})
+	wantClean(t, fs)
+	wantFinding(t, fs, PassReconverge, Info, 2, "later than the immediate post-dominator")
+}
+
+func TestBarrierPassDataDivergent(t *testing.T) {
+	// Branch on loaded data guarding a barrier: Error.
+	b := isa.NewBuilder("databar")
+	addr := b.ImmReg(1 << 20)
+	v := b.Reg()
+	b.LdG(v, addr, 0, isa.MemI32)
+	p := b.Pred()
+	b.ISetpI(p, isa.CmpGT, v, 0)
+	b.If(p, func() { b.Bar() })
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Verify(prog, Options{})
+	wantFinding(t, fs, PassBarrier, Error, -1, "diverges on loaded data")
+}
+
+func TestBarrierPassTidDivergentIsWarning(t *testing.T) {
+	b := isa.NewBuilder("tidbar")
+	tid := b.Tid()
+	p := b.Pred()
+	b.ISetpI(p, isa.CmpLT, tid, 64)
+	b.If(p, func() { b.Bar() })
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Verify(prog, Options{})
+	wantClean(t, fs)
+	wantFinding(t, fs, PassBarrier, Warning, -1, "thread-ID-divergent")
+}
+
+func TestBarrierPassUniformLoopIsClean(t *testing.T) {
+	b := isa.NewBuilder("uniformbar")
+	i := b.Reg()
+	b.ForImm(i, 0, 4, 1, func() { b.Bar() })
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Verify(prog, Options{})
+	if n := len(findPass(fs, PassBarrier)); n != 0 {
+		t.Fatalf("barrier in uniform loop flagged:\n%s", render(fs))
+	}
+}
+
+func TestBarrierPassControlDependentTaint(t *testing.T) {
+	// A flag register written inside a tid-divergent If inherits the
+	// divergence; a barrier guarded by a predicate computed from it must
+	// be flagged even though the predicate's operands look constant.
+	b := isa.NewBuilder("ctrltaint")
+	tid := b.Tid()
+	p := b.Pred()
+	b.ISetpI(p, isa.CmpLT, tid, 4)
+	flag := b.Reg()
+	b.MovI(flag, 0)
+	b.If(p, func() { b.MovI(flag, 1) })
+	q := b.Pred()
+	b.ISetpI(q, isa.CmpEQ, flag, 1)
+	b.If(q, func() { b.Bar() })
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Verify(prog, Options{})
+	wantFinding(t, fs, PassBarrier, Warning, -1, "thread-ID-divergent")
+}
+
+func TestBarrierPassGuardedBarrier(t *testing.T) {
+	bar := instr(isa.OpBar)
+	bar.Pred = 0
+	setp := instr(isa.OpISetp)
+	setp.PDst, setp.SrcA, setp.SrcB = 0, 0, 0
+	p := &isa.Program{Name: "guardbar", NumRegs: 1, NumPreds: 1,
+		Instrs: []isa.Instr{setp, bar, instr(isa.OpExit)}}
+	fs := Verify(p, Options{})
+	wantFinding(t, fs, PassBarrier, Warning, 1, "guard predicate on a barrier")
+}
+
+func TestBoundsPassSharedDefiniteOOB(t *testing.T) {
+	b := isa.NewBuilder("oobshared")
+	a := b.ImmReg(4096)
+	v := b.Reg()
+	b.LdS(v, a, 0, isa.MemI32)
+	b.StG(b.ImmReg(1<<20), 0, v, isa.MemI32)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Verify(prog, Options{Launch: &LaunchInfo{Blocks: 1, ThreadsPerBlock: 32, SharedBytes: 64}})
+	wantFinding(t, fs, PassBounds, Error, -1, "entirely outside")
+}
+
+func TestBoundsPassSharedWithoutSegment(t *testing.T) {
+	b := isa.NewBuilder("nosegment")
+	v := b.Reg()
+	b.LdS(v, b.ImmReg(0), 0, isa.MemI32)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Verify(prog, Options{Launch: &LaunchInfo{Blocks: 1, ThreadsPerBlock: 32}})
+	wantFinding(t, fs, PassBounds, Error, -1, "declares no shared segment")
+}
+
+func TestBoundsPassTidIndexedSharedIsClean(t *testing.T) {
+	b := isa.NewBuilder("tidshared")
+	tid := b.Tid()
+	sh := b.Reg()
+	b.Shl(sh, tid, 2)
+	v := b.Reg()
+	b.MovI(v, 1)
+	b.StS(sh, 0, v, isa.MemI32)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Verify(prog, Options{Launch: &LaunchInfo{Blocks: 1, ThreadsPerBlock: 128, SharedBytes: 512}})
+	wantClean(t, fs)
+	if n := len(findPass(fs, PassBounds)); n != 0 {
+		t.Fatalf("in-bounds tid-indexed access flagged:\n%s", render(fs))
+	}
+}
+
+func TestBoundsPassNegativeGlobal(t *testing.T) {
+	b := isa.NewBuilder("negglobal")
+	a := b.ImmReg(-64)
+	v := b.Reg()
+	b.LdG(v, a, 0, isa.MemI32)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Verify(prog, Options{Launch: &LaunchInfo{Blocks: 1, ThreadsPerBlock: 32}})
+	wantFinding(t, fs, PassBounds, Error, -1, "always negative")
+}
+
+func TestBoundsPassNilLaunchSkipsSharedChecks(t *testing.T) {
+	b := isa.NewBuilder("nolaunch")
+	v := b.Reg()
+	b.LdS(v, b.ImmReg(4096), 0, isa.MemI32)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Verify(prog, Options{})
+	if n := len(findPass(fs, PassBounds)); n != 0 {
+		t.Fatalf("launch-independent verify must skip shared bounds:\n%s", render(fs))
+	}
+}
+
+func TestFindingErrAggregation(t *testing.T) {
+	var fs Findings
+	if err := fs.Err(); err != nil {
+		t.Fatalf("empty findings produced error: %v", err)
+	}
+	fs = append(fs, staticFinding(PassDefUse, Warning, "k", 0, "nop", "w"))
+	if err := fs.Err(); err != nil {
+		t.Fatalf("warnings-only findings produced error: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		fs = append(fs, staticFinding(PassDefUse, Error, "k", i, "nop", "boom"))
+	}
+	err := fs.Err()
+	if err == nil || !strings.Contains(err.Error(), "5 error finding(s)") || !strings.Contains(err.Error(), "and 2 more") {
+		t.Fatalf("unexpected aggregate error: %v", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gpumech"
+	"gpumech/internal/kernels"
 	"gpumech/internal/obs"
 	"gpumech/internal/parallel"
 )
@@ -86,6 +87,16 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 	plan, err := compile(spec)
 	if err != nil {
 		return nil, err
+	}
+	// Static pre-flight: reject sweeps over kernels the checker can
+	// prove broken before any point is evaluated, so a long sweep never
+	// dies hours in on a malformed program.
+	fs, err := kernels.VerifyAll(spec.Kernels, kernels.Scale{Blocks: 2, Seed: spec.Seed})
+	if err != nil {
+		return nil, err
+	}
+	if err := fs.Err(); err != nil {
+		return nil, fmt.Errorf("dse: kernel pre-flight failed: %w", err)
 	}
 	sp := opt.Obs.StartSpan("sweep")
 	sp.SetInt("points", int64(len(plan.points)))

@@ -297,7 +297,7 @@ func compile(spec Spec) (*plan, error) {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return nil, fmt.Errorf("dse: parameter %q has non-finite value %g", name, v)
 			}
-			if reg.integer && v != math.Trunc(v) {
+			if reg.integer && v != math.Trunc(v) { //det:ok integrality check is exact by construction
 				return nil, fmt.Errorf("dse: parameter %q is integral; axis value %g is not", name, v)
 			}
 		}

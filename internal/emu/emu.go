@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"gpumech/internal/check"
 	"gpumech/internal/coalesce"
 	"gpumech/internal/isa"
 	"gpumech/internal/memory"
@@ -33,6 +34,12 @@ type Launch struct {
 	Mem             *memory.Memory
 	LineBytes       int   // coalescing granularity; 0 means 128
 	MaxRecs         int64 // total trace-record cap; 0 means 64M
+
+	// SkipVerify disables the static pre-flight (check.Verify). The
+	// emulator still enforces every invariant dynamically; the flag
+	// exists for tests and fuzzers that deliberately feed programs the
+	// checker rejects.
+	SkipVerify bool
 }
 
 const defaultMaxRecs = 64 << 20
@@ -70,6 +77,20 @@ func Run(l Launch) (*trace.Kernel, error) {
 	}
 	if l.Mem == nil {
 		l.Mem = memory.New()
+	}
+	if !l.SkipVerify {
+		// Static pre-flight: reject programs the checker can prove broken
+		// (undefined registers, unbalanced reconvergence, divergent
+		// barriers, out-of-bounds shared accesses) before emulating them.
+		fs := check.Verify(l.Prog, check.Options{Launch: &check.LaunchInfo{
+			Blocks:          l.Blocks,
+			ThreadsPerBlock: l.ThreadsPerBlock,
+			WarpSize:        l.WarpSize,
+			SharedBytes:     l.SharedBytes,
+		}})
+		if err := fs.Err(); err != nil {
+			return nil, fmt.Errorf("emu: pre-flight rejected %q: %w", l.Prog.Name, err)
+		}
 	}
 
 	warpsPerBlock := l.ThreadsPerBlock / l.WarpSize
@@ -186,7 +207,9 @@ func (b *block) run() error {
 			continue
 		}
 		if !progressed {
-			return fmt.Errorf("emu: %q block %d: no progress (barrier deadlock?)", b.l.Prog.Name, b.id)
+			return check.Runtime(b.l.Prog.Name, b.id, b.stuckWarp(), b.stuckPC(), "bar",
+				"no progress: %d of %d live warps waiting at a barrier the rest never reach (deadlock)",
+				b.waitingWarps(), b.liveWarps())
 		}
 	}
 }
@@ -198,7 +221,8 @@ func (b *block) runWarp(w *warp) error {
 	numPreds := prog.NumPreds
 	for !w.done && !w.atBar {
 		if *b.budget--; *b.budget < 0 {
-			return fmt.Errorf("emu: %q: trace exceeds %d records (possible runaway loop)", b.l.Prog.Name, b.l.MaxRecs)
+			return check.Runtime(b.l.Prog.Name, b.id, w.id, rec0PC(w), opAt(prog, rec0PC(w)),
+				"trace exceeds %d records (possible runaway loop)", b.l.MaxRecs)
 		}
 		top := &w.stack[len(w.stack)-1]
 		if top.pc >= len(prog.Instrs) {
@@ -385,8 +409,8 @@ func (b *block) execShared(w *warp, in *isa.Instr, active uint32) error {
 		base := w.regs[lane*numRegs+int(in.SrcA)]
 		ea := int64(base) + in.Imm
 		if ea < 0 || ea+int64(size) > int64(len(b.shared)) {
-			return fmt.Errorf("emu: %q block %d warp %d pc %d: shared access at %d outside %d-byte segment",
-				b.l.Prog.Name, b.id, w.id, rec0PC(w), ea, len(b.shared))
+			return check.Runtime(b.l.Prog.Name, b.id, w.id, rec0PC(w), in.Op.String(),
+				"lane %d shared access at %d outside %d-byte segment", lane, ea, len(b.shared))
 		}
 		if in.Op == isa.OpLdS {
 			w.regs[lane*numRegs+int(in.Dst)] = loadConvert(readLE(b.shared[ea:ea+int64(size)]), in.Mem)
@@ -399,6 +423,54 @@ func (b *block) execShared(w *warp, in *isa.Instr, active uint32) error {
 }
 
 func rec0PC(w *warp) int { return w.stack[len(w.stack)-1].pc }
+
+// opAt names the opcode at pc, for error attribution.
+func opAt(p *isa.Program, pc int) string {
+	if pc < 0 || pc >= len(p.Instrs) {
+		return ""
+	}
+	return p.Instrs[pc].Op.String()
+}
+
+// stuckWarp returns the ID of the first warp waiting at a barrier, or -1.
+func (b *block) stuckWarp() int {
+	for _, w := range b.warps {
+		if w.atBar {
+			return w.id
+		}
+	}
+	return -1
+}
+
+// stuckPC returns the PC of the first barrier-waiting warp, or -1.
+func (b *block) stuckPC() int {
+	for _, w := range b.warps {
+		if w.atBar && len(w.stack) > 0 {
+			return rec0PC(w)
+		}
+	}
+	return -1
+}
+
+func (b *block) waitingWarps() int {
+	n := 0
+	for _, w := range b.warps {
+		if w.atBar {
+			n++
+		}
+	}
+	return n
+}
+
+func (b *block) liveWarps() int {
+	n := 0
+	for _, w := range b.warps {
+		if !w.done {
+			n++
+		}
+	}
+	return n
+}
 
 func readLE(bs []byte) uint64 {
 	var buf [8]byte

@@ -379,6 +379,45 @@ func (b *Builder) braTo(target, reconv Label, pred PredReg, neg bool) {
 		patch{instr: idx, target: false, label: reconv})
 }
 
+// ---- explicit label API ----------------------------------------------------
+//
+// The structured builders below (If, ForImm, While, ...) cover the
+// bundled kernels; the explicit API exists for irregular control flow —
+// tooling, tests, and generated programs. Misuse (an unbound or
+// double-bound label, a label from another builder) is reported by
+// Build, never at emulation time.
+
+// NewLabel creates a fresh, unbound label.
+func (b *Builder) NewLabel() Label { return b.newLabel() }
+
+// Bind attaches l to the next emitted instruction. Each label must be
+// bound exactly once; Build fails otherwise.
+func (b *Builder) Bind(l Label) {
+	if !b.validLabel(l) {
+		return
+	}
+	b.bind(l)
+}
+
+// Bra emits a branch to target with the reconvergence point at reconv,
+// guarded by pred (negated when neg is true; PredNone makes the branch
+// unconditional).
+func (b *Builder) Bra(target, reconv Label, pred PredReg, neg bool) {
+	if !b.validLabel(target) || !b.validLabel(reconv) {
+		return
+	}
+	b.braTo(target, reconv, pred, neg)
+}
+
+// validLabel checks that l came from this builder's NewLabel.
+func (b *Builder) validLabel(l Label) bool {
+	if l < 0 || int(l) >= len(b.labelPCs) {
+		b.fail("label %d was not created by this builder", l)
+		return false
+	}
+	return true
+}
+
 // ---- structured control flow ---------------------------------------------
 
 // If executes body only for lanes where p holds. Lanes reconverge at the
@@ -480,6 +519,14 @@ func (b *Builder) Build() (*Program, error) {
 	}
 	if n := len(b.instrs); n == 0 || b.instrs[n-1].Op != OpExit {
 		b.Exit()
+	}
+	// Every created label must be bound, referenced or not: an unbound
+	// label is a structural bug in the caller (a dangling branch target
+	// or a forgotten Bind) and must fail here, not at emulation.
+	for l, pc := range b.labelPCs {
+		if pc == -1 {
+			return nil, fmt.Errorf("isa: building %q: dangling label %d (created but never bound)", b.name, l)
+		}
 	}
 	for _, p := range b.patches {
 		pc := b.labelPCs[p.label]

@@ -246,3 +246,94 @@ func TestWhileStructure(t *testing.T) {
 		t.Errorf("While reconvergence points = %v", reconvs)
 	}
 }
+
+// TestLabelValidation is the table test for the explicit label API:
+// dangling labels, double binds, and foreign labels must all fail at
+// Build time with a diagnostic naming the label.
+func TestLabelValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func(b *Builder)
+		wantErr string // substring of the Build error; "" means success
+	}{
+		{
+			name: "explicit branch loop",
+			build: func(b *Builder) {
+				head := b.NewLabel()
+				exit := b.NewLabel()
+				i := b.Reg()
+				lim := b.ImmReg(4)
+				b.MovI(i, 0)
+				b.Bind(head)
+				p := b.Pred()
+				b.ISetp(p, CmpGE, i, lim)
+				b.Bra(exit, exit, p, false)
+				b.IAddI(i, i, 1)
+				b.Bra(head, exit, PredNone, false)
+				b.Bind(exit)
+			},
+		},
+		{
+			name: "dangling referenced label",
+			build: func(b *Builder) {
+				l := b.NewLabel()
+				b.Bra(l, l, PredNone, false)
+			},
+			wantErr: "dangling label 0",
+		},
+		{
+			name: "dangling unreferenced label",
+			build: func(b *Builder) {
+				b.NewLabel()
+				b.Nop()
+			},
+			wantErr: "dangling label 0",
+		},
+		{
+			name: "duplicate bind",
+			build: func(b *Builder) {
+				l := b.NewLabel()
+				b.Bind(l)
+				b.Nop()
+				b.Bind(l)
+			},
+			wantErr: "bound twice",
+		},
+		{
+			name: "foreign label",
+			build: func(b *Builder) {
+				b.Bra(Label(7), Label(7), PredNone, false)
+			},
+			wantErr: "not created by this builder",
+		},
+		{
+			name: "negative label",
+			build: func(b *Builder) {
+				b.Bind(Label(-1))
+			},
+			wantErr: "not created by this builder",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := NewBuilder(c.name)
+			c.build(b)
+			p, err := b.Build()
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Build: %v", err)
+				}
+				if err := p.Validate(); err != nil {
+					t.Fatalf("built program invalid: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("Build accepted a malformed label use")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("Build error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}

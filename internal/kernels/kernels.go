@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"gpumech/internal/check"
 	"gpumech/internal/emu"
 	"gpumech/internal/isa"
 	"gpumech/internal/memory"
@@ -125,6 +126,45 @@ func (k *Info) Trace(s Scale, lineBytes int) (*trace.Kernel, error) {
 		Mem:             l.Mem,
 		LineBytes:       lineBytes,
 	})
+}
+
+// Verify builds the kernel at the given scale and runs the static
+// checker (internal/check) over the program with the launch geometry.
+// All registered kernels must verify with zero error-severity findings;
+// TestVerifyAllKernels and the CI lint job pin that invariant.
+func (k *Info) Verify(s Scale) (check.Findings, error) {
+	l, err := k.Build(s)
+	if err != nil {
+		return nil, err
+	}
+	return check.Verify(l.Prog, check.Options{Launch: &check.LaunchInfo{
+		Blocks:          l.Blocks,
+		ThreadsPerBlock: l.ThreadsPerBlock,
+		SharedBytes:     l.SharedBytes,
+	}}), nil
+}
+
+// VerifyAll verifies every named kernel at the given scale and returns
+// the combined findings. An empty names slice verifies the whole
+// registry. The error is non-nil only when a kernel fails to build.
+func VerifyAll(names []string, s Scale) (check.Findings, error) {
+	if len(names) == 0 {
+		names = Names()
+	}
+	var all check.Findings
+	for _, name := range names {
+		k, err := Get(name)
+		if err != nil {
+			return all, err
+		}
+		fs, err := k.Verify(s)
+		if err != nil {
+			return all, fmt.Errorf("kernels: %s: %w", name, err)
+		}
+		all = append(all, fs...)
+	}
+	all.Sort()
+	return all, nil
 }
 
 var registry = map[string]*Info{}

@@ -1,0 +1,42 @@
+package kernels
+
+import (
+	"testing"
+
+	"gpumech/internal/check"
+)
+
+// TestVerifyAllKernels pins the acceptance invariant: every registered
+// kernel — and in particular the 40-kernel paper set — passes the static
+// checker with zero error-severity findings at a representative scale.
+func TestVerifyAllKernels(t *testing.T) {
+	fs, err := VerifyAll(nil, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := fs.Errs(); len(errs) != 0 {
+		for _, f := range errs {
+			t.Errorf("%s", f)
+		}
+		t.Fatalf("%d error-severity findings across the registry", len(errs))
+	}
+}
+
+// TestVerifyPaperSetWarningFree tightens the bar for the paper's
+// evaluation set: the 40 kernels must verify without warnings either
+// (the extra suites are allowed warnings, e.g. tid-divergent barriers).
+func TestVerifyPaperSetWarningFree(t *testing.T) {
+	names := PaperNames()
+	if len(names) != 40 {
+		t.Fatalf("paper set has %d kernels, want 40", len(names))
+	}
+	fs, err := VerifyAll(names, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f.Severity >= check.Warning {
+			t.Errorf("%s", f)
+		}
+	}
+}

@@ -149,7 +149,7 @@ func Lint(data []byte) error {
 		if math.IsNaN(inf) {
 			return fmt.Errorf("histogram %q has no le=\"+Inf\" bucket", f)
 		}
-		if inf != h.count {
+		if inf != h.count { //det:ok counts are integers; the Prometheus invariant is exact
 			return fmt.Errorf("histogram %q: +Inf bucket %g != _count %g", f, inf, h.count)
 		}
 	}
