@@ -45,6 +45,7 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown grace period for in-flight requests")
 	maxSweepJobs := flag.Int("max-sweep-jobs", 32, "sweep job table size; finished jobs are evicted oldest-first when full")
 	maxRunningSweeps := flag.Int("max-running-sweeps", 2, "concurrently evaluating sweeps; excess jobs wait queued")
+	traceCache := flag.String("trace-cache", "", "directory of reusable columnar trace files; empty disables the cache")
 	ob := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -75,6 +76,7 @@ func main() {
 		RequestTimeout:   *timeout,
 		MaxSweepJobs:     *maxSweepJobs,
 		MaxRunningSweeps: *maxRunningSweeps,
+		TraceCacheDir:    *traceCache,
 		Logger:           logger,
 		Metrics:          observer.Metrics,
 		Tracer:           observer.Tracer,

@@ -20,6 +20,8 @@ package gpumech
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -147,11 +149,12 @@ func KernelInfos() []KernelInfo {
 type Option func(*sessionOpts)
 
 type sessionOpts struct {
-	blocks  int
-	seed    int64
-	line    int
-	workers int
-	obs     *obs.Observer
+	blocks     int
+	seed       int64
+	line       int
+	workers    int
+	obs        *obs.Observer
+	traceCache string
 }
 
 // WithBlocks sets the number of thread blocks to launch. The default
@@ -166,6 +169,14 @@ func WithSeed(seed int64) Option { return func(o *sessionOpts) { o.seed = seed }
 // (default: GPUMECH_WORKERS, then GOMAXPROCS; 1 forces the sequential
 // path). Estimates are byte-identical at any worker count.
 func WithWorkers(n int) Option { return func(o *sessionOpts) { o.workers = n } }
+
+// WithTraceCache points the session at a directory of reusable columnar
+// trace files, keyed by kernel, grid size, seed, and line size. On a hit
+// the emulator is skipped and the trace is loaded in streaming columnar
+// form; on a miss the kernel is traced column-first and saved for the
+// next session. Corrupt or unreadable cache entries are re-traced and
+// overwritten, never trusted.
+func WithTraceCache(dir string) Option { return func(o *sessionOpts) { o.traceCache = dir } }
 
 // WithObserver attaches an observability handle: every pipeline stage the
 // session runs (tracing, cache simulation, interval profiling,
@@ -185,7 +196,8 @@ func WithObserver(o *Observer) Option { return func(so *sessionOpts) { so.obs = 
 // configurations from multiple goroutines (the paper's design-space
 // exploration mode) and rely on results identical to sequential calls.
 type Session struct {
-	info    *kernels.Info
+	name    string
+	info    *kernels.Info // nil for sessions loaded from a trace file
 	trace   *trace.Kernel
 	workers int
 	obs     *obs.Observer
@@ -250,7 +262,7 @@ func NewSession(kernel string, opts ...Option) (*Session, error) {
 	sp := o.obs.StartSpan("trace")
 	sp.SetStr("kernel", kernel)
 	start := time.Now()
-	tr, err := info.Trace(kernels.Scale{Blocks: o.blocks, Seed: o.seed}, o.line)
+	tr, err := sessionTrace(info, &o)
 	if err != nil {
 		sp.End()
 		return nil, err
@@ -265,6 +277,63 @@ func NewSession(kernel string, opts ...Option) (*Session, error) {
 		o.obs.Counter("trace.instructions").Add(tr.TotalInsts())
 	}
 	return &Session{
+		name:    info.Name,
+		info:    info,
+		trace:   tr,
+		workers: o.workers,
+		obs:     o.obs,
+		memo:    &profileMemo{profiles: make(map[cache.ProfileKey]*profileOnce)},
+	}, nil
+}
+
+// sessionTrace produces the session's kernel trace: straight from the
+// emulator by default, or through the columnar trace cache when one is
+// configured.
+func sessionTrace(info *kernels.Info, o *sessionOpts) (*trace.Kernel, error) {
+	scale := kernels.Scale{Blocks: o.blocks, Seed: o.seed}
+	if o.traceCache == "" {
+		return info.Trace(scale, o.line)
+	}
+	path := filepath.Join(o.traceCache,
+		fmt.Sprintf("%s_b%d_s%d_l%d.trace", info.Name, o.blocks, o.seed, o.line))
+	if tr, err := trace.LoadStream(path); err == nil && tr.Name == info.Name {
+		return tr, nil
+	}
+	tr, err := info.TraceColumnar(scale, o.line)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(o.traceCache, 0o755); err != nil {
+		return nil, fmt.Errorf("gpumech: trace cache: %w", err)
+	}
+	if err := tr.Save(path); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// NewSessionFromTraceFile opens a session over a saved trace file instead
+// of running the emulator. Columnar (v2) traces stay columnar: evaluation
+// streams the records through cursors without materializing row slices.
+// The kernel name is taken from the file and need not be a bundled kernel.
+func NewSessionFromTraceFile(path string, opts ...Option) (*Session, error) {
+	o := sessionOpts{seed: 1, line: 128}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	sp := o.obs.StartSpan("trace-load")
+	sp.SetStr("path", path)
+	tr, err := trace.LoadStream(path)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	sp.SetStr("kernel", tr.Name)
+	sp.SetInt("instructions", tr.TotalInsts())
+	sp.End()
+	info, _ := kernels.Get(tr.Name) // best-effort metadata; nil is fine
+	return &Session{
+		name:    tr.Name,
 		info:    info,
 		trace:   tr,
 		workers: o.workers,
@@ -274,7 +343,7 @@ func NewSession(kernel string, opts ...Option) (*Session, error) {
 }
 
 // Kernel returns the session's kernel name.
-func (s *Session) Kernel() string { return s.info.Name }
+func (s *Session) Kernel() string { return s.name }
 
 // Blocks returns the traced grid size.
 func (s *Session) Blocks() int { return s.trace.Blocks }
@@ -362,7 +431,7 @@ func (s *Session) Estimate(cfg Config, pol Policy) (*Estimate, error) {
 func (s *Session) EstimateWith(cfg Config, pol Policy, lvl Level, m Method) (*Estimate, error) {
 	sp := s.obs.StartSpan("estimate")
 	defer sp.End()
-	sp.SetStr("kernel", s.info.Name)
+	sp.SetStr("kernel", s.name)
 	sp.SetStr("policy", pol.String())
 	sp.SetStr("method", m.String())
 	o := s.obs.WithSpan(sp)
@@ -419,7 +488,7 @@ func (b BaselineModel) String() string {
 func (s *Session) EstimateBaseline(cfg Config, b BaselineModel) (float64, error) {
 	sp := s.obs.StartSpan("estimate-baseline")
 	defer sp.End()
-	sp.SetStr("kernel", s.info.Name)
+	sp.SetStr("kernel", s.name)
 	sp.SetStr("model", b.String())
 	o := s.obs.WithSpan(sp)
 	prof, err := s.cacheProfile(cfg, o)
@@ -462,7 +531,7 @@ type OracleResult struct {
 // trace — the validation reference for the model (the paper's Macsim).
 func (s *Session) Oracle(cfg Config, pol Policy) (*OracleResult, error) {
 	sp := s.obs.StartSpan("oracle")
-	sp.SetStr("kernel", s.info.Name)
+	sp.SetStr("kernel", s.name)
 	sp.SetStr("policy", pol.String())
 	start := time.Now()
 	r, err := timing.Simulate(s.trace, cfg, pol)

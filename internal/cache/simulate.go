@@ -50,6 +50,9 @@ func Simulate(k *trace.Kernel, cfg config.Config) (*Profile, error) {
 			if cs.step(l2, prof) {
 				busy = true
 			}
+			if cs.err != nil {
+				return nil, fmt.Errorf("cache: %w", cs.err)
+			}
 		}
 		if !busy {
 			return prof, nil
@@ -57,31 +60,54 @@ func Simulate(k *trace.Kernel, cfg config.Config) (*Profile, error) {
 	}
 }
 
-// warpCursor walks the global-memory instructions of one warp trace.
+// warpCursor walks the global-memory instructions of one warp trace
+// through the storage-agnostic record cursor, decoding columnar warps one
+// record at a time. The underlying cursor's current record stays valid
+// until the next advance, which lets done() peek at the next qualifying
+// record without copying it.
 type warpCursor struct {
-	recs []trace.Rec
-	pos  int
+	cur       trace.RecCursor
+	peeked    bool // cur is parked on an unconsumed qualifying record
+	exhausted bool
+	err       error
 }
 
-func (wc *warpCursor) next() *trace.Rec {
-	for wc.pos < len(wc.recs) {
-		r := &wc.recs[wc.pos]
-		wc.pos++
+func newWarpCursor(w *trace.WarpTrace) *warpCursor {
+	return &warpCursor{cur: w.Cursor()}
+}
+
+// advance moves the underlying cursor to the next global-memory record
+// with active lanes, parking on it (peeked) or marking exhaustion.
+func (wc *warpCursor) advance() {
+	for wc.cur.Next() {
+		r := wc.cur.Rec()
 		if r.IsGlobalMem() && r.Mask != 0 {
-			return r
+			wc.peeked = true
+			return
 		}
 	}
-	return nil
+	wc.err = wc.cur.Err()
+	wc.exhausted = true
+}
+
+// next consumes and returns the next qualifying record, or nil when the
+// warp has none left. The record is valid until the next next()/done().
+func (wc *warpCursor) next() *trace.Rec {
+	if !wc.peeked && !wc.exhausted {
+		wc.advance()
+	}
+	if wc.exhausted {
+		return nil
+	}
+	wc.peeked = false
+	return wc.cur.Rec()
 }
 
 func (wc *warpCursor) done() bool {
-	for wc.pos < len(wc.recs) {
-		if wc.recs[wc.pos].IsGlobalMem() && wc.recs[wc.pos].Mask != 0 {
-			return false
-		}
-		wc.pos++
+	if !wc.peeked && !wc.exhausted {
+		wc.advance()
 	}
-	return true
+	return wc.exhausted
 }
 
 // coreState holds one core's resident warps and its L1.
@@ -91,6 +117,7 @@ type coreState struct {
 	maxRes   int
 	rr       int // round-robin position
 	l1       *Array
+	err      error
 }
 
 func newCoreState(warps []*trace.WarpTrace, maxResident int, l1 *Array) *coreState {
@@ -110,6 +137,9 @@ func (cs *coreState) step(l2 *Array, prof *Profile) bool {
 		cs.rr++
 		r := wc.next()
 		if r == nil {
+			if wc.err != nil && cs.err == nil {
+				cs.err = wc.err
+			}
 			continue
 		}
 		cs.access(r, l2, prof)
@@ -128,6 +158,8 @@ func (cs *coreState) compact() {
 	for _, wc := range cs.resident {
 		if !wc.done() {
 			live = append(live, wc)
+		} else if wc.err != nil && cs.err == nil {
+			cs.err = wc.err
 		}
 	}
 	cs.resident = live
@@ -137,7 +169,7 @@ func (cs *coreState) refill() {
 	for len(cs.resident) < cs.maxRes && len(cs.pending) > 0 {
 		w := cs.pending[0]
 		cs.pending = cs.pending[1:]
-		cs.resident = append(cs.resident, &warpCursor{recs: w.Recs})
+		cs.resident = append(cs.resident, newWarpCursor(w))
 	}
 }
 

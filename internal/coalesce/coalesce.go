@@ -14,11 +14,18 @@ import "sort"
 // per-lane accesses. Each access covers [addr, addr+accessBytes). lineBytes
 // must be a power of two.
 func Lines(addrs []uint64, accessBytes, lineBytes int) []uint64 {
+	return LinesInto(nil, addrs, accessBytes, lineBytes)
+}
+
+// LinesInto is Lines appending into dst (which is overwritten from
+// length 0), letting callers on a hot path reuse one buffer across
+// instructions instead of allocating per record.
+func LinesInto(dst []uint64, addrs []uint64, accessBytes, lineBytes int) []uint64 {
 	if len(addrs) == 0 {
 		return nil
 	}
 	mask := ^uint64(lineBytes - 1)
-	out := make([]uint64, 0, 4)
+	out := dst[:0]
 	seen := func(line uint64) bool {
 		for _, l := range out {
 			if l == line {

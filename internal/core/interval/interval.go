@@ -13,6 +13,7 @@ package interval
 
 import (
 	"fmt"
+	"math"
 
 	"gpumech/internal/isa"
 	"gpumech/internal/trace"
@@ -161,6 +162,17 @@ func (p *Profile) CPI() float64 {
 // unified register namespace used by the trace (general + predicate
 // registers).
 func Build(w *trace.WarpTrace, numRegs int, issueRate float64, t *PCTable) (*Profile, error) {
+	return BuildCursor(w.Cursor(), numRegs, issueRate, t)
+}
+
+// BuildCursor runs the interval algorithm over a streamed record cursor.
+// It is the O(window) form of Build: instead of a completion-cycle slice
+// indexed by record (O(trace length)), it keeps one done-cycle, PC, and
+// class per architectural register — the only look-back the in-order RAW
+// model ever needs, since a register's live producer is its last writer.
+// Peak memory is therefore O(numRegs) plus the cursor's decode window,
+// independent of how long the trace is.
+func BuildCursor(cur trace.RecCursor, numRegs int, issueRate float64, t *PCTable) (*Profile, error) {
 	if issueRate <= 0 {
 		return nil, fmt.Errorf("interval: issue rate must be positive, got %g", issueRate)
 	}
@@ -168,52 +180,56 @@ func Build(w *trace.WarpTrace, numRegs int, issueRate float64, t *PCTable) (*Pro
 		return nil, fmt.Errorf("interval: nil PC table")
 	}
 	p := &Profile{IssueRate: issueRate}
-	if len(w.Recs) == 0 {
-		return p, nil
-	}
 
 	issueStep := 1.0 / issueRate
-	deps := trace.NewDepTracker(numRegs)
-	done := make([]float64, len(w.Recs)) // completion cycle per record
-	var srcBuf []int
+	// Per-register last-writer state. A source never written keeps the
+	// -Inf done cycle and can never bound an issue, mirroring DepTracker's
+	// "omit sources never written" rule.
+	regDone := make([]float64, numRegs)
+	for i := range regDone {
+		regDone[i] = math.Inf(-1)
+	}
+	regPC := make([]int32, numRegs)
+	regClass := make([]isa.Class, numRegs)
 
-	cur := Interval{CausePC: -1}
+	iv := Interval{CausePC: -1}
 	var lineLast map[uint64]float64
 	if t.MergeWindow > 0 {
 		lineLast = make(map[uint64]float64)
 	}
 	prevIssue := -issueStep // so the first instruction issues at cycle 0
-	for i := range w.Recs {
-		r := &w.Recs[i]
+	i := 0
+	for cur.Next() {
+		r := cur.Rec()
 		earliest := prevIssue + issueStep
-		bound := -1 // record index bounding the issue, if any
-		srcBuf = deps.Sources(r, srcBuf[:0])
-		for _, s := range srcBuf {
-			if d := done[s]; d+issueStep > earliest {
+		bound := -1 // register whose producer bounds the issue, if any
+		for _, s := range r.SrcRegs() {
+			if s == isa.RegNone || int(s) >= numRegs {
+				continue
+			}
+			if d := regDone[s]; d+issueStep > earliest {
 				earliest = d + issueStep
-				bound = s
+				bound = int(s)
 			}
 		}
-		deps.Record(r, i)
 
 		if i > 0 && earliest > prevIssue+issueStep+1e-9 {
 			// Stall detected: close the current interval.
-			cur.StallCycles = earliest - (prevIssue + issueStep)
+			iv.StallCycles = earliest - (prevIssue + issueStep)
 			if bound >= 0 {
-				src := &w.Recs[bound]
-				cur.CausePC = int(src.PC)
-				cur.CauseClass = src.Op.Class()
+				iv.CausePC = int(regPC[bound])
+				iv.CauseClass = regClass[bound]
 			}
-			p.Intervals = append(p.Intervals, cur)
-			p.Stall += cur.StallCycles
-			cur = Interval{CausePC: -1}
+			p.Intervals = append(p.Intervals, iv)
+			p.Stall += iv.StallCycles
+			iv = Interval{CausePC: -1}
 		}
 
-		cur.Insts++
+		iv.Insts++
 		p.Insts++
 		pc := int(r.PC)
 		if r.Op == isa.OpLdG {
-			cur.MemInsts++
+			iv.MemInsts++
 			// Requests to lines with an in-flight miss merge into the
 			// existing MSHR entry (no allocation, no DRAM traffic).
 			reqs := float64(r.NumReqs())
@@ -227,29 +243,34 @@ func Build(w *trace.WarpTrace, numRegs int, issueRate float64, t *PCTable) (*Pro
 				}
 				reqs = float64(fresh)
 			}
-			cur.MSHRReqs += reqs * at(t.L1MissRate, pc)
-			cur.DRAMReqs += reqs * at(t.L2MissRate, pc)
-			cur.MSHRLoadInsts += at(t.DistL2, pc) + at(t.DistDRAM, pc)
-			cur.DRAMLoadInsts += at(t.DistDRAM, pc)
+			iv.MSHRReqs += reqs * at(t.L1MissRate, pc)
+			iv.DRAMReqs += reqs * at(t.L2MissRate, pc)
+			iv.MSHRLoadInsts += at(t.DistL2, pc) + at(t.DistDRAM, pc)
+			iv.DRAMLoadInsts += at(t.DistDRAM, pc)
 		} else if r.Op == isa.OpStG {
-			cur.DRAMReqs += float64(r.NumReqs())
+			iv.DRAMReqs += float64(r.NumReqs())
 		} else if r.Op.Class() == isa.ClassSFU {
-			cur.SFUInsts++
+			iv.SFUInsts++
 		}
 
-		lat := 1.0
-		if r.Dst != isa.RegNone {
-			lat = t.LatencyOf(pc)
+		if r.Dst != isa.RegNone && int(r.Dst) < numRegs {
+			lat := t.LatencyOf(pc)
 			if r.Op == isa.OpStG {
 				lat = 1 // stores complete at issue for dependency purposes
 			}
+			regDone[r.Dst] = earliest + lat
+			regPC[r.Dst] = r.PC
+			regClass[r.Dst] = r.Op.Class()
 		}
-		done[i] = earliest + lat
 		prevIssue = earliest
+		i++
+	}
+	if err := cur.Err(); err != nil {
+		return nil, fmt.Errorf("interval: %w", err)
 	}
 	// The trailing instructions form the final interval with no stall.
-	if cur.Insts > 0 {
-		p.Intervals = append(p.Intervals, cur)
+	if iv.Insts > 0 {
+		p.Intervals = append(p.Intervals, iv)
 	}
 	return p, nil
 }

@@ -262,6 +262,9 @@ func (s *sessionSet) get(kernel string) (*gpumech.Session, error) {
 		if s.spec.Blocks > 0 {
 			opts = append(opts, gpumech.WithBlocks(s.spec.Blocks))
 		}
+		if s.spec.TraceCache != "" {
+			opts = append(opts, gpumech.WithTraceCache(s.spec.TraceCache))
+		}
 		ent.sess, ent.err = gpumech.NewSession(kernel, opts...)
 	})
 	return ent.sess, ent.err

@@ -45,6 +45,11 @@ type Spec struct {
 	// (at least 3x baseline system occupancy, the paper's methodology).
 	Blocks int `json:"blocks,omitempty"`
 
+	// TraceCache, when non-empty, is a directory of reusable columnar
+	// trace files (gpumech.WithTraceCache): repeated sweeps over the same
+	// kernels skip re-emulation for traces already on disk.
+	TraceCache string `json:"trace_cache,omitempty"`
+
 	// Parameters maps hardware parameter names (see Parameters) onto axes.
 	Parameters map[string]Axis `json:"parameters"`
 

@@ -44,8 +44,9 @@ type Launch struct {
 
 const defaultMaxRecs = 64 << 20
 
-// Run executes the launch and returns the kernel trace.
-func Run(l Launch) (*trace.Kernel, error) {
+// normalize applies launch defaults and validates the launch parameters.
+// It is idempotent.
+func (l *Launch) normalize() error {
 	if l.WarpSize == 0 {
 		l.WarpSize = 32
 	}
@@ -56,27 +57,84 @@ func Run(l Launch) (*trace.Kernel, error) {
 		l.MaxRecs = defaultMaxRecs
 	}
 	if l.Prog == nil {
-		return nil, fmt.Errorf("emu: nil program")
+		return fmt.Errorf("emu: nil program")
 	}
 	if err := l.Prog.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if l.Blocks <= 0 {
-		return nil, fmt.Errorf("emu: %q: Blocks must be positive, got %d", l.Prog.Name, l.Blocks)
+		return fmt.Errorf("emu: %q: Blocks must be positive, got %d", l.Prog.Name, l.Blocks)
 	}
 	if l.ThreadsPerBlock <= 0 || l.ThreadsPerBlock%l.WarpSize != 0 {
-		return nil, fmt.Errorf("emu: %q: ThreadsPerBlock (%d) must be a positive multiple of the warp size (%d)",
+		return fmt.Errorf("emu: %q: ThreadsPerBlock (%d) must be a positive multiple of the warp size (%d)",
 			l.Prog.Name, l.ThreadsPerBlock, l.WarpSize)
 	}
-	if l.WarpSize > 32 {
-		return nil, fmt.Errorf("emu: warp size %d exceeds the 32-lane mask limit", l.WarpSize)
+	if l.WarpSize > 32 || l.WarpSize < 0 {
+		return fmt.Errorf("emu: warp size %d exceeds the 32-lane mask limit", l.WarpSize)
 	}
 	if l.Prog.NumRegs+l.Prog.NumPreds > 255 {
-		return nil, fmt.Errorf("emu: %q: NumRegs+NumPreds (%d) exceeds the unified register namespace (255)",
+		return fmt.Errorf("emu: %q: NumRegs+NumPreds (%d) exceeds the unified register namespace (255)",
 			l.Prog.Name, l.Prog.NumRegs+l.Prog.NumPreds)
 	}
 	if l.Mem == nil {
 		l.Mem = memory.New()
+	}
+	return nil
+}
+
+// Run executes the launch and returns the kernel trace in row layout
+// (warps hold a Recs slice, as tests and direct consumers expect).
+func Run(l Launch) (*trace.Kernel, error) {
+	return runBuild(l, false)
+}
+
+// RunColumnar executes the launch and returns the kernel trace in
+// columnar layout: records are encoded into per-warp column streams as
+// they execute, so no intermediate []Rec is ever built and the trace can
+// be saved or streamed directly.
+func RunColumnar(l Launch) (*trace.Kernel, error) {
+	return runBuild(l, true)
+}
+
+type kernelSink interface {
+	trace.Sink
+	Kernel() *trace.Kernel
+}
+
+func runBuild(l Launch, columnar bool) (*trace.Kernel, error) {
+	if err := l.normalize(); err != nil {
+		return nil, err
+	}
+	meta := trace.KernelMeta{
+		Name:          l.Prog.Name,
+		Prog:          l.Prog,
+		Blocks:        l.Blocks,
+		WarpsPerBlock: l.ThreadsPerBlock / l.WarpSize,
+		LineBytes:     l.LineBytes,
+	}
+	var sink kernelSink
+	if columnar {
+		sink = trace.NewColKernelBuilder(meta)
+	} else {
+		sink = trace.NewRowBuilder(meta)
+	}
+	if err := RunSink(l, sink); err != nil {
+		return nil, err
+	}
+	k := sink.Kernel()
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("emu: internal error: %w", err)
+	}
+	return k, nil
+}
+
+// RunSink executes the launch, streaming every trace record into sink as
+// it executes. The records passed to Emit (including their Lines slices)
+// are only valid for the duration of the call — sinks that retain them
+// must copy.
+func RunSink(l Launch, sink trace.Sink) error {
+	if err := l.normalize(); err != nil {
+		return err
 	}
 	if !l.SkipVerify {
 		// Static pre-flight: reject programs the checker can prove broken
@@ -89,38 +147,25 @@ func Run(l Launch) (*trace.Kernel, error) {
 			SharedBytes:     l.SharedBytes,
 		}})
 		if err := fs.Err(); err != nil {
-			return nil, fmt.Errorf("emu: pre-flight rejected %q: %w", l.Prog.Name, err)
+			return fmt.Errorf("emu: pre-flight rejected %q: %w", l.Prog.Name, err)
 		}
 	}
 
 	warpsPerBlock := l.ThreadsPerBlock / l.WarpSize
-	k := &trace.Kernel{
-		Name:          l.Prog.Name,
-		Prog:          l.Prog,
-		Blocks:        l.Blocks,
-		WarpsPerBlock: warpsPerBlock,
-		LineBytes:     l.LineBytes,
-	}
-
 	budget := l.MaxRecs
 	for b := 0; b < l.Blocks; b++ {
+		sink.BeginBlock(b)
 		blk := newBlock(&l, b, warpsPerBlock)
 		blk.budget = &budget
+		blk.sink = sink
 		if err := blk.run(); err != nil {
-			return nil, err
+			return err
 		}
-		for _, w := range blk.warps {
-			k.Warps = append(k.Warps, &trace.WarpTrace{
-				BlockID: b,
-				WarpID:  w.id,
-				Recs:    w.recs,
-			})
+		if err := sink.EndBlock(); err != nil {
+			return err
 		}
 	}
-	if err := k.Validate(); err != nil {
-		return nil, fmt.Errorf("emu: internal error: %w", err)
-	}
-	return k, nil
+	return nil
 }
 
 // stackEnt is one SIMT reconvergence stack entry.
@@ -137,7 +182,6 @@ type warp struct {
 	stack []stackEnt
 	done  bool
 	atBar bool
-	recs  []trace.Rec
 }
 
 type block struct {
@@ -146,7 +190,9 @@ type block struct {
 	warps   []*warp
 	shared  []byte
 	scratch []uint64 // address scratch for coalescing
+	lineBuf []uint64 // coalesced-lines scratch, reused across records
 	budget  *int64   // remaining trace-record budget across the launch
+	sink    trace.Sink
 }
 
 func newBlock(l *Launch, id, warpsPerBlock int) *block {
@@ -259,20 +305,26 @@ func (b *block) runWarp(w *warp) error {
 		switch in.Op {
 		case isa.OpBra:
 			rec.Mask = top.mask
-			w.recs = append(w.recs, rec)
+			if err := b.sink.Emit(w.id, &rec); err != nil {
+				return err
+			}
 			b.execBranch(w, in)
 			b.popReconverged(w)
 			continue
 
 		case isa.OpBar:
-			w.recs = append(w.recs, rec)
+			if err := b.sink.Emit(w.id, &rec); err != nil {
+				return err
+			}
 			top.pc++
 			w.atBar = true
 			b.popReconverged(w)
 			continue
 
 		case isa.OpExit:
-			w.recs = append(w.recs, rec)
+			if err := b.sink.Emit(w.id, &rec); err != nil {
+				return err
+			}
 			w.done = true
 			return nil
 
@@ -290,7 +342,9 @@ func (b *block) runWarp(w *warp) error {
 			b.execALU(w, in, guarded)
 		}
 
-		w.recs = append(w.recs, rec)
+		if err := b.sink.Emit(w.id, &rec); err != nil {
+			return err
+		}
 		top.pc++
 		b.popReconverged(w)
 	}
@@ -394,7 +448,10 @@ func (b *block) execGlobal(w *warp, in *isa.Instr, active uint32, rec *trace.Rec
 		}
 	}
 	if len(b.scratch) > 0 {
-		rec.Lines = coalesce.Lines(b.scratch, size, b.l.LineBytes)
+		// The lines buffer is block-owned scratch: the sink copies (or
+		// column-encodes) it before the next record overwrites it.
+		b.lineBuf = coalesce.LinesInto(b.lineBuf, b.scratch, size, b.l.LineBytes)
+		rec.Lines = b.lineBuf
 	}
 	return nil
 }

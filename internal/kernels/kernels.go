@@ -112,20 +112,35 @@ func (k *Info) Build(s Scale) (*Launch, error) {
 }
 
 // Trace builds the kernel and runs the functional emulator, returning the
-// per-warp trace.
+// per-warp trace in row layout.
 func (k *Info) Trace(s Scale, lineBytes int) (*trace.Kernel, error) {
 	l, err := k.Build(s)
 	if err != nil {
 		return nil, err
 	}
-	return emu.Run(emu.Launch{
+	return emu.Run(k.launch(l, lineBytes))
+}
+
+// TraceColumnar is Trace with the records encoded straight into columnar
+// per-warp column streams during emulation — the memory-lean form for
+// saving traces to disk or streaming them through cursors.
+func (k *Info) TraceColumnar(s Scale, lineBytes int) (*trace.Kernel, error) {
+	l, err := k.Build(s)
+	if err != nil {
+		return nil, err
+	}
+	return emu.RunColumnar(k.launch(l, lineBytes))
+}
+
+func (k *Info) launch(l *Launch, lineBytes int) emu.Launch {
+	return emu.Launch{
 		Prog:            l.Prog,
 		Blocks:          l.Blocks,
 		ThreadsPerBlock: l.ThreadsPerBlock,
 		SharedBytes:     l.SharedBytes,
 		Mem:             l.Mem,
 		LineBytes:       lineBytes,
-	})
+	}
 }
 
 // Verify builds the kernel at the given scale and runs the static

@@ -87,6 +87,11 @@ type Config struct {
 	// it wait in the queued state (default 2).
 	MaxRunningSweeps int
 
+	// TraceCacheDir, when non-empty, points sessions at a directory of
+	// reusable columnar trace files (gpumech.WithTraceCache): restarts
+	// and new sessions skip re-emulation for traces already on disk.
+	TraceCacheDir string
+
 	// KernelProbeBlocks overrides the grid size of the one-off kernel
 	// census backing GET /v1/kernels instruction counts (0: each
 	// kernel's default grid). Tests use a small value to keep the
@@ -493,6 +498,9 @@ func (s *Server) session(kernel string, blocks int) (*gpumech.Session, error) {
 
 	ent.once.Do(func() {
 		opts := []gpumech.Option{gpumech.WithObserver(s.base)}
+		if s.cfg.TraceCacheDir != "" {
+			opts = append(opts, gpumech.WithTraceCache(s.cfg.TraceCacheDir))
+		}
 		if s.cfg.Workers > 0 {
 			opts = append(opts, gpumech.WithWorkers(s.cfg.Workers))
 		}

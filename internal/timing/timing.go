@@ -179,6 +179,7 @@ type sim struct {
 	dramReqs       int64
 	sfuService     int64 // SFU occupancy per warp instruction (0 = unlimited)
 	now            int64
+	err            error // first trace decode failure, checked each cycle
 }
 
 type core struct {
@@ -224,8 +225,14 @@ type blockState struct {
 }
 
 type warpState struct {
-	recs     []trace.Rec
+	// cur streams the warp's records (columnar warps decode on the fly);
+	// r caches the current — not yet issued — record, nil once the trace
+	// is exhausted. pos counts issued-or-current records for the probe
+	// memo; insts is the warp's total, for diagnostics.
+	cur      trace.RecCursor
+	r        *trace.Rec
 	pos      int
+	insts    int
 	regReady []int64
 	// regFromMem marks registers whose pending write comes from a load,
 	// for stall attribution.
@@ -273,7 +280,9 @@ func newSim(k *trace.Kernel, cfg config.Config, pol Policy) (*sim, error) {
 			co.pending = append(co.pending, ws)
 		}
 		for i := 0; i < blocksPerCore; i++ {
-			co.admitBlock(numRegs, 0)
+			if err := co.admitBlock(numRegs, 0); err != nil {
+				return nil, err
+			}
 		}
 		co.done = len(co.warps) == 0 && len(co.pending) == 0
 		s.cores = append(s.cores, co)
@@ -330,6 +339,9 @@ func (s *sim) run() (*Result, error) {
 			}
 			s.now = nextEvent
 		}
+		if s.err != nil {
+			return nil, fmt.Errorf("timing: %w", s.err)
+		}
 		if s.now > safetyCap {
 			return nil, fmt.Errorf("timing: exceeded cycle safety cap")
 		}
@@ -340,7 +352,7 @@ func (s *sim) run() (*Result, error) {
 				if wi > 5 {
 					break
 				}
-				fmt.Printf("  w%d pos=%d/%d wake=+%d bar=%v done=%v\n", wi, ws.pos, len(ws.recs), ws.wake-s.now, ws.atBar, ws.done)
+				fmt.Printf("  w%d pos=%d/%d wake=+%d bar=%v done=%v\n", wi, ws.pos, ws.insts, ws.wake-s.now, ws.atBar, ws.done)
 			}
 		}
 	}
@@ -484,11 +496,11 @@ func (s *sim) pick(co *core, now int64) *warpState {
 // canIssue checks scoreboard and structural hazards for the warp's next
 // instruction.
 func (s *sim) canIssue(co *core, w *warpState, now int64) bool {
-	if w.done || w.atBar || w.wake > now || w.pos >= len(w.recs) {
+	if w.done || w.atBar || w.wake > now || w.r == nil {
 		return false
 	}
 	w.mshrBlocked = false
-	r := &w.recs[w.pos]
+	r := w.r
 	var latest int64
 	fromMem := false
 	for _, src := range r.SrcRegs() {
@@ -597,10 +609,11 @@ func (s *sim) dramBacklogged(w *warpState, now int64) bool {
 	return true
 }
 
-// issue executes the warp's next instruction at cycle now.
+// issue executes the warp's current instruction at cycle now. The cursor
+// advances only after the instruction is fully processed: the cached
+// record (and its Lines window) is invalidated by the advance.
 func (s *sim) issue(co *core, w *warpState, now int64) {
-	r := &w.recs[w.pos]
-	w.pos++
+	r := w.r
 
 	switch r.Op {
 	case isa.OpBar:
@@ -655,9 +668,25 @@ func (s *sim) issue(co *core, w *warpState, now int64) {
 		w.wake = now + 1
 	}
 
-	if w.pos >= len(w.recs) && !w.done {
+	if err := w.advance(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if w.r == nil && !w.done {
 		s.finishWarp(co, w, now)
 	}
+}
+
+// advance moves the warp to its next record, caching it in w.r (nil at
+// end of trace). A decode error from columnar storage is returned and the
+// warp treated as exhausted.
+func (w *warpState) advance() error {
+	if w.cur.Next() {
+		w.r = w.cur.Rec()
+		w.pos++
+		return nil
+	}
+	w.r = nil
+	return w.cur.Err()
 }
 
 // loadLine resolves one load request and returns its completion cycle.
@@ -745,24 +774,28 @@ func (s *sim) finishWarp(co *core, w *warpState, now int64) {
 		}
 	}
 	co.warps = live
-	co.admitBlock(s.numRegs, now+1)
+	if err := co.admitBlock(s.numRegs, now+1); err != nil && s.err == nil {
+		s.err = err
+	}
 	if len(co.warps) == 0 && len(co.pending) == 0 {
 		co.done = true
 		co.cycles = now + 1
 	}
 }
 
-// admitBlock moves the next pending block into residency.
-func (co *core) admitBlock(numRegs int, wake int64) {
+// admitBlock moves the next pending block into residency, priming each
+// warp's cursor on its first record.
+func (co *core) admitBlock(numRegs int, wake int64) error {
 	if len(co.pending) == 0 {
-		return
+		return nil
 	}
 	traces := co.pending[0]
 	co.pending = co.pending[1:]
 	b := &blockState{alive: len(traces)}
 	for _, wt := range traces {
 		ws := &warpState{
-			recs:       wt.Recs,
+			cur:        wt.Cursor(),
+			insts:      wt.Insts(),
 			regReady:   make([]int64, numRegs),
 			regFromMem: make([]bool, numRegs),
 			wake:       wake,
@@ -770,11 +803,15 @@ func (co *core) admitBlock(numRegs int, wake int64) {
 			age:        co.nextAge,
 			probePos:   -1,
 		}
+		if err := ws.advance(); err != nil {
+			return err
+		}
 		co.nextAge++
 		b.warps = append(b.warps, ws)
 		co.warps = append(co.warps, ws)
 	}
 	co.blocks = append(co.blocks, b)
+	return nil
 }
 
 // SetDebugSample toggles periodic state dumps (development only).

@@ -1,0 +1,353 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gpumech/internal/isa"
+)
+
+// Columnar warp storage. Instead of a []Rec — where every record is a
+// 40-byte struct and every global-memory record carries its own []uint64
+// allocation — a ColWarp keeps one compact byte stream per field:
+//
+//	pc      delta-encoded (zigzag varint) static PCs; traces revisit
+//	        nearby PCs, so deltas are tiny
+//	op      one byte per record (isa.Op is a uint8)
+//	mem     one byte per record (isa.MemType)
+//	nsrc    one byte per record (source-operand count, <= 4)
+//	dst     one byte per record (isa.Reg; 0xFF = RegNone)
+//	srcs    NumSrcs bytes per record, concatenated (the RegNone padding
+//	        of Rec.Srcs is implicit and restored on decode)
+//	mask    run-length encoded (varint run length, varint mask value);
+//	        the common all-lanes-active case costs two varints per run
+//	nlines  for each global-memory record, varint count of coalesced lines
+//	lines   per global-memory record: first line absolute, then deltas
+//	        (varints; lines are sorted strictly ascending, so deltas are
+//	        positive and small for coalesced access patterns)
+//
+// This layout is both the on-disk format (see colfmt.go) and an in-memory
+// representation: ColCursor decodes records one at a time into a reusable
+// buffer, so consumers iterating through RecCursor never materialize the
+// row form.
+type ColWarp struct {
+	n        int // record count
+	memInsts int // global-memory records
+	memReqs  int // total coalesced line requests
+
+	pc, op, mem, nsrc, dst, srcs, mask, nlines, lines []byte
+}
+
+// Insts returns the number of records.
+func (c *ColWarp) Insts() int { return c.n }
+
+// GlobalMemInsts returns the number of global-memory records.
+func (c *ColWarp) GlobalMemInsts() int { return c.memInsts }
+
+// GlobalMemReqs returns the total number of coalesced line requests.
+func (c *ColWarp) GlobalMemReqs() int { return c.memReqs }
+
+// SizeBytes returns the encoded footprint of the column streams.
+func (c *ColWarp) SizeBytes() int {
+	return len(c.pc) + len(c.op) + len(c.mem) + len(c.nsrc) + len(c.dst) +
+		len(c.srcs) + len(c.mask) + len(c.nlines) + len(c.lines)
+}
+
+func zigzag(d int64) uint64   { return uint64((d << 1) ^ (d >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// ColBuilder appends records to a warp's column streams. It is the sink-
+// side encoder: the emulator feeds it records as they execute, so the
+// serialize path never holds an intermediate []Rec.
+type ColBuilder struct {
+	cw      ColWarp
+	prevPC  int64
+	maskVal uint32
+	maskRun uint64
+}
+
+// Append encodes one record onto the column streams. The record (and its
+// Lines slice) may be reused by the caller after the call returns. Records
+// the format cannot represent losslessly — more than four sources, source
+// padding that is not RegNone, lines on a non-global record, or lines not
+// strictly ascending — are rejected with an error.
+func (b *ColBuilder) Append(r *Rec) error {
+	if int(r.NumSrcs) > len(r.Srcs) {
+		return fmt.Errorf("trace: record has %d sources (max %d)", r.NumSrcs, len(r.Srcs))
+	}
+	for i := int(r.NumSrcs); i < len(r.Srcs); i++ {
+		if r.Srcs[i] != isa.RegNone {
+			return fmt.Errorf("trace: record source padding at %d is %d, want RegNone", i, r.Srcs[i])
+		}
+	}
+	if !r.Op.IsGlobal() && len(r.Lines) != 0 {
+		return fmt.Errorf("trace: non-global record (op %s) carries %d lines", r.Op, len(r.Lines))
+	}
+
+	b.cw.pc = binary.AppendUvarint(b.cw.pc, zigzag(int64(r.PC)-b.prevPC))
+	b.prevPC = int64(r.PC)
+	b.cw.op = append(b.cw.op, byte(r.Op))
+	b.cw.mem = append(b.cw.mem, byte(r.Mem))
+	b.cw.nsrc = append(b.cw.nsrc, r.NumSrcs)
+	b.cw.dst = append(b.cw.dst, byte(r.Dst))
+	for i := 0; i < int(r.NumSrcs); i++ {
+		b.cw.srcs = append(b.cw.srcs, byte(r.Srcs[i]))
+	}
+
+	if b.maskRun > 0 && r.Mask == b.maskVal {
+		b.maskRun++
+	} else {
+		b.flushMaskRun()
+		b.maskVal = r.Mask
+		b.maskRun = 1
+	}
+
+	if r.Op.IsGlobal() {
+		b.cw.memInsts++
+		b.cw.memReqs += len(r.Lines)
+		b.cw.nlines = binary.AppendUvarint(b.cw.nlines, uint64(len(r.Lines)))
+		prev := uint64(0)
+		for i, line := range r.Lines {
+			if i == 0 {
+				b.cw.lines = binary.AppendUvarint(b.cw.lines, line)
+			} else {
+				if line <= prev {
+					return fmt.Errorf("trace: record lines not strictly ascending (%#x after %#x)", line, prev)
+				}
+				b.cw.lines = binary.AppendUvarint(b.cw.lines, line-prev)
+			}
+			prev = line
+		}
+	}
+	b.cw.n++
+	return nil
+}
+
+func (b *ColBuilder) flushMaskRun() {
+	if b.maskRun == 0 {
+		return
+	}
+	b.cw.mask = binary.AppendUvarint(b.cw.mask, b.maskRun)
+	b.cw.mask = binary.AppendUvarint(b.cw.mask, uint64(b.maskVal))
+	b.maskRun = 0
+}
+
+// Finish seals the streams and returns the columnar warp. The builder must
+// not be appended to afterwards.
+func (b *ColBuilder) Finish() *ColWarp {
+	b.flushMaskRun()
+	cw := b.cw
+	return &cw
+}
+
+// EncodeColumns converts row records to a columnar warp.
+func EncodeColumns(recs []Rec) (*ColWarp, error) {
+	var b ColBuilder
+	for i := range recs {
+		if err := b.Append(&recs[i]); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+	}
+	return b.Finish(), nil
+}
+
+// ColCursor decodes a ColWarp one record at a time into an internal
+// reusable buffer — the bounded window of the streaming read path. Next
+// performs no allocations in steady state (the lines buffer grows to the
+// most divergent record seen, then stays).
+type ColCursor struct {
+	w   *ColWarp
+	rec Rec
+	err error
+	idx int
+
+	prevPC  int64
+	pcOff   int
+	srcOff  int
+	maskOff int
+	nlOff   int
+	lnOff   int
+
+	maskRun  uint64
+	maskVal  uint32
+	linesBuf []uint64
+}
+
+// Cursor returns a fresh cursor positioned before the first record.
+func (c *ColWarp) Cursor() *ColCursor {
+	cur := &ColCursor{w: c}
+	cur.Reset()
+	return cur
+}
+
+// Reset repositions the cursor before the first record.
+func (c *ColCursor) Reset() {
+	c.rec = Rec{}
+	c.err = nil
+	c.idx = 0
+	c.prevPC = 0
+	c.pcOff, c.srcOff, c.maskOff, c.nlOff, c.lnOff = 0, 0, 0, 0, 0
+	c.maskRun, c.maskVal = 0, 0
+	n := c.w.n
+	if n < 0 || len(c.w.op) != n || len(c.w.mem) != n || len(c.w.nsrc) != n || len(c.w.dst) != n {
+		c.fail("byte column lengths (op %d, mem %d, nsrc %d, dst %d) inconsistent with %d records",
+			len(c.w.op), len(c.w.mem), len(c.w.nsrc), len(c.w.dst), n)
+	}
+}
+
+func (c *ColCursor) fail(format string, args ...any) bool {
+	if c.err == nil {
+		c.err = fmt.Errorf("trace: columnar record %d: "+format, append([]any{c.idx}, args...)...)
+	}
+	return false
+}
+
+// uvarint decodes one varint from col at *off.
+func (c *ColCursor) uvarint(col []byte, off *int, what string) (uint64, bool) {
+	v, sz := binary.Uvarint(col[*off:])
+	if sz <= 0 {
+		c.fail("truncated or malformed %s varint", what)
+		return 0, false
+	}
+	*off += sz
+	return v, true
+}
+
+// Next decodes the next record. It returns false at the end of the warp or
+// on a malformed stream; Err distinguishes the two. On clean exhaustion
+// every column stream must have been consumed exactly — leftover bytes are
+// reported as an error.
+func (c *ColCursor) Next() bool {
+	if c.err != nil {
+		return false
+	}
+	if c.idx >= c.w.n {
+		if c.pcOff != len(c.w.pc) || c.srcOff != len(c.w.srcs) || c.maskOff != len(c.w.mask) ||
+			c.nlOff != len(c.w.nlines) || c.lnOff != len(c.w.lines) || c.maskRun != 0 {
+			return c.fail("column streams not fully consumed after %d records", c.w.n)
+		}
+		return false
+	}
+
+	d, ok := c.uvarint(c.w.pc, &c.pcOff, "pc")
+	if !ok {
+		return false
+	}
+	pc := c.prevPC + unzigzag(d)
+	if pc < math.MinInt32 || pc > math.MaxInt32 {
+		return c.fail("pc %d outside int32 range", pc)
+	}
+	c.prevPC = pc
+	c.rec.PC = int32(pc)
+	c.rec.Op = isa.Op(c.w.op[c.idx])
+	c.rec.Mem = isa.MemType(c.w.mem[c.idx])
+	ns := c.w.nsrc[c.idx]
+	if int(ns) > len(c.rec.Srcs) {
+		return c.fail("source count %d exceeds %d", ns, len(c.rec.Srcs))
+	}
+	if c.srcOff+int(ns) > len(c.w.srcs) {
+		return c.fail("source column truncated (need %d bytes at offset %d of %d)", ns, c.srcOff, len(c.w.srcs))
+	}
+	c.rec.NumSrcs = ns
+	for i := range c.rec.Srcs {
+		if i < int(ns) {
+			c.rec.Srcs[i] = isa.Reg(c.w.srcs[c.srcOff+i])
+		} else {
+			c.rec.Srcs[i] = isa.RegNone
+		}
+	}
+	c.srcOff += int(ns)
+	c.rec.Dst = isa.Reg(c.w.dst[c.idx])
+
+	if c.maskRun == 0 {
+		run, ok := c.uvarint(c.w.mask, &c.maskOff, "mask run")
+		if !ok {
+			return false
+		}
+		if run == 0 {
+			return c.fail("zero-length mask run")
+		}
+		v, ok := c.uvarint(c.w.mask, &c.maskOff, "mask value")
+		if !ok {
+			return false
+		}
+		if v > math.MaxUint32 {
+			return c.fail("mask value %#x exceeds 32 bits", v)
+		}
+		c.maskRun, c.maskVal = run, uint32(v)
+	}
+	c.maskRun--
+	c.rec.Mask = c.maskVal
+
+	c.rec.Lines = nil
+	if c.rec.Op.IsGlobal() {
+		cnt, ok := c.uvarint(c.w.nlines, &c.nlOff, "line count")
+		if !ok {
+			return false
+		}
+		// Every line consumes at least one byte of the lines column, so a
+		// count beyond the remaining bytes is malformed (and must not
+		// drive a huge allocation).
+		if cnt > uint64(len(c.w.lines)-c.lnOff) {
+			return c.fail("line count %d exceeds remaining column bytes %d", cnt, len(c.w.lines)-c.lnOff)
+		}
+		if cap(c.linesBuf) < int(cnt) {
+			c.linesBuf = make([]uint64, cnt)
+		}
+		c.linesBuf = c.linesBuf[:cnt]
+		prev := uint64(0)
+		for i := 0; i < int(cnt); i++ {
+			v, ok := c.uvarint(c.w.lines, &c.lnOff, "line")
+			if !ok {
+				return false
+			}
+			line := v
+			if i > 0 {
+				line = prev + v
+				if line <= prev {
+					return c.fail("line delta %d does not ascend from %#x", v, prev)
+				}
+			}
+			c.linesBuf[i] = line
+			prev = line
+		}
+		if cnt > 0 {
+			c.rec.Lines = c.linesBuf
+		}
+	}
+
+	c.idx++
+	return true
+}
+
+// Rec returns the current record. The record — including its Lines slice —
+// is only valid until the next call to Next.
+func (c *ColCursor) Rec() *Rec { return &c.rec }
+
+// Err reports the first decode error, or nil after clean exhaustion.
+func (c *ColCursor) Err() error { return c.err }
+
+// DecodeColumns materializes the columnar warp as row records. Each
+// record's lines are copied into a shared arena, so the result costs two
+// allocations regardless of how many memory records the warp has.
+func (c *ColWarp) DecodeColumns() ([]Rec, error) {
+	// Summary counts are validated by the cursor, not before the first
+	// Next call — clamp them so a hostile header cannot panic makeslice.
+	recs := make([]Rec, 0, max(c.n, 0))
+	arena := make([]uint64, 0, max(c.memReqs, 0))
+	cur := c.Cursor()
+	for cur.Next() {
+		r := *cur.Rec()
+		if len(r.Lines) > 0 {
+			start := len(arena)
+			arena = append(arena, r.Lines...)
+			r.Lines = arena[start:len(arena):len(arena)]
+		}
+		recs = append(recs, r)
+	}
+	if err := cur.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

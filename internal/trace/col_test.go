@@ -1,0 +1,318 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"gpumech/internal/isa"
+)
+
+// colRecs builds a record sequence that exercises every column: PC deltas
+// in both directions (loop back-edges), long uniform mask runs and
+// divergence, and global-memory records from fully-coalesced (one line)
+// to fully-diverged (many ascending lines).
+func colRecs() []Rec {
+	var recs []Rec
+	add := func(r Rec) {
+		for i := int(r.NumSrcs); i < len(r.Srcs); i++ {
+			r.Srcs[i] = isa.RegNone
+		}
+		recs = append(recs, r)
+	}
+	for iter := 0; iter < 3; iter++ { // a loop: PCs revisit, deltas go negative
+		add(Rec{PC: 10, Op: isa.OpIAdd, Dst: 1, Srcs: [4]isa.Reg{2, 3}, NumSrcs: 2, Mask: 0xFFFFFFFF})
+		add(Rec{PC: 11, Op: isa.OpIMul, Dst: 2, Srcs: [4]isa.Reg{1, 1}, NumSrcs: 2, Mask: 0xFFFFFFFF})
+		add(Rec{PC: 12, Op: isa.OpLdG, Dst: 3, Srcs: [4]isa.Reg{2}, NumSrcs: 1, Mem: isa.MemF32,
+			Mask: 0xFFFFFFFF, Lines: []uint64{uint64(iter) * 4096}})
+	}
+	// Divergence: distinct masks, no run sharing.
+	add(Rec{PC: 13, Op: isa.OpMov, Dst: 4, Srcs: [4]isa.Reg{3}, NumSrcs: 1, Mask: 0x0000FFFF})
+	add(Rec{PC: 14, Op: isa.OpMov, Dst: 5, Srcs: [4]isa.Reg{3}, NumSrcs: 1, Mask: 0xFFFF0000})
+	// Fully diverged store: one line per active lane.
+	diverged := make([]uint64, 32)
+	for i := range diverged {
+		diverged[i] = uint64(i) * 131072
+	}
+	add(Rec{PC: 15, Op: isa.OpStG, Dst: isa.RegNone, Srcs: [4]isa.Reg{4, 5}, NumSrcs: 2,
+		Mem: isa.MemF32, Mask: 0xFFFFFFFF, Lines: diverged})
+	// Zero-source and zero-mask records.
+	add(Rec{PC: 16, Op: isa.OpMovI, Dst: 6, NumSrcs: 0, Mask: 0})
+	add(Rec{PC: 2, Op: isa.OpExit, Dst: isa.RegNone, NumSrcs: 0, Mask: 0xFFFFFFFF})
+	return recs
+}
+
+func TestColRoundTrip(t *testing.T) {
+	recs := colRecs()
+	cw, err := EncodeColumns(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.Insts() != len(recs) {
+		t.Fatalf("Insts = %d, want %d", cw.Insts(), len(recs))
+	}
+	if cw.GlobalMemInsts() != 4 || cw.GlobalMemReqs() != 3+32 {
+		t.Fatalf("mem summary = %d insts / %d reqs, want 4 / 35", cw.GlobalMemInsts(), cw.GlobalMemReqs())
+	}
+	got, err := cw.DecodeColumns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Fatalf("round trip changed records:\n want %+v\n  got %+v", recs, got)
+	}
+}
+
+func TestColMaskRLECompact(t *testing.T) {
+	recs := make([]Rec, 1000)
+	for i := range recs {
+		recs[i] = rec(i%3, isa.OpIAdd, 1, 2)
+		recs[i].Mask = 0xFFFFFFFF
+	}
+	cw, err := EncodeColumns(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One uniform run: one varint run length + one varint value.
+	if len(cw.mask) > 8 {
+		t.Errorf("uniform mask column is %d bytes, want <= 8", len(cw.mask))
+	}
+	got, err := cw.DecodeColumns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Fatal("RLE round trip changed records")
+	}
+}
+
+func TestColBuilderRejectsMalformed(t *testing.T) {
+	base := func() Rec {
+		r := rec(0, isa.OpIAdd, 1, 2)
+		return r
+	}
+	cases := []struct {
+		name string
+		mod  func(*Rec)
+	}{
+		{"too many sources", func(r *Rec) { r.NumSrcs = 5 }},
+		{"non-RegNone padding", func(r *Rec) { r.Srcs[3] = 7 }},
+		{"lines on non-global op", func(r *Rec) { r.Lines = []uint64{0} }},
+		{"descending lines", func(r *Rec) {
+			r.Op = isa.OpLdG
+			r.Lines = []uint64{256, 128}
+		}},
+		{"duplicate lines", func(r *Rec) {
+			r.Op = isa.OpLdG
+			r.Lines = []uint64{128, 128}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := base()
+			tc.mod(&r)
+			var b ColBuilder
+			if err := b.Append(&r); err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
+	}
+}
+
+// TestColCursorCorruption mutates each column of a valid warp and checks
+// the cursor reports an error rather than panicking or silently
+// truncating. Mutations cover truncated streams, malformed varints,
+// inconsistent lengths, and trailing bytes.
+func TestColCursorCorruption(t *testing.T) {
+	fresh := func() *ColWarp {
+		cw, err := EncodeColumns(colRecs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cw
+	}
+	cases := []struct {
+		name string
+		mod  func(*ColWarp)
+	}{
+		{"pc truncated", func(c *ColWarp) { c.pc = c.pc[:len(c.pc)-1] }},
+		{"pc trailing byte", func(c *ColWarp) { c.pc = append(c.pc, 0) }},
+		{"pc unterminated varint", func(c *ColWarp) { c.pc[len(c.pc)-1] = 0x80 }},
+		{"op column short", func(c *ColWarp) { c.op = c.op[:len(c.op)-1] }},
+		{"mem column long", func(c *ColWarp) { c.mem = append(c.mem, 0) }},
+		{"nsrc column short", func(c *ColWarp) { c.nsrc = c.nsrc[:1] }},
+		{"dst column short", func(c *ColWarp) { c.dst = c.dst[:1] }},
+		{"nsrc exceeds 4", func(c *ColWarp) { c.nsrc[0] = 5 }},
+		{"srcs truncated", func(c *ColWarp) { c.srcs = c.srcs[:1] }},
+		{"srcs trailing byte", func(c *ColWarp) { c.srcs = append(c.srcs, 0) }},
+		{"mask truncated", func(c *ColWarp) { c.mask = c.mask[:1] }},
+		{"mask zero run", func(c *ColWarp) { c.mask = []byte{0, 0} }},
+		{"mask value over 32 bits", func(c *ColWarp) { c.mask = append([]byte{1}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01) }},
+		{"mask trailing run", func(c *ColWarp) { c.mask = append(c.mask, 9, 9) }},
+		{"nlines truncated", func(c *ColWarp) { c.nlines = nil }},
+		{"line count overflows column", func(c *ColWarp) { c.nlines[0] = 0xF0; c.nlines = c.nlines[:1] }},
+		{"lines truncated", func(c *ColWarp) { c.lines = c.lines[:1] }},
+		{"lines trailing bytes", func(c *ColWarp) { c.lines = append(c.lines, 1, 1) }},
+		{"line delta zero", func(c *ColWarp) {
+			// Rebuild with two lines, then zero the second varint (delta 0
+			// means a duplicate line, which must be rejected).
+			r := Rec{PC: 0, Op: isa.OpLdG, Dst: 1, Mask: 1, Lines: []uint64{128, 256},
+				Srcs: [4]isa.Reg{isa.RegNone, isa.RegNone, isa.RegNone, isa.RegNone}}
+			cw2, err := EncodeColumns([]Rec{r})
+			if err != nil {
+				t.Fatal(err)
+			}
+			*c = *cw2
+			c.lines[len(c.lines)-1] = 0
+		}},
+		{"negative record count", func(c *ColWarp) { c.n = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cw := fresh()
+			tc.mod(cw)
+			cur := cw.Cursor()
+			n := 0
+			for cur.Next() {
+				n++
+				if n > cw.n+1 {
+					t.Fatal("cursor did not terminate")
+				}
+			}
+			if cur.Err() == nil {
+				t.Errorf("%s: corrupt warp decoded cleanly (%d records)", tc.name, n)
+			}
+			if _, err := cw.DecodeColumns(); err == nil {
+				t.Errorf("%s: DecodeColumns accepted corrupt warp", tc.name)
+			}
+		})
+	}
+}
+
+func TestColCursorErrSticksAndStops(t *testing.T) {
+	cw, err := EncodeColumns(colRecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw.pc = cw.pc[:2] // fails partway through
+	cur := cw.Cursor()
+	for cur.Next() {
+	}
+	first := cur.Err()
+	if first == nil {
+		t.Fatal("no error on truncated pc column")
+	}
+	if cur.Next() {
+		t.Error("Next returned true after error")
+	}
+	if cur.Err() != first {
+		t.Error("error changed across calls")
+	}
+}
+
+// TestWarpDualStorage pins the WarpTrace accessors across both layouts:
+// cursors yield identical sequences, Rows/Columns convert faithfully, and
+// the summary counters agree.
+func TestWarpDualStorage(t *testing.T) {
+	recs := colRecs()
+	row := &WarpTrace{BlockID: 1, WarpID: 2, Recs: recs}
+	cw, err := EncodeColumns(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := NewColWarpTrace(1, 2, cw)
+
+	if col.Col() == nil || row.Col() != nil {
+		t.Fatal("Col() accessor wrong")
+	}
+	if row.Insts() != col.Insts() || row.GlobalMemInsts() != col.GlobalMemInsts() ||
+		row.GlobalMemReqs() != col.GlobalMemReqs() {
+		t.Fatalf("summary counters disagree: row %d/%d/%d col %d/%d/%d",
+			row.Insts(), row.GlobalMemInsts(), row.GlobalMemReqs(),
+			col.Insts(), col.GlobalMemInsts(), col.GlobalMemReqs())
+	}
+
+	rc, cc := row.Cursor(), col.Cursor()
+	for i := 0; ; i++ {
+		rn, cn := rc.Next(), cc.Next()
+		if rn != cn {
+			t.Fatalf("cursor lengths diverge at %d", i)
+		}
+		if !rn {
+			break
+		}
+		rr, cr := *rc.Rec(), *cc.Rec()
+		if !reflect.DeepEqual(rr.Lines, cr.Lines) {
+			t.Fatalf("record %d lines differ: row %v col %v", i, rr.Lines, cr.Lines)
+		}
+		rr.Lines, cr.Lines = nil, nil
+		if !reflect.DeepEqual(rr, cr) {
+			t.Fatalf("record %d differs: row %+v col %+v", i, rc.Rec(), cc.Rec())
+		}
+	}
+	if rc.Err() != nil || cc.Err() != nil {
+		t.Fatalf("cursor errors: %v / %v", rc.Err(), cc.Err())
+	}
+
+	gotRows, err := col.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotRows, recs) {
+		t.Fatal("col.Rows() differs from source records")
+	}
+	gotCols, err := row.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotCols, cw) {
+		t.Fatal("row.Columns() differs from EncodeColumns")
+	}
+}
+
+func TestValidateCatchesColSummaryMismatch(t *testing.T) {
+	k := makeKernel(1, 1, 3)
+	cw, err := EncodeColumns(k.Warps[0].Recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw.memInsts++ // lie about the summary
+	k.Warps[0] = NewColWarpTrace(0, 0, cw)
+	if err := k.Validate(); err == nil {
+		t.Error("column summary mismatch not caught")
+	}
+}
+
+// TestCursorNextZeroAlloc is the allocation gate for the streaming read
+// path: after warm-up (the lines buffer grows to the most divergent record
+// seen), a full pass over either cursor layout performs zero allocations.
+func TestCursorNextZeroAlloc(t *testing.T) {
+	recs := colRecs()
+	cw, err := EncodeColumns(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	colCur := cw.Cursor()
+	for colCur.Next() {
+	}
+	if err := colCur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		colCur.Reset()
+		for colCur.Next() {
+		}
+	}); avg != 0 {
+		t.Errorf("ColCursor.Next allocates %.1f times per pass, want 0", avg)
+	}
+
+	sliceCur := NewSliceCursor(recs)
+	if avg := testing.AllocsPerRun(100, func() {
+		sliceCur.Reset()
+		for sliceCur.Next() {
+			_ = sliceCur.Rec()
+		}
+	}); avg != 0 {
+		t.Errorf("SliceCursor.Next allocates %.1f times per pass, want 0", avg)
+	}
+}

@@ -1,0 +1,62 @@
+package trace
+
+// RecCursor streams the records of one warp in execution order. It is the
+// single iteration surface shared by the row (slice-of-Rec) and columnar
+// storage layouts: the interval algorithm, the cache simulator, and the
+// timing oracle all consume traces through it, so a warp decoded lazily
+// from the columnar format never needs to materialize a []Rec.
+//
+// The protocol: a fresh cursor is positioned before the first record.
+// Next advances and reports whether a record is available; Rec returns the
+// current record, which remains valid until the next Next call. After Next
+// returns false, Err distinguishes clean exhaustion (nil) from a decode
+// failure in the underlying stream.
+//
+// Implementations must not allocate in Next in steady state — the
+// zero-alloc gate in the CI pins this for both layouts.
+type RecCursor interface {
+	Next() bool
+	Rec() *Rec
+	Err() error
+}
+
+// SliceCursor is a RecCursor over row storage. The records are returned by
+// pointer into the backing slice, so Rec is valid indefinitely.
+type SliceCursor struct {
+	recs []Rec
+	i    int
+}
+
+// NewSliceCursor returns a cursor over recs, positioned before the first
+// record.
+func NewSliceCursor(recs []Rec) *SliceCursor {
+	return &SliceCursor{recs: recs, i: -1}
+}
+
+// Next advances to the next record.
+func (c *SliceCursor) Next() bool {
+	if c.i+1 >= len(c.recs) {
+		c.i = len(c.recs)
+		return false
+	}
+	c.i++
+	return true
+}
+
+// Rec returns the current record.
+func (c *SliceCursor) Rec() *Rec { return &c.recs[c.i] }
+
+// Err always returns nil: row storage cannot fail to decode.
+func (c *SliceCursor) Err() error { return nil }
+
+// Reset repositions the cursor before the first record.
+func (c *SliceCursor) Reset() { c.i = -1 }
+
+// Cursor returns a cursor over the warp's records, whichever storage
+// layout the warp uses.
+func (w *WarpTrace) Cursor() RecCursor {
+	if w.col != nil {
+		return w.col.Cursor()
+	}
+	return NewSliceCursor(w.Recs)
+}

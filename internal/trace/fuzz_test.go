@@ -2,7 +2,13 @@ package trace
 
 import (
 	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"reflect"
+	"strconv"
 	"testing"
 
 	"gpumech/internal/isa"
@@ -40,16 +46,9 @@ func fuzzKernel() *Kernel {
 // Validate and round-trips through Encode byte-faithfully — it must never
 // panic, whatever the input stream contains.
 func FuzzReadKernel(f *testing.F) {
-	var buf bytes.Buffer
-	if err := fuzzKernel().Encode(&buf); err != nil {
-		f.Fatal(err)
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed.data)
 	}
-	valid := buf.Bytes()
-	f.Add(valid)
-	f.Add(valid[:len(valid)/2])    // truncated stream
-	f.Add([]byte{0x1f, 0x8b})      // bare gzip magic
-	f.Add([]byte("not gzip data")) // wrong container
-	f.Add(bytes.Repeat(valid, 2))  // trailing garbage after a valid stream
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		k, err := ReadKernel(bytes.NewReader(data))
@@ -78,19 +77,139 @@ func FuzzReadKernel(f *testing.F) {
 	})
 }
 
-// TestFuzzSeedRoundTrip pins the seed kernel's round trip outside the
-// fuzzer so the property is exercised on every plain `go test` run.
-func TestFuzzSeedRoundTrip(t *testing.T) {
-	k := fuzzKernel()
-	var buf bytes.Buffer
-	if err := k.Encode(&buf); err != nil {
-		t.Fatal(err)
+// fuzzSeeds builds the named seed inputs for FuzzReadKernel: well-formed
+// streams in both formats, truncations, container garbage, corrupted
+// columnar payloads, and trailing data after a valid stream. The same set
+// backs the checked-in corpus under testdata/fuzz/FuzzReadKernel.
+type fuzzSeed struct {
+	name string
+	data []byte
+}
+
+func fuzzSeeds(t testing.TB) []fuzzSeed {
+	encode := func(enc func(io.Writer) error) []byte {
+		var buf bytes.Buffer
+		if err := enc(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
 	}
-	got, err := ReadKernel(&buf)
+	k := fuzzKernel()
+	col := encode(k.Encode)
+	legacy := encode(k.EncodeLegacy)
+
+	// regzip re-compresses a mutated payload so the corruption survives the
+	// gzip container and reaches the columnar decoder.
+	regzip := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(col))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(k, got) {
-		t.Fatal("round trip changed the kernel")
+	payload, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := func(off int, b byte) []byte {
+		p := append([]byte{}, payload...)
+		p[off] ^= b
+		return regzip(p)
+	}
+
+	return []fuzzSeed{
+		{"valid-columnar", col},
+		{"valid-legacy-gob", legacy},
+		{"truncated-columnar", col[:len(col)/2]},
+		{"truncated-legacy", legacy[:len(legacy)/2]},
+		{"gzip-magic-bare", []byte{0x1f, 0x8b}},
+		{"not-gzip-container", []byte("not gzip data")},
+		{"trailing-columnar", bytes.Repeat(col, 2)},
+		{"trailing-legacy-then-columnar", append(append([]byte{}, legacy...), col...)},
+		{"columnar-payload-truncated", regzip(payload[:len(payload)-3])},
+		{"columnar-bad-magic", flip(0, 0xFF)},
+		{"columnar-corrupt-header-len", flip(len(colMagic), 0x7F)},
+		{"columnar-corrupt-column-byte", flip(len(payload)-5, 0xA5)},
+		{"columnar-payload-trailing", regzip(append(append([]byte{}, payload...), 1, 2, 3))},
+	}
+}
+
+// TestFuzzSeedsNeverPanic runs every seed through the fuzz body on plain
+// `go test` runs, so the corpus properties hold without -fuzz.
+func TestFuzzSeedsNeverPanic(t *testing.T) {
+	for _, seed := range fuzzSeeds(t) {
+		t.Run(seed.name, func(t *testing.T) {
+			k, err := ReadKernel(bytes.NewReader(seed.data))
+			if err != nil {
+				return
+			}
+			if verr := k.Validate(); verr != nil {
+				t.Fatalf("accepted kernel fails Validate: %v", verr)
+			}
+		})
+	}
+}
+
+// TestFuzzSeedRoundTrip pins the seed kernel's round trip — in both
+// formats — outside the fuzzer so the property is exercised on every
+// plain `go test` run.
+func TestFuzzSeedRoundTrip(t *testing.T) {
+	k := fuzzKernel()
+	for _, enc := range []struct {
+		name string
+		fn   func(io.Writer) error
+	}{{"columnar", k.Encode}, {"legacy", k.EncodeLegacy}} {
+		var buf bytes.Buffer
+		if err := enc.fn(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadKernel(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(k, got) {
+			t.Fatalf("%s round trip changed the kernel", enc.name)
+		}
+	}
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus and the
+// testdata trace files when GPUMECH_WRITE_CORPUS=1. It is a no-op (and a
+// staleness check) otherwise: every corpus seed written by a previous run
+// must still be present.
+func TestWriteFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadKernel")
+	seeds := fuzzSeeds(t)
+	if os.Getenv("GPUMECH_WRITE_CORPUS") != "1" {
+		for _, seed := range seeds {
+			if _, err := os.Stat(filepath.Join(dir, seed.name)); err != nil {
+				t.Errorf("corpus seed %q missing; regenerate with GPUMECH_WRITE_CORPUS=1 go test ./internal/trace/", seed.name)
+			}
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed.data)))
+		if err := os.WriteFile(filepath.Join(dir, seed.name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k := fuzzKernel()
+	if err := k.Save(filepath.Join("testdata", "fuzz-seed.columnar.trace")); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SaveLegacy(filepath.Join("testdata", "fuzz-seed.legacy.trace")); err != nil {
+		t.Fatal(err)
 	}
 }

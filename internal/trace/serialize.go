@@ -2,33 +2,155 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"path/filepath"
+
+	"gpumech/internal/isa"
 )
 
 // Serialization lets traces be collected once and reused across tool
 // invocations (the paper's per-input profiling cost is paid offline).
-// The format is gob wrapped in gzip, with a version header for forward
-// compatibility.
+//
+// Two on-disk formats exist, both gzip-compressed:
+//
+//	v1 (legacy)  gob: traceHeader message followed by the Kernel. Written
+//	             by older builds; still readable, and still writable via
+//	             EncodeLegacy for interoperability.
+//	v2 (columnar) magic "GMC2", a length-prefixed gob blob with the launch
+//	             metadata (colHeader), then one section per warp holding
+//	             the delta/varint column streams of a ColWarp. This is
+//	             what Encode writes: it is ~an order of magnitude smaller
+//	             before compression and decodes by streaming, so readers
+//	             never materialize a []Rec per warp unless asked to.
+//
+// ReadKernel distinguishes the formats by sniffing the first bytes of the
+// decompressed stream: a gob stream cannot begin with "GMC2" (gob's first
+// message is a type definition whose encoding never matches the magic).
+// Both readers reject trailing bytes after a well-formed stream.
 
-const traceFormatVersion = 1
+const (
+	traceFormatVersion = 1 // legacy gob format
+	colFormatVersion   = 2 // columnar format (inside colMagic files)
+)
+
+var colMagic = [4]byte{'G', 'M', 'C', '2'}
 
 type traceHeader struct {
 	Version int
 	Name    string
 }
 
-// Encode serializes the kernel trace to w.
+// colHeader is the metadata blob of a v2 columnar trace file.
+type colHeader struct {
+	Version       int
+	Name          string
+	Blocks        int
+	WarpsPerBlock int
+	LineBytes     int
+	Prog          *isa.Program
+}
+
+// Encode serializes the kernel trace to w in the columnar v2 format.
+// Row-backed warps are transposed to columns on the fly; columnar-backed
+// warps are written without re-encoding.
 func (k *Kernel) Encode(w io.Writer) error {
 	zw := gzip.NewWriter(w)
-	enc := gob.NewEncoder(zw)
-	if err := enc.Encode(traceHeader{Version: traceFormatVersion, Name: k.Name}); err != nil {
+	bw := bufio.NewWriter(zw)
+	if err := encodeColumnar(bw, k); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing stream: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("trace: closing stream: %w", err)
+	}
+	return nil
+}
+
+func encodeColumnar(bw *bufio.Writer, k *Kernel) error {
+	if _, err := bw.Write(colMagic[:]); err != nil {
+		return fmt.Errorf("trace: writing magic: %w", err)
+	}
+	var hdr bytes.Buffer
+	h := colHeader{
+		Version:       colFormatVersion,
+		Name:          k.Name,
+		Blocks:        k.Blocks,
+		WarpsPerBlock: k.WarpsPerBlock,
+		LineBytes:     k.LineBytes,
+		Prog:          k.Prog,
+	}
+	if err := gob.NewEncoder(&hdr).Encode(h); err != nil {
 		return fmt.Errorf("trace: encoding header: %w", err)
 	}
-	if err := enc.Encode(k); err != nil {
+	if err := writeUvarint(bw, uint64(hdr.Len())); err != nil {
+		return err
+	}
+	if _, err := bw.Write(hdr.Bytes()); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for i, w := range k.Warps {
+		cw, err := w.Columns()
+		if err != nil {
+			return fmt.Errorf("trace: kernel %q warp %d: %w", k.Name, i, err)
+		}
+		if err := writeColWarp(bw, cw); err != nil {
+			return fmt.Errorf("trace: kernel %q warp %d: %w", k.Name, i, err)
+		}
+	}
+	return nil
+}
+
+func writeColWarp(bw *bufio.Writer, c *ColWarp) error {
+	counts := []uint64{
+		uint64(c.n), uint64(c.memInsts), uint64(c.memReqs),
+		uint64(len(c.pc)), uint64(len(c.srcs)), uint64(len(c.mask)),
+		uint64(len(c.nlines)), uint64(len(c.lines)),
+	}
+	for _, v := range counts {
+		if err := writeUvarint(bw, v); err != nil {
+			return err
+		}
+	}
+	for _, col := range [][]byte{c.pc, c.op, c.mem, c.nsrc, c.dst, c.srcs, c.mask, c.nlines, c.lines} {
+		if _, err := bw.Write(col); err != nil {
+			return fmt.Errorf("writing column: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeUvarint(bw *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing varint: %w", err)
+	}
+	return nil
+}
+
+// EncodeLegacy serializes the kernel trace to w in the v1 gob format, for
+// interoperability with older readers. Columnar warps are decoded to rows
+// first (gob serializes the Recs field).
+func (k *Kernel) EncodeLegacy(w io.Writer) error {
+	rk, err := k.rowKernel()
+	if err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(w)
+	enc := gob.NewEncoder(zw)
+	if err := enc.Encode(traceHeader{Version: traceFormatVersion, Name: rk.Name}); err != nil {
+		return fmt.Errorf("trace: encoding header: %w", err)
+	}
+	if err := enc.Encode(rk); err != nil {
 		return fmt.Errorf("trace: encoding kernel: %w", err)
 	}
 	if err := zw.Close(); err != nil {
@@ -37,15 +159,58 @@ func (k *Kernel) Encode(w io.Writer) error {
 	return nil
 }
 
-// ReadKernel deserializes a kernel trace written by Encode and validates
-// it before returning.
+// ReadKernel deserializes a kernel trace written by Encode or EncodeLegacy
+// and validates it before returning. All warps are materialized as rows;
+// use ReadKernelStream to keep columnar storage for streaming consumers.
 func ReadKernel(r io.Reader) (*Kernel, error) {
+	k, err := ReadKernelStream(r)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := k.rowKernel()
+	if err != nil {
+		return nil, fmt.Errorf("trace: loaded kernel invalid: %w", err)
+	}
+	return rk, nil
+}
+
+// ReadKernelStream deserializes a kernel trace, keeping v2 warps in their
+// columnar form: consumers iterate them through WarpTrace.Cursor with
+// O(window) memory. Legacy v1 traces are returned row-backed, as stored.
+// The kernel is validated, and trailing bytes after the logical end of
+// either format are rejected.
+func ReadKernelStream(r io.Reader) (*Kernel, error) {
 	zr, err := gzip.NewReader(r)
 	if err != nil {
 		return nil, fmt.Errorf("trace: opening stream: %w", err)
 	}
 	defer zr.Close()
-	dec := gob.NewDecoder(zr)
+	br := bufio.NewReader(zr)
+
+	magic, err := br.Peek(len(colMagic))
+	var k *Kernel
+	if err == nil && bytes.Equal(magic, colMagic[:]) {
+		k, err = readColumnar(br)
+	} else {
+		k, err = readLegacy(br)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trace: trailing data after kernel %q", k.Name)
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: loaded kernel invalid: %w", err)
+	}
+	return k, nil
+}
+
+func readLegacy(br *bufio.Reader) (*Kernel, error) {
+	// br implements io.ByteReader, so gob reads from it directly without
+	// wrapping it in another buffer — the trailing-data check in the
+	// caller sees exactly the bytes gob did not consume.
+	dec := gob.NewDecoder(br)
 	var h traceHeader
 	if err := dec.Decode(&h); err != nil {
 		return nil, fmt.Errorf("trace: decoding header: %w", err)
@@ -57,35 +222,194 @@ func ReadKernel(r io.Reader) (*Kernel, error) {
 	if err := dec.Decode(k); err != nil {
 		return nil, fmt.Errorf("trace: decoding kernel %q: %w", h.Name, err)
 	}
-	if err := k.Validate(); err != nil {
-		return nil, fmt.Errorf("trace: loaded kernel invalid: %w", err)
+	return k, nil
+}
+
+// maxHeaderBytes bounds the gob metadata blob of a v2 file; programs are
+// a few KB, so anything near this is a corrupt or hostile length prefix.
+const maxHeaderBytes = 64 << 20
+
+func readColumnar(br *bufio.Reader) (*Kernel, error) {
+	if _, err := br.Discard(len(colMagic)); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	hlen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header length: %w", err)
+	}
+	if hlen > maxHeaderBytes {
+		return nil, fmt.Errorf("trace: header length %d exceeds limit", hlen)
+	}
+	hbuf := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hbuf); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	var h colHeader
+	if err := gob.NewDecoder(bytes.NewReader(hbuf)).Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: decoding header: %w", err)
+	}
+	if h.Version != colFormatVersion {
+		return nil, fmt.Errorf("trace: unsupported columnar format version %d (want %d)", h.Version, colFormatVersion)
+	}
+	if h.Blocks < 0 || h.WarpsPerBlock < 0 || h.Blocks*h.WarpsPerBlock < 0 {
+		return nil, fmt.Errorf("trace: kernel %q: invalid launch geometry %dx%d", h.Name, h.Blocks, h.WarpsPerBlock)
+	}
+	k := &Kernel{
+		Name:          h.Name,
+		Prog:          h.Prog,
+		Blocks:        h.Blocks,
+		WarpsPerBlock: h.WarpsPerBlock,
+		LineBytes:     h.LineBytes,
+	}
+	nWarps := h.Blocks * h.WarpsPerBlock
+	for i := 0; i < nWarps; i++ {
+		cw, err := readColWarp(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: kernel %q warp %d: %w", h.Name, i, err)
+		}
+		k.Warps = append(k.Warps, NewColWarpTrace(i/h.WarpsPerBlock, i%h.WarpsPerBlock, cw))
 	}
 	return k, nil
 }
 
-// Save writes the trace to a file.
+func readColWarp(br *bufio.Reader) (*ColWarp, error) {
+	var counts [8]uint64
+	for i := range counts {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("reading warp counts: %w", err)
+		}
+		if v > math.MaxInt64/2 {
+			return nil, fmt.Errorf("warp count %d out of range", v)
+		}
+		counts[i] = v
+	}
+	n := int(counts[0])
+	c := &ColWarp{n: n, memInsts: int(counts[1]), memReqs: int(counts[2])}
+	lens := []struct {
+		name string
+		n    int
+		dst  *[]byte
+	}{
+		{"pc", int(counts[3]), &c.pc},
+		{"op", n, &c.op},
+		{"mem", n, &c.mem},
+		{"nsrc", n, &c.nsrc},
+		{"dst", n, &c.dst},
+		{"srcs", int(counts[4]), &c.srcs},
+		{"mask", int(counts[5]), &c.mask},
+		{"nlines", int(counts[6]), &c.nlines},
+		{"lines", int(counts[7]), &c.lines},
+	}
+	for _, l := range lens {
+		buf, err := readBytes(br, l.n)
+		if err != nil {
+			return nil, fmt.Errorf("reading %s column: %w", l.name, err)
+		}
+		*l.dst = buf
+	}
+	// Cheap structural bounds before anything trusts the summaries: every
+	// record costs at least one pc byte, every memory instruction at least
+	// one nlines byte, every line at least one lines byte. (Validate later
+	// confirms the summaries exactly by streaming the records.)
+	if c.n > len(c.pc) {
+		return nil, fmt.Errorf("record count %d exceeds pc column bytes %d", c.n, len(c.pc))
+	}
+	if c.memInsts > len(c.nlines) {
+		return nil, fmt.Errorf("memory instruction count %d exceeds nlines column bytes %d", c.memInsts, len(c.nlines))
+	}
+	if c.memReqs > len(c.lines) {
+		return nil, fmt.Errorf("memory request count %d exceeds lines column bytes %d", c.memReqs, len(c.lines))
+	}
+	return c, nil
+}
+
+// readBytes reads exactly n bytes, growing the buffer incrementally so a
+// hostile length prefix cannot force a huge up-front allocation: the read
+// fails at the stream's true end before memory does.
+func readBytes(br *bufio.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	if n <= chunk {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	var buf []byte
+	for len(buf) < n {
+		c := n - len(buf)
+		if c > chunk {
+			c = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, c)...)
+		if _, err := io.ReadFull(br, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// Save writes the trace to a file in the columnar v2 format. The write is
+// atomic: the trace is staged to a temporary file in the same directory
+// and renamed into place only after every flush and close succeeded, so a
+// failed save never leaves a truncated trace at path.
 func (k *Kernel) Save(path string) error {
-	f, err := os.Create(path)
+	return save(path, k.Encode)
+}
+
+// SaveLegacy writes the trace to a file in the v1 gob format.
+func (k *Kernel) SaveLegacy(path string) error {
+	return save(path, k.EncodeLegacy)
+}
+
+func save(path string, encode func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
-	defer f.Close()
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	bw := bufio.NewWriter(f)
-	if err := k.Encode(bw); err != nil {
+	if err = encode(bw); err != nil {
 		return err
 	}
-	if err := bw.Flush(); err != nil {
+	if err = bw.Flush(); err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
-	return f.Close()
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
 }
 
-// Load reads a trace from a file written by Save.
+// Load reads a trace from a file written by Save or SaveLegacy, with all
+// warps materialized as rows.
 func Load(path string) (*Kernel, error) {
+	return loadWith(path, ReadKernel)
+}
+
+// LoadStream reads a trace from a file, keeping columnar warps columnar
+// (see ReadKernelStream).
+func LoadStream(path string) (*Kernel, error) {
+	return loadWith(path, ReadKernelStream)
+}
+
+func loadWith(path string, read func(io.Reader) (*Kernel, error)) (*Kernel, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
 	defer f.Close()
-	return ReadKernel(bufio.NewReader(f))
+	return read(bufio.NewReader(f))
 }

@@ -1,0 +1,321 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gpumech/internal/isa"
+)
+
+// legacyKernel returns a kernel and its v1 gob encoding.
+func legacyKernel(t *testing.T) (*Kernel, []byte) {
+	t.Helper()
+	k := makeKernel(2, 2, 6)
+	k.Warps[1].Recs[2] = Rec{PC: 0, Op: isa.OpLdG, Dst: 1, Mask: 0xFF, Mem: isa.MemF32,
+		Lines: []uint64{0x100, 0x200}, Srcs: [4]isa.Reg{2, isa.RegNone, isa.RegNone, isa.RegNone}, NumSrcs: 1}
+	var buf bytes.Buffer
+	if err := k.EncodeLegacy(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return k, buf.Bytes()
+}
+
+func TestLegacyFormatStillReadable(t *testing.T) {
+	k, data := legacyKernel(t)
+	got, err := ReadKernel(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(k, got) {
+		t.Fatal("legacy round trip changed the kernel")
+	}
+	// The streaming reader returns legacy traces row-backed, as stored.
+	got2, err := ReadKernelStream(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Warps[0].Col() != nil {
+		t.Error("legacy trace came back columnar")
+	}
+}
+
+func TestStreamKeepsColumnarStorage(t *testing.T) {
+	k := makeKernel(2, 2, 6)
+	var buf bytes.Buffer
+	if err := k.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadKernelStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range got.Warps {
+		if w.Col() == nil {
+			t.Fatalf("warp %d of a v2 trace is not columnar", i)
+		}
+	}
+	if got.TotalInsts() != k.TotalInsts() {
+		t.Error("streaming read lost records")
+	}
+}
+
+// TestTrailingGarbageRejected pins the contract that bytes after the
+// logical end of the stream are an error in BOTH formats — including a
+// second valid trace concatenated onto the first (gzip multistream).
+func TestTrailingGarbageRejected(t *testing.T) {
+	k := makeKernel(1, 2, 4)
+	var v2, v1 bytes.Buffer
+	if err := k.Encode(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.EncodeLegacy(&v1); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"columnar + raw bytes", append(append([]byte{}, v2.Bytes()...), "junk"...)},
+		{"legacy + raw bytes", append(append([]byte{}, v1.Bytes()...), "junk"...)},
+		{"columnar + columnar", append(append([]byte{}, v2.Bytes()...), v2.Bytes()...)},
+		{"legacy + legacy", append(append([]byte{}, v1.Bytes()...), v1.Bytes()...)},
+		{"legacy + columnar", append(append([]byte{}, v1.Bytes()...), v2.Bytes()...)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadKernel(bytes.NewReader(tc.data)); err == nil {
+				t.Error("trailing data accepted")
+			}
+		})
+	}
+	// Control: the unmodified streams still decode.
+	if _, err := ReadKernel(bytes.NewReader(v2.Bytes())); err != nil {
+		t.Errorf("clean columnar stream rejected: %v", err)
+	}
+	if _, err := ReadKernel(bytes.NewReader(v1.Bytes())); err != nil {
+		t.Errorf("clean legacy stream rejected: %v", err)
+	}
+}
+
+// failAfter errors once more than limit bytes have been written — the
+// disk-full simulator for the encode error paths.
+type failAfter struct {
+	limit   int
+	written int
+}
+
+var errWriterFull = errors.New("writer full")
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		n := w.limit - w.written
+		if n < 0 {
+			n = 0
+		}
+		w.written = w.limit
+		return n, errWriterFull
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestEncodeFailingWriter pins that a write error at any point in the
+// stream — header, columns, or the final gzip flush — surfaces as an
+// error from Encode/EncodeLegacy instead of a silently truncated trace.
+func TestEncodeFailingWriter(t *testing.T) {
+	k := makeKernel(4, 4, 200)
+	var full bytes.Buffer
+	if err := k.Encode(&full); err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{0, 1, 10, full.Len() / 2, full.Len() - 1} {
+		if err := k.Encode(&failAfter{limit: limit}); !errors.Is(err, errWriterFull) {
+			t.Errorf("Encode with %d-byte writer: err = %v, want errWriterFull", limit, err)
+		}
+	}
+	var fullLegacy bytes.Buffer
+	if err := k.EncodeLegacy(&fullLegacy); err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{0, 10, fullLegacy.Len() - 1} {
+		if err := k.EncodeLegacy(&failAfter{limit: limit}); !errors.Is(err, errWriterFull) {
+			t.Errorf("EncodeLegacy with %d-byte writer: err = %v, want errWriterFull", limit, err)
+		}
+	}
+}
+
+// TestSaveAtomicOnError pins that a failed Save leaves neither the target
+// file nor a stray temporary behind.
+func TestSaveAtomicOnError(t *testing.T) {
+	k := makeKernel(1, 1, 2)
+	k.Warps[0].Recs[0].NumSrcs = 5 // unencodable: Columns() fails mid-save
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.trace")
+	if err := k.Save(path); err == nil {
+		t.Fatal("Save of unencodable kernel succeeded")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Errorf("failed Save left files behind: %v", ents)
+	}
+}
+
+func TestSaveMissingDirectory(t *testing.T) {
+	k := makeKernel(1, 1, 2)
+	if err := k.Save(filepath.Join(t.TempDir(), "no", "such", "dir", "x.trace")); err == nil {
+		t.Error("Save into a missing directory succeeded")
+	}
+}
+
+func TestColumnarSmallerThanLegacy(t *testing.T) {
+	k := makeKernel(8, 4, 400)
+	for _, w := range k.Warps {
+		for i := range w.Recs {
+			if i%7 == 0 {
+				w.Recs[i] = Rec{PC: int32(i % 3), Op: isa.OpLdG, Dst: 1, Mask: 0xFFFFFFFF, Mem: isa.MemF32,
+					Lines: []uint64{uint64(i) * 128, uint64(i)*128 + 128},
+					Srcs:  [4]isa.Reg{2, isa.RegNone, isa.RegNone, isa.RegNone}, NumSrcs: 1}
+			}
+		}
+	}
+	var v2, v1 bytes.Buffer
+	if err := k.Encode(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.EncodeLegacy(&v1); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("columnar %d bytes, legacy %d bytes (%.1fx)", v2.Len(), v1.Len(), float64(v1.Len())/float64(v2.Len()))
+	if v2.Len() >= v1.Len() {
+		t.Errorf("columnar (%d bytes) not smaller than legacy (%d bytes)", v2.Len(), v1.Len())
+	}
+}
+
+// TestConvertRoundTripTestdata exercises the convert path the CLI exposes
+// over every checked-in trace file: sniff + load, transcode to the other
+// format, load back, and require record-for-record equality.
+func TestConvertRoundTripTestdata(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no testdata traces found")
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			orig, err := Load(path) // rows, whatever the stored format
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			v2, v1 := filepath.Join(dir, "v2.trace"), filepath.Join(dir, "v1.trace")
+			if err := orig.Save(v2); err != nil {
+				t.Fatal(err)
+			}
+			if err := orig.SaveLegacy(v1); err != nil {
+				t.Fatal(err)
+			}
+			for name, p := range map[string]string{"columnar": v2, "legacy": v1} {
+				got, err := Load(p)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if !reflect.DeepEqual(orig, got) {
+					t.Errorf("%s transcode changed the kernel", name)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEncodeColumnar(b *testing.B) {
+	k := benchKernel()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := k.Encode(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkEncodeLegacy(b *testing.B) {
+	k := benchKernel()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := k.EncodeLegacy(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkDecodeColumnarStream(b *testing.B) {
+	k := benchKernel()
+	var buf bytes.Buffer
+	if err := k.Encode(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadKernelStream(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeLegacy(b *testing.B) {
+	k := benchKernel()
+	var buf bytes.Buffer
+	if err := k.EncodeLegacy(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadKernelStream(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchKernel approximates a bundled kernel's trace shape: 64 warps, 2000
+// records each, a global load every 6th record with mostly-coalesced
+// lines.
+func benchKernel() *Kernel {
+	prog := &isa.Program{Name: "bench", NumRegs: 16, NumPreds: 2, Instrs: make([]isa.Instr, 8)}
+	prog.Instrs[7] = isa.Instr{Op: isa.OpExit}
+	k := &Kernel{Name: "bench", Prog: prog, Blocks: 16, WarpsPerBlock: 4, LineBytes: 128}
+	for b := 0; b < 16; b++ {
+		for w := 0; w < 4; w++ {
+			wt := &WarpTrace{BlockID: b, WarpID: w}
+			for i := 0; i < 2000; i++ {
+				if i%6 == 0 {
+					base := uint64(b*1000+i) * 128
+					wt.Recs = append(wt.Recs, Rec{PC: int32(i % 7), Op: isa.OpLdG, Dst: 3, Mask: 0xFFFFFFFF,
+						Mem: isa.MemF32, Lines: []uint64{base, base + 128},
+						Srcs: [4]isa.Reg{2, isa.RegNone, isa.RegNone, isa.RegNone}, NumSrcs: 1})
+					continue
+				}
+				wt.Recs = append(wt.Recs, rec(i%7, isa.OpIAdd, isa.Reg(1+i%8), 2, 3))
+				wt.Recs[len(wt.Recs)-1].Mask = 0xFFFFFFFF
+			}
+			k.Warps = append(k.Warps, wt)
+		}
+	}
+	return k
+}

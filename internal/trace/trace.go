@@ -46,17 +46,32 @@ func (r *Rec) NumReqs() int { return len(r.Lines) }
 func (r *Rec) SrcRegs() []isa.Reg { return r.Srcs[:r.NumSrcs] }
 
 // WarpTrace is the full dynamic instruction stream of one warp.
+//
+// A warp is backed by exactly one of two storage layouts: row (the
+// exported Recs slice) or columnar (the unexported col pointer, which gob
+// ignores so the legacy on-disk encoding is unaffected). Consumers that
+// stream records should use Cursor, which works over either layout;
+// direct Recs indexing only sees row-backed warps.
 type WarpTrace struct {
 	BlockID int // block index within the grid
 	WarpID  int // warp index within the block
 	Recs    []Rec
+	col     *ColWarp
 }
 
 // Insts returns the number of executed warp-instructions.
-func (w *WarpTrace) Insts() int { return len(w.Recs) }
+func (w *WarpTrace) Insts() int {
+	if w.col != nil {
+		return w.col.Insts()
+	}
+	return len(w.Recs)
+}
 
 // GlobalMemInsts returns the number of global memory instructions.
 func (w *WarpTrace) GlobalMemInsts() int {
+	if w.col != nil {
+		return w.col.GlobalMemInsts()
+	}
 	n := 0
 	for i := range w.Recs {
 		if w.Recs[i].IsGlobalMem() {
@@ -68,6 +83,9 @@ func (w *WarpTrace) GlobalMemInsts() int {
 
 // GlobalMemReqs returns the total number of coalesced memory requests.
 func (w *WarpTrace) GlobalMemReqs() int {
+	if w.col != nil {
+		return w.col.GlobalMemReqs()
+	}
 	n := 0
 	for i := range w.Recs {
 		n += w.Recs[i].NumReqs()
@@ -95,12 +113,17 @@ func (k *Kernel) WarpsOfBlock(b int) []*WarpTrace {
 func (k *Kernel) TotalInsts() int64 {
 	var n int64
 	for _, w := range k.Warps {
-		n += int64(len(w.Recs))
+		n += int64(w.Insts())
 	}
 	return n
 }
 
-// Validate checks internal consistency of the trace.
+// Validate checks internal consistency of the trace. Beyond structural
+// checks (warp ids, PC range, global-memory records carrying lines), it
+// enforces the record normal form the columnar encoding relies on: at
+// most 4 sources with RegNone padding, Lines only on global-memory
+// records, and strictly ascending line addresses. The emulator always
+// produces this form; Validate pins it for traces decoded from disk.
 func (k *Kernel) Validate() error {
 	if k.Prog == nil {
 		return fmt.Errorf("trace: kernel %q has no program", k.Name)
@@ -114,13 +137,45 @@ func (k *Kernel) Validate() error {
 			return fmt.Errorf("trace: kernel %q warp %d has ids (%d,%d), want (%d,%d)",
 				k.Name, i, w.BlockID, w.WarpID, i/k.WarpsPerBlock, i%k.WarpsPerBlock)
 		}
-		for j := range w.Recs {
-			r := &w.Recs[j]
+		var insts, memInsts, memReqs int
+		cur := w.Cursor()
+		for cur.Next() {
+			r := cur.Rec()
+			j := insts
+			insts++
 			if int(r.PC) >= len(k.Prog.Instrs) || r.PC < 0 {
 				return fmt.Errorf("trace: kernel %q warp %d rec %d: pc %d out of range", k.Name, i, j, r.PC)
 			}
-			if r.IsGlobalMem() && r.Mask != 0 && len(r.Lines) == 0 {
-				return fmt.Errorf("trace: kernel %q warp %d rec %d: global memory op with no lines", k.Name, i, j)
+			if r.NumSrcs > uint8(len(r.Srcs)) {
+				return fmt.Errorf("trace: kernel %q warp %d rec %d: %d sources exceed capacity", k.Name, i, j, r.NumSrcs)
+			}
+			for s := int(r.NumSrcs); s < len(r.Srcs); s++ {
+				if r.Srcs[s] != isa.RegNone {
+					return fmt.Errorf("trace: kernel %q warp %d rec %d: source slot %d past NumSrcs not RegNone", k.Name, i, j, s)
+				}
+			}
+			if r.IsGlobalMem() {
+				if r.Mask != 0 && len(r.Lines) == 0 {
+					return fmt.Errorf("trace: kernel %q warp %d rec %d: global memory op with no lines", k.Name, i, j)
+				}
+				for l := 1; l < len(r.Lines); l++ {
+					if r.Lines[l] <= r.Lines[l-1] {
+						return fmt.Errorf("trace: kernel %q warp %d rec %d: lines not strictly ascending", k.Name, i, j)
+					}
+				}
+				memInsts++
+				memReqs += len(r.Lines)
+			} else if len(r.Lines) != 0 {
+				return fmt.Errorf("trace: kernel %q warp %d rec %d: lines on non-global-memory op", k.Name, i, j)
+			}
+		}
+		if err := cur.Err(); err != nil {
+			return fmt.Errorf("trace: kernel %q warp %d: %w", k.Name, i, err)
+		}
+		if w.col != nil {
+			if insts != w.col.Insts() || memInsts != w.col.GlobalMemInsts() || memReqs != w.col.GlobalMemReqs() {
+				return fmt.Errorf("trace: kernel %q warp %d: column summary mismatch (%d/%d/%d insts/memInsts/memReqs, summaries say %d/%d/%d)",
+					k.Name, i, insts, memInsts, memReqs, w.col.Insts(), w.col.GlobalMemInsts(), w.col.GlobalMemReqs())
 			}
 		}
 	}
