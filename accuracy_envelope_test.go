@@ -1,0 +1,117 @@
+package gpumech
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpumech/internal/accuracy"
+	"gpumech/internal/kernels"
+)
+
+// envelopeEntry is one policy's pinned accuracy envelope: the aggregate
+// error statistics of the model against the timing oracle over the
+// 40-kernel paper set at the paper-methodology grid scale.
+type envelopeEntry struct {
+	Policy       string  `json:"policy"`
+	N            int     `json:"n"`
+	MeanRelErr   float64 `json:"meanRelErr"`
+	MedianRelErr float64 `json:"medianRelErr"`
+	MaxRelErr    float64 `json:"maxRelErr"`
+	FracBelow10  float64 `json:"fracBelow10"`
+	FracBelow30  float64 `json:"fracBelow30"`
+}
+
+func envelopePath() string {
+	return filepath.Join("testdata", "accuracy", "envelope.json")
+}
+
+// TestAccuracyEnvelope pins the model's accuracy envelope. Any change to
+// the model, the timing simulator, the cache hierarchy or the kernels
+// that moves the aggregate error shows up here as a diff against
+// testdata/accuracy/envelope.json; deliberate changes re-bless with
+// -update. The run is deterministic, so the tolerance only absorbs
+// floating-point noise from compiler or platform differences.
+func TestAccuracyEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper-set differential sweep is not a -short test")
+	}
+	if raceEnabled {
+		t.Skip("full paper-set sweep is minutes under the race detector; covered by the non-race job")
+	}
+	rep, err := accuracy.Run(accuracy.Options{
+		Axes: accuracy.BaselineAxis(),
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := len(kernels.PaperNames())
+	if rep.EvaluatedPoints != wantN*2 {
+		t.Fatalf("evaluated %d points, want %d (40 kernels x 2 policies)", rep.EvaluatedPoints, wantN*2)
+	}
+
+	got := make(map[string]envelopeEntry, len(rep.Summaries))
+	for _, s := range rep.Summaries {
+		if s.N != wantN {
+			t.Fatalf("policy %s: N=%d, want %d", s.Policy, s.N, wantN)
+		}
+		got[s.Policy] = envelopeEntry{
+			Policy:       s.Policy,
+			N:            s.N,
+			MeanRelErr:   s.MeanRelErr,
+			MedianRelErr: s.MedianRelErr,
+			MaxRelErr:    s.MaxRelErr,
+			FracBelow10:  s.FracBelow10,
+			FracBelow30:  s.FracBelow30,
+		}
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(envelopePath()), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(envelopePath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", envelopePath())
+		return
+	}
+
+	data, err := os.ReadFile(envelopePath())
+	if err != nil {
+		t.Fatalf("missing envelope file (generate with: go test -run TestAccuracyEnvelope -update): %v", err)
+	}
+	var want map[string]envelopeEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("envelope file pins %d policies, run produced %d", len(want), len(got))
+	}
+	const tol = 1e-9
+	for pol, w := range want {
+		g, ok := got[pol]
+		if !ok {
+			t.Fatalf("policy %s pinned but not produced", pol)
+		}
+		if g.N != w.N {
+			t.Errorf("%s: N=%d, want %d", pol, g.N, w.N)
+		}
+		check := func(field string, gv, wv float64) {
+			if !relClose(gv, wv, tol) {
+				t.Errorf("%s: %s=%v, want %v (re-bless with -update if deliberate)", pol, field, gv, wv)
+			}
+		}
+		check("meanRelErr", g.MeanRelErr, w.MeanRelErr)
+		check("medianRelErr", g.MedianRelErr, w.MedianRelErr)
+		check("maxRelErr", g.MaxRelErr, w.MaxRelErr)
+		check("fracBelow10", g.FracBelow10, w.FracBelow10)
+		check("fracBelow30", g.FracBelow30, w.FracBelow30)
+	}
+}

@@ -1,0 +1,118 @@
+// Command gpumech-diff runs the differential-testing harness: the
+// analytical model against the cycle-level timing simulator over the
+// paper's benchmark kernels, both scheduling policies, a hardware
+// configuration axis, and a stream of seeded generated kernels — and
+// reports per-policy error statistics, error CDFs, and the worst
+// accuracy cliffs with their stall-cause attribution.
+//
+// Usage:
+//
+//	gpumech-diff -seed 1 -count 200                 # tables to stdout
+//	gpumech-diff -seed 1 -count 50 -json            # full JSON report
+//	gpumech-diff -kernels none -count 500 -budget 200 -json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpumech/internal/accuracy"
+	"gpumech/internal/config"
+	"gpumech/internal/obs/obsflag"
+	"gpumech/internal/runjson"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "seed for kernel inputs and the generator stream")
+	count := flag.Int("count", 0, "number of generated kernels to append to the sweep")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of tables")
+	budget := flag.Int("budget", 0, "cap on evaluated points, applied to the plan in deterministic order (0 = unlimited)")
+	kernelList := flag.String("kernels", "", "comma-separated registry kernels (empty = the 40-kernel paper set, \"none\" = generated kernels only)")
+	policyList := flag.String("policies", "", "comma-separated scheduling policies: rr, gto (empty = both)")
+	blocks := flag.Int("blocks", 0, "grid size for registry kernels (0 = paper scale, >=3x occupancy)")
+	genBlocks := flag.Int("gen-blocks", 0, "grid override for generated kernels (0 = generator default, >=3x occupancy)")
+	workers := flag.Int("workers", 0, "evaluation workers (0 = GPUMECH_WORKERS, then GOMAXPROCS)")
+	ob := obsflag.Register(flag.CommandLine)
+	flag.Parse()
+
+	opt := accuracy.Options{
+		Seed:      *seed,
+		GenCount:  *count,
+		GenBlocks: *genBlocks,
+		Budget:    *budget,
+		Blocks:    *blocks,
+		Workers:   *workers,
+	}
+	switch *kernelList {
+	case "":
+	case "none":
+		opt.Kernels = []string{}
+	default:
+		opt.Kernels = strings.Split(*kernelList, ",")
+	}
+	for _, p := range strings.Split(*policyList, ",") {
+		switch strings.TrimSpace(p) {
+		case "":
+		case "rr":
+			opt.Policies = append(opt.Policies, config.RR)
+		case "gto":
+			opt.Policies = append(opt.Policies, config.GTO)
+		default:
+			fail(fmt.Errorf("unknown policy %q (want rr or gto)", p))
+		}
+	}
+
+	observer, err := ob.Setup()
+	if err != nil {
+		fail(err)
+	}
+	opt.Obs = observer
+	defer func() {
+		if err := ob.Finish(); err != nil {
+			fail(err)
+		}
+	}()
+
+	rep, err := accuracy.Run(opt)
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonOut {
+		if err := runjson.Encode(os.Stdout, rep); err != nil {
+			fail(err)
+		}
+		return
+	}
+	printTables(rep)
+}
+
+// printTables renders the human view: one summary block per policy and
+// the worst cliffs with their attribution.
+func printTables(rep *accuracy.Report) {
+	fmt.Printf("gpumech-diff: %d points (%d planned, %d truncated), seed %d, %d generated kernels\n",
+		rep.EvaluatedPoints, rep.PlannedPoints, rep.TruncatedPoints, rep.Seed, rep.GenCount)
+	fmt.Printf("axes: %s\n\n", strings.Join(rep.Axes, ", "))
+	for _, s := range rep.Summaries {
+		fmt.Printf("policy %s (%d points): mean %.2f%%  median %.2f%%  max %.2f%%  <10%% %.0f%%  <30%% %.0f%%\n",
+			s.Policy, s.N, 100*s.MeanRelErr, 100*s.MedianRelErr, 100*s.MaxRelErr,
+			100*s.FracBelow10, 100*s.FracBelow30)
+		fmt.Print("  cdf:")
+		for _, b := range s.CDF {
+			fmt.Printf("  %s=%d", b.Label, b.Count)
+		}
+		fmt.Println()
+		for i, w := range s.Worst {
+			fmt.Printf("  worst[%d]: %-28s %-10s model %8.3f  oracle %8.3f  err %6.2f%%  dominant %s\n",
+				i, w.Kernel, w.Axis, w.ModelCPI, w.OracleCPI, 100*w.RelErr, w.DominantStall)
+		}
+		fmt.Println()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gpumech-diff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package accuracy
+
+// raceEnabled trims the heavy differential sweeps when the race detector
+// multiplies their cost; the full-scale runs belong to the non-race job.
+const raceEnabled = true

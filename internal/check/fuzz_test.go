@@ -5,6 +5,7 @@ import (
 
 	"gpumech/internal/check"
 	"gpumech/internal/emu"
+	"gpumech/internal/gen"
 	"gpumech/internal/isa"
 )
 
@@ -51,6 +52,41 @@ func decodeProgram(data []byte) *isa.Program {
 	return &isa.Program{Name: "fuzz", Instrs: instrs, NumRegs: numRegs, NumPreds: numPreds}
 }
 
+// encodeSeed folds a program's leading instructions into the fuzz byte
+// format — the lossy inverse of decodeProgram (registers collapse mod 8,
+// predicates mod 4, one byte carries imm and target). Exactness is not
+// the point: the seeds steer the mutator toward shapes it rarely
+// assembles on its own.
+func encodeSeed(prog *isa.Program) []byte {
+	n := len(prog.Instrs)
+	if n > 16 {
+		n = 16
+	}
+	out := make([]byte, 0, n*8)
+	for _, in := range prog.Instrs[:n] {
+		var b [8]byte
+		b[0] = byte(in.Op)
+		b[1] = byte(in.Dst) % 8
+		b[2] = byte(in.SrcA) % 8
+		b[3] = byte(in.SrcB) % 8
+		b[4] = byte(in.SrcC) % 8
+		if in.Pred != isa.PredNone {
+			b[5] = 0x80 | byte(in.Pred)%4
+		} else {
+			b[5] = byte(in.PDst) % 4
+		}
+		if in.Op == isa.OpBra {
+			b[6] = byte(in.Target)
+			b[7] = byte(in.Reconv)
+		} else {
+			b[6] = byte(in.Imm)
+			b[7] = byte(in.Mem)
+		}
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
 // FuzzEmuAcceptsVerifiedPrograms is the checker's soundness contract
 // from the emulator's point of view: any program the static checker
 // accepts (no error-severity findings) must emulate without panicking.
@@ -62,6 +98,17 @@ func FuzzEmuAcceptsVerifiedPrograms(f *testing.F) {
 	f.Add([]byte{byte(isa.OpBra), 0, 0, 0, 0, 0x81, 1, 1, 2, 0, 1, 2, 3, 0, 4, 0}) // guarded bra
 	f.Add([]byte{byte(isa.OpBar), 0, 0, 0, 0, 0, 0, 0})
 	f.Add([]byte{byte(isa.OpLdS), 1, 2, 0, 0, 0, 8, 0})
+	// Generator-driven seeds: every template of internal/gen (straight
+	// line, if/else with reconvergence, counted loop, barrier phases),
+	// folded down to the fuzz format. One seed per stream index covers
+	// all four templates and all four memory patterns.
+	for i := int64(0); i < 8; i++ {
+		k, err := gen.Generate(1, i)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(encodeSeed(k.Prog))
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		prog := decodeProgram(data)
 		if err := prog.Validate(); err != nil {

@@ -2,6 +2,7 @@ package config
 
 import (
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -51,6 +52,67 @@ func TestProfileKeySeparatesGeometry(t *testing.T) {
 		mutate(&c)
 		if c.ProfileKey() == key {
 			t.Errorf("%s: ProfileKey unchanged; a stale profile would be served", name)
+		}
+	}
+}
+
+// TestProfileKeyPropertySeeded is the randomized form of the two pinned
+// tests above, over many configurations at once: any combination of
+// model-only axis values (warps, MSHRs, bandwidth, SFUs, issue width,
+// pipeline latencies, queue depth) keys identically to the baseline,
+// while each single geometry mutation produces a key distinct from the
+// baseline's and from every other mutation's. Seeded, so a failure
+// reproduces exactly.
+func TestProfileKeyPropertySeeded(t *testing.T) {
+	base := Baseline()
+	key := base.ProfileKey()
+	rng := rand.New(rand.NewSource(7))
+
+	warps := []int{4, 8, 16, 24, 32, 48, 64}
+	for i := 0; i < 200; i++ {
+		c := base.
+			WithWarps(warps[rng.Intn(len(warps))]).
+			WithMSHRs(8 << rng.Intn(6)).
+			WithBandwidth(float64(32 * (1 + rng.Intn(8)))).
+			WithSFUs(1 + rng.Intn(8))
+		c.IssueWidth = 1 + rng.Intn(4)
+		c.ALULatency = 1 + rng.Intn(16)
+		c.FPLatency = 1 + rng.Intn(16)
+		c.SFULatency = 1 + rng.Intn(32)
+		c.DRAMQueueDepth = 16 << rng.Intn(4)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("sample %d: swept config does not validate: %v", i, err)
+		}
+		if c.ProfileKey() != key {
+			t.Fatalf("sample %d: model-only axes changed the ProfileKey: %+v", i, c)
+		}
+	}
+
+	// Each geometry field, mutated alone by a random legal step, must
+	// split the key — and no two single-field mutations may collide.
+	geometry := []struct {
+		name   string
+		mutate func(*Config, *rand.Rand)
+	}{
+		{"cores", func(c *Config, r *rand.Rand) { c.Cores = 2 * c.Cores << r.Intn(2) }},
+		{"l1 size", func(c *Config, r *rand.Rand) { c.L1SizeBytes *= 2 << r.Intn(2) }},
+		{"l1 assoc", func(c *Config, r *rand.Rand) { c.L1Assoc *= 2 << r.Intn(2) }},
+		{"l1 latency", func(c *Config, r *rand.Rand) { c.L1Latency += 1 + r.Intn(20) }},
+		{"l2 size", func(c *Config, r *rand.Rand) { c.L2SizeBytes *= 2 << r.Intn(2) }},
+		{"l2 assoc", func(c *Config, r *rand.Rand) { c.L2Assoc *= 2 << r.Intn(2) }},
+		{"l2 latency", func(c *Config, r *rand.Rand) { c.L2Latency += 1 + r.Intn(50) }},
+		{"dram latency", func(c *Config, r *rand.Rand) { c.DRAMLatency += 1 + r.Intn(100) }},
+	}
+	for round := 0; round < 50; round++ {
+		seen := map[ProfileKey]string{key: "baseline"}
+		for _, g := range geometry {
+			c := base
+			g.mutate(&c, rng)
+			k := c.ProfileKey()
+			if prev, dup := seen[k]; dup {
+				t.Fatalf("round %d: %s collides with %s", round, g.name, prev)
+			}
+			seen[k] = g.name
 		}
 	}
 }

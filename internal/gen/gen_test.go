@@ -1,0 +1,139 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"gpumech/internal/check"
+)
+
+// TestGenerateDeterministic pins the generator's core contract: the same
+// (seed, index) always produces the identical kernel, and different
+// indices of one seed produce distinct programs.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Generate(1, 7) differs between calls")
+	}
+	c, err := Generate(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Prog.Instrs, c.Prog.Instrs) {
+		t.Fatal("adjacent indices produced identical programs")
+	}
+}
+
+// TestGeneratedKernelsVerifyCleanAndEmulate is the acceptance gate at
+// generator scope: 200 kernels of seed 1 must carry zero error-severity
+// findings and emulate without error. It also checks the stream exercises
+// every template and memory pattern. Under the race detector the stream
+// is trimmed — full-grid emulation of 200 kernels is minutes there, and
+// the property is per-program, not per-run-length.
+func TestGeneratedKernelsVerifyCleanAndEmulate(t *testing.T) {
+	n := 200
+	if raceEnabled {
+		n = 40
+	}
+	var seenT [int(numTemplates)]bool
+	var seenP [int(numPatterns)]bool
+	for i := 0; i < n; i++ {
+		k, err := Generate(1, int64(i))
+		if err != nil {
+			t.Fatalf("Generate(1, %d): %v", i, err)
+		}
+		seenT[k.Template] = true
+		seenP[k.Pattern] = true
+		fs := k.Verify()
+		for _, f := range fs {
+			if f.Severity == check.Error {
+				t.Fatalf("kernel %s: error finding: %v", k.Name, f)
+			}
+		}
+		tr, err := k.Trace(128)
+		if err != nil {
+			t.Fatalf("kernel %s: trace: %v", k.Name, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("kernel %s: invalid trace: %v", k.Name, err)
+		}
+		if tr.TotalInsts() == 0 {
+			t.Fatalf("kernel %s: empty trace", k.Name)
+		}
+	}
+	for i, ok := range seenT {
+		if !ok {
+			t.Errorf("template %s never generated in %d kernels", Template(i), n)
+		}
+	}
+	for i, ok := range seenP {
+		if !ok {
+			t.Errorf("pattern %s never generated in %d kernels", MemPattern(i), n)
+		}
+	}
+}
+
+// TestGeneratedKernelsAreWarningLight asserts the structural guarantees
+// the package documents: no generated kernel may produce maybe-undefined
+// reads, divergent barriers, or unreachable code — the findings classes
+// the templates are constructed to exclude.
+func TestGeneratedKernelsAreWarningLight(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		k, err := Generate(3, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range k.Verify() {
+			if f.Severity >= check.Warning {
+				t.Errorf("kernel %s: unexpected %v finding: %v", k.Name, f.Severity, f)
+			}
+		}
+	}
+}
+
+// TestLaunchGeometry checks the generated launch parameters satisfy the
+// downstream contracts: warp-multiple thread counts, warps-per-block
+// values that divide every swept residency, and seeded input data.
+func TestLaunchGeometry(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		k, err := Generate(2, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.ThreadsPerBlock%32 != 0 {
+			t.Fatalf("%s: ThreadsPerBlock %d not a warp multiple", k.Name, k.ThreadsPerBlock)
+		}
+		for _, warps := range []int{8, 16, 32, 48} {
+			if warps%k.WarpsPerBlock() != 0 {
+				t.Fatalf("%s: WarpsPerBlock %d does not divide residency %d", k.Name, k.WarpsPerBlock(), warps)
+			}
+		}
+		if k.Blocks <= 0 {
+			t.Fatalf("%s: nonpositive Blocks %d", k.Name, k.Blocks)
+		}
+		l := k.Launch(128)
+		if l.Mem == nil {
+			t.Fatalf("%s: launch without memory", k.Name)
+		}
+	}
+}
+
+// TestEnumStrings covers the display names, including out-of-range.
+func TestEnumStrings(t *testing.T) {
+	if StraightLine.String() != "straight-line" || BarrierPhases.String() != "barrier-phases" {
+		t.Fatal("template names changed")
+	}
+	if Coalesced.String() != "coalesced" || SharedTiled.String() != "shared-tiled" {
+		t.Fatal("pattern names changed")
+	}
+	if Template(99).String() == "" || MemPattern(99).String() == "" {
+		t.Fatal("out-of-range enum printed empty")
+	}
+}

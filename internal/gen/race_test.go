@@ -1,0 +1,8 @@
+//go:build race
+
+package gen
+
+// raceEnabled trims the full-stream emulation sweeps when the race
+// detector multiplies their cost; the full-scale runs belong to the
+// non-race job.
+const raceEnabled = true

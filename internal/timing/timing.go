@@ -146,8 +146,15 @@ var debugSample = false
 // Simulate runs the detailed timing simulation of the kernel trace under
 // the configuration and scheduling policy.
 func Simulate(k *trace.Kernel, cfg config.Config, pol Policy) (*Result, error) {
+	if k == nil {
+		return nil, fmt.Errorf("timing: nil kernel trace")
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if k.WarpsPerBlock <= 0 || len(k.Warps) == 0 {
+		return nil, fmt.Errorf("timing: kernel %q has no warps to simulate (%d warps, %d per block)",
+			k.Name, len(k.Warps), k.WarpsPerBlock)
 	}
 	if k.LineBytes != cfg.L1LineBytes {
 		return nil, fmt.Errorf("timing: trace coalesced at %d-byte lines but config uses %d", k.LineBytes, cfg.L1LineBytes)

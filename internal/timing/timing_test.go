@@ -1,6 +1,8 @@
 package timing
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"gpumech/internal/config"
@@ -475,5 +477,97 @@ func TestStallBreakdownBarrier(t *testing.T) {
 	bd := r.StallBreakdown()
 	if bd["barrier"] <= 0 && bd["compute-dep"] <= 0 {
 		t.Errorf("no wait attributed while warp 1 waits at barrier: %v", bd)
+	}
+}
+
+// TestSimulateRejectsMalformedInputs is the error-path table: every way a
+// caller can hand Simulate an unusable (kernel, config) pair must come
+// back as an error naming the problem — never a panic, never a NaN CPI.
+func TestSimulateRejectsMalformedInputs(t *testing.T) {
+	valid := func() *trace.Kernel {
+		return kernel(1, []trace.Rec{alu(1), alu(2, 1)})
+	}
+	cases := []struct {
+		name string
+		k    func() *trace.Kernel
+		cfg  func() config.Config
+		want string // substring of the error
+	}{
+		{
+			name: "nil kernel",
+			k:    func() *trace.Kernel { return nil },
+			cfg:  config.Baseline,
+			want: "nil kernel",
+		},
+		{
+			name: "no warp traces",
+			k: func() *trace.Kernel {
+				k := valid()
+				k.Warps = nil
+				return k
+			},
+			cfg:  config.Baseline,
+			want: "no warps",
+		},
+		{
+			name: "zero warps per block",
+			k: func() *trace.Kernel {
+				k := valid()
+				k.WarpsPerBlock = 0
+				return k
+			},
+			cfg:  config.Baseline,
+			want: "no warps",
+		},
+		{
+			name: "line-bytes mismatch",
+			k: func() *trace.Kernel {
+				k := valid()
+				k.LineBytes = 64
+				return k
+			},
+			cfg:  config.Baseline,
+			want: "64-byte lines",
+		},
+		{
+			name: "nan bandwidth config",
+			k:    valid,
+			cfg: func() config.Config {
+				c := config.Baseline()
+				c.DRAMBandwidthGBps = math.NaN()
+				return c
+			},
+			want: "DRAMBandwidthGBps",
+		},
+		{
+			name: "nan clock config",
+			k:    valid,
+			cfg: func() config.Config {
+				c := config.Baseline()
+				c.ClockGHz = math.NaN()
+				return c
+			},
+			want: "ClockGHz",
+		},
+		{
+			name: "residency not a block multiple",
+			k: func() *trace.Kernel {
+				k := kernel(3, []trace.Rec{alu(1)}, []trace.Rec{alu(1)}, []trace.Rec{alu(1)})
+				return k
+			},
+			cfg:  config.Baseline, // 32 warps/core, not divisible by 3
+			want: "not a multiple",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Simulate(tc.k(), tc.cfg(), RR)
+			if err == nil {
+				t.Fatalf("accepted malformed input (CPI %v)", res.CPI)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
 	}
 }

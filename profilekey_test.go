@@ -1,6 +1,9 @@
 package gpumech
 
 import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -64,5 +67,59 @@ func TestIntervalProfilesInvariantAcrossProfileKey(t *testing.T) {
 	}
 	if got := build(small); reflect.DeepEqual(got, want) {
 		t.Error("halving the L1 left the interval profiles unchanged; the key split is vacuous")
+	}
+}
+
+// TestCacheProfileBytesInvariantAcrossSweptAxes is the byte-level form of
+// the invariant: under the residency-canonicalized profiling
+// configuration, randomly sampled sweep points that share the baseline's
+// ProfileKey produce cache profiles whose per-PC statistics serialize to
+// the very same bytes (encoding/json sorts map keys, so the comparison is
+// exact, not structural). A geometry change must change the bytes.
+func TestCacheProfileBytesInvariantAcrossSweptAxes(t *testing.T) {
+	info, err := kernels.Get("rodinia_srad1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := info.Trace(kernels.Scale{Blocks: 64, Seed: 1}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := config.Baseline()
+	profileBytes := func(cfg config.Config) []byte {
+		prof, err := cache.Simulate(tr, cfg.ProfileConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(prof.PCs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	want := profileBytes(base)
+
+	rng := rand.New(rand.NewSource(11))
+	warps := []int{4, 8, 16, 32, 48, 64}
+	for i := 0; i < 8; i++ {
+		cfg := base.
+			WithWarps(warps[rng.Intn(len(warps))]).
+			WithMSHRs(8 << rng.Intn(6)).
+			WithBandwidth(float64(32 * (1 + rng.Intn(8)))).
+			WithSFUs(1 + rng.Intn(8))
+		cfg.IssueWidth = 1 + rng.Intn(4)
+		if cfg.ProfileKey() != base.ProfileKey() {
+			t.Fatalf("sample %d: swept config changed the ProfileKey", i)
+		}
+		if got := profileBytes(cfg); !bytes.Equal(got, want) {
+			t.Fatalf("sample %d: cache-profile bytes differ despite equal ProfileKey", i)
+		}
+	}
+
+	small := base
+	small.L1SizeBytes = 16 * 1024
+	if got := profileBytes(small); bytes.Equal(got, want) {
+		t.Error("halving the L1 left the cache-profile bytes unchanged; the key split is vacuous")
 	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package gpumech
+
+// raceEnabled trims or skips the heavy differential sweeps when the race
+// detector multiplies their cost; full-scale runs belong to the non-race
+// job.
+const raceEnabled = true
