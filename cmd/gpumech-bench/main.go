@@ -1,0 +1,341 @@
+// Command gpumech-bench is a seeded, open-loop load generator for
+// gpumech-serve. It plans the entire request sequence up front as a
+// pure function of -seed and the kernel list — execution timing can
+// never perturb the mix, so two runs with the same seed issue an
+// identical workload — then drives the daemon in two phases:
+//
+//   - a cold phase in which every request carries a never-repeated
+//     (kernel, blocks) pair, forcing a session-cache miss and paying
+//     the full trace + cache-simulation cost, and
+//   - a warm timed phase issued open-loop at -rps (arrivals follow the
+//     schedule regardless of completions, so queueing shows up as
+//     latency, exactly as it would for real clients), reusing default
+//     grids so the session cache is hot.
+//
+// The report — BENCH_serve.json by convention — carries p50/p90/p99/max
+// latency for each phase, achieved RPS, error and shed (429) counts,
+// the per-kernel mix, and a per-stage mean breakdown attributed by
+// diffing the daemon's /metrics scrape around the run.
+//
+// Usage:
+//
+//	gpumech-serve -addr 127.0.0.1:0 &
+//	gpumech-bench -addr http://127.0.0.1:PORT -rps 50 -duration 10s
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gpumech/internal/obs/promtext"
+)
+
+// report is the BENCH_serve.json schema. schemaVersion guards readers
+// against silent shape drift.
+type report struct {
+	SchemaVersion   int                  `json:"schemaVersion"`
+	Seed            int64                `json:"seed"`
+	TargetRPS       float64              `json:"targetRPS"`
+	DurationSeconds float64              `json:"durationSeconds"`
+	Concurrency     int                  `json:"concurrency"`
+	Workload        workloadDoc          `json:"workload"`
+	RPSAchieved     float64              `json:"rpsAchieved"`
+	Errors          int                  `json:"errors"`
+	Shed429         int                  `json:"shed429"`
+	Overall         latencyStats         `json:"overall"`
+	Cold            latencyStats         `json:"cold"`
+	Warm            latencyStats         `json:"warm"`
+	Stages          map[string]stageMean `json:"stages"`
+}
+
+type workloadDoc struct {
+	Kernels      []string       `json:"kernels"`
+	Mix          map[string]int `json:"mix"`
+	Requests     int            `json:"requests"`
+	ColdRequests int            `json:"coldRequests"`
+	WarmRequests int            `json:"warmRequests"`
+}
+
+// evaluateBody mirrors the serve evaluate request; zero-valued fields
+// are omitted so warm requests inherit server defaults.
+type evaluateBody struct {
+	Kernel string `json:"kernel"`
+	Policy string `json:"policy"`
+	Warps  int    `json:"warps"`
+	Blocks int    `json:"blocks,omitempty"`
+}
+
+// outcome is one executed request's result.
+type outcome struct {
+	seconds float64
+	status  int
+	cold    bool
+}
+
+func main() {
+	addr := flag.String("addr", "", "gpumech-serve base URL, e.g. http://127.0.0.1:8080 (required)")
+	rps := flag.Float64("rps", 25, "open-loop arrival rate for the warm phase, requests/second")
+	duration := flag.Duration("duration", 5*time.Second, "warm-phase length; warm requests = rps x duration")
+	concurrency := flag.Int("concurrency", 16, "worker connections draining the arrival queue")
+	seed := flag.Int64("seed", 1, "workload seed: same seed and kernel list = identical request mix")
+	kernelList := flag.String("kernels", "", "comma-separated kernel mix (default: every kernel the server lists)")
+	coldN := flag.Int("cold", -1, "cold-phase requests, each forcing a fresh profile session (-1 = one per kernel)")
+	out := flag.String("out", "", "report path ('' = $GPUMECH_BENCH_OUT, then BENCH_serve.json; '-' = stdout)")
+	flag.Parse()
+	if *addr == "" {
+		fail(fmt.Errorf("-addr is required"))
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	kernels, err := kernelNames(client, base, *kernelList)
+	if err != nil {
+		fail(err)
+	}
+	cold := *coldN
+	if cold < 0 {
+		cold = len(kernels)
+	}
+	warm := int(*rps*duration.Seconds() + 0.5)
+	if warm < 1 {
+		warm = 1
+	}
+	plan := planWorkload(*seed, kernels, cold, warm)
+
+	before, err := scrape(client, base)
+	if err != nil {
+		fail(err)
+	}
+
+	// Cold phase runs closed-loop and sequential: it measures the cost
+	// of a session build, and overlapping builds would measure queueing
+	// on the server's singleflight instead.
+	results := make([]outcome, 0, len(plan))
+	for _, r := range plan[:cold] {
+		results = append(results, issue(client, base, r))
+	}
+
+	// Warm phase: a dispatcher releases one arrival per tick into a
+	// queue sized for the whole phase (open loop — arrivals never wait
+	// for completions) and -concurrency workers drain it.
+	interval := time.Duration(float64(time.Second) / *rps)
+	warmPlan := plan[cold:]
+	queue := make(chan benchReq, len(warmPlan))
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		warmRes  = make([]outcome, 0, len(warmPlan))
+		warmWall time.Duration
+	)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range queue {
+				o := issue(client, base, r)
+				mu.Lock()
+				warmRes = append(warmRes, o)
+				mu.Unlock()
+			}
+		}()
+	}
+	start := time.Now()
+	for i, r := range warmPlan {
+		next := start.Add(time.Duration(i) * interval)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		queue <- r
+	}
+	close(queue)
+	wg.Wait()
+	warmWall = time.Since(start)
+	results = append(results, warmRes...)
+
+	after, err := scrape(client, base)
+	if err != nil {
+		fail(err)
+	}
+
+	rep := assemble(*seed, *rps, *duration, *concurrency, kernels, plan, results, warmWall, before, after)
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	doc = append(doc, '\n')
+
+	path := *out
+	if path == "" {
+		path = os.Getenv("GPUMECH_BENCH_OUT")
+	}
+	if path == "" {
+		path = "BENCH_serve.json"
+	}
+	if path == "-" {
+		os.Stdout.Write(doc)
+	} else if err := os.WriteFile(path, doc, 0o644); err != nil {
+		fail(err)
+	} else {
+		fmt.Printf("gpumech-bench: %d requests (%d cold), %.1f rps achieved, p50 %.1fms p99 %.1fms, %d errors, %d shed -> %s\n",
+			rep.Workload.Requests, rep.Workload.ColdRequests, rep.RPSAchieved,
+			rep.Warm.P50Seconds*1e3, rep.Warm.P99Seconds*1e3, rep.Errors, rep.Shed429, path)
+	}
+	if rep.Errors > 0 {
+		fail(fmt.Errorf("%d requests failed with non-429 errors", rep.Errors))
+	}
+}
+
+// assemble folds the raw outcomes into the report document. Split from
+// main so the report math is testable without a server.
+func assemble(seed int64, rps float64, duration time.Duration, concurrency int,
+	kernels []string, plan []benchReq, results []outcome, warmWall time.Duration,
+	before, after []promtext.Sample) report {
+	var all, coldS, warmS []float64
+	errs, shed, warmCount := 0, 0, 0
+	for _, o := range results {
+		all = append(all, o.seconds)
+		if o.cold {
+			coldS = append(coldS, o.seconds)
+		} else {
+			warmS = append(warmS, o.seconds)
+			warmCount++
+		}
+		switch {
+		case o.status == http.StatusTooManyRequests:
+			shed++
+		case o.status != http.StatusOK:
+			errs++
+		}
+	}
+	achieved := 0.0
+	if warmWall > 0 {
+		achieved = float64(warmCount) / warmWall.Seconds()
+	}
+	sorted := append([]string(nil), kernels...)
+	sort.Strings(sorted)
+	return report{
+		SchemaVersion:   1,
+		Seed:            seed,
+		TargetRPS:       rps,
+		DurationSeconds: duration.Seconds(),
+		Concurrency:     concurrency,
+		Workload: workloadDoc{
+			Kernels:      sorted,
+			Mix:          kernelMix(plan),
+			Requests:     len(plan),
+			ColdRequests: len(plan) - warmPlanLen(plan),
+			WarmRequests: warmPlanLen(plan),
+		},
+		RPSAchieved: achieved,
+		Errors:      errs,
+		Shed429:     shed,
+		Overall:     summarize(all),
+		Cold:        summarize(coldS),
+		Warm:        summarize(warmS),
+		Stages:      stageMeans(before, after),
+	}
+}
+
+// warmPlanLen counts the warm tail of a plan.
+func warmPlanLen(plan []benchReq) int {
+	n := 0
+	for _, r := range plan {
+		if !r.Cold {
+			n++
+		}
+	}
+	return n
+}
+
+// issue executes one planned request and times it end to end.
+func issue(client *http.Client, base string, r benchReq) outcome {
+	body, err := json.Marshal(evaluateBody{Kernel: r.Kernel, Policy: r.Policy, Warps: r.Warps, Blocks: r.Blocks})
+	if err != nil {
+		return outcome{cold: r.Cold}
+	}
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/evaluate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return outcome{seconds: time.Since(t0).Seconds(), cold: r.Cold}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return outcome{seconds: time.Since(t0).Seconds(), status: resp.StatusCode, cold: r.Cold}
+}
+
+// kernelNames resolves the kernel mix: the -kernels flag verbatim, or
+// the server's own catalogue (?version=1 skips the instruction census —
+// the bench must not warm the server before the cold phase).
+func kernelNames(client *http.Client, base, flagVal string) ([]string, error) {
+	if flagVal != "" {
+		var ks []string
+		for _, k := range strings.Split(flagVal, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				ks = append(ks, k)
+			}
+		}
+		if len(ks) == 0 {
+			return nil, fmt.Errorf("-kernels lists no kernels")
+		}
+		return ks, nil
+	}
+	resp, err := client.Get(base + "/v1/kernels?version=1")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/kernels: %s", resp.Status)
+	}
+	var doc struct {
+		Kernels []struct {
+			Name string `json:"name"`
+		} `json:"kernels"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	ks := make([]string, 0, len(doc.Kernels))
+	for _, k := range doc.Kernels {
+		ks = append(ks, k.Name)
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("server lists no kernels")
+	}
+	return ks, nil
+}
+
+// scrape fetches and parses the daemon's /metrics exposition.
+func scrape(client *http.Client, base string) ([]promtext.Sample, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return promtext.ParseSamples(data)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gpumech-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,170 @@
+package main
+
+// The planning and statistics half of gpumech-bench, kept free of I/O
+// and wall-clock reads so the whole workload is a pure function of its
+// inputs: same seed and kernel list, same request sequence, bit for
+// bit. Execution timing can jitter, but never the mix — that is the
+// property the determinism test and the CI gate pin.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"gpumech/internal/obs/promtext"
+)
+
+// benchReq is one planned request against POST /v1/evaluate.
+type benchReq struct {
+	Kernel string
+	Policy string
+	Warps  int
+	Blocks int // 0 = server default grid; cold requests pin a unique grid
+	Cold   bool
+}
+
+var (
+	warpChoices   = [...]int{8, 16, 24, 32}
+	policyChoices = [...]string{"gto", "rr"}
+)
+
+// Cold-phase grids start at coldBlocksBase — above every default grid,
+// so no cold request can share a session-cache key with a warm one —
+// and step by coldBlocksStep. The step keeps block counts multiples of
+// 8: every bundled kernel's grid validates when blocks*warpsPerBlock*32
+// is a multiple of the 256-wide tile, and warpsPerBlock >= 1, so 8
+// divides out the worst case.
+const (
+	coldBlocksBase = 64
+	coldBlocksStep = 8
+)
+
+// planWorkload builds the full request sequence up front. The cold
+// phase deals one never-repeated (kernel, blocks) pair per request —
+// each must miss the server's session cache and pay for tracing and
+// cache simulation — cycling kernels round-robin so every kernel gets
+// cold coverage. The warm phase draws kernel, policy and warp count
+// from a seeded generator and leaves the grid at the server default,
+// so repeats of a kernel hit the session cache.
+//
+// The kernel list is sorted before any draw: callers may pass it in
+// any order without changing the plan.
+func planWorkload(seed int64, kernels []string, cold, warm int) []benchReq {
+	ks := append([]string(nil), kernels...)
+	sort.Strings(ks)
+	rng := rand.New(rand.NewSource(seed))
+	plan := make([]benchReq, 0, cold+warm)
+	for i := 0; i < cold; i++ {
+		plan = append(plan, benchReq{
+			Kernel: ks[i%len(ks)],
+			Policy: policyChoices[i%len(policyChoices)],
+			Warps:  warpChoices[i%len(warpChoices)],
+			// Session keys are (kernel, blocks), so the grid only has to
+			// be unique per kernel — reusing each size across the whole
+			// round keeps cold grids small however long the phase runs.
+			Blocks: coldBlocksBase + coldBlocksStep*(i/len(ks)),
+			Cold:   true,
+		})
+	}
+	for i := 0; i < warm; i++ {
+		plan = append(plan, benchReq{
+			Kernel: ks[rng.Intn(len(ks))],
+			Policy: policyChoices[rng.Intn(len(policyChoices))],
+			Warps:  warpChoices[rng.Intn(len(warpChoices))],
+		})
+	}
+	return plan
+}
+
+// kernelMix counts requests per kernel; the report publishes it so two
+// runs of the same seed can be diffed for identical mixes.
+func kernelMix(plan []benchReq) map[string]int {
+	mix := make(map[string]int)
+	for _, r := range plan {
+		mix[r.Kernel]++
+	}
+	return mix
+}
+
+// latencyStats is the summary block the report emits per phase.
+type latencyStats struct {
+	Count       int     `json:"count"`
+	P50Seconds  float64 `json:"p50Seconds"`
+	P90Seconds  float64 `json:"p90Seconds"`
+	P99Seconds  float64 `json:"p99Seconds"`
+	MaxSeconds  float64 `json:"maxSeconds"`
+	MeanSeconds float64 `json:"meanSeconds"`
+}
+
+// summarize computes exact (not histogram-estimated) order statistics
+// from the recorded per-request latencies, using the nearest-rank
+// definition: P(q) is the smallest observation with at least q*n
+// observations at or below it.
+func summarize(seconds []float64) latencyStats {
+	n := len(seconds)
+	if n == 0 {
+		return latencyStats{}
+	}
+	s := append([]float64(nil), seconds...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		idx := int(math.Ceil(p*float64(n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		return s[idx]
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return latencyStats{
+		Count:       n,
+		P50Seconds:  q(0.50),
+		P90Seconds:  q(0.90),
+		P99Seconds:  q(0.99),
+		MaxSeconds:  s[n-1],
+		MeanSeconds: sum / float64(n),
+	}
+}
+
+// stageMean is one row of the per-stage breakdown: how many times the
+// stage ran during the bench window and its mean duration.
+type stageMean struct {
+	Count       float64 `json:"count"`
+	MeanSeconds float64 `json:"meanSeconds"`
+}
+
+// serveStages are the pipeline stages gpumech-serve times individually.
+var serveStages = [...]string{"decode", "session", "estimate", "encode"}
+
+// stageMeans attributes server-side time per pipeline stage by diffing
+// two /metrics scrapes taken around the bench window: the delta of each
+// gpumech_serve_stage_*_seconds _sum over its _count delta is the mean
+// stage latency caused by this run, unpolluted by whatever the server
+// did before the bench connected.
+func stageMeans(before, after []promtext.Sample) map[string]stageMean {
+	get := func(samples []promtext.Sample, name string) float64 {
+		for _, s := range samples {
+			if s.Name == name {
+				return s.Value
+			}
+		}
+		return 0
+	}
+	out := make(map[string]stageMean, len(serveStages))
+	for _, st := range serveStages {
+		base := "gpumech_serve_stage_" + st + "_seconds"
+		dc := get(after, base+"_count") - get(before, base+"_count")
+		ds := get(after, base+"_sum") - get(before, base+"_sum")
+		m := stageMean{Count: dc}
+		if dc > 0 {
+			m.MeanSeconds = ds / dc
+		}
+		out[st] = m
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"gpumech/internal/obs/promtext"
+)
+
+// TestPlanDeterministic is the bench's acceptance gate: the workload is
+// a pure function of (seed, kernel list) — identical across runs and
+// across kernel-list orderings, different under a different seed.
+func TestPlanDeterministic(t *testing.T) {
+	ks := []string{"sdk_vectoradd", "micro_copy", "rodinia_bfs"}
+	a := planWorkload(7, ks, 4, 200)
+	b := planWorkload(7, ks, 4, 200)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	shuffled := []string{"rodinia_bfs", "sdk_vectoradd", "micro_copy"}
+	if c := planWorkload(7, shuffled, 4, 200); !reflect.DeepEqual(a, c) {
+		t.Fatal("kernel-list order changed the plan")
+	}
+	if d := planWorkload(8, ks, 4, 200); reflect.DeepEqual(a, d) {
+		t.Fatal("different seeds produced the identical plan")
+	}
+}
+
+// TestPlanPhases pins the phase structure: cold requests come first,
+// each with a unique never-default grid; warm requests leave the grid
+// at the server default.
+func TestPlanPhases(t *testing.T) {
+	ks := []string{"a", "b"}
+	plan := planWorkload(1, ks, 5, 10)
+	if len(plan) != 15 {
+		t.Fatalf("plan length %d, want 15", len(plan))
+	}
+	seen := map[[2]interface{}]bool{}
+	perKernel := map[string]int{}
+	for i, r := range plan[:5] {
+		if !r.Cold {
+			t.Fatalf("request %d in cold slice not marked cold", i)
+		}
+		if r.Blocks < coldBlocksBase {
+			t.Fatalf("cold request %d blocks %d below base", i, r.Blocks)
+		}
+		if r.Blocks%8 != 0 {
+			t.Fatalf("cold request %d blocks %d not a multiple of 8 (256-wide tiles require it)", i, r.Blocks)
+		}
+		key := [2]interface{}{r.Kernel, r.Blocks}
+		if seen[key] {
+			t.Fatalf("cold request %d repeats session key %v", i, key)
+		}
+		seen[key] = true
+		perKernel[r.Kernel]++
+	}
+	for _, k := range ks {
+		if perKernel[k] == 0 {
+			t.Errorf("cold phase never touched kernel %s", k)
+		}
+	}
+	for i, r := range plan[5:] {
+		if r.Cold || r.Blocks != 0 {
+			t.Fatalf("warm request %d wrong: %+v", i, r)
+		}
+		if r.Warps < 8 || r.Warps > 32 {
+			t.Fatalf("warm request %d warps %d outside choice set", i, r.Warps)
+		}
+	}
+	mix := kernelMix(plan)
+	total := 0
+	for _, k := range ks {
+		total += mix[k]
+	}
+	if total != len(plan) {
+		t.Fatalf("mix sums to %d, want %d", total, len(plan))
+	}
+}
+
+// TestSummarize checks the nearest-rank order statistics.
+func TestSummarize(t *testing.T) {
+	if s := summarize(nil); s.Count != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	var xs []float64
+	for i := 1; i <= 100; i++ {
+		xs = append(xs, float64(i))
+	}
+	s := summarize(xs)
+	want := latencyStats{Count: 100, P50Seconds: 50, P90Seconds: 90, P99Seconds: 99, MaxSeconds: 100, MeanSeconds: 50.5}
+	if s != want {
+		t.Fatalf("summarize(1..100) = %+v, want %+v", s, want)
+	}
+	one := summarize([]float64{3})
+	if one.P50Seconds != 3 || one.P99Seconds != 3 || one.MaxSeconds != 3 {
+		t.Fatalf("single-element summary: %+v", one)
+	}
+}
+
+// TestStageMeans diffs synthetic before/after scrapes.
+func TestStageMeans(t *testing.T) {
+	before := []promtext.Sample{
+		{Name: "gpumech_serve_stage_decode_seconds_sum", Value: 1.0},
+		{Name: "gpumech_serve_stage_decode_seconds_count", Value: 10},
+	}
+	after := []promtext.Sample{
+		{Name: "gpumech_serve_stage_decode_seconds_sum", Value: 3.0},
+		{Name: "gpumech_serve_stage_decode_seconds_count", Value: 20},
+		{Name: "gpumech_serve_stage_estimate_seconds_sum", Value: 5.0},
+		{Name: "gpumech_serve_stage_estimate_seconds_count", Value: 5},
+	}
+	m := stageMeans(before, after)
+	if got := m["decode"]; got.Count != 10 || math.Abs(got.MeanSeconds-0.2) > 1e-12 {
+		t.Fatalf("decode mean: %+v", got)
+	}
+	if got := m["estimate"]; got.Count != 5 || math.Abs(got.MeanSeconds-1.0) > 1e-12 {
+		t.Fatalf("estimate mean: %+v", got)
+	}
+	// A stage that never ran must report zero, not NaN.
+	if got := m["session"]; got.Count != 0 || got.MeanSeconds != 0 {
+		t.Fatalf("idle stage: %+v", got)
+	}
+}
+
+// TestAssemble exercises the report math on synthetic outcomes.
+func TestAssemble(t *testing.T) {
+	plan := planWorkload(1, []string{"a"}, 1, 3)
+	results := []outcome{
+		{seconds: 0.5, status: 200, cold: true},
+		{seconds: 0.01, status: 200},
+		{seconds: 0.02, status: 429},
+		{seconds: 0.03, status: 500},
+	}
+	rep := assemble(1, 25, 2*time.Second, 4, []string{"a"}, plan, results, time.Second, nil, nil)
+	if rep.SchemaVersion != 1 || rep.Workload.ColdRequests != 1 || rep.Workload.WarmRequests != 3 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if rep.Shed429 != 1 || rep.Errors != 1 {
+		t.Fatalf("error accounting: shed=%d errors=%d", rep.Shed429, rep.Errors)
+	}
+	if rep.Cold.Count != 1 || rep.Warm.Count != 3 || rep.Overall.Count != 4 {
+		t.Fatalf("phase counts: %+v", rep)
+	}
+	if math.Abs(rep.RPSAchieved-3.0) > 1e-12 {
+		t.Fatalf("rpsAchieved %g, want 3", rep.RPSAchieved)
+	}
+}

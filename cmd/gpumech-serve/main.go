@@ -46,6 +46,8 @@ func main() {
 	maxSweepJobs := flag.Int("max-sweep-jobs", 32, "sweep job table size; finished jobs are evicted oldest-first when full")
 	maxRunningSweeps := flag.Int("max-running-sweeps", 2, "concurrently evaluating sweeps; excess jobs wait queued")
 	traceCache := flag.String("trace-cache", "", "directory of reusable columnar trace files; empty disables the cache")
+	flightRec := flag.Int("flightrec", 32, "flight recorder board size (N most recent + N slowest requests at /debug/flightrec); negative disables")
+	sloP99 := flag.Duration("slo-p99", 0, "p99 request-latency objective reported by /readyz?verbose=1 (0 = no target)")
 	ob := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -71,16 +73,18 @@ func main() {
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:          *workers,
-		MaxInFlight:      *maxInflight,
-		RequestTimeout:   *timeout,
-		MaxSweepJobs:     *maxSweepJobs,
-		MaxRunningSweeps: *maxRunningSweeps,
-		TraceCacheDir:    *traceCache,
-		Logger:           logger,
-		Metrics:          observer.Metrics,
-		Tracer:           observer.Tracer,
-		Runtime:          runtimecollector.New(observer.Metrics),
+		Workers:            *workers,
+		MaxInFlight:        *maxInflight,
+		RequestTimeout:     *timeout,
+		MaxSweepJobs:       *maxSweepJobs,
+		MaxRunningSweeps:   *maxRunningSweeps,
+		TraceCacheDir:      *traceCache,
+		FlightRecorderSize: *flightRec,
+		SLOTargetP99:       *sloP99,
+		Logger:             logger,
+		Metrics:            observer.Metrics,
+		Tracer:             observer.Tracer,
+		Runtime:            runtimecollector.New(observer.Metrics),
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -113,6 +117,9 @@ func main() {
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			logger.Error("shutdown", slog.String("error", err.Error()))
 		}
+		// One last latency record in the logs: short-lived runs get their
+		// p50/p99 even when nothing ever scraped /metrics.
+		srv.LogSummary()
 	case err := <-errCh:
 		fail(err)
 	}

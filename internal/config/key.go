@@ -1,5 +1,7 @@
 package config
 
+import "fmt"
+
 // ProfileKey is the canonical identity of a configuration's cache-geometry
 // subset: the fields that determine the memory-side profile of a kernel
 // (cache shapes, core count, and the latencies the profile folds into its
@@ -20,6 +22,19 @@ type ProfileKey struct {
 	L2SizeBytes, L2LineBytes, L2Assoc, L2Latency int
 
 	DRAMLatency int
+}
+
+// String renders the key in a compact single-line form for logs and the
+// flight recorder: core count, both cache geometries as
+// size/line/assoc@latency, and the DRAM latency. Keys are equal exactly
+// when their strings are equal, so the rendering is a faithful display
+// identity for deduplicating requests in observability output.
+func (k ProfileKey) String() string {
+	return fmt.Sprintf("c%d-L1:%d/%d/%d@%d-L2:%d/%d/%d@%d-dram@%d",
+		k.Cores,
+		k.L1SizeBytes, k.L1LineBytes, k.L1Assoc, k.L1Latency,
+		k.L2SizeBytes, k.L2LineBytes, k.L2Assoc, k.L2Latency,
+		k.DRAMLatency)
 }
 
 // ProfileKey derives the canonical cache-geometry key of c.

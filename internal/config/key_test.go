@@ -188,3 +188,30 @@ func TestValidateRejectsSampledEdgeCases(t *testing.T) {
 		})
 	}
 }
+
+// TestProfileKeyStringFaithful pins the display identity used by the
+// flight recorder: equal keys render equally, and any geometry change
+// that splits the key must also split the string.
+func TestProfileKeyStringFaithful(t *testing.T) {
+	base := Baseline()
+	s := base.ProfileKey().String()
+	if s == "" || !strings.Contains(s, "L1:") || !strings.Contains(s, "L2:") {
+		t.Fatalf("ProfileKey string %q not in the documented shape", s)
+	}
+	if got := base.WithWarps(8).ProfileKey().String(); got != s {
+		t.Errorf("model-only field changed the string: %q vs %q", got, s)
+	}
+	variants := []func(*Config){
+		func(c *Config) { c.Cores = 8 },
+		func(c *Config) { c.L1SizeBytes *= 2 },
+		func(c *Config) { c.L2Assoc *= 2 },
+		func(c *Config) { c.DRAMLatency++ },
+	}
+	for i, mutate := range variants {
+		c := Baseline()
+		mutate(&c)
+		if got := c.ProfileKey().String(); got == s {
+			t.Errorf("variant %d: geometry change did not change the string %q", i, got)
+		}
+	}
+}

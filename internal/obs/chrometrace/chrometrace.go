@@ -1,0 +1,196 @@
+// Package chrometrace renders obs span trees in the Trace Event Format —
+// the JSON timeline schema loaded by Perfetto and chrome://tracing — so a
+// request's per-stage breakdown (or a whole diagnostic run) can be
+// inspected on an interactive timeline instead of an indented text tree.
+//
+// The export is the JSON Object Format variant ({"traceEvents": [...]}):
+// one "complete" event (ph "X") per span carrying its start, duration and
+// attributes, plus metadata events naming the process and one virtual
+// thread per root span. Spans of one tree share a thread, so nesting
+// renders as a flame graph; concurrent children simply overlap.
+//
+// Write is a pure function of its input records: timestamps are offsets
+// from the earliest span start in the export, so a fixed span tree
+// produces byte-identical output — the property the golden test pins.
+package chrometrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"unicode/utf8"
+
+	"gpumech/internal/obs"
+)
+
+// Process identity in the export. The format requires pid/tid integers;
+// a single-process export uses one fixed pid.
+const pid = 1
+
+// Write renders the span trees as one Trace Event JSON document. Records
+// are placed on a shared timeline anchored at the earliest StartUnixNano
+// in the export (records that predate it clamp to 0, which cannot happen
+// for trees captured from one tracer). An empty record set yields a
+// valid document with only the process-name metadata event.
+func Write(w io.Writer, records []obs.SpanRecord) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	ew := &eventWriter{w: bw}
+	ew.metadata("process_name", pid, 0, "name", "gpumech")
+	anchor := earliestStart(records)
+	for i, r := range records {
+		tid := i + 1
+		ew.metadata("thread_name", pid, tid, "name", r.Name)
+		writeSpan(ew, r, anchor, tid)
+	}
+	bw.WriteString("]}\n")
+	return bw.Flush()
+}
+
+// WriteOne renders a single span tree; the common flight-recorder case.
+func WriteOne(w io.Writer, record obs.SpanRecord) error {
+	return Write(w, []obs.SpanRecord{record})
+}
+
+// earliestStart finds the timeline anchor: the minimum StartUnixNano over
+// every span in every tree. Children cannot start before their parent
+// span was created, but scanning the full forest keeps the anchor right
+// even for hand-built records.
+func earliestStart(records []obs.SpanRecord) int64 {
+	min := int64(math.MaxInt64)
+	var walk func(r obs.SpanRecord)
+	walk = func(r obs.SpanRecord) {
+		if r.StartUnixNano < min {
+			min = r.StartUnixNano
+		}
+		for _, c := range r.Children {
+			walk(c)
+		}
+	}
+	for _, r := range records {
+		walk(r)
+	}
+	if min == math.MaxInt64 {
+		return 0
+	}
+	return min
+}
+
+func writeSpan(ew *eventWriter, r obs.SpanRecord, anchor int64, tid int) {
+	ew.complete(r, anchor, tid)
+	for _, c := range r.Children {
+		writeSpan(ew, c, anchor, tid)
+	}
+}
+
+// eventWriter emits the traceEvents array elements, tracking the comma
+// state. Write errors park in the bufio.Writer and surface at Flush.
+type eventWriter struct {
+	w     *bufio.Writer
+	wrote bool
+}
+
+func (e *eventWriter) sep() {
+	if e.wrote {
+		e.w.WriteByte(',')
+	}
+	e.wrote = true
+}
+
+// metadata emits a ph "M" event ({"name":..., "args":{key: value}}).
+func (e *eventWriter) metadata(name string, pid, tid int, key, value string) {
+	e.sep()
+	fmt.Fprintf(e.w, `{"ph":"M","pid":%d,"tid":%d,"name":%s,"args":{%s:%s}}`,
+		pid, tid, quote(name), quote(key), quote(value))
+}
+
+// complete emits a ph "X" event for one span: ts and dur in microseconds
+// (the format's unit), name, and the span attributes as args.
+func (e *eventWriter) complete(r obs.SpanRecord, anchor int64, tid int) {
+	e.sep()
+	ts := float64(r.StartUnixNano-anchor) / 1e3
+	if ts < 0 {
+		ts = 0
+	}
+	dur := r.Seconds * 1e6
+	if dur < 0 {
+		dur = 0
+	}
+	fmt.Fprintf(e.w, `{"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"name":%s`,
+		pid, tid, formatNum(ts), formatNum(dur), quote(r.Name))
+	if len(r.Attrs) > 0 || r.InFlight {
+		e.w.WriteString(`,"args":{`)
+		first := true
+		for _, a := range r.Attrs {
+			if !first {
+				e.w.WriteByte(',')
+			}
+			first = false
+			e.w.WriteString(quote(a.Key))
+			e.w.WriteByte(':')
+			e.w.WriteString(quote(a.Value))
+		}
+		if r.InFlight {
+			if !first {
+				e.w.WriteByte(',')
+			}
+			e.w.WriteString(`"inFlight":"true"`)
+		}
+		e.w.WriteByte('}')
+	}
+	e.w.WriteByte('}')
+}
+
+// formatNum renders a microsecond quantity as a JSON number. JSON has no
+// NaN or infinities; they clamp to 0 so a corrupt record cannot make the
+// document unloadable.
+func formatNum(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// quote renders s as a JSON string. It escapes the two mandatory
+// characters (quote, backslash), control characters, and invalid UTF-8
+// (as the replacement character, which encoding/json also substitutes),
+// so arbitrary span names and attribute values — whatever a fuzzer or a
+// hostile kernel name supplies — always yield a parseable document.
+func quote(s string) string {
+	buf := make([]byte, 0, len(s)+2)
+	buf = append(buf, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < utf8.RuneSelf {
+			switch {
+			case c == '"':
+				buf = append(buf, '\\', '"')
+			case c == '\\':
+				buf = append(buf, '\\', '\\')
+			case c == '\n':
+				buf = append(buf, '\\', 'n')
+			case c == '\r':
+				buf = append(buf, '\\', 'r')
+			case c == '\t':
+				buf = append(buf, '\\', 't')
+			case c < 0x20:
+				buf = append(buf, []byte(fmt.Sprintf(`\u%04x`, c))...)
+			default:
+				buf = append(buf, c)
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = append(buf, []byte("�")...)
+			i++
+			continue
+		}
+		buf = append(buf, s[i:i+size]...)
+		i += size
+	}
+	return string(append(buf, '"'))
+}

@@ -1,0 +1,229 @@
+package chrometrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpumech/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata goldens from current exporter output")
+
+// fixedTree is a stable two-request span forest with nested stages,
+// attributes, an in-flight span, and characters that need escaping —
+// everything the exporter has to place and encode.
+func fixedTree() []obs.SpanRecord {
+	base := int64(1_700_000_000_000_000_000)
+	return []obs.SpanRecord{
+		{
+			Name: "http.evaluate", StartUnixNano: base, Seconds: 0.010,
+			Attrs: []obs.Attr{{Key: "req.id", Value: "ab12-1"}, {Key: "kernel", Value: "sdk_vectoradd"}},
+			Children: []obs.SpanRecord{
+				{Name: "decode", StartUnixNano: base + 100_000, Seconds: 0.0001},
+				{
+					Name: "estimate", StartUnixNano: base + 300_000, Seconds: 0.009,
+					Children: []obs.SpanRecord{
+						{Name: "interval-profiling", StartUnixNano: base + 400_000, Seconds: 0.004},
+						{Name: "clustering", StartUnixNano: base + 4_500_000, Seconds: 0.002},
+					},
+				},
+				{Name: "encode", StartUnixNano: base + 9_500_000, Seconds: 0.0004},
+			},
+		},
+		{
+			Name: "http.kernels \"quoted\\weird\nname\"", StartUnixNano: base + 20_000_000,
+			Seconds: 0.002, InFlight: true,
+			Attrs: []obs.Attr{{Key: "status", Value: "200"}},
+		},
+	}
+}
+
+// TestGolden pins the export byte-for-byte: a stable span tree must
+// render to exactly the checked-in document (regenerate with -update).
+func TestGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, fixedTree()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden.trace.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs/chrometrace -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("export diverged from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// traceDoc is the Trace Event JSON Object Format shape Perfetto loads.
+type traceDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Ts   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		Name string            `json:"name"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestExportIsValidTraceEventJSON decodes the export against the format's
+// schema: every event is an M or X phase with integer pid/tid, X events
+// carry non-negative ts/dur microseconds, children sit within the parent
+// timeline, and the in-flight marker lands in args.
+func TestExportIsValidTraceEventJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, fixedTree()); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	// 7 spans + process_name + 2 thread_name metadata events.
+	if len(doc.TraceEvents) != 10 {
+		t.Fatalf("got %d events, want 10", len(doc.TraceEvents))
+	}
+	spans := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				t.Errorf("unexpected metadata event %q", ev.Name)
+			}
+		case "X":
+			spans[ev.Name]++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				t.Errorf("span %q has negative ts/dur: %g/%g", ev.Name, ev.Ts, ev.Dur)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	for _, want := range []string{"http.evaluate", "decode", "estimate", "interval-profiling", "clustering", "encode"} {
+		if spans[want] != 1 {
+			t.Errorf("span %q appears %d times, want 1", want, spans[want])
+		}
+	}
+	// The root starts at the anchor; the first child 100µs later.
+	var rootTs, decodeTs float64 = -1, -1
+	for _, ev := range doc.TraceEvents {
+		switch ev.Name {
+		case "http.evaluate":
+			rootTs = ev.Ts
+			if ev.Args["req.id"] != "ab12-1" || ev.Args["kernel"] != "sdk_vectoradd" {
+				t.Errorf("root args lost attrs: %+v", ev.Args)
+			}
+		case "decode":
+			decodeTs = ev.Ts
+		}
+		if ev.Ph == "X" && strings.HasPrefix(ev.Name, "http.kernels") {
+			if ev.Args["inFlight"] != "true" {
+				t.Errorf("in-flight span missing marker: %+v", ev.Args)
+			}
+		}
+	}
+	if rootTs != 0 {
+		t.Errorf("anchor span ts = %g, want 0", rootTs)
+	}
+	if decodeTs != 100 {
+		t.Errorf("decode ts = %gµs, want 100", decodeTs)
+	}
+}
+
+// TestWriteFromLiveTracer exercises the real capture path: spans from a
+// live tracer (wall-clock start times) must export to a loadable
+// document with every span present.
+func TestWriteFromLiveTracer(t *testing.T) {
+	tr := obs.NewTracer()
+	root := tr.StartSpan("request")
+	root.SetStr("id", "x-1")
+	c := root.Child("stage")
+	c.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, tr.Records()); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("live export invalid: %v\n%s", err, buf.Bytes())
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+			if ev.Ts < 0 {
+				t.Errorf("span %q before the anchor: ts %g", ev.Name, ev.Ts)
+			}
+		}
+	}
+	if !names["request"] || !names["stage"] {
+		t.Fatalf("live spans missing from export: %v", names)
+	}
+}
+
+func TestWriteEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty export invalid: %s", buf.Bytes())
+	}
+	if err := WriteOne(&buf, obs.SpanRecord{Name: "solo", Seconds: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzWriteEscaping hammers the escaping/encoding path: arbitrary (often
+// invalid-UTF-8) names, attribute keys and values must still produce a
+// syntactically valid JSON document that decodes to the same number of
+// events.
+func FuzzWriteEscaping(f *testing.F) {
+	f.Add("plain", "key", "value", 0.001, int64(1000))
+	f.Add(`quote"back\slash`, "new\nline", "tab\ttab", -1.5, int64(-5))
+	f.Add("\x00\x1f control", "\xff\xfe bad utf8", "emoji ⚙️", 1e300, int64(1<<60))
+	f.Add("", "", "", 0.0, int64(0))
+	f.Fuzz(func(t *testing.T, name, key, val string, secs float64, start int64) {
+		rec := obs.SpanRecord{
+			Name: name, StartUnixNano: start, Seconds: secs, InFlight: secs < 0,
+			Attrs: []obs.Attr{{Key: key, Value: val}},
+			Children: []obs.SpanRecord{
+				{Name: val, StartUnixNano: start + 1, Seconds: secs / 2,
+					Attrs: []obs.Attr{{Key: name, Value: key}}},
+			},
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, []obs.SpanRecord{rec}); err != nil {
+			t.Fatal(err)
+		}
+		var doc traceDoc
+		if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+			t.Fatalf("unparseable export for %q/%q/%q: %v\n%s", name, key, val, err, buf.Bytes())
+		}
+		// process_name + thread_name + 2 spans, regardless of content.
+		if len(doc.TraceEvents) != 4 {
+			t.Fatalf("got %d events, want 4", len(doc.TraceEvents))
+		}
+	})
+}

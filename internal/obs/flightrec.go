@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// FlightRecord is one request's post-mortem record: identity, outcome and
+// the per-stage span tree, captured at completion so a latency outlier
+// can be explained after the fact without re-running it.
+type FlightRecord struct {
+	ID         string     `json:"id"`
+	Route      string     `json:"route"`
+	Kernel     string     `json:"kernel,omitempty"`
+	ProfileKey string     `json:"profileKey,omitempty"`
+	Status     int        `json:"status"`
+	Start      time.Time  `json:"start"`
+	Seconds    float64    `json:"seconds"`
+	Span       SpanRecord `json:"span"`
+}
+
+// FlightRecorder keeps a bounded post-hoc view of traffic: a ring of the
+// N most recent requests and a separate board of the N slowest ones seen
+// since startup. Both are fixed-size, so a long-lived daemon can leave
+// the recorder on permanently — unlike a Tracer, it never grows.
+//
+// Add takes one short mutex-protected critical section (a ring store
+// plus, when the request is slow enough to place, one sorted insert into
+// a small array), cheap enough for the request path. All methods are
+// nil-safe no-ops, so a disabled recorder costs one nil check.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	recent  []FlightRecord // ring; next is the write cursor
+	next    int
+	filled  bool
+	slowest []FlightRecord // sorted by Seconds descending, len <= cap
+}
+
+// NewFlightRecorder returns a recorder keeping the n most recent and the
+// n slowest requests. n <= 0 returns nil: a disabled recorder.
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		return nil
+	}
+	return &FlightRecorder{
+		recent:  make([]FlightRecord, n),
+		slowest: make([]FlightRecord, 0, n),
+	}
+}
+
+// Add records one completed request. No-op on a nil receiver.
+func (f *FlightRecorder) Add(r FlightRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.recent[f.next] = r
+	f.next++
+	if f.next == len(f.recent) {
+		f.next = 0
+		f.filled = true
+	}
+	if len(f.slowest) == cap(f.slowest) && r.Seconds <= f.slowest[len(f.slowest)-1].Seconds {
+		return
+	}
+	i := sort.Search(len(f.slowest), func(i int) bool { return f.slowest[i].Seconds < r.Seconds })
+	if len(f.slowest) < cap(f.slowest) {
+		f.slowest = append(f.slowest, FlightRecord{})
+	}
+	copy(f.slowest[i+1:], f.slowest[i:])
+	f.slowest[i] = r
+}
+
+// FlightSnapshot is a point-in-time copy of the recorder's two boards.
+type FlightSnapshot struct {
+	Capacity int            `json:"capacity"`
+	Recent   []FlightRecord `json:"recent"`  // newest first
+	Slowest  []FlightRecord `json:"slowest"` // slowest first
+}
+
+// Snapshot copies both boards: Recent newest-first, Slowest ordered by
+// descending duration. Returns a zero snapshot on a nil receiver.
+func (f *FlightRecorder) Snapshot() FlightSnapshot {
+	if f == nil {
+		return FlightSnapshot{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := FlightSnapshot{Capacity: len(f.recent)}
+	n := f.next
+	if f.filled {
+		n = len(f.recent)
+	}
+	s.Recent = make([]FlightRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		// Walk backward from the cursor: newest first.
+		s.Recent = append(s.Recent, f.recent[(f.next-i+len(f.recent))%len(f.recent)])
+	}
+	s.Slowest = append([]FlightRecord(nil), f.slowest...)
+	return s
+}
+
+// Find returns the most recent record with the given request ID, checking
+// the recent ring first and the slowest board second. The second result
+// reports whether one was found; it is false on a nil receiver.
+func (f *FlightRecorder) Find(id string) (FlightRecord, bool) {
+	if f == nil {
+		return FlightRecord{}, false
+	}
+	s := f.Snapshot()
+	for _, r := range s.Recent {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	for _, r := range s.Slowest {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return FlightRecord{}, false
+}

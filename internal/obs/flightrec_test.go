@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestQuantileUniform(t *testing.T) {
+	h := newHistogram()
+	// 1000 evenly spread observations over (0, 1]: quantiles should land
+	// near q itself, within one bucket's relative width (factor of 2).
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i) / n)
+	}
+	reg := NewRegistry()
+	reg.mu.Lock()
+	reg.hists["u"] = h
+	reg.mu.Unlock()
+	s := reg.Snapshot().Histograms["u"]
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := s.Quantile(q)
+		if got < q/2 || got > q*2 {
+			t.Errorf("Quantile(%g) = %g, want within [%g, %g]", q, got, q/2, q*2)
+		}
+	}
+	if got := s.Quantile(1); got != s.Max {
+		t.Errorf("Quantile(1) = %g, want Max %g", got, s.Max)
+	}
+	if got := s.Quantile(0); got < s.Min {
+		t.Errorf("Quantile(0) = %g, below Min %g", got, s.Min)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if got := s.Quantile(2); got != s.Max {
+		t.Errorf("Quantile(2) = %g, want Max", got)
+	}
+	if got := s.Quantile(-1); got < s.Min || got > s.Max {
+		t.Errorf("Quantile(-1) = %g outside [Min, Max]", got)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	h := newHistogram()
+	h.Observe(0.25)
+	reg := NewRegistry()
+	reg.mu.Lock()
+	reg.hists["one"] = h
+	reg.mu.Unlock()
+	s := reg.Snapshot().Histograms["one"]
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0.25 {
+			t.Errorf("Quantile(%g) = %g, want the only observation 0.25", q, got)
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistSnapshot
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %g, want 0", got)
+	}
+	s.Buckets = make([]int64, NumBuckets)
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("zero-count Quantile = %g, want 0", got)
+	}
+}
+
+// TestQuantileTopBucket pins the open-ended bucket rule: when the rank
+// lands in the unbounded last bucket the estimator answers the observed
+// maximum rather than interpolating toward infinity.
+func TestQuantileTopBucket(t *testing.T) {
+	h := newHistogram()
+	huge := math.Ldexp(1, histMinExp+histBuckets+4) // beyond the last bound
+	h.Observe(huge)
+	h.Observe(2 * huge)
+	reg := NewRegistry()
+	reg.mu.Lock()
+	reg.hists["top"] = h
+	reg.mu.Unlock()
+	s := reg.Snapshot().Histograms["top"]
+	if got := s.Quantile(0.99); got != 2*huge {
+		t.Fatalf("top-bucket Quantile = %g, want Max %g", got, 2*huge)
+	}
+}
+
+func TestFlightRecorderRecentRing(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 0; i < 5; i++ {
+		f.Add(FlightRecord{ID: fmt.Sprintf("r%d", i), Seconds: 0.001})
+	}
+	s := f.Snapshot()
+	if s.Capacity != 3 {
+		t.Fatalf("capacity %d, want 3", s.Capacity)
+	}
+	if len(s.Recent) != 3 {
+		t.Fatalf("recent holds %d, want 3", len(s.Recent))
+	}
+	for i, want := range []string{"r4", "r3", "r2"} {
+		if s.Recent[i].ID != want {
+			t.Fatalf("recent[%d] = %q, want %q (newest first)", i, s.Recent[i].ID, want)
+		}
+	}
+}
+
+func TestFlightRecorderSlowestBoard(t *testing.T) {
+	f := NewFlightRecorder(3)
+	durs := []float64{0.010, 0.002, 0.500, 0.001, 0.100, 0.050}
+	for i, d := range durs {
+		f.Add(FlightRecord{ID: fmt.Sprintf("r%d", i), Seconds: d})
+	}
+	s := f.Snapshot()
+	if len(s.Slowest) != 3 {
+		t.Fatalf("slowest holds %d, want 3", len(s.Slowest))
+	}
+	for i, want := range []float64{0.500, 0.100, 0.050} {
+		if s.Slowest[i].Seconds != want {
+			t.Fatalf("slowest[%d] = %gs, want %gs (descending)", i, s.Slowest[i].Seconds, want)
+		}
+	}
+	// A fast request must not displace a slower resident.
+	f.Add(FlightRecord{ID: "fast", Seconds: 0.003})
+	if s := f.Snapshot(); s.Slowest[2].Seconds != 0.050 {
+		t.Fatalf("fast request displaced a slower record: %+v", s.Slowest)
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Add(FlightRecord{ID: "only", Seconds: 0.002})
+	s := f.Snapshot()
+	if len(s.Recent) != 1 || s.Recent[0].ID != "only" {
+		t.Fatalf("partial ring snapshot wrong: %+v", s.Recent)
+	}
+	if len(s.Slowest) != 1 {
+		t.Fatalf("slowest board wrong under partial fill: %+v", s.Slowest)
+	}
+}
+
+func TestFlightRecorderFind(t *testing.T) {
+	f := NewFlightRecorder(2)
+	f.Add(FlightRecord{ID: "slow", Seconds: 1.0})
+	f.Add(FlightRecord{ID: "a", Seconds: 0.001})
+	f.Add(FlightRecord{ID: "b", Seconds: 0.002})
+	// "slow" has rotated out of the recent ring but survives on the
+	// slowest board — exactly the outlier /debug/flightrec wants back.
+	if _, ok := f.Find("slow"); !ok {
+		t.Fatal("slow outlier not findable after ring rotation")
+	}
+	if r, ok := f.Find("b"); !ok || r.ID != "b" {
+		t.Fatalf("Find(b) = %+v, %v", r, ok)
+	}
+	if _, ok := f.Find("nope"); ok {
+		t.Fatal("Find invented a record")
+	}
+}
+
+func TestFlightRecorderDisabled(t *testing.T) {
+	if f := NewFlightRecorder(0); f != nil {
+		t.Fatal("NewFlightRecorder(0) must return nil")
+	}
+	var f *FlightRecorder
+	f.Add(FlightRecord{ID: "x"}) // must not panic
+	if s := f.Snapshot(); s.Capacity != 0 || s.Recent != nil || s.Slowest != nil {
+		t.Fatalf("nil recorder snapshot not zero: %+v", s)
+	}
+	if _, ok := f.Find("x"); ok {
+		t.Fatal("nil recorder found a record")
+	}
+}

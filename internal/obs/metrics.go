@@ -250,6 +250,63 @@ type HistSnapshot struct {
 	Buckets []int64 `json:"-"`
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the distribution from
+// the bucket counts, interpolating linearly within the containing bucket —
+// the same estimator Prometheus's histogram_quantile applies to the
+// exported buckets, so the /readyz SLO summary and a PromQL dashboard
+// agree on what "p99" means. The estimate is clamped to the observed
+// [Min, Max] envelope, which also resolves the two open-ended edge
+// buckets (below the first bound, above the last). Returns 0 when the
+// snapshot has no buckets or no observations; q outside [0,1] clamps.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	var total int64
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	clamp := func(v float64) float64 {
+		if v < s.Min {
+			return s.Min
+		}
+		if v > s.Max {
+			return s.Max
+		}
+		return v
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		prev := float64(cum)
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = BucketBound(i - 1)
+		}
+		hi := BucketBound(i)
+		if math.IsInf(hi, 1) {
+			// Open-ended top bucket: no upper bound to interpolate
+			// toward; the observed maximum is the best estimate.
+			return s.Max
+		}
+		return clamp(lo + (hi-lo)*(rank-prev)/float64(c))
+	}
+	return s.Max
+}
+
 // Registry holds named instruments. Lookup (Counter, Gauge, Histogram)
 // takes a mutex and should happen at setup points — per pipeline stage,
 // not per work item; the returned instruments are then updated with pure

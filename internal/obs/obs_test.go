@@ -374,6 +374,7 @@ func TestDisabledPathDoesNotAllocate(t *testing.T) {
 	var nilC *Counter
 	var nilH *Histogram
 	var nilS *Span
+	var nilF *FlightRecorder
 	allocs := testing.AllocsPerRun(100, func() {
 		nilC.Inc()
 		nilH.Observe(1.5)
@@ -382,6 +383,7 @@ func TestDisabledPathDoesNotAllocate(t *testing.T) {
 		sp.SetInt("k", 1)
 		sp.End()
 		nilO.ObserveSince("h", time.Time{})
+		nilF.Add(FlightRecord{})
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled instrumentation allocated %.1f times per run, want 0", allocs)

@@ -1,7 +1,8 @@
 // Package obsflag wires the observability layer (internal/obs) into
 // command-line binaries: it registers the shared -metrics, -metrics-out,
-// -trace-out and -pprof flags, builds the Observer they imply, installs
-// worker-pool instrumentation, and writes the dumps on exit.
+// -trace-out, -trace-format and -pprof flags, builds the Observer they
+// imply, installs worker-pool instrumentation, and writes the dumps on
+// exit.
 //
 // It lives outside package obs because it depends on internal/parallel
 // (for SetMetrics) while parallel itself depends on obs; obs must stay a
@@ -19,16 +20,18 @@ import (
 	"os"
 
 	"gpumech/internal/obs"
+	"gpumech/internal/obs/chrometrace"
 	"gpumech/internal/parallel"
 )
 
 // Flags holds one binary's parsed observability flags. Zero value is
 // unusable; obtain one from Register.
 type Flags struct {
-	metrics    *bool
-	metricsOut *string
-	traceOut   *string
-	pprof      *string
+	metrics     *bool
+	metricsOut  *string
+	traceOut    *string
+	traceFormat *string
+	pprof       *string
 
 	forceMetrics bool
 
@@ -41,10 +44,11 @@ type Flags struct {
 // (use flag.CommandLine for a binary's default set).
 func Register(fs *flag.FlagSet) *Flags {
 	return &Flags{
-		metrics:    fs.Bool("metrics", false, "collect pipeline metrics and dump them to stderr on exit"),
-		metricsOut: fs.String("metrics-out", "", "collect pipeline metrics and write them as JSON to this file on exit"),
-		traceOut:   fs.String("trace-out", "", "write stage spans as JSON to this file and a span tree to stderr"),
-		pprof:      fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)"),
+		metrics:     fs.Bool("metrics", false, "collect pipeline metrics and dump them to stderr on exit"),
+		metricsOut:  fs.String("metrics-out", "", "collect pipeline metrics and write them as JSON to this file on exit"),
+		traceOut:    fs.String("trace-out", "", "write stage spans to this file and a span tree to stderr"),
+		traceFormat: fs.String("trace-format", "spans", "-trace-out format: spans (obs span JSON) or chrome (Trace Event timeline for Perfetto/chrome://tracing)"),
+		pprof:       fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)"),
 	}
 }
 
@@ -66,6 +70,9 @@ func (f *Flags) Registry() *obs.Registry { return f.registry }
 // from the background goroutine are logged to stderr, and Finish closes
 // the listener.
 func (f *Flags) Setup() (*obs.Observer, error) {
+	if *f.traceFormat != "spans" && *f.traceFormat != "chrome" {
+		return nil, fmt.Errorf("obsflag: unknown -trace-format %q (want spans or chrome)", *f.traceFormat)
+	}
 	if *f.metrics || *f.metricsOut != "" || f.forceMetrics {
 		f.registry = obs.NewRegistry()
 		parallel.SetMetrics(f.registry)
@@ -100,17 +107,16 @@ func (f *Flags) Finish() error {
 
 // FinishTo is the full exit path with an explicit sink for the textual
 // dumps: the "-- metrics --" table (with -metrics), the metrics JSON
-// archive (to the -metrics-out file), the span JSON (to the -trace-out
-// file) followed by the "-- spans --" tree and the spans-written note,
-// and closing the -pprof listener. Finish is exactly FinishTo(os.Stderr),
-// so tests exercising FinishTo see the real output byte for byte.
+// archive (to the -metrics-out file), the span dump (to the -trace-out
+// file, as span JSON or a Chrome trace per -trace-format) followed by
+// the "-- spans --" tree and the spans-written note, and closing the
+// -pprof listener. The dumps flush before the listener teardown — part
+// of the contract, not an accident of statement order: a scraper watching
+// the process through the -pprof listener must be able to observe the
+// completed -metrics-out archive before the listener disappears. Finish
+// is exactly FinishTo(os.Stderr), so tests exercising FinishTo see the
+// real output byte for byte.
 func (f *Flags) FinishTo(w io.Writer) error {
-	if f.pprofLn != nil {
-		if err := f.pprofLn.Close(); err != nil {
-			return fmt.Errorf("obsflag: closing pprof listener: %w", err)
-		}
-		f.pprofLn = nil
-	}
 	if f.registry != nil && *f.metrics {
 		fmt.Fprintln(w, "-- metrics --")
 		if err := f.registry.WriteText(w); err != nil {
@@ -123,7 +129,11 @@ func (f *Flags) FinishTo(w io.Writer) error {
 		}
 	}
 	if f.tracer != nil {
-		if err := writeFile(*f.traceOut, f.tracer.WriteJSON); err != nil {
+		dump := f.tracer.WriteJSON
+		if *f.traceFormat == "chrome" {
+			dump = func(w io.Writer) error { return chrometrace.Write(w, f.tracer.Records()) }
+		}
+		if err := writeFile(*f.traceOut, dump); err != nil {
 			return err
 		}
 		fmt.Fprintln(w, "-- spans --")
@@ -131,6 +141,12 @@ func (f *Flags) FinishTo(w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "spans written to %s\n", *f.traceOut)
+	}
+	if f.pprofLn != nil {
+		if err := f.pprofLn.Close(); err != nil {
+			return fmt.Errorf("obsflag: closing pprof listener: %w", err)
+		}
+		f.pprofLn = nil
 	}
 	return nil
 }

@@ -232,6 +232,122 @@ func TestRequireMetrics(t *testing.T) {
 	}
 }
 
+// closeProbe wraps a net.Listener and runs a probe at Close time, so a
+// test can observe what the rest of the exit path had already done when
+// the listener went down.
+type closeProbe struct {
+	net.Listener
+	onClose func()
+}
+
+func (p *closeProbe) Close() error {
+	p.onClose()
+	return p.Listener.Close()
+}
+
+// TestArchiveFlushedBeforeListenerTeardown is the regression test for the
+// Finish ordering contract: with both -metrics-out and -pprof set, the
+// JSON archive must be fully written (valid, parseable JSON on disk)
+// before the pprof/metrics listener is torn down. Before the fix the
+// listener closed first, so a scraper triggered by the close could find
+// a missing or partial archive.
+func TestArchiveFlushedBeforeListenerTeardown(t *testing.T) {
+	defer parallel.SetMetrics(nil)
+	dir := t.TempDir()
+	out := filepath.Join(dir, "metrics.json")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-metrics-out", out, "-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	_ = captureStderr(t, func() error {
+		_, err := f.Setup()
+		return err
+	})
+	if f.pprofLn == nil {
+		t.Fatal("Setup must retain the pprof listener")
+	}
+	f.Registry().Counter("ordered.count").Add(7)
+
+	var archiveAtClose []byte
+	var statErr error
+	f.pprofLn = &closeProbe{Listener: f.pprofLn, onClose: func() {
+		archiveAtClose, statErr = os.ReadFile(out)
+	}}
+	var buf strings.Builder
+	if err := f.FinishTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if statErr != nil {
+		t.Fatalf("archive not on disk when the listener closed: %v", statErr)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(archiveAtClose, &snap); err != nil {
+		t.Fatalf("archive incomplete at listener teardown: %v\n%s", err, archiveAtClose)
+	}
+	if snap.Counters["ordered.count"] != 7 {
+		t.Fatalf("archive at teardown missing data: %s", archiveAtClose)
+	}
+}
+
+// TestTraceFormatChrome pins the -trace-format=chrome wiring: -trace-out
+// receives a Trace Event document instead of span JSON.
+func TestTraceFormatChrome(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "req.trace.json")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-trace-out", out, "-trace-format", "chrome"}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := f.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := o.StartSpan("root")
+	sp.Child("stage").End()
+	sp.End()
+	var buf strings.Builder
+	if err := f.FinishTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v\n%s", err, data)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+		}
+	}
+	if !names["root"] || !names["stage"] {
+		t.Fatalf("chrome trace missing spans: %s", data)
+	}
+}
+
+func TestTraceFormatRejected(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-trace-format", "jaeger"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Setup(); err == nil || !strings.Contains(err.Error(), "trace-format") {
+		t.Fatalf("Setup accepted a bogus -trace-format: %v", err)
+	}
+}
+
 // TestPprofListenerLifecycle pins the satellite fix: Setup retains the
 // pprof listener, it serves until Finish, and Finish closes it.
 func TestPprofListenerLifecycle(t *testing.T) {

@@ -1,0 +1,34 @@
+package promtext
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sample is one parsed exposition-format sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string // nil when the line carries no label set
+	Value  float64
+}
+
+// ParseSamples parses exposition-format text into its sample lines,
+// skipping comments and blanks. It is the read-side complement of Write:
+// gpumech-bench scrapes /metrics before and after a load phase and diffs
+// the histogram _sum/_count samples to attribute latency to pipeline
+// stages. Parsing stops at the first malformed line with a positioned
+// error.
+func ParseSamples(data []byte) ([]Sample, error) {
+	var out []Sample
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		out = append(out, Sample{Name: name, Labels: labels, Value: value})
+	}
+	return out, nil
+}

@@ -36,6 +36,12 @@ func newSpan(name string) *Span {
 	return &Span{name: name, start: time.Now()}
 }
 
+// NewRootSpan starts a detached root span: timed and nestable like a
+// tracer span, but owned by the caller instead of accumulating in a
+// Tracer. The flight recorder uses it to capture per-request span trees
+// in a long-lived daemon where an unbounded tracer would be a leak.
+func NewRootSpan(name string) *Span { return newSpan(name) }
+
 // Child starts a nested span. Returns nil on a nil receiver.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
@@ -90,12 +96,18 @@ func (s *Span) SetFloat(key string, v float64) {
 }
 
 // SpanRecord is the serializable form of a span (and its subtree).
+//
+// StartUnixNano is the span's wall-clock start instant. Exporters that
+// place spans on a shared timeline (internal/obs/chrometrace) subtract
+// the earliest start in the export, so only the relative offsets matter;
+// the absolute value keeps records from different span trees alignable.
 type SpanRecord struct {
-	Name     string       `json:"name"`
-	Seconds  float64      `json:"seconds"`
-	InFlight bool         `json:"inFlight,omitempty"`
-	Attrs    []Attr       `json:"attrs,omitempty"`
-	Children []SpanRecord `json:"children,omitempty"`
+	Name          string       `json:"name"`
+	StartUnixNano int64        `json:"startUnixNano,omitempty"`
+	Seconds       float64      `json:"seconds"`
+	InFlight      bool         `json:"inFlight,omitempty"`
+	Attrs         []Attr       `json:"attrs,omitempty"`
+	Children      []SpanRecord `json:"children,omitempty"`
 }
 
 // Record snapshots the span subtree. Spans still in flight report their
@@ -105,7 +117,7 @@ func (s *Span) Record() SpanRecord {
 		return SpanRecord{}
 	}
 	s.mu.Lock()
-	r := SpanRecord{Name: s.name, Seconds: s.dur.Seconds(), InFlight: !s.ended}
+	r := SpanRecord{Name: s.name, StartUnixNano: s.start.UnixNano(), Seconds: s.dur.Seconds(), InFlight: !s.ended}
 	if !s.ended {
 		r.Seconds = time.Since(s.start).Seconds()
 	}

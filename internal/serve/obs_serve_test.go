@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gpumech/internal/obs"
+	"gpumech/internal/obs/promtext"
+	"gpumech/internal/obs/runtimecollector"
+)
+
+// TestFlightRecorderCapturesSlowRequest is the acceptance gate for the
+// flight recorder: after a completed evaluation, /debug/flightrec must
+// return the request's record — ID, kernel, ProfileKey, status, and a
+// per-stage span tree with the decode/session/estimate/encode breakdown
+// — both from the recent ring and via ?id= lookup.
+func TestFlightRecorderCapturesSlowRequest(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if rec := postEvaluate(t, s.Handler(), `{"kernel":"sdk_vectoradd","policy":"gto","warps":16}`); rec.Code != 200 {
+		t.Fatalf("evaluate: %d: %s", rec.Code, rec.Body.String())
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flightrec", nil))
+	if rec.Code != 200 {
+		t.Fatalf("flightrec: %d: %s", rec.Code, rec.Body.String())
+	}
+	var snap obs.FlightSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("flightrec body: %v\n%s", err, rec.Body.String())
+	}
+	if snap.Capacity != 32 {
+		t.Fatalf("default capacity %d, want 32", snap.Capacity)
+	}
+	if len(snap.Recent) != 1 || len(snap.Slowest) != 1 {
+		t.Fatalf("boards: recent %d, slowest %d, want 1 each", len(snap.Recent), len(snap.Slowest))
+	}
+	r := snap.Recent[0]
+	if r.Route != "evaluate" || r.Kernel != "sdk_vectoradd" || r.Status != 200 {
+		t.Fatalf("record identity wrong: %+v", r)
+	}
+	if r.ProfileKey == "" || !strings.Contains(r.ProfileKey, "L1:") {
+		t.Fatalf("record missing ProfileKey: %q", r.ProfileKey)
+	}
+	if r.Seconds <= 0 || r.Span.Name != "http.evaluate" {
+		t.Fatalf("record span wrong: %+v", r.Span)
+	}
+	stages := map[string]bool{}
+	for _, c := range r.Span.Children {
+		stages[c.Name] = true
+	}
+	for _, want := range []string{"decode", "session", "estimate", "encode"} {
+		if !stages[want] {
+			t.Errorf("span tree missing stage %q: %v", want, stages)
+		}
+	}
+
+	// The same record must come back by request ID...
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flightrec?id="+r.ID, nil))
+	if rec.Code != 200 {
+		t.Fatalf("flightrec?id: %d", rec.Code)
+	}
+	var one obs.FlightRecord
+	if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil || one.ID != r.ID {
+		t.Fatalf("by-id lookup: %v, %+v", err, one)
+	}
+	// ...and as a Chrome trace that parses as Trace Event JSON.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flightrec?id="+r.ID+"&format=chrome", nil))
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export: %v\n%s", err, rec.Body.String())
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"http.evaluate", "decode", "estimate", "encode"} {
+		if !names[want] {
+			t.Errorf("chrome export missing span %q", want)
+		}
+	}
+
+	// Unknown IDs 404 with the JSON error shape.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flightrec?id=nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown id: %d, want 404", rec.Code)
+	}
+}
+
+// TestFlightRecorderSkipsProbesAndDisables pins two policies: probe
+// routes never enter the recorder, and a negative size disables the
+// endpoint.
+func TestFlightRecorderSkipsProbesAndDisables(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+		rec = httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flightrec", nil))
+	var snap obs.FlightSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Recent) != 0 {
+		t.Fatalf("probe traffic leaked into the recorder: %+v", snap.Recent)
+	}
+
+	off := newTestServer(t, Config{FlightRecorderSize: -1})
+	rec = httptest.NewRecorder()
+	off.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flightrec", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("disabled recorder: %d, want 404", rec.Code)
+	}
+}
+
+// TestReadyzVerboseSLO drives traffic, then reads the ?verbose=1 summary:
+// percentiles from the live histogram, per-stage means, the SLO verdict,
+// and the draining status transition.
+func TestReadyzVerboseSLO(t *testing.T) {
+	s := newTestServer(t, Config{SLOTargetP99: time.Minute})
+	for i := 0; i < 3; i++ {
+		if rec := postEvaluate(t, s.Handler(), `{"kernel":"sdk_vectoradd"}`); rec.Code != 200 {
+			t.Fatalf("evaluate: %d", rec.Code)
+		}
+	}
+	get := func() (*httptest.ResponseRecorder, sloSummary) {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz?verbose=1", nil))
+		var doc sloSummary
+		if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+			t.Fatalf("verbose readyz not JSON: %v\n%s", err, rec.Body.String())
+		}
+		return rec, doc
+	}
+	rec, doc := get()
+	if rec.Code != 200 || doc.Status != "ready" {
+		t.Fatalf("ready state: %d %q", rec.Code, doc.Status)
+	}
+	if doc.Requests < 3 || doc.Latency.Count < 3 {
+		t.Fatalf("summary missed traffic: %+v", doc)
+	}
+	if doc.Latency.P50Seconds <= 0 || doc.Latency.P99Seconds < doc.Latency.P50Seconds ||
+		doc.Latency.MaxSeconds < doc.Latency.P99Seconds {
+		t.Fatalf("percentiles not ordered: %+v", doc.Latency)
+	}
+	if doc.Stages.Estimate <= 0 || doc.Stages.Encode <= 0 {
+		t.Fatalf("stage means missing: %+v", doc.Stages)
+	}
+	if doc.SLO == nil || !doc.SLO.OK || doc.SLO.TargetP99Seconds != 60 {
+		t.Fatalf("SLO verdict wrong: %+v", doc.SLO)
+	}
+
+	s.BeginDrain()
+	rec, doc = get()
+	if rec.Code != http.StatusServiceUnavailable || doc.Status != "draining" {
+		t.Fatalf("draining verbose: %d %q", rec.Code, doc.Status)
+	}
+
+	// An impossible SLO must report a violation, not ok.
+	tight := newTestServer(t, Config{SLOTargetP99: time.Nanosecond})
+	postEvaluate(t, tight.Handler(), `{"kernel":"sdk_vectoradd"}`)
+	rec2 := httptest.NewRecorder()
+	tight.Handler().ServeHTTP(rec2, httptest.NewRequest("GET", "/readyz?verbose=1", nil))
+	var tightDoc sloSummary
+	if err := json.Unmarshal(rec2.Body.Bytes(), &tightDoc); err != nil {
+		t.Fatal(err)
+	}
+	if tightDoc.SLO == nil || tightDoc.SLO.OK {
+		t.Fatalf("1ns SLO reported ok: %+v", tightDoc.SLO)
+	}
+}
+
+// TestNewMetricsLintConformance is the satellite conformance test: after
+// traffic on every instrumented route, the exposition must carry each
+// new per-route and per-stage family under its sanitized name and still
+// pass promtext.Lint in full.
+func TestNewMetricsLintConformance(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{Metrics: reg, Runtime: runtimecollector.New(reg)})
+	postEvaluate(t, s.Handler(), `{"kernel":"sdk_vectoradd"}`)
+	for _, path := range []string{"/v1/kernels?version=1", "/healthz", "/readyz", "/debug/flightrec"} {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s: %d", path, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.Bytes()
+	if err := promtext.Lint(body); err != nil {
+		t.Fatalf("lint: %v\n%s", err, body)
+	}
+	for _, fam := range []string{
+		"gpumech_serve_route_evaluate_seconds_bucket",
+		"gpumech_serve_route_kernels_seconds_bucket",
+		"gpumech_serve_route_healthz_seconds_bucket",
+		"gpumech_serve_route_readyz_seconds_bucket",
+		"gpumech_serve_route_flightrec_seconds_bucket",
+		"gpumech_serve_stage_decode_seconds_sum",
+		"gpumech_serve_stage_session_seconds_sum",
+		"gpumech_serve_stage_estimate_seconds_sum",
+		"gpumech_serve_stage_encode_seconds_sum",
+	} {
+		if !strings.Contains(string(body), fam) {
+			t.Errorf("scrape missing family %q", fam)
+		}
+	}
+	// Every new sample must parse back out (ParseSamples is what
+	// gpumech-bench uses to read the stage breakdown).
+	samples, err := promtext.ParseSamples(body)
+	if err != nil {
+		t.Fatalf("ParseSamples on own scrape: %v", err)
+	}
+	var stageCount float64
+	for _, smp := range samples {
+		if smp.Name == "gpumech_serve_stage_estimate_seconds_count" {
+			stageCount = smp.Value
+		}
+	}
+	if stageCount < 1 {
+		t.Fatalf("estimate stage count %g, want >= 1", stageCount)
+	}
+}
+
+// TestMetricsEndpointLintClean scrapes a live httptest server — real TCP,
+// real HTTP client — and holds the body to promtext.Lint, closing the
+// gap between in-process handler tests and what Prometheus actually
+// fetches.
+func TestMetricsEndpointLintClean(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{Metrics: reg, Runtime: runtimecollector.New(reg)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json",
+		strings.NewReader(`{"kernel":"sdk_vectoradd","policy":"gto"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != promtext.ContentType {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	if err := promtext.Lint(body); err != nil {
+		t.Fatalf("live scrape fails lint: %v\n%s", err, body)
+	}
+}
+
+// TestEvaluateIdenticalWithObservability extends the PR 2/3 identity
+// gates to the new instrumentation: with metrics, tracing AND the flight
+// recorder all live, /v1/evaluate must answer byte-identically to a
+// server with every observability feature disabled.
+func TestEvaluateIdenticalWithObservability(t *testing.T) {
+	quiet := quietLogger()
+	bare := New(Config{Logger: quiet, FlightRecorderSize: -1})
+	full := New(Config{
+		Logger:  quiet,
+		Metrics: obs.NewRegistry(),
+		Tracer:  obs.NewTracer(),
+	})
+	for _, body := range []string{
+		`{"kernel":"sdk_vectoradd","policy":"gto","warps":16}`,
+		`{"kernel":"micro_copy","policy":"rr","level":"mshr","mshrs":64}`,
+	} {
+		a := postEvaluate(t, bare.Handler(), body)
+		b := postEvaluate(t, full.Handler(), body)
+		if a.Code != 200 || b.Code != 200 {
+			t.Fatalf("%s: status %d/%d", body, a.Code, b.Code)
+		}
+		if !bytes.Equal(a.Body.Bytes(), b.Body.Bytes()) {
+			t.Errorf("observability changed the response for %s:\n--- bare ---\n%s--- full ---\n%s",
+				body, a.Body.String(), b.Body.String())
+		}
+	}
+}
+
+// TestLogSummary pins the drain summary line: one structured record with
+// totals, p50/p99 and the shed count.
+func TestLogSummary(t *testing.T) {
+	var buf bytes.Buffer
+	s := newTestServer(t, Config{Logger: slog.New(slog.NewJSONHandler(&buf, nil)), MaxInFlight: 1})
+	postEvaluate(t, s.Handler(), `{"kernel":"sdk_vectoradd"}`)
+	// Force one shed so the summary has something to count.
+	s.sem <- struct{}{}
+	postEvaluate(t, s.Handler(), `{"kernel":"sdk_vectoradd"}`)
+	<-s.sem
+	buf.Reset()
+	s.LogSummary()
+
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(buf.String())), &rec); err != nil {
+		t.Fatalf("summary not one JSON record: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "serve summary" {
+		t.Fatalf("msg %q", rec["msg"])
+	}
+	if rec["requests"].(float64) < 2 || rec["shed"].(float64) != 1 {
+		t.Fatalf("summary counts wrong: %v", rec)
+	}
+	p50, _ := rec["p50Seconds"].(float64)
+	p99, _ := rec["p99Seconds"].(float64)
+	if p50 <= 0 || p99 < p50 {
+		t.Fatalf("summary percentiles wrong: p50=%v p99=%v", p50, p99)
+	}
+}

@@ -24,13 +24,24 @@
 //	DELETE /v1/sweeps/{id} cancel the job between evaluation points
 //	GET  /metrics       Prometheus text exposition (internal/obs/promtext)
 //	GET  /healthz       liveness: 200 while the process runs
-//	GET  /readyz        readiness: 200, or 503 once draining
+//	GET  /readyz        readiness: 200, or 503 once draining;
+//	                    ?verbose=1 adds a JSON latency/SLO summary
+//	                    (p50/p90/p99 from the request histogram, shed and
+//	                    error counts, per-stage means)
+//	GET  /debug/flightrec  the flight recorder: the N most recent and N
+//	                    slowest requests with per-stage span trees;
+//	                    ?id=<req id> returns one record, and
+//	                    &format=chrome renders it as a Chrome trace
+//	                    (Trace Event JSON for Perfetto/chrome://tracing)
 //
 // Production behaviours: bounded in-flight evaluation concurrency with
 // 429 load-shedding, per-request timeouts (504), structured JSON request
 // logs (log/slog) carrying a per-request ID that is also threaded into
-// the request's obs span tree, and a drain switch the binary flips on
-// SIGINT/SIGTERM so load balancers stop routing before Shutdown.
+// the request's obs span tree, per-route and per-stage latency
+// histograms, an always-on bounded flight recorder for post-hoc latency
+// forensics, and a drain switch the binary flips on SIGINT/SIGTERM so
+// load balancers stop routing before Shutdown (logging one final latency
+// summary so short-lived runs leave a record without a scrape).
 package serve
 
 import (
@@ -50,6 +61,7 @@ import (
 	"gpumech"
 	"gpumech/internal/kernels"
 	"gpumech/internal/obs"
+	"gpumech/internal/obs/chrometrace"
 	"gpumech/internal/obs/promtext"
 	"gpumech/internal/obs/runtimecollector"
 	"gpumech/internal/parallel"
@@ -98,6 +110,16 @@ type Config struct {
 	// census fast; production leaves the default.
 	KernelProbeBlocks int
 
+	// FlightRecorderSize bounds each flight-recorder board: the N most
+	// recent and N slowest requests kept for /debug/flightrec (default
+	// 32; negative disables the recorder entirely).
+	FlightRecorderSize int
+
+	// SLOTargetP99 is the p99 request-latency objective reported by
+	// /readyz?verbose=1. Zero means no target: the summary still carries
+	// the percentiles, just no ok/violated verdict.
+	SLOTargetP99 time.Duration
+
 	// Logger receives one structured record per request (default:
 	// slog.Default).
 	Logger *slog.Logger
@@ -144,6 +166,8 @@ type Server struct {
 	census     map[string]kernelCensus
 	censusErr  error
 
+	flight *obs.FlightRecorder
+
 	requests      *obs.Counter
 	shed          *obs.Counter
 	timeouts      *obs.Counter
@@ -154,6 +178,10 @@ type Server struct {
 	latency       *obs.Histogram
 	evaluate      *obs.Histogram
 	sweepDuration *obs.Histogram
+	stageDecode   *obs.Histogram
+	stageSession  *obs.Histogram
+	stageEstimate *obs.Histogram
+	stageEncode   *obs.Histogram
 	statusCls     [6]*obs.Counter // index by status/100; [0] unused
 }
 
@@ -189,6 +217,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxRunningSweeps <= 0 {
 		cfg.MaxRunningSweeps = 2
 	}
+	if cfg.FlightRecorderSize == 0 {
+		cfg.FlightRecorderSize = 32
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
@@ -201,6 +232,7 @@ func New(cfg Config) *Server {
 		sessions: make(map[sessionKey]*sessionEntry),
 		sweeps:   make(map[string]*sweepJob),
 		sweepSem: make(chan struct{}, cfg.MaxRunningSweeps),
+		flight:   obs.NewFlightRecorder(cfg.FlightRecorderSize),
 
 		requests:      cfg.Metrics.Counter("serve.requests"),
 		shed:          cfg.Metrics.Counter("serve.shed"),
@@ -212,6 +244,10 @@ func New(cfg Config) *Server {
 		latency:       cfg.Metrics.Histogram("serve.request.seconds"),
 		evaluate:      cfg.Metrics.Histogram("serve.evaluate.seconds"),
 		sweepDuration: cfg.Metrics.Histogram("serve.sweep.seconds"),
+		stageDecode:   cfg.Metrics.Histogram("serve.stage.decode.seconds"),
+		stageSession:  cfg.Metrics.Histogram("serve.stage.session.seconds"),
+		stageEstimate: cfg.Metrics.Histogram("serve.stage.estimate.seconds"),
+		stageEncode:   cfg.Metrics.Histogram("serve.stage.encode.seconds"),
 	}
 	for c := 1; c < len(s.statusCls); c++ {
 		s.statusCls[c] = cfg.Metrics.Counter(fmt.Sprintf("serve.status.%dxx", c))
@@ -229,16 +265,11 @@ func New(cfg Config) *Server {
 		s.cached.Set(float64(len(s.sessions)))
 		s.mu.Unlock()
 	}))
+	s.mux.Handle("GET /debug/flightrec", s.instrument("flightrec", s.handleFlightRec))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	}))
-	s.mux.Handle("GET /readyz", s.instrument("readyz", func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		fmt.Fprintln(w, "ok")
-	}))
+	s.mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	return s
 }
 
@@ -262,12 +293,15 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // requestState carries per-request bookkeeping from the instrumentation
 // middleware into handlers (via context): the request ID, the request's
-// span, and extra attributes handlers want logged. It is only touched by
-// the handler goroutine.
+// span, extra attributes handlers want logged, and the identity fields
+// the flight recorder keeps (kernel and profile key, set by the evaluate
+// handler). It is only touched by the handler goroutine.
 type requestState struct {
-	id    string
-	span  *obs.Span
-	attrs []slog.Attr
+	id         string
+	span       *obs.Span
+	attrs      []slog.Attr
+	kernel     string
+	profileKey string
 }
 
 type ctxKey struct{}
@@ -288,13 +322,28 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// probeRoutes are health/introspection endpoints: their requests are
+// instrumented like any other but kept out of the flight recorder, so a
+// load balancer's probe loop cannot wash real traffic out of the ring.
+var probeRoutes = map[string]bool{"healthz": true, "readyz": true, "flightrec": true}
+
 // instrument wraps a handler with the request lifecycle: ID allocation,
-// span, status capture, latency metrics, and one structured log record.
+// span (tracer-attached when tracing is on, detached otherwise so the
+// flight recorder still gets a per-stage tree), status capture, total and
+// per-route latency histograms, the flight record, and one structured
+// log record.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	routeLatency := s.cfg.Metrics.Histogram("serve.route." + route + ".seconds")
+	recorded := !probeRoutes[route]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		st := &requestState{id: fmt.Sprintf("%s-%d", s.idPrefix, s.idSeq.Add(1))}
 		st.span = s.base.StartSpan("http." + route)
+		if st.span == nil && s.flight != nil && recorded {
+			// Tracing is off but the flight recorder wants the stage
+			// tree: give the request a detached root span.
+			st.span = obs.NewRootSpan("http." + route)
+		}
 		st.span.SetStr("req.id", st.id)
 
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
@@ -305,8 +354,21 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		st.span.End()
 		s.requests.Inc()
 		s.latency.Observe(elapsed.Seconds())
+		routeLatency.Observe(elapsed.Seconds())
 		if cls := sw.status / 100; cls >= 1 && cls < len(s.statusCls) {
 			s.statusCls[cls].Inc()
+		}
+		if s.flight != nil && recorded {
+			s.flight.Add(obs.FlightRecord{
+				ID:         st.id,
+				Route:      route,
+				Kernel:     st.kernel,
+				ProfileKey: st.profileKey,
+				Status:     sw.status,
+				Start:      start,
+				Seconds:    elapsed.Seconds(),
+				Span:       st.span.Record(),
+			})
 		}
 
 		level := slog.LevelInfo
@@ -370,11 +432,16 @@ func parseEvaluate(r *http.Request) (req EvaluateRequest, pol gpumech.Policy, lv
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	st := stateFrom(r.Context())
+	decodeStart := time.Now()
+	dsp := st.span.Child("decode")
 	req, pol, lvl, err := parseEvaluate(r)
+	dsp.End()
+	s.stageDecode.Observe(time.Since(decodeStart).Seconds())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	st.kernel = req.Kernel
 	st.attrs = append(st.attrs,
 		slog.String("kernel", req.Kernel),
 		slog.String("policy", req.Policy),
@@ -443,7 +510,11 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 // It runs on the evaluation goroutine; the request's span is threaded in
 // so pipeline spans nest under the request.
 func (s *Server) runEvaluation(req EvaluateRequest, pol gpumech.Policy, lvl gpumech.Level, st *requestState) ([]byte, int, error) {
+	sessionStart := time.Now()
+	ssp := st.span.Child("session")
 	sess, err := s.session(req.Kernel, req.Blocks)
+	ssp.End()
+	s.stageSession.Observe(time.Since(sessionStart).Seconds())
 	if err != nil {
 		if errors.Is(err, errCacheFull) {
 			return nil, http.StatusServiceUnavailable, err
@@ -460,7 +531,10 @@ func (s *Server) runEvaluation(req EvaluateRequest, pol gpumech.Policy, lvl gpum
 	if req.BW > 0 {
 		cfg = cfg.WithBandwidth(req.BW)
 	}
+	st.profileKey = cfg.ProfileKey().String()
+	st.span.SetStr("profileKey", st.profileKey)
 
+	estimateStart := time.Now()
 	view := sess.Observing(s.base.WithSpan(st.span))
 	est, err := view.EstimateWith(cfg, pol, lvl, gpumech.Clustering)
 	if err != nil {
@@ -472,9 +546,16 @@ func (s *Server) runEvaluation(req EvaluateRequest, pol gpumech.Policy, lvl gpum
 			return nil, http.StatusInternalServerError, err
 		}
 	}
+	s.stageEstimate.Observe(time.Since(estimateStart).Seconds())
+
+	encodeStart := time.Now()
+	esp := st.span.Child("encode")
 	var buf bytes.Buffer
-	if err := runjson.Encode(&buf, runjson.Result(sess, pol, lvl, est, orc)); err != nil {
-		return nil, http.StatusInternalServerError, err
+	encErr := runjson.Encode(&buf, runjson.Result(sess, pol, lvl, est, orc))
+	esp.End()
+	s.stageEncode.Observe(time.Since(encodeStart).Seconds())
+	if encErr != nil {
+		return nil, http.StatusInternalServerError, encErr
 	}
 	return buf.Bytes(), http.StatusOK, nil
 }
@@ -612,6 +693,150 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	runjson.Encode(w, out)
+}
+
+// sloSummary is the /readyz?verbose=1 document: the service's latency
+// posture at a glance, computed from the same histograms /metrics
+// exports so a dashboard and the endpoint can never disagree.
+type sloSummary struct {
+	Status   string  `json:"status"` // "ready" or "draining"
+	Requests int64   `json:"requests"`
+	Shed     int64   `json:"shed"`
+	Timeouts int64   `json:"timeouts"`
+	Latency  latency `json:"latency"`
+	Stages   stages  `json:"stages"`
+	SLO      *slo    `json:"slo,omitempty"`
+}
+
+type latency struct {
+	Count      int64   `json:"count"`
+	P50Seconds float64 `json:"p50Seconds"`
+	P90Seconds float64 `json:"p90Seconds"`
+	P99Seconds float64 `json:"p99Seconds"`
+	MaxSeconds float64 `json:"maxSeconds"`
+}
+
+// stages carries the mean seconds per serve-level pipeline stage.
+type stages struct {
+	Decode   float64 `json:"decodeMeanSeconds"`
+	Session  float64 `json:"sessionMeanSeconds"`
+	Estimate float64 `json:"estimateMeanSeconds"`
+	Encode   float64 `json:"encodeMeanSeconds"`
+}
+
+type slo struct {
+	TargetP99Seconds float64 `json:"targetP99Seconds"`
+	P99Seconds       float64 `json:"p99Seconds"`
+	OK               bool    `json:"ok"`
+}
+
+// handleReadyz answers readiness. The bare endpoint keeps its original
+// ok/draining contract for load balancers; ?verbose=1 upgrades the body
+// to the JSON SLO summary (still 503 while draining, so probes that
+// ignore the body keep working).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load()
+	if r.URL.Query().Get("verbose") == "" {
+		if draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	doc := sloSummary{
+		Status:   "ready",
+		Requests: s.requests.Value(),
+		Shed:     s.shed.Value(),
+		Timeouts: s.timeouts.Value(),
+	}
+	if draining {
+		doc.Status = "draining"
+	}
+	snap := s.cfg.Metrics.Snapshot()
+	h := snap.Histograms["serve.request.seconds"]
+	doc.Latency = latency{
+		Count:      h.Count,
+		P50Seconds: h.Quantile(0.50),
+		P90Seconds: h.Quantile(0.90),
+		P99Seconds: h.Quantile(0.99),
+		MaxSeconds: h.Max,
+	}
+	doc.Stages = stages{
+		Decode:   snap.Histograms["serve.stage.decode.seconds"].Mean,
+		Session:  snap.Histograms["serve.stage.session.seconds"].Mean,
+		Estimate: snap.Histograms["serve.stage.estimate.seconds"].Mean,
+		Encode:   snap.Histograms["serve.stage.encode.seconds"].Mean,
+	}
+	if s.cfg.SLOTargetP99 > 0 {
+		target := s.cfg.SLOTargetP99.Seconds()
+		doc.SLO = &slo{
+			TargetP99Seconds: target,
+			P99Seconds:       doc.Latency.P99Seconds,
+			OK:               doc.Latency.P99Seconds <= target,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	runjson.Encode(w, doc)
+}
+
+// handleFlightRec serves the flight recorder. Bare: the full snapshot
+// (recent ring newest-first, slowest board). ?id=<req id>: one record.
+// With &format=chrome the span tree(s) render as a Chrome trace instead
+// of the JSON record — per-request with id, whole-recorder without.
+func (s *Server) handleFlightRec(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		writeError(w, http.StatusNotFound, errors.New("flight recorder disabled"))
+		return
+	}
+	q := r.URL.Query()
+	chrome := q.Get("format") == "chrome"
+	if id := q.Get("id"); id != "" {
+		rec, ok := s.flight.Find(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no flight record for request %q (rotated out or never seen)", id))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if chrome {
+			chrometrace.WriteOne(w, rec.Span)
+			return
+		}
+		runjson.Encode(w, rec)
+		return
+	}
+	snap := s.flight.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	if chrome {
+		// Oldest-first so the exported timeline reads left to right.
+		records := make([]obs.SpanRecord, 0, len(snap.Recent))
+		for i := len(snap.Recent) - 1; i >= 0; i-- {
+			records = append(records, snap.Recent[i].Span)
+		}
+		chrometrace.Write(w, records)
+		return
+	}
+	runjson.Encode(w, snap)
+}
+
+// LogSummary emits one structured latency summary line — totals, p50/p99
+// from the request histogram, shed and timeout counts — so a short-lived
+// run leaves a latency record in its logs even when nothing ever scraped
+// /metrics. The daemon calls it after the drain completes.
+func (s *Server) LogSummary() {
+	h := s.cfg.Metrics.Snapshot().Histograms["serve.request.seconds"]
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "serve summary",
+		slog.Int64("requests", s.requests.Value()),
+		slog.Int64("shed", s.shed.Value()),
+		slog.Int64("timeouts", s.timeouts.Value()),
+		slog.Int64("latencyCount", h.Count),
+		slog.Float64("p50Seconds", h.Quantile(0.50)),
+		slog.Float64("p99Seconds", h.Quantile(0.99)),
+		slog.Float64("maxSeconds", h.Max),
+	)
 }
 
 // writeError emits the uniform error body {"error": "..."}.
