@@ -40,7 +40,10 @@ import (
 )
 
 // report is the BENCH_serve.json schema. schemaVersion guards readers
-// against silent shape drift.
+// against silent shape drift: version 2 added the optional gateway and
+// store sections, present when the benched target's /metrics carries
+// cluster.* or store.* samples (a gpumech-gateway, or a gpumech-serve
+// started with -profile-store).
 type report struct {
 	SchemaVersion   int                  `json:"schemaVersion"`
 	Seed            int64                `json:"seed"`
@@ -55,6 +58,8 @@ type report struct {
 	Cold            latencyStats         `json:"cold"`
 	Warm            latencyStats         `json:"warm"`
 	Stages          map[string]stageMean `json:"stages"`
+	Gateway         *gatewaySection      `json:"gateway,omitempty"`
+	Store           *storeSection        `json:"store,omitempty"`
 }
 
 type workloadDoc struct {
@@ -74,11 +79,17 @@ type evaluateBody struct {
 	Blocks int    `json:"blocks,omitempty"`
 }
 
-// outcome is one executed request's result.
+// outcome is one executed request's result. route and node are set only
+// when the target is a gateway (it stamps X-Gpumech-Node): together they
+// record which backend served each routing key, the mapping the CI
+// determinism gate compares across runs — immune to request coalescing,
+// which makes raw per-node counts timing-dependent.
 type outcome struct {
 	seconds float64
 	status  int
 	cold    bool
+	route   string
+	node    string
 }
 
 func main() {
@@ -227,7 +238,7 @@ func assemble(seed int64, rps float64, duration time.Duration, concurrency int,
 	sorted := append([]string(nil), kernels...)
 	sort.Strings(sorted)
 	return report{
-		SchemaVersion:   1,
+		SchemaVersion:   2,
 		Seed:            seed,
 		TargetRPS:       rps,
 		DurationSeconds: duration.Seconds(),
@@ -246,6 +257,8 @@ func assemble(seed int64, rps float64, duration time.Duration, concurrency int,
 		Cold:        summarize(coldS),
 		Warm:        summarize(warmS),
 		Stages:      stageMeans(before, after),
+		Gateway:     gatewayStats(before, after, results),
+		Store:       storeStats(before, after),
 	}
 }
 
@@ -273,7 +286,13 @@ func issue(client *http.Client, base string, r benchReq) outcome {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return outcome{seconds: time.Since(t0).Seconds(), status: resp.StatusCode, cold: r.Cold}
+	return outcome{
+		seconds: time.Since(t0).Seconds(),
+		status:  resp.StatusCode,
+		cold:    r.Cold,
+		route:   fmt.Sprintf("%s|%d", r.Kernel, r.Blocks),
+		node:    resp.Header.Get("X-Gpumech-Node"),
+	}
 }
 
 // kernelNames resolves the kernel mix: the -kernels flag verbatim, or

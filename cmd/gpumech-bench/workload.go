@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"gpumech/internal/obs/promtext"
 )
@@ -136,6 +137,118 @@ func summarize(seconds []float64) latencyStats {
 type stageMean struct {
 	Count       float64 `json:"count"`
 	MeanSeconds float64 `json:"meanSeconds"`
+}
+
+// gatewaySection reports what the gateway did during the bench window,
+// from diffing its cluster.* counters: how much traffic it proxied, how
+// much it coalesced or failed over, and how the keys spread over the
+// backends (the per-node request deltas CI diffs across runs to pin
+// routing determinism).
+type gatewaySection struct {
+	Requests  float64 `json:"requests"`
+	Coalesced float64 `json:"coalesced"`
+	Failover  float64 `json:"failover"`
+	NoBackend float64 `json:"noBackend"`
+
+	// NodeRequests is the per-backend request delta. Informative, not a
+	// determinism gate: coalescing collapses concurrent duplicates, so
+	// the counts wander with timing even under a pinned seed.
+	NodeRequests map[string]float64 `json:"nodeRequests,omitempty"`
+
+	// Routes maps each routing key ("kernel|blocks") to the backend
+	// that served it, from the X-Gpumech-Node response header. THIS is
+	// the determinism gate: a seeded gateway must produce the identical
+	// mapping on every run, coalescing or not.
+	Routes map[string]string `json:"routes,omitempty"`
+}
+
+// storeSection reports profile-store activity during the bench window —
+// a store-warm daemon shows hits with zero puts; a cold one the reverse.
+type storeSection struct {
+	Hits    float64 `json:"hits"`
+	Misses  float64 `json:"misses"`
+	Puts    float64 `json:"puts"`
+	Corrupt float64 `json:"corrupt"`
+}
+
+// sampleValue finds one sample by exposition name; absent means 0.
+func sampleValue(samples []promtext.Sample, name string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// gatewayStats diffs the gateway counters across the bench window and
+// folds in the per-key routing observed from response headers. Nil when
+// the target exposes no cluster counters — i.e. it is a plain
+// gpumech-serve.
+func gatewayStats(before, after []promtext.Sample, results []outcome) *gatewaySection {
+	if _, ok := sampleValue(after, "gpumech_cluster_requests_total"); !ok {
+		return nil
+	}
+	delta := func(name string) float64 {
+		b, _ := sampleValue(before, name)
+		a, _ := sampleValue(after, name)
+		return a - b
+	}
+	g := &gatewaySection{
+		Requests:  delta("gpumech_cluster_requests_total"),
+		Coalesced: delta("gpumech_cluster_coalesced_total"),
+		Failover:  delta("gpumech_cluster_failover_total"),
+		NoBackend: delta("gpumech_cluster_no_backend_total"),
+	}
+	const pre, suf = "gpumech_cluster_node_", "_requests_total"
+	for _, s := range after {
+		if strings.HasPrefix(s.Name, pre) && strings.HasSuffix(s.Name, suf) {
+			node := strings.TrimSuffix(strings.TrimPrefix(s.Name, pre), suf)
+			if g.NodeRequests == nil {
+				g.NodeRequests = make(map[string]float64)
+			}
+			g.NodeRequests[node] = delta(s.Name)
+		}
+	}
+	for _, o := range results {
+		if o.node == "" {
+			continue
+		}
+		if g.Routes == nil {
+			g.Routes = make(map[string]string)
+		}
+		g.Routes[o.route] = o.node
+	}
+	return g
+}
+
+// storeStats diffs the profile-store counters across the bench window.
+// Nil when the target has no store configured (it then registers none
+// of the store.* counters).
+func storeStats(before, after []promtext.Sample) *storeSection {
+	names := [...]string{"gpumech_store_hits_total", "gpumech_store_misses_total",
+		"gpumech_store_puts_total", "gpumech_store_corrupt_total"}
+	present := false
+	for _, n := range names {
+		if _, ok := sampleValue(after, n); ok {
+			present = true
+			break
+		}
+	}
+	if !present {
+		return nil
+	}
+	delta := func(name string) float64 {
+		b, _ := sampleValue(before, name)
+		a, _ := sampleValue(after, name)
+		return a - b
+	}
+	return &storeSection{
+		Hits:    delta(names[0]),
+		Misses:  delta(names[1]),
+		Puts:    delta(names[2]),
+		Corrupt: delta(names[3]),
+	}
 }
 
 // serveStages are the pipeline stages gpumech-serve times individually.

@@ -134,8 +134,11 @@ func TestAssemble(t *testing.T) {
 		{seconds: 0.03, status: 500},
 	}
 	rep := assemble(1, 25, 2*time.Second, 4, []string{"a"}, plan, results, time.Second, nil, nil)
-	if rep.SchemaVersion != 1 || rep.Workload.ColdRequests != 1 || rep.Workload.WarmRequests != 3 {
+	if rep.SchemaVersion != 2 || rep.Workload.ColdRequests != 1 || rep.Workload.WarmRequests != 3 {
 		t.Fatalf("report shape: %+v", rep)
+	}
+	if rep.Gateway != nil || rep.Store != nil {
+		t.Fatalf("plain serve target grew gateway/store sections: %+v", rep)
 	}
 	if rep.Shed429 != 1 || rep.Errors != 1 {
 		t.Fatalf("error accounting: shed=%d errors=%d", rep.Shed429, rep.Errors)
@@ -145,5 +148,67 @@ func TestAssemble(t *testing.T) {
 	}
 	if math.Abs(rep.RPSAchieved-3.0) > 1e-12 {
 		t.Fatalf("rpsAchieved %g, want 3", rep.RPSAchieved)
+	}
+}
+
+// TestGatewayStats diffs synthetic gateway scrapes, including the
+// per-node request deltas the CI determinism gate compares.
+func TestGatewayStats(t *testing.T) {
+	if g := gatewayStats(nil, nil, nil); g != nil {
+		t.Fatalf("non-gateway target produced a gateway section: %+v", g)
+	}
+	before := []promtext.Sample{
+		{Name: "gpumech_cluster_requests_total", Value: 10},
+		{Name: "gpumech_cluster_node_127_0_0_1_8080_requests_total", Value: 6},
+	}
+	after := []promtext.Sample{
+		{Name: "gpumech_cluster_requests_total", Value: 110},
+		{Name: "gpumech_cluster_coalesced_total", Value: 7},
+		{Name: "gpumech_cluster_failover_total", Value: 1},
+		{Name: "gpumech_cluster_node_127_0_0_1_8080_requests_total", Value: 66},
+		{Name: "gpumech_cluster_node_127_0_0_1_8081_requests_total", Value: 40},
+	}
+	results := []outcome{
+		{status: 200, route: "sdk_vectoradd|0", node: "http://127.0.0.1:8080"},
+		{status: 200, route: "micro_copy|64", node: "http://127.0.0.1:8081"},
+		{status: 200, route: ""}, // direct hit without a gateway header: skipped
+	}
+	g := gatewayStats(before, after, results)
+	if g == nil {
+		t.Fatal("gateway section missing")
+	}
+	if g.Requests != 100 || g.Coalesced != 7 || g.Failover != 1 || g.NoBackend != 0 {
+		t.Fatalf("gateway deltas: %+v", g)
+	}
+	want := map[string]float64{"127_0_0_1_8080": 60, "127_0_0_1_8081": 40}
+	if !reflect.DeepEqual(g.NodeRequests, want) {
+		t.Fatalf("node deltas = %v, want %v", g.NodeRequests, want)
+	}
+	wantRoutes := map[string]string{
+		"sdk_vectoradd|0": "http://127.0.0.1:8080",
+		"micro_copy|64":   "http://127.0.0.1:8081",
+	}
+	if !reflect.DeepEqual(g.Routes, wantRoutes) {
+		t.Fatalf("routes = %v, want %v", g.Routes, wantRoutes)
+	}
+}
+
+// TestStoreStats diffs synthetic profile-store scrapes.
+func TestStoreStats(t *testing.T) {
+	if s := storeStats(nil, nil); s != nil {
+		t.Fatalf("storeless target produced a store section: %+v", s)
+	}
+	before := []promtext.Sample{{Name: "gpumech_store_hits_total", Value: 2}}
+	after := []promtext.Sample{
+		{Name: "gpumech_store_hits_total", Value: 5},
+		{Name: "gpumech_store_misses_total", Value: 4},
+		{Name: "gpumech_store_puts_total", Value: 4},
+	}
+	s := storeStats(before, after)
+	if s == nil {
+		t.Fatal("store section missing")
+	}
+	if s.Hits != 3 || s.Misses != 4 || s.Puts != 4 || s.Corrupt != 0 {
+		t.Fatalf("store deltas: %+v", s)
 	}
 }

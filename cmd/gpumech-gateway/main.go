@@ -1,0 +1,123 @@
+// Command gpumech-gateway fronts a fleet of gpumech-serve backends with
+// consistent-hash routing: every kernel×grid key is pinned to one node
+// (rendezvous hashing), so each backend's session cache and profile
+// store see every repeat of the keys it owns. Identical concurrent
+// requests are coalesced into one backend call, connection-dead nodes
+// are failed over to the key's next-preferred node with backoff, and
+// the node set can be changed at runtime via POST /admin/nodes.
+//
+// Endpoints: POST /v1/evaluate and GET /v1/kernels (proxied), GET
+// /metrics (gateway's own registry, Prometheus text), GET /healthz
+// (gateway liveness), GET /readyz (503 until a backend is healthy),
+// GET+POST /admin/nodes.
+//
+// Usage:
+//
+//	gpumech-gateway -addr 127.0.0.1:9090 \
+//	    -nodes 127.0.0.1:8080,127.0.0.1:8081 -retries 1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gpumech/internal/cluster"
+	"gpumech/internal/obs/obsflag"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "listen address (port 0 picks a free port)")
+	nodes := flag.String("nodes", "", "comma-separated gpumech-serve backends (host:port or http:// base URLs)")
+	seed := flag.Uint64("seed", 0, "rendezvous hash seed; replicas that must route identically share it")
+	retries := flag.Int("retries", 1, "extra backends to try after a connection error (0 = first choice only)")
+	retryBackoff := flag.Duration("retry-backoff", 50*time.Millisecond, "pause before each failover attempt")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "backend health probe period (0 disables)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-backend-request timeout")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "shutdown grace period for in-flight requests")
+	ob := obsflag.Register(flag.CommandLine)
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
+	ob.RequireMetrics()
+	observer, err := ob.Setup()
+	if err != nil {
+		fail(err)
+	}
+
+	var backends []string
+	for _, n := range strings.Split(*nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			backends = append(backends, n)
+		}
+	}
+	if len(backends) == 0 {
+		fail(fmt.Errorf("no backends: pass -nodes host:port[,host:port...]"))
+	}
+
+	gw, err := cluster.New(cluster.Config{
+		Nodes:          backends,
+		Seed:           *seed,
+		Retries:        *retries,
+		RetryBackoff:   *retryBackoff,
+		HealthInterval: *healthInterval,
+		Client:         &http.Client{Timeout: *timeout},
+		Logger:         logger,
+		Metrics:        observer.Metrics,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer gw.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	// Script-friendly address handshake, same shape as gpumech-serve.
+	fmt.Printf("gpumech-gateway: listening on %s\n", ln.Addr())
+	logger.Info("listening", slog.String("addr", ln.Addr().String()),
+		slog.Int("backends", len(backends)))
+
+	httpSrv := &http.Server{
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelWarn),
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		stop()
+		logger.Info("draining", slog.Duration("grace", *drainTimeout))
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			logger.Error("shutdown", slog.String("error", err.Error()))
+		}
+	case err := <-errCh:
+		fail(err)
+	}
+
+	if err := ob.Finish(); err != nil {
+		fail(err)
+	}
+	logger.Info("stopped")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "gpumech-gateway:", err)
+	os.Exit(1)
+}

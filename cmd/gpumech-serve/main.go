@@ -46,6 +46,7 @@ func main() {
 	maxSweepJobs := flag.Int("max-sweep-jobs", 32, "sweep job table size; finished jobs are evicted oldest-first when full")
 	maxRunningSweeps := flag.Int("max-running-sweeps", 2, "concurrently evaluating sweeps; excess jobs wait queued")
 	traceCache := flag.String("trace-cache", "", "directory of reusable columnar trace files; empty disables the cache")
+	profileStore := flag.String("profile-store", "", "directory of the content-addressed profile store; warm profiles survive restarts and are shared across processes (empty disables)")
 	flightRec := flag.Int("flightrec", 32, "flight recorder board size (N most recent + N slowest requests at /debug/flightrec); negative disables")
 	sloP99 := flag.Duration("slo-p99", 0, "p99 request-latency objective reported by /readyz?verbose=1 (0 = no target)")
 	ob := obsflag.Register(flag.CommandLine)
@@ -79,6 +80,7 @@ func main() {
 		MaxSweepJobs:       *maxSweepJobs,
 		MaxRunningSweeps:   *maxRunningSweeps,
 		TraceCacheDir:      *traceCache,
+		ProfileStoreDir:    *profileStore,
 		FlightRecorderSize: *flightRec,
 		SLOTargetP99:       *sloP99,
 		Logger:             logger,

@@ -137,7 +137,7 @@ func TestTraceCacheReuse(t *testing.T) {
 		t.Errorf("cache-hit session estimate differs:\n want %s\n  got %s", want, got)
 	}
 	// The cached trace must load columnar, not as materialized rows.
-	if second.trace.Warps[0].Col() == nil {
+	if second.lazy.tr.Warps[0].Col() == nil {
 		t.Error("cache-hit trace is not columnar-backed")
 	}
 }

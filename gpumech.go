@@ -33,6 +33,7 @@ import (
 	"gpumech/internal/core/model"
 	"gpumech/internal/kernels"
 	"gpumech/internal/obs"
+	"gpumech/internal/store"
 	"gpumech/internal/timing"
 	"gpumech/internal/trace"
 )
@@ -149,12 +150,13 @@ func KernelInfos() []KernelInfo {
 type Option func(*sessionOpts)
 
 type sessionOpts struct {
-	blocks     int
-	seed       int64
-	line       int
-	workers    int
-	obs        *obs.Observer
-	traceCache string
+	blocks       int
+	seed         int64
+	line         int
+	workers      int
+	obs          *obs.Observer
+	traceCache   string
+	profileStore string
 }
 
 // WithBlocks sets the number of thread blocks to launch. The default
@@ -178,6 +180,23 @@ func WithWorkers(n int) Option { return func(o *sessionOpts) { o.workers = n } }
 // overwritten, never trusted.
 func WithTraceCache(dir string) Option { return func(o *sessionOpts) { o.traceCache = dir } }
 
+// WithProfileStore points the session at a content-addressed, disk-
+// backed store of structural prep (internal/store): the cache profile,
+// per-PC latency table, per-warp interval profiles, and clustering
+// representative, keyed by kernel, grid, seed, line size, and every
+// configuration field they depend on. With a store configured the
+// session defers tracing entirely: an estimate whose prep is already on
+// disk never runs the emulator or the cache simulator, so warm profiles
+// survive process restarts and are shareable across processes pointed
+// at the same directory. Corrupt, truncated, or version-skewed entries
+// are detected by checksum and rebuilt from scratch — estimates are
+// byte-identical with and without the store.
+//
+// NewSessionFromTraceFile ignores this option: a foreign trace file's
+// seed and line-size identity is unknown, and keying the store on a
+// guess could alias different traces.
+func WithProfileStore(dir string) Option { return func(o *sessionOpts) { o.profileStore = dir } }
+
 // WithObserver attaches an observability handle: every pipeline stage the
 // session runs (tracing, cache simulation, interval profiling,
 // clustering, the multi-warp and contention models, CPI-stack
@@ -198,14 +217,49 @@ func WithObserver(o *Observer) Option { return func(so *sessionOpts) { so.obs = 
 type Session struct {
 	name    string
 	info    *kernels.Info // nil for sessions loaded from a trace file
-	trace   *trace.Kernel
 	workers int
 	obs     *obs.Observer
+
+	// Resolved trace identity: the grid, input seed, and cache line size
+	// the kernel is (or will be) traced with. Together with the kernel
+	// name and the configuration they form the profile store's key.
+	blocks int
+	seed   int64
+	line   int
+
+	traceCacheDir string
+
+	// store, when non-nil, is the content-addressed disk store of
+	// structural prep; sessions with one defer tracing until an estimate
+	// actually misses it.
+	store *store.Store
+
+	// lazy holds the kernel trace, built at most once per session (at
+	// creation without a store, on first need with one), plus the
+	// metadata a store hit can answer without the trace existing.
+	lazy *lazyTrace
 
 	// memo is shared by every view of this session (see Observing): the
 	// trace is simulated per configuration at most once process-wide no
 	// matter which view asked first.
 	memo *profileMemo
+
+	// prep memoizes store entries (disk hits and fresh builds alike) per
+	// store key, so a warm key costs one disk read per process.
+	prep *prepMemo
+}
+
+// lazyTrace is the session's at-most-once trace cell. The mutex also
+// guards the store-supplied metadata, which lets a store-hit session
+// answer Warps and TotalInsts without ever running the emulator.
+type lazyTrace struct {
+	mu  sync.Mutex
+	tr  *trace.Kernel
+	err error
+
+	metaKnown  bool
+	warps      int
+	totalInsts int64
 }
 
 // profileMemo memoizes cache profiles per configuration key; each entry
@@ -218,6 +272,19 @@ type profileMemo struct {
 type profileOnce struct {
 	once sync.Once
 	p    *cache.Profile
+	err  error
+}
+
+// prepMemo memoizes structural prep per store key; each entry resolves
+// once (disk hit or build-and-put) and is shared by every waiter.
+type prepMemo struct {
+	mu      sync.Mutex
+	entries map[store.Key]*prepOnce
+}
+
+type prepOnce struct {
+	once sync.Once
+	e    *store.Entry
 	err  error
 }
 
@@ -246,7 +313,10 @@ func DefaultBlocks(warpsPerBlock int) int {
 }
 
 // NewSession builds the named kernel, runs the functional emulator, and
-// returns a session holding its trace.
+// returns a session holding its trace. With a profile store configured
+// (WithProfileStore) tracing is deferred: the emulator runs only when an
+// estimate, oracle, or baseline actually needs the trace, so a store-warm
+// session never pays for it.
 func NewSession(kernel string, opts ...Option) (*Session, error) {
 	info, err := kernels.Get(kernel)
 	if err != nil {
@@ -259,51 +329,85 @@ func NewSession(kernel string, opts ...Option) (*Session, error) {
 	if o.blocks == 0 {
 		o.blocks = DefaultBlocks(info.WarpsPerBlock)
 	}
-	sp := o.obs.StartSpan("trace")
-	sp.SetStr("kernel", kernel)
-	start := time.Now()
-	tr, err := sessionTrace(info, &o)
-	if err != nil {
-		sp.End()
+	s := &Session{
+		name:          info.Name,
+		info:          info,
+		workers:       o.workers,
+		obs:           o.obs,
+		blocks:        o.blocks,
+		seed:          o.seed,
+		line:          o.line,
+		traceCacheDir: o.traceCache,
+		lazy:          &lazyTrace{},
+		memo:          &profileMemo{profiles: make(map[cache.ProfileKey]*profileOnce)},
+		prep:          &prepMemo{entries: make(map[store.Key]*prepOnce)},
+	}
+	if o.profileStore != "" {
+		if s.store, err = store.Open(o.profileStore, o.obs); err != nil {
+			return nil, err
+		}
+		// Defer tracing: the whole point of the store is that a warm key
+		// never runs the emulator. Trace errors surface on first use.
+		return s, nil
+	}
+	if _, err := s.kernelTrace(o.obs); err != nil {
 		return nil, err
 	}
-	o.obs.ObserveSince("stage.trace.seconds", start)
+	return s, nil
+}
+
+// kernelTrace returns the session's trace, building it on first need:
+// straight from the emulator by default, or through the columnar trace
+// cache when one is configured. The build happens at most once; the
+// error, if any, is sticky (trace failures are deterministic).
+func (s *Session) kernelTrace(o *obs.Observer) (*trace.Kernel, error) {
+	s.lazy.mu.Lock()
+	defer s.lazy.mu.Unlock()
+	if s.lazy.tr != nil || s.lazy.err != nil {
+		return s.lazy.tr, s.lazy.err
+	}
+	sp := o.StartSpan("trace")
+	sp.SetStr("kernel", s.name)
+	start := time.Now()
+	tr, err := buildTrace(s.info, s.blocks, s.seed, s.line, s.traceCacheDir)
+	if err != nil {
+		sp.End()
+		s.lazy.err = err
+		return nil, err
+	}
+	o.ObserveSince("stage.trace.seconds", start)
 	sp.SetInt("blocks", int64(tr.Blocks))
 	sp.SetInt("warps", int64(len(tr.Warps)))
 	sp.SetInt("instructions", tr.TotalInsts())
 	sp.End()
-	if o.obs != nil && o.obs.Metrics != nil {
-		o.obs.Counter("trace.kernels").Inc()
-		o.obs.Counter("trace.instructions").Add(tr.TotalInsts())
+	if o != nil && o.Metrics != nil {
+		o.Counter("trace.kernels").Inc()
+		o.Counter("trace.instructions").Add(tr.TotalInsts())
 	}
-	return &Session{
-		name:    info.Name,
-		info:    info,
-		trace:   tr,
-		workers: o.workers,
-		obs:     o.obs,
-		memo:    &profileMemo{profiles: make(map[cache.ProfileKey]*profileOnce)},
-	}, nil
+	s.lazy.tr = tr
+	s.lazy.metaKnown = true
+	s.lazy.warps = len(tr.Warps)
+	s.lazy.totalInsts = tr.TotalInsts()
+	return tr, nil
 }
 
-// sessionTrace produces the session's kernel trace: straight from the
-// emulator by default, or through the columnar trace cache when one is
-// configured.
-func sessionTrace(info *kernels.Info, o *sessionOpts) (*trace.Kernel, error) {
-	scale := kernels.Scale{Blocks: o.blocks, Seed: o.seed}
-	if o.traceCache == "" {
-		return info.Trace(scale, o.line)
+// buildTrace produces a kernel trace: straight from the emulator by
+// default, or through the columnar trace cache when one is configured.
+func buildTrace(info *kernels.Info, blocks int, seed int64, line int, cacheDir string) (*trace.Kernel, error) {
+	scale := kernels.Scale{Blocks: blocks, Seed: seed}
+	if cacheDir == "" {
+		return info.Trace(scale, line)
 	}
-	path := filepath.Join(o.traceCache,
-		fmt.Sprintf("%s_b%d_s%d_l%d.trace", info.Name, o.blocks, o.seed, o.line))
+	path := filepath.Join(cacheDir,
+		fmt.Sprintf("%s_b%d_s%d_l%d.trace", info.Name, blocks, seed, line))
 	if tr, err := trace.LoadStream(path); err == nil && tr.Name == info.Name {
 		return tr, nil
 	}
-	tr, err := info.TraceColumnar(scale, o.line)
+	tr, err := info.TraceColumnar(scale, line)
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(o.traceCache, 0o755); err != nil {
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
 		return nil, fmt.Errorf("gpumech: trace cache: %w", err)
 	}
 	if err := tr.Save(path); err != nil {
@@ -335,24 +439,71 @@ func NewSessionFromTraceFile(path string, opts ...Option) (*Session, error) {
 	return &Session{
 		name:    tr.Name,
 		info:    info,
-		trace:   tr,
 		workers: o.workers,
 		obs:     o.obs,
-		memo:    &profileMemo{profiles: make(map[cache.ProfileKey]*profileOnce)},
+		blocks:  tr.Blocks,
+		seed:    o.seed,
+		line:    o.line,
+		lazy: &lazyTrace{tr: tr, metaKnown: true,
+			warps: len(tr.Warps), totalInsts: tr.TotalInsts()},
+		memo: &profileMemo{profiles: make(map[cache.ProfileKey]*profileOnce)},
+		prep: &prepMemo{entries: make(map[store.Key]*prepOnce)},
 	}, nil
 }
 
 // Kernel returns the session's kernel name.
 func (s *Session) Kernel() string { return s.name }
 
-// Blocks returns the traced grid size.
-func (s *Session) Blocks() int { return s.trace.Blocks }
+// Blocks returns the session's grid size (the traced one, or the one the
+// kernel will be traced with when tracing is still deferred).
+func (s *Session) Blocks() int { return s.blocks }
 
-// TotalInsts returns the number of traced warp-instructions.
-func (s *Session) TotalInsts() int64 { return s.trace.TotalInsts() }
+// TotalInsts returns the number of traced warp-instructions. On a
+// store-warm session the figure comes from the stored entry; a session
+// that has neither traced nor hit the store yet traces now.
+func (s *Session) TotalInsts() int64 {
+	s.lazy.mu.Lock()
+	if s.lazy.metaKnown {
+		n := s.lazy.totalInsts
+		s.lazy.mu.Unlock()
+		return n
+	}
+	s.lazy.mu.Unlock()
+	tr, err := s.kernelTrace(s.obs)
+	if err != nil {
+		return 0
+	}
+	return tr.TotalInsts()
+}
 
-// Warps returns the total number of warps in the trace.
-func (s *Session) Warps() int { return len(s.trace.Warps) }
+// Warps returns the total number of warps in the trace. Like TotalInsts
+// it is answerable from store metadata without the trace.
+func (s *Session) Warps() int {
+	s.lazy.mu.Lock()
+	if s.lazy.metaKnown {
+		n := s.lazy.warps
+		s.lazy.mu.Unlock()
+		return n
+	}
+	s.lazy.mu.Unlock()
+	tr, err := s.kernelTrace(s.obs)
+	if err != nil {
+		return 0
+	}
+	return len(tr.Warps)
+}
+
+// noteMeta records trace metadata learned from a store hit, so the
+// session can report Warps and TotalInsts without the trace.
+func (s *Session) noteMeta(warps int, totalInsts int64) {
+	s.lazy.mu.Lock()
+	if !s.lazy.metaKnown {
+		s.lazy.metaKnown = true
+		s.lazy.warps = warps
+		s.lazy.totalInsts = totalInsts
+	}
+	s.lazy.mu.Unlock()
+}
 
 // cacheProfile memoizes cache.Simulate per cache-geometry key
 // (config.Config.ProfileKey): the Config fields the profile depends on —
@@ -381,9 +532,14 @@ func (s *Session) cacheProfile(cfg Config, o *obs.Observer) (*cache.Profile, err
 	simulated := false
 	ent.once.Do(func() {
 		simulated = true
+		tr, err := s.kernelTrace(o)
+		if err != nil {
+			ent.err = err
+			return
+		}
 		sp := o.StartSpan("cache-sim")
 		start := time.Now()
-		ent.p, ent.err = cache.Simulate(s.trace, cfg.ProfileConfig())
+		ent.p, ent.err = cache.Simulate(tr, cfg.ProfileConfig())
 		o.ObserveSince("stage.cachesim.seconds", start)
 		sp.End()
 		if ent.err == nil && o != nil && o.Metrics != nil {
@@ -435,12 +591,19 @@ func (s *Session) EstimateWith(cfg Config, pol Policy, lvl Level, m Method) (*Es
 	sp.SetStr("policy", pol.String())
 	sp.SetStr("method", m.String())
 	o := s.obs.WithSpan(sp)
+	if s.store != nil {
+		return s.estimateStored(cfg, pol, lvl, m, o)
+	}
 	prof, err := s.cacheProfile(cfg, o)
 	if err != nil {
 		return nil, err
 	}
+	tr, err := s.kernelTrace(o)
+	if err != nil {
+		return nil, err
+	}
 	est, err := model.Run(model.Inputs{
-		Kernel:  s.trace,
+		Kernel:  tr,
 		Cfg:     cfg,
 		Profile: prof,
 		Policy:  pol,
@@ -452,6 +615,11 @@ func (s *Session) EstimateWith(cfg Config, pol Policy, lvl Level, m Method) (*Es
 	if err != nil {
 		return nil, err
 	}
+	return wrapEstimate(est), nil
+}
+
+// wrapEstimate converts the model-layer estimate into the public one.
+func wrapEstimate(est *model.Estimate) *Estimate {
 	return &Estimate{
 		CPI:               est.CPI,
 		IPC:               est.IPCPerCore(),
@@ -463,7 +631,125 @@ func (s *Session) EstimateWith(cfg Config, pol Policy, lvl Level, m Method) (*Es
 		Stack:             est.Stack,
 		Intervals:         len(est.RepProfile.Intervals),
 		WarpInsts:         est.RepProfile.Insts,
-	}, nil
+	}
+}
+
+// estimateStored is EstimateWith through the profile store: the
+// structural prep — cache profile, PC table, warp profiles, clustering
+// representative — comes from disk when the key is warm and is built,
+// persisted, and memoized when it is not. Either way the per-request
+// model stages (multi-warp, contention, CPI stack) run through exactly
+// the code model.Run runs, so estimates are byte-identical with and
+// without the store.
+func (s *Session) estimateStored(cfg Config, pol Policy, lvl Level, m Method, o *obs.Observer) (*Estimate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ent, err := s.prepEntry(store.KeyFor(s.name, s.blocks, s.seed, s.line, cfg), cfg, o)
+	if err != nil {
+		return nil, err
+	}
+	rep := ent.Rep
+	if m != Clustering {
+		// Only the clustering selection is worth persisting; Max and Min
+		// are single passes over the already-loaded profiles.
+		if rep, err = model.SelectRepresentative(ent.WarpProfiles, m, o); err != nil {
+			return nil, err
+		}
+	}
+	est, err := model.RunWithRepresentative(model.Inputs{
+		Cfg:     cfg,
+		Profile: ent.Profile,
+		Policy:  pol,
+		Method:  m,
+		Level:   lvl,
+		Workers: s.workers,
+		Obs:     o,
+	}, ent.Table, ent.WarpProfiles, rep)
+	if err != nil {
+		return nil, err
+	}
+	return wrapEstimate(est), nil
+}
+
+// prepEntry resolves the structural prep for one store key: the
+// in-process memo first, then the disk store, then a fresh build that is
+// persisted for the next process. Each key resolves at most once per
+// session; concurrent cold requests share one build.
+func (s *Session) prepEntry(key store.Key, cfg Config, o *obs.Observer) (*store.Entry, error) {
+	s.prep.mu.Lock()
+	po := s.prep.entries[key]
+	if po == nil {
+		po = &prepOnce{}
+		s.prep.entries[key] = po
+	}
+	s.prep.mu.Unlock()
+	po.once.Do(func() {
+		if e, ok := s.store.Get(key); ok {
+			po.e = e
+			s.noteMeta(e.Warps, e.TotalInsts)
+			s.seedProfile(cfg, e.Profile)
+			return
+		}
+		po.e, po.err = s.buildPrep(key, cfg, o)
+	})
+	return po.e, po.err
+}
+
+// buildPrep traces, simulates, and profiles one configuration from
+// scratch — the exact stages the storeless path runs, through the same
+// functions — then persists the result. A store write failure is
+// recorded on the store's counters but does not fail the estimate: the
+// prep in hand is valid either way.
+func (s *Session) buildPrep(key store.Key, cfg Config, o *obs.Observer) (*store.Entry, error) {
+	tr, err := s.kernelTrace(o)
+	if err != nil {
+		return nil, err
+	}
+	prof, err := s.cacheProfile(cfg, o)
+	if err != nil {
+		return nil, err
+	}
+	t, profiles, err := model.Structural(model.Inputs{
+		Kernel:  tr,
+		Cfg:     cfg,
+		Profile: prof,
+		Workers: s.workers,
+		Obs:     o,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := model.SelectRepresentative(profiles, Clustering, o)
+	if err != nil {
+		return nil, err
+	}
+	e := &store.Entry{
+		Key:          key,
+		Warps:        len(tr.Warps),
+		TotalInsts:   tr.TotalInsts(),
+		Profile:      prof,
+		Table:        t,
+		WarpProfiles: profiles,
+		Rep:          rep,
+	}
+	s.store.Put(key, e) // best-effort durability; errors are counted
+	return e, nil
+}
+
+// seedProfile installs a store-loaded cache profile into the profile
+// memo, so oracle-free flows that share the configuration's ProfileKey
+// (baselines, other latency/issue variants) skip the cache simulator too.
+func (s *Session) seedProfile(cfg Config, p *cache.Profile) {
+	key := cfg.ProfileKey()
+	s.memo.mu.Lock()
+	ent := s.memo.profiles[key]
+	if ent == nil {
+		ent = &profileOnce{}
+		s.memo.profiles[key] = ent
+	}
+	s.memo.mu.Unlock()
+	ent.once.Do(func() { ent.p = p })
 }
 
 // BaselineModel identifies one of the paper's comparison models.
@@ -495,8 +781,12 @@ func (s *Session) EstimateBaseline(cfg Config, b BaselineModel) (float64, error)
 	if err != nil {
 		return 0, err
 	}
-	t := model.BuildPCTable(s.trace.Prog, cfg, prof)
-	profiles, err := model.BuildWarpProfilesWorkers(s.trace, cfg, t, s.workers)
+	tr, err := s.kernelTrace(o)
+	if err != nil {
+		return 0, err
+	}
+	t := model.BuildPCTable(tr.Prog, cfg, prof)
+	profiles, err := model.BuildWarpProfilesWorkers(tr, cfg, t, s.workers)
 	if err != nil {
 		return 0, err
 	}
@@ -533,8 +823,13 @@ func (s *Session) Oracle(cfg Config, pol Policy) (*OracleResult, error) {
 	sp := s.obs.StartSpan("oracle")
 	sp.SetStr("kernel", s.name)
 	sp.SetStr("policy", pol.String())
+	tr, err := s.kernelTrace(s.obs)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
 	start := time.Now()
-	r, err := timing.Simulate(s.trace, cfg, pol)
+	r, err := timing.Simulate(tr, cfg, pol)
 	if err != nil {
 		sp.End()
 		return nil, err

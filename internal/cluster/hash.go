@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) hashing assigns every routing key a
+// total preference order over the node set. The properties the gateway
+// leans on:
+//
+//   - Deterministic: two gateways configured with the same seed rank the
+//     same nodes identically for every key, so a restarted or replicated
+//     gateway routes exactly like its predecessor (CI asserts this by
+//     diffing per-node request counts across runs).
+//   - Minimal disruption: removing a node only remaps the keys that
+//     ranked it first — every other key keeps its node, so warm session
+//     caches on the surviving nodes stay warm. Adding a node steals only
+//     the keys that rank the newcomer highest.
+//   - Failover for free: the ranking is a full preference list, so "try
+//     the next node" is simply the next element, and every gateway
+//     agrees on what "next" means.
+//
+// The score is the first 8 bytes of SHA-256 over seed|node|key — no
+// weighting, no virtual nodes; the node sets here are small (a handful
+// of gpumech-serve processes) and SHA-256 mixes far better than needed.
+
+// score ranks node for key under seed; higher wins.
+func score(seed uint64, node, key string) uint64 {
+	h := sha256.New()
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], seed)
+	h.Write(s[:])
+	h.Write([]byte(node))
+	h.Write([]byte{0}) // separator: node/key boundaries must not alias
+	h.Write([]byte(key))
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// rank orders nodes by descending preference for key. Ties (possible
+// only through astronomically unlikely hash collisions or duplicate
+// node names) break lexically so the order is still total.
+func rank(seed uint64, nodes []string, key string) []string {
+	type scored struct {
+		node string
+		s    uint64
+	}
+	ss := make([]scored, len(nodes))
+	for i, n := range nodes {
+		ss[i] = scored{node: n, s: score(seed, n, key)}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].s != ss[j].s {
+			return ss[i].s > ss[j].s
+		}
+		return ss[i].node < ss[j].node
+	})
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.node
+	}
+	return out
+}
+
+// routeKey derives the routing identity of an evaluate request: the
+// kernel and grid size, which together select the session (and therefore
+// the profile-store entry) a backend will build. All evaluations of one
+// kernel×grid land on one node, so its in-memory session cache sees
+// every repeat. Cache geometry is server-side configuration, not a
+// request field, so it does not belong in the key.
+func routeKey(kernel string, blocks int) string {
+	return fmt.Sprintf("%s|%d", kernel, blocks)
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func nodeSet(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+// TestRankDeterministic: the ranking is a pure function of (seed,
+// nodes, key) — input order of the node slice does not matter.
+func TestRankDeterministic(t *testing.T) {
+	nodes := nodeSet(5)
+	for i := 0; i < 50; i++ {
+		key := routeKey(fmt.Sprintf("kernel_%d", i), i%8)
+		a := rank(7, nodes, key)
+		b := rank(7, nodes, key)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("key %q ranked differently on repeat: %v vs %v", key, a, b)
+		}
+		// Reversed input order, same ranking.
+		rev := make([]string, len(nodes))
+		for j, n := range nodes {
+			rev[len(nodes)-1-j] = n
+		}
+		if c := rank(7, rev, key); !reflect.DeepEqual(a, c) {
+			t.Fatalf("key %q ranking depends on node input order: %v vs %v", key, a, c)
+		}
+	}
+}
+
+// TestRankSeedMatters: different seeds produce different placements for
+// at least some keys (replicas must share a seed to agree).
+func TestRankSeedMatters(t *testing.T) {
+	nodes := nodeSet(4)
+	diff := 0
+	for i := 0; i < 64; i++ {
+		key := routeKey(fmt.Sprintf("k%d", i), 8)
+		if rank(1, nodes, key)[0] != rank(2, nodes, key)[0] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("seed has no effect on placement")
+	}
+}
+
+// TestRankMinimalDisruption pins the property the gateway exists for:
+// removing one node remaps ONLY the keys that ranked it first; every
+// other key keeps its primary, so surviving backends stay warm.
+func TestRankMinimalDisruption(t *testing.T) {
+	nodes := nodeSet(5)
+	victim := nodes[2]
+	var without []string
+	for _, n := range nodes {
+		if n != victim {
+			without = append(without, n)
+		}
+	}
+	moved, kept := 0, 0
+	for i := 0; i < 200; i++ {
+		key := routeKey(fmt.Sprintf("kern_%c_%d", 'a'+i%26, i), 4+i%4)
+		before := rank(0, nodes, key)[0]
+		after := rank(0, without, key)[0]
+		if before == victim {
+			moved++
+			// The displaced key must land on its former second choice.
+			if want := rank(0, nodes, key)[1]; after != want {
+				t.Errorf("key %q: displaced to %s, want its second choice %s", key, after, want)
+			}
+		} else {
+			kept++
+			if after != before {
+				t.Errorf("key %q moved from %s to %s though its node survived", key, before, after)
+			}
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRankSpreads: 200 keys over 4 nodes should give every node a
+// non-trivial share (a catastrophically biased hash would starve one).
+func TestRankSpreads(t *testing.T) {
+	nodes := nodeSet(4)
+	load := map[string]int{}
+	for i := 0; i < 200; i++ {
+		load[rank(0, nodes, routeKey(fmt.Sprintf("spread_%d", i), 8))[0]]++
+	}
+	for _, n := range nodes {
+		if load[n] < 10 {
+			t.Errorf("node %s owns only %d/200 keys: %v", n, load[n], load)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct {
+		in, want string
+		ok       bool
+	}{
+		{"127.0.0.1:8080", "http://127.0.0.1:8080", true},
+		{"http://127.0.0.1:8080", "http://127.0.0.1:8080", true},
+		{"https://gpu.example.com", "https://gpu.example.com", true},
+		{"http://h:1/path/ignored", "http://h:1", true},
+		{"", "", false},
+		{"ftp://h:1", "", false},
+	}
+	for _, c := range cases {
+		got, err := normalize(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("normalize(%q) = %q, %v; want %q", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("normalize(%q) accepted, want error", c.in)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"gpumech/internal/obs"
+)
+
+// node is one gpumech-serve backend in the pool.
+type node struct {
+	base    string // normalized base URL, e.g. http://127.0.0.1:8080
+	healthy bool
+	lastErr string
+}
+
+// Pool is the gateway's live node set: a mutable, health-checked
+// collection of backend base URLs. Nodes can be added and removed while
+// the gateway serves (the admin endpoint calls Add/Remove); a background
+// prober flips health so the router skips dead backends before clients
+// pay a dial timeout for them.
+type Pool struct {
+	mu    sync.RWMutex
+	nodes map[string]*node
+
+	client   *http.Client
+	obs      *obs.Observer
+	interval time.Duration
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+	probing  bool
+}
+
+// NewPool builds a pool over the given backend addresses. Addresses may
+// be bare host:port (http:// is assumed) or full base URLs. The client
+// is used for health probes; the observer (nil-safe) receives
+// cluster.health.* counters and the cluster.nodes gauges.
+func NewPool(addrs []string, client *http.Client, o *obs.Observer) (*Pool, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	p := &Pool{
+		nodes:  make(map[string]*node),
+		client: client,
+		obs:    o,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, a := range addrs {
+		if err := p.Add(a); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// normalize canonicalizes an operator-supplied address to a base URL.
+func normalize(addr string) (string, error) {
+	if addr == "" {
+		return "", fmt.Errorf("cluster: empty node address")
+	}
+	u, err := url.Parse(addr)
+	if err != nil || u.Host == "" {
+		// Bare host:port: give it a scheme and reparse.
+		u, err = url.Parse("http://" + addr)
+		if err != nil || u.Host == "" {
+			return "", fmt.Errorf("cluster: bad node address %q", addr)
+		}
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return "", fmt.Errorf("cluster: unsupported scheme %q in %q", u.Scheme, addr)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+// Add inserts a node. A new node starts healthy — optimistically routable
+// straight away, so scaling out takes effect on the next request; the
+// first probe (or the first failed proxy attempt) corrects a wrong guess.
+// Adding an existing node is a no-op.
+func (p *Pool) Add(addr string) error {
+	base, err := normalize(addr)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.nodes[base]; !ok {
+		p.nodes[base] = &node{base: base, healthy: true}
+		p.obs.Counter("cluster.nodes.added").Inc()
+		p.gaugesLocked()
+	}
+	return nil
+}
+
+// Remove drops a node; in-flight requests to it complete, new requests
+// route around it immediately. Removing an unknown node is a no-op.
+func (p *Pool) Remove(addr string) error {
+	base, err := normalize(addr)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.nodes[base]; ok {
+		delete(p.nodes, base)
+		p.obs.Counter("cluster.nodes.removed").Inc()
+		p.gaugesLocked()
+	}
+	return nil
+}
+
+// gaugesLocked refreshes the node-count gauges; callers hold p.mu.
+func (p *Pool) gaugesLocked() {
+	total, healthy := 0, 0
+	for _, n := range p.nodes {
+		total++
+		if n.healthy {
+			healthy++
+		}
+	}
+	p.obs.Gauge("cluster.nodes").Set(float64(total))
+	p.obs.Gauge("cluster.nodes.healthy").Set(float64(healthy))
+}
+
+// Healthy returns the currently healthy node base URLs, sorted for
+// deterministic downstream ranking.
+func (p *Pool) Healthy() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		if n.healthy {
+			out = append(out, n.base)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodeStatus is one row of the admin node listing.
+type NodeStatus struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	LastErr string `json:"lastError,omitempty"`
+}
+
+// Status lists every node with its health, sorted by address.
+func (p *Pool) Status() []NodeStatus {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]NodeStatus, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		out = append(out, NodeStatus{Addr: n.base, Healthy: n.healthy, LastErr: n.lastErr})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// MarkUnhealthy records a proxy-observed failure: the router saw a
+// connection error, so the next requests should not wait for the prober
+// to notice. The node stays in the pool and recovers on its next
+// successful probe.
+func (p *Pool) MarkUnhealthy(base, reason string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n, ok := p.nodes[base]; ok && n.healthy {
+		n.healthy = false
+		n.lastErr = reason
+		p.obs.Counter("cluster.health.down").Inc()
+		p.gaugesLocked()
+	}
+}
+
+// Probe health-checks every node once: GET {base}/healthz with the
+// pool's client. Transitions are counted (cluster.health.up/down).
+func (p *Pool) Probe(ctx context.Context) {
+	p.mu.RLock()
+	bases := make([]string, 0, len(p.nodes))
+	for _, n := range p.nodes {
+		bases = append(bases, n.base)
+	}
+	p.mu.RUnlock()
+	sort.Strings(bases)
+
+	for _, base := range bases {
+		healthy, reason := p.probeOne(ctx, base)
+		p.mu.Lock()
+		n, ok := p.nodes[base]
+		if ok && n.healthy != healthy {
+			n.healthy = healthy
+			if healthy {
+				p.obs.Counter("cluster.health.up").Inc()
+			} else {
+				p.obs.Counter("cluster.health.down").Inc()
+			}
+			p.gaugesLocked()
+		}
+		if ok {
+			n.lastErr = reason
+		}
+		p.mu.Unlock()
+	}
+	p.obs.Counter("cluster.health.probes").Inc()
+}
+
+func (p *Pool) probeOne(ctx context.Context, base string) (bool, string) {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return false, err.Error()
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false, err.Error()
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Sprintf("healthz status %d", resp.StatusCode)
+	}
+	return true, ""
+}
+
+// StartProbing launches the background health loop at the given
+// interval (0 disables). Stop with Close.
+func (p *Pool) StartProbing(interval time.Duration) {
+	p.interval = interval
+	if interval <= 0 {
+		return
+	}
+	p.probing = true
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.Probe(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the health loop and waits for it to exit.
+func (p *Pool) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	if p.probing {
+		<-p.done
+	}
+}

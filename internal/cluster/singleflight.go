@@ -1,0 +1,53 @@
+package cluster
+
+import "sync"
+
+// flightGroup coalesces concurrent duplicate requests: while one call
+// for a key is in flight, later callers for the same key wait for its
+// result instead of issuing their own. The gateway keys flights by
+// routing key plus a digest of the request body, so only byte-identical
+// requests share a response — two different configurations of the same
+// kernel never alias.
+//
+// This matters most on a cold cluster: N clients asking for the same
+// uncached kernel at once would otherwise send N requests to the same
+// backend (rendezvous hashing guarantees they all pick it), each paying
+// for — or at least queueing behind — the same profile build. With
+// coalescing the backend sees exactly one.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	res *proxyResult
+	err error
+}
+
+// Do runs fn for key, or waits for an identical in-flight call and
+// shares its result. The third return reports whether this caller
+// shared rather than executed.
+func (g *flightGroup) Do(key string, fn func() (*proxyResult, error)) (*proxyResult, error, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.res, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.res, c.err, false
+}

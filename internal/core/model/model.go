@@ -202,18 +202,18 @@ func BuildWarpProfilesWorkers(k *trace.Kernel, cfg config.Config, t *interval.PC
 	return profiles, nil
 }
 
-// Run evaluates GPUMech on the inputs.
-func Run(in Inputs) (*Estimate, error) {
+// Structural computes the structural prep of one configuration: the
+// per-PC latency table and every warp's interval profile. It is the
+// first half of Run, exported so callers that persist or memoize prep
+// (the profile store, the accuracy harness) reuse exactly the code —
+// and exactly the spans and metrics — the one-shot path runs.
+func Structural(in Inputs) (*interval.PCTable, []*interval.Profile, error) {
 	if in.Kernel == nil {
-		return nil, fmt.Errorf("model: nil kernel trace")
-	}
-	if err := in.Cfg.Validate(); err != nil {
-		return nil, err
+		return nil, nil, fmt.Errorf("model: nil kernel trace")
 	}
 	if in.Profile == nil {
-		return nil, fmt.Errorf("model: nil cache profile (run cache.Simulate first)")
+		return nil, nil, fmt.Errorf("model: nil cache profile (run cache.Simulate first)")
 	}
-
 	o := in.Obs
 	start := time.Now()
 	t := BuildPCTable(in.Kernel.Prog, in.Cfg, in.Profile)
@@ -227,7 +227,7 @@ func Run(in Inputs) (*Estimate, error) {
 	profiles, err := BuildWarpProfilesWorkers(in.Kernel, in.Cfg, t, in.Workers)
 	if err != nil {
 		sp.End()
-		return nil, err
+		return nil, nil, err
 	}
 	o.ObserveSince("stage.interval_profiling.seconds", start)
 	sp.SetInt("warps", int64(len(profiles)))
@@ -241,17 +241,41 @@ func Run(in Inputs) (*Estimate, error) {
 		}
 		o.Counter("interval.warps_profiled").Add(int64(len(profiles)))
 	}
+	return t, profiles, nil
+}
 
-	sp = o.StartSpan("clustering")
-	start = time.Now()
-	rep, err := cluster.SelectObs(profiles, in.Method, o)
+// SelectRepresentative picks the representative warp under method m with
+// the clustering span and stage metric Run has always emitted.
+func SelectRepresentative(profiles []*interval.Profile, m cluster.Method, o *obs.Observer) (int, error) {
+	sp := o.StartSpan("clustering")
+	start := time.Now()
+	rep, err := cluster.SelectObs(profiles, m, o)
 	if err != nil {
 		sp.End()
-		return nil, err
+		return 0, err
 	}
 	o.ObserveSince("stage.clustering.seconds", start)
 	sp.SetInt("repWarp", int64(rep))
 	sp.End()
+	return rep, nil
+}
+
+// Run evaluates GPUMech on the inputs.
+func Run(in Inputs) (*Estimate, error) {
+	if in.Kernel == nil {
+		return nil, fmt.Errorf("model: nil kernel trace")
+	}
+	if err := in.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t, profiles, err := Structural(in)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := SelectRepresentative(profiles, in.Method, in.Obs)
+	if err != nil {
+		return nil, err
+	}
 	return runWithProfile(in, t, profiles, rep)
 }
 

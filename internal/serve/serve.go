@@ -86,8 +86,10 @@ type Config struct {
 
 	// MaxSessions caps the (kernel, blocks) session cache. Kernels are
 	// finite but blocks is client-controlled; the cap keeps a scanning
-	// client from growing the cache without bound. Past it, requests for
-	// new sessions get 503 (default 256).
+	// client from growing the cache without bound. At the cap a request
+	// for a new session evicts the least-recently-used idle session; 503
+	// remains only as the backstop when every cached session is busy
+	// (default 256).
 	MaxSessions int
 
 	// MaxSweepJobs bounds the async sweep job table. When full, POST
@@ -103,6 +105,13 @@ type Config struct {
 	// reusable columnar trace files (gpumech.WithTraceCache): restarts
 	// and new sessions skip re-emulation for traces already on disk.
 	TraceCacheDir string
+
+	// ProfileStoreDir, when non-empty, points sessions at a
+	// content-addressed disk store of structural prep
+	// (gpumech.WithProfileStore): a restarted daemon answers its first
+	// /v1/evaluate for a previously-seen key without re-tracing or
+	// re-simulating, and any number of daemons can share one directory.
+	ProfileStoreDir string
 
 	// KernelProbeBlocks overrides the grid size of the one-off kernel
 	// census backing GET /v1/kernels instruction counts (0: each
@@ -153,8 +162,9 @@ type Server struct {
 	idPrefix string
 	idSeq    atomic.Uint64
 
-	mu       sync.Mutex
-	sessions map[sessionKey]*sessionEntry
+	mu         sync.Mutex
+	sessions   map[sessionKey]*sessionEntry
+	sessionSeq uint64 // LRU clock; incremented under mu
 
 	sweepMu    sync.Mutex
 	sweeps     map[string]*sweepJob
@@ -171,6 +181,7 @@ type Server struct {
 	requests      *obs.Counter
 	shed          *obs.Counter
 	timeouts      *obs.Counter
+	evicted       *obs.Counter
 	inflight      *obs.Gauge
 	cached        *obs.Gauge
 	sweepsRunning *obs.Gauge
@@ -185,8 +196,8 @@ type Server struct {
 	statusCls     [6]*obs.Counter // index by status/100; [0] unused
 }
 
-// errCacheFull marks session-cache exhaustion: a capacity condition
-// (503), not a caller mistake (400).
+// errCacheFull marks session-cache exhaustion with every cached session
+// busy: a capacity condition (503), not a caller mistake (400).
 var errCacheFull = errors.New("session cache full")
 
 type sessionKey struct {
@@ -194,10 +205,17 @@ type sessionKey struct {
 	blocks int
 }
 
+// sessionEntry is one cached session. refs and lastUse are guarded by
+// Server.mu: refs counts the requests currently holding the entry (a
+// builder holds a ref for the whole build, so an entry mid-build is
+// never evicted), and lastUse orders idle entries for LRU eviction.
 type sessionEntry struct {
 	once sync.Once
 	sess *gpumech.Session
 	err  error
+
+	refs    int
+	lastUse uint64
 }
 
 // New builds a Server from cfg, applying defaults for unset fields.
@@ -237,6 +255,7 @@ func New(cfg Config) *Server {
 		requests:      cfg.Metrics.Counter("serve.requests"),
 		shed:          cfg.Metrics.Counter("serve.shed"),
 		timeouts:      cfg.Metrics.Counter("serve.timeouts"),
+		evicted:       cfg.Metrics.Counter("serve.sessions.evicted"),
 		inflight:      cfg.Metrics.Gauge("serve.inflight"),
 		cached:        cfg.Metrics.Gauge("serve.sessions.cached"),
 		sweepsRunning: cfg.Metrics.Gauge("serve.sweeps.running"),
@@ -512,7 +531,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runEvaluation(req EvaluateRequest, pol gpumech.Policy, lvl gpumech.Level, st *requestState) ([]byte, int, error) {
 	sessionStart := time.Now()
 	ssp := st.span.Child("session")
-	sess, err := s.session(req.Kernel, req.Blocks)
+	sess, release, err := s.acquireSession(req.Kernel, req.Blocks)
 	ssp.End()
 	s.stageSession.Observe(time.Since(sessionStart).Seconds())
 	if err != nil {
@@ -521,6 +540,9 @@ func (s *Server) runEvaluation(req EvaluateRequest, pol gpumech.Policy, lvl gpum
 		}
 		return nil, http.StatusBadRequest, err
 	}
+	// Hold the session for the whole evaluation: a held entry is never
+	// evicted, so an estimate can't race a concurrent eviction.
+	defer release()
 	cfg := gpumech.DefaultConfig()
 	if req.Warps > 0 {
 		cfg = cfg.WithWarps(req.Warps)
@@ -560,27 +582,39 @@ func (s *Server) runEvaluation(req EvaluateRequest, pol gpumech.Policy, lvl gpum
 	return buf.Bytes(), http.StatusOK, nil
 }
 
-// session returns the cached session for (kernel, blocks), tracing the
-// kernel on first use. Unknown kernels fail fast without consuming a
-// cache slot; concurrent first requests trace once (sync.Once).
-func (s *Server) session(kernel string, blocks int) (*gpumech.Session, error) {
+// acquireSession returns the cached session for (kernel, blocks),
+// tracing the kernel on first use, plus a release the caller must invoke
+// when the request is done with it. Unknown kernels fail fast without
+// consuming a cache slot; concurrent first requests trace once
+// (sync.Once). At MaxSessions a new key evicts the least-recently-used
+// idle session; only when every cached session is held by an in-flight
+// request does the cache answer errCacheFull (503) — the concurrent-
+// build backstop.
+func (s *Server) acquireSession(kernel string, blocks int) (*gpumech.Session, func(), error) {
 	key := sessionKey{kernel: kernel, blocks: blocks}
 	s.mu.Lock()
 	ent := s.sessions[key]
 	if ent == nil {
-		if len(s.sessions) >= s.cfg.MaxSessions {
+		if len(s.sessions) >= s.cfg.MaxSessions && !s.evictIdleLocked() {
 			s.mu.Unlock()
-			return nil, fmt.Errorf("%w (%d kernel/blocks variants)", errCacheFull, s.cfg.MaxSessions)
+			return nil, nil, fmt.Errorf("%w (%d kernel/blocks variants, all busy)",
+				errCacheFull, s.cfg.MaxSessions)
 		}
 		ent = &sessionEntry{}
 		s.sessions[key] = ent
 	}
+	ent.refs++
+	s.sessionSeq++
+	ent.lastUse = s.sessionSeq
 	s.mu.Unlock()
 
 	ent.once.Do(func() {
 		opts := []gpumech.Option{gpumech.WithObserver(s.base)}
 		if s.cfg.TraceCacheDir != "" {
 			opts = append(opts, gpumech.WithTraceCache(s.cfg.TraceCacheDir))
+		}
+		if s.cfg.ProfileStoreDir != "" {
+			opts = append(opts, gpumech.WithProfileStore(s.cfg.ProfileStoreDir))
 		}
 		if s.cfg.Workers > 0 {
 			opts = append(opts, gpumech.WithWorkers(s.cfg.Workers))
@@ -589,15 +623,46 @@ func (s *Server) session(kernel string, blocks int) (*gpumech.Session, error) {
 			opts = append(opts, gpumech.WithBlocks(blocks))
 		}
 		ent.sess, ent.err = gpumech.NewSession(kernel, opts...)
-		if ent.err != nil {
-			// Release the slot: a typo'd kernel name must not occupy the
-			// cache, and the next request re-checks the name.
-			s.mu.Lock()
-			delete(s.sessions, key)
-			s.mu.Unlock()
-		}
 	})
-	return ent.sess, ent.err
+	if ent.err != nil {
+		// Release the slot: a typo'd kernel name must not occupy the
+		// cache, and the next request re-checks the name.
+		s.mu.Lock()
+		ent.refs--
+		if s.sessions[key] == ent {
+			delete(s.sessions, key)
+		}
+		s.mu.Unlock()
+		return nil, nil, ent.err
+	}
+	release := func() {
+		s.mu.Lock()
+		ent.refs--
+		s.mu.Unlock()
+	}
+	return ent.sess, release, nil
+}
+
+// evictIdleLocked drops the least-recently-used idle session (refs == 0)
+// to make room for a new one. Caller holds s.mu. Returns false when
+// every entry is held by an in-flight request.
+func (s *Server) evictIdleLocked() bool {
+	var victimKey sessionKey
+	var victim *sessionEntry
+	for k, e := range s.sessions {
+		if e.refs > 0 {
+			continue
+		}
+		if victim == nil || e.lastUse < victim.lastUse {
+			victim, victimKey = e, k
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(s.sessions, victimKey)
+	s.evicted.Inc()
+	return true
 }
 
 // kernelCensus is the per-kernel metadata the v2 catalogue adds: the

@@ -325,16 +325,78 @@ func TestSessionCacheCapAndReuse(t *testing.T) {
 	if traced := reg.Counter("trace.kernels").Value(); traced != 1 {
 		t.Fatalf("trace.kernels = %d, want 1 (session must be cached)", traced)
 	}
-	// A different (kernel, blocks) key overflows the cap.
-	rec := postEvaluate(t, s.Handler(), `{"kernel":"micro_copy"}`)
-	if rec.Code != http.StatusServiceUnavailable {
-		t.Fatalf("over cap: %d, want 503: %s", rec.Code, rec.Body.String())
+	// A different (kernel, blocks) key at the cap evicts the idle LRU
+	// session instead of shedding.
+	if rec := postEvaluate(t, s.Handler(), `{"kernel":"micro_copy"}`); rec.Code != 200 {
+		t.Fatalf("over cap with idle session: %d, want 200 (LRU eviction): %s",
+			rec.Code, rec.Body.String())
+	}
+	if ev := reg.Counter("serve.sessions.evicted").Value(); ev != 1 {
+		t.Fatalf("serve.sessions.evicted = %d, want 1", ev)
 	}
 	// A bad kernel must not have consumed the only slot earlier.
 	s2 := newTestServer(t, Config{MaxSessions: 1})
 	postEvaluate(t, s2.Handler(), `{"kernel":"bad_kernel"}`)
 	if rec := postEvaluate(t, s2.Handler(), `{"kernel":"sdk_vectoradd"}`); rec.Code != 200 {
 		t.Fatalf("slot leaked to failed session: %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestSessionCacheChurnRecovers drives many distinct (kernel, blocks)
+// keys through a tiny cache and checks the service keeps answering: the
+// old permanent 503-on-full behavior is gone, every key evicts an idle
+// predecessor, and previously evicted keys come back cleanly.
+func TestSessionCacheChurnRecovers(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{Metrics: reg, MaxSessions: 2})
+	keys := []string{
+		`{"kernel":"sdk_vectoradd","blocks":2}`,
+		`{"kernel":"sdk_vectoradd","blocks":4}`,
+		`{"kernel":"sdk_vectoradd","blocks":6}`,
+		`{"kernel":"sdk_vectoradd","blocks":8}`,
+	}
+	for _, body := range keys {
+		if rec := postEvaluate(t, s.Handler(), body); rec.Code != 200 {
+			t.Fatalf("churn %s: %d: %s", body, rec.Code, rec.Body.String())
+		}
+	}
+	if ev := reg.Counter("serve.sessions.evicted").Value(); ev != 2 {
+		t.Fatalf("serve.sessions.evicted = %d, want 2", ev)
+	}
+	// The first key was evicted; it must come back with a fresh trace,
+	// not a 503.
+	if rec := postEvaluate(t, s.Handler(), keys[0]); rec.Code != 200 {
+		t.Fatalf("evicted key did not recover: %d: %s", rec.Code, rec.Body.String())
+	}
+	s.mu.Lock()
+	cached := len(s.sessions)
+	s.mu.Unlock()
+	if cached != 2 {
+		t.Fatalf("cache holds %d sessions, want 2 (cap)", cached)
+	}
+}
+
+// TestSessionCacheBusyBackstop pins the one case that still sheds: every
+// cached session is held by an in-flight request, so there is nothing
+// idle to evict.
+func TestSessionCacheBusyBackstop(t *testing.T) {
+	s := newTestServer(t, Config{MaxSessions: 1})
+	if rec := postEvaluate(t, s.Handler(), `{"kernel":"sdk_vectoradd"}`); rec.Code != 200 {
+		t.Fatalf("warm-up: %d", rec.Code)
+	}
+	// Hold the only session as an in-flight request would.
+	_, release, err := s.acquireSession("sdk_vectoradd", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := postEvaluate(t, s.Handler(), `{"kernel":"micro_copy"}`)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("busy cache: %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	release()
+	// Idle again: the same request now evicts and succeeds.
+	if rec := postEvaluate(t, s.Handler(), `{"kernel":"micro_copy"}`); rec.Code != 200 {
+		t.Fatalf("after release: %d, want 200: %s", rec.Code, rec.Body.String())
 	}
 }
 

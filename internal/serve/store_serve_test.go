@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"testing"
+
+	"gpumech/internal/obs"
+)
+
+// TestProfileStoreWarmRestart is the warm-restart acceptance proof: a
+// "restarted" daemon (a second Server over the same store directory)
+// answers its first /v1/evaluate for a previously-seen key without
+// re-tracing — asserted via the obs counters — and its response is
+// byte-identical to both the cold build and a storeless daemon.
+func TestProfileStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	const body = `{"kernel":"sdk_vectoradd","policy":"gto","warps":16,"blocks":8}`
+
+	// Reference: a daemon with no store at all.
+	plain := newTestServer(t, Config{})
+	recPlain := postEvaluate(t, plain.Handler(), body)
+	if recPlain.Code != 200 {
+		t.Fatalf("storeless: %d: %s", recPlain.Code, recPlain.Body.String())
+	}
+
+	// Cold daemon: builds the prep and persists it.
+	reg1 := obs.NewRegistry()
+	s1 := newTestServer(t, Config{Metrics: reg1, ProfileStoreDir: dir})
+	rec1 := postEvaluate(t, s1.Handler(), body)
+	if rec1.Code != 200 {
+		t.Fatalf("cold: %d: %s", rec1.Code, rec1.Body.String())
+	}
+	if rec1.Body.String() != recPlain.Body.String() {
+		t.Errorf("store-backed response differs from storeless response")
+	}
+	if n := reg1.Counter("trace.kernels").Value(); n != 1 {
+		t.Errorf("cold daemon trace.kernels = %d, want 1", n)
+	}
+	if n := reg1.Counter("store.puts").Value(); n != 1 {
+		t.Errorf("cold daemon store.puts = %d, want 1", n)
+	}
+
+	// "Restarted" daemon over the same directory: first request must be
+	// answered from disk — one store hit, zero traces, zero cache sims.
+	reg2 := obs.NewRegistry()
+	s2 := newTestServer(t, Config{Metrics: reg2, ProfileStoreDir: dir})
+	rec2 := postEvaluate(t, s2.Handler(), body)
+	if rec2.Code != 200 {
+		t.Fatalf("warm restart: %d: %s", rec2.Code, rec2.Body.String())
+	}
+	if rec2.Body.String() != rec1.Body.String() {
+		t.Errorf("warm-restart response not byte-identical to cold response:\n cold %s\n warm %s",
+			rec1.Body.String(), rec2.Body.String())
+	}
+	if n := reg2.Counter("trace.kernels").Value(); n != 0 {
+		t.Errorf("warm daemon trace.kernels = %d, want 0 (must not re-trace)", n)
+	}
+	if n := reg2.Counter("store.hits").Value(); n != 1 {
+		t.Errorf("warm daemon store.hits = %d, want 1", n)
+	}
+	if n := reg2.Counter("cache.profile.memo_misses").Value(); n != 0 {
+		t.Errorf("warm daemon ran the cache simulator (%d misses), want 0", n)
+	}
+}

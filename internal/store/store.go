@@ -1,0 +1,228 @@
+// Package store implements the content-addressed, disk-backed profile
+// store: the persistence layer for a session's structural prep — the
+// cache profile, per-PC latency table, per-warp interval profiles, and
+// clustering representative that GPUMech computes once per (kernel,
+// grid, cache geometry) and then reuses for every evaluation.
+//
+// Building that prep is the dominant cost of serving (the serve latency
+// study measured the estimate/session path at ~98% of service time), and
+// before this package it lived only in process memory: every restart of
+// gpumech-serve re-traced and re-simulated every kernel it had ever
+// warmed. The store makes warm profiles durable and shareable: any
+// number of processes can point at one directory, writers never tear
+// (atomic tmp+rename), and readers verify a checksum over the whole
+// entry so a corrupt or truncated file degrades to a cache miss and a
+// rebuild — never to a wrong profile.
+//
+// Entries are content-addressed: the file name is the SHA-256 of the
+// canonical key string (kernel, blocks, seed, line size, and every
+// configuration field the prep depends on), so distinct keys can never
+// collide on a path and equal keys always agree on one. The key is also
+// embedded in the entry header and re-verified on read, making even a
+// hash-collision or a mis-placed file a miss rather than an aliased
+// profile.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"gpumech/internal/cache"
+	"gpumech/internal/config"
+	"gpumech/internal/core/interval"
+	"gpumech/internal/obs"
+)
+
+// Key identifies one stored prep entry. It extends config.ProfileKey —
+// the cache-geometry identity that the cache profile depends on — with
+// the trace identity (kernel, blocks, seed, line size) and the
+// remaining configuration fields the PC table and interval profiles
+// fold in: the compute-class latencies and the issue width. Two
+// configurations with equal Keys produce byte-identical prep, so the
+// Key is the correct content address; configurations that differ only
+// in WarpsPerCore, MSHREntries or DRAMBandwidthGBps share an entry.
+type Key struct {
+	Kernel string
+	Blocks int
+	Seed   int64
+	Line   int
+
+	Profile config.ProfileKey
+
+	ALULatency  int
+	FPLatency   int
+	SFULatency  int
+	SMemLatency int
+	IssueWidth  int
+}
+
+// KeyFor derives the store key of a kernel trace identity under cfg.
+func KeyFor(kernel string, blocks int, seed int64, line int, cfg config.Config) Key {
+	return Key{
+		Kernel:      kernel,
+		Blocks:      blocks,
+		Seed:        seed,
+		Line:        line,
+		Profile:     cfg.ProfileKey(),
+		ALULatency:  cfg.ALULatency,
+		FPLatency:   cfg.FPLatency,
+		SFULatency:  cfg.SFULatency,
+		SMemLatency: cfg.SMemLatency,
+		IssueWidth:  cfg.IssueWidth,
+	}
+}
+
+// canonical renders the key as the string that is hashed into the
+// content address. Every field appears with a tag, so no two distinct
+// keys can render equal.
+func (k Key) canonical() string {
+	return fmt.Sprintf("v%d|kernel=%s|blocks=%d|seed=%d|line=%d|profile=%s|alu=%d|fp=%d|sfu=%d|smem=%d|issue=%d",
+		formatVersion, k.Kernel, k.Blocks, k.Seed, k.Line, k.Profile.String(),
+		k.ALULatency, k.FPLatency, k.SFULatency, k.SMemLatency, k.IssueWidth)
+}
+
+// Hash returns the content address of the key: the hex SHA-256 of its
+// canonical rendering.
+func (k Key) Hash() string {
+	sum := sha256.Sum256([]byte(k.canonical()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Entry is one stored prep: everything an evaluation needs beyond the
+// per-request model parameters, plus the session metadata the serving
+// document reports (warp count and traced instruction total), so a
+// store hit can answer /v1/evaluate without the trace ever existing in
+// the process.
+type Entry struct {
+	Key Key
+
+	Warps      int
+	TotalInsts int64
+
+	Profile      *cache.Profile
+	Table        *interval.PCTable
+	WarpProfiles []*interval.Profile
+
+	// Rep is the clustering-selected representative warp (the paper's
+	// default method). Max/Min selection is recomputed from
+	// WarpProfiles on demand; only clustering is worth persisting.
+	Rep int
+}
+
+// Store is a handle on one profile-store directory. It is safe for
+// concurrent use by any number of goroutines and processes: writes are
+// atomic renames of fully written temp files, and reads verify the
+// entry checksum before believing a byte of it.
+type Store struct {
+	dir string
+	obs *obs.Observer
+}
+
+// Open returns a store over dir, creating the directory if needed. The
+// observer (which may be nil) receives the store's counters: hits,
+// misses, corrupt entries, puts, and byte totals.
+func Open(dir string, o *obs.Observer) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir, obs: o}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the content-addressed path of k inside the store.
+func (s *Store) Path(k Key) string {
+	return filepath.Join(s.dir, k.Hash()+".gmpf")
+}
+
+// Get looks k up. The second return is false on any miss: absent entry,
+// unreadable file, wrong magic, version skew, truncation, checksum
+// mismatch, or a header key that does not equal k. A store can
+// therefore never serve a wrong profile — every defect degrades to
+// "rebuild it".
+func (s *Store) Get(k Key) (*Entry, bool) {
+	f, err := os.Open(s.Path(k))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.obs.Counter("store.misses").Inc()
+		} else {
+			s.obs.Counter("store.read_errors").Inc()
+			s.obs.Counter("store.misses").Inc()
+		}
+		return nil, false
+	}
+	defer f.Close()
+	e, n, err := decodeEntry(f)
+	if err != nil {
+		s.obs.Counter("store.corrupt").Inc()
+		s.obs.Counter("store.misses").Inc()
+		return nil, false
+	}
+	if e.Key != k {
+		// A file whose content was written for a different key (hash
+		// collision, copied file, tampering): a miss, never an alias.
+		s.obs.Counter("store.corrupt").Inc()
+		s.obs.Counter("store.misses").Inc()
+		return nil, false
+	}
+	s.obs.Counter("store.hits").Inc()
+	s.obs.Counter("store.read_bytes").Add(n)
+	return e, true
+}
+
+// Put writes e under k atomically: the entry is fully written and
+// synced to a temp file in the store directory, then renamed into
+// place. Concurrent writers of the same key race benignly — the key is
+// a pure function of the inputs, so both write identical content and
+// either rename wins. A reader never observes a partial entry.
+func (s *Store) Put(k Key, e *Entry) error {
+	e.Key = k
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		s.obs.Counter("store.put_errors").Inc()
+		return fmt.Errorf("store: %w", err)
+	}
+	n, err := encodeEntry(tmp, e)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), s.Path(k))
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		s.obs.Counter("store.put_errors").Inc()
+		return fmt.Errorf("store: writing %s: %w", k.Hash(), err)
+	}
+	s.obs.Counter("store.puts").Inc()
+	s.obs.Counter("store.write_bytes").Add(n)
+	return nil
+}
+
+// Len reports the number of entries currently in the store directory
+// (diagnostics and tests; the store itself never enumerates).
+func (s *Store) Len() (int, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, d := range ents {
+		if filepath.Ext(d.Name()) == ".gmpf" {
+			n++
+		}
+	}
+	return n, nil
+}

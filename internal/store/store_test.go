@@ -1,0 +1,307 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"gpumech/internal/cache"
+	"gpumech/internal/config"
+	"gpumech/internal/core/interval"
+	"gpumech/internal/isa"
+	"gpumech/internal/obs"
+)
+
+// testEntry builds a small synthetic prep entry. The values are
+// arbitrary but fixed, including awkward floats (negative zero, subnormal
+// magnitudes) that a text round-trip would mangle — the codec must
+// preserve them bit for bit.
+func testEntry(k Key) *Entry {
+	cfg := config.Baseline()
+	prof := &cache.Profile{Cfg: cfg, PCs: map[int]*cache.PCStats{
+		3: {Insts: 40, Reqs: 120, L1HitInsts: 10, L2HitInsts: 20, L2MissInsts: 10,
+			L1HitReqs: 30, L2HitReqs: 60, L2MissReqs: 30},
+		7: {IsStore: true, Insts: 8, Reqs: 8, L1HitInsts: 8, L1HitReqs: 8},
+		1: {Insts: 16, Reqs: 16, L2MissInsts: 16, L2MissReqs: 16},
+	}}
+	table := &interval.PCTable{
+		Latency:     []float64{0, 10.5, 0, 400.25, 0, 0, 0, 28},
+		L1MissRate:  []float64{0, 0.75, 0, 1, 0, 0, 0, 0},
+		L2MissRate:  []float64{0, 0.25, 0, 1, 0, 0, 0, 0},
+		DistL1:      []float64{0, 0.25, 0, 0, 0, 0, 0, 1},
+		DistL2:      []float64{0, 0.5, 0, 0, 0, 0, 0, 0},
+		DistDRAM:    []float64{0, 0.25, 0, 1, 0, 0, 0, 0},
+		MergeWindow: 32,
+	}
+	warps := []*interval.Profile{
+		{Insts: 64, Stall: 120.5, IssueRate: 1, Intervals: []interval.Interval{
+			{Insts: 32, StallCycles: 100, MemInsts: 4, MSHRReqs: 3.5, DRAMReqs: 1.25,
+				MSHRLoadInsts: 2, DRAMLoadInsts: 1, SFUInsts: 0, CausePC: 3, CauseClass: isa.Class(2)},
+			{Insts: 32, StallCycles: 20.5, MemInsts: 0, CausePC: -1, CauseClass: isa.Class(0)},
+		}},
+		{Insts: 64, Stall: math_Copysign0(), IssueRate: 1, Intervals: []interval.Interval{
+			{Insts: 64, StallCycles: 5e-324, MemInsts: 1, MSHRReqs: 1, CausePC: 7},
+		}},
+	}
+	return &Entry{Key: k, Warps: 2, TotalInsts: 128,
+		Profile: prof, Table: table, WarpProfiles: warps, Rep: 1}
+}
+
+// math_Copysign0 returns negative zero without tripping any constant
+// folding; Float64bits(-0) != Float64bits(0), so identity checks notice
+// if the codec drops the sign.
+func math_Copysign0() float64 {
+	z := 0.0
+	return -z
+}
+
+func testKey() Key {
+	return KeyFor("synthetic_kernel", 8, 42, 128, config.Baseline())
+}
+
+func openTestStore(t *testing.T) (*Store, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	s, err := Open(t.TempDir(), obs.NewObserver(reg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, reg
+}
+
+func mustPut(t *testing.T, s *Store, k Key, e *Entry) []byte {
+	t.Helper()
+	if err := s.Put(k, e); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(s.Path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, reg := openTestStore(t)
+	k := testKey()
+	want := testEntry(k)
+	raw := mustPut(t, s, k, want)
+
+	got, ok := s.Get(k)
+	if !ok {
+		t.Fatal("Get missed a just-written entry")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("decoded entry differs from encoded:\n got %+v\nwant %+v", got, want)
+	}
+	if h := reg.Counter("store.hits").Value(); h != 1 {
+		t.Errorf("store.hits = %d, want 1", h)
+	}
+	if n := reg.Counter("store.write_bytes").Value(); n != int64(len(raw)) {
+		t.Errorf("store.write_bytes = %d, want file size %d", n, len(raw))
+	}
+
+	// Determinism: encoding the same entry again writes identical bytes
+	// (the map section is sorted; floats are raw bits).
+	if again := mustPut(t, s, k, testEntry(k)); !bytes.Equal(again, raw) {
+		t.Errorf("second Put of equal entry produced different bytes (%d vs %d)", len(again), len(raw))
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v; want 1, nil", n, err)
+	}
+}
+
+// TestStoreDefectsDegradeToMiss is the crash-safety table: every way an
+// entry can be damaged on disk — truncation anywhere, a bad magic, a
+// flipped payload or checksum bit, a version from the future, trailing
+// garbage, or a file written for a different key — must read as a miss,
+// and a rebuild must restore the exact original bytes. The store can be
+// slow after a defect; it can never be wrong.
+func TestStoreDefectsDegradeToMiss(t *testing.T) {
+	k := testKey()
+	clean := func() []byte {
+		s, _ := openTestStore(t)
+		return mustPut(t, s, k, testEntry(k))
+	}()
+
+	versionSkewed := append([]byte(nil), clean...)
+	versionSkewed[4], versionSkewed[5] = 0x02, 0x00 // claim format version 2
+	// Recompute the trailer so the version field, not the checksum, is
+	// what the reader rejects.
+	sum := sha256.Sum256(versionSkewed[:len(versionSkewed)-sha256.Size])
+	copy(versionSkewed[len(versionSkewed)-sha256.Size:], sum[:])
+
+	badKeyFile := func() []byte {
+		s, _ := openTestStore(t)
+		other := KeyFor("other_kernel", 8, 42, 128, config.Baseline())
+		return mustPut(t, s, other, testEntry(other))
+	}()
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty file", nil},
+		{"shorter than trailer", clean[:10]},
+		{"truncated mid-header", clean[:40]},
+		{"truncated mid-body", clean[:len(clean)/2]},
+		{"missing last byte", clean[:len(clean)-1]},
+		{"bad magic", append([]byte("JUNK"), clean[4:]...)},
+		{"version skew", versionSkewed},
+		{"flipped payload bit", flip(clean, 8)},
+		{"flipped body bit", flip(clean, len(clean)/2)},
+		{"flipped checksum bit", flip(clean, len(clean)-1)},
+		{"trailing garbage", append(append([]byte(nil), clean...), 0xEE)},
+		{"entry for a different key", badKeyFile},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, reg := openTestStore(t)
+			if err := os.WriteFile(s.Path(k), tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if e, ok := s.Get(k); ok {
+				t.Fatalf("Get returned an entry (%d warps) from a damaged file", e.Warps)
+			}
+			if c := reg.Counter("store.corrupt").Value(); c != 1 {
+				t.Errorf("store.corrupt = %d, want 1", c)
+			}
+			if m := reg.Counter("store.misses").Value(); m != 1 {
+				t.Errorf("store.misses = %d, want 1", m)
+			}
+			if h := reg.Counter("store.hits").Value(); h != 0 {
+				t.Errorf("store.hits = %d, want 0", h)
+			}
+			// Rebuild over the damage: byte-identical to the pristine file.
+			rebuilt := mustPut(t, s, k, testEntry(k))
+			if !bytes.Equal(rebuilt, clean) {
+				t.Errorf("rebuilt entry differs from pristine bytes (%d vs %d)", len(rebuilt), len(clean))
+			}
+			if _, ok := s.Get(k); !ok {
+				t.Error("Get missed the rebuilt entry")
+			}
+		})
+	}
+}
+
+func flip(b []byte, i int) []byte {
+	c := append([]byte(nil), b...)
+	c[i] ^= 0x01
+	return c
+}
+
+// TestStoreTruncationSweep brute-forces every prefix length of a valid
+// entry: no truncation point may decode successfully.
+func TestStoreTruncationSweep(t *testing.T) {
+	k := testKey()
+	s, _ := openTestStore(t)
+	clean := mustPut(t, s, k, testEntry(k))
+	for n := 0; n < len(clean); n++ {
+		if _, _, err := decodeEntry(bytes.NewReader(clean[:n])); err == nil {
+			t.Fatalf("decodeEntry accepted a %d-byte prefix of a %d-byte entry", n, len(clean))
+		}
+	}
+	if _, _, err := decodeEntry(bytes.NewReader(clean)); err != nil {
+		t.Fatalf("decodeEntry rejected the full entry: %v", err)
+	}
+}
+
+// TestStoreConcurrentWriters races many writers of one key against
+// readers. Writers of equal content race benignly: every Put succeeds,
+// every concurrent Get is either a miss (before the first rename lands)
+// or a full, correct entry — never a tear — and the surviving file is
+// byte-identical to a serial write.
+func TestStoreConcurrentWriters(t *testing.T) {
+	s, _ := openTestStore(t)
+	k := testKey()
+	want := testEntry(k)
+
+	const writers, readers = 8, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Put(k, testEntry(k)); err != nil {
+				errs <- fmt.Errorf("concurrent Put: %w", err)
+			}
+		}()
+	}
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 16; j++ {
+				if e, ok := s.Get(k); ok && !reflect.DeepEqual(e, want) {
+					errs <- fmt.Errorf("concurrent Get observed a torn entry")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	got, err := os.ReadFile(s.Path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _ := openTestStore(t)
+	if ref := mustPut(t, serial, k, testEntry(k)); !bytes.Equal(got, ref) {
+		t.Errorf("post-race file differs from a serial write (%d vs %d bytes)", len(got), len(ref))
+	}
+	// No leaked temp files.
+	tmps, err := filepath.Glob(filepath.Join(s.Dir(), "put-*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmps) != 0 {
+		t.Errorf("leaked temp files after concurrent writes: %v", tmps)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v; want 1, nil", n, err)
+	}
+}
+
+// TestStoreKeyHashing pins the content-address properties: equal keys
+// share a path, any field change moves the path, and configurations
+// differing only in prep-irrelevant fields (warps, MSHRs, bandwidth)
+// share an entry.
+func TestStoreKeyHashing(t *testing.T) {
+	base := testKey()
+	if base.Hash() != testKey().Hash() {
+		t.Error("equal keys hashed differently")
+	}
+	variants := []Key{
+		func() Key { k := base; k.Kernel = "x"; return k }(),
+		func() Key { k := base; k.Blocks++; return k }(),
+		func() Key { k := base; k.Seed++; return k }(),
+		func() Key { k := base; k.Line *= 2; return k }(),
+		func() Key { k := base; k.ALULatency++; return k }(),
+		func() Key { k := base; k.FPLatency++; return k }(),
+		func() Key { k := base; k.SFULatency++; return k }(),
+		func() Key { k := base; k.SMemLatency++; return k }(),
+		func() Key { k := base; k.IssueWidth++; return k }(),
+	}
+	seen := map[string]bool{base.Hash(): true}
+	for i, v := range variants {
+		if seen[v.Hash()] {
+			t.Errorf("variant %d collides with an earlier key", i)
+		}
+		seen[v.Hash()] = true
+	}
+
+	cfg := config.Baseline()
+	if KeyFor("k", 8, 42, 128, cfg) != KeyFor("k", 8, 42, 128, cfg.WithWarps(4).WithMSHRs(99).WithBandwidth(1)) {
+		t.Error("prep-irrelevant config fields changed the store key")
+	}
+}
