@@ -2,17 +2,22 @@
 // (internal/check) from the command line:
 //
 //	gpumech-lint kernels [name ...]   verify bundled ISA kernels
+//	gpumech-lint perf [name ...]      static performance advisor
 //	gpumech-lint src [pattern ...]    run the determinism linter on Go source
 //
-// `kernels` with no names verifies the whole registry; `src` with no
-// patterns lints ./... from the module root. Findings print one per
-// line in the same format the emulator pre-flight uses; -json emits a
-// JSON array instead.
+// `kernels` with no names verifies the whole registry; `perf` with no
+// names advises on the whole registry; `src` with no patterns lints
+// ./... from the module root. Findings print one per line in the same
+// format the emulator pre-flight uses; -json emits a schema-versioned
+// JSON document instead ({"schema":1,"findings":[...]} for kernels and
+// src, {"schema":1,"kernels":[...]} for perf).
 //
 // Exit codes are vet-style: 0 when no error-severity finding was
 // reported, 1 when at least one was, 2 on usage or internal errors.
 // Warnings and infos never affect the exit code (use -strict to make
-// warnings count).
+// warnings count). The perf advisor only emits info- and
+// warning-severity findings, so `perf` exits 0 unless -strict is set
+// and a warning fired.
 //
 // Examples:
 //
@@ -20,6 +25,8 @@
 //	gpumech-lint kernels rodinia_bfs sdk_scan # two kernels, text output
 //	gpumech-lint -json kernels                # machine-readable findings
 //	gpumech-lint -min-severity=info kernels   # show observations too
+//	gpumech-lint perf sdk_transpose_naive     # bottleneck prediction
+//	gpumech-lint -json perf                   # advisor reports as JSON
 //	gpumech-lint src ./...                    # determinism lint, whole module
 package main
 
@@ -31,15 +38,20 @@ import (
 	"path/filepath"
 
 	"gpumech/internal/check"
+	"gpumech/internal/check/perf"
 	"gpumech/internal/kernels"
 )
 
+// lintSchema versions the -json output shape. Bump only on incompatible
+// changes; additions keep the version.
+const lintSchema = 1
+
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit a schema-versioned JSON document")
 	minSev := flag.String("min-severity", "warning", "lowest severity to print: info, warning, error")
 	strict := flag.Bool("strict", false, "exit 1 on warnings too, not just errors")
-	blocks := flag.Int("blocks", 2, "grid size used to build kernels for verification")
-	seed := flag.Int64("seed", 1, "input seed used to build kernels for verification")
+	blocks := flag.Int("blocks", 0, "grid size used to build kernels (0: 2 for kernels, the paper-default grid for perf)")
+	seed := flag.Int64("seed", 1, "input seed used to build kernels")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -58,7 +70,14 @@ func main() {
 	var err error
 	switch args[0] {
 	case "kernels":
-		fs, err = kernels.VerifyAll(args[1:], kernels.Scale{Blocks: *blocks, Seed: *seed})
+		b := *blocks
+		if b == 0 {
+			b = 2
+		}
+		fs, err = kernels.VerifyAll(args[1:], kernels.Scale{Blocks: b, Seed: *seed})
+	case "perf":
+		runPerf(args[1:], *blocks, *seed, *jsonOut, *strict, show)
+		return
 	case "src":
 		patterns := args[1:]
 		if len(patterns) == 0 {
@@ -85,14 +104,13 @@ func main() {
 		}
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
 		if shown == nil {
 			shown = check.Findings{} // [] rather than null
 		}
-		if err := enc.Encode(shown); err != nil {
-			fatal(err)
-		}
+		writeJSON(struct {
+			Schema   int            `json:"schema"`
+			Findings check.Findings `json:"findings"`
+		}{lintSchema, shown})
 	} else {
 		for _, f := range shown {
 			fmt.Println(f)
@@ -108,6 +126,78 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gpumech-lint: %d blocking finding(s)\n", bad)
 		}
 		os.Exit(1)
+	}
+}
+
+// runPerf runs the static performance advisor over the named kernels
+// (all bundled kernels when names is empty) and renders each report.
+// blocks 0 means the per-kernel paper-default grid — the same scale the
+// testdata/perflint goldens pin.
+func runPerf(names []string, blocks int, seed int64, jsonOut, strict bool, show check.Severity) {
+	if len(names) == 0 {
+		names = kernels.Names()
+	}
+	advs := make([]*perf.Advice, 0, len(names))
+	warnings, errors := 0, 0
+	for _, name := range names {
+		info, err := kernels.Get(name)
+		if err != nil {
+			fatal(err)
+		}
+		b := blocks
+		if b == 0 {
+			b = kernels.DefaultBlocks(info.WarpsPerBlock)
+		}
+		l, err := info.Build(kernels.Scale{Blocks: b, Seed: seed})
+		if err != nil {
+			fatal(err)
+		}
+		ad, err := perf.Advise(l.Prog, perf.Options{Launch: check.LaunchInfo{
+			Blocks:          l.Blocks,
+			ThreadsPerBlock: l.ThreadsPerBlock,
+			SharedBytes:     l.SharedBytes,
+		}})
+		if err != nil {
+			fatal(fmt.Errorf("gpumech-lint: advising %s: %w", name, err))
+		}
+		warnings += ad.Findings.Count(check.Warning)
+		errors += ad.Findings.Count(check.Error)
+		if jsonOut {
+			advs = append(advs, ad)
+			continue
+		}
+		shown := *ad
+		shown.Findings = nil
+		for _, f := range ad.Findings {
+			if f.Severity >= show {
+				shown.Findings = append(shown.Findings, f)
+			}
+		}
+		fmt.Print(shown.Text())
+	}
+	if jsonOut {
+		writeJSON(struct {
+			Schema  int            `json:"schema"`
+			Kernels []*perf.Advice `json:"kernels"`
+		}{lintSchema, advs})
+	}
+	bad := errors
+	if strict {
+		bad += warnings
+	}
+	if bad > 0 {
+		if !jsonOut {
+			fmt.Fprintf(os.Stderr, "gpumech-lint: %d blocking finding(s)\n", bad)
+		}
+		os.Exit(1)
+	}
+}
+
+func writeJSON(doc any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
 	}
 }
 
@@ -146,11 +236,15 @@ func moduleRoot() (string, error) {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: gpumech-lint [flags] kernels [name ...]
+       gpumech-lint [flags] perf [name ...]
        gpumech-lint [flags] src [pattern ...]
 
 Static verification for GPUMech: 'kernels' runs the CFG/dataflow checker
-over bundled ISA programs; 'src' runs the determinism linter over the Go
-source tree. Exit code 1 means error-severity findings were reported.
+over bundled ISA programs; 'perf' runs the static performance advisor
+(dominant-bottleneck prediction with actionable findings); 'src' runs
+the determinism linter over the Go source tree. Exit code 1 means
+blocking findings were reported (errors, plus warnings under -strict);
+2 means a usage or internal error.
 
 Flags:
 `)

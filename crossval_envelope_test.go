@@ -1,0 +1,94 @@
+package gpumech
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpumech/internal/accuracy"
+	"gpumech/internal/config"
+	"gpumech/internal/kernels"
+)
+
+// crossEnvelope is the pinned advisor-vs-model envelope: how often the
+// static advisor's dominant-bottleneck label agrees with the interval
+// model's CPI-stack attribution over the paper set plus 100 generated
+// kernels, and where the two disagree most.
+type crossEnvelope struct {
+	N         int                  `json:"n"`
+	Agreed    int                  `json:"agreed"`
+	Agreement float64              `json:"agreement"`
+	Confusion []accuracy.CrossCell `json:"confusion"`
+	Worst     *accuracy.CrossCell  `json:"worstDisagreement,omitempty"`
+}
+
+func crossEnvelopePath() string {
+	return filepath.Join("testdata", "perflint", "envelope.json")
+}
+
+// TestCrossValEnvelope pins the static advisor's attribution quality.
+// Any change to the advisor's sketch, the affine analysis, the model, or
+// the kernels that moves the agreement rate or the confusion matrix
+// shows up here as a diff against testdata/perflint/envelope.json;
+// deliberate changes re-bless with -update. The run is deterministic
+// (integer counts, one exactly-representable ratio), so the comparison
+// is exact.
+func TestCrossValEnvelope(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper-set cross-validation is not a -short test")
+	}
+	if raceEnabled {
+		t.Skip("full paper-set cross-validation is slow under the race detector; covered by the non-race job")
+	}
+	rep, err := accuracy.CrossValidate(accuracy.CrossOptions{
+		Seed:     1,
+		GenCount: 100,
+		Policy:   config.GTO,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN := len(kernels.PaperNames()) + 100
+	if rep.N != wantN || len(rep.Results) != wantN {
+		t.Fatalf("evaluated %d kernels, want %d (paper set + 100 generated)", rep.N, wantN)
+	}
+
+	got := crossEnvelope{
+		N:         rep.N,
+		Agreed:    rep.Agreed,
+		Agreement: rep.Agreement,
+		Confusion: rep.Confusion,
+		Worst:     rep.Worst,
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(crossEnvelopePath()), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(crossEnvelopePath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (agreement %d/%d = %.1f%%)", crossEnvelopePath(), got.Agreed, got.N, 100*got.Agreement)
+		return
+	}
+
+	data, err := os.ReadFile(crossEnvelopePath())
+	if err != nil {
+		t.Fatalf("missing envelope file (generate with: go test -run TestCrossValEnvelope -update): %v", err)
+	}
+	var want crossEnvelope
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.MarshalIndent(got, "", "  ")
+	wantJSON, _ := json.MarshalIndent(want, "", "  ")
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("cross-validation envelope moved (re-bless with -update if deliberate)\n--- got ---\n%s\n--- want ---\n%s",
+			gotJSON, wantJSON)
+	}
+}

@@ -1,0 +1,161 @@
+package accuracy
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"gpumech/internal/check/perf"
+	"gpumech/internal/config"
+)
+
+func smallCrossOpts() CrossOptions {
+	return CrossOptions{
+		Kernels:   []string{"sdk_vectoradd", "rodinia_srad1"},
+		Blocks:    16,
+		GenCount:  4,
+		GenBlocks: 32,
+		Seed:      1,
+		Policy:    config.GTO,
+	}
+}
+
+// TestCrossValidateShape checks the document's structural invariants on
+// a small run: every kernel yields one result with valid labels on both
+// sides, the confusion matrix carries exactly N counts, the agreement
+// rate matches the per-result Agree flags, and the worst cell (when
+// present) is the most populated disagreement.
+func TestCrossValidateShape(t *testing.T) {
+	rep, err := CrossValidate(smallCrossOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 6 || len(rep.Results) != 6 {
+		t.Fatalf("N=%d with %d results, want 6/6", rep.N, len(rep.Results))
+	}
+	if rep.Policy != "gto" {
+		t.Fatalf("policy = %q, want gto", rep.Policy)
+	}
+	valid := map[string]bool{}
+	for _, l := range perf.Labels() {
+		valid[l] = true
+	}
+	agreed := 0
+	for _, r := range rep.Results {
+		if !valid[r.Advisor] {
+			t.Fatalf("%s: invalid advisor label %q", r.Kernel, r.Advisor)
+		}
+		if r.ModelStall == "" || r.ModelGroup == "" {
+			t.Fatalf("%s: missing model attribution", r.Kernel)
+		}
+		if r.Agree != (advisorGroup(r.Advisor) == r.ModelGroup) {
+			t.Fatalf("%s: Agree flag inconsistent with groups", r.Kernel)
+		}
+		if r.Agree {
+			agreed++
+		}
+	}
+	if rep.Agreed != agreed {
+		t.Fatalf("Agreed=%d, results say %d", rep.Agreed, agreed)
+	}
+	if want := float64(agreed) / 6; rep.Agreement != want {
+		t.Fatalf("Agreement=%v, want %v", rep.Agreement, want)
+	}
+	mass, worst := 0, 0
+	for _, c := range rep.Confusion {
+		if c.Count <= 0 {
+			t.Fatalf("empty confusion cell emitted: %+v", c)
+		}
+		mass += c.Count
+		if !c.Agree && c.Count > worst {
+			worst = c.Count
+		}
+	}
+	if mass != rep.N {
+		t.Fatalf("confusion mass %d != N %d", mass, rep.N)
+	}
+	if worst == 0 {
+		if rep.Worst != nil {
+			t.Fatalf("no disagreements but Worst=%+v", rep.Worst)
+		}
+	} else if rep.Worst == nil || rep.Worst.Count != worst || rep.Worst.Agree {
+		t.Fatalf("Worst=%+v, want the largest disagreeing cell (count %d)", rep.Worst, worst)
+	}
+}
+
+// TestCrossValidateDeterministicAcrossWorkers: the full JSON document is
+// byte-identical at 1 and 8 workers.
+func TestCrossValidateDeterministicAcrossWorkers(t *testing.T) {
+	opt := smallCrossOpts()
+	opt.Workers = 1
+	seq, err := CrossValidate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 8
+	par, err := CrossValidate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.MarshalIndent(seq, "", "  ")
+	b, _ := json.MarshalIndent(par, "", "  ")
+	if !bytes.Equal(a, b) {
+		t.Fatalf("report differs between 1 and 8 workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", a, b)
+	}
+}
+
+// TestCrossValidateGeneratedOnly covers the generated-kernel path and
+// the advisor's agreement plumbing without any registry kernel.
+func TestCrossValidateGeneratedOnly(t *testing.T) {
+	rep, err := CrossValidate(CrossOptions{
+		Kernels:   []string{},
+		GenCount:  6,
+		GenBlocks: 32,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 6 {
+		t.Fatalf("N=%d, want 6", rep.N)
+	}
+	if rep.Policy != "rr" {
+		t.Fatalf("zero-value policy = %q, want rr", rep.Policy)
+	}
+	for _, r := range rep.Results {
+		if !r.Generated {
+			t.Fatalf("unexpected registry kernel %s", r.Kernel)
+		}
+	}
+}
+
+// TestCrossValidateUnknownKernel: a bad registry name fails the run.
+func TestCrossValidateUnknownKernel(t *testing.T) {
+	if _, err := CrossValidate(CrossOptions{Kernels: []string{"no_such_kernel"}}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+// TestLabelGroupMapping pins the collapse of both vocabularies onto the
+// comparable (base, memory) space.
+func TestLabelGroupMapping(t *testing.T) {
+	memory := []string{"L1", "L2", "DRAM", "MSHR", "QUEUE"}
+	for _, s := range memory {
+		if got := modelGroup(s); got != perf.BottleneckMemory {
+			t.Errorf("modelGroup(%s) = %s, want memory", s, got)
+		}
+	}
+	for _, s := range []string{"BASE", "DEP", "SFU"} {
+		if got := modelGroup(s); got != perf.BottleneckBase {
+			t.Errorf("modelGroup(%s) = %s, want base", s, got)
+		}
+	}
+	if advisorGroup(perf.BottleneckMemory) != perf.BottleneckMemory {
+		t.Error("advisorGroup(memory) must stay memory")
+	}
+	for _, l := range []string{perf.BottleneckBase, perf.BottleneckDivergence, perf.BottleneckSync} {
+		if advisorGroup(l) != perf.BottleneckBase {
+			t.Errorf("advisorGroup(%s) = %s, want base", l, advisorGroup(l))
+		}
+	}
+}

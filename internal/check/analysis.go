@@ -1,0 +1,155 @@
+package check
+
+import (
+	"fmt"
+
+	"gpumech/internal/isa"
+)
+
+// TaintLevel grades how a value (or a control-flow region) may vary
+// across the threads of a block, as computed by the verifier's
+// divergence taint analysis. Levels are ordered: a higher level is
+// "more divergent".
+type TaintLevel uint8
+
+const (
+	// TaintUniform values hold the same value in every thread.
+	TaintUniform TaintLevel = TaintLevel(lvlUniform)
+	// TaintTid values vary with the thread/lane/warp ID.
+	TaintTid TaintLevel = TaintLevel(lvlTid)
+	// TaintData values depend on loaded data.
+	TaintData TaintLevel = TaintLevel(lvlData)
+)
+
+func (t TaintLevel) String() string {
+	switch t {
+	case TaintUniform:
+		return "uniform"
+	case TaintTid:
+		return "tid"
+	case TaintData:
+		return "data"
+	}
+	return fmt.Sprintf("taint(%d)", uint8(t))
+}
+
+// Analysis is the exported, read-only view of the verifier's static
+// machinery — basic-block CFG, post-dominators, divergence taint, and
+// loop-nesting depth — for downstream analyses such as the performance
+// advisor (internal/check/perf). It is built once per program and all
+// queries are O(1) or O(blocks).
+type Analysis struct {
+	prog  *isa.Program
+	g     *cfg
+	taint *taintInfo
+	depth []int // per block: loop-nesting depth
+}
+
+// Analyze builds the analysis substrate. The program must pass
+// isa.Program.Validate; otherwise an error is returned (run Verify for
+// structured findings).
+func Analyze(p *isa.Program) (*Analysis, error) {
+	if p == nil {
+		return nil, fmt.Errorf("check: nil program")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := buildCFG(p)
+	return &Analysis{prog: p, g: g, taint: computeTaint(g), depth: loopDepths(g)}, nil
+}
+
+// loopDepths counts, per block, the enclosing natural loops. A back
+// edge is a branch whose target block starts at or before the branch's
+// own block; its body is approximated as the contiguous block range
+// [target, branch] — exact for the reducible CFGs the isa.Builder
+// emits (While/ForImm bodies are contiguous in PC order) and a safe
+// overapproximation for arbitrary verified programs.
+func loopDepths(g *cfg) []int {
+	depth := make([]int, len(g.blocks))
+	for i, b := range g.blocks {
+		t := b.terminator()
+		if t < 0 || !g.reach[i] {
+			continue
+		}
+		in := g.prog.Instrs[t]
+		if in.Op != isa.OpBra {
+			continue
+		}
+		h := g.blockOf[in.Target]
+		if g.blocks[h].start > b.start {
+			continue // forward edge
+		}
+		for k := range g.blocks {
+			if g.blocks[k].end > g.blocks[k].start &&
+				g.blocks[k].start >= g.blocks[h].start && g.blocks[k].start <= b.start {
+				depth[k]++
+			}
+		}
+	}
+	return depth
+}
+
+// Program returns the analyzed program.
+func (a *Analysis) Program() *isa.Program { return a.prog }
+
+// NumBlocks returns the number of basic blocks, including the virtual
+// exit block (always the last index, spanning no instructions).
+func (a *Analysis) NumBlocks() int { return len(a.g.blocks) }
+
+// ExitBlock returns the index of the virtual exit block.
+func (a *Analysis) ExitBlock() int { return a.g.exit }
+
+// BlockRange returns the instruction PC range [start, end) of block b.
+// The virtual exit block has start == end.
+func (a *Analysis) BlockRange(b int) (start, end int) {
+	blk := a.g.blocks[b]
+	return blk.start, blk.end
+}
+
+// BlockOf returns the block index containing pc. pc == len(Instrs)
+// maps to the virtual exit block.
+func (a *Analysis) BlockOf(pc int) int { return a.g.blockOf[pc] }
+
+// Reachable reports whether block b is reachable from the entry.
+func (a *Analysis) Reachable(b int) bool { return a.g.reach[b] }
+
+// Preds returns the predecessor block indices of block b. The returned
+// slice is owned by the Analysis and must not be mutated.
+func (a *Analysis) Preds(b int) []int { return a.g.blocks[b].preds }
+
+// Succs returns the successor block indices of block b. The returned
+// slice is owned by the Analysis and must not be mutated.
+func (a *Analysis) Succs(b int) []int { return a.g.blocks[b].succs }
+
+// PostDominates reports whether block pd post-dominates block b.
+func (a *Analysis) PostDominates(pd, b int) bool { return a.g.postDominates(pd, b) }
+
+// RegTaint returns the divergence level of general register r.
+func (a *Analysis) RegTaint(r isa.Reg) TaintLevel {
+	if int(r) >= len(a.taint.reg) {
+		return TaintUniform
+	}
+	return TaintLevel(a.taint.reg[r])
+}
+
+// PredTaint returns the divergence level of predicate register p.
+func (a *Analysis) PredTaint(p isa.PredReg) TaintLevel {
+	if int(p) >= len(a.taint.pred) {
+		return TaintUniform
+	}
+	return TaintLevel(a.taint.pred[p])
+}
+
+// BlockTaint returns the control-dependence divergence level of block
+// b: the worst taint of any branch predicate whose divergent region
+// contains the block.
+func (a *Analysis) BlockTaint(b int) TaintLevel { return TaintLevel(a.taint.ctrl[b]) }
+
+// LoopDepth returns the loop-nesting depth of block b (0 = not inside
+// any loop).
+func (a *Analysis) LoopDepth(b int) int { return a.depth[b] }
+
+// LoopDepthAt returns the loop-nesting depth of the block containing
+// pc.
+func (a *Analysis) LoopDepthAt(pc int) int { return a.depth[a.g.blockOf[pc]] }

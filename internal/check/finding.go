@@ -107,6 +107,11 @@ type Finding struct {
 
 	// Source findings: file:line position of the offending construct.
 	File string `json:"file,omitempty"`
+
+	// Advice, when set, is the actionable suggestion attached by the
+	// static performance advisor (internal/check/perf): what to change
+	// in the kernel to relieve the reported bottleneck.
+	Advice string `json:"advice,omitempty"`
 }
 
 // String renders the finding in the one-line text form used by
@@ -130,6 +135,9 @@ func (f Finding) String() string {
 		b.WriteString(": ")
 	}
 	fmt.Fprintf(&b, "%s [%s] %s", f.Severity, f.Pass, f.Msg)
+	if f.Advice != "" {
+		fmt.Fprintf(&b, " (advice: %s)", f.Advice)
+	}
 	return b.String()
 }
 

@@ -1,0 +1,388 @@
+package perf
+
+import (
+	"gpumech/internal/check"
+	"gpumech/internal/isa"
+)
+
+// The affine address lattice. Every general register is abstracted as a
+// function of the lane index within a warp:
+//
+//	affConst    value = val                 (compile-time constant)
+//	affLinear   value = base + stride·lane  (base known iff baseKnown)
+//	affUniform  lane-uniform, value unknown
+//	affVarying  lane-varying, stride unknown
+//	affData     derived from loaded data (gather/scatter)
+//
+// The lattice is ordered const < linear/uniform < varying < data; joins
+// and transfers only move up, so the per-block fixpoint terminates
+// without widening (the per-register chain height is 4 once unequal
+// constants or strides collapse).
+type affKind uint8
+
+const (
+	affConst affKind = iota
+	affLinear
+	affUniform
+	affVarying
+	affData
+)
+
+type aff struct {
+	kind      affKind
+	val       int64 // affConst: the value; affLinear: the base when baseKnown
+	stride    int64 // affLinear: d(value)/d(lane)
+	baseKnown bool
+}
+
+func affC(v int64) aff { return aff{kind: affConst, val: v, baseKnown: true} }
+func affU() aff        { return aff{kind: affUniform} }
+func affV() aff        { return aff{kind: affVarying} }
+func affD() aff        { return aff{kind: affData} }
+func (a aff) uniformish() bool {
+	return a.kind == affConst || a.kind == affUniform
+}
+
+// affL normalizes a linear form: stride 0 collapses to const/uniform.
+func affL(base int64, known bool, stride int64) aff {
+	if stride == 0 {
+		if known {
+			return affC(base)
+		}
+		return affU()
+	}
+	if !known {
+		base = 0
+	}
+	return aff{kind: affLinear, val: base, stride: stride, baseKnown: known}
+}
+
+// join merges two incoming values at a control-flow join.
+func (a aff) join(b aff) aff {
+	if a == b {
+		return a
+	}
+	if a.kind == affData || b.kind == affData {
+		return affD()
+	}
+	if a.kind == affVarying || b.kind == affVarying {
+		return affV()
+	}
+	if a.uniformish() && b.uniformish() {
+		return affU()
+	}
+	if a.kind == affLinear && b.kind == affLinear && a.stride == b.stride {
+		return affL(0, false, a.stride)
+	}
+	return affV()
+}
+
+func (a aff) add(b aff) aff {
+	switch {
+	case a.kind == affData || b.kind == affData:
+		return affD()
+	case a.kind == affVarying || b.kind == affVarying:
+		return affV()
+	case a.kind == affConst && b.kind == affConst:
+		return affC(a.val + b.val)
+	case a.uniformish() && b.uniformish():
+		return affU()
+	}
+	// At least one side is linear; the sum is linear with the combined
+	// stride. The base survives only when both sides are fully known.
+	s := a.stride + b.stride
+	known := a.kind == affConst && b.baseKnown || b.kind == affConst && a.baseKnown ||
+		a.baseKnown && b.baseKnown
+	return affL(a.val+b.val, known, s)
+}
+
+func (a aff) neg() aff {
+	switch a.kind {
+	case affConst:
+		return affC(-a.val)
+	case affLinear:
+		return affL(-a.val, a.baseKnown, -a.stride)
+	}
+	return a
+}
+
+func (a aff) sub(b aff) aff { return a.add(b.neg()) }
+
+// mulConst scales by a compile-time constant.
+func (a aff) mulConst(c int64) aff {
+	switch a.kind {
+	case affConst:
+		return affC(a.val * c)
+	case affLinear:
+		return affL(a.val*c, a.baseKnown, a.stride*c)
+	}
+	return a
+}
+
+func (a aff) mul(b aff) aff {
+	switch {
+	case a.kind == affData || b.kind == affData:
+		return affD()
+	case a.kind == affConst:
+		return b.mulConst(a.val)
+	case b.kind == affConst:
+		return a.mulConst(b.val)
+	case a.kind == affUniform && b.kind == affUniform:
+		return affU()
+	}
+	// linear × unknown-uniform has an unknown stride; anything else is
+	// lane-varying too.
+	return affV()
+}
+
+// shr divides by 2^k. For a linear form with a stride divisible by 2^k
+// the shift distributes exactly: (b + m·2^k·i) >> k = (b>>k) + m·i, since
+// the stride contributes no low bits.
+func (a aff) shr(k uint) aff {
+	switch a.kind {
+	case affConst:
+		return affC(a.val >> k)
+	case affLinear:
+		if a.stride%(1<<k) == 0 {
+			return affL(a.val>>k, a.baseKnown, a.stride>>k)
+		}
+		return affV()
+	}
+	return a
+}
+
+// mod reduces modulo m > 0. A linear form stays linear (with unknown
+// base) when the modulus is a whole number of warp-spans, so the lanes
+// of one warp never wrap at different strides: m % (32·|s|) == 0.
+func (a aff) mod(m int64, warp int64) aff {
+	if m <= 0 {
+		return affV()
+	}
+	switch a.kind {
+	case affConst:
+		return affC(((a.val % m) + m) % m)
+	case affUniform:
+		return affU()
+	case affLinear:
+		s := a.stride
+		if s < 0 {
+			s = -s
+		}
+		if s != 0 && warp*s != 0 && m%(warp*s) == 0 {
+			return affL(0, false, a.stride)
+		}
+		return affV()
+	}
+	return a
+}
+
+// div divides by a constant d > 0. Like shr, an exactly-divisible
+// stride distributes: (b + m·d·i) div d = (b div d) + m·i.
+func (a aff) div(d int64) aff {
+	if d <= 0 {
+		return affV()
+	}
+	switch a.kind {
+	case affConst:
+		return affC(a.val / d)
+	case affLinear:
+		if a.stride%d == 0 {
+			return affL(a.val/d, a.baseKnown, a.stride/d)
+		}
+		return affV()
+	}
+	return a
+}
+
+// worst returns the most divergent of the operands' kinds as a blank
+// value: the default transfer for ops with no special handling.
+func worst(ops ...aff) aff {
+	out := affU()
+	for _, o := range ops {
+		switch o.kind {
+		case affData:
+			return affD()
+		case affVarying:
+			out = affV()
+		}
+	}
+	return out
+}
+
+// affInterp interprets a program over per-block affine states, reusing
+// the verifier's Analysis for predicate divergence taint.
+type affInterp struct {
+	an     *check.Analysis
+	launch check.LaunchInfo
+	warp   int64
+}
+
+func newAffInterp(an *check.Analysis, launch check.LaunchInfo) *affInterp {
+	ws := int64(launch.WarpSize)
+	if ws == 0 {
+		ws = 32
+	}
+	return &affInterp{an: an, launch: launch, warp: ws}
+}
+
+func (ai *affInterp) s2r(kind isa.SpecialKind) aff {
+	switch kind {
+	case isa.SrTid, isa.SrGlobalID:
+		// tid = warpBase + lane within each warp: stride 1, base per-warp.
+		return affL(0, false, 1)
+	case isa.SrLaneID:
+		return affL(0, true, 1)
+	case isa.SrNtid:
+		if ai.launch.ThreadsPerBlock > 0 {
+			return affC(int64(ai.launch.ThreadsPerBlock))
+		}
+		return affU()
+	case isa.SrNctaid:
+		if ai.launch.Blocks > 0 {
+			return affC(int64(ai.launch.Blocks))
+		}
+		return affU()
+	case isa.SrCtaid, isa.SrWarpID:
+		return affU()
+	}
+	return affU()
+}
+
+// transfer interprets one instruction over the state.
+func (ai *affInterp) transfer(st []aff, in *isa.Instr) {
+	if in.Dst == isa.RegNone {
+		return
+	}
+	a := func() aff { return st[in.SrcA] }
+	b := func() aff { return st[in.SrcB] }
+	var v aff
+	switch in.Op {
+	case isa.OpMovI:
+		v = affC(in.Imm)
+	case isa.OpMovF:
+		v = affU()
+	case isa.OpMov:
+		v = a()
+	case isa.OpIAdd:
+		v = a().add(b())
+	case isa.OpIAddI:
+		v = a().add(affC(in.Imm))
+	case isa.OpISub:
+		v = a().sub(b())
+	case isa.OpIMul:
+		v = a().mul(b())
+	case isa.OpIMulI:
+		v = a().mulConst(in.Imm)
+	case isa.OpIMad:
+		v = a().mul(b()).add(st[in.SrcC])
+	case isa.OpShl:
+		v = a().mulConst(1 << uint(in.Imm&63))
+	case isa.OpShr:
+		v = a().shr(uint(in.Imm & 63))
+	case isa.OpAndI:
+		// A power-of-two mask is a modulus; other masks degrade.
+		if m := in.Imm; m >= 0 && (m+1)&m == 0 {
+			v = a().mod(m+1, ai.warp)
+		} else {
+			v = worst(a())
+		}
+	case isa.OpRemI:
+		v = a().mod(in.Imm, ai.warp)
+	case isa.OpIDivI:
+		v = a().div(in.Imm)
+	case isa.OpS2R:
+		v = ai.s2r(isa.SpecialKind(in.Imm))
+	case isa.OpLdG, isa.OpLdS:
+		v = affD()
+	case isa.OpSelp:
+		v = a().join(b())
+		if ai.an.PredTaint(in.Pred) > check.TaintUniform && a() != b() {
+			// Per-lane select between different values.
+			v = worst(affV(), a(), b())
+		}
+	default:
+		// Everything else (float pipeline, reg-reg and/or/xor/div/rem,
+		// min/max, conversions): lane-uniformity of the result is the
+		// worst of the operands'.
+		srcs := in.SrcRegs(nil)
+		ops := make([]aff, len(srcs))
+		for i, r := range srcs {
+			ops[i] = st[r]
+		}
+		v = worst(ops...)
+	}
+	if in.Pred != isa.PredNone && in.Op != isa.OpSelp {
+		// Guarded write: inactive lanes keep the old value, so the
+		// result mixes old and new per lane. Under a divergent guard
+		// that is a lane-varying mix unless both agree.
+		old := st[in.Dst]
+		v = v.join(old)
+		if ai.an.PredTaint(in.Pred) > check.TaintUniform && v != old {
+			v = worst(affV(), v, old)
+		}
+	}
+	st[in.Dst] = v
+}
+
+// solve runs the per-block dataflow to fixpoint and returns the input
+// state of every reachable block. Registers are zero-initialized by the
+// emulator, so the entry state is const 0.
+func (ai *affInterp) solve() [][]aff {
+	an := ai.an
+	p := an.Program()
+	nb := an.NumBlocks()
+	nr := p.NumRegs
+	states := make([][]aff, nb)
+	entry := an.BlockOf(0)
+	states[entry] = make([]aff, nr)
+	for r := range states[entry] {
+		states[entry][r] = affC(0)
+	}
+	// The per-register lattice has finite height, so a bounded sweep
+	// count converges; the cap is a safety net for adversarial CFGs.
+	for changed, sweep := true, 0; changed && sweep < 12; sweep++ {
+		changed = false
+		for i := 0; i < nb; i++ {
+			if !an.Reachable(i) {
+				continue
+			}
+			var in []aff
+			if i == entry {
+				in = append([]aff(nil), states[entry]...)
+			}
+			for _, pr := range an.Preds(i) {
+				if states[pr] == nil {
+					continue
+				}
+				out := append([]aff(nil), states[pr]...)
+				ps, pe := an.BlockRange(pr)
+				for pc := ps; pc < pe; pc++ {
+					ai.transfer(out, &p.Instrs[pc])
+				}
+				if in == nil {
+					in = out
+				} else {
+					for r := range in {
+						in[r] = in[r].join(out[r])
+					}
+				}
+			}
+			if in == nil {
+				continue
+			}
+			if states[i] == nil {
+				states[i] = in
+				changed = true
+				continue
+			}
+			for r := range in {
+				merged := states[i][r].join(in[r])
+				if merged != states[i][r] {
+					states[i][r] = merged
+					changed = true
+				}
+			}
+		}
+	}
+	return states
+}

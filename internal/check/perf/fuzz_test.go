@@ -1,0 +1,55 @@
+package perf
+
+import (
+	"testing"
+
+	"gpumech/internal/check"
+	"gpumech/internal/gen"
+)
+
+// FuzzAdvise is the advisor-side counterpart of gen.FuzzGenerate: every
+// kernel the seeded generator can produce must get a perf advisor run
+// with no panics, a valid dominant-bottleneck label, and no
+// error-severity findings (the advisor only advises — errors are the
+// verifier's job).
+func FuzzAdvise(f *testing.F) {
+	f.Add(int64(1), int64(0))
+	f.Add(int64(1), int64(7))
+	f.Add(int64(2), int64(13))
+	f.Add(int64(-7), int64(42))
+	f.Add(int64(0), int64(0))
+	f.Add(int64(1<<62), int64(-1))
+	f.Fuzz(func(t *testing.T, seed, index int64) {
+		k, err := gen.Generate(seed, index)
+		if err != nil {
+			t.Fatalf("Generate(%d, %d): %v", seed, index, err)
+		}
+		ad, err := Advise(k.Prog, Options{Launch: check.LaunchInfo{
+			Blocks: k.Blocks, ThreadsPerBlock: k.ThreadsPerBlock, SharedBytes: k.SharedBytes,
+		}})
+		if err != nil {
+			t.Fatalf("%s: Advise: %v", k.Name, err)
+		}
+		valid := false
+		for _, l := range Labels() {
+			if ad.Dominant == l {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			t.Fatalf("%s: invalid dominant label %q", k.Name, ad.Dominant)
+		}
+		if ad.Occupancy < 0 || ad.Occupancy > 1 {
+			t.Fatalf("%s: occupancy %f out of [0,1]", k.Name, ad.Occupancy)
+		}
+		for _, fd := range ad.Findings {
+			if fd.Severity == check.Error {
+				t.Fatalf("%s: advisor produced an error finding: %v", k.Name, fd)
+			}
+		}
+		if s := ad.Sketch; s.Base <= 0 || s.Memory < 0 || s.Divergence < 0 || s.Sync < 0 {
+			t.Fatalf("%s: malformed sketch %+v", k.Name, s)
+		}
+	})
+}

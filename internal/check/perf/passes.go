@@ -1,0 +1,369 @@
+package perf
+
+import (
+	"fmt"
+
+	"gpumech/internal/check"
+	"gpumech/internal/config"
+	"gpumech/internal/isa"
+)
+
+// finding appends a static advisor finding with attached advice.
+func (ad *Advice) finding(pass string, sev check.Severity, pc int, op, msg, advice string) {
+	f := check.Finding{
+		Pass: pass, Severity: sev, Msg: msg,
+		Program: ad.Kernel, PC: pc, Op: op,
+		Block: -1, Warp: -1, Advice: advice,
+	}
+	ad.Findings = append(ad.Findings, f)
+}
+
+// memStats aggregates the memory passes' inputs to the CPI sketch.
+// Coalesced traffic is kept apart from uncoalesced: a unit-stride
+// stream has maximal memory-level parallelism and high cache-line
+// reuse, so the sketch charges it the L2-fill latency without MSHR
+// inflation; strided and scattered lines pay the full miss path.
+type memStats struct {
+	coalLines float64 // Σ weight × lines, coalesced/broadcast sites
+	missLines float64 // Σ weight × lines, strided/scattered sites
+	smemCost  float64 // Σ weight × bank-conflict degree
+}
+
+// access classification of one global-memory site.
+type accessClass uint8
+
+const (
+	accCoalesced accessClass = iota
+	accBroadcast
+	accStrided
+	accScattered
+)
+
+// classifyGlobal maps an affine address to an access class and the
+// cache lines one warp access touches. Alignment is assumed (the
+// advisor reasons about strides, not bases).
+func classifyGlobal(a aff, elem, line, warp int) (accessClass, int) {
+	switch a.kind {
+	case affData, affVarying:
+		return accScattered, warp
+	case affConst, affUniform:
+		return accBroadcast, 1
+	}
+	s := a.stride
+	if s < 0 {
+		s = -s
+	}
+	ceilDiv := func(x, y int) int { return (x + y - 1) / y }
+	if s == int64(elem) {
+		return accCoalesced, ceilDiv(warp*elem, line)
+	}
+	span := int(s)*(warp-1) + elem
+	lines := ceilDiv(span, line)
+	if lines > warp {
+		lines = warp
+	}
+	if lines < 1 {
+		lines = 1
+	}
+	return accStrided, lines
+}
+
+// bankDegree simulates one warp access at base 0 over 32 4-byte shared
+// banks and returns the conflict degree: the largest number of distinct
+// words any bank must serve (same-word accesses broadcast for free).
+func bankDegree(stride int64, warp int) int {
+	type slot struct {
+		bank int
+		word int64
+	}
+	seen := make([]slot, 0, warp)
+	perBank := make([]int, 32)
+	for i := 0; i < warp; i++ {
+		w := (int64(i) * stride) >> 2
+		b := int(((w % 32) + 32) % 32)
+		dup := false
+		for _, s := range seen {
+			if s.bank == b && s.word == w {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen = append(seen, slot{b, w})
+		perBank[b]++
+	}
+	deg := 1
+	for _, n := range perBank {
+		if n > deg {
+			deg = n
+		}
+	}
+	return deg
+}
+
+// memoryPass replays the affine states over every reachable block and
+// classifies each global access (perf-coalesce) and shared access
+// (perf-bank), accumulating the sketch's memory inputs.
+func memoryPass(an *check.Analysis, launch check.LaunchInfo, cfg *config.Config, ad *Advice) memStats {
+	ai := newAffInterp(an, launch)
+	states := ai.solve()
+	p := an.Program()
+	warp := launch.WarpSize
+	line := cfg.L1LineBytes
+	var ms memStats
+
+	for b := 0; b < an.NumBlocks(); b++ {
+		if !an.Reachable(b) || states[b] == nil {
+			continue
+		}
+		st := append([]aff(nil), states[b]...)
+		s, e := an.BlockRange(b)
+		for pc := s; pc < e; pc++ {
+			in := &p.Instrs[pc]
+			w := instWeight(an, pc)
+			switch {
+			case in.Op.IsMem() && in.Op.IsGlobal():
+				addr := st[in.SrcA]
+				cls, lines := classifyGlobal(addr, in.Mem.Bytes(), line, warp)
+				if cls == accCoalesced || cls == accBroadcast {
+					ms.coalLines += w * float64(lines)
+				} else {
+					ms.missLines += w * float64(lines)
+				}
+				switch cls {
+				case accCoalesced:
+					ad.Accesses.Coalesced++
+				case accBroadcast:
+					ad.Accesses.Broadcast++
+					ad.finding(PassCoalesce, check.Info, pc, in.Op.String(),
+						"uniform global address: all active lanes touch one line (broadcast)", "")
+				case accStrided:
+					ad.Accesses.Strided++
+					stride := addr.stride
+					if stride < 0 {
+						stride = -stride
+					}
+					ad.finding(PassCoalesce, check.Warning, pc, in.Op.String(),
+						fmt.Sprintf("strided global access: lane stride %d bytes touches ~%d cache lines per warp access", stride, lines),
+						"restructure to unit stride (transpose the tile, or switch AoS to SoA)")
+				case accScattered:
+					ad.Accesses.Scattered++
+					kind := "lane addresses are statically unpredictable"
+					advice := "derive addresses affinely from the thread ID, or stage through shared memory"
+					if addr.kind == affData {
+						kind = "data-dependent gather/scatter"
+						advice = "sort or bucket the indices, or stage the irregular step through shared memory"
+					}
+					ad.finding(PassCoalesce, check.Warning, pc, in.Op.String(),
+						fmt.Sprintf("scattered global access (%s): up to %d cache lines per warp access", kind, lines),
+						advice)
+				}
+			case in.Op.IsMem(): // shared
+				addr := st[in.SrcA]
+				switch addr.kind {
+				case affData, affVarying:
+					ms.smemCost += w * float64(warp) / 4
+					ad.finding(PassBank, check.Info, pc, in.Op.String(),
+						"irregular shared addressing: bank-conflict freedom cannot be proven statically", "")
+				case affConst, affUniform:
+					ms.smemCost += w // broadcast: one word serves the warp
+				case affLinear:
+					deg := bankDegree(addr.stride, warp)
+					ms.smemCost += w * float64(deg)
+					if deg > 1 {
+						ad.Accesses.SharedConflicts++
+						ad.finding(PassBank, check.Warning, pc, in.Op.String(),
+							fmt.Sprintf("%d-way shared-memory bank conflict (lane stride %d bytes over 32 4-byte banks)", deg, addr.stride),
+							"pad the tile row (e.g. +1 element) so consecutive lanes hit distinct banks")
+					}
+				}
+			}
+			ai.transfer(st, in)
+		}
+	}
+	return ms
+}
+
+// divergencePass costs every divergent conditional branch: taint level
+// × loop-nesting depth × reconvergence distance (the serialized span).
+// Returns the weighted serialized issue slots for the sketch.
+func divergencePass(an *check.Analysis, ad *Advice) float64 {
+	p := an.Program()
+	cycles := 0.0
+	for b := 0; b < an.NumBlocks(); b++ {
+		if !an.Reachable(b) {
+			continue
+		}
+		s, e := an.BlockRange(b)
+		if e <= s {
+			continue
+		}
+		t := e - 1
+		in := p.Instrs[t]
+		if in.Op != isa.OpBra || in.Pred == isa.PredNone {
+			continue
+		}
+		taint := an.PredTaint(in.Pred)
+		if taint == check.TaintUniform {
+			continue
+		}
+		span := in.Reconv - (t + 1)
+		if span <= 0 {
+			continue
+		}
+		depth := an.LoopDepthAt(t)
+		factor := 1
+		if taint == check.TaintData {
+			factor = 2
+		}
+		cost := factor * (depth + 1) * span
+		cycles += instWeight(an, t) * float64(factor) * float64(span) / 2
+		sev := check.Info
+		if depth >= 1 || span >= 16 {
+			sev = check.Warning
+		}
+		advice := "make the condition warp-uniform (branch on warp ID or block-level values)"
+		if taint == check.TaintData {
+			advice = "data-dependent divergence serializes both paths every iteration; consider sorting work items or compacting active lanes"
+		}
+		ad.finding(PassDiverge, sev, t, in.Op.String(),
+			fmt.Sprintf("divergent branch (%s taint): %d-instruction reconvergence region at loop depth %d (cost score %d)",
+				taint, span, depth, cost),
+			advice)
+	}
+	return cycles
+}
+
+// phaseWeight is the latency-weighted work an instruction contributes
+// to its barrier phase.
+func phaseWeight(cfg *config.Config, op isa.Op) float64 {
+	switch op.Class() {
+	case isa.ClassGMem:
+		return float64(cfg.L1Latency)
+	case isa.ClassSMem:
+		return float64(cfg.SMemLatency)
+	default:
+		return classLatency(cfg, op.Class())
+	}
+}
+
+// barrierPass splits the reachable instruction stream at barriers and
+// flags statically-unbalanced work between adjacent phases. Returns the
+// weighted barrier cost for the sketch's sync component.
+func barrierPass(an *check.Analysis, cfg *config.Config, ad *Advice) float64 {
+	p := an.Program()
+	// Phase boundaries in PC order over reachable code; the contiguous
+	// approximation mirrors loopDepths and is exact for builder CFGs.
+	var bars []int
+	var work []float64 // work[i] precedes bars[i]; last entry trails
+	cur := 0.0
+	for pc := 0; pc < len(p.Instrs); pc++ {
+		if !an.Reachable(an.BlockOf(pc)) {
+			continue
+		}
+		if p.Instrs[pc].Op == isa.OpBar {
+			bars = append(bars, pc)
+			work = append(work, cur)
+			cur = 0
+			continue
+		}
+		cur += instWeight(an, pc) * phaseWeight(cfg, p.Instrs[pc].Op)
+	}
+	work = append(work, cur)
+
+	cycles := 0.0
+	for i, pc := range bars {
+		before, after := work[i], work[i+1]
+		lo, hi := before, after
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		imbalance := hi - lo
+		if imbalance > 512 {
+			imbalance = 512
+		}
+		cycles += instWeight(an, pc) * (4 + imbalance/8)
+		if hi >= 64 && hi >= 4*(lo+1) {
+			ad.finding(PassBarrier, check.Warning, pc, p.Instrs[pc].Op.String(),
+				fmt.Sprintf("statically-unbalanced work across barrier: %.0f vs %.0f weighted cycles between phases", before, after),
+				"split the heavy phase across more barriers, or merge trivial phases, so warps wait less at each barrier")
+		}
+	}
+	return cycles
+}
+
+// occupancy is the occupancy pass result consumed by the sketch.
+type occupancy struct {
+	warps int
+}
+
+// occupancyPass computes the residency limiter: how many blocks fit a
+// core under the thread, register, shared-memory, and block-count
+// limits, and which resource binds first.
+func occupancyPass(an *check.Analysis, launch check.LaunchInfo, cfg *config.Config, lim Limits, ad *Advice) occupancy {
+	p := an.Program()
+	tpb := launch.ThreadsPerBlock
+	warpsPerBlock := (tpb + launch.WarpSize - 1) / launch.WarpSize
+
+	type limit struct {
+		name   string
+		blocks int
+	}
+	limits := []limit{
+		{"threads", cfg.MaxThreadsPerCore / tpb},
+		{"blocks", lim.MaxBlocksPerCore},
+	}
+	if regs := p.NumRegs * tpb; regs > 0 {
+		limits = append(limits, limit{"registers", lim.RegistersPerCore / regs})
+	}
+	if launch.SharedBytes > 0 {
+		limits = append(limits, limit{"shared", lim.SharedBytesPerCore / launch.SharedBytes})
+	}
+	binding := limits[0]
+	for _, l := range limits[1:] {
+		if l.blocks < binding.blocks {
+			binding = l
+		}
+	}
+	blocks := binding.blocks
+	if blocks < 0 {
+		blocks = 0
+	}
+	maxWarps := cfg.MaxWarpsPerCore()
+	warps := blocks * warpsPerBlock
+	limiter := binding.name
+	if warps >= maxWarps {
+		warps = maxWarps
+		limiter = "none"
+	}
+	occ := float64(warps) / float64(maxWarps)
+	ad.Occupancy = occ
+	ad.Warps = warps
+	ad.Limiter = limiter
+
+	switch {
+	case blocks == 0:
+		ad.finding(PassOccupancy, check.Warning, -1, "",
+			fmt.Sprintf("kernel does not fit on a core: %s limit admits zero blocks of %d threads", binding.name, tpb),
+			"shrink the block (fewer threads, registers, or shared bytes) until at least one block is resident")
+	case occ < 0.5:
+		ad.finding(PassOccupancy, check.Warning, -1, "",
+			fmt.Sprintf("low occupancy: %d/%d warps per core, limited by %s (%d regs/thread, %d shared bytes/block)",
+				warps, maxWarps, limiter, p.NumRegs, launch.SharedBytes),
+			"reduce the binding resource or resize blocks so more warps are resident to hide latency")
+	default:
+		ad.finding(PassOccupancy, check.Info, -1, "",
+			fmt.Sprintf("occupancy %d%%: %d/%d warps per core (limiter: %s)",
+				int(occ*100+0.5), warps, maxWarps, limiter), "")
+	}
+
+	if launch.Blocks < cfg.Cores {
+		ad.finding(PassOccupancy, check.Warning, -1, "",
+			fmt.Sprintf("grid underfills the GPU: %d blocks over %d cores leaves %d cores idle",
+				launch.Blocks, cfg.Cores, cfg.Cores-launch.Blocks),
+			"launch at least as many blocks as cores (smaller blocks if needed)")
+	}
+	return occupancy{warps: warps}
+}

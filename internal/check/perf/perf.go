@@ -1,0 +1,297 @@
+// Package perf is the static performance advisor: it predicts a
+// kernel's dominant bottleneck from the program text and launch
+// geometry alone, with zero emulation. It builds on the verifier's
+// Analysis substrate (internal/check: CFG, post-dominators, divergence
+// taint, loop depth) and adds an affine address analysis that tracks
+// every register as base + stride·lane.
+//
+// Five passes produce check.Findings with actionable Advice:
+//
+//	perf-coalesce   classify each global access: fully-coalesced,
+//	                broadcast, strided-k, or scattered
+//	perf-bank       shared-memory bank-conflict degree from the same
+//	                affine forms
+//	perf-divergence divergent-branch cost: taint level × loop depth ×
+//	                reconvergence distance
+//	perf-barrier    statically-unbalanced work between barrier phases
+//	perf-occupancy  residency limiter (threads/registers/shared/blocks)
+//	                against the hardware config
+//
+// The passes compose into a static CPI sketch (base / memory /
+// divergence / sync) whose argmax is the predicted dominant-bottleneck
+// label. The sketch is deliberately coarse — it has no cache model and
+// no trace — but internal/accuracy cross-validates the label against
+// the interval model's CPI stacks over the paper set plus generated
+// kernels, so its attribution quality is a pinned, regression-tracked
+// number (see DESIGN.md §16).
+package perf
+
+import (
+	"fmt"
+	"strings"
+
+	"gpumech/internal/check"
+	"gpumech/internal/config"
+	"gpumech/internal/isa"
+)
+
+// Advisor pass names, in the check.Finding vocabulary.
+const (
+	PassCoalesce  = "perf-coalesce"
+	PassBank      = "perf-bank"
+	PassDiverge   = "perf-divergence"
+	PassBarrier   = "perf-barrier"
+	PassOccupancy = "perf-occupancy"
+)
+
+// Dominant-bottleneck labels predicted by the advisor.
+const (
+	BottleneckBase       = "base"       // issue/compute bound
+	BottleneckMemory     = "memory"     // global-memory latency/bandwidth bound
+	BottleneckDivergence = "divergence" // SIMT serialization bound
+	BottleneckSync       = "sync"       // barrier-wait bound
+)
+
+// Labels lists the valid dominant-bottleneck labels.
+func Labels() []string {
+	return []string{BottleneckBase, BottleneckMemory, BottleneckDivergence, BottleneckSync}
+}
+
+// Limits are the per-core residency resources the occupancy pass checks
+// against; config.Config bounds threads, Limits bounds the rest.
+type Limits struct {
+	RegistersPerCore   int `json:"registers_per_core"`
+	SharedBytesPerCore int `json:"shared_bytes_per_core"`
+	MaxBlocksPerCore   int `json:"max_blocks_per_core"`
+}
+
+// DefaultLimits matches the GTX 580-class part of the paper's Table I:
+// 32K registers and 48 KB shared storage per core, at most 8 resident
+// blocks.
+func DefaultLimits() Limits {
+	return Limits{RegistersPerCore: 32768, SharedBytesPerCore: 48 * 1024, MaxBlocksPerCore: 8}
+}
+
+// Options configures Advise.
+type Options struct {
+	// Launch is the launch geometry. ThreadsPerBlock and Blocks must be
+	// positive; WarpSize 0 means 32.
+	Launch check.LaunchInfo
+	// Cfg is the hardware configuration the sketch is computed against.
+	// Nil means config.Baseline().
+	Cfg *config.Config
+	// Limits bounds per-core residency. Nil means DefaultLimits().
+	Limits *Limits
+}
+
+// Sketch is the static CPI sketch: predicted cycles-per-instruction
+// contributions of the four bottleneck groups.
+type Sketch struct {
+	Base       float64 `json:"base"`
+	Memory     float64 `json:"memory"`
+	Divergence float64 `json:"divergence"`
+	Sync       float64 `json:"sync"`
+}
+
+// Dominant returns the label of the largest component. Ties resolve to
+// the earlier label in (base, memory, divergence, sync).
+func (s Sketch) Dominant() string {
+	label, best := BottleneckBase, s.Base
+	if s.Memory > best {
+		label, best = BottleneckMemory, s.Memory
+	}
+	if s.Divergence > best {
+		label, best = BottleneckDivergence, s.Divergence
+	}
+	if s.Sync > best {
+		label = BottleneckSync
+	}
+	return label
+}
+
+// Total returns the sketch's total predicted CPI.
+func (s Sketch) Total() float64 { return s.Base + s.Memory + s.Divergence + s.Sync }
+
+// AccessSummary counts the classified memory accesses (static sites,
+// not dynamic executions).
+type AccessSummary struct {
+	Coalesced       int `json:"coalesced"`
+	Broadcast       int `json:"broadcast"`
+	Strided         int `json:"strided"`
+	Scattered       int `json:"scattered"`
+	SharedConflicts int `json:"shared_conflicts"`
+}
+
+// Advice is the advisor's report for one kernel.
+type Advice struct {
+	Kernel   string `json:"kernel"`
+	Dominant string `json:"dominant"`
+	Sketch   Sketch `json:"sketch"`
+	// Occupancy is the predicted residency as a fraction of the
+	// config's occupancy limit; Warps is the resident warp count and
+	// Limiter names the binding resource ("none" when fully occupied).
+	Occupancy float64        `json:"occupancy"`
+	Warps     int            `json:"warps"`
+	Limiter   string         `json:"limiter"`
+	Accesses  AccessSummary  `json:"accesses"`
+	Findings  check.Findings `json:"findings"`
+}
+
+// Advise runs the advisor. The program must be structurally valid
+// (isa.Program.Validate); verifier warnings are fine.
+func Advise(p *isa.Program, opts Options) (*Advice, error) {
+	cfg := config.Baseline()
+	if opts.Cfg != nil {
+		cfg = *opts.Cfg
+	}
+	lim := DefaultLimits()
+	if opts.Limits != nil {
+		lim = *opts.Limits
+	}
+	launch := opts.Launch
+	if launch.WarpSize == 0 {
+		launch.WarpSize = 32
+	}
+	if launch.ThreadsPerBlock <= 0 || launch.Blocks <= 0 {
+		return nil, fmt.Errorf("perf: launch geometry required (blocks=%d threads=%d)",
+			launch.Blocks, launch.ThreadsPerBlock)
+	}
+	an, err := check.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+
+	ad := &Advice{Kernel: p.Name}
+	occ := occupancyPass(an, launch, &cfg, lim, ad)
+	effW := occ.warps
+	if effW > cfg.WarpsPerCore {
+		effW = cfg.WarpsPerCore
+	}
+	if effW < 1 {
+		effW = 1
+	}
+
+	mem := memoryPass(an, launch, &cfg, ad)
+	div := divergencePass(an, ad)
+	sync := barrierPass(an, &cfg, ad)
+
+	totalW := totalWeight(an)
+	ad.Sketch = composeSketch(an, &cfg, totalW, float64(effW), mem, div, sync)
+	ad.Dominant = ad.Sketch.Dominant()
+	ad.Findings.Sort()
+	return ad, nil
+}
+
+// Text renders the advice in the one-line-per-finding form used by
+// gpumech-lint perf and the testdata/perflint goldens: every finding,
+// then one summary line.
+func (ad *Advice) Text() string {
+	var b strings.Builder
+	for _, f := range ad.Findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b,
+		"%s: dominant=%s sketch[base=%.2f memory=%.2f divergence=%.2f sync=%.2f] occupancy=%d%% (%d warps/core, limiter=%s) accesses[coalesced=%d broadcast=%d strided=%d scattered=%d shared-conflicts=%d]\n",
+		ad.Kernel, ad.Dominant,
+		ad.Sketch.Base, ad.Sketch.Memory, ad.Sketch.Divergence, ad.Sketch.Sync,
+		int(ad.Occupancy*100+0.5), ad.Warps, ad.Limiter,
+		ad.Accesses.Coalesced, ad.Accesses.Broadcast, ad.Accesses.Strided,
+		ad.Accesses.Scattered, ad.Accesses.SharedConflicts)
+	return b.String()
+}
+
+// instWeight is the static execution-frequency weight of an
+// instruction: loopMult per enclosing loop level, capped at depth 4.
+func instWeight(an *check.Analysis, pc int) float64 {
+	const loopMult = 8.0
+	d := an.LoopDepthAt(pc)
+	if d > 4 {
+		d = 4
+	}
+	w := 1.0
+	for i := 0; i < d; i++ {
+		w *= loopMult
+	}
+	return w
+}
+
+// totalWeight sums instWeight over all reachable instructions.
+func totalWeight(an *check.Analysis) float64 {
+	total := 0.0
+	for b := 0; b < an.NumBlocks(); b++ {
+		if !an.Reachable(b) {
+			continue
+		}
+		s, e := an.BlockRange(b)
+		for pc := s; pc < e; pc++ {
+			total += instWeight(an, pc)
+		}
+	}
+	if total < 1 {
+		total = 1
+	}
+	return total
+}
+
+// composeSketch assembles the per-group CPI contributions.
+//
+//	base       issue slot + compute dependency latency amortized over
+//	           the resident warps (interval-model multithreading)
+//	memory     global lines per warp-instruction × (miss latency /
+//	           warps, inflated when concurrent misses exceed the MSHRs)
+//	           + the DRAM service time per line shared across cores
+//	           + shared-memory traffic scaled by conflict degree
+//	divergence serialized reconvergence-region issue slots
+//	sync       barrier drain + statically-unbalanced phase work
+func composeSketch(an *check.Analysis, cfg *config.Config, totalW, effW float64, mem memStats, divCycles, syncCycles float64) Sketch {
+	p := an.Program()
+	compute := 0.0
+	for b := 0; b < an.NumBlocks(); b++ {
+		if !an.Reachable(b) {
+			continue
+		}
+		s, e := an.BlockRange(b)
+		for pc := s; pc < e; pc++ {
+			compute += instWeight(an, pc) * classLatency(cfg, p.Instrs[pc].Op.Class())
+		}
+	}
+	coalPerInst := mem.coalLines / totalW
+	missPerInst := mem.missLines / totalW
+	// Only uncoalesced traffic holds MSHRs long enough to exhaust them:
+	// a unit-stride stream resolves a whole warp access in one line.
+	mshrFactor := 1.0
+	if f := missPerInst * effW / float64(cfg.MSHREntries); f > 1 {
+		mshrFactor = f
+	}
+	// Coalesced lines are charged the L2-fill latency (streaming traffic
+	// has maximal MLP, so the core overlaps the DRAM tail); strided and
+	// scattered lines pay the full miss path. Every line pays the shared
+	// DRAM service (bandwidth) term — reuse is invisible statically.
+	hitLat := float64(cfg.MissLatency("l2"))
+	missLat := float64(cfg.MissLatency("dram"))
+	bandwidth := cfg.DRAMServiceCycles() * float64(cfg.Cores)
+	return Sketch{
+		Base: 1/cfg.IssueRate() + compute/(totalW*effW),
+		Memory: coalPerInst*(hitLat/effW+bandwidth) +
+			missPerInst*(missLat*mshrFactor/effW+bandwidth) +
+			mem.smemCost*float64(cfg.SMemLatency)/(totalW*effW),
+		Divergence: divCycles / totalW,
+		Sync:       syncCycles / totalW,
+	}
+}
+
+// classLatency is the dependency latency the base component charges for
+// an instruction class. Memory classes are charged by the memory
+// component instead.
+func classLatency(cfg *config.Config, c isa.Class) float64 {
+	switch c {
+	case isa.ClassALU:
+		return float64(cfg.ALULatency)
+	case isa.ClassFP:
+		return float64(cfg.FPLatency)
+	case isa.ClassSFU:
+		return float64(cfg.SFULatency)
+	}
+	return 1
+}

@@ -1,0 +1,288 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+
+	"gpumech/internal/check"
+	"gpumech/internal/isa"
+)
+
+func launch(blocks, tpb, shared int) Options {
+	return Options{Launch: check.LaunchInfo{Blocks: blocks, ThreadsPerBlock: tpb, SharedBytes: shared}}
+}
+
+func advise(t *testing.T, p *isa.Program, opts Options) *Advice {
+	t.Helper()
+	ad, err := Advise(p, opts)
+	if err != nil {
+		t.Fatalf("Advise(%s): %v", p.Name, err)
+	}
+	return ad
+}
+
+func hasFinding(ad *Advice, pass string, sev check.Severity, msgPart string) bool {
+	for _, f := range ad.Findings {
+		if f.Pass == pass && f.Severity == sev && strings.Contains(f.Msg, msgPart) {
+			return true
+		}
+	}
+	return false
+}
+
+// globalKernel builds: addr = base + (tid << shift) * scale; LdG; StG.
+func stridedKernel(name string, shift int64) *isa.Program {
+	b := isa.NewBuilder(name)
+	tid := b.Tid()
+	addr := b.Reg()
+	b.Shl(addr, tid, shift)
+	v := b.Reg()
+	b.LdG(v, addr, 0, isa.MemI32)
+	b.StG(addr, 4096, v, isa.MemI32)
+	b.Exit()
+	return b.MustBuild()
+}
+
+func TestCoalescingClassifier(t *testing.T) {
+	t.Run("unit-stride", func(t *testing.T) {
+		ad := advise(t, stridedKernel("coalesced", 2), launch(32, 128, 0))
+		if ad.Accesses.Coalesced != 2 || ad.Accesses.Strided != 0 || ad.Accesses.Scattered != 0 {
+			t.Fatalf("access summary = %+v, want 2 coalesced", ad.Accesses)
+		}
+		if hasFinding(ad, PassCoalesce, check.Warning, "") {
+			t.Fatalf("coalesced kernel should have no coalesce warnings:\n%s", ad.Text())
+		}
+	})
+	t.Run("strided", func(t *testing.T) {
+		// tid << 7 = 128-byte lane stride: one line per lane.
+		ad := advise(t, stridedKernel("strided", 7), launch(32, 128, 0))
+		if ad.Accesses.Strided != 2 {
+			t.Fatalf("access summary = %+v, want 2 strided", ad.Accesses)
+		}
+		if !hasFinding(ad, PassCoalesce, check.Warning, "strided global access: lane stride 128") {
+			t.Fatalf("missing strided warning:\n%s", ad.Text())
+		}
+	})
+	t.Run("scattered-data", func(t *testing.T) {
+		b := isa.NewBuilder("gather")
+		tid := b.Tid()
+		iaddr := b.Reg()
+		b.Shl(iaddr, tid, 2)
+		idx := b.Reg()
+		b.LdG(idx, iaddr, 0, isa.MemI32) // index load: coalesced
+		addr := b.Reg()
+		b.Shl(addr, idx, 2) // data-derived address
+		v := b.Reg()
+		b.LdG(v, addr, 0, isa.MemI32) // gather: scattered
+		b.Exit()
+		ad := advise(t, b.MustBuild(), launch(32, 128, 0))
+		if ad.Accesses.Scattered != 1 || ad.Accesses.Coalesced != 1 {
+			t.Fatalf("access summary = %+v, want 1 coalesced + 1 scattered", ad.Accesses)
+		}
+		if !hasFinding(ad, PassCoalesce, check.Warning, "data-dependent gather") {
+			t.Fatalf("missing scattered warning:\n%s", ad.Text())
+		}
+	})
+	t.Run("broadcast", func(t *testing.T) {
+		b := isa.NewBuilder("broadcast")
+		addr := b.ImmReg(64)
+		v := b.Reg()
+		b.LdG(v, addr, 0, isa.MemI32)
+		b.Exit()
+		ad := advise(t, b.MustBuild(), launch(32, 128, 0))
+		if ad.Accesses.Broadcast != 1 {
+			t.Fatalf("access summary = %+v, want 1 broadcast", ad.Accesses)
+		}
+	})
+}
+
+func TestBankConflicts(t *testing.T) {
+	shared := func(name string, shift int64) *isa.Program {
+		b := isa.NewBuilder(name)
+		tid := b.Tid()
+		addr := b.Reg()
+		b.Shl(addr, tid, shift)
+		v := b.Reg()
+		b.LdS(v, addr, 0, isa.MemI32)
+		b.Exit()
+		return b.MustBuild()
+	}
+	t.Run("conflict-free", func(t *testing.T) {
+		ad := advise(t, shared("smem-ok", 2), launch(32, 128, 16*1024))
+		if ad.Accesses.SharedConflicts != 0 {
+			t.Fatalf("want no conflicts:\n%s", ad.Text())
+		}
+	})
+	t.Run("two-way", func(t *testing.T) {
+		// 8-byte lane stride: lanes 0 and 16 share bank 0.
+		ad := advise(t, shared("smem-2way", 3), launch(32, 128, 16*1024))
+		if ad.Accesses.SharedConflicts != 1 {
+			t.Fatalf("want 1 conflict site:\n%s", ad.Text())
+		}
+		if !hasFinding(ad, PassBank, check.Warning, "2-way shared-memory bank conflict") {
+			t.Fatalf("missing 2-way conflict warning:\n%s", ad.Text())
+		}
+	})
+	t.Run("32-way", func(t *testing.T) {
+		// 128-byte lane stride: every lane hits bank 0.
+		ad := advise(t, shared("smem-32way", 7), launch(32, 128, 16*1024))
+		if !hasFinding(ad, PassBank, check.Warning, "32-way shared-memory bank conflict") {
+			t.Fatalf("missing 32-way conflict warning:\n%s", ad.Text())
+		}
+	})
+}
+
+func TestBankDegree(t *testing.T) {
+	cases := []struct {
+		stride int64
+		want   int
+	}{
+		{0, 1},   // broadcast
+		{4, 1},   // unit word stride
+		{8, 2},   // every other bank
+		{64, 16}, // 16 lanes per bank pair
+		{128, 32},
+		{12, 1}, // stride 3 words: gcd(3,32)=1
+		{20, 1}, // stride 5 words
+	}
+	for _, tc := range cases {
+		if got := bankDegree(tc.stride, 32); got != tc.want {
+			t.Errorf("bankDegree(%d) = %d, want %d", tc.stride, got, tc.want)
+		}
+	}
+}
+
+func TestDivergenceCost(t *testing.T) {
+	b := isa.NewBuilder("divergent")
+	tid := b.Tid()
+	iaddr := b.Reg()
+	b.Shl(iaddr, tid, 2)
+	x := b.Reg()
+	b.LdG(x, iaddr, 0, isa.MemI32)
+	zero := b.ImmReg(0)
+	i := b.Reg()
+	b.ForImm(i, 0, 16, 1, func() {
+		p := b.Pred()
+		b.ISetp(p, isa.CmpGT, x, zero) // data-dependent condition
+		b.If(p, func() {
+			b.IAddI(x, x, 1)
+			b.IAddI(x, x, 2)
+			b.IAddI(x, x, 3)
+		})
+	})
+	b.Exit()
+	ad := advise(t, b.MustBuild(), launch(32, 128, 0))
+	if !hasFinding(ad, PassDiverge, check.Warning, "data taint") {
+		t.Fatalf("missing divergence warning:\n%s", ad.Text())
+	}
+}
+
+func TestBarrierImbalance(t *testing.T) {
+	b := isa.NewBuilder("imbalanced")
+	tid := b.Tid()
+	addr := b.Reg()
+	b.Shl(addr, tid, 2)
+	v := b.Reg()
+	b.LdS(v, addr, 0, isa.MemI32)
+	b.Bar()
+	// Heavy second phase: a pile of FP work.
+	acc := b.Reg()
+	b.MovI(acc, 1)
+	for i := 0; i < 24; i++ {
+		b.FMul(acc, acc, acc)
+	}
+	b.Bar()
+	b.StS(addr, 0, acc, isa.MemI32)
+	b.Exit()
+	ad := advise(t, b.MustBuild(), launch(32, 128, 4096))
+	if !hasFinding(ad, PassBarrier, check.Warning, "statically-unbalanced work across barrier") {
+		t.Fatalf("missing barrier imbalance warning:\n%s", ad.Text())
+	}
+}
+
+func TestOccupancyLimiter(t *testing.T) {
+	t.Run("shared-limited", func(t *testing.T) {
+		// 48KB/core and 24KB/block: 2 blocks = 8 warps of the 32 limit.
+		ad := advise(t, stridedKernel("shared-hog", 2), launch(32, 128, 24*1024))
+		if ad.Limiter != "shared" {
+			t.Fatalf("limiter = %q, want shared (occupancy %.2f)", ad.Limiter, ad.Occupancy)
+		}
+		if !hasFinding(ad, PassOccupancy, check.Warning, "low occupancy") {
+			t.Fatalf("missing low-occupancy warning:\n%s", ad.Text())
+		}
+	})
+	t.Run("unlimited", func(t *testing.T) {
+		ad := advise(t, stridedKernel("small", 2), launch(32, 128, 0))
+		if ad.Limiter != "none" || ad.Occupancy < 0.99 {
+			t.Fatalf("limiter = %q occupancy = %.2f, want none/1.0", ad.Limiter, ad.Occupancy)
+		}
+	})
+	t.Run("grid-underfill", func(t *testing.T) {
+		ad := advise(t, stridedKernel("tiny-grid", 2), launch(4, 128, 0))
+		if !hasFinding(ad, PassOccupancy, check.Warning, "grid underfills the GPU") {
+			t.Fatalf("missing grid-underfill warning:\n%s", ad.Text())
+		}
+	})
+}
+
+func TestDominantLabels(t *testing.T) {
+	t.Run("compute-bound", func(t *testing.T) {
+		b := isa.NewBuilder("alu-loop")
+		acc := b.Reg()
+		b.MovI(acc, 1)
+		i := b.Reg()
+		b.ForImm(i, 0, 64, 1, func() {
+			for j := 0; j < 8; j++ {
+				b.IMulI(acc, acc, 3)
+			}
+		})
+		b.Exit()
+		ad := advise(t, b.MustBuild(), launch(32, 128, 0))
+		if ad.Dominant != BottleneckBase {
+			t.Fatalf("dominant = %q, want base:\n%s", ad.Dominant, ad.Text())
+		}
+	})
+	t.Run("memory-bound", func(t *testing.T) {
+		b := isa.NewBuilder("stream")
+		tid := b.Tid()
+		addr := b.Reg()
+		b.Shl(addr, tid, 7) // strided: one line per lane
+		v := b.Reg()
+		i := b.Reg()
+		b.ForImm(i, 0, 64, 1, func() {
+			b.LdG(v, addr, 0, isa.MemI32)
+			b.IAddI(addr, addr, 16384)
+		})
+		b.Exit()
+		ad := advise(t, b.MustBuild(), launch(32, 128, 0))
+		if ad.Dominant != BottleneckMemory {
+			t.Fatalf("dominant = %q, want memory:\n%s", ad.Dominant, ad.Text())
+		}
+	})
+}
+
+func TestAdviseErrors(t *testing.T) {
+	p := stridedKernel("ok", 2)
+	if _, err := Advise(p, Options{}); err == nil {
+		t.Error("Advise without launch geometry should error")
+	}
+	if _, err := Advise(nil, launch(1, 32, 0)); err == nil {
+		t.Error("Advise(nil) should error")
+	}
+	empty := &isa.Program{Name: "empty", NumRegs: 1, NumPreds: 1}
+	if _, err := Advise(empty, launch(1, 32, 0)); err == nil {
+		t.Error("Advise(empty) should error")
+	}
+}
+
+func TestAdviceTextDeterministic(t *testing.T) {
+	p := stridedKernel("det", 7)
+	a := advise(t, p, launch(32, 128, 0)).Text()
+	b := advise(t, p, launch(32, 128, 0)).Text()
+	if a != b {
+		t.Fatalf("Text() not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "dominant=") {
+		t.Fatalf("summary line missing: %s", a)
+	}
+}

@@ -1,0 +1,124 @@
+package check
+
+import (
+	"testing"
+
+	"gpumech/internal/isa"
+)
+
+// TestVerifySmallPrograms pins Verify's behaviour on degenerate inputs:
+// nil and zero-instruction programs must yield a structured decode-pass
+// Error finding (not a panic, and not a downstream-pass artifact), and
+// minimal valid programs must verify clean.
+func TestVerifySmallPrograms(t *testing.T) {
+	bare := func(op isa.Op) isa.Instr {
+		return isa.Instr{
+			Op: op, Dst: isa.RegNone, SrcA: isa.RegNone, SrcB: isa.RegNone,
+			SrcC: isa.RegNone, PDst: isa.PredNone, Pred: isa.PredNone, Pred2: isa.PredNone,
+		}
+	}
+	exitOnly := &isa.Program{
+		Name:     "exit-only",
+		Instrs:   []isa.Instr{bare(isa.OpExit)},
+		NumRegs:  1,
+		NumPreds: 1,
+	}
+	noExit := &isa.Program{
+		Name:     "no-exit",
+		Instrs:   []isa.Instr{bare(isa.OpNop)},
+		NumRegs:  1,
+		NumPreds: 1,
+	}
+	cases := []struct {
+		name    string
+		prog    *isa.Program
+		pass    string // expected single-finding pass; "" = no findings
+		msgPart string
+	}{
+		{"nil", nil, PassDecode, "nil program"},
+		{"empty", &isa.Program{Name: "empty", NumRegs: 1, NumPreds: 1}, PassDecode, "no instructions"},
+		{"exit-only", exitOnly, "", ""},
+		{"one-instr-no-exit", noExit, PassDecode, "exit"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := Verify(tc.prog, Options{})
+			if tc.pass == "" {
+				if len(fs) != 0 {
+					t.Fatalf("want no findings, got:\n%s", render(fs))
+				}
+				return
+			}
+			if len(fs) != 1 {
+				t.Fatalf("want exactly one finding, got %d:\n%s", len(fs), render(fs))
+			}
+			wantFinding(t, fs, tc.pass, Error, -1, tc.msgPart)
+		})
+	}
+}
+
+// TestAnalyzeSubstrate sanity-checks the exported Analysis view: taint
+// levels, loop depth, and block queries on a kernel with a divergent If
+// inside a uniform loop.
+func TestAnalyzeSubstrate(t *testing.T) {
+	b := isa.NewBuilder("substrate")
+	tid := b.Tid()
+	lim := b.Reg()
+	b.MovI(lim, 16)
+	acc := b.Reg()
+	b.MovI(acc, 0)
+	i := b.Reg()
+	var p isa.PredReg
+	b.ForImm(i, 0, 8, 1, func() {
+		p = b.Pred()
+		b.ISetp(p, isa.CmpLT, tid, lim)
+		b.If(p, func() {
+			b.IAddI(acc, acc, 1)
+		})
+	})
+	b.Exit()
+	prog := b.MustBuild()
+
+	a, err := Analyze(prog)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if got := a.RegTaint(tid); got != TaintTid {
+		t.Errorf("tid taint = %v, want %v", got, TaintTid)
+	}
+	if got := a.RegTaint(lim); got != TaintUniform {
+		t.Errorf("lim taint = %v, want %v", got, TaintUniform)
+	}
+	if got := a.PredTaint(p); got != TaintTid {
+		t.Errorf("pred taint = %v, want %v", got, TaintTid)
+	}
+
+	// Some block must sit at loop depth >= 1 (the loop body), and the
+	// entry block must be at depth 0.
+	if got := a.LoopDepth(a.BlockOf(0)); got != 0 {
+		t.Errorf("entry loop depth = %d, want 0", got)
+	}
+	maxDepth := 0
+	for blk := 0; blk < a.NumBlocks(); blk++ {
+		if d := a.LoopDepth(blk); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth < 1 {
+		t.Errorf("max loop depth = %d, want >= 1", maxDepth)
+	}
+
+	// The virtual exit block post-dominates every reachable block.
+	for blk := 0; blk < a.NumBlocks(); blk++ {
+		if a.Reachable(blk) && !a.PostDominates(a.ExitBlock(), blk) {
+			t.Errorf("exit does not post-dominate reachable block %d", blk)
+		}
+	}
+
+	if _, err := Analyze(nil); err == nil {
+		t.Error("Analyze(nil) should error")
+	}
+	if _, err := Analyze(&isa.Program{Name: "empty", NumRegs: 1, NumPreds: 1}); err == nil {
+		t.Error("Analyze(empty) should error")
+	}
+}

@@ -1,0 +1,105 @@
+package check
+
+import (
+	"gpumech/internal/isa"
+)
+
+// taintInfo is the result of the flow-insensitive divergence taint
+// analysis: every register, predicate, and block is graded uniform,
+// thread-ID-divergent, or data-divergent. It is shared between the
+// barrier verifier pass and the exported Analysis substrate that the
+// performance advisor (internal/check/perf) builds on.
+type taintInfo struct {
+	reg  []uint8 // per general register
+	pred []uint8 // per predicate register
+	ctrl []uint8 // per block: control-dependence level of the region
+}
+
+// divergentRegion marks the blocks reachable from the branch's two
+// successors without passing through its reconvergence block.
+func (g *cfg) divergentRegion(blk int, in isa.Instr) []bool {
+	visited := make([]bool, len(g.blocks))
+	stop := g.blockOf[in.Reconv]
+	g.reachesWithout(g.blockOf[in.Target], stop, visited)
+	g.reachesWithout(g.blockOf[g.blocks[blk].end], stop, visited)
+	return visited
+}
+
+// computeTaint grades every register and predicate: uniform,
+// thread-ID-divergent, or data-divergent (anything touched by a load).
+// Control dependence is included: values written inside a divergent
+// region inherit the region's level. The fixpoint is monotone over the
+// three-level lattice, so it terminates.
+func computeTaint(g *cfg) *taintInfo {
+	p := g.prog
+	t := &taintInfo{
+		reg:  make([]uint8, p.NumRegs),
+		pred: make([]uint8, p.NumPreds),
+		ctrl: make([]uint8, len(g.blocks)),
+	}
+
+	raise := func(dst *uint8, l uint8) bool {
+		if l > *dst {
+			*dst = l
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		// Control-dependence: blocks inside a divergent branch's region
+		// run at least at the branch predicate's level.
+		for i, b := range g.blocks {
+			tpc := b.terminator()
+			if !g.reach[i] || tpc < 0 {
+				continue
+			}
+			in := p.Instrs[tpc]
+			if in.Op != isa.OpBra || in.Pred == isa.PredNone || t.pred[in.Pred] == lvlUniform {
+				continue
+			}
+			for blk, inRegion := range g.divergentRegion(i, in) {
+				if inRegion && raise(&t.ctrl[blk], t.pred[in.Pred]) {
+					changed = true
+				}
+			}
+		}
+		for i, b := range g.blocks {
+			if !g.reach[i] {
+				continue
+			}
+			for pc := b.start; pc < b.end; pc++ {
+				in := &p.Instrs[pc]
+				lvl := t.ctrl[i]
+				if in.Pred != isa.PredNone {
+					// A guard merges old and new values per lane; the
+					// result is at least as divergent as the guard.
+					lvl = max(lvl, t.pred[in.Pred])
+				}
+				if in.Pred2 != isa.PredNone {
+					lvl = max(lvl, t.pred[in.Pred2])
+				}
+				for _, r := range in.SrcRegs(nil) {
+					lvl = max(lvl, t.reg[r])
+				}
+				switch in.Op {
+				case isa.OpLdG, isa.OpLdS:
+					lvl = max(lvl, lvlData)
+				case isa.OpS2R:
+					switch isa.SpecialKind(in.Imm) {
+					case isa.SrTid, isa.SrLaneID, isa.SrWarpID, isa.SrGlobalID:
+						lvl = max(lvl, lvlTid)
+					}
+				}
+				if in.Dst != isa.RegNone && raise(&t.reg[in.Dst], lvl) {
+					changed = true
+				}
+				if in.PDst != isa.PredNone && raise(&t.pred[in.PDst], lvl) {
+					changed = true
+				}
+			}
+		}
+	}
+	return t
+}

@@ -41,6 +41,11 @@ type Options struct {
 // written, or provably access memory out of bounds.
 func Verify(p *isa.Program, opts Options) Findings {
 	var fs Findings
+	if p == nil {
+		fs = append(fs, staticFinding(PassDecode, Error, "<nil>", -1, "",
+			"nil program: nothing to verify"))
+		return fs
+	}
 	if err := p.Validate(); err != nil {
 		fs = append(fs, staticFinding(PassDecode, Error, progName(p), -1, "", err.Error()))
 		return fs
@@ -327,83 +332,7 @@ const (
 // barrier is flagged too, since the emulator's barrier ignores guards.
 func barrierPass(g *cfg) Findings {
 	p := g.prog
-	regLvl := make([]uint8, p.NumRegs)
-	predLvl := make([]uint8, p.NumPreds)
-	ctrl := make([]uint8, len(g.blocks))
-
-	raise := func(dst *uint8, l uint8) bool {
-		if l > *dst {
-			*dst = l
-			return true
-		}
-		return false
-	}
-
-	// divergentRegion marks the blocks reachable from the branch's two
-	// successors without passing through its reconvergence block.
-	divergentRegion := func(blk int, in isa.Instr) []bool {
-		visited := make([]bool, len(g.blocks))
-		stop := g.blockOf[in.Reconv]
-		g.reachesWithout(g.blockOf[in.Target], stop, visited)
-		g.reachesWithout(g.blockOf[g.blocks[blk].end], stop, visited)
-		return visited
-	}
-
-	for changed := true; changed; {
-		changed = false
-		// Control-dependence: blocks inside a divergent branch's region
-		// run at least at the branch predicate's level.
-		for i, b := range g.blocks {
-			t := b.terminator()
-			if !g.reach[i] || t < 0 {
-				continue
-			}
-			in := p.Instrs[t]
-			if in.Op != isa.OpBra || in.Pred == isa.PredNone || predLvl[in.Pred] == lvlUniform {
-				continue
-			}
-			for blk, inRegion := range divergentRegion(i, in) {
-				if inRegion && raise(&ctrl[blk], predLvl[in.Pred]) {
-					changed = true
-				}
-			}
-		}
-		for i, b := range g.blocks {
-			if !g.reach[i] {
-				continue
-			}
-			for pc := b.start; pc < b.end; pc++ {
-				in := &p.Instrs[pc]
-				lvl := ctrl[i]
-				if in.Pred != isa.PredNone {
-					// A guard merges old and new values per lane; the
-					// result is at least as divergent as the guard.
-					lvl = max(lvl, predLvl[in.Pred])
-				}
-				if in.Pred2 != isa.PredNone {
-					lvl = max(lvl, predLvl[in.Pred2])
-				}
-				for _, r := range in.SrcRegs(nil) {
-					lvl = max(lvl, regLvl[r])
-				}
-				switch in.Op {
-				case isa.OpLdG, isa.OpLdS:
-					lvl = max(lvl, lvlData)
-				case isa.OpS2R:
-					switch isa.SpecialKind(in.Imm) {
-					case isa.SrTid, isa.SrLaneID, isa.SrWarpID, isa.SrGlobalID:
-						lvl = max(lvl, lvlTid)
-					}
-				}
-				if in.Dst != isa.RegNone && raise(&regLvl[in.Dst], lvl) {
-					changed = true
-				}
-				if in.PDst != isa.PredNone && raise(&predLvl[in.PDst], lvl) {
-					changed = true
-				}
-			}
-		}
-	}
+	predLvl := computeTaint(g).pred
 
 	// barLvl[pc] is the worst divergence level under which the barrier at
 	// pc is reachable; barBranch[pc] records one responsible branch.
@@ -418,7 +347,7 @@ func barrierPass(g *cfg) Findings {
 		if in.Op != isa.OpBra || in.Pred == isa.PredNone || predLvl[in.Pred] == lvlUniform {
 			continue
 		}
-		for blk, inRegion := range divergentRegion(i, in) {
+		for blk, inRegion := range g.divergentRegion(i, in) {
 			if !inRegion || !g.reach[blk] {
 				continue
 			}

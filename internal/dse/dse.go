@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"gpumech"
+	"gpumech/internal/check"
+	"gpumech/internal/check/perf"
 	"gpumech/internal/kernels"
 	"gpumech/internal/obs"
 	"gpumech/internal/parallel"
@@ -50,6 +52,13 @@ type Result struct {
 	// Best maps each kernel to the index of its best point by the first
 	// objective (ties broken by lowest index).
 	Best map[string]int `json:"bestPerKernel"`
+
+	// Advice maps each kernel to the static performance advisor's
+	// pre-flight report (internal/check/perf) at the sweep's grid: the
+	// predicted dominant bottleneck and its findings, computed from the
+	// program text before any point was evaluated. It gives a sweep
+	// reader the static story to hold against the swept CPI stacks.
+	Advice map[string]*perf.Advice `json:"advice"`
 }
 
 // Options tunes one Run call.
@@ -97,6 +106,13 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 	}
 	if err := fs.Err(); err != nil {
 		return nil, fmt.Errorf("dse: kernel pre-flight failed: %w", err)
+	}
+	// Second pre-flight product: the static advisor's per-kernel report
+	// at the sweep's grid, carried into the result so readers can hold
+	// the predicted bottleneck against the swept CPI stacks.
+	advice, err := preflightAdvice(spec)
+	if err != nil {
+		return nil, err
 	}
 	sp := opt.Obs.StartSpan("sweep")
 	sp.SetInt("points", int64(len(plan.points)))
@@ -216,6 +232,7 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 		Points:        points,
 		Frontiers:     make(map[string][]int, len(spec.Kernels)),
 		Best:          make(map[string]int, len(spec.Kernels)),
+		Advice:        advice,
 	}
 	for _, kernel := range spec.Kernels {
 		var idxs []int
@@ -228,6 +245,38 @@ func Run(ctx context.Context, spec Spec, opt Options) (*Result, error) {
 		res.Best[kernel] = best(points, idxs, plan.objectives[0])
 	}
 	return res, nil
+}
+
+// preflightAdvice runs the static performance advisor over every sweep
+// kernel at the sweep's grid (spec.Blocks, or each kernel's paper
+// default when unset). It is static and serial — program text only, no
+// emulation — so it adds microseconds to a sweep that takes seconds.
+func preflightAdvice(spec Spec) (map[string]*perf.Advice, error) {
+	out := make(map[string]*perf.Advice, len(spec.Kernels))
+	for _, name := range spec.Kernels {
+		info, err := kernels.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		blocks := spec.Blocks
+		if blocks <= 0 {
+			blocks = kernels.DefaultBlocks(info.WarpsPerBlock)
+		}
+		l, err := info.Build(kernels.Scale{Blocks: blocks, Seed: spec.Seed})
+		if err != nil {
+			return nil, err
+		}
+		ad, err := perf.Advise(l.Prog, perf.Options{Launch: check.LaunchInfo{
+			Blocks:          l.Blocks,
+			ThreadsPerBlock: l.ThreadsPerBlock,
+			SharedBytes:     l.SharedBytes,
+		}})
+		if err != nil {
+			return nil, fmt.Errorf("dse: advising %s: %w", name, err)
+		}
+		out[name] = ad
+	}
+	return out, nil
 }
 
 // sessionSet creates at most one gpumech.Session per kernel, on demand,

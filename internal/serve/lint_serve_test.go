@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gpumech/internal/check"
+	"gpumech/internal/check/perf"
+	"gpumech/internal/kernels"
+)
+
+func postLint(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/v1/lint", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestLintMatchesAdvisor: the endpoint's report must match a direct
+// perf.Advise run at the same build, schema-wrapped.
+func TestLintMatchesAdvisor(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := postLint(t, s.Handler(), `{"kernel":"sdk_transpose_naive"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	var got struct {
+		Schema int `json:"schema"`
+		Blocks int `json:"blocks"`
+		perf.Advice
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != lintSchema {
+		t.Fatalf("schema %d, want %d", got.Schema, lintSchema)
+	}
+
+	info, err := kernels.Get("sdk_transpose_naive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlocks := kernels.DefaultBlocks(info.WarpsPerBlock)
+	if got.Blocks != wantBlocks {
+		t.Fatalf("blocks %d, want paper default %d", got.Blocks, wantBlocks)
+	}
+	l, err := info.Build(kernels.Scale{Blocks: wantBlocks, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := perf.Advise(l.Prog, perf.Options{Launch: check.LaunchInfo{
+		Blocks:          l.Blocks,
+		ThreadsPerBlock: l.ThreadsPerBlock,
+		SharedBytes:     l.SharedBytes,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dominant != want.Dominant || got.Kernel != want.Kernel {
+		t.Fatalf("endpoint says %s/%s, direct advisor says %s/%s",
+			got.Kernel, got.Dominant, want.Kernel, want.Dominant)
+	}
+	if got.Sketch != want.Sketch {
+		t.Fatalf("sketch %+v != %+v", got.Sketch, want.Sketch)
+	}
+	if len(got.Findings) != len(want.Findings) {
+		t.Fatalf("%d findings, want %d", len(got.Findings), len(want.Findings))
+	}
+}
+
+// TestLintRejections pins the endpoint's 400 contract.
+func TestLintRejections(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"kernel":"sdk_saxpy","nope":1}`},
+		{"missing kernel", `{"blocks":4}`},
+		{"negative blocks", `{"kernel":"sdk_saxpy","blocks":-1}`},
+		{"unknown kernel", `{"kernel":"no_such_kernel"}`},
+	}
+	for _, tc := range cases {
+		rec := postLint(t, s.Handler(), tc.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, rec.Code, rec.Body.String())
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("%s: body is not the uniform error doc: %s", tc.name, rec.Body.String())
+		}
+	}
+}
+
+// TestLintExplicitBlocks: a client-chosen grid reaches the advisor (a
+// tiny grid must surface the grid-underfill warning).
+func TestLintExplicitBlocks(t *testing.T) {
+	s := newTestServer(t, Config{})
+	rec := postLint(t, s.Handler(), `{"kernel":"sdk_saxpy","blocks":4}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var got struct {
+		Blocks   int            `json:"blocks"`
+		Findings check.Findings `json:"findings"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Blocks != 4 {
+		t.Fatalf("blocks %d, want 4", got.Blocks)
+	}
+	found := false
+	for _, f := range got.Findings {
+		if strings.Contains(f.Msg, "grid underfills") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("4-block launch should warn about grid underfill:\n%s", rec.Body.String())
+	}
+}

@@ -16,6 +16,11 @@
 //	GET  /v1/kernels    the bundled kernel catalogue with per-kernel
 //	                    instruction counts and default grids
 //	                    (?version=1 preserves the original shape)
+//	POST /v1/lint       static performance advisor; body {"kernel",
+//	                    "blocks"}; runs internal/check/perf over the
+//	                    program text alone — no trace, no simulation —
+//	                    and answers the predicted dominant bottleneck,
+//	                    CPI sketch, occupancy, and findings
 //	POST /v1/sweeps     start an asynchronous design-space sweep
 //	                    (internal/dse spec in the body); answers 202
 //	                    with a job ID
@@ -59,6 +64,8 @@ import (
 	"time"
 
 	"gpumech"
+	"gpumech/internal/check"
+	"gpumech/internal/check/perf"
 	"gpumech/internal/kernels"
 	"gpumech/internal/obs"
 	"gpumech/internal/obs/chrometrace"
@@ -275,6 +282,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/evaluate", s.instrument("evaluate", s.handleEvaluate))
 	s.mux.Handle("GET /v1/kernels", s.instrument("kernels", s.handleKernels))
+	s.mux.Handle("POST /v1/lint", s.instrument("lint", s.handleLint))
 	s.mux.Handle("POST /v1/sweeps", s.instrument("sweeps.create", s.handleSweepCreate))
 	s.mux.Handle("GET /v1/sweeps/{id}", s.instrument("sweeps.get", s.handleSweepGet))
 	s.mux.Handle("DELETE /v1/sweeps/{id}", s.instrument("sweeps.cancel", s.handleSweepCancel))
@@ -758,6 +766,86 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	runjson.Encode(w, out)
+}
+
+// LintRequest is the POST /v1/lint body. Blocks 0 means the kernel's
+// paper-default grid (the same scale gpumech-lint perf uses).
+type LintRequest struct {
+	Kernel string `json:"kernel"`
+	Blocks int    `json:"blocks"`
+}
+
+// lintSchema versions the /v1/lint response shape.
+const lintSchema = 1
+
+// handleLint serves the static performance advisor. The endpoint is
+// purely static — it builds the program and analyzes its text, with no
+// emulation and no model run — so it answers in microseconds and never
+// takes an evaluation slot.
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	st := stateFrom(r.Context())
+	dsp := st.span.Child("decode")
+	var req LintRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(&req)
+	dsp.End()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding body: %w", err))
+		return
+	}
+	if req.Kernel == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing field %q", "kernel"))
+		return
+	}
+	if req.Blocks < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("blocks must be non-negative"))
+		return
+	}
+	st.kernel = req.Kernel
+	st.attrs = append(st.attrs,
+		slog.String("kernel", req.Kernel),
+		slog.Int("blocks", req.Blocks))
+	st.span.SetStr("kernel", req.Kernel)
+
+	asp := st.span.Child("advise")
+	ad, blocks, err := adviseKernel(req.Kernel, req.Blocks)
+	asp.End()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	runjson.Encode(w, struct {
+		Schema int `json:"schema"`
+		Blocks int `json:"blocks"`
+		*perf.Advice
+	}{lintSchema, blocks, ad})
+}
+
+// adviseKernel builds the named bundled kernel at the requested grid
+// (0 = its paper default) and runs the static advisor.
+func adviseKernel(name string, blocks int) (*perf.Advice, int, error) {
+	info, err := kernels.Get(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	if blocks == 0 {
+		blocks = kernels.DefaultBlocks(info.WarpsPerBlock)
+	}
+	l, err := info.Build(kernels.Scale{Blocks: blocks, Seed: 1})
+	if err != nil {
+		return nil, 0, err
+	}
+	ad, err := perf.Advise(l.Prog, perf.Options{Launch: check.LaunchInfo{
+		Blocks:          l.Blocks,
+		ThreadsPerBlock: l.ThreadsPerBlock,
+		SharedBytes:     l.SharedBytes,
+	}})
+	if err != nil {
+		return nil, 0, err
+	}
+	return ad, blocks, nil
 }
 
 // sloSummary is the /readyz?verbose=1 document: the service's latency

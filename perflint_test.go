@@ -1,0 +1,101 @@
+package gpumech
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpumech/internal/check"
+	"gpumech/internal/check/perf"
+	"gpumech/internal/kernels"
+)
+
+// perfLintDir is the golden corpus for the static performance advisor:
+// one .golden per paper kernel with the advisor's findings and summary
+// line at the paper-default grid. Regenerate with
+//
+//	go test -run TestPerfLintGoldens -update
+const perfLintDir = "testdata/perflint"
+
+// perfAdviceFor runs the advisor exactly the way gpumech-lint perf
+// does: paper-default grid, baseline config, seed-1 build.
+func perfAdviceFor(t *testing.T, name string) *perf.Advice {
+	t.Helper()
+	k, err := kernels.Get(name)
+	if err != nil {
+		t.Fatalf("get %s: %v", name, err)
+	}
+	blocks := kernels.DefaultBlocks(k.WarpsPerBlock)
+	l, err := k.Build(kernels.Scale{Blocks: blocks, Seed: 1})
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	ad, err := perf.Advise(l.Prog, perf.Options{Launch: check.LaunchInfo{
+		Blocks:          l.Blocks,
+		ThreadsPerBlock: l.ThreadsPerBlock,
+		SharedBytes:     l.SharedBytes,
+	}})
+	if err != nil {
+		t.Fatalf("advise %s: %v", name, err)
+	}
+	return ad
+}
+
+// TestPerfLintGoldens pins the advisor's output over the 40-kernel
+// paper set and checks the advisor is infrastructure-clean: it must run
+// without error on every kernel and never emit error-severity findings
+// (advice is Info/Warning by construction; Errors are the verifier's).
+func TestPerfLintGoldens(t *testing.T) {
+	names := kernels.PaperNames()
+	if len(names) != 40 {
+		t.Fatalf("paper set has %d kernels, want 40", len(names))
+	}
+	seen := make(map[string]bool)
+	for _, name := range names {
+		ad := perfAdviceFor(t, name)
+		for _, f := range ad.Findings {
+			if f.Severity == check.Error {
+				t.Errorf("%s: advisor emitted an error finding: %v", name, f)
+			}
+		}
+		got := []byte(ad.Text())
+		path := filepath.Join(perfLintDir, name+".golden")
+		seen[name+".golden"] = true
+		if *updateGolden {
+			if err := os.MkdirAll(perfLintDir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to regenerate)", name, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: advisor output differs from golden (run with -update to regenerate)\n--- got ---\n%s--- want ---\n%s",
+				name, got, want)
+		}
+	}
+	if *updateGolden {
+		return
+	}
+	// Stray-file guard: every golden must belong to a current kernel, so
+	// renames cannot leave stale expectations behind.
+	entries, err := os.ReadDir(perfLintDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".golden") {
+			continue // README, envelope.json
+		}
+		if !seen[e.Name()] {
+			t.Errorf("stray golden file %s: no paper kernel produces it", e.Name())
+		}
+	}
+}
